@@ -1,0 +1,191 @@
+//! Section 4.3: asymptotic behaviour of the approximation ratio.
+//!
+//! Setting the derivative of `A(μ*(ρ), ρ)` to zero and clearing the square
+//! root yields equation (21), `m²(1+m)(1+ρ)² Σ c_i ρ^i = 0`; as `m → ∞`
+//! the degree-6 factor tends to
+//! `ρ⁶ + 6ρ⁵ + 3ρ⁴ + 14ρ³ + 21ρ² + 24ρ − 8`, whose only root in `(0, 1)`
+//! is `ρ* ≈ 0.261917`, giving `μ*/m → 0.325907` and ratio `→ 3.291913`.
+
+use crate::poly::Polynomial;
+use crate::ratio::mu_star;
+
+/// The asymptotic optimality condition
+/// `ρ⁶ + 6ρ⁵ + 3ρ⁴ + 14ρ³ + 21ρ² + 24ρ − 8 = 0` (Section 4.3).
+pub fn asymptotic_polynomial() -> Polynomial {
+    Polynomial::new(vec![-8.0, 24.0, 21.0, 14.0, 3.0, 6.0, 1.0])
+}
+
+/// The asymptotically optimal rounding parameter `ρ* ≈ 0.261917`: the only
+/// root of [`asymptotic_polynomial`] in `(0, 1)`.
+pub fn asymptotic_rho() -> f64 {
+    let p = asymptotic_polynomial();
+    let roots = p.roots_in(0.0, 1.0, 4096, 1e-12);
+    debug_assert_eq!(roots.len(), 1, "expected a unique root in (0,1)");
+    p.newton_refine(roots[0], 50)
+}
+
+/// The `m → ∞` limit of `μ*(ρ)/m` (Lemma 4.8):
+/// `((2+ρ) − √(ρ² + 2ρ + 2))/2`.
+pub fn mu_fraction(rho: f64) -> f64 {
+    ((2.0 + rho) - (rho * rho + 2.0 * rho + 2.0).sqrt()) / 2.0
+}
+
+/// The `m → ∞` ratio bound for rounding parameter `ρ` with the balanced
+/// `μ/m` fraction: the limit of branch `A` (equals the limit of `B`).
+pub fn asymptotic_objective(rho: f64) -> f64 {
+    let x = mu_fraction(rho);
+    (2.0 / (2.0 - rho) + (1.0 - x) * 2.0 / (1.0 + rho)) / (1.0 - x)
+}
+
+/// The asymptotically best ratio `r → 3.291913` (at `ρ = ρ*`).
+pub fn asymptotic_ratio() -> f64 {
+    asymptotic_objective(asymptotic_rho())
+}
+
+/// Coefficients `c₀ … c₆` of the finite-`m` optimality equation (21).
+pub fn equation21_coeffs(m: usize) -> [f64; 7] {
+    let m = m as f64;
+    [
+        -8.0 * (m - 1.0) * (m - 1.0) * (m - 2.0),
+        8.0 * (m - 1.0) * (m - 2.0) * (3.0 * m - 2.0),
+        21.0 * m * m * m - 59.0 * m * m + 16.0 * m + 24.0,
+        2.0 * (m + 1.0) * (7.0 * m * m - 7.0 * m - 4.0),
+        3.0 * m * m * m - 7.0 * m * m + 15.0 * m + 1.0,
+        2.0 * m * (3.0 * m * m - 4.0 * m - 1.0),
+        m * m * (m + 1.0),
+    ]
+}
+
+/// The finite-`m` degree-6 optimality polynomial of equation (21).
+pub fn equation21_polynomial(m: usize) -> Polynomial {
+    Polynomial::new(equation21_coeffs(m).to_vec())
+}
+
+/// The *continuous-μ* ratio bound `A(μ*(ρ), ρ)` for finite `m` — the
+/// function whose stationary points equation (21) describes.
+pub fn continuous_objective(m: usize, rho: f64) -> f64 {
+    let mf = m as f64;
+    let mu = mu_star(m, rho);
+    (2.0 * mf / (2.0 - rho) + (mf - mu) * 2.0 / (1.0 + rho)) / (mf - mu + 1.0)
+}
+
+/// The continuous-μ optimal `ρ` for finite `m`: among the real roots of
+/// equation (21) in `(0, 1)` (squaring may introduce spurious ones), the
+/// one minimizing [`continuous_objective`]; falls back to a fine grid scan
+/// if no root qualifies (small `m` where the optimum sits at `ρ = 0`).
+pub fn optimal_rho(m: usize) -> f64 {
+    let poly = equation21_polynomial(m);
+    let mut best = (0.0f64, continuous_objective(m, 0.0));
+    for r in poly.roots_in(1e-9, 1.0 - 1e-9, 8192, 1e-12) {
+        let r = poly.newton_refine(r, 50).clamp(0.0, 1.0);
+        let v = continuous_objective(m, r);
+        if v < best.1 {
+            best = (r, v);
+        }
+    }
+    best.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minmax;
+
+    #[test]
+    fn rho_star_value() {
+        let r = asymptotic_rho();
+        assert!((r - 0.261917).abs() < 1e-6, "rho* = {r}");
+        // It really is a root.
+        assert!(asymptotic_polynomial().eval(r).abs() < 1e-10);
+    }
+
+    #[test]
+    fn mu_fraction_value() {
+        let x = mu_fraction(asymptotic_rho());
+        assert!((x - 0.325907).abs() < 1e-5, "mu fraction = {x}");
+    }
+
+    #[test]
+    fn asymptotic_ratio_value() {
+        let r = asymptotic_ratio();
+        assert!((r - 3.291913).abs() < 1e-5, "asymptotic ratio = {r}");
+        // The fixed rho = 0.26 gives the marginally larger 3.291919
+        // (Corollary 4.1 constant).
+        let fixed = asymptotic_objective(0.26);
+        assert!((fixed - crate::ratio::corollary_4_1_constant()).abs() < 1e-6);
+        assert!(r <= fixed);
+    }
+
+    #[test]
+    fn rho_star_is_asymptotic_minimizer() {
+        let r = asymptotic_rho();
+        let v = asymptotic_objective(r);
+        for i in 0..=100 {
+            let rho = i as f64 / 100.0;
+            assert!(
+                v <= asymptotic_objective(rho) + 1e-9,
+                "rho = {rho} beats rho*"
+            );
+        }
+    }
+
+    #[test]
+    fn equation21_tends_to_asymptotic_polynomial() {
+        // c_i / (m^2 (m+1)) tends to the asymptotic coefficients.
+        let m = 10_000_000usize;
+        let c = equation21_coeffs(m);
+        let scale = (m as f64) * (m as f64) * (m as f64 + 1.0);
+        let limit = [-8.0, 24.0, 21.0, 14.0, 3.0, 6.0, 1.0];
+        for (i, &l) in limit.iter().enumerate() {
+            assert!(
+                (c[i] / scale - l).abs() < 1e-4,
+                "c{i}/m^3 = {} vs {l}",
+                c[i] / scale
+            );
+        }
+    }
+
+    #[test]
+    fn optimal_rho_converges_to_rho_star() {
+        let target = asymptotic_rho();
+        let r = optimal_rho(100_000);
+        assert!((r - target).abs() < 1e-3, "optimal_rho(1e5) = {r}");
+    }
+
+    #[test]
+    fn optimal_rho_never_loses_to_fixed_rho() {
+        for m in [6usize, 10, 20, 33, 64] {
+            let r = optimal_rho(m);
+            assert!(
+                continuous_objective(m, r) <= continuous_objective(m, 0.26) + 1e-9,
+                "m = {m}"
+            );
+        }
+    }
+
+    #[test]
+    fn continuous_objective_lower_bounds_integral_rows() {
+        // With integral mu the objective can only be >= the continuous
+        // bound at the same rho.
+        for m in 6..=33 {
+            let (_, mu, rho, r) = crate::ratio::table2_row(m);
+            let cont = continuous_objective(m, rho);
+            assert!(
+                r >= cont - 5e-4,
+                "m = {m}: integral {r} vs continuous {cont}"
+            );
+            let _ = mu;
+        }
+    }
+
+    #[test]
+    fn m2_edge_case_has_c0_zero() {
+        let c = equation21_coeffs(2);
+        assert_eq!(c[0], 0.0); // (m-2) factor
+        // And indeed rho = 0 is optimal for m = 2 (Table 4).
+        let r = optimal_rho(2);
+        let v = continuous_objective(2, r);
+        assert!(v <= continuous_objective(2, 0.0) + 1e-9);
+        let _ = minmax::objective(2, 1, r.clamp(0.0, 1.0));
+    }
+}

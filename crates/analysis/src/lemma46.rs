@@ -1,0 +1,220 @@
+//! Lemma 4.6: if two C¹ functions on `[a, b]` satisfy
+//!
+//! * **Ω₁** — `f′(x)·g′(x) < 0` for all `x` (opposite strict monotonicity),
+//!   or
+//! * **Ω₂** — one of them is constant and the other strictly monotone,
+//!
+//! and `f(x) = g(x)` has a solution in `[a, b]`, then the crossing `x₀` is
+//! unique and minimizes `h(x) = max{f(x), g(x)}`.
+//!
+//! Section 4.1 applies this with `f = A(·)` and `g = B(·)` (the two vertex
+//! branches of the min–max program): for fixed `ρ`, `A` is increasing and
+//! `B` decreasing in `μ`, so the balanced `μ*` of Lemma 4.8 is exactly
+//! their crossing — the series behind Figs. 3 and 4.
+
+/// Numerically checks Ω₁ on a sample grid (central differences).
+pub fn omega1_holds<F, G>(f: F, g: G, a: f64, b: f64, samples: usize) -> bool
+where
+    F: Fn(f64) -> f64,
+    G: Fn(f64) -> f64,
+{
+    let h = (b - a) / (samples as f64 * 10.0);
+    (0..=samples).all(|i| {
+        let x = a + (b - a) * i as f64 / samples as f64;
+        let df = (f(x + h) - f(x - h)) / (2.0 * h);
+        let dg = (g(x + h) - g(x - h)) / (2.0 * h);
+        df * dg < 0.0
+    })
+}
+
+/// Numerically checks Ω₂ (one function constant, the other strictly
+/// monotone) on a sample grid.
+pub fn omega2_holds<F, G>(f: F, g: G, a: f64, b: f64, samples: usize) -> bool
+where
+    F: Fn(f64) -> f64,
+    G: Fn(f64) -> f64,
+{
+    let h = (b - a) / (samples as f64 * 10.0);
+    let tol = 1e-9;
+    let mut f_const = true;
+    let mut g_const = true;
+    let mut f_sign = 0i8;
+    let mut g_sign = 0i8;
+    let mut f_monotone = true;
+    let mut g_monotone = true;
+    for i in 0..=samples {
+        let x = a + (b - a) * i as f64 / samples as f64;
+        let df = (f(x + h) - f(x - h)) / (2.0 * h);
+        let dg = (g(x + h) - g(x - h)) / (2.0 * h);
+        if df.abs() > tol {
+            f_const = false;
+            let s = if df > 0.0 { 1 } else { -1 };
+            if f_sign == 0 {
+                f_sign = s;
+            } else if f_sign != s {
+                f_monotone = false;
+            }
+        }
+        if dg.abs() > tol {
+            g_const = false;
+            let s = if dg > 0.0 { 1 } else { -1 };
+            if g_sign == 0 {
+                g_sign = s;
+            } else if g_sign != s {
+                g_monotone = false;
+            }
+        }
+    }
+    (f_const && !g_const && g_monotone && g_sign != 0)
+        || (g_const && !f_const && f_monotone && f_sign != 0)
+}
+
+/// Finds the crossing of `f` and `g` in `[a, b]` by bisection on `f − g`.
+/// Returns `None` when `f − g` has the same sign at both ends.
+pub fn crossing<F, G>(f: F, g: G, a: f64, b: f64, tol: f64) -> Option<f64>
+where
+    F: Fn(f64) -> f64,
+    G: Fn(f64) -> f64,
+{
+    let d = |x: f64| f(x) - g(x);
+    let (mut lo, mut hi) = (a, b);
+    let mut dlo = d(lo);
+    if dlo == 0.0 {
+        return Some(lo);
+    }
+    let dhi = d(hi);
+    if dhi == 0.0 {
+        return Some(hi);
+    }
+    if dlo * dhi > 0.0 {
+        return None;
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if hi - lo <= tol {
+            return Some(mid);
+        }
+        let dm = d(mid);
+        if dm == 0.0 {
+            return Some(mid);
+        }
+        if dlo * dm < 0.0 {
+            hi = mid;
+        } else {
+            lo = mid;
+            dlo = dm;
+        }
+    }
+    Some(0.5 * (lo + hi))
+}
+
+/// Minimizes `h(x) = max{f, g}` on `[a, b]` by dense sampling plus local
+/// refinement. Used to *verify* Lemma 4.6 numerically rather than assume
+/// it.
+pub fn minimize_max<F, G>(f: F, g: G, a: f64, b: f64, samples: usize) -> (f64, f64)
+where
+    F: Fn(f64) -> f64,
+    G: Fn(f64) -> f64,
+{
+    let h = |x: f64| f(x).max(g(x));
+    let mut best = (a, h(a));
+    for i in 1..=samples {
+        let x = a + (b - a) * i as f64 / samples as f64;
+        let v = h(x);
+        if v < best.1 {
+            best = (x, v);
+        }
+    }
+    // Golden-section refinement around the best sample.
+    let step = (b - a) / samples as f64;
+    let (mut lo, mut hi) = ((best.0 - step).max(a), (best.0 + step).min(b));
+    let phi = (5f64.sqrt() - 1.0) / 2.0;
+    for _ in 0..100 {
+        let x1 = hi - phi * (hi - lo);
+        let x2 = lo + phi * (hi - lo);
+        if h(x1) < h(x2) {
+            hi = x2;
+        } else {
+            lo = x1;
+        }
+    }
+    let x = 0.5 * (lo + hi);
+    (x, h(x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minmax::{branch_a, branch_b};
+    use crate::ratio::mu_star;
+
+    #[test]
+    fn omega1_detects_opposite_slopes() {
+        assert!(omega1_holds(|x| x, |x| -x, 0.0, 1.0, 50));
+        assert!(!omega1_holds(|x| x, |x| 2.0 * x, 0.0, 1.0, 50));
+        assert!(!omega1_holds(|x| x * x - x, |x| -x, 0.0, 1.0, 50)); // f not monotone
+    }
+
+    #[test]
+    fn omega2_detects_flat_vs_monotone() {
+        assert!(omega2_holds(|_| 1.0, |x| x, 0.0, 1.0, 50));
+        assert!(omega2_holds(|x| -x, |_| 0.3, 0.0, 1.0, 50));
+        assert!(!omega2_holds(|_| 1.0, |_| 2.0, 0.0, 1.0, 50));
+        assert!(!omega2_holds(|x| x, |x| -x, 0.0, 1.0, 50));
+    }
+
+    #[test]
+    fn crossing_bisection() {
+        let x0 = crossing(|x| x, |x| 1.0 - x, 0.0, 1.0, 1e-12).unwrap();
+        assert!((x0 - 0.5).abs() < 1e-9);
+        assert!(crossing(|x| x + 2.0, |x| x, 0.0, 1.0, 1e-12).is_none());
+    }
+
+    #[test]
+    fn lemma_4_6_on_linear_pair() {
+        // f decreasing, g increasing (Omega1): crossing minimizes the max.
+        let f = |x: f64| 3.0 - 2.0 * x;
+        let g = |x: f64| 1.0 + x;
+        assert!(omega1_holds(f, g, 0.0, 1.0, 64));
+        let x0 = crossing(f, g, 0.0, 1.0, 1e-12).unwrap();
+        let (xmin, _) = minimize_max(f, g, 0.0, 1.0, 1000);
+        assert!((x0 - xmin).abs() < 1e-3, "crossing {x0} vs argmin {xmin}");
+    }
+
+    #[test]
+    fn branches_a_b_satisfy_omega1_in_mu_and_cross_at_mu_star() {
+        // Continuous-mu versions of the two branches at fixed rho.
+        let m = 40usize;
+        let rho = 0.26;
+        let mf = m as f64;
+        let a_of = move |mu: f64| {
+            (2.0 * mf / (2.0 - rho) + (mf - mu) * 2.0 / (1.0 + rho)) / (mf - mu + 1.0)
+        };
+        let b_of = move |mu: f64| {
+            let q: f64 = (mu / mf).min((1.0 + rho) / 2.0);
+            (2.0 * mf / (2.0 - rho) + (mf - 2.0 * mu + 1.0) / q) / (mf - mu + 1.0)
+        };
+        // On a mu interval inside (1, (m+1)/2), A increases and B decreases.
+        assert!(omega1_holds(a_of, b_of, 2.0, 20.0, 64));
+        let x0 = crossing(a_of, b_of, 2.0, 20.0, 1e-10).unwrap();
+        let expect = mu_star(m, rho);
+        assert!(
+            (x0 - expect).abs() < 1e-6,
+            "crossing {x0} vs Lemma 4.8 mu* {expect}"
+        );
+        // Lemma 4.6 conclusion: the crossing minimizes max{A, B}.
+        let (xmin, _) = minimize_max(a_of, b_of, 2.0, 20.0, 4000);
+        assert!((x0 - xmin).abs() < 1e-2);
+        // Consistency with the integer-mu objective: the best integer mu is
+        // a neighbor of the crossing.
+        let best_int = (2..=20)
+            .min_by(|&p, &q| {
+                branch_a(m, p, rho)
+                    .max(branch_b(m, p, rho))
+                    .partial_cmp(&branch_a(m, q, rho).max(branch_b(m, q, rho)))
+                    .unwrap()
+            })
+            .unwrap();
+        assert!((best_int as f64 - x0).abs() <= 1.0 + 1e-9);
+    }
+}

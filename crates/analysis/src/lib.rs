@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+//! # mtsp-analysis — numerical analysis of the Jansen–Zhang bounds
+//!
+//! Executable forms of Section 4 of *Scheduling malleable tasks with
+//! precedence constraints* (SPAA 2005 / JCSS 2012):
+//!
+//! * [`minmax`] — the min–max nonlinear program (17)/(18): the inner
+//!   maximum over normalized slot lengths `(x₁, x₂)` evaluated exactly by
+//!   vertex enumeration, and the two branch functions `A(μ, ρ)`, `B(μ, ρ)`;
+//! * [`ratio`] — parameter selection `ρ̂* = 0.26`, `μ̂*(m)` (Eq. 19/20),
+//!   the closed-form bounds of Lemma 4.7 / Lemma 4.9 / Theorem 4.1 /
+//!   Corollary 4.1, and the Table 2 rows;
+//! * [`ltw`] — the Lepère–Trystram–Woeginger comparison bounds (Table 3);
+//! * [`grid`] — the paper's numerical grid search `δρ = 10⁻⁴` over the
+//!   min–max program (Table 4), parallelized with crossbeam;
+//! * [`poly`] + [`asymptotic`] — polynomial root isolation for the
+//!   degree-6 asymptotics of Section 4.3 (`ρ* ≈ 0.261917`,
+//!   `μ*/m → 0.325907`, `r → 3.291913`) and equation (21) for finite `m`;
+//! * [`lemma46`] — the Ω₁/Ω₂ crossing machinery of Lemma 4.6 behind
+//!   Figs. 3–4.
+
+pub mod asymptotic;
+pub mod grid;
+pub mod lemma46;
+pub mod ltw;
+pub mod minmax;
+pub mod poly;
+pub mod ratio;
+
+pub use grid::{grid_search, GridResult};
+pub use minmax::{branch_a, branch_b, objective};
+pub use ratio::{corollary_4_1_constant, our_params, table2_row, theorem_4_1_bound, Params};

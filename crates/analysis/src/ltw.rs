@@ -1,0 +1,136 @@
+//! The Lepère–Trystram–Woeginger (IJFCS 2002, reference \[18\]) comparison
+//! bounds — Table 3 of the paper.
+//!
+//! Their two-phase algorithm (time–cost-tradeoff allotment with ρ = 1/2
+//! rounding, list scheduling with cap μ) has, for a machine of `m`
+//! processors, the bound
+//!
+//! ```text
+//!   r_LTW(m) = min_{1 ≤ μ ≤ m} max{ 2m/μ,  2(2m − μ)/(m − μ + 1) }
+//! ```
+//!
+//! The first term is the work/capping loss (their phase-1 guarantee loses a
+//! factor 2 on the critical path which the `m/μ` stretch of capped tasks
+//! multiplies), the second the area/path mix of the list-scheduling
+//! analysis. As `m → ∞` the optimal `μ/m → (3 − √5)/2` and the bound tends
+//! to `3 + √5 ≈ 5.236` — the constant quoted in the paper's introduction.
+
+/// The inner maximum for a concrete `(m, μ)`.
+pub fn ltw_objective(m: usize, mu: usize) -> f64 {
+    assert!(m >= 1 && mu >= 1 && mu <= m, "need 1 <= mu <= m");
+    let (mf, muf) = (m as f64, mu as f64);
+    (2.0 * mf / muf).max(2.0 * (2.0 * mf - muf) / (mf - muf + 1.0))
+}
+
+/// One row of Table 3: the minimizing `μ(m)` and bound `r(m)`.
+///
+/// Ties are broken toward smaller `μ` (matching the paper's table).
+pub fn table3_row(m: usize) -> (usize, f64) {
+    let mut best = (1usize, ltw_objective(m, 1));
+    for mu in 2..=m {
+        let v = ltw_objective(m, mu);
+        if v < best.1 - 1e-12 {
+            best = (mu, v);
+        }
+    }
+    best
+}
+
+/// The asymptotic LTW constant `3 + √5 ≈ 5.2360679…`.
+pub fn ltw_asymptotic_constant() -> f64 {
+    3.0 + 5f64.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table 3 of the paper, rows (m, mu, r) for m = 2..=33.
+    const TABLE3: [(usize, usize, f64); 32] = [
+        (2, 1, 4.0000),
+        (3, 2, 4.0000),
+        (4, 2, 4.0000),
+        (5, 3, 4.6667),
+        (6, 3, 4.5000),
+        (7, 3, 4.6667),
+        (8, 4, 4.8000),
+        (9, 4, 4.6667),
+        (10, 4, 5.0000),
+        (11, 5, 4.8570),
+        (12, 5, 4.8000),
+        (13, 6, 5.0000),
+        (14, 6, 4.8889),
+        (15, 6, 5.0000),
+        (16, 7, 5.0000),
+        (17, 7, 4.9091),
+        (18, 8, 5.0908),
+        (19, 8, 5.0000),
+        (20, 8, 5.0000),
+        (21, 9, 5.0768),
+        (22, 9, 5.0000),
+        (23, 9, 5.1111),
+        (24, 10, 5.0667),
+        (25, 10, 5.0000),
+        (26, 10, 5.1250),
+        (27, 11, 5.0588),
+        (28, 11, 5.0908),
+        (29, 12, 5.1111),
+        (30, 12, 5.0526),
+        (31, 13, 5.1578),
+        (32, 13, 5.1000),
+        (33, 13, 5.0768),
+    ];
+
+    #[test]
+    fn table3_values_reproduced() {
+        for &(m, mu_paper, r_paper) in &TABLE3 {
+            let (mu, r) = table3_row(m);
+            assert!(
+                (r - r_paper).abs() < 2e-4,
+                "m = {m}: computed r {r}, paper {r_paper}"
+            );
+            // The minimizing mu may tie; accept any mu achieving the value.
+            // Known typo in the paper: the m = 26 row prints mu = 10, but
+            // its r = 5.1250 is attained at mu = 11 (mu = 10 gives 5.2).
+            if m != 26 {
+                let r_at_paper_mu = ltw_objective(m, mu_paper);
+                assert!(
+                    (r_at_paper_mu - r_paper).abs() < 2e-4,
+                    "m = {m}: paper's mu {mu_paper} gives {r_at_paper_mu}, table says {r_paper}"
+                );
+            } else {
+                assert_eq!(mu, 11, "m = 26 minimizer");
+            }
+        }
+    }
+
+    #[test]
+    fn asymptotics() {
+        let c = ltw_asymptotic_constant();
+        assert!((c - 5.23607).abs() < 1e-5);
+        let (_, r) = table3_row(100_000);
+        assert!((r - c).abs() < 1e-3, "r(100000) = {r}");
+        // Optimal fraction tends to (3 - sqrt 5)/2.
+        let (mu, _) = table3_row(100_000);
+        assert!((mu as f64 / 1e5 - (3.0 - 5f64.sqrt()) / 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn ours_beats_ltw_everywhere() {
+        // The headline claim: visible improvement for every m (Table 2 vs 3).
+        for m in 2..=33 {
+            let (_, _, _, ours) = crate::ratio::table2_row(m);
+            let (_, theirs) = table3_row(m);
+            assert!(
+                ours < theirs - 0.5,
+                "m = {m}: ours {ours} not clearly below LTW {theirs}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "need 1 <= mu <= m")]
+    fn rejects_bad_mu() {
+        ltw_objective(4, 0);
+    }
+}

@@ -1,0 +1,129 @@
+//! The min–max nonlinear program of Lemma 4.5 (Eq. 17/18).
+//!
+//! For fixed machine size `m`, allotment cap `μ` and rounding parameter
+//! `ρ`, the approximation ratio of the two-phase algorithm is bounded by
+//! the *inner maximum*
+//!
+//! ```text
+//!   max_{x1,x2 ≥ 0}  [2m/(2−ρ) + (m−μ)x₁ + (m−2μ+1)x₂] / (m−μ+1)
+//!   s.t. (1+ρ)x₁/2 + min{μ/m, (1+ρ)/2}·x₂ ≤ 1
+//! ```
+//!
+//! where `x₁ = |T₁|/C*max` and `x₂ = |T₂|/C*max` are the normalized lengths
+//! of the low-utilization and medium-utilization time-slot classes
+//! (Lemmas 4.3/4.4). The feasible region is a triangle, so the maximum sits
+//! at one of its three vertices; [`objective`] evaluates all of them.
+
+/// Value of the objective at the vertex `x₁ = x₂ = 0`.
+fn vertex0(m: f64, mu: f64, rho: f64) -> f64 {
+    (2.0 * m / (2.0 - rho)) / (m - mu + 1.0)
+}
+
+/// Branch `A(μ, ρ)`: the vertex `x₁ = 2/(1+ρ)`, `x₂ = 0` — all slack time
+/// is of the first type. This is the `A` function of Section 4.3.
+pub fn branch_a(m: usize, mu: usize, rho: f64) -> f64 {
+    let (m, mu) = (m as f64, mu as f64);
+    (2.0 * m / (2.0 - rho) + (m - mu) * 2.0 / (1.0 + rho)) / (m - mu + 1.0)
+}
+
+/// Branch `B(μ, ρ)`: the vertex `x₁ = 0`, `x₂ = 1/min{μ/m, (1+ρ)/2}` — all
+/// slack time is of the second type. This is the `B` function of
+/// Section 4.3 (with `q = μ/m` in the `ρ > 2μ/m − 1` regime).
+pub fn branch_b(m: usize, mu: usize, rho: f64) -> f64 {
+    let (mf, muf) = (m as f64, mu as f64);
+    let q = (muf / mf).min((1.0 + rho) / 2.0);
+    (2.0 * mf / (2.0 - rho) + (mf - 2.0 * muf + 1.0) / q) / (mf - muf + 1.0)
+}
+
+/// The inner maximum of program (17): the ratio bound of the algorithm run
+/// with parameters `(μ, ρ)` on `m` processors.
+///
+/// # Panics
+/// Panics if `μ ∉ 1..=m` or `ρ ∉ [0, 1]`.
+pub fn objective(m: usize, mu: usize, rho: f64) -> f64 {
+    assert!(m >= 1, "m must be at least 1");
+    assert!(mu >= 1 && mu <= m, "mu must lie in 1..=m");
+    assert!((0.0..=1.0).contains(&rho), "rho must lie in [0, 1]");
+    vertex0(m as f64, mu as f64, rho)
+        .max(branch_a(m, mu, rho))
+        .max(branch_b(m, mu, rho))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_spot_values() {
+        // Rows of Table 2 are objective(m, mu, rho) values.
+        assert!((objective(2, 1, 0.0) - 2.0).abs() < 1e-9);
+        assert!((objective(4, 2, 0.0) - 8.0 / 3.0).abs() < 1e-9);
+        assert!((objective(6, 3, 0.26) - 2.9146).abs() < 5e-5);
+        assert!((objective(10, 4, 0.26) - 3.0026).abs() < 5e-5);
+        assert!((objective(24, 8, 0.26) - 3.2110).abs() < 5e-5);
+        assert!((objective(33, 11, 0.26) - 3.2144).abs() < 5e-5);
+    }
+
+    #[test]
+    fn m3_closed_form() {
+        // 2(2+sqrt 3)/3 at (mu, rho) = (2, 0.098) -- Lemma 4.7 / Table 2.
+        let expect = 2.0 * (2.0 + 3f64.sqrt()) / 3.0;
+        assert!((objective(3, 2, 0.098) - expect).abs() < 2e-4);
+    }
+
+    #[test]
+    fn branches_meet_at_balanced_mu() {
+        // Lemma 4.8's mu*(rho) equates A and B (continuous mu); at integral
+        // mu near mu* the two branches are close.
+        let m = 1000;
+        let rho = 0.26;
+        let mu_star = ((2.0 + rho) * m as f64
+            - ((rho * rho + 2.0 * rho + 2.0) * (m * m) as f64 - 2.0 * (1.0 + rho) * m as f64)
+                .sqrt())
+            / 2.0;
+        let mu = mu_star.round() as usize;
+        let a = branch_a(m, mu, rho);
+        let b = branch_b(m, mu, rho);
+        assert!((a - b).abs() < 0.01, "A = {a}, B = {b}");
+    }
+
+    #[test]
+    fn objective_dominates_branches() {
+        for m in [2usize, 5, 9, 16, 33] {
+            for mu in 1..=m.div_ceil(2) {
+                for rho10 in 0..=10 {
+                    let rho = rho10 as f64 / 10.0;
+                    let obj = objective(m, mu, rho);
+                    assert!(obj >= branch_a(m, mu, rho) - 1e-12);
+                    assert!(obj >= branch_b(m, mu, rho) - 1e-12);
+                    assert!(obj >= 1.0, "ratio bound below 1 is impossible");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn q_switches_between_regimes() {
+        // For rho <= 2mu/m - 1 the constraint coefficient is (1+rho)/2.
+        // m=4, mu=2, rho=0: q = min(0.5, 0.5) -> both branches equal form.
+        let b = branch_b(4, 2, 0.0);
+        // [8/2 + 1 * 1/0.5] / 3 = [4+2]/3 = 2
+        assert!((b - 2.0).abs() < 1e-12);
+        // m=10, mu=2, rho=0.9: q = min(0.2, 0.95) = 0.2.
+        let b = branch_b(10, 2, 0.9);
+        let expect = (20.0 / 1.1 + 7.0 * 5.0) / 9.0;
+        assert!((b - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "mu must lie in 1..=m")]
+    fn mu_out_of_range_panics() {
+        objective(4, 5, 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "rho must lie in [0, 1]")]
+    fn rho_out_of_range_panics() {
+        objective(4, 2, 1.2);
+    }
+}

@@ -1,0 +1,208 @@
+//! Small polynomial toolkit: Horner evaluation, differentiation and robust
+//! real-root isolation on an interval (sign scan + bisection), sufficient
+//! for the degree-6 asymptotics of Section 4.3.
+
+/// A univariate polynomial with coefficients in ascending degree order
+/// (`coeffs[i]` multiplies `x^i`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polynomial {
+    coeffs: Vec<f64>,
+}
+
+impl Polynomial {
+    /// Builds from ascending coefficients, trimming trailing zeros.
+    pub fn new(mut coeffs: Vec<f64>) -> Self {
+        while coeffs.len() > 1 && coeffs.last() == Some(&0.0) {
+            coeffs.pop();
+        }
+        if coeffs.is_empty() {
+            coeffs.push(0.0);
+        }
+        Polynomial { coeffs }
+    }
+
+    /// Degree (0 for constants, including the zero polynomial).
+    pub fn degree(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    /// Coefficients in ascending order.
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Evaluation by Horner's rule.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+    }
+
+    /// Formal derivative.
+    pub fn derivative(&self) -> Polynomial {
+        if self.coeffs.len() <= 1 {
+            return Polynomial::new(vec![0.0]);
+        }
+        Polynomial::new(
+            self.coeffs
+                .iter()
+                .enumerate()
+                .skip(1)
+                .map(|(i, &c)| i as f64 * c)
+                .collect(),
+        )
+    }
+
+    /// All real roots in `[a, b]`, found by scanning `samples` subintervals
+    /// for sign changes and bisecting each bracket to absolute tolerance
+    /// `tol`. Roots of even multiplicity that do not produce a sign change
+    /// are *not* found (adequate for the simple roots arising here).
+    pub fn roots_in(&self, a: f64, b: f64, samples: usize, tol: f64) -> Vec<f64> {
+        assert!(a < b, "empty interval");
+        assert!(samples >= 1, "need at least one sample interval");
+        let mut roots = Vec::new();
+        let step = (b - a) / samples as f64;
+        let mut x0 = a;
+        let mut f0 = self.eval(x0);
+        for i in 1..=samples {
+            let x1 = if i == samples { b } else { a + step * i as f64 };
+            let f1 = self.eval(x1);
+            if f0 == 0.0 {
+                push_unique(&mut roots, x0, tol);
+            } else if f0 * f1 < 0.0 {
+                push_unique(&mut roots, self.bisect(x0, x1, tol), tol);
+            }
+            x0 = x1;
+            f0 = f1;
+        }
+        if f0 == 0.0 {
+            push_unique(&mut roots, x0, tol);
+        }
+        roots
+    }
+
+    /// Bisection on a sign-change bracket.
+    fn bisect(&self, mut lo: f64, mut hi: f64, tol: f64) -> f64 {
+        let mut flo = self.eval(lo);
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if hi - lo <= tol {
+                return mid;
+            }
+            let fmid = self.eval(mid);
+            if fmid == 0.0 {
+                return mid;
+            }
+            if flo * fmid < 0.0 {
+                hi = mid;
+            } else {
+                lo = mid;
+                flo = fmid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+
+    /// One Newton refinement pass from `x0` (falls back to `x0` when the
+    /// derivative vanishes); improves bisection roots to near machine
+    /// precision.
+    pub fn newton_refine(&self, x0: f64, iterations: usize) -> f64 {
+        let d = self.derivative();
+        let mut x = x0;
+        for _ in 0..iterations {
+            let fx = self.eval(x);
+            let dx = d.eval(x);
+            if dx.abs() < 1e-300 {
+                break;
+            }
+            let next = x - fx / dx;
+            if !next.is_finite() {
+                break;
+            }
+            if (next - x).abs() <= 1e-15 * (1.0 + x.abs()) {
+                return next;
+            }
+            x = next;
+        }
+        x
+    }
+}
+
+fn push_unique(roots: &mut Vec<f64>, r: f64, tol: f64) {
+    if roots.iter().all(|&x| (x - r).abs() > 10.0 * tol) {
+        roots.push(r);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_and_degree() {
+        let p = Polynomial::new(vec![1.0, -3.0, 2.0]); // 2x^2 - 3x + 1
+        assert_eq!(p.degree(), 2);
+        assert_eq!(p.eval(0.0), 1.0);
+        assert_eq!(p.eval(1.0), 0.0);
+        assert_eq!(p.eval(0.5), 0.0);
+        assert_eq!(p.eval(2.0), 3.0);
+    }
+
+    #[test]
+    fn trailing_zeros_trimmed() {
+        let p = Polynomial::new(vec![1.0, 2.0, 0.0, 0.0]);
+        assert_eq!(p.degree(), 1);
+        let z = Polynomial::new(vec![]);
+        assert_eq!(z.degree(), 0);
+        assert_eq!(z.eval(3.0), 0.0);
+    }
+
+    #[test]
+    fn derivative_rules() {
+        let p = Polynomial::new(vec![5.0, 1.0, -3.0, 2.0]); // 2x^3-3x^2+x+5
+        let d = p.derivative(); // 6x^2-6x+1
+        assert_eq!(d.coeffs(), &[1.0, -6.0, 6.0]);
+        let c = Polynomial::new(vec![42.0]);
+        assert_eq!(c.derivative().coeffs(), &[0.0]);
+    }
+
+    #[test]
+    fn quadratic_roots() {
+        let p = Polynomial::new(vec![1.0, -3.0, 2.0]); // roots 0.5, 1
+        let roots = p.roots_in(0.0, 2.0, 1000, 1e-12);
+        assert_eq!(roots.len(), 2);
+        assert!((roots[0] - 0.5).abs() < 1e-9);
+        assert!((roots[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn roots_at_endpoints() {
+        let p = Polynomial::new(vec![0.0, 1.0]); // x
+        let roots = p.roots_in(0.0, 1.0, 16, 1e-12);
+        assert_eq!(roots.len(), 1);
+        assert!(roots[0].abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_roots_when_positive() {
+        let p = Polynomial::new(vec![1.0, 0.0, 1.0]); // x^2+1
+        assert!(p.roots_in(-10.0, 10.0, 1000, 1e-12).is_empty());
+    }
+
+    #[test]
+    fn newton_refines_bisection_root() {
+        let p = Polynomial::new(vec![-2.0, 0.0, 1.0]); // x^2 - 2
+        let rough = p.roots_in(0.0, 2.0, 8, 1e-4)[0];
+        let fine = p.newton_refine(rough, 50);
+        assert!((fine - 2f64.sqrt()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn cubic_with_three_roots() {
+        // (x+1)x(x-1) = x^3 - x
+        let p = Polynomial::new(vec![0.0, -1.0, 0.0, 1.0]);
+        let roots = p.roots_in(-2.0, 2.0, 4000, 1e-12);
+        assert_eq!(roots.len(), 3);
+        assert!((roots[0] + 1.0).abs() < 1e-9);
+        assert!(roots[1].abs() < 1e-9);
+        assert!((roots[2] - 1.0).abs() < 1e-9);
+    }
+}

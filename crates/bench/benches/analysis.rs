@@ -1,0 +1,30 @@
+//! Analysis toolkit performance: full table regenerations (the artifacts
+//! of Tables 2-4) and the asymptotic root isolation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mtsp_analysis::{asymptotic, grid, ltw, ratio};
+
+fn bench_tables(c: &mut Criterion) {
+    c.bench_function("table2_full", |b| {
+        b.iter(|| (2..=33).map(ratio::table2_row).collect::<Vec<_>>())
+    });
+    c.bench_function("table3_full", |b| {
+        b.iter(|| (2..=33).map(ltw::table3_row).collect::<Vec<_>>())
+    });
+    let mut g = c.benchmark_group("table4");
+    g.sample_size(10);
+    g.bench_function("grid_m33_serial", |b| {
+        b.iter(|| grid::grid_search(33, 10_000, 1))
+    });
+    g.bench_function("grid_m33_parallel4", |b| {
+        b.iter(|| grid::grid_search(33, 10_000, 4))
+    });
+    g.finish();
+    c.bench_function("asymptotic_rho_root", |b| b.iter(asymptotic::asymptotic_rho));
+    c.bench_function("equation21_optimal_rho_m33", |b| {
+        b.iter(|| asymptotic::optimal_rho(33))
+    });
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! DAG substrate performance: generators, topological order, critical
+//! paths and transitive reduction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mtsp_dag::{generate, paths, topo};
+
+fn bench_dag(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generators");
+    for &n in &[100usize, 1000] {
+        g.bench_with_input(BenchmarkId::new("layered_random", n), &n, |b, &n| {
+            b.iter(|| generate::layered_random(n / 10, (5, 15), 0.3, 42))
+        });
+        g.bench_with_input(BenchmarkId::new("series_parallel", n), &n, |b, &n| {
+            b.iter(|| generate::series_parallel(n, 42))
+        });
+    }
+    g.bench_function("cholesky_b12", |b| b.iter(|| generate::cholesky(12)));
+    g.finish();
+
+    let big = generate::layered_random(60, (10, 30), 0.25, 3);
+    let w: Vec<f64> = (0..big.node_count()).map(|v| 1.0 + (v % 7) as f64).collect();
+    c.bench_function("topological_order_n1k", |b| {
+        b.iter(|| topo::topological_order(&big).unwrap())
+    });
+    c.bench_function("critical_path_n1k", |b| {
+        b.iter(|| paths::critical_path(&big, &w))
+    });
+    let small = generate::layered_random(12, (4, 8), 0.4, 5);
+    c.bench_function("transitive_reduction_n70", |b| {
+        b.iter(|| small.transitive_reduction())
+    });
+    c.bench_function("dilworth_width_n70", |b| {
+        b.iter(|| mtsp_dag::antichain::width(&small))
+    });
+}
+
+criterion_group!(benches, bench_dag);
+criterion_main!(benches);

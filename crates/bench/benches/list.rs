@@ -1,0 +1,24 @@
+//! Phase-2 LIST scheduler throughput on large task graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mtsp_core::{list_schedule, Priority};
+use mtsp_model::generate::{random_instance, CurveFamily, DagFamily};
+
+fn bench_list(c: &mut Criterion) {
+    let mut g = c.benchmark_group("list_schedule");
+    for &(n, m) in &[(200usize, 16usize), (1000, 32), (2000, 64)] {
+        let ins = random_instance(DagFamily::Layered, CurveFamily::PowerLaw, n, m, 11);
+        let alloc: Vec<usize> = (0..ins.n()).map(|j| 1 + j % (m / 2)).collect();
+        for prio in [Priority::TaskId, Priority::BottomLevel] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("{prio:?}"), format!("n{}_m{m}", ins.n())),
+                &(&ins, &alloc),
+                |b, (ins, alloc)| b.iter(|| list_schedule(ins, alloc, prio)),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_list);
+criterion_main!(benches);

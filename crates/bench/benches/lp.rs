@@ -1,0 +1,57 @@
+//! LP substrate performance: revised simplex vs the reference tableau on
+//! allotment LPs of growing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mtsp_core::allotment::{solve_allotment, solve_allotment_direct};
+use mtsp_lp::SolverOptions;
+use mtsp_model::generate::{random_instance, CurveFamily, DagFamily};
+
+fn bench_allotment_lp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allotment_lp");
+    g.sample_size(10);
+    for &(n, m) in &[(20usize, 8usize), (50, 16), (100, 16), (100, 32)] {
+        let ins = random_instance(DagFamily::Layered, CurveFamily::Mixed, n, m, 42);
+        g.bench_with_input(
+            BenchmarkId::new("crashing_form", format!("n{n}_m{m}")),
+            &ins,
+            |b, ins| b.iter(|| solve_allotment(ins, &SolverOptions::default()).unwrap()),
+        );
+        if n <= 50 {
+            g.bench_with_input(
+                BenchmarkId::new("direct_form", format!("n{n}_m{m}")),
+                &ins,
+                |b, ins| b.iter(|| solve_allotment_direct(ins, &SolverOptions::default()).unwrap()),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_presolve(c: &mut Criterion) {
+    use mtsp_lp::{solve_presolved, Lp, Relation};
+    // A bound-heavy LP where presolve strips many singleton rows.
+    let build = || {
+        let mut lp = Lp::minimize();
+        let vars: Vec<_> = (0..120)
+            .map(|i| lp.add_var(0.0, 10.0, ((i % 7) as f64) - 3.0))
+            .collect();
+        for (i, &v) in vars.iter().enumerate() {
+            lp.add_row(&[(v, 1.0)], Relation::Le, 5.0 + (i % 3) as f64);
+        }
+        for w in vars.windows(4).step_by(3) {
+            let coeffs: Vec<_> = w.iter().map(|&v| (v, 1.0)).collect();
+            lp.add_row(&coeffs, Relation::Le, 12.0);
+        }
+        lp
+    };
+    let lp = build();
+    let mut g = c.benchmark_group("presolve");
+    g.bench_function("raw_solve", |b| b.iter(|| lp.solve().unwrap()));
+    g.bench_function("presolved_solve", |b| {
+        b.iter(|| solve_presolved(&lp, &SolverOptions::default()).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_allotment_lp, bench_presolve);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! End-to-end two-phase algorithm across workload families and sizes —
+//! the wall-clock companion of the empirical quality study (E1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mtsp_core::two_phase::schedule_jz;
+use mtsp_model::generate::{random_instance, CurveFamily, DagFamily};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("two_phase");
+    g.sample_size(10);
+    for df in [DagFamily::Layered, DagFamily::Cholesky, DagFamily::Wavefront] {
+        for &(n, m) in &[(30usize, 8usize), (60, 16)] {
+            let ins = random_instance(df, CurveFamily::Mixed, n, m, 7);
+            g.bench_with_input(
+                BenchmarkId::new(format!("{df:?}"), format!("n{}_m{m}", ins.n())),
+                &ins,
+                |b, ins| b.iter(|| schedule_jz(ins).unwrap()),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_improve);
+criterion_main!(benches);
+
+// Appended: local-search post-pass cost (E5's wall-clock side).
+fn bench_improve(c: &mut Criterion) {
+    use mtsp_core::improve::{improve_allotment, ImproveOptions};
+    let mut g = c.benchmark_group("improve");
+    g.sample_size(10);
+    let ins = random_instance(DagFamily::Cholesky, CurveFamily::Mixed, 40, 16, 3);
+    let rep = schedule_jz(&ins).unwrap();
+    g.bench_function("local_search_n40_m16", |b| {
+        b.iter(|| improve_allotment(&ins, &rep.alloc, &ImproveOptions::default()))
+    });
+    g.finish();
+}

@@ -1,0 +1,45 @@
+//! Simulator performance: static execution with processor booking and the
+//! online noisy replay.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mtsp_core::{list_schedule, Priority};
+use mtsp_model::generate::{random_instance, CurveFamily, DagFamily};
+use mtsp_sim::{execute, execute_online, NoiseModel};
+
+fn bench_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    for &(n, m) in &[(200usize, 16usize), (1000, 32)] {
+        let ins = random_instance(DagFamily::Layered, CurveFamily::Mixed, n, m, 13);
+        let alloc: Vec<usize> = (0..ins.n()).map(|j| 1 + j % 3).collect();
+        let schedule = list_schedule(&ins, &alloc, Priority::TaskId);
+        g.bench_with_input(
+            BenchmarkId::new("static_execute", format!("n{}_m{m}", ins.n())),
+            &(&ins, &schedule),
+            |b, (ins, s)| b.iter(|| execute(ins, s).unwrap()),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("contiguous_list", format!("n{}_m{m}", ins.n())),
+            &(&ins, &alloc),
+            |b, (ins, alloc)| b.iter(|| mtsp_sim::list_schedule_contiguous(ins, alloc)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("online_noisy", format!("n{}_m{m}", ins.n())),
+            &(&ins, &alloc),
+            |b, (ins, alloc)| {
+                b.iter(|| {
+                    execute_online(
+                        ins,
+                        alloc,
+                        Priority::TaskId,
+                        NoiseModel::Uniform { epsilon: 0.1 },
+                        5,
+                    )
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Section 4.3 numbers: the degree-6 asymptotic polynomial and its root
+//! ρ* = 0.261917, the limit fraction μ*/m = 0.325907, the asymptotic
+//! ratio 3.291913, and the finite-m equation (21) optima.
+//!
+//! `cargo run --release -p mtsp-bench --bin asymptotics`
+
+use mtsp_analysis::asymptotic::{
+    asymptotic_objective, asymptotic_polynomial, asymptotic_rho, continuous_objective,
+    equation21_coeffs, mu_fraction, optimal_rho,
+};
+use mtsp_analysis::ratio::corollary_4_1_constant;
+use mtsp_bench::Table;
+
+fn main() {
+    let p = asymptotic_polynomial();
+    println!("asymptotic polynomial: rho^6 + 6rho^5 + 3rho^4 + 14rho^3 + 21rho^2 + 24rho - 8");
+    let roots = p.roots_in(-1.0, 1.0, 8192, 1e-12);
+    println!("real roots in (-1, 1): {roots:?}");
+    let rho = asymptotic_rho();
+    println!("rho*      = {rho:.6} (paper: 0.261917)");
+    println!("mu*/m ->  = {:.6} (paper: 0.325907)", mu_fraction(rho));
+    println!("r     ->  = {:.6} (paper: 3.291913)", asymptotic_objective(rho));
+    println!(
+        "fixed rho-hat = 0.26 gives r -> {:.6} = Corollary 4.1 constant {:.6}",
+        asymptotic_objective(0.26),
+        corollary_4_1_constant()
+    );
+    println!();
+    println!("finite-m optima of equation (21) (continuous mu):");
+    let mut t = Table::new(vec!["m", "rho*(m)", "r_cont(m)", "r_cont at 0.26", "c0"]);
+    for m in [6usize, 10, 16, 24, 33, 64, 128, 1024] {
+        let r = optimal_rho(m);
+        t.row(vec![
+            m.to_string(),
+            format!("{r:.6}"),
+            format!("{:.6}", continuous_objective(m, r)),
+            format!("{:.6}", continuous_objective(m, 0.26)),
+            format!("{:.0}", equation21_coeffs(m)[0]),
+        ]);
+    }
+    print!("{}", t.render());
+}

@@ -1,0 +1,65 @@
+//! Experiment E6 (extension, motivated by the paper's related work on
+//! contiguous processor allocation): how often the two-phase algorithm's
+//! schedules — feasible by processor *count* — can also be realized with
+//! *contiguous* processor blocks, and the fragmentation failure modes.
+//!
+//! `cargo run --release -p mtsp-bench --bin contiguity`
+
+use mtsp_bench::{Table, EMPIRICAL_MS};
+use mtsp_core::two_phase::schedule_jz;
+use mtsp_model::generate::{random_instance, CurveFamily, DagFamily};
+use mtsp_sim::{execute, execute_contiguous, list_schedule_contiguous, SimError};
+
+fn main() {
+    let reps = 10u64;
+    let mut t = Table::new(vec![
+        "dag family",
+        "m",
+        "count-feasible",
+        "contiguous-ok",
+        "fragmented",
+        "contig price",
+    ]);
+    for df in [DagFamily::Layered, DagFamily::Cholesky, DagFamily::Wavefront] {
+        for &m in &EMPIRICAL_MS {
+            let mut ok = 0usize;
+            let mut frag = 0usize;
+            let mut price = 0.0f64;
+            for seed in 0..reps {
+                let ins = random_instance(df, CurveFamily::Mixed, 40, m, seed);
+                let rep = schedule_jz(&ins).expect("schedules");
+                execute(&ins, &rep.schedule).expect("count-based execution holds");
+                match execute_contiguous(&ins, &rep.schedule) {
+                    Ok(_) => ok += 1,
+                    Err(SimError::FragmentationViolation { .. }) => frag += 1,
+                    Err(other) => panic!("unexpected: {other}"),
+                }
+                // The honest fix: reschedule with the contiguity-aware list
+                // policy and measure the makespan inflation.
+                let contig = list_schedule_contiguous(&ins, &rep.alloc);
+                price += contig.schedule.makespan() / rep.schedule.makespan();
+            }
+            t.row(vec![
+                format!("{df:?}"),
+                m.to_string(),
+                format!("{reps}/{reps}"),
+                format!("{ok}/{reps}"),
+                format!("{frag}/{reps}"),
+                format!("{:+.1}%", 100.0 * (price / reps as f64 - 1.0)),
+            ]);
+        }
+    }
+    print!("{}", t.render());
+    println!();
+    println!("count-feasibility is the model of the paper; the contiguous column");
+    println!("shows how far those schedules are from the stricter discipline of");
+    println!("partitionable machines (the Jansen-Thole line of work). Measured");
+    println!("result: naive first-fit placement of count-based schedules fragments");
+    println!("on most workloads, i.e. contiguity is a genuinely harder requirement");
+    println!("-- consistent with that literature treating it as a separate problem");
+    println!("with its own (3/2+eps) algorithms rather than a post-processing step.");
+    println!("'contig price' is the honest comparison: the same allotment run under");
+    println!("a contiguity-aware list policy (mtsp-sim::list_schedule_contiguous),");
+    println!("showing the makespan inflation contiguity actually costs (it can even");
+    println!("be negative on some instances -- Graham's scheduling anomalies).");
+}

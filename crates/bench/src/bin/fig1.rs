@@ -1,0 +1,45 @@
+//! Regenerates **Fig. 1** of the paper: the concave speedup polyline
+//! `s_j(l)` versus `l`, and the convex work polyline `w_j(p_j(l))` versus
+//! the processing time, for a representative malleable task. Emits CSV
+//! series ready for plotting.
+//!
+//! `cargo run --release -p mtsp-bench --bin fig1`
+
+use mtsp_model::{assumptions, Profile, WorkFunction};
+
+fn emit(name: &str, p: &Profile) {
+    let rep = assumptions::verify(p);
+    println!("# {name}: A1 = {}, A2 = {}, A2' = {}, work convex = {}",
+        rep.assumption1, rep.assumption2, rep.assumption2_prime, rep.work_convex_in_time);
+    println!("# series 1 (left diagram): l, speedup s(l)");
+    println!("l,speedup");
+    for l in 1..=p.m() {
+        println!("{l},{:.6}", p.speedup(l));
+    }
+    println!("# series 2 (right diagram): processing time x = p(l), work w(x), allotment l");
+    println!("time,work,allot");
+    let wf = WorkFunction::from_profile(p).expect("A1 holds");
+    for (t, w, l) in wf.breakpoints() {
+        println!("{t:.6},{w:.6},{l}");
+    }
+    println!();
+}
+
+fn main() {
+    println!("# Fig. 1 data: speedup and work-function diagrams");
+    // The paper's canonical example family p(l) = p(1) l^{-d}.
+    emit(
+        "power law p(1)=8, d=0.5, m=8",
+        &Profile::power_law(8.0, 0.5, 8).unwrap(),
+    );
+    emit(
+        "Amdahl p(1)=8, f=0.2, m=8",
+        &Profile::amdahl(8.0, 0.2, 8).unwrap(),
+    );
+    // The Section 2 counterexample: satisfies A1 and A2' but NOT A2 —
+    // its speedup curve is convex, visibly unlike Fig. 1's.
+    emit(
+        "counterexample p(l)=1/(1-d+d l^2), d=0.01, m=8",
+        &Profile::counterexample_a2(0.01, 8).unwrap(),
+    );
+}

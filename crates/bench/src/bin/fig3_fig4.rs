@@ -1,0 +1,49 @@
+//! Regenerates **Figs. 3 and 4** of the paper: function pairs with the
+//! Ω₁ / Ω₂ properties of Lemma 4.6, instantiated — as in Section 4.1 —
+//! by the two branches A(μ, ρ) and B(μ, ρ) of the min–max program. Emits
+//! CSV series and reports the crossing (= Lemma 4.8's μ*).
+//!
+//! `cargo run --release -p mtsp-bench --bin fig3_fig4`
+
+use mtsp_analysis::lemma46::{crossing, minimize_max, omega1_holds, omega2_holds};
+use mtsp_analysis::ratio::mu_star;
+
+fn main() {
+    let m = 20usize;
+    let rho = 0.26;
+    let mf = m as f64;
+    let a = move |mu: f64| (2.0 * mf / (2.0 - rho) + (mf - mu) * 2.0 / (1.0 + rho)) / (mf - mu + 1.0);
+    let b = move |mu: f64| {
+        let q: f64 = (mu / mf).min((1.0 + rho) / 2.0);
+        (2.0 * mf / (2.0 - rho) + (mf - 2.0 * mu + 1.0) / q) / (mf - mu + 1.0)
+    };
+
+    println!("# Fig. 3 (property Omega1): A and B vs mu at m = {m}, rho = {rho}");
+    println!("# A increasing, B decreasing; the crossing minimizes max(A, B) (Lemma 4.6)");
+    println!("mu,A,B,max");
+    let (lo, hi) = (2.0f64, 10.0f64);
+    for i in 0..=80 {
+        let mu = lo + (hi - lo) * i as f64 / 80.0;
+        println!("{mu:.4},{:.6},{:.6},{:.6}", a(mu), b(mu), a(mu).max(b(mu)));
+    }
+    assert!(omega1_holds(a, b, lo, hi, 64), "Omega1 must hold on this range");
+    let x0 = crossing(a, b, lo, hi, 1e-10).expect("branches cross");
+    let (xmin, vmin) = minimize_max(a, b, lo, hi, 4000);
+    println!("# crossing x0 = {x0:.6} (Lemma 4.8 mu* = {:.6})", mu_star(m, rho));
+    println!("# argmin of max(A,B) = {xmin:.6}, value {vmin:.6}");
+
+    println!();
+    println!("# Fig. 4 (property Omega2): constant f vs strictly monotone g");
+    println!("# f = A at the balanced mu (constant in this cut), g = B(mu)");
+    let fixed = a(mu_star(m, rho));
+    let f = move |_mu: f64| fixed;
+    println!("mu,f,g,max");
+    for i in 0..=80 {
+        let mu = lo + (hi - lo) * i as f64 / 80.0;
+        println!("{mu:.4},{:.6},{:.6},{:.6}", f(mu), b(mu), f(mu).max(b(mu)));
+    }
+    assert!(omega2_holds(f, b, lo, hi, 64), "Omega2 must hold on this range");
+    let x0 = crossing(f, b, lo, hi, 1e-10).expect("crossing exists");
+    let (xmin, _) = minimize_max(f, b, lo, hi, 4000);
+    println!("# crossing x0 = {x0:.6}, argmin of max = {xmin:.6}");
+}

@@ -1,0 +1,62 @@
+//! Experiment E5 (extension beyond the paper): how much a ±1-processor
+//! local search on top of the two-phase algorithm's allotment improves the
+//! measured makespan — and at what evaluation cost.
+//!
+//! `cargo run --release -p mtsp-bench --bin improvement`
+
+use mtsp_bench::{Table, EMPIRICAL_MS};
+use mtsp_core::improve::{improve_allotment, ImproveOptions};
+use mtsp_core::two_phase::schedule_jz;
+use mtsp_model::generate::{random_instance, CurveFamily, DagFamily};
+
+fn main() {
+    let mut t = Table::new(vec![
+        "dag family",
+        "m",
+        "two-phase ratio",
+        "improved ratio",
+        "gain",
+        "moves",
+        "LIST evals",
+    ]);
+    for df in [
+        DagFamily::Layered,
+        DagFamily::Cholesky,
+        DagFamily::SeriesParallel,
+        DagFamily::RandomTree,
+    ] {
+        for &m in &EMPIRICAL_MS {
+            let mut base_sum = 0.0;
+            let mut imp_sum = 0.0;
+            let mut moves = 0usize;
+            let mut evals = 0usize;
+            let reps = 3u64;
+            for seed in 0..reps {
+                let ins = random_instance(df, CurveFamily::Mixed, 40, m, seed);
+                let rep = schedule_jz(&ins).expect("schedules");
+                let out = improve_allotment(&ins, &rep.alloc, &ImproveOptions::default());
+                out.schedule.verify(&ins).expect("feasible");
+                base_sum += rep.schedule.makespan() / rep.lp.cstar;
+                imp_sum += out.schedule.makespan() / rep.lp.cstar;
+                moves += out.moves;
+                evals += out.evaluations;
+            }
+            let k = reps as f64;
+            t.row(vec![
+                format!("{df:?}"),
+                m.to_string(),
+                format!("{:.3}", base_sum / k),
+                format!("{:.3}", imp_sum / k),
+                format!("{:.1}%", 100.0 * (1.0 - imp_sum / base_sum)),
+                format!("{:.1}", moves as f64 / k),
+                format!("{:.0}", evals as f64 / k),
+            ]);
+        }
+    }
+    print!("{}", t.render());
+    println!();
+    println!("the improvement never regresses (hill climbing accepts only strictly");
+    println!("better schedules) and the worst-case guarantee of the starting point");
+    println!("continues to hold; this quantifies how much head-room the rounding");
+    println!("leaves on typical instances.");
+}

@@ -1,0 +1,28 @@
+//! Regenerates **Table 2** of the paper: approximation-ratio bounds of the
+//! Jansen–Zhang algorithm for m = 2..=33 with the chosen (μ(m), ρ(m)).
+//!
+//! `cargo run --release -p mtsp-bench --bin table2`
+
+use mtsp_analysis::ratio::{corollary_4_1_constant, table2_row, theorem_4_1_bound};
+use mtsp_bench::{Table, PAPER_MS};
+
+fn main() {
+    let mut t = Table::new(vec!["m", "mu(m)", "rho(m)", "r(m)", "Thm 4.1"]);
+    for m in PAPER_MS {
+        let (m, mu, rho, r) = table2_row(m);
+        t.row(vec![
+            m.to_string(),
+            mu.to_string(),
+            format!("{rho:.3}"),
+            format!("{r:.4}"),
+            format!("{:.4}", theorem_4_1_bound(m)),
+        ]);
+    }
+    println!("Table 2: bounds on approximation ratios for our algorithm");
+    print!("{}", t.render());
+    println!();
+    println!(
+        "Corollary 4.1: r <= 100/63 + 100(sqrt(6469)+13)/5481 = {:.6} for all m",
+        corollary_4_1_constant()
+    );
+}

@@ -1,0 +1,73 @@
+//! Experiment E7: constructive tightness probe for the approximation
+//! bound. The paper proves r(m) (Table 2) and states the result is
+//! asymptotically tight; this harness *constructs* hard instances and
+//! reports how much of the bound they realize:
+//!
+//! * **chains of perfectly-parallel tasks** — the LP crashes every task to
+//!   `p(m)` and `C* = OPT = Σ p_j(m)`; phase 2 caps allotments at `μ(m)`,
+//!   so the delivered makespan is exactly `(m/μ)·OPT`: a *true* lower
+//!   bound of `m/μ(m)` on the algorithm's worst-case ratio with the
+//!   paper's parameters (asymptotically `1/0.3259 ≈ 3.068`, i.e. ≈93% of
+//!   the proven `3.2919`);
+//! * **path-vs-area mixes** — a poorly-parallelizable chain plus parallel
+//!   fillers, stressing both terms of `max{L, W/m}` at once.
+//!
+//! `cargo run --release -p mtsp-bench --bin tightness`
+
+use mtsp_analysis::ratio::{our_params, table2_row};
+use mtsp_bench::Table;
+use mtsp_core::two_phase::schedule_jz;
+use mtsp_model::suite;
+use mtsp_model::{Instance, Profile};
+
+/// Chain of `n` linear-speedup tasks: the adversarial family above.
+fn linear_chain(n: usize, m: usize) -> Instance {
+    let dag = mtsp_dag::generate::chain(n);
+    let profiles = vec![Profile::power_law(8.0, 1.0, m).unwrap(); n];
+    Instance::new(dag, profiles).unwrap()
+}
+
+fn main() {
+    let mut t = Table::new(vec![
+        "m",
+        "mu(m)",
+        "bound r(m)",
+        "chain ratio",
+        "m/mu (exact)",
+        "tightness",
+        "mix ratio",
+    ]);
+    for m in [4usize, 8, 12, 16, 24, 32, 48, 64] {
+        let p = our_params(m);
+        let (_, _, _, bound) = table2_row(m);
+
+        let chain = linear_chain(12, m);
+        let rep = schedule_jz(&chain).expect("schedules");
+        rep.schedule.verify(&chain).expect("feasible");
+        let chain_ratio = rep.ratio_vs_cstar();
+        let exact = m as f64 / p.mu as f64;
+        assert!(
+            (chain_ratio - exact).abs() < 1e-6,
+            "m={m}: chain ratio {chain_ratio} != m/mu {exact}"
+        );
+
+        let mix = suite::path_vs_area(m, 8, 3 * m);
+        let rep_mix = schedule_jz(&mix).expect("schedules");
+        t.row(vec![
+            m.to_string(),
+            p.mu.to_string(),
+            format!("{bound:.4}"),
+            format!("{chain_ratio:.4}"),
+            format!("{exact:.4}"),
+            format!("{:.0}%", 100.0 * chain_ratio / bound),
+            format!("{:.4}", rep_mix.ratio_vs_cstar()),
+        ]);
+    }
+    print!("{}", t.render());
+    println!();
+    println!("'chain ratio' equals Cmax/OPT exactly on this family (C* = OPT there),");
+    println!("so it certifies a TRUE lower bound on the worst case of the algorithm");
+    println!("with the paper's parameters: the Table 2 analysis is ~88-96% tight");
+    println!("already on trivial chains; the min-max program charges the remaining");
+    println!("slack to slot-structure interactions that chains do not exhibit.");
+}

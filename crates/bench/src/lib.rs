@@ -1,0 +1,203 @@
+#![warn(missing_docs)]
+//! # mtsp-bench — experiment harness
+//!
+//! Shared machinery for the table/figure regeneration binaries
+//! (`src/bin/*`) and the criterion performance benches (`benches/*`).
+//!
+//! Binaries (each prints the paper artifact it regenerates; see
+//! DESIGN.md §5 for the experiment index):
+//!
+//! | binary        | paper artifact |
+//! |---------------|----------------|
+//! | `table2`      | Table 2 — bounds for this paper's algorithm |
+//! | `table3`      | Table 3 — bounds for the LTW \[18\] algorithm |
+//! | `table4`      | Table 4 — grid optimum of the min–max program |
+//! | `fig1`        | Fig. 1 — speedup / work-function polylines (CSV) |
+//! | `fig2`        | Fig. 2 — heavy path in a final schedule (+ DOT) |
+//! | `fig3_fig4`   | Figs. 3–4 — Lemma 4.6 Ω₁/Ω₂ function pairs (CSV) |
+//! | `asymptotics` | Section 4.3 — ρ*, μ*/m, r∞, equation (21) roots |
+//! | `empirical`   | E1/E3 — measured ratios vs bounds, vs baselines |
+//! | `ablation`    | E2 — ρ and μ sweeps on fixed workloads |
+//! | `robustness`  | E4 — execution under noise (simulator) |
+//! | `improvement` | E5 — local-search post-pass gain vs cost |
+//! | `contiguity`  | E6 — contiguous-allocation feasibility + price |
+//! | `tightness`   | E7 — constructive lower bounds on the worst case |
+
+use mtsp_core::two_phase::{schedule_jz, JzReport};
+use mtsp_model::generate::{random_instance, CurveFamily, DagFamily};
+use mtsp_model::Instance;
+
+/// Machine sizes covered by the paper's tables.
+pub const PAPER_MS: std::ops::RangeInclusive<usize> = 2..=33;
+
+/// Machine sizes for the measured (empirical) experiments.
+pub const EMPIRICAL_MS: [usize; 4] = [4, 8, 16, 32];
+
+/// One workload of the empirical suite.
+#[derive(Debug, Clone, Copy)]
+pub struct Workload {
+    /// DAG shape family.
+    pub dag: DagFamily,
+    /// Speedup-curve family.
+    pub curve: CurveFamily,
+    /// Approximate task count.
+    pub n: usize,
+    /// Machine size.
+    pub m: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Workload {
+    /// Instantiates the workload.
+    pub fn instantiate(&self) -> Instance {
+        random_instance(self.dag, self.curve, self.n, self.m, self.seed)
+    }
+
+    /// Short display label.
+    pub fn label(&self) -> String {
+        format!("{:?}/{:?}", self.dag, self.curve)
+    }
+}
+
+/// The full empirical suite (E1/E3): every DAG family × two curve
+/// families × the machine sizes in [`EMPIRICAL_MS`], `reps` seeds each.
+pub fn empirical_suite(n: usize, reps: u64) -> Vec<Workload> {
+    let mut out = Vec::new();
+    for dag in DagFamily::ALL {
+        for curve in [CurveFamily::PowerLaw, CurveFamily::Amdahl] {
+            for &m in &EMPIRICAL_MS {
+                for seed in 0..reps {
+                    out.push(Workload {
+                        dag,
+                        curve,
+                        n,
+                        m,
+                        seed: seed * 7919 + m as u64,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Runs the two-phase algorithm on a workload and asserts feasibility —
+/// the common core of the measured experiments.
+pub fn run_checked(w: &Workload) -> (Instance, JzReport) {
+    let ins = w.instantiate();
+    let rep = schedule_jz(&ins)
+        .unwrap_or_else(|e| panic!("{} m={} seed={}: {e}", w.label(), w.m, w.seed));
+    rep.schedule
+        .verify(&ins)
+        .unwrap_or_else(|e| panic!("{} m={} seed={}: {e}", w.label(), w.m, w.seed));
+    (ins, rep)
+}
+
+/// Simple aligned-column table printer for the harness output.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds one row (cells are pre-formatted).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "ragged table row");
+        self.rows.push(cells);
+    }
+
+    /// Renders with right-aligned columns.
+    pub fn render(&self) -> String {
+        let ncol = self.headers.len();
+        let mut width = vec![0usize; ncol];
+        for c in 0..ncol {
+            width[c] = self.headers[c].len();
+            for r in &self.rows {
+                width[c] = width[c].max(r[c].len());
+            }
+        }
+        let mut s = String::new();
+        let fmt_row = |cells: &[String], width: &[usize]| {
+            let mut line = String::new();
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&" ".repeat(width[c] - cell.len()));
+                line.push_str(cell);
+            }
+            line
+        };
+        s.push_str(&fmt_row(&self.headers, &width));
+        s.push('\n');
+        s.push_str(&"-".repeat(s.len().saturating_sub(1)));
+        s.push('\n');
+        for r in &self.rows {
+            s.push_str(&fmt_row(r, &width));
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_is_deterministic_and_covers_families() {
+        let a = empirical_suite(20, 2);
+        let b = empirical_suite(20, 2);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.len(), DagFamily::ALL.len() * 2 * EMPIRICAL_MS.len() * 2);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.seed, y.seed);
+            assert_eq!(x.instantiate(), y.instantiate());
+        }
+    }
+
+    #[test]
+    fn run_checked_produces_feasible_reports() {
+        let w = Workload {
+            dag: DagFamily::Layered,
+            curve: CurveFamily::PowerLaw,
+            n: 15,
+            m: 4,
+            seed: 3,
+        };
+        let (ins, rep) = run_checked(&w);
+        assert_eq!(ins.m(), 4);
+        assert!(rep.observed_ratio() >= 1.0 - 1e-9);
+        assert!(w.label().contains("Layered"));
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(vec!["m", "value"]);
+        t.row(vec!["2", "1.5"]);
+        t.row(vec!["10", "2.25"]);
+        let out = t.render();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains('m'));
+        assert!(lines[2].ends_with("1.5"));
+        assert!(lines[3].ends_with("2.25"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged table row")]
+    fn ragged_rows_rejected() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only one"]);
+    }
+}

@@ -1,0 +1,633 @@
+//! Phase 1: the allotment linear program (LP (9) of the paper) and the
+//! ρ-rounding of its fractional solution.
+//!
+//! Two equivalent encodings are provided:
+//!
+//! * [`solve_allotment`] uses the **crashing form**: the fractional
+//!   processing time of task `j` is
+//!   `x_j = p_j(1) − Σ_k y_{j,k}` with per-segment crash variables
+//!   `y_{j,k} ∈ [0, p_j(k) − p_j(k+1)]`, and the work surrogate is
+//!   `W_j(1) + Σ_k c_{j,k}·y_{j,k}` with the segment slopes
+//!   `c_{j,k} = (W_j(k+1) − W_j(k))/(p_j(k) − p_j(k+1)) ≥ 0`. Because the
+//!   work function is convex (Theorem 2.2) the slopes are non-decreasing
+//!   in `k`, so ordered crashing is always optimal and the encoding has the
+//!   same optimal value as LP (9) — by the same exchange argument the
+//!   paper uses to prove (7) ≡ (10). It needs only
+//!   `|E| + #sources + n + 2` rows, which keeps the revised simplex basis
+//!   small.
+//! * [`solve_allotment_direct`] is the **literal LP (9)** with explicit
+//!   `x_j`, `w̄_j` variables and one cut row per work-function segment —
+//!   `O(n·m)` rows. It exists to validate the crashing form (tests assert
+//!   equal optima) and for small demonstrations.
+//!
+//! A third route, [`solve_allotment_bisection`], reproduces the pipeline
+//! the paper *replaces*: the predecessors' deadline-driven formulation
+//! (minimize work subject to critical path ≤ B, binary search over B).
+//! The paper's Remark in Section 3.1 notes that embedding `L` and `W`
+//! directly into LP (9) "avoid\[s\] the binary search procedure in \[18\]";
+//! having both lets the tests confirm they reach the same optimum.
+
+use crate::error::CoreError;
+use mtsp_lp::{Lp, Relation, SolverOptions, Status};
+use mtsp_model::{Instance, RoundingOutcome, WorkFunction};
+
+/// Result of phase 1: the fractional LP optimum.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllotmentResult {
+    /// Fractional processing times `x*_j ∈ [p_j(m), p_j(1)]`.
+    pub x: Vec<f64>,
+    /// Fractional completion times `C*_j`.
+    pub completion: Vec<f64>,
+    /// The LP optimum `C*max` — a lower bound on OPT (Eq. 11).
+    pub cstar: f64,
+    /// The fractional critical-path length `L*`.
+    pub lstar: f64,
+    /// The fractional total work `W* = Σ_j w_j(x*_j)` (true piecewise
+    /// work at the optimum, which is at most the LP's surrogate).
+    pub wstar: f64,
+    /// Simplex iterations used.
+    pub iterations: usize,
+}
+
+impl AllotmentResult {
+    /// `max{L*, W*/m}` — the combinatorial reading of the LP bound.
+    pub fn lower_bound(&self, m: usize) -> f64 {
+        self.lstar.max(self.wstar / m as f64)
+    }
+}
+
+/// Builds the work functions of all tasks (Assumption 1 is required).
+fn work_functions(ins: &Instance) -> Result<Vec<WorkFunction>, CoreError> {
+    ins.profiles()
+        .iter()
+        .enumerate()
+        .map(|(j, p)| {
+            WorkFunction::from_profile(p).map_err(|_| CoreError::InadmissibleInstance { task: j })
+        })
+        .collect()
+}
+
+/// Solves the allotment LP in crashing form. See the module docs.
+pub fn solve_allotment(ins: &Instance, opts: &SolverOptions) -> Result<AllotmentResult, CoreError> {
+    let n = ins.n();
+    let m = ins.m();
+    let wfs = work_functions(ins)?;
+
+    let mut lp = Lp::minimize();
+    let c = lp.add_var(0.0, f64::INFINITY, 1.0);
+    let l = lp.add_var(0.0, f64::INFINITY, 0.0);
+    let completion: Vec<_> = (0..n).map(|_| lp.add_var(0.0, f64::INFINITY, 0.0)).collect();
+
+    // Crash variables and per-task bookkeeping.
+    let mut crash: Vec<Vec<(mtsp_lp::VarId, f64)>> = Vec::with_capacity(n); // (var, slope)
+    let mut base_work = 0.0f64;
+    for wf in &wfs {
+        let bps: Vec<(f64, f64, usize)> = wf.breakpoints().collect();
+        base_work += bps[0].1;
+        let mut vars = Vec::with_capacity(bps.len().saturating_sub(1));
+        for w in bps.windows(2) {
+            let (t0, w0, _) = w[0];
+            let (t1, w1, _) = w[1];
+            let len = t0 - t1;
+            let slope = (w1 - w0) / len;
+            vars.push((lp.add_var(0.0, len, 0.0), slope));
+        }
+        crash.push(vars);
+    }
+
+    // Precedence rows: C_i + x_j <= C_j, with x_j = p_j(1) - sum_k y_{j,k}:
+    //   C_i - C_j - sum_k y_{j,k} <= -p_j(1).
+    let mut row: Vec<(mtsp_lp::VarId, f64)> = Vec::new();
+    for j in 0..n {
+        let pj1 = wfs[j].max_time();
+        for &i in ins.dag().preds(j) {
+            row.clear();
+            row.push((completion[i], 1.0));
+            row.push((completion[j], -1.0));
+            for &(y, _) in &crash[j] {
+                row.push((y, -1.0));
+            }
+            lp.add_row(&row, Relation::Le, -pj1);
+        }
+        if ins.dag().preds(j).is_empty() {
+            // Source: x_j <= C_j.
+            row.clear();
+            row.push((completion[j], -1.0));
+            for &(y, _) in &crash[j] {
+                row.push((y, -1.0));
+            }
+            lp.add_row(&row, Relation::Le, -pj1);
+        }
+        // C_j <= L.
+        lp.add_row(&[(completion[j], 1.0), (l, -1.0)], Relation::Le, 0.0);
+    }
+    // L <= C.
+    lp.add_row(&[(l, 1.0), (c, -1.0)], Relation::Le, 0.0);
+    // Total work: sum_j [W_j(1) + sum_k slope * y] <= m C.
+    row.clear();
+    row.push((c, -(m as f64)));
+    for vars in &crash {
+        for &(y, slope) in vars {
+            row.push((y, slope));
+        }
+    }
+    lp.add_row(&row, Relation::Le, -base_work);
+
+    let sol = lp.solve_with(opts)?;
+    if sol.status != Status::Optimal {
+        return Err(CoreError::BadLpStatus(sol.status));
+    }
+
+    let x: Vec<f64> = (0..n)
+        .map(|j| {
+            let crashed: f64 = crash[j].iter().map(|&(y, _)| sol.x[y.index()]).sum();
+            (wfs[j].max_time() - crashed).clamp(wfs[j].min_time(), wfs[j].max_time())
+        })
+        .collect();
+    let completion: Vec<f64> = completion.iter().map(|v| sol.x[v.index()]).collect();
+    let wstar: f64 = x.iter().zip(&wfs).map(|(&xj, wf)| wf.eval(xj)).sum();
+    Ok(AllotmentResult {
+        x,
+        cstar: sol.objective,
+        lstar: sol.x[l.index()],
+        wstar,
+        completion,
+        iterations: sol.iterations,
+    })
+}
+
+/// Solves the literal LP (9): explicit `x_j`, `w̄_j` and one row per
+/// work-function cut (Eq. 8). Exponentially larger bases than the crashing
+/// form on wide machines; intended for validation and small instances.
+pub fn solve_allotment_direct(
+    ins: &Instance,
+    opts: &SolverOptions,
+) -> Result<AllotmentResult, CoreError> {
+    let n = ins.n();
+    let m = ins.m();
+    let wfs = work_functions(ins)?;
+
+    let mut lp = Lp::minimize();
+    let c = lp.add_var(0.0, f64::INFINITY, 1.0);
+    let l = lp.add_var(0.0, f64::INFINITY, 0.0);
+    let completion: Vec<_> = (0..n).map(|_| lp.add_var(0.0, f64::INFINITY, 0.0)).collect();
+    let x: Vec<_> = wfs
+        .iter()
+        .map(|wf| lp.add_var(wf.min_time(), wf.max_time(), 0.0))
+        .collect();
+    let wbar: Vec<_> = (0..n).map(|_| lp.add_var(0.0, f64::INFINITY, 0.0)).collect();
+
+    for j in 0..n {
+        for &i in ins.dag().preds(j) {
+            lp.add_row(
+                &[(completion[i], 1.0), (x[j], 1.0), (completion[j], -1.0)],
+                Relation::Le,
+                0.0,
+            );
+        }
+        if ins.dag().preds(j).is_empty() {
+            lp.add_row(&[(x[j], 1.0), (completion[j], -1.0)], Relation::Le, 0.0);
+        }
+        lp.add_row(&[(completion[j], 1.0), (l, -1.0)], Relation::Le, 0.0);
+        // Work cuts: wbar_j >= slope * x_j + intercept.
+        for cut in wfs[j].cuts() {
+            lp.add_row(
+                &[(x[j], cut.slope), (wbar[j], -1.0)],
+                Relation::Le,
+                -cut.intercept,
+            );
+        }
+    }
+    lp.add_row(&[(l, 1.0), (c, -1.0)], Relation::Le, 0.0);
+    let mut row: Vec<(mtsp_lp::VarId, f64)> = vec![(c, -(m as f64))];
+    for &w in &wbar {
+        row.push((w, 1.0));
+    }
+    lp.add_row(&row, Relation::Le, 0.0);
+
+    let sol = lp.solve_with(opts)?;
+    if sol.status != Status::Optimal {
+        return Err(CoreError::BadLpStatus(sol.status));
+    }
+    let xv: Vec<f64> = x
+        .iter()
+        .zip(&wfs)
+        .map(|(v, wf)| sol.x[v.index()].clamp(wf.min_time(), wf.max_time()))
+        .collect();
+    let wstar: f64 = xv.iter().zip(&wfs).map(|(&xj, wf)| wf.eval(xj)).sum();
+    Ok(AllotmentResult {
+        x: xv,
+        cstar: sol.objective,
+        lstar: sol.x[l.index()],
+        wstar,
+        completion: completion.iter().map(|v| sol.x[v.index()]).collect(),
+        iterations: sol.iterations,
+    })
+}
+
+/// Minimum total (surrogate) work achievable with every completion time at
+/// most `deadline` — the inner problem of the deadline-driven pipeline.
+/// Returns `None` when the deadline is infeasible (below the all-`m`
+/// critical path).
+#[allow(clippy::type_complexity)]
+fn min_work_for_deadline(
+    ins: &Instance,
+    wfs: &[WorkFunction],
+    deadline: f64,
+    opts: &SolverOptions,
+) -> Result<Option<(f64, Vec<f64>, Vec<f64>)>, CoreError> {
+    let n = ins.n();
+    let mut lp = Lp::minimize();
+    let completion: Vec<_> = (0..n).map(|_| lp.add_var(0.0, deadline, 0.0)).collect();
+    let mut crash: Vec<Vec<mtsp_lp::VarId>> = Vec::with_capacity(n);
+    let mut base_work = 0.0f64;
+    for wf in wfs {
+        let bps: Vec<(f64, f64, usize)> = wf.breakpoints().collect();
+        base_work += bps[0].1;
+        let mut vars = Vec::with_capacity(bps.len().saturating_sub(1));
+        for w in bps.windows(2) {
+            let (t0, w0, _) = w[0];
+            let (t1, w1, _) = w[1];
+            let len = t0 - t1;
+            let slope = (w1 - w0) / len; // work increase per unit crash
+            vars.push(lp.add_var(0.0, len, slope));
+        }
+        crash.push(vars);
+    }
+    let mut row: Vec<(mtsp_lp::VarId, f64)> = Vec::new();
+    for j in 0..n {
+        let pj1 = wfs[j].max_time();
+        for &i in ins.dag().preds(j) {
+            row.clear();
+            row.push((completion[i], 1.0));
+            row.push((completion[j], -1.0));
+            for &y in &crash[j] {
+                row.push((y, -1.0));
+            }
+            lp.add_row(&row, Relation::Le, -pj1);
+        }
+        if ins.dag().preds(j).is_empty() {
+            row.clear();
+            row.push((completion[j], -1.0));
+            for &y in &crash[j] {
+                row.push((y, -1.0));
+            }
+            lp.add_row(&row, Relation::Le, -pj1);
+        }
+    }
+    let sol = lp.solve_with(opts)?;
+    match sol.status {
+        Status::Optimal => {
+            let x: Vec<f64> = (0..n)
+                .map(|j| {
+                    let crashed: f64 = crash[j].iter().map(|&y| sol.x[y.index()]).sum();
+                    (wfs[j].max_time() - crashed).clamp(wfs[j].min_time(), wfs[j].max_time())
+                })
+                .collect();
+            let completion: Vec<f64> = completion.iter().map(|v| sol.x[v.index()]).collect();
+            Ok(Some((base_work + sol.objective, x, completion)))
+        }
+        Status::Infeasible => Ok(None),
+        other => Err(CoreError::BadLpStatus(other)),
+    }
+}
+
+/// The deadline-driven (binary-search) variant of phase 1, faithful to the
+/// pipeline of Lepère–Trystram–Woeginger which the paper's LP (9)
+/// supersedes: bisect the deadline `B` on `max{B, W(B)/m}` using the
+/// monotone non-increasing work curve `W(B)`. Converges to the same
+/// optimum as [`solve_allotment`] (asserted in tests) within `tol`.
+pub fn solve_allotment_bisection(
+    ins: &Instance,
+    opts: &SolverOptions,
+    tol: f64,
+) -> Result<AllotmentResult, CoreError> {
+    let m = ins.m() as f64;
+    let wfs = work_functions(ins)?;
+    let mut iterations = 0usize;
+
+    // Bracket: B_lo = all-m critical path (fastest possible), B_hi = the
+    // serial schedule length (certainly feasible and work-minimal-ish).
+    let mut lo = ins.critical_path_under(&vec![ins.m(); ins.n()]);
+    let mut hi = ins.serial_upper_bound().max(lo);
+    // Evaluate at the bracket ends once for the final selection.
+    #[allow(clippy::type_complexity)]
+    let eval = |b: f64,
+                iters: &mut usize|
+     -> Result<Option<(f64, Vec<f64>, Vec<f64>)>, CoreError> {
+        *iters += 1;
+        min_work_for_deadline(ins, &wfs, b, opts)
+    };
+    let mut best: Option<(f64, f64, Vec<f64>, Vec<f64>)> = None; // (obj, B, x, C)
+    #[allow(clippy::type_complexity)]
+    let record =
+        |b: f64, w: f64, x: Vec<f64>, c: Vec<f64>, best: &mut Option<(f64, f64, Vec<f64>, Vec<f64>)>| {
+            let obj = b.max(w / m);
+            if best.as_ref().is_none_or(|(o, _, _, _)| obj < *o) {
+                *best = Some((obj, b, x, c));
+            }
+        };
+    if let Some((w, x, c)) = eval(hi, &mut iterations)? {
+        record(hi, w, x, c, &mut best);
+    }
+    // Bisection on the sign of B - W(B)/m (W non-increasing in B makes the
+    // max quasi-convex; the optimum is at the crossing or at B_lo).
+    for _ in 0..200 {
+        if hi - lo <= tol * (1.0 + hi.abs()) {
+            break;
+        }
+        let mid = 0.5 * (lo + hi);
+        match eval(mid, &mut iterations)? {
+            Some((w, x, c)) => {
+                record(mid, w, x.clone(), c.clone(), &mut best);
+                if mid >= w / m {
+                    hi = mid; // deadline dominates: shrink from above
+                } else {
+                    lo = mid; // work dominates: deadline too tight
+                }
+            }
+            None => lo = mid, // below the feasible region
+        }
+    }
+    if let Some((w, x, c)) = eval(lo.max(hi), &mut iterations)? {
+        record(lo.max(hi), w, x, c, &mut best);
+    }
+    let (obj, _, x, completion) = best.ok_or(CoreError::BadLpStatus(Status::Infeasible))?;
+    let wstar: f64 = x.iter().zip(&wfs).map(|(&xj, wf)| wf.eval(xj)).sum();
+    let lstar = completion.iter().copied().fold(0.0, f64::max);
+    Ok(AllotmentResult {
+        x,
+        completion,
+        cstar: obj,
+        lstar,
+        wstar,
+        iterations,
+    })
+}
+
+/// Rounds the fractional solution with parameter `ρ` (Section 3.1),
+/// producing the phase-1 allotment `α′` and the per-task outcomes.
+pub fn round_allotment(
+    ins: &Instance,
+    x: &[f64],
+    rho: f64,
+) -> Result<(Vec<usize>, Vec<RoundingOutcome>), CoreError> {
+    if !(0.0..=1.0).contains(&rho) {
+        return Err(CoreError::InvalidParameter("rho must lie in [0, 1]"));
+    }
+    let wfs = work_functions(ins)?;
+    let outcomes: Vec<RoundingOutcome> = x
+        .iter()
+        .zip(&wfs)
+        .map(|(&xj, wf)| wf.round(xj, rho))
+        .collect();
+    let alloc = outcomes.iter().map(|o| o.allotment).collect();
+    Ok((alloc, outcomes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtsp_dag::{generate, Dag};
+    use mtsp_model::{generate as igen, Profile};
+
+    fn opts() -> SolverOptions {
+        SolverOptions::default()
+    }
+
+    fn simple_instance(m: usize) -> Instance {
+        let dag = Dag::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let profiles = vec![
+            Profile::power_law(4.0, 0.8, m).unwrap(),
+            Profile::power_law(6.0, 0.5, m).unwrap(),
+            Profile::power_law(8.0, 1.0, m).unwrap(),
+            Profile::amdahl(5.0, 0.2, m).unwrap(),
+        ];
+        Instance::new(dag, profiles).unwrap()
+    }
+
+    #[test]
+    fn lp_lower_bound_sandwiched() {
+        let ins = simple_instance(4);
+        let r = solve_allotment(&ins, &opts()).unwrap();
+        // C* >= max(L*, W*/m) and C* <= serial upper bound.
+        assert!(r.cstar >= r.lower_bound(4) - 1e-6);
+        assert!(r.cstar <= ins.serial_upper_bound() + 1e-6);
+        // x in range.
+        for (j, &xj) in r.x.iter().enumerate() {
+            let p = ins.profile(j);
+            assert!(xj >= p.min_time() - 1e-9 && xj <= p.serial_time() + 1e-9);
+        }
+        // Completion times respect precedence with x durations.
+        for (i, j) in ins.dag().edges() {
+            assert!(r.completion[i] + r.x[j] <= r.completion[j] + 1e-6);
+        }
+        // L* = max completion.
+        let max_c = r.completion.iter().cloned().fold(0.0, f64::max);
+        assert!((r.lstar - max_c).abs() < 1e-6);
+    }
+
+    #[test]
+    fn crashing_and_direct_forms_agree() {
+        for (n, m, seed) in [(5usize, 3usize, 1u64), (8, 4, 2), (10, 6, 3)] {
+            let ins = igen::random_instance(
+                igen::DagFamily::Layered,
+                igen::CurveFamily::Mixed,
+                n,
+                m,
+                seed,
+            );
+            let a = solve_allotment(&ins, &opts()).unwrap();
+            let b = solve_allotment_direct(&ins, &opts()).unwrap();
+            assert!(
+                (a.cstar - b.cstar).abs() <= 1e-6 * (1.0 + a.cstar.abs()),
+                "n={n} m={m} seed={seed}: crashing {} vs direct {}",
+                a.cstar,
+                b.cstar
+            );
+        }
+    }
+
+    #[test]
+    fn single_task_lp() {
+        let ins = Instance::new(
+            Dag::new(1),
+            vec![Profile::power_law(8.0, 1.0, 4).unwrap()],
+        )
+        .unwrap();
+        let r = solve_allotment(&ins, &opts()).unwrap();
+        // One task on m=4 with linear speedup and work 8 independent of l:
+        // C* = max(x, 8/4) minimized at x = 2 = p(4).
+        assert!((r.cstar - 2.0).abs() < 1e-6, "cstar = {}", r.cstar);
+        assert!((r.x[0] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn m1_is_serial() {
+        let ins = igen::random_instance(
+            igen::DagFamily::SeriesParallel,
+            igen::CurveFamily::PowerLaw,
+            8,
+            1,
+            7,
+        );
+        let r = solve_allotment(&ins, &opts()).unwrap();
+        // With one processor the LP bound is max(L, W) = total serial work
+        // when the DAG admits no parallelism... at least W = sum p(1).
+        let total: f64 = ins.profiles().iter().map(|p| p.time(1)).sum();
+        assert!((r.wstar - total).abs() < 1e-6);
+        assert!(r.cstar >= total - 1e-6);
+    }
+
+    #[test]
+    fn chain_forces_fast_allotments() {
+        // A chain on a big machine: only the critical path matters, so the
+        // LP crashes everything to p(m).
+        let dag = generate::chain(3);
+        let profiles = vec![Profile::power_law(8.0, 1.0, 8).unwrap(); 3];
+        let ins = Instance::new(dag, profiles).unwrap();
+        let r = solve_allotment(&ins, &opts()).unwrap();
+        // W/m = 3*8/8 = 3 = L at x_j = 1 each: C* = 3.
+        assert!((r.cstar - 3.0).abs() < 1e-6, "cstar = {}", r.cstar);
+        for &xj in &r.x {
+            assert!((xj - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn independent_tasks_balance_area() {
+        // Many independent linear-speedup tasks: the LP pushes toward the
+        // area bound W(1)/m.
+        let profiles: Vec<Profile> =
+            (0..6).map(|_| Profile::power_law(4.0, 1.0, 4).unwrap()).collect();
+        let ins = Instance::new(generate::independent(6), profiles).unwrap();
+        let r = solve_allotment(&ins, &opts()).unwrap();
+        // Work is 4 per task regardless of allotment: W/m = 24/4 = 6; the
+        // path bound can go as low as p(4) = 1. C* = 6.
+        assert!((r.cstar - 6.0).abs() < 1e-5, "cstar = {}", r.cstar);
+    }
+
+    #[test]
+    fn phase1_lp_solutions_carry_valid_certificates() {
+        // Re-derive the phase-1 LP… indirectly: the public API hides the
+        // Lp object, so rebuild a small direct-form LP here and certify it
+        // (the crashing form is exercised by mtsp-lp's own property suite).
+        let ins = simple_instance(4);
+        let wfs: Vec<_> = ins
+            .profiles()
+            .iter()
+            .map(|p| mtsp_model::WorkFunction::from_profile(p).unwrap())
+            .collect();
+        let mut lp = Lp::minimize();
+        let c = lp.add_var(0.0, f64::INFINITY, 1.0);
+        let xs: Vec<_> = wfs
+            .iter()
+            .map(|wf| lp.add_var(wf.min_time(), wf.max_time(), 0.0))
+            .collect();
+        // crude relaxation: total work <= m C and x_j <= C
+        let mut row: Vec<(mtsp_lp::VarId, f64)> = vec![(c, -(ins.m() as f64))];
+        for (x, wf) in xs.iter().zip(&wfs) {
+            for cut in wf.cuts() {
+                // w_j >= cut(x_j): relax into the aggregate via the cut at
+                // x itself — here we only exercise the certificate
+                // machinery, not the exact formulation.
+                let _ = cut;
+            }
+            lp.add_row(&[(*x, 1.0), (c, -1.0)], Relation::Le, 0.0);
+            row.push((*x, 1.0));
+        }
+        lp.add_row(&row, Relation::Le, 0.0);
+        let sol = lp.solve_with(&opts()).unwrap();
+        assert_eq!(sol.status, Status::Optimal);
+        mtsp_lp::verify_optimality(&lp, &sol, 1e-7).expect("valid certificate");
+    }
+
+    #[test]
+    fn bisection_matches_lp_formulation() {
+        // The deadline-driven pipeline and LP (9) reach the same optimum —
+        // the equivalence behind the paper's Remark in Section 3.1.
+        for (n, m, seed) in [(8usize, 4usize, 1u64), (14, 6, 2), (20, 8, 3)] {
+            let ins = igen::random_instance(
+                igen::DagFamily::Layered,
+                igen::CurveFamily::Mixed,
+                n,
+                m,
+                seed,
+            );
+            let lp = solve_allotment(&ins, &opts()).unwrap();
+            let bis = solve_allotment_bisection(&ins, &opts(), 1e-7).unwrap();
+            assert!(
+                (lp.cstar - bis.cstar).abs() <= 1e-4 * (1.0 + lp.cstar.abs()),
+                "n={n} m={m} seed={seed}: LP {} vs bisection {}",
+                lp.cstar,
+                bis.cstar
+            );
+            // The bisection's certificate is internally consistent.
+            assert!(bis.cstar >= bis.lower_bound(m) - 1e-6);
+            assert!(bis.iterations >= 2, "bisection must probe the bracket");
+        }
+    }
+
+    #[test]
+    fn bisection_on_single_task() {
+        let ins = Instance::new(
+            Dag::new(1),
+            vec![Profile::power_law(8.0, 1.0, 4).unwrap()],
+        )
+        .unwrap();
+        let r = solve_allotment_bisection(&ins, &opts(), 1e-9).unwrap();
+        assert!((r.cstar - 2.0).abs() < 1e-5, "cstar = {}", r.cstar);
+    }
+
+    #[test]
+    fn rounding_produces_valid_allotments() {
+        let ins = simple_instance(6);
+        let r = solve_allotment(&ins, &opts()).unwrap();
+        for rho in [0.0, 0.26, 0.5, 1.0] {
+            let (alloc, outcomes) = round_allotment(&ins, &r.x, rho).unwrap();
+            for (j, (&l, o)) in alloc.iter().zip(&outcomes).enumerate() {
+                assert!((1..=6).contains(&l));
+                assert_eq!(l, o.allotment);
+                // Lemma 4.2 stretch bounds.
+                assert!(o.time <= 2.0 * r.x[j] / (1.0 + rho) + 1e-9);
+                let wf = WorkFunction::from_profile(ins.profile(j)).unwrap();
+                assert!(o.work <= 2.0 * wf.eval(r.x[j]) / (2.0 - rho) + 1e-9);
+            }
+        }
+        assert!(round_allotment(&ins, &r.x, 1.5).is_err());
+    }
+
+    #[test]
+    fn rejects_inadmissible_instances() {
+        // Assumption 1 violated: increasing processing time.
+        let p = Profile::from_times(vec![1.0, 2.0]).unwrap();
+        let ins = Instance::new(Dag::new(1), vec![p]).unwrap();
+        match solve_allotment(&ins, &opts()) {
+            Err(CoreError::InadmissibleInstance { task: 0 }) => {}
+            other => panic!("expected inadmissible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lp_bound_dominates_combinatorial_bound() {
+        for seed in 0..4 {
+            let ins = igen::random_instance(
+                igen::DagFamily::Cholesky,
+                igen::CurveFamily::PowerLaw,
+                20,
+                8,
+                seed,
+            );
+            let r = solve_allotment(&ins, &opts()).unwrap();
+            // Both are lower bounds on OPT; the LP one is at least the
+            // critical-path/area part of the combinatorial bound up to the
+            // p_max term which the LP also dominates via x >= p(m).
+            let comb = ins.combinatorial_lower_bound();
+            assert!(
+                r.cstar >= comb - 1e-6,
+                "seed {seed}: LP {} < combinatorial {comb}",
+                r.cstar
+            );
+        }
+    }
+}

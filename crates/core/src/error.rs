@@ -1,0 +1,74 @@
+//! Error type for the scheduling pipeline.
+
+use std::fmt;
+
+/// Errors from the two-phase algorithm and its verifiers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The LP substrate failed (numerical trouble; not expected on
+    /// admissible instances).
+    Lp(mtsp_lp::LpError),
+    /// The allotment LP was infeasible/unbounded — impossible for a valid
+    /// instance; indicates an internal bug or adversarial profile.
+    BadLpStatus(mtsp_lp::Status),
+    /// The instance violates the model assumptions required by the
+    /// algorithm's guarantee (Assumption 1 is structurally required; the
+    /// caller may opt out of the Assumption 2 check).
+    InadmissibleInstance {
+        /// First offending task.
+        task: usize,
+    },
+    /// A schedule failed verification.
+    InvalidSchedule(String),
+    /// A parameter was out of its documented domain.
+    InvalidParameter(&'static str),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Lp(e) => write!(f, "LP solver error: {e}"),
+            CoreError::BadLpStatus(s) => write!(f, "allotment LP not optimal: {s:?}"),
+            CoreError::InadmissibleInstance { task } => {
+                write!(f, "task {task} violates the model assumptions (A1/A2)")
+            }
+            CoreError::InvalidSchedule(msg) => write!(f, "invalid schedule: {msg}"),
+            CoreError::InvalidParameter(p) => write!(f, "invalid parameter: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Lp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mtsp_lp::LpError> for CoreError {
+    fn from(e: mtsp_lp::LpError) -> Self {
+        CoreError::Lp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::Lp(mtsp_lp::LpError::SingularBasis);
+        assert!(e.to_string().contains("singular"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = CoreError::InadmissibleInstance { task: 3 };
+        assert!(e.to_string().contains('3'));
+        assert!(std::error::Error::source(&e).is_none());
+        assert!(CoreError::BadLpStatus(mtsp_lp::Status::Infeasible)
+            .to_string()
+            .contains("Infeasible"));
+        assert!(CoreError::InvalidSchedule("x".into()).to_string().contains('x'));
+        assert!(CoreError::InvalidParameter("rho").to_string().contains("rho"));
+    }
+}

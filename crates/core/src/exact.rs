@@ -1,0 +1,305 @@
+//! Brute-force exact solver for tiny instances — the test oracle that
+//! validates `C*max ≤ OPT` (Eq. 11) and the end-to-end approximation
+//! ratio on instances small enough to enumerate.
+//!
+//! Uses the classical fact that some optimal non-preemptive schedule is
+//! *active*: every task starts at time 0 or at the completion time of some
+//! task. The search branches, at each event time, over every subset of
+//! ready tasks and every allotment assignment that fits the free
+//! processors (including starting nothing and waiting for the next
+//! completion — intentional idling can be optimal under precedence
+//! constraints), with a simple lower-bound prune.
+
+use mtsp_model::Instance;
+
+/// Exact optimal makespan by branch-and-bound.
+///
+/// Returns `None` if the search exceeds `node_limit` states (the caller
+/// chose an instance too large); otherwise the optimum. Intended for
+/// `n ≲ 8` tasks and small `m`.
+pub fn optimal_makespan(ins: &Instance, node_limit: u64) -> Option<f64> {
+    let n = ins.n();
+    assert!(n <= 63, "bitmask search supports at most 63 tasks");
+    let mut dfs = Dfs {
+        ins,
+        m: ins.m(),
+        n,
+        pmin: ins
+            .profiles()
+            .iter()
+            .map(|p| p.time(ins.m()))
+            .collect(),
+        best: ins.serial_upper_bound(),
+        nodes: 0,
+        limit: node_limit,
+        exceeded: false,
+    };
+    let mut running = Vec::with_capacity(n);
+    dfs.search(0.0, 0, 0, &mut running, ins.m(), 0.0);
+    if dfs.exceeded {
+        None
+    } else {
+        Some(dfs.best)
+    }
+}
+
+struct Dfs<'a> {
+    ins: &'a Instance,
+    m: usize,
+    n: usize,
+    /// `p_j(m)`: the fastest possible duration per task.
+    pmin: Vec<f64>,
+    best: f64,
+    nodes: u64,
+    limit: u64,
+    exceeded: bool,
+}
+
+impl Dfs<'_> {
+    fn search(
+        &mut self,
+        t: f64,
+        started: u64,
+        done: u64,
+        running: &mut Vec<(f64, usize, usize)>, // (finish, task, alloc)
+        free: usize,
+        cur_max: f64,
+    ) {
+        if self.exceeded {
+            return;
+        }
+        self.nodes += 1;
+        if self.nodes > self.limit {
+            self.exceeded = true;
+            return;
+        }
+        let all = (1u64 << self.n) - 1;
+        if done == all {
+            if cur_max < self.best {
+                self.best = cur_max;
+            }
+            return;
+        }
+        // Lower bound: committed finishes, plus each unstarted task still
+        // needs at least p_j(m) after t.
+        let mut lb = cur_max;
+        for j in 0..self.n {
+            if started & (1 << j) == 0 {
+                lb = lb.max(t + self.pmin[j]);
+            }
+        }
+        if lb >= self.best - 1e-12 {
+            return;
+        }
+        // Ready set: unstarted with all predecessors done.
+        let ready: Vec<usize> = (0..self.n)
+            .filter(|&j| {
+                started & (1 << j) == 0
+                    && self
+                        .ins
+                        .dag()
+                        .preds(j)
+                        .iter()
+                        .all(|&i| done & (1 << i) != 0)
+            })
+            .collect();
+        self.enumerate(&ready, 0, t, started, done, running, free, cur_max, false);
+    }
+
+    /// Enumerates start decisions over `ready[pos..]`, then advances time.
+    #[allow(clippy::too_many_arguments)]
+    fn enumerate(
+        &mut self,
+        ready: &[usize],
+        pos: usize,
+        t: f64,
+        started: u64,
+        done: u64,
+        running: &mut Vec<(f64, usize, usize)>,
+        free: usize,
+        cur_max: f64,
+        any_started: bool,
+    ) {
+        if self.exceeded {
+            return;
+        }
+        if pos == ready.len() {
+            if running.is_empty() {
+                // Nothing runs and nothing was started: dead branch unless
+                // complete (handled by `search`).
+                return;
+            }
+            // Advance to the earliest completion; pop all simultaneous.
+            let tn = running
+                .iter()
+                .map(|&(f, _, _)| f)
+                .fold(f64::INFINITY, f64::min);
+            let mut new_done = done;
+            let mut new_free = free;
+            let mut keep: Vec<(f64, usize, usize)> = Vec::with_capacity(running.len());
+            for &(f, j, a) in running.iter() {
+                if f <= tn + 1e-12 * (1.0 + tn.abs()) {
+                    new_done |= 1 << j;
+                    new_free += a;
+                } else {
+                    keep.push((f, j, a));
+                }
+            }
+            let mut keep2 = keep;
+            self.search(tn, started, new_done, &mut keep2, new_free, cur_max);
+            let _ = any_started;
+            return;
+        }
+        let j = ready[pos];
+        // Option 1: do not start j now.
+        self.enumerate(
+            ready,
+            pos + 1,
+            t,
+            started,
+            done,
+            running,
+            free,
+            cur_max,
+            any_started,
+        );
+        // Option 2: start j with every feasible allotment.
+        for l in 1..=free.min(self.m) {
+            let d = self.ins.profile(j).time(l);
+            let f = t + d;
+            if cur_max.max(f) >= self.best - 1e-12 {
+                // Starting with more processors only shortens d; but the
+                // finish may still exceed best for all l if even p(min) is
+                // too slow — continue scanning larger l (d shrinks).
+                if f <= cur_max {
+                    break;
+                }
+                continue;
+            }
+            running.push((f, j, l));
+            self.enumerate(
+                ready,
+                pos + 1,
+                t,
+                started | (1 << j),
+                done,
+                running,
+                free - l,
+                cur_max.max(f),
+                true,
+            );
+            running.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::two_phase::schedule_jz;
+    use mtsp_dag::{generate, Dag};
+    use mtsp_model::{generate as igen, Profile};
+
+    const LIMIT: u64 = 20_000_000;
+
+    #[test]
+    fn single_task_uses_full_machine_when_helpful() {
+        let ins = Instance::new(
+            Dag::new(1),
+            vec![Profile::power_law(8.0, 1.0, 4).unwrap()],
+        )
+        .unwrap();
+        let opt = optimal_makespan(&ins, LIMIT).unwrap();
+        assert!((opt - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_constant_tasks_run_in_parallel() {
+        let ins = Instance::new(
+            Dag::new(2),
+            vec![Profile::constant(3.0, 2).unwrap(); 2],
+        )
+        .unwrap();
+        let opt = optimal_makespan(&ins, LIMIT).unwrap();
+        assert!((opt - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chain_of_linear_tasks() {
+        // Chain: every task should grab the whole machine.
+        let dag = generate::chain(3);
+        let ins = Instance::new(
+            dag,
+            vec![Profile::power_law(4.0, 1.0, 2).unwrap(); 3],
+        )
+        .unwrap();
+        let opt = optimal_makespan(&ins, LIMIT).unwrap();
+        assert!((opt - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idling_can_beat_greedy() {
+        // m = 2. Task 0: long 1-proc task. Task 1: needs both procs,
+        // precedes task 2 (long). Greedy starting 0 first delays 1.
+        // OPT: run 1 (both procs) first, then 0 || 2.
+        let dag = Dag::from_edges(3, &[(1, 2)]).unwrap();
+        let ins = Instance::new(
+            dag,
+            vec![
+                Profile::constant(5.0, 2).unwrap(),
+                Profile::from_times(vec![10.0, 1.0]).unwrap(),
+                Profile::constant(5.0, 2).unwrap(),
+            ],
+        )
+        .unwrap();
+        let opt = optimal_makespan(&ins, LIMIT).unwrap();
+        assert!((opt - 6.0).abs() < 1e-9, "opt = {opt}");
+    }
+
+    #[test]
+    fn lp_bound_is_below_opt_and_jz_within_guarantee_of_opt() {
+        for seed in 0..6 {
+            for m in [2usize, 3] {
+                let ins = igen::random_instance(
+                    igen::DagFamily::Layered,
+                    igen::CurveFamily::PowerLaw,
+                    5,
+                    m,
+                    seed,
+                );
+                if ins.n() > 6 {
+                    continue;
+                }
+                let opt = optimal_makespan(&ins, LIMIT).expect("search budget");
+                let rep = schedule_jz(&ins).unwrap();
+                // Eq. 11: C*max <= OPT.
+                assert!(
+                    rep.lp.cstar <= opt + 1e-6,
+                    "m={m} seed={seed}: C* {} > OPT {opt}",
+                    rep.lp.cstar
+                );
+                // Theorem 4.1 versus the true optimum.
+                assert!(
+                    rep.schedule.makespan() <= rep.guarantee * opt + 1e-6,
+                    "m={m} seed={seed}: Cmax {} > r*OPT {}",
+                    rep.schedule.makespan(),
+                    rep.guarantee * opt
+                );
+                // And OPT is certainly at most our schedule.
+                assert!(opt <= rep.schedule.makespan() + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn node_limit_reports_none() {
+        let ins = igen::random_instance(
+            igen::DagFamily::Independent,
+            igen::CurveFamily::PowerLaw,
+            8,
+            4,
+            1,
+        );
+        assert!(optimal_makespan(&ins, 10).is_none());
+    }
+}

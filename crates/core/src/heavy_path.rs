@@ -1,0 +1,215 @@
+//! The "heavy" directed path of Lemma 4.3 (illustrated in Fig. 2 of the
+//! paper).
+//!
+//! Starting from a task that completes at the makespan, the construction
+//! walks backwards: whenever a T₁ ∪ T₂ time slot lies before the current
+//! task's start, some chain of unfinished predecessors leads to a task
+//! *running during that slot* (otherwise the current task would have been
+//! started earlier — LIST is greedy and at most `μ ≤ m − (m−μ)` processors
+//! are allotted per capped task). The resulting source-to-sink path
+//! intersects every T₁ ∪ T₂ slot, which is what turns slot lengths into
+//! critical-path length in Lemma 4.3.
+
+use crate::schedule::{Schedule, SlotClass};
+use mtsp_dag::Dag;
+
+/// Relative tolerance for time comparisons.
+const EPS: f64 = 1e-9;
+
+/// Constructs a heavy path for `schedule` (produced by LIST with cap `μ`)
+/// over `dag`. Returns task ids in precedence order (source → sink).
+///
+/// Panics only if the schedule violates the greedy-LIST structure the
+/// lemma requires (a ready task was left waiting during a low-load slot) —
+/// the property tests treat that as a scheduler bug.
+pub fn heavy_path(dag: &Dag, schedule: &Schedule, mu: usize) -> Vec<usize> {
+    let n = schedule.n();
+    if n == 0 {
+        return Vec::new();
+    }
+    let profile = schedule.slot_profile(mu);
+    // T1/T2 intervals, by start time (slot_profile emits them ordered).
+    let low: Vec<(f64, f64)> = profile
+        .intervals
+        .iter()
+        .filter(|(_, _, _, c)| matches!(c, SlotClass::T1 | SlotClass::T2))
+        .map(|&(s, e, _, _)| (s, e))
+        .collect();
+
+    // Last task: completes at the makespan (ties -> smallest id).
+    let makespan = schedule.makespan();
+    let end = (0..n)
+        .find(|&j| (schedule.task(j).finish() - makespan).abs() <= EPS * (1.0 + makespan))
+        .expect("some task finishes at the makespan");
+
+    let mut path = vec![end];
+    let mut cur = end;
+    loop {
+        let start_cur = schedule.task(cur).start;
+        // Latest T1/T2 slot strictly before the start of `cur`; probe just
+        // inside its right end (clipped to start_cur).
+        let probe = low
+            .iter()
+            .rev()
+            .find(|&&(s, _)| s < start_cur - EPS * (1.0 + start_cur.abs()))
+            .map(|&(s, e)| {
+                let right = e.min(start_cur);
+                // midpoint of the clipped slot: strictly inside it
+                0.5 * (s + right)
+            });
+        let Some(t) = probe else { break };
+
+        // Walk predecessors unfinished at time t until one runs at t.
+        let mut u = cur;
+        loop {
+            // Prefer a predecessor already running at t.
+            let running_pred = dag
+                .preds(u)
+                .iter()
+                .copied()
+                .filter(|&p| {
+                    let tp = schedule.task(p);
+                    tp.start <= t + EPS && tp.finish() > t + EPS
+                })
+                .min();
+            if let Some(p) = running_pred {
+                path.push(p);
+                cur = p;
+                break;
+            }
+            // Otherwise some predecessor is unfinished (starts after t).
+            let waiting_pred = dag
+                .preds(u)
+                .iter()
+                .copied()
+                .filter(|&p| schedule.task(p).finish() > t + EPS)
+                .min();
+            match waiting_pred {
+                Some(p) => {
+                    path.push(p);
+                    u = p;
+                }
+                None => {
+                    // All predecessors of `u` finished by t, yet `u` starts
+                    // after the low-load slot: LIST would have started it.
+                    panic!(
+                        "heavy-path invariant violated at task {u}: ready during \
+                         a T1/T2 slot at t = {t} but started later — scheduler bug"
+                    );
+                }
+            }
+        }
+    }
+    path.reverse();
+    path
+}
+
+/// Checks that `path` is a directed path in `dag` (each consecutive pair an
+/// arc) — helper for tests and the Fig. 2 harness.
+pub fn is_directed_path(dag: &Dag, path: &[usize]) -> bool {
+    path.windows(2).all(|w| dag.has_edge(w[0], w[1]))
+}
+
+/// Fraction of the total T₁ ∪ T₂ slot time during which some task of
+/// `path` is running — Lemma 4.3 asserts this is 1.
+pub fn low_slot_coverage(schedule: &Schedule, mu: usize, path: &[usize]) -> f64 {
+    let profile = schedule.slot_profile(mu);
+    let mut covered = 0.0f64;
+    let mut total = 0.0f64;
+    for &(s, e, _, class) in &profile.intervals {
+        if !matches!(class, SlotClass::T1 | SlotClass::T2) {
+            continue;
+        }
+        total += e - s;
+        // Intersect [s, e) with the union of path task intervals. Path
+        // tasks are chained by precedence, so their intervals are disjoint
+        // and ordered; accumulate pairwise intersections.
+        covered += path
+            .iter()
+            .map(|&j| {
+                let t = schedule.task(j);
+                (t.finish().min(e) - t.start.max(s)).max(0.0)
+            })
+            .sum::<f64>();
+    }
+    if total <= 0.0 {
+        1.0
+    } else {
+        (covered / total).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::list::{list_schedule, Priority};
+    use mtsp_dag::generate;
+    use mtsp_model::{generate as igen, Instance, Profile};
+
+    #[test]
+    fn chain_heavy_path_is_whole_chain() {
+        let dag = generate::chain(4);
+        let profiles = vec![Profile::constant(1.0, 4).unwrap(); 4];
+        let ins = Instance::new(dag, profiles).unwrap();
+        let s = list_schedule(&ins, &[1; 4], Priority::TaskId);
+        // mu = 2 on m = 4: every 1-busy slot is T1.
+        let p = heavy_path(ins.dag(), &s, 2);
+        assert_eq!(p, vec![0, 1, 2, 3]);
+        assert!(is_directed_path(ins.dag(), &p));
+        assert!((low_slot_coverage(&s, 2, &p) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn independent_tasks_path_is_single_task() {
+        let profiles = vec![Profile::constant(1.0, 2).unwrap(); 2];
+        let ins = Instance::new(generate::independent(2), profiles).unwrap();
+        let s = list_schedule(&ins, &[1, 1], Priority::TaskId);
+        // Both run in parallel; busy = 2 = m: all slots T3 for mu = 1.
+        let p = heavy_path(ins.dag(), &s, 1);
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn heavy_path_on_random_instances_is_valid_and_covers() {
+        for seed in 0..8 {
+            let ins = igen::random_instance(
+                igen::DagFamily::Layered,
+                igen::CurveFamily::Mixed,
+                25,
+                8,
+                seed,
+            );
+            let params = mtsp_analysis::ratio::our_params(8);
+            let alloc: Vec<usize> = (0..ins.n())
+                .map(|j| 1 + (j * 7 + seed as usize) % params.mu)
+                .collect();
+            let s = list_schedule(&ins, &alloc, Priority::TaskId);
+            s.verify(&ins).unwrap();
+            let p = heavy_path(ins.dag(), &s, params.mu);
+            assert!(is_directed_path(ins.dag(), &p), "seed {seed}");
+            assert!(!p.is_empty());
+            let cov = low_slot_coverage(&s, params.mu, &p);
+            assert!(
+                cov >= 1.0 - 1e-6,
+                "seed {seed}: heavy path covers only {cov} of T1+T2"
+            );
+        }
+    }
+
+    #[test]
+    fn path_tasks_do_not_overlap_in_time() {
+        let ins = igen::random_instance(
+            igen::DagFamily::SeriesParallel,
+            igen::CurveFamily::PowerLaw,
+            30,
+            6,
+            3,
+        );
+        let alloc = vec![2usize; ins.n()];
+        let s = list_schedule(&ins, &alloc, Priority::BottomLevel);
+        let p = heavy_path(ins.dag(), &s, 3);
+        for w in p.windows(2) {
+            assert!(s.task(w[0]).finish() <= s.task(w[1]).start + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Post-pass local search on allotments — a practical extension beyond
+//! the paper (experiment E5 in DESIGN.md).
+//!
+//! The two-phase algorithm fixes allotments from LP + rounding and never
+//! revisits them. This module hill-climbs in the `±1`-processor
+//! neighbourhood: for each task, try `l_j − 1` and `l_j + 1` (within
+//! `1..=m`), re-run LIST, and keep strictly improving moves. Because every
+//! candidate is a feasible LIST schedule, feasibility and the a-posteriori
+//! certificate (`makespan / lower bound`) are preserved, and the paper's
+//! guarantee can only improve — the starting point already satisfies it.
+
+use crate::list::{list_schedule, Priority};
+use crate::schedule::Schedule;
+use mtsp_model::Instance;
+
+/// Options for [`improve_allotment`].
+#[derive(Debug, Clone, Copy)]
+pub struct ImproveOptions {
+    /// Maximum full passes over the task set (each pass is `O(n)` LIST
+    /// runs). The search stops earlier at a local optimum.
+    pub max_rounds: usize,
+    /// Relative improvement required to accept a move (guards against
+    /// floating-point ping-pong).
+    pub min_gain: f64,
+    /// Tie-break used for the candidate LIST runs.
+    pub priority: Priority,
+}
+
+impl Default for ImproveOptions {
+    fn default() -> Self {
+        ImproveOptions {
+            max_rounds: 8,
+            min_gain: 1e-9,
+            priority: Priority::TaskId,
+        }
+    }
+}
+
+/// Result of the local search.
+#[derive(Debug, Clone)]
+pub struct Improved {
+    /// The improved allotment.
+    pub alloc: Vec<usize>,
+    /// The improved schedule (LIST under `alloc`).
+    pub schedule: Schedule,
+    /// Number of accepted moves.
+    pub moves: usize,
+    /// Number of LIST evaluations performed.
+    pub evaluations: usize,
+}
+
+/// Hill-climbs the allotment starting from `alloc`. The returned makespan
+/// is never worse than `list_schedule(ins, alloc, priority)`.
+///
+/// # Panics
+/// Panics on allotment shape errors (same contract as
+/// [`crate::list::list_schedule`]).
+pub fn improve_allotment(ins: &Instance, alloc: &[usize], opts: &ImproveOptions) -> Improved {
+    let m = ins.m();
+    let mut cur: Vec<usize> = alloc.to_vec();
+    let mut best = list_schedule(ins, &cur, opts.priority);
+    let mut best_mk = best.makespan();
+    let mut moves = 0usize;
+    let mut evaluations = 1usize;
+
+    for _ in 0..opts.max_rounds {
+        let mut improved_this_round = false;
+        for j in 0..ins.n() {
+            let original = cur[j];
+            for cand in [original.wrapping_sub(1), original + 1] {
+                if cand < 1 || cand > m || cand == original {
+                    continue;
+                }
+                cur[j] = cand;
+                let s = list_schedule(ins, &cur, opts.priority);
+                evaluations += 1;
+                if s.makespan() < best_mk * (1.0 - opts.min_gain) {
+                    best_mk = s.makespan();
+                    best = s;
+                    moves += 1;
+                    improved_this_round = true;
+                    // keep cand as the new value for task j
+                } else {
+                    cur[j] = original;
+                }
+                if cur[j] == cand {
+                    break; // accepted; move on to the next task
+                }
+            }
+        }
+        if !improved_this_round {
+            break;
+        }
+    }
+    Improved {
+        alloc: cur,
+        schedule: best,
+        moves,
+        evaluations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::two_phase::schedule_jz;
+    use mtsp_dag::generate;
+    use mtsp_model::{generate as igen, Profile};
+
+    #[test]
+    fn never_worse_than_start() {
+        for seed in 0..6 {
+            let ins = igen::random_instance(
+                igen::DagFamily::Layered,
+                igen::CurveFamily::Mixed,
+                20,
+                8,
+                seed,
+            );
+            let rep = schedule_jz(&ins).unwrap();
+            let start_mk = rep.schedule.makespan();
+            let out = improve_allotment(&ins, &rep.alloc, &ImproveOptions::default());
+            out.schedule.verify(&ins).unwrap();
+            assert!(
+                out.schedule.makespan() <= start_mk + 1e-9,
+                "seed {seed}: {} > {start_mk}",
+                out.schedule.makespan()
+            );
+            assert!(out.evaluations >= 1);
+        }
+    }
+
+    #[test]
+    fn improves_an_obviously_bad_allotment() {
+        // A chain of linear-speedup tasks started all at 1 processor on a
+        // wide machine: widening is strictly better at every step.
+        let dag = generate::chain(5);
+        let profiles = vec![Profile::power_law(8.0, 1.0, 8).unwrap(); 5];
+        let ins = mtsp_model::Instance::new(dag, profiles).unwrap();
+        let start = vec![1usize; 5];
+        let start_mk = list_schedule(&ins, &start, Priority::TaskId).makespan();
+        let out = improve_allotment(&ins, &start, &ImproveOptions::default());
+        assert!(out.moves > 0);
+        assert!(
+            out.schedule.makespan() < start_mk * 0.5,
+            "expected a big win: {} vs {start_mk}",
+            out.schedule.makespan()
+        );
+        // Fully widened is optimal here (makespan 5 * 1 = 5 at l = 8).
+        assert!(out.schedule.makespan() >= 5.0 - 1e-9);
+    }
+
+    #[test]
+    fn local_optimum_stops_early() {
+        // Independent unit tasks at 1 proc each on a machine wide enough:
+        // already optimal; no moves accepted.
+        let profiles = vec![Profile::constant(1.0, 4).unwrap(); 4];
+        let ins = mtsp_model::Instance::new(generate::independent(4), profiles).unwrap();
+        let out = improve_allotment(&ins, &[1, 1, 1, 1], &ImproveOptions::default());
+        assert_eq!(out.moves, 0);
+        assert!((out.schedule.makespan() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn respects_round_budget() {
+        let ins = igen::random_instance(
+            igen::DagFamily::Cholesky,
+            igen::CurveFamily::PowerLaw,
+            20,
+            8,
+            3,
+        );
+        let rep = schedule_jz(&ins).unwrap();
+        let opts = ImproveOptions {
+            max_rounds: 1,
+            ..ImproveOptions::default()
+        };
+        let out = improve_allotment(&ins, &rep.alloc, &opts);
+        // One round evaluates at most 2 candidates per task plus the start.
+        assert!(out.evaluations <= 2 * ins.n() + 1);
+    }
+}

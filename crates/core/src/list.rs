@@ -1,0 +1,377 @@
+//! Phase 2: the LIST scheduling variant of Table 1.
+//!
+//! Given the phase-1 allotment `α′` and the cap `μ`, every task is allotted
+//! `l_j = min(l′_j, μ)` processors and list-scheduled: whenever processors
+//! free up (or at time 0), every *ready* task (all predecessors completed)
+//! that fits the currently free processors is started, smallest earliest
+//! start first. The resulting schedule is *greedy*: a ready task is never
+//! left waiting while its processors are free — the property the heavy-path
+//! argument of Lemma 4.3 relies on.
+
+use crate::schedule::{Schedule, ScheduledTask};
+use mtsp_dag::paths;
+use mtsp_model::Instance;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Tie-breaking priority among tasks that become ready at the same moment.
+/// The approximation guarantee holds for *any* choice (the analysis is
+/// order-free); the options exist for the ablation experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Priority {
+    /// Smallest task id first — the deterministic default.
+    #[default]
+    TaskId,
+    /// Largest bottom level (critical-path-to-sink) first — the classical
+    /// CP/MISF heuristic.
+    BottomLevel,
+    /// Largest allotment first — packs wide tasks early.
+    WidestFirst,
+}
+
+/// Totally ordered f64 for use inside heaps (all values are finite here).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Ord64(f64);
+
+impl Eq for Ord64 {}
+impl PartialOrd for Ord64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ord64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("finite times")
+    }
+}
+
+/// Runs LIST on `ins` with per-task allotments `alloc` (already capped by
+/// the caller if desired) and returns the schedule.
+///
+/// # Panics
+/// Panics if `alloc.len() != n` or any allotment is outside `1..=m`.
+pub fn list_schedule(ins: &Instance, alloc: &[usize], priority: Priority) -> Schedule {
+    let n = ins.n();
+    let m = ins.m();
+    assert_eq!(alloc.len(), n, "one allotment per task required");
+    assert!(
+        alloc.iter().all(|&l| l >= 1 && l <= m),
+        "allotments must lie in 1..=m"
+    );
+    let durations: Vec<f64> = ins.times_under(alloc);
+
+    // Priority keys (higher = earlier). BottomLevel uses the durations of
+    // the chosen allotment.
+    let prio: Vec<f64> = match priority {
+        Priority::TaskId => (0..n).map(|j| -(j as f64)).collect(),
+        Priority::BottomLevel => paths::bottom_levels(ins.dag(), &durations),
+        Priority::WidestFirst => alloc.iter().map(|&l| l as f64).collect(),
+    };
+
+    let dag = ins.dag();
+    let mut remaining_preds: Vec<usize> = (0..n).map(|j| dag.in_degree(j)).collect();
+    let mut ready_time: Vec<f64> = vec![0.0; n];
+
+    // Tasks whose predecessors all completed, keyed by (ready_time, -prio, id).
+    let mut available: BinaryHeap<Reverse<(Ord64, Ord64, usize)>> = BinaryHeap::new();
+    for j in 0..n {
+        if remaining_preds[j] == 0 {
+            available.push(Reverse((Ord64(0.0), Ord64(-prio[j]), j)));
+        }
+    }
+    // Running tasks keyed by finish time.
+    let mut running: BinaryHeap<Reverse<(Ord64, usize)>> = BinaryHeap::new();
+
+    let mut placed: Vec<ScheduledTask> = vec![
+        ScheduledTask {
+            start: 0.0,
+            alloc: 1,
+            duration: 0.0,
+        };
+        n
+    ];
+    let mut free = m;
+    let mut now = 0.0f64;
+    let mut scheduled = 0usize;
+    // Tasks that were popped but do not fit right now; retried after the
+    // next completion. Kept sorted by priority via re-push.
+    let mut waiting: Vec<usize> = Vec::new();
+
+    while scheduled < n {
+        // Start every available-and-fitting task at `now`, best priority
+        // first. Tasks not yet ready (ready_time > now) stay in the heap.
+        let mut deferred: Vec<(Ord64, Ord64, usize)> = Vec::new();
+        // Re-inject waiters (their ready_time is <= now by construction).
+        for j in waiting.drain(..) {
+            available.push(Reverse((Ord64(ready_time[j]), Ord64(-prio[j]), j)));
+        }
+        while let Some(&Reverse((rt, pk, j))) = available.peek() {
+            if rt.0 > now + 1e-12 * (1.0 + now.abs()) {
+                break; // not ready yet; heap is ordered by ready time
+            }
+            available.pop();
+            if alloc[j] <= free {
+                placed[j] = ScheduledTask {
+                    start: now,
+                    alloc: alloc[j],
+                    duration: durations[j],
+                };
+                free -= alloc[j];
+                running.push(Reverse((Ord64(now + durations[j]), j)));
+                scheduled += 1;
+            } else {
+                deferred.push((rt, pk, j));
+            }
+        }
+        for d in deferred {
+            waiting.push(d.2);
+        }
+
+        if scheduled == n {
+            break;
+        }
+
+        // Advance time: to the next completion if anything is running,
+        // otherwise to the next ready time (possible only when waiting is
+        // empty — a non-empty waiting set implies something is running).
+        if let Some(Reverse((finish, _))) = running.peek().copied() {
+            let next_ready = available
+                .peek()
+                .map(|&Reverse((rt, _, _))| rt.0)
+                .unwrap_or(f64::INFINITY);
+            if waiting.is_empty() && next_ready < finish.0 {
+                now = next_ready;
+                continue;
+            }
+            now = finish.0;
+            // Pop all completions at `now` and release their processors.
+            while let Some(&Reverse((f, j))) = running.peek() {
+                if f.0 > now + 1e-12 * (1.0 + now.abs()) {
+                    break;
+                }
+                running.pop();
+                free += alloc[j];
+                for &s in dag.succs(j) {
+                    remaining_preds[s] -= 1;
+                    ready_time[s] = ready_time[s].max(f.0);
+                    if remaining_preds[s] == 0 {
+                        available.push(Reverse((Ord64(ready_time[s]), Ord64(-prio[s]), s)));
+                    }
+                }
+            }
+        } else {
+            // Nothing running: jump to the next ready task.
+            match available.peek() {
+                Some(&Reverse((rt, _, _))) => now = now.max(rt.0),
+                None => unreachable!("tasks remain but none running or available"),
+            }
+        }
+    }
+
+    Schedule::new(m, placed)
+}
+
+/// Verifies the *greedy* (non-idling) property that the heavy-path
+/// argument of Lemma 4.3 needs: no task waits while its predecessors are
+/// finished **and** enough processors are free for it.
+///
+/// Checks every task `j` at every busy-profile breakpoint `t` in
+/// `[ready_j, start_j)`: the processors free at `t` must be fewer than
+/// `alloc[j]` (otherwise LIST would have started `j` at `t`). Returns the
+/// first violation as `(task, time)` or `None` if the schedule is greedy.
+#[allow(clippy::needless_range_loop)] // task id j pairs several arrays
+pub fn find_greedy_violation(
+    ins: &Instance,
+    alloc: &[usize],
+    schedule: &crate::schedule::Schedule,
+) -> Option<(usize, f64)> {
+    let profile = schedule.slot_profile(1);
+    let m = ins.m();
+    for j in 0..ins.n() {
+        let ready = ins
+            .dag()
+            .preds(j)
+            .iter()
+            .map(|&i| schedule.task(i).finish())
+            .fold(0.0f64, f64::max);
+        let start = schedule.task(j).start;
+        if start <= ready + 1e-9 {
+            continue;
+        }
+        for &(s, e, busy, _) in &profile.intervals {
+            // Interval overlapping [ready, start) where j could have run.
+            let lo = s.max(ready);
+            let hi = e.min(start);
+            if hi <= lo + 1e-9 {
+                continue;
+            }
+            if m - busy >= alloc[j] {
+                return Some((j, lo));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtsp_dag::{generate, Dag};
+    use mtsp_model::{Instance, Profile};
+
+    fn instance(dag: Dag, m: usize, serial: &[f64]) -> Instance {
+        let profiles = serial
+            .iter()
+            .map(|&p| Profile::power_law(p, 1.0, m).unwrap())
+            .collect();
+        Instance::new(dag, profiles).unwrap()
+    }
+
+    #[test]
+    fn independent_tasks_pack_greedily() {
+        // 3 unit tasks, each needing 1 proc, on 2 procs: makespan 2.
+        let ins = instance(generate::independent(3), 2, &[1.0, 1.0, 1.0]);
+        let s = list_schedule(&ins, &[1, 1, 1], Priority::TaskId);
+        s.verify(&ins).unwrap();
+        assert!((s.makespan() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chain_is_serialized() {
+        let ins = instance(generate::chain(3), 4, &[2.0, 2.0, 2.0]);
+        let s = list_schedule(&ins, &[1, 1, 1], Priority::TaskId);
+        s.verify(&ins).unwrap();
+        assert!((s.makespan() - 6.0).abs() < 1e-9);
+        for j in 1..3 {
+            assert!(s.task(j).start >= s.task(j - 1).finish() - 1e-9);
+        }
+    }
+
+    #[test]
+    fn wide_task_waits_for_capacity() {
+        // Task 0 uses 1 proc (duration 4 at alloc 1); task 1 needs 2 procs
+        // (duration 1.5 at alloc 2) but only 1 is free until t=4? m=2:
+        // start 0: task 0 (1 proc); task 1 needs 2 -> waits until 4.
+        let ins = instance(generate::independent(2), 2, &[4.0, 3.0]);
+        let s = list_schedule(&ins, &[1, 2], Priority::TaskId);
+        s.verify(&ins).unwrap();
+        assert!((s.task(1).start - 4.0).abs() < 1e-9);
+        assert!((s.makespan() - 5.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn greedy_is_non_idling() {
+        // If a ready task fits, it must start: task 1 (1 proc) runs next to
+        // task 0 even though task 0 was scheduled first.
+        let ins = instance(generate::independent(2), 2, &[4.0, 1.0]);
+        let s = list_schedule(&ins, &[1, 1], Priority::TaskId);
+        assert!((s.task(1).start - 0.0).abs() < 1e-12);
+        assert!((s.makespan() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn priorities_change_order_not_feasibility() {
+        let dag = generate::layered_random(4, (2, 4), 0.4, 9);
+        let n = dag.node_count();
+        let serial: Vec<f64> = (0..n).map(|j| 1.0 + (j % 5) as f64).collect();
+        let ins = instance(dag, 4, &serial);
+        let alloc: Vec<usize> = (0..n).map(|j| 1 + j % 2).collect();
+        for prio in [Priority::TaskId, Priority::BottomLevel, Priority::WidestFirst] {
+            let s = list_schedule(&ins, &alloc, prio);
+            s.verify(&ins).unwrap();
+            assert!(s.makespan() > 0.0);
+        }
+    }
+
+    #[test]
+    fn graham_bound_holds_on_random_instances() {
+        // Classical list-scheduling guarantee for allotments capped at mu:
+        // no schedule exceeds L(alpha) + W(alpha)/1 trivially; we check the
+        // tighter event-free property: at any T1 moment (few busy) no ready
+        // task is waiting (greediness), via makespan <= serial sum.
+        for seed in 0..5 {
+            let dag = generate::random_order_dag(20, 0.15, seed);
+            let serial: Vec<f64> = (0..20).map(|j| 1.0 + (j * seed as usize % 7) as f64).collect();
+            let ins = instance(dag, 4, &serial);
+            let alloc = vec![1usize; 20];
+            let s = list_schedule(&ins, &alloc, Priority::TaskId);
+            s.verify(&ins).unwrap();
+            let serial_sum: f64 = ins.profiles().iter().map(|p| p.time(1)).sum();
+            assert!(s.makespan() <= serial_sum + 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_free_capacity_progresses() {
+        // All tasks need the full machine: strict serialization.
+        let ins = instance(generate::independent(3), 3, &[3.0, 3.0, 3.0]);
+        let s = list_schedule(&ins, &[3, 3, 3], Priority::TaskId);
+        s.verify(&ins).unwrap();
+        assert!((s.makespan() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn precedence_with_delayed_ready_times() {
+        // Diamond where one branch is much longer; join must wait.
+        let dag = Dag::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let ins = instance(dag, 4, &[1.0, 5.0, 1.0, 1.0]);
+        let s = list_schedule(&ins, &[1, 1, 1, 1], Priority::TaskId);
+        s.verify(&ins).unwrap();
+        assert!((s.task(3).start - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "allotments must lie in 1..=m")]
+    fn rejects_bad_allotment() {
+        let ins = instance(generate::independent(1), 2, &[1.0]);
+        list_schedule(&ins, &[3], Priority::TaskId);
+    }
+
+    #[test]
+    fn list_output_is_always_greedy() {
+        // The non-idling property behind Lemma 4.3, across priorities and
+        // random workloads.
+        use mtsp_model::generate as igen;
+        for seed in 0..10 {
+            let ins = igen::random_instance(
+                igen::DagFamily::Layered,
+                igen::CurveFamily::Mixed,
+                25,
+                6,
+                seed,
+            );
+            let alloc: Vec<usize> = (0..ins.n()).map(|j| 1 + (j + seed as usize) % 3).collect();
+            for prio in [Priority::TaskId, Priority::BottomLevel, Priority::WidestFirst] {
+                let s = list_schedule(&ins, &alloc, prio);
+                assert_eq!(
+                    find_greedy_violation(&ins, &alloc, &s),
+                    None,
+                    "seed {seed}, prio {prio:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_violation_detector_catches_idling() {
+        // Handcraft a schedule that needlessly delays a ready task.
+        let ins = instance(generate::independent(2), 2, &[2.0, 2.0]);
+        let bad = crate::schedule::Schedule::new(
+            2,
+            vec![
+                crate::schedule::ScheduledTask {
+                    start: 0.0,
+                    alloc: 1,
+                    duration: 2.0,
+                },
+                crate::schedule::ScheduledTask {
+                    start: 5.0,
+                    alloc: 1,
+                    duration: 2.0,
+                },
+            ],
+        );
+        let v = find_greedy_violation(&ins, &[1, 1], &bad);
+        assert_eq!(v.map(|(j, _)| j), Some(1));
+    }
+}

@@ -1,0 +1,507 @@
+//! Schedules of malleable tasks: representation, feasibility verification,
+//! busy-processor profiles and the T₁/T₂/T₃ time-slot classification that
+//! drives the analysis of Section 4.
+
+use crate::error::CoreError;
+use mtsp_model::Instance;
+
+/// Relative tolerance for time comparisons within schedules.
+const EPS: f64 = 1e-7;
+
+/// One task's placement: start time and processor count; the duration is
+/// stored explicitly so a `Schedule` is self-contained.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduledTask {
+    /// Start time `τ_j ≥ 0`.
+    pub start: f64,
+    /// Number of processors `l_j ∈ 1..=m`.
+    pub alloc: usize,
+    /// Processing time `p_j(l_j)`.
+    pub duration: f64,
+}
+
+impl ScheduledTask {
+    /// Completion time `C_j = τ_j + p_j(l_j)`.
+    #[inline]
+    pub fn finish(&self) -> f64 {
+        self.start + self.duration
+    }
+}
+
+/// Classification of a time slot by the number of busy processors
+/// (Section 4): with cap `μ`,
+/// `T₁`: at most `μ − 1` busy; `T₂`: between `μ` and `m − μ`;
+/// `T₃`: at least `m − μ + 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotClass {
+    /// Low utilization (`≤ μ − 1` busy).
+    T1,
+    /// Medium utilization (`μ ..= m − μ` busy).
+    T2,
+    /// High utilization (`≥ m − μ + 1` busy).
+    T3,
+}
+
+/// The busy-processor step function of a schedule together with its
+/// T₁/T₂/T₃ decomposition for a given `μ`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotProfile {
+    /// Maximal constant-busy intervals `(start, end, busy, class)` covering
+    /// `[0, makespan)`.
+    pub intervals: Vec<(f64, f64, usize, SlotClass)>,
+    /// Total length of T₁ slots (`|T₁|`).
+    pub t1: f64,
+    /// Total length of T₂ slots (`|T₂|`).
+    pub t2: f64,
+    /// Total length of T₃ slots (`|T₃|`).
+    pub t3: f64,
+}
+
+/// A complete schedule on `m` processors (allotments are processor
+/// *counts*; the `mtsp-sim` crate maps them to concrete processor ids).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    m: usize,
+    tasks: Vec<ScheduledTask>,
+}
+
+impl Schedule {
+    /// Wraps raw placements.
+    pub fn new(m: usize, tasks: Vec<ScheduledTask>) -> Self {
+        Schedule { m, tasks }
+    }
+
+    /// Machine size.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Number of tasks.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Placement of task `j`.
+    #[inline]
+    pub fn task(&self, j: usize) -> ScheduledTask {
+        self.tasks[j]
+    }
+
+    /// All placements, indexed by task id.
+    #[inline]
+    pub fn tasks(&self) -> &[ScheduledTask] {
+        &self.tasks
+    }
+
+    /// Makespan `Cmax = max_j C_j` (0 for the empty schedule).
+    pub fn makespan(&self) -> f64 {
+        self.tasks.iter().map(ScheduledTask::finish).fold(0.0, f64::max)
+    }
+
+    /// Total work `Σ_j l_j · p_j(l_j)`.
+    pub fn total_work(&self) -> f64 {
+        self.tasks
+            .iter()
+            .map(|t| t.alloc as f64 * t.duration)
+            .sum()
+    }
+
+    /// Average utilization `W/(m · Cmax)` (0 for empty schedules).
+    pub fn utilization(&self) -> f64 {
+        let c = self.makespan();
+        if c <= 0.0 {
+            0.0
+        } else {
+            self.total_work() / (self.m as f64 * c)
+        }
+    }
+
+    /// The allotment vector `α` of this schedule.
+    pub fn allotments(&self) -> Vec<usize> {
+        self.tasks.iter().map(|t| t.alloc).collect()
+    }
+
+    /// Verifies the schedule against an instance:
+    ///
+    /// * one placement per task, allotments in `1..=m`;
+    /// * durations equal `p_j(l_j)`;
+    /// * precedence: `C_i ≤ τ_j` for every arc `(i, j)`;
+    /// * capacity: at every moment the busy processors sum to at most `m`.
+    pub fn verify(&self, ins: &Instance) -> Result<(), CoreError> {
+        let err = |msg: String| Err(CoreError::InvalidSchedule(msg));
+        if self.tasks.len() != ins.n() {
+            return err(format!(
+                "schedule has {} tasks, instance {}",
+                self.tasks.len(),
+                ins.n()
+            ));
+        }
+        if self.m != ins.m() {
+            return err(format!("schedule m {} != instance m {}", self.m, ins.m()));
+        }
+        for (j, t) in self.tasks.iter().enumerate() {
+            if t.alloc < 1 || t.alloc > self.m {
+                return err(format!("task {j}: allotment {} out of 1..={}", t.alloc, self.m));
+            }
+            if t.start < -EPS || !t.start.is_finite() {
+                return err(format!("task {j}: bad start {}", t.start));
+            }
+            let expect = ins.profile(j).time(t.alloc);
+            if (t.duration - expect).abs() > EPS * (1.0 + expect) {
+                return err(format!(
+                    "task {j}: duration {} != p({}) = {expect}",
+                    t.duration, t.alloc
+                ));
+            }
+        }
+        for (i, j) in ins.dag().edges() {
+            let ci = self.tasks[i].finish();
+            let tj = self.tasks[j].start;
+            if ci > tj + EPS * (1.0 + ci.abs()) {
+                return err(format!(
+                    "precedence ({i}, {j}) violated: C_{i} = {ci} > tau_{j} = {tj}"
+                ));
+            }
+        }
+        // Capacity sweep.
+        for (s, e, busy, _) in self.slot_profile(1).intervals {
+            if busy > self.m {
+                return err(format!("capacity exceeded: {busy} > {} in [{s}, {e})", self.m));
+            }
+        }
+        Ok(())
+    }
+
+    /// The busy-processor step function with T₁/T₂/T₃ classification for
+    /// cap `μ` (Section 4). Intervals cover `[0, Cmax)`; zero-length
+    /// intervals are dropped, adjacent intervals of equal busy count are
+    /// merged.
+    ///
+    /// # Panics
+    /// Panics if `μ` is zero or exceeds `m`.
+    pub fn slot_profile(&self, mu: usize) -> SlotProfile {
+        assert!(mu >= 1 && mu <= self.m, "mu must lie in 1..=m");
+        // Sweep events: +alloc at start, -alloc at finish.
+        let mut events: Vec<(f64, isize)> = Vec::with_capacity(2 * self.tasks.len());
+        for t in &self.tasks {
+            if t.duration > 0.0 {
+                events.push((t.start, t.alloc as isize));
+                events.push((t.finish(), -(t.alloc as isize)));
+            }
+        }
+        events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+        let mut intervals: Vec<(f64, f64, usize, SlotClass)> = Vec::new();
+        let mut busy = 0isize;
+        let mut idx = 0usize;
+        let mut now = 0.0f64;
+        let makespan = self.makespan();
+        while idx < events.len() {
+            let t = events[idx].0;
+            // Merge events at (numerically) the same time.
+            let mut delta = 0isize;
+            while idx < events.len() && events[idx].0 <= t + EPS * (1.0 + t.abs()) {
+                delta += events[idx].1;
+                idx += 1;
+            }
+            if t > now + EPS * (1.0 + now.abs()) && now < makespan {
+                let b = busy.max(0) as usize;
+                push_interval(&mut intervals, now, t.min(makespan), b, classify(b, self.m, mu));
+            }
+            busy += delta;
+            now = now.max(t);
+        }
+        let (mut t1, mut t2, mut t3) = (0.0, 0.0, 0.0);
+        for &(s, e, _, class) in &intervals {
+            match class {
+                SlotClass::T1 => t1 += e - s,
+                SlotClass::T2 => t2 += e - s,
+                SlotClass::T3 => t3 += e - s,
+            }
+        }
+        SlotProfile {
+            intervals,
+            t1,
+            t2,
+            t3,
+        }
+    }
+
+    /// A plain-text Gantt-style rendering (one line per task, sorted by
+    /// start time), for examples and debugging.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut order: Vec<usize> = (0..self.tasks.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.tasks[a]
+                .start
+                .partial_cmp(&self.tasks[b].start)
+                .expect("finite starts")
+                .then(a.cmp(&b))
+        });
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "schedule on m={} processors, makespan {:.4}, utilization {:.1}%",
+            self.m,
+            self.makespan(),
+            100.0 * self.utilization()
+        );
+        for j in order {
+            let t = &self.tasks[j];
+            let _ = writeln!(
+                s,
+                "  task {j:>4}: [{:>10.4}, {:>10.4})  x{:<3} procs",
+                t.start,
+                t.finish(),
+                t.alloc
+            );
+        }
+        s
+    }
+}
+
+fn classify(busy: usize, m: usize, mu: usize) -> SlotClass {
+    if busy < mu {
+        SlotClass::T1
+    } else if busy + mu <= m {
+        SlotClass::T2
+    } else {
+        SlotClass::T3
+    }
+}
+
+fn push_interval(
+    intervals: &mut Vec<(f64, f64, usize, SlotClass)>,
+    s: f64,
+    e: f64,
+    busy: usize,
+    class: SlotClass,
+) {
+    if e <= s {
+        return;
+    }
+    if let Some(last) = intervals.last_mut() {
+        if last.2 == busy && (last.1 - s).abs() <= EPS * (1.0 + s.abs()) {
+            last.1 = e;
+            return;
+        }
+    }
+    intervals.push((s, e, busy, class));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtsp_dag::Dag;
+    use mtsp_model::Profile;
+
+    fn two_task_instance() -> Instance {
+        let dag = Dag::from_edges(2, &[(0, 1)]).unwrap();
+        let profiles = vec![
+            Profile::power_law(4.0, 1.0, 4).unwrap(),
+            Profile::power_law(2.0, 1.0, 4).unwrap(),
+        ];
+        Instance::new(dag, profiles).unwrap()
+    }
+
+    fn valid_schedule() -> Schedule {
+        Schedule::new(
+            4,
+            vec![
+                ScheduledTask {
+                    start: 0.0,
+                    alloc: 2,
+                    duration: 2.0,
+                },
+                ScheduledTask {
+                    start: 2.0,
+                    alloc: 1,
+                    duration: 2.0,
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn makespan_work_utilization() {
+        let s = valid_schedule();
+        assert!((s.makespan() - 4.0).abs() < 1e-12);
+        assert!((s.total_work() - 6.0).abs() < 1e-12);
+        assert!((s.utilization() - 6.0 / 16.0).abs() < 1e-12);
+        assert_eq!(s.allotments(), vec![2, 1]);
+        assert_eq!(s.n(), 2);
+        assert_eq!(s.m(), 4);
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let s = Schedule::new(2, vec![]);
+        assert_eq!(s.makespan(), 0.0);
+        assert_eq!(s.utilization(), 0.0);
+        let p = s.slot_profile(1);
+        assert!(p.intervals.is_empty());
+        assert_eq!((p.t1, p.t2, p.t3), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn verify_accepts_valid() {
+        let ins = two_task_instance();
+        assert!(valid_schedule().verify(&ins).is_ok());
+    }
+
+    #[test]
+    fn verify_rejects_precedence_violation() {
+        let ins = two_task_instance();
+        let mut s = valid_schedule();
+        s.tasks[1].start = 1.0;
+        let e = s.verify(&ins).unwrap_err();
+        assert!(e.to_string().contains("precedence"));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_duration() {
+        let ins = two_task_instance();
+        let mut s = valid_schedule();
+        s.tasks[0].duration = 3.0;
+        assert!(s.verify(&ins).is_err());
+    }
+
+    #[test]
+    fn verify_rejects_capacity_violation() {
+        let dag = Dag::new(2);
+        let profiles = vec![Profile::constant(2.0, 2).unwrap(); 2];
+        let ins = Instance::new(dag, profiles).unwrap();
+        let s = Schedule::new(
+            2,
+            vec![
+                ScheduledTask {
+                    start: 0.0,
+                    alloc: 2,
+                    duration: 2.0,
+                },
+                ScheduledTask {
+                    start: 1.0,
+                    alloc: 2,
+                    duration: 2.0,
+                },
+            ],
+        );
+        let e = s.verify(&ins).unwrap_err();
+        assert!(e.to_string().contains("capacity"));
+    }
+
+    #[test]
+    fn verify_rejects_bad_alloc_and_counts() {
+        let ins = two_task_instance();
+        let mut s = valid_schedule();
+        s.tasks[0].alloc = 5;
+        assert!(s.verify(&ins).is_err());
+
+        let s = Schedule::new(4, vec![]);
+        assert!(s.verify(&ins).is_err());
+
+        let mut s = valid_schedule();
+        s.m = 8;
+        assert!(s.verify(&ins).is_err());
+    }
+
+    #[test]
+    fn slot_profile_classification() {
+        // m = 4, mu = 2: T1 = {<=1 busy}, T2 = {2 busy}, T3 = {>=3 busy}.
+        let s = Schedule::new(
+            4,
+            vec![
+                ScheduledTask {
+                    start: 0.0,
+                    alloc: 3,
+                    duration: 1.0,
+                },
+                ScheduledTask {
+                    start: 1.0,
+                    alloc: 2,
+                    duration: 1.0,
+                },
+                ScheduledTask {
+                    start: 2.0,
+                    alloc: 1,
+                    duration: 1.0,
+                },
+            ],
+        );
+        let p = s.slot_profile(2);
+        assert_eq!(p.intervals.len(), 3);
+        assert_eq!(p.intervals[0].3, SlotClass::T3);
+        assert_eq!(p.intervals[1].3, SlotClass::T2);
+        assert_eq!(p.intervals[2].3, SlotClass::T1);
+        assert!((p.t1 - 1.0).abs() < 1e-9);
+        assert!((p.t2 - 1.0).abs() < 1e-9);
+        assert!((p.t3 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slot_profile_merges_equal_busy() {
+        // Two back-to-back tasks with equal busy count merge into one slot.
+        let s = Schedule::new(
+            2,
+            vec![
+                ScheduledTask {
+                    start: 0.0,
+                    alloc: 1,
+                    duration: 1.0,
+                },
+                ScheduledTask {
+                    start: 1.0,
+                    alloc: 1,
+                    duration: 1.0,
+                },
+            ],
+        );
+        let p = s.slot_profile(1);
+        assert_eq!(p.intervals.len(), 1);
+        assert_eq!(p.intervals[0].2, 1);
+        assert!((p.t3 - 0.0).abs() < 1e-12); // busy=1, m=2, mu=1 -> T2
+        assert!((p.t2 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slot_profile_covers_makespan_with_gaps() {
+        // Idle gap between tasks is a T1 (0 busy) interval.
+        let s = Schedule::new(
+            2,
+            vec![
+                ScheduledTask {
+                    start: 0.0,
+                    alloc: 2,
+                    duration: 1.0,
+                },
+                ScheduledTask {
+                    start: 2.0,
+                    alloc: 2,
+                    duration: 1.0,
+                },
+            ],
+        );
+        let p = s.slot_profile(1);
+        let total: f64 = p.intervals.iter().map(|&(a, b, _, _)| b - a).sum();
+        assert!((total - 3.0).abs() < 1e-9);
+        assert!((p.t1 - 1.0).abs() < 1e-9, "idle slot is T1");
+        assert!((p.t3 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_mentions_tasks() {
+        let s = valid_schedule();
+        let text = s.render();
+        assert!(text.contains("task    0"));
+        assert!(text.contains("task    1"));
+        assert!(text.contains("m=4"));
+    }
+
+    #[test]
+    #[should_panic(expected = "mu must lie in 1..=m")]
+    fn slot_profile_rejects_bad_mu() {
+        valid_schedule().slot_profile(0);
+    }
+}

@@ -1,0 +1,283 @@
+//! Exact DAG width via Dilworth's theorem.
+//!
+//! The *width* of a DAG — the maximum number of pairwise incomparable
+//! tasks — is the best possible degree of task parallelism and a natural
+//! workload descriptor for the experiments. By Dilworth's theorem the
+//! width equals the minimum number of chains covering the poset, and by
+//! the Fulkerson construction that minimum is `n − M`, where `M` is a
+//! maximum matching in the bipartite graph with an edge `(u, v)` for every
+//! pair `u < v` in the transitive closure.
+//!
+//! Matching is computed with Kuhn's augmenting-path algorithm — `O(n·E)`
+//! on the closure, adequate for the instance sizes used here (the layered
+//! lower bound in [`crate::stats`] stays the cheap default).
+
+use crate::graph::{Dag, NodeId};
+
+/// Maximum-cardinality bipartite matching by repeated augmenting paths.
+/// `adj[u]` lists right-side partners of left vertex `u`.
+fn kuhn_matching(adj: &[Vec<usize>], n_right: usize) -> Vec<Option<usize>> {
+    let n_left = adj.len();
+    // match_right[v] = left vertex matched to right vertex v.
+    let mut match_right: Vec<Option<usize>> = vec![None; n_right];
+    let mut visited = vec![u32::MAX; n_right];
+
+    fn try_augment(
+        u: usize,
+        adj: &[Vec<usize>],
+        match_right: &mut [Option<usize>],
+        visited: &mut [u32],
+        stamp: u32,
+    ) -> bool {
+        for &v in &adj[u] {
+            if visited[v] == stamp {
+                continue;
+            }
+            visited[v] = stamp;
+            match match_right[v] {
+                None => {
+                    match_right[v] = Some(u);
+                    return true;
+                }
+                Some(w) => {
+                    if try_augment(w, adj, match_right, visited, stamp) {
+                        match_right[v] = Some(u);
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    for u in 0..n_left {
+        try_augment(u, adj, &mut match_right, &mut visited, u as u32);
+    }
+    match_right
+}
+
+/// The exact width (maximum antichain size) of the DAG. `O(n·E_closure)`.
+pub fn width(g: &Dag) -> usize {
+    let n = g.node_count();
+    if n == 0 {
+        return 0;
+    }
+    let closure = g.transitive_closure();
+    let adj: Vec<Vec<usize>> = (0..n)
+        .map(|u| (0..n).filter(|&v| closure[u][v]).collect())
+        .collect();
+    let matched = kuhn_matching(&adj, n)
+        .iter()
+        .filter(|m| m.is_some())
+        .count();
+    n - matched
+}
+
+/// A minimum chain cover: partitions the nodes into exactly [`width`]
+/// chains (paths in the *transitive closure*; consecutive chain elements
+/// are comparable, not necessarily adjacent in `g`). Dilworth's theorem
+/// makes this the dual witness to [`maximum_antichain`].
+#[allow(clippy::needless_range_loop)] // node ids pair several arrays
+pub fn minimum_chain_cover(g: &Dag) -> Vec<Vec<NodeId>> {
+    let n = g.node_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let closure = g.transitive_closure();
+    let adj: Vec<Vec<usize>> = (0..n)
+        .map(|u| (0..n).filter(|&v| closure[u][v]).collect())
+        .collect();
+    let match_right = kuhn_matching(&adj, n);
+    let mut next: Vec<Option<usize>> = vec![None; n];
+    let mut has_pred = vec![false; n];
+    for (v, m) in match_right.iter().enumerate() {
+        if let Some(u) = *m {
+            next[u] = Some(v);
+            has_pred[v] = true;
+        }
+    }
+    let mut chains = Vec::new();
+    for s in 0..n {
+        if !has_pred[s] {
+            let mut chain = vec![s];
+            let mut cur = s;
+            while let Some(nx) = next[cur] {
+                chain.push(nx);
+                cur = nx;
+            }
+            chains.push(chain);
+        }
+    }
+    chains
+}
+
+/// A maximum antichain (a witness for [`width`]).
+///
+/// Uses the König construction on the closure's bipartite graph: with a
+/// maximum matching `M`, let `Z` be the vertices reachable from unmatched
+/// left copies by alternating paths; the minimum vertex cover is
+/// `(L \ Z) ∪ (R ∩ Z)`, and the nodes with *both* copies outside the
+/// cover — `x_out ∈ Z` and `x_in ∉ Z` — form an antichain of size
+/// `n − |M|`, which is maximum by Dilworth's theorem.
+pub fn maximum_antichain(g: &Dag) -> Vec<NodeId> {
+    let n = g.node_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let closure = g.transitive_closure();
+    let adj: Vec<Vec<usize>> = (0..n)
+        .map(|u| (0..n).filter(|&v| closure[u][v]).collect())
+        .collect();
+    let match_right = kuhn_matching(&adj, n);
+    let mut match_left: Vec<Option<usize>> = vec![None; n];
+    for (v, m) in match_right.iter().enumerate() {
+        if let Some(u) = *m {
+            match_left[u] = Some(v);
+        }
+    }
+    // Alternating BFS from unmatched left copies.
+    let mut z_left = vec![false; n];
+    let mut z_right = vec![false; n];
+    let mut queue: std::collections::VecDeque<usize> = (0..n)
+        .filter(|&u| match_left[u].is_none())
+        .inspect(|&u| z_left[u] = true)
+        .collect();
+    while let Some(u) = queue.pop_front() {
+        for &v in &adj[u] {
+            if z_right[v] || match_left[u] == Some(v) {
+                continue; // only non-matching edges leave the left side
+            }
+            z_right[v] = true;
+            if let Some(w) = match_right[v] {
+                if !z_left[w] {
+                    z_left[w] = true;
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    (0..n).filter(|&x| z_left[x] && !z_right[x]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    fn is_antichain(g: &Dag, set: &[NodeId]) -> bool {
+        let closure = g.transitive_closure();
+        for (i, &a) in set.iter().enumerate() {
+            for &b in &set[i + 1..] {
+                if a == b || closure[a][b] || closure[b][a] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn width_of_basic_shapes() {
+        assert_eq!(width(&generate::chain(7)), 1);
+        assert_eq!(width(&generate::independent(9)), 9);
+        assert_eq!(width(&Dag::new(0)), 0);
+        // diamond: width 2 (the two middle nodes)
+        let d = Dag::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        assert_eq!(width(&d), 2);
+        // fork-join with width w: exactly w
+        assert_eq!(width(&generate::fork_join(5, 3)), 5);
+        // out-tree of depth 3, arity 2: the 4 leaves
+        assert_eq!(width(&generate::out_tree(2, 3)), 4);
+    }
+
+    #[test]
+    fn width_of_wavefront_is_diagonal() {
+        // rows x cols grid ordered by (<=, <=): max antichain = min(r, c)
+        // ... in the *component order* it is an antidiagonal.
+        assert_eq!(width(&generate::wavefront(3, 4)), 3);
+        assert_eq!(width(&generate::wavefront(5, 2)), 2);
+    }
+
+    #[test]
+    fn width_at_least_layer_bound() {
+        for seed in 0..5 {
+            let g = generate::layered_random(5, (2, 5), 0.3, seed);
+            let layer_bound = crate::topo::layers(&g)
+                .iter()
+                .map(Vec::len)
+                .max()
+                .unwrap_or(0);
+            let w = width(&g);
+            assert!(
+                w >= layer_bound,
+                "seed {seed}: width {w} < layer bound {layer_bound}"
+            );
+            assert!(w <= g.node_count());
+        }
+    }
+
+    #[test]
+    fn witness_is_an_antichain_of_width_size() {
+        for seed in 0..8 {
+            let g = generate::random_order_dag(18, 0.2, seed);
+            let w = width(&g);
+            let ac = maximum_antichain(&g);
+            assert!(is_antichain(&g, &ac), "seed {seed}: not an antichain");
+            assert_eq!(ac.len(), w, "seed {seed}: witness size != width");
+        }
+    }
+
+    #[test]
+    fn witness_on_structured_graphs() {
+        for g in [
+            generate::chain(5),
+            generate::independent(6),
+            generate::fork_join(4, 2),
+            generate::cholesky(4),
+            generate::wavefront(4, 4),
+        ] {
+            let ac = maximum_antichain(&g);
+            assert!(is_antichain(&g, &ac));
+            assert_eq!(ac.len(), width(&g));
+        }
+    }
+
+    #[test]
+    fn chain_cover_partitions_into_width_chains() {
+        for seed in 0..6 {
+            let g = generate::random_order_dag(16, 0.25, seed);
+            let closure = g.transitive_closure();
+            let chains = minimum_chain_cover(&g);
+            assert_eq!(chains.len(), width(&g), "seed {seed}: Dilworth duality");
+            // Partition: every node exactly once.
+            let mut seen = vec![false; g.node_count()];
+            for chain in &chains {
+                for &v in chain {
+                    assert!(!seen[v], "seed {seed}: node {v} covered twice");
+                    seen[v] = true;
+                }
+                // Chain elements are pairwise comparable in order.
+                for w in chain.windows(2) {
+                    assert!(closure[w[0]][w[1]], "seed {seed}: not a chain");
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "seed {seed}: node uncovered");
+        }
+    }
+
+    #[test]
+    fn chain_cover_of_shapes() {
+        assert_eq!(minimum_chain_cover(&generate::chain(5)).len(), 1);
+        assert_eq!(minimum_chain_cover(&generate::independent(4)).len(), 4);
+        assert_eq!(minimum_chain_cover(&Dag::new(0)).len(), 0);
+        let fj = generate::fork_join(3, 2);
+        assert_eq!(minimum_chain_cover(&fj).len(), 3);
+    }
+
+    #[test]
+    fn dense_total_order_has_width_one() {
+        let g = generate::random_order_dag(10, 1.0, 3);
+        assert_eq!(width(&g), 1);
+        assert_eq!(maximum_antichain(&g).len(), 1);
+    }
+}

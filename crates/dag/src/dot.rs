@@ -1,0 +1,116 @@
+//! Graphviz (DOT) export for visual inspection of task graphs and for
+//! regenerating the paper's schedule/path illustrations.
+
+use crate::graph::Dag;
+use std::fmt::Write as _;
+
+/// Renders the DAG in Graphviz DOT syntax.
+///
+/// `label` receives each node id and returns the node label; pass
+/// `|v| v.to_string()` for bare ids.
+pub fn to_dot<F>(g: &Dag, name: &str, mut label: F) -> String
+where
+    F: FnMut(usize) -> String,
+{
+    let mut s = String::with_capacity(64 + 24 * (g.node_count() + g.edge_count()));
+    // DOT identifiers with spaces need quoting; always quote for simplicity.
+    let _ = writeln!(s, "digraph \"{}\" {{", name.replace('"', "'"));
+    let _ = writeln!(s, "  rankdir=TB;");
+    for v in 0..g.node_count() {
+        let _ = writeln!(s, "  n{} [label=\"{}\"];", v, label(v).replace('"', "'"));
+    }
+    for (u, v) in g.edges() {
+        let _ = writeln!(s, "  n{u} -> n{v};");
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Renders with highlighted nodes/arcs (e.g. a critical or "heavy" path,
+/// cf. Fig. 2 of the paper). Highlighted nodes are filled; consecutive
+/// highlighted nodes connected by an arc get a bold red edge.
+pub fn to_dot_highlight(g: &Dag, name: &str, highlight: &[usize]) -> String {
+    let on_path = {
+        let mut mask = vec![false; g.node_count()];
+        for &v in highlight {
+            mask[v] = true;
+        }
+        mask
+    };
+    let next_on_path = {
+        // arc (u,v) highlighted iff u,v adjacent in `highlight`
+        let mut set = std::collections::HashSet::new();
+        for w in highlight.windows(2) {
+            set.insert((w[0], w[1]));
+        }
+        set
+    };
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"{}\" {{", name.replace('"', "'"));
+    let _ = writeln!(s, "  rankdir=TB;");
+    for (v, &hl) in on_path.iter().enumerate() {
+        if hl {
+            let _ = writeln!(
+                s,
+                "  n{v} [label=\"{v}\", style=filled, fillcolor=lightcoral];"
+            );
+        } else {
+            let _ = writeln!(s, "  n{v} [label=\"{v}\"];");
+        }
+    }
+    for (u, v) in g.edges() {
+        if next_on_path.contains(&(u, v)) {
+            let _ = writeln!(s, "  n{u} -> n{v} [color=red, penwidth=2.5];");
+        } else {
+            let _ = writeln!(s, "  n{u} -> n{v};");
+        }
+    }
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let g = generate::chain(3);
+        let dot = to_dot(&g, "chain", |v| format!("T{v}"));
+        assert!(dot.starts_with("digraph \"chain\""));
+        for v in 0..3 {
+            assert!(dot.contains(&format!("n{v} [label=\"T{v}\"]")));
+        }
+        assert!(dot.contains("n0 -> n1;"));
+        assert!(dot.contains("n1 -> n2;"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn dot_escapes_quotes() {
+        let g = Dag::new(1);
+        let dot = to_dot(&g, "a\"b", |_| "x\"y".into());
+        assert!(!dot.contains("\"a\"b\""));
+        assert!(dot.contains("a'b"));
+        assert!(dot.contains("x'y"));
+    }
+
+    #[test]
+    fn highlight_marks_path() {
+        let g = generate::chain(4);
+        let dot = to_dot_highlight(&g, "hl", &[1, 2]);
+        assert!(dot.contains("n1 [label=\"1\", style=filled"));
+        assert!(dot.contains("n2 [label=\"2\", style=filled"));
+        assert!(dot.contains("n1 -> n2 [color=red"));
+        assert!(dot.contains("n0 -> n1;")); // not highlighted
+    }
+
+    #[test]
+    fn highlight_empty_path_is_plain() {
+        let g = generate::chain(2);
+        let dot = to_dot_highlight(&g, "plain", &[]);
+        assert!(!dot.contains("filled"));
+        assert!(!dot.contains("red"));
+    }
+}

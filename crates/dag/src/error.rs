@@ -1,0 +1,72 @@
+//! Error type for DAG construction and queries.
+
+use std::fmt;
+
+/// Errors produced while building or querying a [`crate::Dag`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DagError {
+    /// A node id was `>= n` for a graph with `n` nodes.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: usize,
+        /// The number of nodes in the graph.
+        n: usize,
+    },
+    /// An edge `(u, u)` was rejected.
+    SelfLoop(usize),
+    /// The edge already exists; duplicate precedence arcs are rejected so
+    /// that in-degree counting stays exact.
+    DuplicateEdge(usize, usize),
+    /// Adding the edge would create a directed cycle (the target already
+    /// reaches the source).
+    WouldCycle {
+        /// Edge source.
+        from: usize,
+        /// Edge target.
+        to: usize,
+    },
+    /// An edge list referenced a cycle (batch construction).
+    CycleDetected,
+}
+
+impl fmt::Display for DagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DagError::NodeOutOfRange { node, n } => {
+                write!(f, "node {node} out of range for graph with {n} nodes")
+            }
+            DagError::SelfLoop(u) => write!(f, "self-loop on node {u} rejected"),
+            DagError::DuplicateEdge(u, v) => write!(f, "duplicate edge ({u}, {v}) rejected"),
+            DagError::WouldCycle { from, to } => {
+                write!(f, "edge ({from}, {to}) would create a directed cycle")
+            }
+            DagError::CycleDetected => write!(f, "edge list contains a directed cycle"),
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_nodes() {
+        let e = DagError::NodeOutOfRange { node: 7, n: 3 };
+        assert!(e.to_string().contains('7'));
+        assert!(e.to_string().contains('3'));
+        assert!(DagError::SelfLoop(2).to_string().contains('2'));
+        assert!(DagError::DuplicateEdge(1, 2).to_string().contains("(1, 2)"));
+        assert!(DagError::WouldCycle { from: 4, to: 5 }
+            .to_string()
+            .contains("(4, 5)"));
+        assert!(!DagError::CycleDetected.to_string().is_empty());
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(DagError::CycleDetected);
+        assert!(e.to_string().contains("cycle"));
+    }
+}

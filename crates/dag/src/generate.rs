@@ -1,0 +1,605 @@
+//! Task-graph generators.
+//!
+//! The paper motivates malleable scheduling with numeric workloads on large
+//! parallel machines (structure-driven compilation of numeric problems,
+//! adaptive-mesh ocean circulation, FFTs). These generators produce the
+//! corresponding DAG shapes, plus random families for stress testing:
+//!
+//! * deterministic shapes: [`chain`], [`independent`], [`fork_join`],
+//!   [`out_tree`], [`in_tree`], [`diamond_ladder`], [`wavefront`],
+//!   [`cholesky`], [`lu`], [`fft`];
+//! * random families: [`layered_random`], [`random_order_dag`],
+//!   [`series_parallel`].
+//!
+//! All random generators take an explicit seed and are fully deterministic
+//! for a given seed, so benchmarks and tests are reproducible.
+
+use crate::graph::{Dag, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A path `0 → 1 → … → n−1`. The worst case for parallelism: the critical
+/// path contains every task.
+pub fn chain(n: usize) -> Dag {
+    let mut g = Dag::new(n);
+    for i in 1..n {
+        g.add_edge_unchecked(i - 1, i).expect("chain edges are valid");
+    }
+    g
+}
+
+/// `n` independent tasks (no precedence constraints); the classical
+/// independent-malleable-tasks special case.
+pub fn independent(n: usize) -> Dag {
+    Dag::new(n)
+}
+
+/// Fork–join: a source, `width` parallel tasks, a sink, repeated for
+/// `stages` stages. Total nodes: `stages * (width + 1) + 1`.
+///
+/// Stage boundaries are single synchronization tasks, the shape of
+/// bulk-synchronous numeric codes.
+pub fn fork_join(width: usize, stages: usize) -> Dag {
+    assert!(width >= 1, "fork_join requires width >= 1");
+    let n = stages * (width + 1) + 1;
+    let mut g = Dag::new(n);
+    let mut barrier = 0; // node id of the current synchronization point
+    let mut next = 1;
+    for _ in 0..stages {
+        let first = next;
+        for k in 0..width {
+            g.add_edge_unchecked(barrier, first + k)
+                .expect("fork edges are valid");
+        }
+        let join = first + width;
+        for k in 0..width {
+            g.add_edge_unchecked(first + k, join)
+                .expect("join edges are valid");
+        }
+        barrier = join;
+        next = join + 1;
+    }
+    g
+}
+
+/// Complete out-tree (root at node 0) of the given `arity` and `depth`
+/// (depth = number of levels; depth 1 is a single node).
+pub fn out_tree(arity: usize, depth: usize) -> Dag {
+    assert!(arity >= 1 && depth >= 1, "out_tree requires arity,depth >= 1");
+    // Node count of a complete arity-ary tree with `depth` levels.
+    let mut n = 0usize;
+    let mut level = 1usize;
+    for _ in 0..depth {
+        n += level;
+        level *= arity;
+    }
+    let mut g = Dag::new(n);
+    // Nodes are numbered level by level; children of v start at
+    // offset(level+1) + (v - offset(level)) * arity.
+    let mut offset = 0usize;
+    let mut width = 1usize;
+    for _ in 0..depth - 1 {
+        let next_offset = offset + width;
+        for i in 0..width {
+            let v = offset + i;
+            for c in 0..arity {
+                let child = next_offset + i * arity + c;
+                g.add_edge_unchecked(v, child).expect("tree edges are valid");
+            }
+        }
+        offset = next_offset;
+        width *= arity;
+    }
+    g
+}
+
+/// Complete in-tree: the reverse of [`out_tree`] (leaves feed a single
+/// root-sink). Reduction trees of parallel aggregations.
+pub fn in_tree(arity: usize, depth: usize) -> Dag {
+    out_tree(arity, depth).reversed()
+}
+
+/// A ladder of `k` diamonds chained in sequence; each diamond is
+/// `s → {a, b} → t`. A minimal series–parallel stress shape.
+pub fn diamond_ladder(k: usize) -> Dag {
+    let n = 3 * k + 1;
+    let mut g = Dag::new(n.max(1));
+    for d in 0..k {
+        let s = 3 * d;
+        let (a, b, t) = (s + 1, s + 2, s + 3);
+        g.add_edge_unchecked(s, a).expect("valid");
+        g.add_edge_unchecked(s, b).expect("valid");
+        g.add_edge_unchecked(a, t).expect("valid");
+        g.add_edge_unchecked(b, t).expect("valid");
+    }
+    g
+}
+
+/// 2-D wavefront on a `rows × cols` grid: task `(i, j)` precedes `(i+1, j)`
+/// and `(i, j+1)`. The dependence structure of Gauss–Seidel sweeps, dynamic
+/// programming tables and stencil pipelines.
+pub fn wavefront(rows: usize, cols: usize) -> Dag {
+    let idx = |i: usize, j: usize| i * cols + j;
+    let mut g = Dag::new(rows * cols);
+    for i in 0..rows {
+        for j in 0..cols {
+            if i + 1 < rows {
+                g.add_edge_unchecked(idx(i, j), idx(i + 1, j)).expect("valid");
+            }
+            if j + 1 < cols {
+                g.add_edge_unchecked(idx(i, j), idx(i, j + 1)).expect("valid");
+            }
+        }
+    }
+    g
+}
+
+/// Blocked (right-looking) Cholesky factorization task graph on a `b × b`
+/// lower-triangular block matrix.
+///
+/// Tasks per step `k`: `POTRF(k)`, `TRSM(i,k)` for `i>k`, and
+/// `SYRK/GEMM(i,j,k)` for `i≥j>k`; dependencies follow the classic
+/// tiled-Cholesky data flow (the canonical task-based linear-algebra DAG).
+#[allow(clippy::needless_range_loop)] // block indices mirror the math
+pub fn cholesky(b: usize) -> Dag {
+    assert!(b >= 1, "cholesky requires b >= 1");
+    // Assign ids: potrf[k], trsm[(i,k)] i>k, syrk[(i,j,k)] i>=j>k.
+    let mut id = 0usize;
+    let mut potrf = vec![usize::MAX; b];
+    let mut trsm = vec![vec![usize::MAX; b]; b]; // trsm[i][k]
+    let mut syrk = vec![vec![vec![usize::MAX; b]; b]; b]; // syrk[i][j][k]
+    for k in 0..b {
+        potrf[k] = id;
+        id += 1;
+        for i in k + 1..b {
+            trsm[i][k] = id;
+            id += 1;
+        }
+        for j in k + 1..b {
+            for i in j..b {
+                syrk[i][j][k] = id;
+                id += 1;
+            }
+        }
+    }
+    let mut g = Dag::new(id);
+    let mut add = |u: usize, v: usize| {
+        // Duplicate arcs can arise from symmetric update patterns; ignore.
+        let _ = g.add_edge_unchecked(u, v);
+    };
+    for k in 0..b {
+        // POTRF(k) <- SYRK(k,k,k-1) (the update of block (k,k) at step k-1).
+        if k > 0 {
+            add(syrk[k][k][k - 1], potrf[k]);
+        }
+        for i in k + 1..b {
+            // TRSM(i,k) <- POTRF(k); TRSM(i,k) <- GEMM(i,k,k-1).
+            add(potrf[k], trsm[i][k]);
+            if k > 0 {
+                add(syrk[i][k][k - 1], trsm[i][k]);
+            }
+        }
+        for j in k + 1..b {
+            for i in j..b {
+                // SYRK/GEMM(i,j,k) <- TRSM(i,k), TRSM(j,k), and the previous
+                // update of the same block.
+                add(trsm[i][k], syrk[i][j][k]);
+                add(trsm[j][k], syrk[i][j][k]);
+                if k > 0 {
+                    add(syrk[i][j][k - 1], syrk[i][j][k]);
+                }
+            }
+        }
+    }
+    g
+}
+
+/// Blocked LU factorization (no pivoting) task graph on a `b × b` block
+/// matrix: `GETRF(k)`, row/column `TRSM`s and trailing `GEMM` updates.
+#[allow(clippy::needless_range_loop)] // block indices mirror the math
+pub fn lu(b: usize) -> Dag {
+    assert!(b >= 1, "lu requires b >= 1");
+    let mut id = 0usize;
+    let mut getrf = vec![usize::MAX; b];
+    let mut trsm_row = vec![vec![usize::MAX; b]; b]; // trsm_row[k][j], j>k
+    let mut trsm_col = vec![vec![usize::MAX; b]; b]; // trsm_col[i][k], i>k
+    let mut gemm = vec![vec![vec![usize::MAX; b]; b]; b]; // gemm[i][j][k]
+    for k in 0..b {
+        getrf[k] = id;
+        id += 1;
+        for j in k + 1..b {
+            trsm_row[k][j] = id;
+            id += 1;
+        }
+        for i in k + 1..b {
+            trsm_col[i][k] = id;
+            id += 1;
+        }
+        for i in k + 1..b {
+            for j in k + 1..b {
+                gemm[i][j][k] = id;
+                id += 1;
+            }
+        }
+    }
+    let mut g = Dag::new(id);
+    let mut add = |u: usize, v: usize| {
+        let _ = g.add_edge_unchecked(u, v);
+    };
+    for k in 0..b {
+        if k > 0 {
+            add(gemm[k][k][k - 1], getrf[k]);
+        }
+        for j in k + 1..b {
+            add(getrf[k], trsm_row[k][j]);
+            if k > 0 {
+                add(gemm[k][j][k - 1], trsm_row[k][j]);
+            }
+        }
+        for i in k + 1..b {
+            add(getrf[k], trsm_col[i][k]);
+            if k > 0 {
+                add(gemm[i][k][k - 1], trsm_col[i][k]);
+            }
+        }
+        for i in k + 1..b {
+            for j in k + 1..b {
+                add(trsm_col[i][k], gemm[i][j][k]);
+                add(trsm_row[k][j], gemm[i][j][k]);
+                if k > 0 {
+                    add(gemm[i][j][k - 1], gemm[i][j][k]);
+                }
+            }
+        }
+    }
+    g
+}
+
+/// Radix-2 FFT butterfly dataflow on `2^log2n` points: `log2n` stages of
+/// `2^(log2n-1)` butterfly tasks; each butterfly depends on the two
+/// butterflies of the previous stage feeding its inputs.
+pub fn fft(log2n: u32) -> Dag {
+    let n = 1usize << log2n;
+    let half = n / 2;
+    let stages = log2n as usize;
+    if stages == 0 {
+        return Dag::new(1);
+    }
+    let mut g = Dag::new(stages * half);
+    let id = |s: usize, b: usize| s * half + b;
+    // Stage s combines points differing in bit s (decimation in time).
+    // Butterfly b of stage s handles the point pair (p, p | 1<<s) where p is
+    // b with a zero inserted at bit position s.
+    let pair_of = |s: usize, b: usize| -> (usize, usize) {
+        let low_mask = (1usize << s) - 1;
+        let low = b & low_mask;
+        let high = (b & !low_mask) << 1;
+        let p = high | low;
+        (p, p | (1 << s))
+    };
+    // For each point, remember which butterfly of the previous stage wrote it.
+    let mut writer = vec![usize::MAX; n];
+    for s in 0..stages {
+        let mut new_writer = vec![usize::MAX; n];
+        for b in 0..half {
+            let (p, q) = pair_of(s, b);
+            let t = id(s, b);
+            if s > 0 {
+                for src in [writer[p], writer[q]] {
+                    if src != usize::MAX {
+                        let _ = g.add_edge_unchecked(src, t);
+                    }
+                }
+            }
+            new_writer[p] = t;
+            new_writer[q] = t;
+        }
+        writer = new_writer;
+    }
+    g
+}
+
+/// Random layered DAG: `layers` layers whose widths are drawn uniformly
+/// from `width_range`; each (u, v) pair in consecutive layers is connected
+/// with probability `p`; every non-first-layer node gets at least one
+/// predecessor from the previous layer so the layering is tight.
+pub fn layered_random(
+    layers: usize,
+    width_range: (usize, usize),
+    p: f64,
+    seed: u64,
+) -> Dag {
+    assert!(layers >= 1, "layered_random requires layers >= 1");
+    let (lo, hi) = width_range;
+    assert!(1 <= lo && lo <= hi, "invalid width range");
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let widths: Vec<usize> = (0..layers).map(|_| rng.gen_range(lo..=hi)).collect();
+    let n: usize = widths.iter().sum();
+    let mut g = Dag::new(n);
+    let mut offset = 0usize;
+    for l in 1..layers {
+        let prev_off = offset;
+        let prev_w = widths[l - 1];
+        offset += prev_w;
+        for j in 0..widths[l] {
+            let v = offset + j;
+            let mut connected = false;
+            for i in 0..prev_w {
+                if rng.gen_bool(p) {
+                    g.add_edge_unchecked(prev_off + i, v).expect("layered edge");
+                    connected = true;
+                }
+            }
+            if !connected {
+                let i = rng.gen_range(0..prev_w);
+                g.add_edge_unchecked(prev_off + i, v).expect("layered edge");
+            }
+        }
+    }
+    g
+}
+
+/// Random out-tree by uniform attachment: node `v ≥ 1` picks a uniformly
+/// random parent among `0..v`. Tree-shaped precedence is the special class
+/// for which Lepère–Mounié–Trystram gave a (4+ε)-approximation and \[18\]
+/// the ratio (3+√5)/2 — a natural comparison family for the experiments.
+pub fn random_tree(n: usize, seed: u64) -> Dag {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Dag::new(n);
+    for v in 1..n {
+        let parent = rng.gen_range(0..v);
+        g.add_edge_unchecked(parent, v).expect("tree edge is valid");
+    }
+    g
+}
+
+/// Random DAG on a random topological order: each pair `(i, j)` with
+/// `i < j` in the order becomes an arc with probability `p`
+/// (G(n, p) on ordered pairs; Erdős–Rényi-style).
+pub fn random_order_dag(n: usize, p: f64, seed: u64) -> Dag {
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Random permutation = random topological order.
+    let mut perm: Vec<NodeId> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    let mut g = Dag::new(n);
+    for i in 0..n {
+        for j in i + 1..n {
+            if rng.gen_bool(p) {
+                g.add_edge_unchecked(perm[i], perm[j]).expect("ordered edge");
+            }
+        }
+    }
+    g
+}
+
+/// Random two-terminal series–parallel DAG with approximately `target`
+/// internal composition steps.
+///
+/// Built by recursive expansion: starting from a single edge, repeatedly
+/// replace a uniformly chosen arc by either a series composition
+/// (`u→w→v`) or a parallel composition (a second `u→x→v` branch), with
+/// equal probability. SP graphs are the class for which the tree-variant of
+/// the algorithm (Lepère–Mounié–Trystram) applies, so they are a natural
+/// comparison family.
+pub fn series_parallel(target: usize, seed: u64) -> Dag {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Work on an edge list with grow-only node ids; all edges u < v is NOT
+    // guaranteed, but construction never creates cycles (new interior nodes
+    // only subdivide or duplicate existing arcs).
+    let mut n = 2usize;
+    let mut edges: Vec<(usize, usize)> = vec![(0, 1)];
+    for _ in 0..target {
+        let e = rng.gen_range(0..edges.len());
+        let (u, v) = edges[e];
+        let w = n;
+        n += 1;
+        if rng.gen_bool(0.5) {
+            // series: u -> w -> v replaces u -> v
+            edges[e] = (u, w);
+            edges.push((w, v));
+        } else {
+            // parallel: add u -> w -> v alongside u -> v
+            edges.push((u, w));
+            edges.push((w, v));
+        }
+    }
+    let mut g = Dag::new(n);
+    for (u, v) in edges {
+        g.add_edge_unchecked(u, v).expect("sp edges are unique and acyclic");
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topo::{depth, is_topological_order, topological_order};
+
+    fn assert_valid(g: &Dag) {
+        let order = topological_order(g).expect("generated graph must be acyclic");
+        assert!(is_topological_order(g, &order));
+    }
+
+    #[test]
+    fn chain_shape() {
+        let g = chain(5);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(depth(&g), 5);
+        assert_valid(&g);
+        assert_eq!(chain(0).node_count(), 0);
+        assert_eq!(chain(1).edge_count(), 0);
+    }
+
+    #[test]
+    fn independent_shape() {
+        let g = independent(7);
+        assert_eq!(g.node_count(), 7);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn fork_join_shape() {
+        let g = fork_join(4, 3);
+        assert_eq!(g.node_count(), 3 * 5 + 1);
+        assert_eq!(g.edge_count(), 3 * 8);
+        assert_eq!(depth(&g), 7); // barrier,task,barrier,... = 2*stages+1
+        assert_eq!(g.sources(), vec![0]);
+        assert_eq!(g.sinks().len(), 1);
+        assert_valid(&g);
+    }
+
+    #[test]
+    fn out_tree_shape() {
+        let g = out_tree(2, 3);
+        assert_eq!(g.node_count(), 7);
+        assert_eq!(g.edge_count(), 6);
+        assert_eq!(g.sources(), vec![0]);
+        assert_eq!(g.sinks().len(), 4);
+        assert_eq!(depth(&g), 3);
+        assert_valid(&g);
+    }
+
+    #[test]
+    fn in_tree_is_reverse_of_out_tree() {
+        let g = in_tree(3, 3);
+        assert_eq!(g.node_count(), 13);
+        assert_eq!(g.sinks(), vec![0]);
+        assert_eq!(g.sources().len(), 9);
+        assert_valid(&g);
+    }
+
+    #[test]
+    fn diamond_ladder_shape() {
+        let g = diamond_ladder(3);
+        assert_eq!(g.node_count(), 10);
+        assert_eq!(g.edge_count(), 12);
+        assert_eq!(depth(&g), 7);
+        assert_valid(&g);
+    }
+
+    #[test]
+    fn wavefront_shape() {
+        let g = wavefront(3, 4);
+        assert_eq!(g.node_count(), 12);
+        // Horizontal: 3 rows x 3; vertical: 2 x 4.
+        assert_eq!(g.edge_count(), 9 + 8);
+        assert_eq!(depth(&g), 3 + 4 - 1);
+        assert_eq!(g.sources(), vec![0]);
+        assert_eq!(g.sinks(), vec![11]);
+        assert_valid(&g);
+    }
+
+    #[test]
+    fn cholesky_counts() {
+        // b=1: single POTRF. b=2: POTRF(0), TRSM(1,0), SYRK(1,1,0), POTRF(1): 4 tasks.
+        assert_eq!(cholesky(1).node_count(), 1);
+        let g2 = cholesky(2);
+        assert_eq!(g2.node_count(), 4);
+        assert_valid(&g2);
+        // General count: sum_k [1 + (b-k-1) + T(b-k-1)] where T(x)=x(x+1)/2.
+        let b = 4;
+        let g = cholesky(b);
+        let mut expect = 0usize;
+        for k in 0..b {
+            let r = b - k - 1;
+            expect += 1 + r + r * (r + 1) / 2;
+        }
+        assert_eq!(g.node_count(), expect);
+        assert_valid(&g);
+        // Every non-initial task has a predecessor.
+        assert_eq!(g.sources().len(), 1);
+    }
+
+    #[test]
+    fn lu_counts() {
+        assert_eq!(lu(1).node_count(), 1);
+        let b = 3;
+        let g = lu(b);
+        let mut expect = 0usize;
+        for k in 0..b {
+            let r = b - k - 1;
+            expect += 1 + 2 * r + r * r;
+        }
+        assert_eq!(g.node_count(), expect);
+        assert_eq!(g.sources().len(), 1);
+        assert_valid(&g);
+    }
+
+    #[test]
+    fn fft_shape() {
+        let g = fft(3); // 8 points: 3 stages x 4 butterflies
+        assert_eq!(g.node_count(), 12);
+        assert_valid(&g);
+        assert_eq!(depth(&g), 3);
+        // Stage-0 butterflies are sources; each later butterfly has exactly
+        // two (distinct) predecessors in radix-2 DIT.
+        for v in 0..g.node_count() {
+            if v < 4 {
+                assert_eq!(g.in_degree(v), 0);
+            } else {
+                assert_eq!(g.in_degree(v), 2, "node {v}");
+            }
+        }
+        assert_eq!(fft(0).node_count(), 1);
+    }
+
+    #[test]
+    fn layered_random_is_connected_forward() {
+        let g = layered_random(6, (2, 5), 0.4, 42);
+        assert_valid(&g);
+        // Every node beyond the first layer has a predecessor.
+        let first_width = g.sources().len();
+        assert!((2..=5).contains(&first_width));
+        for v in 0..g.node_count() {
+            if !g.sources().contains(&v) {
+                assert!(g.in_degree(v) >= 1);
+            }
+        }
+        // Deterministic for equal seeds, different across seeds (usually).
+        let g2 = layered_random(6, (2, 5), 0.4, 42);
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn random_tree_is_a_tree() {
+        let g = random_tree(40, 5);
+        assert_valid(&g);
+        assert_eq!(g.edge_count(), 39);
+        assert_eq!(g.sources(), vec![0]);
+        // every non-root has exactly one parent
+        for v in 1..40 {
+            assert_eq!(g.in_degree(v), 1);
+        }
+        assert_eq!(random_tree(40, 5), g);
+        assert_ne!(random_tree(40, 6), g);
+        assert_eq!(random_tree(1, 0).edge_count(), 0);
+        assert_eq!(random_tree(0, 0).node_count(), 0);
+    }
+
+    #[test]
+    fn random_order_dag_valid_and_deterministic() {
+        let g = random_order_dag(30, 0.15, 7);
+        assert_valid(&g);
+        assert_eq!(g, random_order_dag(30, 0.15, 7));
+        let dense = random_order_dag(10, 1.0, 1);
+        assert_eq!(dense.edge_count(), 45);
+        let sparse = random_order_dag(10, 0.0, 1);
+        assert_eq!(sparse.edge_count(), 0);
+    }
+
+    #[test]
+    fn series_parallel_valid_two_terminal() {
+        let g = series_parallel(25, 3);
+        assert_valid(&g);
+        assert_eq!(g.node_count(), 27);
+        // Exactly one source (0) and one sink (1) by construction.
+        assert_eq!(g.sources(), vec![0]);
+        assert_eq!(g.sinks(), vec![1]);
+    }
+}

@@ -1,0 +1,412 @@
+//! The [`Dag`] type: a dense-id precedence graph.
+
+use crate::error::DagError;
+
+/// Dense node identifier: tasks are numbered `0..n`.
+///
+/// Using a plain index keeps all per-task state in flat `Vec`s, the layout
+/// every hot loop in the workspace relies on.
+pub type NodeId = usize;
+
+/// A directed acyclic graph over nodes `0..n` with both forward and reverse
+/// adjacency, maintained acyclic at all times.
+///
+/// An arc `(i, j)` means task `j` cannot start before task `i` completes
+/// (`i` is a *predecessor* of `j`, written `i ∈ Γ⁻(j)` in the paper).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Dag {
+    /// `succs[u]` = Γ⁺(u), ordered by insertion.
+    succs: Vec<Vec<NodeId>>,
+    /// `preds[v]` = Γ⁻(v), ordered by insertion.
+    preds: Vec<Vec<NodeId>>,
+    /// Total number of arcs.
+    m: usize,
+}
+
+impl Dag {
+    /// Creates a DAG with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        Dag {
+            succs: vec![Vec::new(); n],
+            preds: vec![Vec::new(); n],
+            m: 0,
+        }
+    }
+
+    /// Builds a DAG from an edge list, rejecting cycles, self-loops and
+    /// duplicates.
+    pub fn from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Result<Self, DagError> {
+        let mut g = Dag::new(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v)?;
+        }
+        Ok(g)
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Number of arcs.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.m
+    }
+
+    /// `true` iff the graph has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// Successors Γ⁺(u) of a node.
+    #[inline]
+    pub fn succs(&self, u: NodeId) -> &[NodeId] {
+        &self.succs[u]
+    }
+
+    /// Predecessors Γ⁻(v) of a node.
+    #[inline]
+    pub fn preds(&self, v: NodeId) -> &[NodeId] {
+        &self.preds[v]
+    }
+
+    /// Out-degree |Γ⁺(u)|.
+    #[inline]
+    pub fn out_degree(&self, u: NodeId) -> usize {
+        self.succs[u].len()
+    }
+
+    /// In-degree |Γ⁻(v)|.
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.preds[v].len()
+    }
+
+    /// Iterator over all arcs in insertion order per source node.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.succs
+            .iter()
+            .enumerate()
+            .flat_map(|(u, vs)| vs.iter().map(move |&v| (u, v)))
+    }
+
+    /// Nodes with no predecessors (ready immediately).
+    pub fn sources(&self) -> Vec<NodeId> {
+        (0..self.node_count())
+            .filter(|&v| self.preds[v].is_empty())
+            .collect()
+    }
+
+    /// Nodes with no successors.
+    pub fn sinks(&self) -> Vec<NodeId> {
+        (0..self.node_count())
+            .filter(|&u| self.succs[u].is_empty())
+            .collect()
+    }
+
+    /// `true` iff arc `(u, v)` is present.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        u < self.node_count() && self.succs[u].contains(&v)
+    }
+
+    /// Adds arc `(u, v)`, keeping the graph acyclic.
+    ///
+    /// Rejects out-of-range endpoints, self-loops, duplicates, and arcs that
+    /// would close a directed cycle (checked with a DFS from `v`; cost
+    /// O(n + m) worst case, cheap on the sparse graphs used here).
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<(), DagError> {
+        let n = self.node_count();
+        if u >= n {
+            return Err(DagError::NodeOutOfRange { node: u, n });
+        }
+        if v >= n {
+            return Err(DagError::NodeOutOfRange { node: v, n });
+        }
+        if u == v {
+            return Err(DagError::SelfLoop(u));
+        }
+        if self.succs[u].contains(&v) {
+            return Err(DagError::DuplicateEdge(u, v));
+        }
+        if self.reaches(v, u) {
+            return Err(DagError::WouldCycle { from: u, to: v });
+        }
+        self.succs[u].push(v);
+        self.preds[v].push(u);
+        self.m += 1;
+        Ok(())
+    }
+
+    /// Adds arc `(u, v)` without the acyclicity check.
+    ///
+    /// Intended for generators that construct edges in a known topological
+    /// direction (`u < v` in generation order). Still rejects range errors,
+    /// self-loops and duplicates so invariants other than acyclicity hold.
+    pub fn add_edge_unchecked(&mut self, u: NodeId, v: NodeId) -> Result<(), DagError> {
+        let n = self.node_count();
+        if u >= n {
+            return Err(DagError::NodeOutOfRange { node: u, n });
+        }
+        if v >= n {
+            return Err(DagError::NodeOutOfRange { node: v, n });
+        }
+        if u == v {
+            return Err(DagError::SelfLoop(u));
+        }
+        if self.succs[u].contains(&v) {
+            return Err(DagError::DuplicateEdge(u, v));
+        }
+        self.succs[u].push(v);
+        self.preds[v].push(u);
+        self.m += 1;
+        Ok(())
+    }
+
+    /// `true` iff there is a directed path from `u` to `v` (including `u == v`).
+    pub fn reaches(&self, u: NodeId, v: NodeId) -> bool {
+        if u == v {
+            return true;
+        }
+        // Iterative DFS over successors with an explicit stack.
+        let mut seen = vec![false; self.node_count()];
+        let mut stack = vec![u];
+        seen[u] = true;
+        while let Some(x) = stack.pop() {
+            for &s in &self.succs[x] {
+                if s == v {
+                    return true;
+                }
+                if !seen[s] {
+                    seen[s] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        false
+    }
+
+    /// The reverse DAG (every arc flipped).
+    pub fn reversed(&self) -> Dag {
+        Dag {
+            succs: self.preds.clone(),
+            preds: self.succs.clone(),
+            m: self.m,
+        }
+    }
+
+    /// Disjoint union: nodes of `other` are renumbered by `+self.node_count()`.
+    pub fn disjoint_union(&self, other: &Dag) -> Dag {
+        let off = self.node_count();
+        let mut g = self.clone();
+        g.succs
+            .extend(other.succs.iter().map(|vs| vs.iter().map(|&v| v + off).collect()));
+        g.preds
+            .extend(other.preds.iter().map(|vs| vs.iter().map(|&v| v + off).collect()));
+        g.m += other.m;
+        g
+    }
+
+    /// The transitive closure as a boolean reachability matrix
+    /// (`closure[u][v]` ⇔ `u` reaches `v`, `u ≠ v`). O(n·(n+m)).
+    #[allow(clippy::needless_range_loop)] // paired-row borrow split needs indices
+    pub fn transitive_closure(&self) -> Vec<Vec<bool>> {
+        let n = self.node_count();
+        let mut closure = vec![vec![false; n]; n];
+        // Process in reverse topological order so each node's row is the
+        // union of its successors' rows.
+        let order = crate::topo::topological_order(self)
+            .expect("Dag invariant: graph is acyclic");
+        for &u in order.iter().rev() {
+            for &v in &self.succs[u] {
+                closure[u][v] = true;
+                // closure[u] |= closure[v]
+                let (row_u, row_v) = if u < v {
+                    let (a, b) = closure.split_at_mut(v);
+                    (&mut a[u], &b[0])
+                } else {
+                    let (a, b) = closure.split_at_mut(u);
+                    (&mut b[0], &a[v])
+                };
+                for (cu, cv) in row_u.iter_mut().zip(row_v.iter()) {
+                    *cu |= *cv;
+                }
+            }
+        }
+        closure
+    }
+
+    /// The transitive reduction: the unique minimal sub-DAG with the same
+    /// reachability relation. Returns a new graph.
+    pub fn transitive_reduction(&self) -> Dag {
+        let closure = self.transitive_closure();
+        let n = self.node_count();
+        let mut g = Dag::new(n);
+        for (u, v) in self.edges() {
+            // Keep (u,v) unless some other successor w of u reaches v.
+            let redundant = self.succs[u]
+                .iter()
+                .any(|&w| w != v && closure[w][v]);
+            if !redundant {
+                g.add_edge_unchecked(u, v)
+                    .expect("reduction edges are unique and in range");
+            }
+        }
+        g
+    }
+
+    /// Convenience: shorthand for [`crate::topo::topological_order`],
+    /// panicking if the invariant were ever violated (it cannot be through
+    /// the safe API).
+    pub fn topological_order(&self) -> Vec<NodeId> {
+        crate::topo::topological_order(self).expect("Dag invariant: graph is acyclic")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Dag {
+        // 0 -> {1,2} -> 3
+        Dag::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn new_graph_is_edgeless() {
+        let g = Dag::new(5);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.sources(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(g.sinks(), vec![0, 1, 2, 3, 4]);
+        assert!(!g.is_empty());
+        assert!(Dag::new(0).is_empty());
+    }
+
+    #[test]
+    fn add_edge_maintains_adjacency() {
+        let g = diamond();
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.succs(0), &[1, 2]);
+        assert_eq!(g.preds(3), &[1, 2]);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(3), 2);
+        assert_eq!(g.sources(), vec![0]);
+        assert_eq!(g.sinks(), vec![3]);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let mut g = Dag::new(2);
+        assert_eq!(
+            g.add_edge(0, 2),
+            Err(DagError::NodeOutOfRange { node: 2, n: 2 })
+        );
+        assert_eq!(
+            g.add_edge(5, 0),
+            Err(DagError::NodeOutOfRange { node: 5, n: 2 })
+        );
+    }
+
+    #[test]
+    fn rejects_self_loop_and_duplicate() {
+        let mut g = Dag::new(3);
+        assert_eq!(g.add_edge(1, 1), Err(DagError::SelfLoop(1)));
+        g.add_edge(0, 1).unwrap();
+        assert_eq!(g.add_edge(0, 1), Err(DagError::DuplicateEdge(0, 1)));
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn rejects_cycles() {
+        let mut g = Dag::new(4);
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(1, 2).unwrap();
+        g.add_edge(2, 3).unwrap();
+        assert_eq!(g.add_edge(3, 0), Err(DagError::WouldCycle { from: 3, to: 0 }));
+        assert_eq!(g.add_edge(2, 0), Err(DagError::WouldCycle { from: 2, to: 0 }));
+        // Unrelated edge still fine.
+        g.add_edge(0, 3).unwrap();
+    }
+
+    #[test]
+    fn reaches_is_reflexive_transitive() {
+        let g = diamond();
+        assert!(g.reaches(0, 0));
+        assert!(g.reaches(0, 3));
+        assert!(g.reaches(1, 3));
+        assert!(!g.reaches(1, 2));
+        assert!(!g.reaches(3, 0));
+    }
+
+    #[test]
+    fn edges_iterator_roundtrip() {
+        let g = diamond();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 4);
+        let g2 = Dag::from_edges(4, &edges).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn reversed_flips_arcs() {
+        let g = diamond();
+        let r = g.reversed();
+        assert!(r.has_edge(3, 1));
+        assert!(r.has_edge(1, 0));
+        assert_eq!(r.edge_count(), g.edge_count());
+        assert_eq!(r.reversed(), g);
+    }
+
+    #[test]
+    fn disjoint_union_offsets_ids() {
+        let a = Dag::from_edges(2, &[(0, 1)]).unwrap();
+        let b = Dag::from_edges(2, &[(0, 1)]).unwrap();
+        let u = a.disjoint_union(&b);
+        assert_eq!(u.node_count(), 4);
+        assert_eq!(u.edge_count(), 2);
+        assert!(u.has_edge(0, 1));
+        assert!(u.has_edge(2, 3));
+        assert!(!u.has_edge(1, 2));
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn transitive_closure_of_chain() {
+        let g = Dag::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let c = g.transitive_closure();
+        for u in 0..4 {
+            for v in 0..4 {
+                assert_eq!(c[u][v], u < v, "closure[{u}][{v}]");
+            }
+        }
+    }
+
+    #[test]
+    fn transitive_reduction_removes_shortcuts() {
+        // chain 0->1->2 plus shortcut 0->2
+        let g = Dag::from_edges(3, &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        let r = g.transitive_reduction();
+        assert_eq!(r.edge_count(), 2);
+        assert!(r.has_edge(0, 1));
+        assert!(r.has_edge(1, 2));
+        assert!(!r.has_edge(0, 2));
+    }
+
+    #[test]
+    fn transitive_reduction_keeps_diamond() {
+        let g = diamond();
+        let r = g.transitive_reduction();
+        assert_eq!(r, g);
+    }
+
+    #[test]
+    fn from_edges_detects_cycles() {
+        let res = Dag::from_edges(2, &[(0, 1), (1, 0)]);
+        assert!(matches!(res, Err(DagError::WouldCycle { .. })));
+    }
+}

@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+//! # mtsp-dag — precedence-DAG substrate
+//!
+//! Directed acyclic graphs representing precedence constraints between
+//! (malleable) tasks, as used throughout Jansen & Zhang, *Scheduling
+//! malleable tasks with precedence constraints* (SPAA 2005 / JCSS 2012).
+//!
+//! The crate provides:
+//!
+//! * [`Dag`] — a compact adjacency-list DAG over dense node ids with
+//!   incremental cycle rejection ([`Dag::add_edge`]).
+//! * Topological orders, layering and reachability ([`topo`]).
+//! * Weighted longest ("critical") paths, earliest/latest start times and
+//!   bottom levels ([`paths`]).
+//! * Structured and random task-graph generators that mirror the workloads
+//!   motivating the paper: chains, fork–join, trees, layered random graphs,
+//!   series–parallel graphs, wavefront stencils, blocked Cholesky/LU
+//!   factorizations and FFT butterflies ([`generate`]).
+//! * Summary statistics and Graphviz export ([`stats`], [`dot`]).
+//!
+//! Node ids are plain `usize` indices in `0..n`; every algorithm in the
+//! workspace indexes per-task arrays by `NodeId`, avoiding hash maps on hot
+//! paths (cf. the HPC performance guidance this workspace follows).
+//!
+//! ```
+//! use mtsp_dag::Dag;
+//!
+//! let mut g = Dag::new(3);
+//! g.add_edge(0, 1).unwrap();
+//! g.add_edge(1, 2).unwrap();
+//! assert!(g.add_edge(2, 0).is_err()); // would close a cycle
+//! assert_eq!(g.topological_order(), vec![0, 1, 2]);
+//! ```
+
+pub mod antichain;
+pub mod dot;
+pub mod error;
+pub mod generate;
+pub mod graph;
+pub mod paths;
+pub mod stats;
+pub mod topo;
+
+pub use error::DagError;
+pub use graph::{Dag, NodeId};
+pub use paths::{critical_path, earliest_starts, CriticalPath};
+pub use antichain::{maximum_antichain, minimum_chain_cover, width};
+pub use stats::DagStats;

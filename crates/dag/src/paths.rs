@@ -1,0 +1,229 @@
+//! Weighted longest paths: critical paths, earliest/latest start times and
+//! bottom levels.
+//!
+//! In the paper a *critical path* of a schedule (or of an allotment α) is a
+//! directed path of maximum total processing time; its length `L` lower
+//! bounds the makespan (`max{L, W/m} ≤ Cmax`).
+
+use crate::graph::{Dag, NodeId};
+
+/// A critical (maximum-weight) path together with its total weight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalPath {
+    /// Total node weight along the path.
+    pub length: f64,
+    /// Node ids from a source to a sink, in precedence order.
+    pub nodes: Vec<NodeId>,
+}
+
+/// Earliest start times under node weights `w` assuming unlimited
+/// processors: `est[v] = max over predecessors u of est[u] + w[u]`
+/// (0 for sources).
+///
+/// # Panics
+/// Panics if `w.len() != g.node_count()`.
+pub fn earliest_starts(g: &Dag, w: &[f64]) -> Vec<f64> {
+    assert_eq!(w.len(), g.node_count(), "one weight per node required");
+    let order = g.topological_order();
+    let mut est = vec![0.0f64; g.node_count()];
+    for &u in &order {
+        let finish = est[u] + w[u];
+        for &v in g.succs(u) {
+            if finish > est[v] {
+                est[v] = finish;
+            }
+        }
+    }
+    est
+}
+
+/// Latest start times for a deadline `horizon`: `lst[u] = min over
+/// successors v of lst[v] − w[u]`, `horizon − w[u]` for sinks. Slack of a
+/// node is `lst − est`; critical nodes have zero slack when `horizon`
+/// equals the critical path length.
+pub fn latest_starts(g: &Dag, w: &[f64], horizon: f64) -> Vec<f64> {
+    assert_eq!(w.len(), g.node_count(), "one weight per node required");
+    let order = g.topological_order();
+    let mut lst: Vec<f64> = (0..g.node_count()).map(|u| horizon - w[u]).collect();
+    for &u in order.iter().rev() {
+        for &v in g.succs(u) {
+            let bound = lst[v] - w[u];
+            if bound < lst[u] {
+                lst[u] = bound;
+            }
+        }
+    }
+    lst
+}
+
+/// *Bottom level* of each node: the maximum total weight of a path starting
+/// at the node (inclusive). A classic list-scheduling priority.
+pub fn bottom_levels(g: &Dag, w: &[f64]) -> Vec<f64> {
+    assert_eq!(w.len(), g.node_count(), "one weight per node required");
+    let order = g.topological_order();
+    let mut bl: Vec<f64> = w.to_vec();
+    for &u in order.iter().rev() {
+        let mut best = 0.0f64;
+        for &v in g.succs(u) {
+            if bl[v] > best {
+                best = bl[v];
+            }
+        }
+        bl[u] = w[u] + best;
+    }
+    bl
+}
+
+/// Length of the critical path (maximum over nodes of `est + w`), without
+/// materializing the path. Zero for the empty graph.
+pub fn critical_path_length(g: &Dag, w: &[f64]) -> f64 {
+    let est = earliest_starts(g, w);
+    est.iter()
+        .zip(w.iter())
+        .map(|(&e, &p)| e + p)
+        .fold(0.0, f64::max)
+}
+
+/// Computes a critical path: a maximum-weight source→sink node sequence.
+///
+/// Ties are broken toward smaller node ids, making the result deterministic.
+/// Returns an empty path (length 0) for the empty graph.
+pub fn critical_path(g: &Dag, w: &[f64]) -> CriticalPath {
+    let n = g.node_count();
+    if n == 0 {
+        return CriticalPath {
+            length: 0.0,
+            nodes: Vec::new(),
+        };
+    }
+    let est = earliest_starts(g, w);
+    // The path end is the node maximizing est + w.
+    let mut end = 0;
+    let mut best = f64::NEG_INFINITY;
+    for v in 0..n {
+        let f = est[v] + w[v];
+        if f > best {
+            best = f;
+            end = v;
+        }
+    }
+    // Walk backwards: from v, pick the predecessor u with est[u] + w[u] == est[v].
+    let mut nodes = vec![end];
+    let mut v = end;
+    while !g.preds(v).is_empty() {
+        let mut chosen = None;
+        for &u in g.preds(v) {
+            if (est[u] + w[u] - est[v]).abs() <= 1e-9 * (1.0 + est[v].abs()) {
+                chosen = match chosen {
+                    Some(c) if c <= u => Some(c),
+                    _ => Some(u),
+                };
+            }
+        }
+        match chosen {
+            Some(u) => {
+                nodes.push(u);
+                v = u;
+            }
+            // est[v] == 0 with predecessors of zero weight can terminate early.
+            None => break,
+        }
+    }
+    nodes.reverse();
+    CriticalPath {
+        length: best,
+        nodes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Dag {
+        Dag::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn earliest_starts_diamond() {
+        let g = diamond();
+        let w = [1.0, 2.0, 5.0, 1.0];
+        let est = earliest_starts(&g, &w);
+        assert_eq!(est, vec![0.0, 1.0, 1.0, 6.0]);
+    }
+
+    #[test]
+    fn critical_path_picks_heavy_branch() {
+        let g = diamond();
+        let w = [1.0, 2.0, 5.0, 1.0];
+        let cp = critical_path(&g, &w);
+        assert!((cp.length - 7.0).abs() < 1e-12);
+        assert_eq!(cp.nodes, vec![0, 2, 3]);
+        assert!((critical_path_length(&g, &w) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn critical_path_of_empty_and_single() {
+        let cp = critical_path(&Dag::new(0), &[]);
+        assert_eq!(cp.length, 0.0);
+        assert!(cp.nodes.is_empty());
+
+        let cp = critical_path(&Dag::new(1), &[3.5]);
+        assert!((cp.length - 3.5).abs() < 1e-12);
+        assert_eq!(cp.nodes, vec![0]);
+    }
+
+    #[test]
+    fn critical_path_on_independent_tasks() {
+        let g = Dag::new(3);
+        let w = [2.0, 9.0, 4.0];
+        let cp = critical_path(&g, &w);
+        assert!((cp.length - 9.0).abs() < 1e-12);
+        assert_eq!(cp.nodes, vec![1]);
+    }
+
+    #[test]
+    fn latest_starts_and_slack() {
+        let g = diamond();
+        let w = [1.0, 2.0, 5.0, 1.0];
+        let horizon = critical_path_length(&g, &w); // 7
+        let est = earliest_starts(&g, &w);
+        let lst = latest_starts(&g, &w, horizon);
+        // Critical nodes 0,2,3 have zero slack; node 1 has slack 3.
+        assert!((lst[0] - est[0]).abs() < 1e-12);
+        assert!((lst[2] - est[2]).abs() < 1e-12);
+        assert!((lst[3] - est[3]).abs() < 1e-12);
+        assert!((lst[1] - est[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bottom_levels_diamond() {
+        let g = diamond();
+        let w = [1.0, 2.0, 5.0, 1.0];
+        let bl = bottom_levels(&g, &w);
+        assert_eq!(bl, vec![7.0, 3.0, 6.0, 1.0]);
+    }
+
+    #[test]
+    fn path_length_matches_path_nodes_weight() {
+        let g = Dag::from_edges(
+            6,
+            &[(0, 2), (1, 2), (2, 3), (2, 4), (3, 5), (4, 5)],
+        )
+        .unwrap();
+        let w = [3.0, 1.0, 2.0, 4.0, 6.0, 1.0];
+        let cp = critical_path(&g, &w);
+        let sum: f64 = cp.nodes.iter().map(|&v| w[v]).sum();
+        assert!((sum - cp.length).abs() < 1e-9);
+        // Path must follow arcs.
+        for pair in cp.nodes.windows(2) {
+            assert!(g.has_edge(pair[0], pair[1]));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per node")]
+    fn wrong_weight_length_panics() {
+        earliest_starts(&diamond(), &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,139 @@
+//! Summary statistics for task graphs, used to characterize benchmark
+//! workloads in the experiment reports.
+
+use crate::graph::Dag;
+use crate::topo;
+
+/// Aggregate shape statistics of a DAG.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DagStats {
+    /// Number of tasks.
+    pub nodes: usize,
+    /// Number of precedence arcs.
+    pub edges: usize,
+    /// Nodes on a longest path (hop count).
+    pub depth: usize,
+    /// Maximum layer size of the longest-path layering — a cheap lower
+    /// bound on the maximum antichain (the true width).
+    pub layer_width: usize,
+    /// Number of source nodes.
+    pub sources: usize,
+    /// Number of sink nodes.
+    pub sinks: usize,
+    /// Maximum in-degree.
+    pub max_in_degree: usize,
+    /// Maximum out-degree.
+    pub max_out_degree: usize,
+    /// Edge density relative to the n(n−1)/2 possible ordered pairs.
+    pub density: f64,
+    /// Average parallelism proxy: nodes / depth.
+    pub avg_parallelism: f64,
+}
+
+impl DagStats {
+    /// The exact width (maximum antichain) — `O(n·E_closure)`, so kept out
+    /// of [`DagStats::of`]; see [`crate::antichain::width`].
+    pub fn exact_width(g: &Dag) -> usize {
+        crate::antichain::width(g)
+    }
+
+    /// Computes statistics for `g`.
+    pub fn of(g: &Dag) -> Self {
+        let n = g.node_count();
+        let depth = topo::depth(g);
+        let layer_width = topo::layers(g).iter().map(Vec::len).max().unwrap_or(0);
+        let max_in = (0..n).map(|v| g.in_degree(v)).max().unwrap_or(0);
+        let max_out = (0..n).map(|v| g.out_degree(v)).max().unwrap_or(0);
+        let pairs = if n >= 2 { n * (n - 1) / 2 } else { 0 };
+        DagStats {
+            nodes: n,
+            edges: g.edge_count(),
+            depth,
+            layer_width,
+            sources: g.sources().len(),
+            sinks: g.sinks().len(),
+            max_in_degree: max_in,
+            max_out_degree: max_out,
+            density: if pairs == 0 {
+                0.0
+            } else {
+                g.edge_count() as f64 / pairs as f64
+            },
+            avg_parallelism: if depth == 0 {
+                0.0
+            } else {
+                n as f64 / depth as f64
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for DagStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} e={} depth={} width>={} src={} snk={} deg(in/out)={}/{} dens={:.3} par={:.2}",
+            self.nodes,
+            self.edges,
+            self.depth,
+            self.layer_width,
+            self.sources,
+            self.sinks,
+            self.max_in_degree,
+            self.max_out_degree,
+            self.density,
+            self.avg_parallelism
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn stats_of_chain() {
+        let s = DagStats::of(&generate::chain(5));
+        assert_eq!(s.nodes, 5);
+        assert_eq!(s.edges, 4);
+        assert_eq!(s.depth, 5);
+        assert_eq!(s.layer_width, 1);
+        assert_eq!(s.sources, 1);
+        assert_eq!(s.sinks, 1);
+        assert!((s.avg_parallelism - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_of_independent() {
+        let s = DagStats::of(&generate::independent(8));
+        assert_eq!(s.depth, 1);
+        assert_eq!(s.layer_width, 8);
+        assert_eq!(s.density, 0.0);
+        assert!((s.avg_parallelism - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_of_empty() {
+        let s = DagStats::of(&Dag::new(0));
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.depth, 0);
+        assert_eq!(s.density, 0.0);
+        assert_eq!(s.avg_parallelism, 0.0);
+    }
+
+    #[test]
+    fn display_is_compact_one_liner() {
+        let s = DagStats::of(&generate::fork_join(3, 2));
+        let line = s.to_string();
+        assert!(line.contains("n=9"));
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn density_of_total_order() {
+        let g = generate::random_order_dag(6, 1.0, 0);
+        let s = DagStats::of(&g);
+        assert!((s.density - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,181 @@
+//! Topological orders, layerings and level structure.
+
+use crate::error::DagError;
+use crate::graph::{Dag, NodeId};
+
+/// Kahn's algorithm. Returns a topological order, or
+/// [`DagError::CycleDetected`] if the graph contains a directed cycle.
+///
+/// The order is deterministic: among ready nodes the smallest id is taken
+/// first (a binary heap would change asymptotics; we use a simple FIFO after
+/// seeding with ascending ids which is deterministic and O(n + m)).
+pub fn topological_order(g: &Dag) -> Result<Vec<NodeId>, DagError> {
+    let n = g.node_count();
+    let mut indeg: Vec<usize> = (0..n).map(|v| g.in_degree(v)).collect();
+    let mut queue: std::collections::VecDeque<NodeId> =
+        (0..n).filter(|&v| indeg[v] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for &v in g.succs(u) {
+            indeg[v] -= 1;
+            if indeg[v] == 0 {
+                queue.push_back(v);
+            }
+        }
+    }
+    if order.len() == n {
+        Ok(order)
+    } else {
+        Err(DagError::CycleDetected)
+    }
+}
+
+/// `true` iff `order` is a permutation of `0..n` consistent with all arcs.
+pub fn is_topological_order(g: &Dag, order: &[NodeId]) -> bool {
+    let n = g.node_count();
+    if order.len() != n {
+        return false;
+    }
+    let mut pos = vec![usize::MAX; n];
+    for (i, &v) in order.iter().enumerate() {
+        if v >= n || pos[v] != usize::MAX {
+            return false;
+        }
+        pos[v] = i;
+    }
+    g.edges().all(|(u, v)| pos[u] < pos[v])
+}
+
+/// Assigns every node its *level*: length (in arcs) of the longest directed
+/// path ending at the node. Sources get level 0.
+pub fn levels(g: &Dag) -> Vec<usize> {
+    let order = g.topological_order();
+    let mut lvl = vec![0usize; g.node_count()];
+    for &u in &order {
+        for &v in g.succs(u) {
+            lvl[v] = lvl[v].max(lvl[u] + 1);
+        }
+    }
+    lvl
+}
+
+/// Groups node ids by [`levels`]: `layers()[k]` is the set of nodes at
+/// level `k`, each sorted ascending. The result is a *layering* of the DAG
+/// (every arc goes from a lower to a strictly higher layer).
+pub fn layers(g: &Dag) -> Vec<Vec<NodeId>> {
+    let lvl = levels(g);
+    let depth = lvl.iter().copied().max().map_or(0, |d| d + 1);
+    let mut out = vec![Vec::new(); depth];
+    for (v, &k) in lvl.iter().enumerate() {
+        out[k].push(v);
+    }
+    out
+}
+
+/// Number of nodes on a longest directed path (the *depth* of the DAG in
+/// hop count). Zero for the empty graph.
+pub fn depth(g: &Dag) -> usize {
+    if g.node_count() == 0 {
+        0
+    } else {
+        levels(g).iter().copied().max().unwrap_or(0) + 1
+    }
+}
+
+/// All nodes reachable from `start` (including `start`), ascending.
+pub fn descendants(g: &Dag, start: NodeId) -> Vec<NodeId> {
+    let mut seen = vec![false; g.node_count()];
+    let mut stack = vec![start];
+    seen[start] = true;
+    while let Some(u) = stack.pop() {
+        for &v in g.succs(u) {
+            if !seen[v] {
+                seen[v] = true;
+                stack.push(v);
+            }
+        }
+    }
+    (0..g.node_count()).filter(|&v| seen[v]).collect()
+}
+
+/// All nodes that reach `end` (including `end`), ascending.
+pub fn ancestors(g: &Dag, end: NodeId) -> Vec<NodeId> {
+    let mut seen = vec![false; g.node_count()];
+    let mut stack = vec![end];
+    seen[end] = true;
+    while let Some(u) = stack.pop() {
+        for &v in g.preds(u) {
+            if !seen[v] {
+                seen[v] = true;
+                stack.push(v);
+            }
+        }
+    }
+    (0..g.node_count()).filter(|&v| seen[v]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Dag {
+        Dag::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn topo_order_of_diamond_is_valid() {
+        let g = diamond();
+        let order = topological_order(&g).unwrap();
+        assert!(is_topological_order(&g, &order));
+        assert_eq!(order[0], 0);
+        assert_eq!(order[3], 3);
+    }
+
+    #[test]
+    fn topo_order_of_edgeless_graph() {
+        let g = Dag::new(3);
+        assert_eq!(topological_order(&g).unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn is_topological_order_rejects_bad_orders() {
+        let g = diamond();
+        assert!(!is_topological_order(&g, &[3, 1, 2, 0]));
+        assert!(!is_topological_order(&g, &[0, 1, 2])); // wrong length
+        assert!(!is_topological_order(&g, &[0, 0, 1, 2])); // repeated
+        assert!(is_topological_order(&g, &[0, 2, 1, 3]));
+    }
+
+    #[test]
+    fn levels_and_layers_of_diamond() {
+        let g = diamond();
+        assert_eq!(levels(&g), vec![0, 1, 1, 2]);
+        assert_eq!(layers(&g), vec![vec![0], vec![1, 2], vec![3]]);
+        assert_eq!(depth(&g), 3);
+    }
+
+    #[test]
+    fn depth_edge_cases() {
+        assert_eq!(depth(&Dag::new(0)), 0);
+        assert_eq!(depth(&Dag::new(4)), 1);
+        let chain = Dag::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        assert_eq!(depth(&chain), 3);
+    }
+
+    #[test]
+    fn descendants_and_ancestors() {
+        let g = diamond();
+        assert_eq!(descendants(&g, 0), vec![0, 1, 2, 3]);
+        assert_eq!(descendants(&g, 1), vec![1, 3]);
+        assert_eq!(ancestors(&g, 3), vec![0, 1, 2, 3]);
+        assert_eq!(ancestors(&g, 2), vec![0, 2]);
+    }
+
+    #[test]
+    fn levels_respect_longest_path_not_shortest() {
+        // 0->1->2 and 0->2: node 2 must be at level 2.
+        let g = Dag::from_edges(3, &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        assert_eq!(levels(&g), vec![0, 1, 2]);
+    }
+}

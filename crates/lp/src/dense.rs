@@ -1,0 +1,248 @@
+//! Minimal dense-matrix kernel: row-major square matrices with
+//! Gauss–Jordan inversion (partial pivoting), used for basis
+//! refactorization and by the reference tableau solver.
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds from nested rows.
+    ///
+    /// # Panics
+    /// Panics if rows have unequal lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        assert!(rows.iter().all(|row| row.len() == c), "ragged rows");
+        Matrix {
+            rows: r,
+            cols: c,
+            data: rows.iter().flatten().copied().collect(),
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable row slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable row slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Matrix–vector product `A·x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != cols`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch");
+        self.data
+            .chunks_exact(self.cols)
+            .map(|row| row.iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Transposed product `Aᵀ·y`.
+    pub fn tr_mul_vec(&self, y: &[f64]) -> Vec<f64> {
+        assert_eq!(y.len(), self.rows, "dimension mismatch");
+        let mut out = vec![0.0; self.cols];
+        for (row, &yi) in self.data.chunks_exact(self.cols).zip(y) {
+            if yi != 0.0 {
+                for (o, &a) in out.iter_mut().zip(row) {
+                    *o += a * yi;
+                }
+            }
+        }
+        out
+    }
+
+    /// Inverse by Gauss–Jordan elimination with partial pivoting.
+    ///
+    /// Returns `None` if a pivot smaller than `tol` (relative to the
+    /// largest remaining entry) is encountered, i.e. the matrix is
+    /// (numerically) singular.
+    pub fn inverse(&self, tol: f64) -> Option<Matrix> {
+        assert_eq!(self.rows, self.cols, "inverse of non-square matrix");
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut inv = Matrix::identity(n);
+        for col in 0..n {
+            // Partial pivoting: the largest |entry| in this column at or
+            // below the diagonal.
+            let mut piv = col;
+            let mut best = a[(col, col)].abs();
+            for r in col + 1..n {
+                let v = a[(r, col)].abs();
+                if v > best {
+                    best = v;
+                    piv = r;
+                }
+            }
+            if best <= tol {
+                return None;
+            }
+            if piv != col {
+                a.swap_rows(piv, col);
+                inv.swap_rows(piv, col);
+            }
+            let d = a[(col, col)];
+            for j in 0..n {
+                a[(col, j)] /= d;
+                inv[(col, j)] /= d;
+            }
+            for r in 0..n {
+                if r == col {
+                    continue;
+                }
+                let f = a[(r, col)];
+                if f == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    a[(r, j)] -= f * a[(col, j)];
+                    inv[(r, j)] -= f * inv[(col, j)];
+                }
+            }
+        }
+        Some(inv)
+    }
+
+    /// Swaps two rows in place.
+    pub fn swap_rows(&mut self, i: usize, j: usize) {
+        if i == j {
+            return;
+        }
+        let (lo, hi) = (i.min(j), i.max(j));
+        let (head, tail) = self.data.split_at_mut(hi * self.cols);
+        head[lo * self.cols..(lo + 1) * self.cols].swap_with_slice(&mut tail[..self.cols]);
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_and_indexing() {
+        let m = Matrix::identity(3);
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(0, 1)], 0.0);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 3);
+    }
+
+    #[test]
+    fn mul_vec_known() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(a.mul_vec(&[1.0, 1.0]), vec![3.0, 7.0]);
+        assert_eq!(a.tr_mul_vec(&[1.0, 1.0]), vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn inverse_of_identity() {
+        let inv = Matrix::identity(4).inverse(1e-12).unwrap();
+        assert_eq!(inv, Matrix::identity(4));
+    }
+
+    #[test]
+    fn inverse_known_2x2() {
+        let a = Matrix::from_rows(&[vec![4.0, 7.0], vec![2.0, 6.0]]);
+        let inv = a.inverse(1e-12).unwrap();
+        // A^{-1} = 1/10 [6 -7; -2 4]
+        assert!((inv[(0, 0)] - 0.6).abs() < 1e-12);
+        assert!((inv[(0, 1)] + 0.7).abs() < 1e-12);
+        assert!((inv[(1, 0)] + 0.2).abs() < 1e-12);
+        assert!((inv[(1, 1)] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let a = Matrix::from_rows(&[
+            vec![2.0, 1.0, 0.0],
+            vec![1.0, 3.0, 1.0],
+            vec![0.0, 1.0, 4.0],
+        ]);
+        let inv = a.inverse(1e-12).unwrap();
+        // a * inv == I
+        for i in 0..3 {
+            let e: Vec<f64> = (0..3).map(|j| inv[(j, i)]).collect();
+            let col = a.mul_vec(&e);
+            for (j, &v) in col.iter().enumerate() {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((v - expect).abs() < 1e-10, "({i},{j}) = {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn singular_matrix_returns_none() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert!(a.inverse(1e-12).is_none());
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let inv = a.inverse(1e-12).unwrap();
+        assert_eq!(inv, a); // a swap matrix is its own inverse
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged rows")]
+    fn ragged_rows_panic() {
+        Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

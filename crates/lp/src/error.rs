@@ -1,0 +1,62 @@
+//! Error type for LP construction and solving.
+
+use std::fmt;
+
+/// Errors from building or solving a linear program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// A variable id referenced a non-existent variable.
+    BadVariable(usize),
+    /// Lower bound exceeds upper bound for a variable.
+    EmptyDomain {
+        /// Variable index.
+        var: usize,
+        /// Lower bound.
+        lower: f64,
+        /// Upper bound.
+        upper: f64,
+    },
+    /// A coefficient, bound or right-hand side was NaN.
+    NanData(&'static str),
+    /// The iteration limit was exhausted without convergence — indicates a
+    /// numerically hostile instance (the limit is generous).
+    IterationLimit(usize),
+    /// Internal invariant violation (refactorization found a singular
+    /// basis). Should not occur; reported instead of panicking.
+    SingularBasis,
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::BadVariable(v) => write!(f, "unknown variable id {v}"),
+            LpError::EmptyDomain { var, lower, upper } => {
+                write!(f, "variable {var} has empty domain [{lower}, {upper}]")
+            }
+            LpError::NanData(what) => write!(f, "NaN in LP data: {what}"),
+            LpError::IterationLimit(n) => write!(f, "simplex iteration limit {n} exhausted"),
+            LpError::SingularBasis => write!(f, "basis matrix became singular"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(LpError::BadVariable(3).to_string().contains('3'));
+        let e = LpError::EmptyDomain {
+            var: 1,
+            lower: 2.0,
+            upper: 1.0,
+        };
+        assert!(e.to_string().contains("empty domain"));
+        assert!(LpError::NanData("rhs").to_string().contains("rhs"));
+        assert!(LpError::IterationLimit(99).to_string().contains("99"));
+        assert!(LpError::SingularBasis.to_string().contains("singular"));
+    }
+}

@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+//! # mtsp-lp — linear-programming substrate
+//!
+//! A self-contained LP solver built for the allotment phase of the
+//! Jansen–Zhang algorithm (LP (9) of the paper). No LP crate exists in the
+//! offline dependency set, so this crate implements:
+//!
+//! * [`Lp`] — a model-builder API (variables with bounds, `≤ / = / ≥` rows,
+//!   minimization objective);
+//! * [`simplex`] — a dense **bounded-variable revised simplex** with a
+//!   two-phase start, Dantzig pricing with a Bland anti-cycling fallback,
+//!   bound-flip ratio tests and periodic refactorization;
+//! * [`tableau`] — an independent dense two-phase *tableau* simplex used as
+//!   a cross-checking reference implementation in tests and benches;
+//! * [`dense`] — the small dense-matrix kernel (Gauss–Jordan inversion)
+//!   shared by both solvers.
+//!
+//! The allotment LPs produced by `mtsp-core` have `|E| + n + 2` rows and
+//! `O(n·m)` columns in the crashing formulation; the revised simplex keeps
+//! only an `rows × rows` inverse, so instances with hundreds of tasks solve
+//! in milliseconds.
+//!
+//! ```
+//! use mtsp_lp::{Lp, Relation, Status};
+//!
+//! // min -x - 2y  s.t.  x + y <= 4, x <= 3, y <= 2, x,y >= 0
+//! let mut lp = Lp::minimize();
+//! let x = lp.add_var(0.0, 3.0, -1.0);
+//! let y = lp.add_var(0.0, 2.0, -2.0);
+//! lp.add_row(&[(x, 1.0), (y, 1.0)], Relation::Le, 4.0);
+//! let sol = lp.solve().unwrap();
+//! assert_eq!(sol.status, Status::Optimal);
+//! assert!((sol.objective - (-6.0)).abs() < 1e-9); // x=2, y=2
+//! ```
+
+pub mod certify;
+pub mod dense;
+pub mod error;
+pub mod presolve;
+pub mod problem;
+pub mod simplex;
+pub mod tableau;
+
+pub use certify::verify_optimality;
+pub use error::LpError;
+pub use presolve::{presolve, solve_presolved, Presolved};
+pub use problem::{Lp, Relation, VarId};
+pub use simplex::{Solution, SolverOptions, Status};

@@ -1,0 +1,233 @@
+//! LP model builder: variables with bounds, linear rows, minimization
+//! objective.
+
+use crate::error::LpError;
+use crate::simplex::{self, Solution, SolverOptions};
+
+/// Handle to a variable of an [`Lp`]; returned by [`Lp::add_var`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// The dense column index of this variable.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Row sense of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `Σ aᵢxᵢ ≤ b`
+    Le,
+    /// `Σ aᵢxᵢ = b`
+    Eq,
+    /// `Σ aᵢxᵢ ≥ b`
+    Ge,
+}
+
+/// One linear constraint (sparse coefficient list).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Row {
+    pub coeffs: Vec<(usize, f64)>,
+    pub rel: Relation,
+    pub rhs: f64,
+}
+
+/// A linear program `min cᵀx  s.t.  rows, l ≤ x ≤ u`.
+///
+/// Build with [`Lp::add_var`] / [`Lp::add_row`], solve with [`Lp::solve`].
+/// Use `f64::NEG_INFINITY` / `f64::INFINITY` for unbounded variable sides.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Lp {
+    pub(crate) obj: Vec<f64>,
+    pub(crate) lower: Vec<f64>,
+    pub(crate) upper: Vec<f64>,
+    pub(crate) rows: Vec<Row>,
+}
+
+impl Lp {
+    /// Creates an empty minimization program.
+    pub fn minimize() -> Self {
+        Lp::default()
+    }
+
+    /// Number of variables.
+    #[inline]
+    pub fn num_vars(&self) -> usize {
+        self.obj.len()
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Adds a variable with bounds `[lower, upper]` and objective
+    /// coefficient `cost`; returns its handle.
+    ///
+    /// Bounds may be infinite. NaNs and empty domains are reported by
+    /// [`Lp::solve`] (builder methods are infallible for ergonomic
+    /// chaining).
+    pub fn add_var(&mut self, lower: f64, upper: f64, cost: f64) -> VarId {
+        self.obj.push(cost);
+        self.lower.push(lower);
+        self.upper.push(upper);
+        VarId(self.obj.len() - 1)
+    }
+
+    /// Adds the constraint `Σ coeffs · vars  rel  rhs`.
+    ///
+    /// Duplicate variable entries are summed.
+    pub fn add_row(&mut self, coeffs: &[(VarId, f64)], rel: Relation, rhs: f64) {
+        let mut c: Vec<(usize, f64)> = Vec::with_capacity(coeffs.len());
+        for &(v, a) in coeffs {
+            match c.iter_mut().find(|(i, _)| *i == v.0) {
+                Some((_, acc)) => *acc += a,
+                None => c.push((v.0, a)),
+            }
+        }
+        self.rows.push(Row {
+            coeffs: c,
+            rel,
+            rhs,
+        });
+    }
+
+    /// Validates variable references, bounds and data finiteness.
+    pub fn validate(&self) -> Result<(), LpError> {
+        let n = self.num_vars();
+        for (i, (&l, &u)) in self.lower.iter().zip(&self.upper).enumerate() {
+            if l.is_nan() || u.is_nan() {
+                return Err(LpError::NanData("variable bound"));
+            }
+            if l > u {
+                return Err(LpError::EmptyDomain {
+                    var: i,
+                    lower: l,
+                    upper: u,
+                });
+            }
+        }
+        if self.obj.iter().any(|c| c.is_nan() || c.is_infinite()) {
+            return Err(LpError::NanData("objective coefficient"));
+        }
+        for row in &self.rows {
+            if row.rhs.is_nan() || row.rhs.is_infinite() {
+                return Err(LpError::NanData("right-hand side"));
+            }
+            for &(v, a) in &row.coeffs {
+                if v >= n {
+                    return Err(LpError::BadVariable(v));
+                }
+                if a.is_nan() || a.is_infinite() {
+                    return Err(LpError::NanData("row coefficient"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Solves with default [`SolverOptions`] using the revised simplex.
+    pub fn solve(&self) -> Result<Solution, LpError> {
+        self.solve_with(&SolverOptions::default())
+    }
+
+    /// Solves with explicit options.
+    pub fn solve_with(&self, opts: &SolverOptions) -> Result<Solution, LpError> {
+        self.validate()?;
+        simplex::solve(self, opts)
+    }
+
+    /// Evaluates the objective at a point (for certificates/tests).
+    pub fn objective_at(&self, x: &[f64]) -> f64 {
+        self.obj.iter().zip(x).map(|(c, v)| c * v).sum()
+    }
+
+    /// Maximum constraint violation and bound violation of a point (for
+    /// certificates/tests). Zero means feasible.
+    pub fn infeasibility_at(&self, x: &[f64]) -> f64 {
+        let mut worst = 0.0f64;
+        for (i, (&l, &u)) in self.lower.iter().zip(&self.upper).enumerate() {
+            worst = worst.max(l - x[i]).max(x[i] - u);
+        }
+        for row in &self.rows {
+            let lhs: f64 = row.coeffs.iter().map(|&(v, a)| a * x[v]).sum();
+            let viol = match row.rel {
+                Relation::Le => lhs - row.rhs,
+                Relation::Ge => row.rhs - lhs,
+                Relation::Eq => (lhs - row.rhs).abs(),
+            };
+            worst = worst.max(viol);
+        }
+        worst.max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates() {
+        let mut lp = Lp::minimize();
+        let x = lp.add_var(0.0, 1.0, 2.0);
+        let y = lp.add_var(f64::NEG_INFINITY, f64::INFINITY, -1.0);
+        lp.add_row(&[(x, 1.0), (y, 2.0)], Relation::Le, 3.0);
+        assert_eq!(lp.num_vars(), 2);
+        assert_eq!(lp.num_rows(), 1);
+        assert_eq!(x.index(), 0);
+        assert_eq!(y.index(), 1);
+        assert!(lp.validate().is_ok());
+    }
+
+    #[test]
+    fn duplicate_coeffs_are_summed() {
+        let mut lp = Lp::minimize();
+        let x = lp.add_var(0.0, 1.0, 0.0);
+        lp.add_row(&[(x, 1.0), (x, 2.0)], Relation::Eq, 3.0);
+        assert_eq!(lp.rows[0].coeffs, vec![(0, 3.0)]);
+    }
+
+    #[test]
+    fn validate_catches_bad_data() {
+        let mut lp = Lp::minimize();
+        lp.add_var(1.0, 0.0, 0.0);
+        assert!(matches!(
+            lp.validate(),
+            Err(LpError::EmptyDomain { var: 0, .. })
+        ));
+
+        let mut lp = Lp::minimize();
+        lp.add_var(0.0, f64::NAN, 0.0);
+        assert!(matches!(lp.validate(), Err(LpError::NanData(_))));
+
+        let mut lp = Lp::minimize();
+        let x = lp.add_var(0.0, 1.0, 0.0);
+        lp.add_row(&[(x, f64::INFINITY)], Relation::Le, 0.0);
+        assert!(matches!(lp.validate(), Err(LpError::NanData(_))));
+
+        let mut lp = Lp::minimize();
+        lp.add_var(0.0, 1.0, 0.0);
+        lp.rows.push(Row {
+            coeffs: vec![(5, 1.0)],
+            rel: Relation::Le,
+            rhs: 0.0,
+        });
+        assert!(matches!(lp.validate(), Err(LpError::BadVariable(5))));
+    }
+
+    #[test]
+    fn objective_and_infeasibility_evaluation() {
+        let mut lp = Lp::minimize();
+        let x = lp.add_var(0.0, 10.0, 1.0);
+        let y = lp.add_var(0.0, 10.0, 2.0);
+        lp.add_row(&[(x, 1.0), (y, 1.0)], Relation::Ge, 4.0);
+        assert_eq!(lp.objective_at(&[1.0, 2.0]), 5.0);
+        assert_eq!(lp.infeasibility_at(&[2.0, 2.0]), 0.0);
+        assert!((lp.infeasibility_at(&[1.0, 1.0]) - 2.0).abs() < 1e-12);
+        assert!((lp.infeasibility_at(&[-1.0, 5.0]) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,846 @@
+//! Dense bounded-variable revised simplex.
+//!
+//! Internally the problem is brought to the computational standard form
+//! `min c·z  s.t.  A z = b,  l ≤ z ≤ u`, where `z` stacks the structural
+//! variables, one slack per row (`≤` rows get `s ∈ [0, ∞)`, `≥` rows
+//! `s ∈ (−∞, 0]`, `=` rows `s ∈ [0, 0]`) and, when needed, phase-1
+//! artificial variables.
+//!
+//! The implementation follows the classical two-phase bounded-variable
+//! method:
+//!
+//! * the basis inverse `B⁻¹` is kept explicitly (dense) and updated by
+//!   elementary row operations per pivot, with full Gauss–Jordan
+//!   refactorization every [`SolverOptions::refactor_interval`] pivots;
+//! * pricing is Dantzig (most violating reduced cost) with an automatic
+//!   switch to Bland's rule after a run of degenerate pivots, restoring
+//!   the termination guarantee;
+//! * the ratio test handles basic variables hitting either bound *and*
+//!   entering-variable bound flips, choosing among near-minimal ratios the
+//!   pivot with the largest `|w_r|` for numerical stability.
+
+use crate::dense::Matrix;
+use crate::error::LpError;
+use crate::problem::{Lp, Relation};
+
+/// Termination status of a solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// An optimal solution was found.
+    Optimal,
+    /// No feasible point exists (phase-1 optimum is positive).
+    Infeasible,
+    /// The objective is unbounded below over the feasible region.
+    Unbounded,
+}
+
+/// Result of a solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Why the solver stopped.
+    pub status: Status,
+    /// Objective value (meaningful for [`Status::Optimal`]).
+    pub objective: f64,
+    /// Values of the structural variables (meaningful for
+    /// [`Status::Optimal`]; zeros otherwise).
+    pub x: Vec<f64>,
+    /// Simplex multipliers `y = c_B B⁻¹` of the final basis, one per row.
+    pub duals: Vec<f64>,
+    /// Total simplex iterations over both phases.
+    pub iterations: usize,
+}
+
+/// Solver tuning knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverOptions {
+    /// Hard iteration cap across both phases. `0` means the default
+    /// `50·(rows + cols) + 10_000`.
+    pub max_iterations: usize,
+    /// Optimality / feasibility tolerance.
+    pub tol: f64,
+    /// Pivots between full refactorizations of `B⁻¹`.
+    pub refactor_interval: usize,
+    /// Consecutive degenerate pivots before switching to Bland's rule.
+    pub bland_trigger: usize,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        SolverOptions {
+            max_iterations: 0,
+            tol: 1e-9,
+            refactor_interval: 100,
+            bland_trigger: 40,
+        }
+    }
+}
+
+/// Where a nonbasic variable currently sits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VarState {
+    Basic,
+    AtLower,
+    AtUpper,
+    /// Free nonbasic variable pinned at zero.
+    FreeZero,
+}
+
+/// The standard-form working problem.
+struct Core {
+    rows: usize,
+    /// Sparse columns of `A` (row, value).
+    cols: Vec<Vec<(usize, f64)>>,
+    b: Vec<f64>,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    cost: Vec<f64>,
+    /// Phase-1 cost (1 on artificials); swapped in/out of `cost`.
+    n_struct: usize,
+    first_artificial: usize,
+    state: Vec<VarState>,
+    basis: Vec<usize>,
+    binv: Matrix,
+    xb: Vec<f64>,
+    tol: f64,
+}
+
+impl Core {
+    /// Current value of a nonbasic variable.
+    #[inline]
+    fn nonbasic_value(&self, j: usize) -> f64 {
+        match self.state[j] {
+            VarState::AtLower => self.lower[j],
+            VarState::AtUpper => self.upper[j],
+            VarState::FreeZero => 0.0,
+            VarState::Basic => unreachable!("basic variable has no nonbasic value"),
+        }
+    }
+
+    /// Full primal vector (all standard-form variables).
+    fn full_x(&self) -> Vec<f64> {
+        let mut x: Vec<f64> = (0..self.cols.len())
+            .map(|j| {
+                if self.state[j] == VarState::Basic {
+                    0.0
+                } else {
+                    self.nonbasic_value(j)
+                }
+            })
+            .collect();
+        for (k, &j) in self.basis.iter().enumerate() {
+            x[j] = self.xb[k];
+        }
+        x
+    }
+
+    /// Recomputes `B⁻¹` and `x_B` from scratch.
+    fn refactor(&mut self) -> Result<(), LpError> {
+        let m = self.rows;
+        let mut bmat = Matrix::zeros(m, m);
+        for (k, &j) in self.basis.iter().enumerate() {
+            for &(i, a) in &self.cols[j] {
+                bmat[(i, k)] = a;
+            }
+        }
+        self.binv = bmat.inverse(1e-12).ok_or(LpError::SingularBasis)?;
+        // r = b - N x_N
+        let mut r = self.b.clone();
+        for j in 0..self.cols.len() {
+            if self.state[j] == VarState::Basic {
+                continue;
+            }
+            let v = self.nonbasic_value(j);
+            if v != 0.0 {
+                for &(i, a) in &self.cols[j] {
+                    r[i] -= a * v;
+                }
+            }
+        }
+        for k in 0..m {
+            self.xb[k] = self.binv.row(k).iter().zip(&r).map(|(c, rv)| c * rv).sum();
+        }
+        Ok(())
+    }
+
+    /// Simplex multipliers `y = c_B B⁻¹`.
+    fn duals(&self) -> Vec<f64> {
+        let m = self.rows;
+        let mut y = vec![0.0; m];
+        for (k, &j) in self.basis.iter().enumerate() {
+            let cb = self.cost[j];
+            if cb != 0.0 {
+                for (yi, &bi) in y.iter_mut().zip(self.binv.row(k)) {
+                    *yi += cb * bi;
+                }
+            }
+        }
+        y
+    }
+
+    /// Reduced cost of column `j` given multipliers `y`.
+    #[inline]
+    fn reduced_cost(&self, j: usize, y: &[f64]) -> f64 {
+        let dot: f64 = self.cols[j].iter().map(|&(i, a)| y[i] * a).sum();
+        self.cost[j] - dot
+    }
+
+    /// `w = B⁻¹ A_j`.
+    #[allow(clippy::needless_range_loop)] // w[k] pairs with binv[(k, i)]
+    fn ftran(&self, j: usize) -> Vec<f64> {
+        let m = self.rows;
+        let mut w = vec![0.0; m];
+        for &(i, a) in &self.cols[j] {
+            if a != 0.0 {
+                for k in 0..m {
+                    w[k] += self.binv[(k, i)] * a;
+                }
+            }
+        }
+        w
+    }
+
+    /// Runs simplex iterations until optimality of the current cost vector.
+    ///
+    /// Returns `Ok(true)` on optimal, `Ok(false)` on unbounded.
+    fn optimize(
+        &mut self,
+        opts: &SolverOptions,
+        iterations: &mut usize,
+        max_iterations: usize,
+    ) -> Result<bool, LpError> {
+        let tol = self.tol;
+        let mut degenerate_run = 0usize;
+        let mut since_refactor = 0usize;
+        loop {
+            if *iterations >= max_iterations {
+                return Err(LpError::IterationLimit(max_iterations));
+            }
+            *iterations += 1;
+            if since_refactor >= opts.refactor_interval {
+                self.refactor()?;
+                since_refactor = 0;
+            }
+
+            let y = self.duals();
+            let use_bland = degenerate_run >= opts.bland_trigger;
+
+            // --- Pricing ---------------------------------------------------
+            let mut entering: Option<(usize, f64, f64)> = None; // (col, d, sigma)
+            for j in 0..self.cols.len() {
+                let st = self.state[j];
+                if st == VarState::Basic {
+                    continue;
+                }
+                if self.lower[j] == self.upper[j] && st != VarState::FreeZero {
+                    continue; // fixed variable can never move
+                }
+                let d = self.reduced_cost(j, &y);
+                let sigma = match st {
+                    VarState::AtLower if d < -tol => 1.0,
+                    VarState::AtUpper if d > tol => -1.0,
+                    VarState::FreeZero if d < -tol => 1.0,
+                    VarState::FreeZero if d > tol => -1.0,
+                    _ => continue,
+                };
+                if use_bland {
+                    entering = Some((j, d, sigma));
+                    break;
+                }
+                match entering {
+                    Some((_, dbest, _)) if d.abs() <= dbest.abs() => {}
+                    _ => entering = Some((j, d, sigma)),
+                }
+            }
+            let Some((j, _, sigma)) = entering else {
+                return Ok(true); // optimal
+            };
+
+            // --- Ratio test ------------------------------------------------
+            let w = self.ftran(j);
+            let mut t = match (self.lower[j].is_finite(), self.upper[j].is_finite()) {
+                (true, true) => self.upper[j] - self.lower[j],
+                _ => f64::INFINITY,
+            };
+            let mut leaving: Option<usize> = None;
+            // First pass: minimal ratio.
+            for (k, &wk) in w.iter().enumerate() {
+                let d = sigma * wk;
+                if d.abs() <= 1e-11 {
+                    continue;
+                }
+                let jb = self.basis[k];
+                let bound = if d > 0.0 {
+                    if self.lower[jb].is_finite() {
+                        (self.xb[k] - self.lower[jb]) / d
+                    } else {
+                        continue;
+                    }
+                } else if self.upper[jb].is_finite() {
+                    (self.upper[jb] - self.xb[k]) / (-d)
+                } else {
+                    continue;
+                };
+                let bound = bound.max(0.0);
+                if bound < t - 1e-12 {
+                    t = bound;
+                    leaving = Some(k);
+                }
+            }
+            // Stabilization: among rows whose ratio is within a whisker of
+            // the minimum, pivot on the largest |w_r|.
+            if leaving.is_some() {
+                let mut best_w = 0.0f64;
+                let mut best_k = None;
+                for (k, &wk) in w.iter().enumerate() {
+                    let d = sigma * wk;
+                    if d.abs() <= 1e-11 {
+                        continue;
+                    }
+                    let jb = self.basis[k];
+                    let bound = if d > 0.0 {
+                        if self.lower[jb].is_finite() {
+                            ((self.xb[k] - self.lower[jb]) / d).max(0.0)
+                        } else {
+                            continue;
+                        }
+                    } else if self.upper[jb].is_finite() {
+                        ((self.upper[jb] - self.xb[k]) / (-d)).max(0.0)
+                    } else {
+                        continue;
+                    };
+                    if bound <= t + 1e-9 * (1.0 + t.abs()) && wk.abs() > best_w {
+                        best_w = wk.abs();
+                        best_k = Some(k);
+                    }
+                }
+                if let Some(k) = best_k {
+                    leaving = Some(k);
+                    // Recompute the exact ratio of the chosen row.
+                    let d = sigma * w[k];
+                    let jb = self.basis[k];
+                    t = if d > 0.0 {
+                        ((self.xb[k] - self.lower[jb]) / d).max(0.0)
+                    } else {
+                        ((self.upper[jb] - self.xb[k]) / (-d)).max(0.0)
+                    };
+                }
+            }
+
+            if t.is_infinite() {
+                return Ok(false); // unbounded direction
+            }
+            degenerate_run = if t <= 1e-11 { degenerate_run + 1 } else { 0 };
+
+            match leaving {
+                None => {
+                    // Bound flip: entering travels to its other bound.
+                    for (k, &wk) in w.iter().enumerate() {
+                        self.xb[k] -= sigma * t * wk;
+                    }
+                    self.state[j] = match self.state[j] {
+                        VarState::AtLower => VarState::AtUpper,
+                        VarState::AtUpper => VarState::AtLower,
+                        other => other, // FreeZero cannot bound-flip (t finite => bounds finite)
+                    };
+                }
+                Some(r) => {
+                    let enter_value = match self.state[j] {
+                        VarState::AtLower => self.lower[j],
+                        VarState::AtUpper => self.upper[j],
+                        VarState::FreeZero => 0.0,
+                        VarState::Basic => unreachable!(),
+                    } + sigma * t;
+                    for (k, &wk) in w.iter().enumerate() {
+                        if k != r {
+                            self.xb[k] -= sigma * t * wk;
+                        }
+                    }
+                    let lv = self.basis[r];
+                    self.state[lv] = if sigma * w[r] > 0.0 {
+                        VarState::AtLower
+                    } else {
+                        VarState::AtUpper
+                    };
+                    self.basis[r] = j;
+                    self.state[j] = VarState::Basic;
+                    self.xb[r] = enter_value;
+                    // Elementary update of B⁻¹: row r scaled, others swept.
+                    let wr = w[r];
+                    let m = self.rows;
+                    for i in 0..m {
+                        self.binv[(r, i)] /= wr;
+                    }
+                    for (k, &wk) in w.iter().enumerate() {
+                        if k == r || wk == 0.0 {
+                            continue;
+                        }
+                        for i in 0..m {
+                            let delta = wk * self.binv[(r, i)];
+                            self.binv[(k, i)] -= delta;
+                        }
+                    }
+                    since_refactor += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Solves `lp` (already validated by the caller).
+#[allow(clippy::needless_range_loop)] // row index i pairs data across arrays
+pub(crate) fn solve(lp: &Lp, opts: &SolverOptions) -> Result<Solution, LpError> {
+    let n = lp.num_vars();
+    let m = lp.num_rows();
+    let tol = opts.tol;
+
+    // --- Build standard form ---------------------------------------------
+    let total_guess = n + 2 * m;
+    let mut cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    let mut lower = lp.lower.clone();
+    let mut upper = lp.upper.clone();
+    let mut cost = lp.obj.clone();
+    cols.reserve(total_guess - n);
+    let mut b = Vec::with_capacity(m);
+    for (i, row) in lp.rows.iter().enumerate() {
+        for &(v, a) in &row.coeffs {
+            if a != 0.0 {
+                cols[v].push((i, a));
+            }
+        }
+        b.push(row.rhs);
+    }
+    // Slacks.
+    let first_slack = cols.len();
+    for (i, row) in lp.rows.iter().enumerate() {
+        cols.push(vec![(i, 1.0)]);
+        cost.push(0.0);
+        match row.rel {
+            Relation::Le => {
+                lower.push(0.0);
+                upper.push(f64::INFINITY);
+            }
+            Relation::Ge => {
+                lower.push(f64::NEG_INFINITY);
+                upper.push(0.0);
+            }
+            Relation::Eq => {
+                lower.push(0.0);
+                upper.push(0.0);
+            }
+        }
+    }
+
+    // Initial nonbasic states for structurals + slacks.
+    let mut state: Vec<VarState> = (0..cols.len())
+        .map(|j| {
+            if lower[j].is_finite() {
+                VarState::AtLower
+            } else if upper[j].is_finite() {
+                VarState::AtUpper
+            } else {
+                VarState::FreeZero
+            }
+        })
+        .collect();
+
+    // Residuals with every structural at its initial bound (slacks at 0
+    // contribute nothing unless their bound is 0 anyway).
+    let mut resid = b.clone();
+    for (j, col) in cols.iter().enumerate().take(first_slack) {
+        let v = match state[j] {
+            VarState::AtLower => lower[j],
+            VarState::AtUpper => upper[j],
+            _ => 0.0,
+        };
+        if v != 0.0 {
+            for &(i, a) in col {
+                resid[i] -= a * v;
+            }
+        }
+    }
+
+    // Choose initial basis per row: the slack if it can hold the residual,
+    // otherwise a fresh artificial of matching sign.
+    let mut basis = Vec::with_capacity(m);
+    let first_artificial = cols.len();
+    let mut any_artificial = false;
+    for i in 0..m {
+        let s = first_slack + i;
+        if resid[i] >= lower[s] - tol && resid[i] <= upper[s] + tol {
+            basis.push(s);
+            state[s] = VarState::Basic;
+        } else {
+            let sign = if resid[i] >= 0.0 { 1.0 } else { -1.0 };
+            cols.push(vec![(i, sign)]);
+            lower.push(0.0);
+            upper.push(f64::INFINITY);
+            cost.push(0.0);
+            state.push(VarState::Basic);
+            basis.push(cols.len() - 1);
+            any_artificial = true;
+        }
+    }
+
+    let mut core = Core {
+        rows: m,
+        cols,
+        b,
+        lower,
+        upper,
+        cost,
+        n_struct: n,
+        first_artificial,
+        state,
+        basis,
+        binv: Matrix::identity(m),
+        xb: vec![0.0; m],
+        tol,
+    };
+    core.refactor()?;
+
+    let max_iterations = if opts.max_iterations > 0 {
+        opts.max_iterations
+    } else {
+        50 * (m + core.cols.len()) + 10_000
+    };
+    let mut iterations = 0usize;
+
+    // --- Phase 1 -----------------------------------------------------------
+    if any_artificial {
+        let saved_cost: Vec<f64> = core.cost.clone();
+        for c in core.cost.iter_mut() {
+            *c = 0.0;
+        }
+        for j in core.first_artificial..core.cols.len() {
+            core.cost[j] = 1.0;
+        }
+        let optimal = core.optimize(opts, &mut iterations, max_iterations)?;
+        debug_assert!(optimal, "phase 1 objective is bounded below by zero");
+        let infeas: f64 = core
+            .basis
+            .iter()
+            .zip(&core.xb)
+            .filter(|(&j, _)| j >= core.first_artificial)
+            .map(|(_, &v)| v.abs())
+            .sum();
+        if infeas > 1e-7 {
+            return Ok(Solution {
+                status: Status::Infeasible,
+                objective: f64::NAN,
+                x: vec![0.0; n],
+                duals: core.duals(),
+                iterations,
+            });
+        }
+        // Fix artificials at zero and restore the real costs.
+        for j in core.first_artificial..core.cols.len() {
+            core.lower[j] = 0.0;
+            core.upper[j] = 0.0;
+            if core.state[j] == VarState::FreeZero {
+                core.state[j] = VarState::AtLower;
+            }
+        }
+        core.cost = saved_cost;
+        // Drive basic artificials (all at ~0) out of the basis when a
+        // non-artificial pivot column exists; redundant rows keep theirs.
+        for r in 0..m {
+            if core.basis[r] < core.first_artificial {
+                continue;
+            }
+            let mut pivot_col = None;
+            for j in 0..core.first_artificial {
+                if core.state[j] == VarState::Basic {
+                    continue;
+                }
+                let wr: f64 = core.cols[j]
+                    .iter()
+                    .map(|&(i, a)| core.binv[(r, i)] * a)
+                    .sum();
+                if wr.abs() > 1e-7 {
+                    pivot_col = Some(j);
+                    break;
+                }
+            }
+            if let Some(j) = pivot_col {
+                let w = core.ftran(j);
+                let old = core.basis[r];
+                core.state[old] = VarState::AtLower;
+                core.basis[r] = j;
+                core.state[j] = VarState::Basic;
+                let wr = w[r];
+                for i in 0..m {
+                    core.binv[(r, i)] /= wr;
+                }
+                for (k, &wk) in w.iter().enumerate() {
+                    if k == r || wk == 0.0 {
+                        continue;
+                    }
+                    for i in 0..m {
+                        let delta = wk * core.binv[(r, i)];
+                        core.binv[(k, i)] -= delta;
+                    }
+                }
+                core.refactor()?;
+            }
+        }
+        core.refactor()?;
+    }
+
+    // --- Phase 2 -----------------------------------------------------------
+    let optimal = core.optimize(opts, &mut iterations, max_iterations)?;
+    let duals = core.duals();
+    if !optimal {
+        return Ok(Solution {
+            status: Status::Unbounded,
+            objective: f64::NEG_INFINITY,
+            x: vec![0.0; n],
+            duals,
+            iterations,
+        });
+    }
+    let full = core.full_x();
+    let x: Vec<f64> = full[..core.n_struct].to_vec();
+    let objective = lp.objective_at(&x);
+    Ok(Solution {
+        status: Status::Optimal,
+        objective,
+        x,
+        duals,
+        iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Lp, Relation};
+
+    fn assert_opt(lp: &Lp, expect_obj: f64, expect_x: Option<&[f64]>) {
+        let sol = lp.solve().expect("solver error");
+        assert_eq!(sol.status, Status::Optimal, "expected optimal");
+        assert!(
+            (sol.objective - expect_obj).abs() < 1e-7,
+            "objective {} != {expect_obj}",
+            sol.objective
+        );
+        assert!(
+            lp.infeasibility_at(&sol.x) < 1e-7,
+            "solution infeasible by {}",
+            lp.infeasibility_at(&sol.x)
+        );
+        if let Some(xs) = expect_x {
+            for (i, (&a, &e)) in sol.x.iter().zip(xs).enumerate() {
+                assert!((a - e).abs() < 1e-7, "x[{i}] = {a} != {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn textbook_max_problem() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 (as min of neg).
+        let mut lp = Lp::minimize();
+        let x = lp.add_var(0.0, f64::INFINITY, -3.0);
+        let y = lp.add_var(0.0, f64::INFINITY, -5.0);
+        lp.add_row(&[(x, 1.0)], Relation::Le, 4.0);
+        lp.add_row(&[(y, 2.0)], Relation::Le, 12.0);
+        lp.add_row(&[(x, 3.0), (y, 2.0)], Relation::Le, 18.0);
+        assert_opt(&lp, -36.0, Some(&[2.0, 6.0]));
+    }
+
+    #[test]
+    fn equality_rows_need_phase1() {
+        // min x + y s.t. x + y = 5, x - y = 1 -> x=3, y=2.
+        let mut lp = Lp::minimize();
+        let x = lp.add_var(0.0, f64::INFINITY, 1.0);
+        let y = lp.add_var(0.0, f64::INFINITY, 1.0);
+        lp.add_row(&[(x, 1.0), (y, 1.0)], Relation::Eq, 5.0);
+        lp.add_row(&[(x, 1.0), (y, -1.0)], Relation::Eq, 1.0);
+        assert_opt(&lp, 5.0, Some(&[3.0, 2.0]));
+    }
+
+    #[test]
+    fn ge_rows_and_mixed_senses() {
+        // min 2x + 3y s.t. x + y >= 10, x - y <= 2, y <= 8.
+        let mut lp = Lp::minimize();
+        let x = lp.add_var(0.0, f64::INFINITY, 2.0);
+        let y = lp.add_var(0.0, 8.0, 3.0);
+        lp.add_row(&[(x, 1.0), (y, 1.0)], Relation::Ge, 10.0);
+        lp.add_row(&[(x, 1.0), (y, -1.0)], Relation::Le, 2.0);
+        // Optimum: x=6,y=4 -> 24. Check: cheaper to use x (cost 2), but x-y<=2.
+        assert_opt(&lp, 24.0, Some(&[6.0, 4.0]));
+    }
+
+    #[test]
+    fn bounded_variables_and_flips() {
+        // min -x1 -2x2 -3x3, all in [0,1], x1+x2+x3 <= 2.
+        let mut lp = Lp::minimize();
+        let v: Vec<_> = (0..3).map(|i| lp.add_var(0.0, 1.0, -(i as f64 + 1.0))).collect();
+        lp.add_row(&[(v[0], 1.0), (v[1], 1.0), (v[2], 1.0)], Relation::Le, 2.0);
+        assert_opt(&lp, -5.0, Some(&[0.0, 1.0, 1.0]));
+    }
+
+    #[test]
+    fn free_variables() {
+        // min x s.t. x >= -7 encoded as free var with a Ge row.
+        let mut lp = Lp::minimize();
+        let x = lp.add_var(f64::NEG_INFINITY, f64::INFINITY, 1.0);
+        lp.add_row(&[(x, 1.0)], Relation::Ge, -7.0);
+        assert_opt(&lp, -7.0, Some(&[-7.0]));
+    }
+
+    #[test]
+    fn free_variable_entering_downwards() {
+        // min -y s.t. y + x = 3, x free, y in [0, 10]: y = 3 - x can reach
+        // 10 by x = -7.
+        let mut lp = Lp::minimize();
+        let x = lp.add_var(f64::NEG_INFINITY, f64::INFINITY, 0.0);
+        let y = lp.add_var(0.0, 10.0, -1.0);
+        lp.add_row(&[(x, 1.0), (y, 1.0)], Relation::Eq, 3.0);
+        assert_opt(&lp, -10.0, Some(&[-7.0, 10.0]));
+    }
+
+    #[test]
+    fn infeasible_problem_detected() {
+        let mut lp = Lp::minimize();
+        let x = lp.add_var(0.0, 1.0, 1.0);
+        lp.add_row(&[(x, 1.0)], Relation::Ge, 2.0);
+        let sol = lp.solve().unwrap();
+        assert_eq!(sol.status, Status::Infeasible);
+    }
+
+    #[test]
+    fn infeasible_equalities_detected() {
+        let mut lp = Lp::minimize();
+        let x = lp.add_var(0.0, f64::INFINITY, 0.0);
+        let y = lp.add_var(0.0, f64::INFINITY, 0.0);
+        lp.add_row(&[(x, 1.0), (y, 1.0)], Relation::Eq, 1.0);
+        lp.add_row(&[(x, 1.0), (y, 1.0)], Relation::Eq, 2.0);
+        assert_eq!(lp.solve().unwrap().status, Status::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_problem_detected() {
+        let mut lp = Lp::minimize();
+        let x = lp.add_var(0.0, f64::INFINITY, -1.0);
+        lp.add_row(&[(x, -1.0)], Relation::Le, 0.0); // -x <= 0, no upper limit
+        let sol = lp.solve().unwrap();
+        assert_eq!(sol.status, Status::Unbounded);
+    }
+
+    #[test]
+    fn no_rows_minimizes_at_bounds() {
+        let mut lp = Lp::minimize();
+        lp.add_var(1.0, 5.0, 2.0); // cost > 0 -> lower bound
+        lp.add_var(-3.0, 4.0, -1.0); // cost < 0 -> upper bound
+        assert_opt(&lp, 2.0 - 4.0, Some(&[1.0, 4.0]));
+    }
+
+    #[test]
+    fn no_rows_unbounded_below() {
+        let mut lp = Lp::minimize();
+        lp.add_var(0.0, f64::INFINITY, -1.0);
+        assert_eq!(lp.solve().unwrap().status, Status::Unbounded);
+    }
+
+    #[test]
+    fn fixed_variables_are_respected() {
+        let mut lp = Lp::minimize();
+        let x = lp.add_var(2.0, 2.0, 1.0);
+        let y = lp.add_var(0.0, f64::INFINITY, 1.0);
+        lp.add_row(&[(x, 1.0), (y, 1.0)], Relation::Ge, 5.0);
+        assert_opt(&lp, 5.0, Some(&[2.0, 3.0]));
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Classic degenerate vertex: multiple rows active at origin.
+        let mut lp = Lp::minimize();
+        let x = lp.add_var(0.0, f64::INFINITY, -1.0);
+        let y = lp.add_var(0.0, f64::INFINITY, -1.0);
+        lp.add_row(&[(x, 1.0), (y, 1.0)], Relation::Le, 1.0);
+        lp.add_row(&[(x, 1.0)], Relation::Le, 1.0);
+        lp.add_row(&[(y, 1.0)], Relation::Le, 1.0);
+        lp.add_row(&[(x, 1.0), (y, -1.0)], Relation::Le, 0.0);
+        lp.add_row(&[(x, -1.0), (y, 1.0)], Relation::Le, 1.0);
+        let sol = lp.solve().unwrap();
+        assert_eq!(sol.status, Status::Optimal);
+        assert!((sol.objective + 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn negative_rhs_equalities() {
+        // min |ish| with negative rhs forcing artificial sign handling.
+        let mut lp = Lp::minimize();
+        let x = lp.add_var(f64::NEG_INFINITY, f64::INFINITY, 1.0);
+        lp.add_row(&[(x, 1.0)], Relation::Eq, -4.0);
+        assert_opt(&lp, -4.0, Some(&[-4.0]));
+    }
+
+    #[test]
+    fn redundant_rows_are_harmless() {
+        let mut lp = Lp::minimize();
+        let x = lp.add_var(0.0, f64::INFINITY, 1.0);
+        let y = lp.add_var(0.0, f64::INFINITY, 1.0);
+        lp.add_row(&[(x, 1.0), (y, 1.0)], Relation::Eq, 4.0);
+        lp.add_row(&[(x, 2.0), (y, 2.0)], Relation::Eq, 8.0); // same plane
+        assert_opt(&lp, 4.0, None);
+    }
+
+    #[test]
+    fn duals_have_row_dimension() {
+        let mut lp = Lp::minimize();
+        let x = lp.add_var(0.0, f64::INFINITY, 1.0);
+        lp.add_row(&[(x, 1.0)], Relation::Ge, 3.0);
+        lp.add_row(&[(x, 1.0)], Relation::Le, 9.0);
+        let sol = lp.solve().unwrap();
+        assert_eq!(sol.duals.len(), 2);
+        assert_eq!(sol.status, Status::Optimal);
+    }
+
+    #[test]
+    fn iteration_limit_is_reported() {
+        let mut lp = Lp::minimize();
+        let x = lp.add_var(0.0, f64::INFINITY, -1.0);
+        let y = lp.add_var(0.0, f64::INFINITY, -2.0);
+        lp.add_row(&[(x, 1.0), (y, 1.0)], Relation::Le, 10.0);
+        let opts = SolverOptions {
+            max_iterations: 1,
+            ..SolverOptions::default()
+        };
+        match lp.solve_with(&opts) {
+            Err(LpError::IterationLimit(1)) => {}
+            other => panic!("expected iteration limit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn larger_random_feasible_problem() {
+        // Deterministic pseudo-random LP with known feasible point; checks
+        // the solver returns something at least as good and feasible.
+        let mut lp = Lp::minimize();
+        let n = 25;
+        let vars: Vec<_> = (0..n)
+            .map(|i| lp.add_var(0.0, 10.0, ((i * 7 % 13) as f64) - 6.0))
+            .collect();
+        let mut state = 12345u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for r in 0..15 {
+            let coeffs: Vec<_> = vars
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| (i + r) % 3 == 0)
+                .map(|(_, &v)| (v, 1.0 + next().abs()))
+                .collect();
+            let bound: f64 = 5.0 + 20.0 * next().abs();
+            lp.add_row(&coeffs, Relation::Le, bound);
+        }
+        let sol = lp.solve().unwrap();
+        assert_eq!(sol.status, Status::Optimal);
+        assert!(lp.infeasibility_at(&sol.x) < 1e-7);
+        // x = 0 is feasible with objective 0; optimum must be <= 0.
+        assert!(sol.objective <= 1e-9);
+    }
+}

@@ -1,0 +1,380 @@
+//! Reference dense two-phase **tableau** simplex.
+//!
+//! An intentionally independent implementation used to cross-check the
+//! revised solver ([`crate::simplex`]) in tests and benches: different
+//! standard-form reduction (variable shifting + explicit bound rows,
+//! `x ≥ 0` only), different pivoting (pure Bland's rule, guaranteed
+//! terminating), different data layout (one dense tableau).
+//!
+//! It is O(rows·cols) memory and not meant for large instances.
+
+use crate::error::LpError;
+use crate::problem::{Lp, Relation};
+use crate::simplex::{Solution, Status};
+
+const TOL: f64 = 1e-9;
+
+/// How each original variable was encoded into nonnegative columns.
+#[derive(Debug, Clone, Copy)]
+enum Encoding {
+    /// `x = lb + x'`, one column.
+    Shifted { col: usize, lb: f64 },
+    /// `x = ub − x'`, one column.
+    Mirrored { col: usize, ub: f64 },
+    /// `x = x⁺ − x⁻`, two columns.
+    Split { pos: usize, neg: usize },
+}
+
+/// Solves `lp` with the reference tableau method.
+#[allow(clippy::needless_range_loop)] // variable index j pairs enc/obj/bounds
+pub fn solve_reference(lp: &Lp) -> Result<Solution, LpError> {
+    lp.validate()?;
+    let n = lp.num_vars();
+
+    // --- Encode variables as nonnegative columns --------------------------
+    let mut ncols = 0usize;
+    let mut enc = Vec::with_capacity(n);
+    for j in 0..n {
+        let (lb, ub) = (lp.lower[j], lp.upper[j]);
+        if lb.is_finite() {
+            enc.push(Encoding::Shifted { col: ncols, lb });
+            ncols += 1;
+        } else if ub.is_finite() {
+            enc.push(Encoding::Mirrored { col: ncols, ub });
+            ncols += 1;
+        } else {
+            enc.push(Encoding::Split {
+                pos: ncols,
+                neg: ncols + 1,
+            });
+            ncols += 2;
+        }
+    }
+
+    // Row list: original rows plus upper-bound rows for doubly-bounded vars.
+    // Each row: (dense coeffs over ncols, relation, rhs).
+    let mut rows: Vec<(Vec<f64>, Relation, f64)> = Vec::with_capacity(lp.num_rows() + n);
+    let mut costs = vec![0.0; ncols];
+    let mut const_cost = 0.0; // objective constant from shifting
+    for j in 0..n {
+        match enc[j] {
+            Encoding::Shifted { col, lb } => {
+                costs[col] += lp.obj[j];
+                const_cost += lp.obj[j] * lb;
+                if lp.upper[j].is_finite() {
+                    let mut r = vec![0.0; ncols];
+                    r[col] = 1.0;
+                    rows.push((r, Relation::Le, lp.upper[j] - lb));
+                }
+            }
+            Encoding::Mirrored { col, ub } => {
+                costs[col] -= lp.obj[j];
+                const_cost += lp.obj[j] * ub;
+            }
+            Encoding::Split { pos, neg } => {
+                costs[pos] += lp.obj[j];
+                costs[neg] -= lp.obj[j];
+            }
+        }
+    }
+    for row in &lp.rows {
+        let mut r = vec![0.0; ncols];
+        let mut rhs = row.rhs;
+        for &(v, a) in &row.coeffs {
+            match enc[v] {
+                Encoding::Shifted { col, lb } => {
+                    r[col] += a;
+                    rhs -= a * lb;
+                }
+                Encoding::Mirrored { col, ub } => {
+                    r[col] -= a;
+                    rhs -= a * ub;
+                }
+                Encoding::Split { pos, neg } => {
+                    r[pos] += a;
+                    r[neg] -= a;
+                }
+            }
+        }
+        rows.push((r, row.rel, rhs));
+    }
+
+    // Normalize to nonnegative rhs.
+    for (r, rel, rhs) in rows.iter_mut() {
+        if *rhs < 0.0 {
+            for c in r.iter_mut() {
+                *c = -*c;
+            }
+            *rhs = -*rhs;
+            *rel = match *rel {
+                Relation::Le => Relation::Ge,
+                Relation::Ge => Relation::Le,
+                Relation::Eq => Relation::Eq,
+            };
+        }
+    }
+
+    // --- Build tableau ------------------------------------------------------
+    let m = rows.len();
+    // Columns: structural | slacks/surpluses | artificials | rhs.
+    let n_slack: usize = rows
+        .iter()
+        .filter(|(_, rel, _)| !matches!(rel, Relation::Eq))
+        .count();
+    let n_art: usize = rows
+        .iter()
+        .filter(|(_, rel, _)| !matches!(rel, Relation::Le))
+        .count();
+    let width = ncols + n_slack + n_art + 1;
+    let mut t = vec![vec![0.0f64; width]; m];
+    let mut basis = vec![usize::MAX; m];
+    let mut s_at = ncols;
+    let mut a_at = ncols + n_slack;
+    let first_art = ncols + n_slack;
+    for (i, (r, rel, rhs)) in rows.iter().enumerate() {
+        t[i][..ncols].copy_from_slice(r);
+        t[i][width - 1] = *rhs;
+        match rel {
+            Relation::Le => {
+                t[i][s_at] = 1.0;
+                basis[i] = s_at;
+                s_at += 1;
+            }
+            Relation::Ge => {
+                t[i][s_at] = -1.0;
+                s_at += 1;
+                t[i][a_at] = 1.0;
+                basis[i] = a_at;
+                a_at += 1;
+            }
+            Relation::Eq => {
+                t[i][a_at] = 1.0;
+                basis[i] = a_at;
+                a_at += 1;
+            }
+        }
+    }
+
+    let pivot = |t: &mut Vec<Vec<f64>>, basis: &mut Vec<usize>, r: usize, c: usize| {
+        let d = t[r][c];
+        for v in t[r].iter_mut() {
+            *v /= d;
+        }
+        for i in 0..t.len() {
+            if i != r && t[i][c].abs() > 0.0 {
+                let f = t[i][c];
+                // Borrow split: copy pivot row values on the fly.
+                for j in 0..t[i].len() {
+                    let pv = t[r][j];
+                    t[i][j] -= f * pv;
+                }
+            }
+        }
+        basis[r] = c;
+    };
+
+    // Generic phase: minimize `cost` over the tableau with Bland's rule.
+    // `allowed` restricts entering columns. Returns false on unbounded.
+    let run_phase = |t: &mut Vec<Vec<f64>>,
+                     basis: &mut Vec<usize>,
+                     cost: &[f64],
+                     allowed: usize|
+     -> Result<bool, LpError> {
+        let mut iters = 0usize;
+        let limit = 100 * (t.len() + allowed) + 10_000;
+        loop {
+            iters += 1;
+            if iters > limit {
+                return Err(LpError::IterationLimit(limit));
+            }
+            // Reduced costs: d_j = cost_j - sum_i cost[basis[i]] * t[i][j].
+            let mut entering = None;
+            for j in 0..allowed {
+                if basis.contains(&j) {
+                    continue;
+                }
+                let mut d = cost[j];
+                for (i, row) in t.iter().enumerate() {
+                    let cb = cost[basis[i]];
+                    if cb != 0.0 {
+                        d -= cb * row[j];
+                    }
+                }
+                if d < -TOL {
+                    entering = Some(j); // Bland: first improving index
+                    break;
+                }
+            }
+            let Some(c) = entering else { return Ok(true) };
+            // Ratio test (Bland: smallest basis index among ties).
+            let mut best: Option<(f64, usize)> = None;
+            for (i, row) in t.iter().enumerate() {
+                if row[c] > TOL {
+                    let ratio = row[row.len() - 1] / row[c];
+                    match best {
+                        Some((r0, i0))
+                            if ratio > r0 + TOL
+                                || (ratio > r0 - TOL && basis[i] >= basis[i0]) => {}
+                        _ => best = Some((ratio, i)),
+                    }
+                }
+            }
+            let Some((_, r)) = best else { return Ok(false) };
+            pivot(t, basis, r, c);
+        }
+    };
+
+    // --- Phase 1 -------------------------------------------------------------
+    if n_art > 0 {
+        let mut c1 = vec![0.0; width - 1];
+        for cj in c1.iter_mut().take(a_at).skip(first_art) {
+            *cj = 1.0;
+        }
+        let ok = run_phase(&mut t, &mut basis, &c1, width - 1)?;
+        debug_assert!(ok, "phase 1 cannot be unbounded");
+        let w: f64 = basis
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b >= first_art)
+            .map(|(i, _)| t[i][width - 1])
+            .sum();
+        if w > 1e-7 {
+            return Ok(Solution {
+                status: Status::Infeasible,
+                objective: f64::NAN,
+                x: vec![0.0; n],
+                duals: vec![0.0; lp.num_rows()],
+                iterations: 0,
+            });
+        }
+        // Pivot remaining basic artificials out where possible.
+        for r in 0..m {
+            if basis[r] < first_art {
+                continue;
+            }
+            if let Some(c) = (0..first_art).find(|&c| t[r][c].abs() > 1e-7) {
+                pivot(&mut t, &mut basis, r, c);
+            }
+        }
+    }
+
+    // --- Phase 2 -------------------------------------------------------------
+    let mut c2 = vec![0.0; width - 1];
+    c2[..ncols].copy_from_slice(&costs);
+    let ok = run_phase(&mut t, &mut basis, &c2, first_art)?;
+    if !ok {
+        return Ok(Solution {
+            status: Status::Unbounded,
+            objective: f64::NEG_INFINITY,
+            x: vec![0.0; n],
+            duals: vec![0.0; lp.num_rows()],
+            iterations: 0,
+        });
+    }
+
+    // --- Decode ---------------------------------------------------------------
+    let mut xs = vec![0.0; ncols];
+    for (i, &b) in basis.iter().enumerate() {
+        if b < ncols {
+            xs[b] = t[i][width - 1];
+        }
+    }
+    let x: Vec<f64> = enc
+        .iter()
+        .map(|e| match *e {
+            Encoding::Shifted { col, lb } => lb + xs[col],
+            Encoding::Mirrored { col, ub } => ub - xs[col],
+            Encoding::Split { pos, neg } => xs[pos] - xs[neg],
+        })
+        .collect();
+    let objective = lp.objective_at(&x);
+    debug_assert!((objective - (const_cost + c2.iter().zip(&xs).map(|(c, v)| c * v).sum::<f64>())).abs() < 1e-6);
+    Ok(Solution {
+        status: Status::Optimal,
+        objective,
+        x,
+        duals: vec![0.0; lp.num_rows()],
+        iterations: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_simplex_on_textbook_problem() {
+        let mut lp = Lp::minimize();
+        let x = lp.add_var(0.0, f64::INFINITY, -3.0);
+        let y = lp.add_var(0.0, f64::INFINITY, -5.0);
+        lp.add_row(&[(x, 1.0)], Relation::Le, 4.0);
+        lp.add_row(&[(y, 2.0)], Relation::Le, 12.0);
+        lp.add_row(&[(x, 3.0), (y, 2.0)], Relation::Le, 18.0);
+        let sol = solve_reference(&lp).unwrap();
+        assert_eq!(sol.status, Status::Optimal);
+        assert!((sol.objective + 36.0).abs() < 1e-7);
+        assert!(lp.infeasibility_at(&sol.x) < 1e-7);
+    }
+
+    #[test]
+    fn handles_bounded_vars_via_extra_rows() {
+        let mut lp = Lp::minimize();
+        let v: Vec<_> = (0..3)
+            .map(|i| lp.add_var(0.0, 1.0, -(i as f64 + 1.0)))
+            .collect();
+        lp.add_row(&[(v[0], 1.0), (v[1], 1.0), (v[2], 1.0)], Relation::Le, 2.0);
+        let sol = solve_reference(&lp).unwrap();
+        assert!((sol.objective + 5.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn handles_free_and_mirrored_vars() {
+        let mut lp = Lp::minimize();
+        let x = lp.add_var(f64::NEG_INFINITY, f64::INFINITY, 1.0);
+        lp.add_row(&[(x, 1.0)], Relation::Ge, -7.0);
+        let sol = solve_reference(&lp).unwrap();
+        assert!((sol.objective + 7.0).abs() < 1e-7);
+
+        let mut lp = Lp::minimize();
+        let _x = lp.add_var(f64::NEG_INFINITY, 5.0, -1.0); // max x, x <= 5
+        let sol = solve_reference(&lp).unwrap();
+        assert!((sol.objective + 5.0).abs() < 1e-7);
+        assert!((sol.x[0] - 5.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut lp = Lp::minimize();
+        let x = lp.add_var(0.0, 1.0, 1.0);
+        lp.add_row(&[(x, 1.0)], Relation::Ge, 2.0);
+        assert_eq!(solve_reference(&lp).unwrap().status, Status::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut lp = Lp::minimize();
+        let x = lp.add_var(0.0, f64::INFINITY, -1.0);
+        lp.add_row(&[(x, -1.0)], Relation::Le, 0.0);
+        assert_eq!(solve_reference(&lp).unwrap().status, Status::Unbounded);
+    }
+
+    #[test]
+    fn equalities_with_negative_rhs() {
+        let mut lp = Lp::minimize();
+        let x = lp.add_var(f64::NEG_INFINITY, f64::INFINITY, 1.0);
+        lp.add_row(&[(x, 1.0)], Relation::Eq, -4.0);
+        let sol = solve_reference(&lp).unwrap();
+        assert_eq!(sol.status, Status::Optimal);
+        assert!((sol.x[0] + 4.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn fixed_variable() {
+        let mut lp = Lp::minimize();
+        let x = lp.add_var(2.0, 2.0, 1.0);
+        let y = lp.add_var(0.0, f64::INFINITY, 1.0);
+        lp.add_row(&[(x, 1.0), (y, 1.0)], Relation::Ge, 5.0);
+        let sol = solve_reference(&lp).unwrap();
+        assert!((sol.objective - 5.0).abs() < 1e-7);
+    }
+}

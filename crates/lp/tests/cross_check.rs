@@ -1,0 +1,128 @@
+//! Property-based cross-validation: the revised bounded-variable simplex
+//! and the reference tableau simplex must agree on status and optimal
+//! value for random well-scaled LPs.
+
+use mtsp_lp::{tableau, Lp, Relation, Status};
+use proptest::prelude::*;
+
+/// A randomly generated LP description (kept simple and well-conditioned).
+#[derive(Debug, Clone)]
+struct RandomLp {
+    nvars: usize,
+    bounds: Vec<(f64, f64)>,
+    costs: Vec<f64>,
+    #[allow(clippy::type_complexity)]
+    rows: Vec<(Vec<(usize, f64)>, u8, f64)>,
+}
+
+fn random_lp() -> impl Strategy<Value = RandomLp> {
+    (2usize..6).prop_flat_map(|nvars| {
+        let bounds = proptest::collection::vec(
+            (0.0f64..2.0, 2.0f64..6.0).prop_map(|(l, u)| (l, u)),
+            nvars,
+        );
+        let costs = proptest::collection::vec(-3.0f64..3.0, nvars);
+        let row = (
+            proptest::collection::vec((0usize..nvars, -2.0f64..2.0), 1..=nvars),
+            0u8..3,
+            -4.0f64..12.0,
+        );
+        let rows = proptest::collection::vec(row, 0..5);
+        (Just(nvars), bounds, costs, rows).prop_map(|(nvars, bounds, costs, rows)| RandomLp {
+            nvars,
+            bounds,
+            costs,
+            rows,
+        })
+    })
+}
+
+fn build(r: &RandomLp) -> Lp {
+    let mut lp = Lp::minimize();
+    let vars: Vec<_> = (0..r.nvars)
+        .map(|i| lp.add_var(r.bounds[i].0, r.bounds[i].1, r.costs[i]))
+        .collect();
+    for (coeffs, rel, rhs) in &r.rows {
+        let cs: Vec<_> = coeffs.iter().map(|&(v, a)| (vars[v], a)).collect();
+        let rel = match rel {
+            0 => Relation::Le,
+            1 => Relation::Ge,
+            _ => Relation::Eq,
+        };
+        lp.add_row(&cs, rel, *rhs);
+    }
+    lp
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn solvers_agree_on_random_lps(r in random_lp()) {
+        let lp = build(&r);
+        let a = lp.solve().expect("revised simplex failed");
+        let b = tableau::solve_reference(&lp).expect("tableau simplex failed");
+        prop_assert_eq!(a.status, b.status, "status mismatch");
+        if a.status == Status::Optimal {
+            prop_assert!(
+                (a.objective - b.objective).abs() <= 1e-6 * (1.0 + a.objective.abs()),
+                "objective mismatch: revised {} vs tableau {}",
+                a.objective,
+                b.objective
+            );
+            prop_assert!(lp.infeasibility_at(&a.x) < 1e-6);
+            prop_assert!(lp.infeasibility_at(&b.x) < 1e-6);
+            // The reported objective matches the reported point.
+            prop_assert!((lp.objective_at(&a.x) - a.objective).abs() < 1e-7);
+            // The revised simplex's duals form a valid KKT certificate.
+            if let Err(e) = mtsp_lp::verify_optimality(&lp, &a, 1e-6) {
+                prop_assert!(false, "certificate rejected: {}", e);
+            }
+        }
+    }
+
+    #[test]
+    fn optimum_beats_random_feasible_points(r in random_lp(), t in 0.0f64..1.0) {
+        // Whenever the midpoint-ish point is feasible, the solver's optimum
+        // must be at least as good (basic sanity of optimality).
+        let lp = build(&r);
+        let probe: Vec<f64> = r
+            .bounds
+            .iter()
+            .map(|&(l, u)| l + t * (u - l))
+            .collect();
+        if lp.infeasibility_at(&probe) < 1e-12 {
+            let a = lp.solve().expect("revised simplex failed");
+            // The LP is feasible, so it is optimal or unbounded.
+            match a.status {
+                Status::Optimal => {
+                    prop_assert!(a.objective <= lp.objective_at(&probe) + 1e-7);
+                }
+                Status::Unbounded => {}
+                Status::Infeasible => prop_assert!(false, "feasible point exists"),
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn presolve_preserves_status_and_value(r in random_lp()) {
+        let lp = build(&r);
+        let raw = lp.solve().expect("raw solve failed");
+        let pre = mtsp_lp::solve_presolved(&lp, &mtsp_lp::SolverOptions::default())
+            .expect("presolved solve failed");
+        prop_assert_eq!(raw.status, pre.status, "status mismatch");
+        if raw.status == Status::Optimal {
+            prop_assert!(
+                (raw.objective - pre.objective).abs() <= 1e-6 * (1.0 + raw.objective.abs()),
+                "objective mismatch: raw {} vs presolved {}",
+                raw.objective,
+                pre.objective
+            );
+            prop_assert!(lp.infeasibility_at(&pre.x) < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Executable versions of the paper's model assumptions.
+//!
+//! * **Assumption 1** (Eq. 1): `p(l) ≥ p(l′)` for `l ≤ l′`.
+//! * **Assumption 2** (Eq. 2): the speedup `s(l) = p(1)/p(l)` is concave in
+//!   `l`, *including* the boundary point `s(0) = 0` from `p(0) = ∞` — the
+//!   inductive base of Theorem 2.1 uses the triple `(0, 1, 2)`.
+//! * **Assumption 2′** (Eq. 3, the Lepère–Trystram–Woeginger model): the
+//!   work `W(l) = l·p(l)` is non-decreasing in `l`.
+//! * **Theorem 2.2 property**: the work is convex in the processing time.
+//!
+//! The paper proves A2 ⟹ A2′ (Theorem 2.1) and A2 ⟹ work convex in time
+//! (Theorem 2.2); property tests in this workspace verify both implications
+//! on random profiles.
+
+use crate::profile::Profile;
+
+/// Relative tolerance for the floating-point comparisons below.
+const EPS: f64 = 1e-9;
+
+/// Result of checking all model assumptions for one profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AssumptionReport {
+    /// Assumption 1: non-increasing processing time.
+    pub assumption1: bool,
+    /// Assumption 2: concave speedup (with `s(0) = 0`).
+    pub assumption2: bool,
+    /// Assumption 2′: non-decreasing work.
+    pub assumption2_prime: bool,
+    /// Theorem 2.2 property: work convex in processing time.
+    pub work_convex_in_time: bool,
+}
+
+impl AssumptionReport {
+    /// `true` iff the profile is admissible for the paper's algorithm
+    /// (Assumptions 1 and 2).
+    pub fn admissible(&self) -> bool {
+        self.assumption1 && self.assumption2
+    }
+}
+
+/// Checks Assumption 1: `p(1) ≥ p(2) ≥ … ≥ p(m)` (within tolerance).
+pub fn assumption1(p: &Profile) -> bool {
+    p.times().windows(2).all(|w| w[1] <= w[0] * (1.0 + EPS))
+}
+
+/// Checks Assumption 2: concavity of the speedup sequence extended by
+/// `s(0) = 0`, i.e. `s(l) − s(l−1) ≥ s(l+1) − s(l)` for `l = 1, …, m−1`.
+///
+/// Discrete midpoint concavity on consecutive triples is equivalent to
+/// concavity on all triples `l″ ≤ l ≤ l′` for sequences, which is the form
+/// (2) of the paper.
+pub fn assumption2(p: &Profile) -> bool {
+    let m = p.m();
+    let s = |l: usize| -> f64 {
+        if l == 0 {
+            0.0
+        } else {
+            p.speedup(l)
+        }
+    };
+    (1..m).all(|l| {
+        let left = s(l) - s(l - 1);
+        let right = s(l + 1) - s(l);
+        right <= left + EPS * (1.0 + left.abs())
+    })
+}
+
+/// Checks Assumption 2′: `l·p(l) ≤ (l+1)·p(l+1)` for all `l` (within
+/// tolerance).
+pub fn assumption2_prime(p: &Profile) -> bool {
+    (1..p.m()).all(|l| p.work(l) <= p.work(l + 1) * (1.0 + EPS))
+}
+
+/// Checks the Theorem 2.2 property: the piecewise-linear work-vs-time
+/// function through the points `(p(l), W(l))` is convex.
+///
+/// With breakpoints ordered by decreasing time, convexity is equivalent to
+/// the segment slopes `(W(l+1) − W(l))/(p(l+1) − p(l))` being non-increasing
+/// in `l`. Segments with `p(l+1) = p(l)` (flat speedup steps) are skipped:
+/// the point with more processors has strictly larger work and lies above
+/// the lower envelope, so it never participates in the convex work function
+/// (see [`crate::work::WorkFunction`], which deduplicates such points).
+pub fn work_convex_in_time(p: &Profile) -> bool {
+    let mut prev_slope = f64::INFINITY;
+    for l in 1..p.m() {
+        let dx = p.time(l + 1) - p.time(l);
+        if dx.abs() <= EPS * p.time(l) {
+            continue;
+        }
+        let slope = (p.work(l + 1) - p.work(l)) / dx;
+        if slope > prev_slope + EPS * (1.0 + prev_slope.abs()) {
+            return false;
+        }
+        prev_slope = slope;
+    }
+    true
+}
+
+/// Runs all checks.
+pub fn verify(p: &Profile) -> AssumptionReport {
+    AssumptionReport {
+        assumption1: assumption1(p),
+        assumption2: assumption2(p),
+        assumption2_prime: assumption2_prime(p),
+        work_convex_in_time: work_convex_in_time(p),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(times: &[f64]) -> Profile {
+        Profile::from_times(times.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn power_law_satisfies_everything() {
+        for d in [0.0, 0.3, 0.5, 0.9, 1.0] {
+            let p = Profile::power_law(7.0, d, 12).unwrap();
+            let r = verify(&p);
+            assert!(r.assumption1, "A1, d={d}");
+            assert!(r.assumption2, "A2, d={d}");
+            assert!(r.assumption2_prime, "A2', d={d}");
+            assert!(r.work_convex_in_time, "convexity, d={d}");
+            assert!(r.admissible());
+        }
+    }
+
+    #[test]
+    fn amdahl_satisfies_everything() {
+        for f in [0.0, 0.1, 0.5, 1.0] {
+            let p = Profile::amdahl(3.0, f, 16).unwrap();
+            let r = verify(&p);
+            assert!(r.admissible(), "f={f}");
+            assert!(r.assumption2_prime && r.work_convex_in_time, "f={f}");
+        }
+    }
+
+    #[test]
+    fn increasing_time_fails_a1() {
+        let p = profile(&[1.0, 2.0]);
+        assert!(!assumption1(&p));
+        assert!(!verify(&p).admissible());
+    }
+
+    #[test]
+    fn a2_base_case_requires_2p2_ge_p1() {
+        // Theorem 2.1's base: s(0)=0 concavity forces 2 p(2) >= p(1).
+        // p = [1, 0.4]: 2*0.4 = 0.8 < 1 -> A2 must fail even though the
+        // speedup pair (s(1), s(2)) alone has no interior triple.
+        let p = profile(&[1.0, 0.4]);
+        assert!(assumption1(&p));
+        assert!(!assumption2(&p));
+        // p = [1, 0.5] is exactly linear speedup: allowed.
+        let p = profile(&[1.0, 0.5]);
+        assert!(assumption2(&p));
+    }
+
+    #[test]
+    fn counterexample_violates_only_a2() {
+        let p = Profile::counterexample_a2(0.01, 6).unwrap();
+        let r = verify(&p);
+        assert!(r.assumption1);
+        assert!(!r.assumption2);
+        assert!(r.assumption2_prime);
+    }
+
+    #[test]
+    fn theorem_2_1_holds_on_admissible_profiles() {
+        // A2 => A2' (Theorem 2.1): spot-check a hand-made concave profile.
+        // s = [1, 1.8, 2.4, 2.8] (increments .8 .6 .4 <= 1, decreasing)
+        let p1 = 1.0;
+        let s = [1.0, 1.8, 2.4, 2.8];
+        let p = profile(&s.map(|si| p1 / si));
+        assert!(assumption2(&p));
+        assert!(assumption2_prime(&p), "Theorem 2.1 implication");
+        assert!(work_convex_in_time(&p), "Theorem 2.2 implication");
+    }
+
+    #[test]
+    fn flat_profile_is_admissible() {
+        let p = profile(&[2.0, 2.0, 2.0]);
+        let r = verify(&p);
+        // Constant p: s = 1 flat; concave with s(0)=0 OK; work increasing.
+        assert!(r.admissible());
+        assert!(r.assumption2_prime);
+        assert!(r.work_convex_in_time); // flat segments skipped
+    }
+
+    #[test]
+    fn single_point_profile_trivially_admissible() {
+        let p = profile(&[3.0]);
+        let r = verify(&p);
+        assert!(r.admissible() && r.assumption2_prime && r.work_convex_in_time);
+    }
+
+    #[test]
+    fn convexity_check_catches_concave_work() {
+        // Times 4,2,1 with works 4, 4.5, 6: slopes (4.5-4)/(2-4) = -0.25,
+        // then (6-4.5)/(1-2) = -1.5 <= -0.25: convex (slopes decreasing in l).
+        // Make it non-convex: works 4, 5.8, 6 -> slopes -0.9 then -0.2 (increase).
+        let p = profile(&[4.0, 2.9, 2.0]);
+        // W = [4, 5.8, 6.0]; dx: (2.9-4)=-1.1 slope=(5.8-4)/-1.1=-1.636;
+        // dx2: (2-2.9)=-0.9 slope=(6-5.8)/-0.9=-0.222 > -1.636 -> violation.
+        assert!(!work_convex_in_time(&p));
+    }
+}

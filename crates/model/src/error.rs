@@ -1,0 +1,98 @@
+//! Error type for model construction and parsing.
+
+use std::fmt;
+
+/// Errors from building profiles/instances or parsing the text format.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A profile needs at least one processing time (`m >= 1`).
+    EmptyProfile,
+    /// A processing time was not a positive finite number.
+    NonPositiveTime {
+        /// Processor count (1-based) of the offending entry.
+        l: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// Instance profile count does not match the DAG node count.
+    TaskCountMismatch {
+        /// Number of DAG nodes.
+        tasks: usize,
+        /// Number of profiles supplied.
+        profiles: usize,
+    },
+    /// Profiles disagree on the machine size `m`.
+    InconsistentMachineSize {
+        /// Expected `m` (from the first profile).
+        expected: usize,
+        /// The differing value and its task index.
+        found: usize,
+        /// Task index with the differing `m`.
+        task: usize,
+    },
+    /// A curve-family parameter was out of its documented domain.
+    InvalidParameter(&'static str),
+    /// Text-format parse error with 1-based line number.
+    Parse {
+        /// Line number (1-based).
+        line: usize,
+        /// Description of the problem.
+        msg: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::EmptyProfile => write!(f, "profile must contain at least one time"),
+            ModelError::NonPositiveTime { l, value } => {
+                write!(f, "processing time p({l}) = {value} must be positive and finite")
+            }
+            ModelError::TaskCountMismatch { tasks, profiles } => write!(
+                f,
+                "instance has {tasks} tasks but {profiles} profiles were supplied"
+            ),
+            ModelError::InconsistentMachineSize {
+                expected,
+                found,
+                task,
+            } => write!(
+                f,
+                "task {task} has a profile for m = {found}, expected m = {expected}"
+            ),
+            ModelError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            ModelError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(ModelError::EmptyProfile.to_string().contains("at least one"));
+        let e = ModelError::NonPositiveTime { l: 3, value: -1.0 };
+        assert!(e.to_string().contains("p(3)"));
+        let e = ModelError::TaskCountMismatch {
+            tasks: 4,
+            profiles: 3,
+        };
+        assert!(e.to_string().contains('4') && e.to_string().contains('3'));
+        let e = ModelError::InconsistentMachineSize {
+            expected: 8,
+            found: 4,
+            task: 2,
+        };
+        assert!(e.to_string().contains("m = 4"));
+        let e = ModelError::Parse {
+            line: 12,
+            msg: "bad".into(),
+        };
+        assert!(e.to_string().contains("line 12"));
+        assert!(ModelError::InvalidParameter("d").to_string().contains('d'));
+    }
+}

@@ -1,0 +1,222 @@
+//! Seeded random instance generators: DAG shape × speedup-curve family.
+//!
+//! These produce the synthetic workloads of the empirical evaluation
+//! (experiment E1 in DESIGN.md): the paper itself evaluates only ratio
+//! *bounds*, so measured-quality experiments need representative inputs.
+
+use crate::instance::Instance;
+use crate::profile::Profile;
+use mtsp_dag::{generate as dagen, Dag};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Speedup-curve families for random tasks. All sampled curves satisfy
+/// Assumptions 1 and 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CurveFamily {
+    /// Power law `p(1)·l^{−d}` with `d ~ U[0.2, 1.0]` — the paper's
+    /// canonical example family.
+    PowerLaw,
+    /// Amdahl `p(1)·(f + (1−f)/l)` with serial fraction `f ~ U[0.02, 0.5]`.
+    Amdahl,
+    /// Random concave speedups (sorted uniform increments).
+    RandomConcave,
+    /// Logarithmic speedup `1 + α·log₂ l` with `α ~ U[0.3, 1.0]` —
+    /// reduction-tree-limited kernels.
+    Logarithmic,
+    /// Saturating speedup `min(l, cap)` with `cap ~ U[1, m]` — tasks with
+    /// bounded inherent parallelism.
+    Saturating,
+    /// A mix: each task picks one of the concrete families uniformly.
+    Mixed,
+}
+
+/// DAG shape families mirroring the workloads that motivate the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DagFamily {
+    /// Independent tasks (no precedence).
+    Independent,
+    /// A single chain.
+    Chain,
+    /// Random layered graph (`layers ≈ √n`).
+    Layered,
+    /// Random series–parallel graph.
+    SeriesParallel,
+    /// Fork–join stages.
+    ForkJoin,
+    /// Blocked Cholesky factorization DAG (size chosen to approach `n`).
+    Cholesky,
+    /// 2-D wavefront (approximately square).
+    Wavefront,
+    /// Random out-tree (uniform attachment) — the tree special class of
+    /// the related work (Lepère–Mounié–Trystram).
+    RandomTree,
+}
+
+impl DagFamily {
+    /// All families, for sweeps.
+    pub const ALL: [DagFamily; 8] = [
+        DagFamily::Independent,
+        DagFamily::Chain,
+        DagFamily::Layered,
+        DagFamily::SeriesParallel,
+        DagFamily::ForkJoin,
+        DagFamily::Cholesky,
+        DagFamily::Wavefront,
+        DagFamily::RandomTree,
+    ];
+
+    /// Generates a DAG with roughly `n` nodes (exact for unstructured
+    /// families; structured families round to their natural sizes).
+    pub fn generate(self, n: usize, seed: u64) -> Dag {
+        let n = n.max(1);
+        match self {
+            DagFamily::Independent => dagen::independent(n),
+            DagFamily::Chain => dagen::chain(n),
+            DagFamily::Layered => {
+                let layers = (n as f64).sqrt().ceil() as usize;
+                let width = n.div_ceil(layers).max(1);
+                dagen::layered_random(layers.max(1), (1, 2 * width), 0.35, seed)
+            }
+            DagFamily::SeriesParallel => dagen::series_parallel(n.saturating_sub(2), seed),
+            DagFamily::ForkJoin => {
+                let width = (n as f64).sqrt().ceil() as usize;
+                let stages = (n / (width + 1)).max(1);
+                dagen::fork_join(width.max(1), stages)
+            }
+            DagFamily::Cholesky => {
+                // b blocks give ~b^3/6 tasks; invert.
+                let b = ((6.0 * n as f64).cbrt().round() as usize).max(1);
+                dagen::cholesky(b)
+            }
+            DagFamily::Wavefront => {
+                let side = (n as f64).sqrt().round().max(1.0) as usize;
+                dagen::wavefront(side, side)
+            }
+            DagFamily::RandomTree => dagen::random_tree(n, seed),
+        }
+    }
+}
+
+impl CurveFamily {
+    /// All families, for sweeps.
+    pub const ALL: [CurveFamily; 6] = [
+        CurveFamily::PowerLaw,
+        CurveFamily::Amdahl,
+        CurveFamily::RandomConcave,
+        CurveFamily::Logarithmic,
+        CurveFamily::Saturating,
+        CurveFamily::Mixed,
+    ];
+
+    /// Samples one profile for a machine of `m` processors; `p(1)` is drawn
+    /// log-uniformly from `[1, 100]` so task sizes span two decades.
+    pub fn sample<R: Rng + ?Sized>(self, rng: &mut R, m: usize) -> Profile {
+        let p1 = 10f64.powf(rng.gen_range(0.0..=2.0));
+        match self {
+            CurveFamily::PowerLaw => {
+                Profile::power_law(p1, rng.gen_range(0.2..=1.0), m)
+                    .expect("parameters in documented domain")
+            }
+            CurveFamily::Amdahl => Profile::amdahl(p1, rng.gen_range(0.02..=0.5), m)
+                .expect("parameters in documented domain"),
+            CurveFamily::RandomConcave => {
+                Profile::random_concave(rng, p1, m).expect("p1 positive")
+            }
+            CurveFamily::Logarithmic => {
+                Profile::logarithmic(p1, rng.gen_range(0.3..=1.0), m)
+                    .expect("parameters in documented domain")
+            }
+            CurveFamily::Saturating => Profile::saturating(p1, rng.gen_range(1.0..=m as f64), m)
+                .expect("parameters in documented domain"),
+            CurveFamily::Mixed => {
+                let pick: u8 = rng.gen_range(0..5);
+                match pick {
+                    0 => CurveFamily::PowerLaw.sample(rng, m),
+                    1 => CurveFamily::Amdahl.sample(rng, m),
+                    2 => CurveFamily::Logarithmic.sample(rng, m),
+                    3 => CurveFamily::Saturating.sample(rng, m),
+                    _ => CurveFamily::RandomConcave.sample(rng, m),
+                }
+            }
+        }
+    }
+}
+
+/// Generates a random admissible instance with roughly `n` tasks on `m`
+/// processors. Deterministic in `(dag_family, curve_family, n, m, seed)`.
+pub fn random_instance(
+    dag_family: DagFamily,
+    curve_family: CurveFamily,
+    n: usize,
+    m: usize,
+    seed: u64,
+) -> Instance {
+    assert!(m >= 1, "machine must have at least one processor");
+    let dag = dag_family.generate(n, seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let profiles = (0..dag.node_count())
+        .map(|_| curve_family.sample(&mut rng, m))
+        .collect();
+    Instance::new(dag, profiles).expect("generator produces consistent instances")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_instances_are_admissible_and_deterministic() {
+        for df in DagFamily::ALL {
+            for cf in CurveFamily::ALL {
+                let a = random_instance(df, cf, 30, 8, 5);
+                let b = random_instance(df, cf, 30, 8, 5);
+                assert_eq!(a, b, "{df:?}/{cf:?} not deterministic");
+                assert!(a.is_admissible(), "{df:?}/{cf:?} inadmissible");
+                assert!(a.n() >= 1);
+                assert_eq!(a.m(), 8);
+            }
+        }
+    }
+
+    #[test]
+    fn sizes_are_roughly_requested() {
+        for df in DagFamily::ALL {
+            let ins = random_instance(df, CurveFamily::PowerLaw, 64, 4, 1);
+            assert!(
+                ins.n() >= 16 && ins.n() <= 160,
+                "{df:?} produced n = {}",
+                ins.n()
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = random_instance(DagFamily::Layered, CurveFamily::Mixed, 40, 8, 1);
+        let b = random_instance(DagFamily::Layered, CurveFamily::Mixed, 40, 8, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn curve_samples_are_admissible() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for cf in CurveFamily::ALL {
+            for _ in 0..40 {
+                let p = cf.sample(&mut rng, 16);
+                assert!(
+                    crate::assumptions::verify(&p).admissible(),
+                    "{cf:?} sample violates assumptions: {p:?}"
+                );
+                assert!(p.serial_time() >= 1.0 && p.serial_time() <= 100.0);
+            }
+        }
+    }
+
+    #[test]
+    fn single_processor_machines_supported() {
+        let ins = random_instance(DagFamily::Layered, CurveFamily::Mixed, 10, 1, 3);
+        assert_eq!(ins.m(), 1);
+        assert!(ins.is_admissible());
+    }
+}

@@ -1,0 +1,268 @@
+//! Problem instances: a precedence DAG plus one [`Profile`] per task on a
+//! machine with `m` identical processors.
+
+use crate::assumptions::{self, AssumptionReport};
+use crate::error::ModelError;
+use crate::profile::Profile;
+use mtsp_dag::{paths, Dag};
+
+/// An instance of *scheduling malleable tasks with precedence constraints*.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instance {
+    /// Precedence constraints: arc `(i, j)` forces `C_i ≤ τ_j`.
+    dag: Dag,
+    /// One processing-time profile per task, all defined for the same `m`.
+    profiles: Vec<Profile>,
+}
+
+impl Instance {
+    /// Builds an instance, checking that profile count matches the DAG and
+    /// that all profiles agree on `m ≥ 1`.
+    pub fn new(dag: Dag, profiles: Vec<Profile>) -> Result<Self, ModelError> {
+        if dag.node_count() != profiles.len() {
+            return Err(ModelError::TaskCountMismatch {
+                tasks: dag.node_count(),
+                profiles: profiles.len(),
+            });
+        }
+        if profiles.is_empty() {
+            return Err(ModelError::InvalidParameter(
+                "instance must contain at least one task",
+            ));
+        }
+        let m = profiles[0].m();
+        for (j, p) in profiles.iter().enumerate() {
+            if p.m() != m {
+                return Err(ModelError::InconsistentMachineSize {
+                    expected: m,
+                    found: p.m(),
+                    task: j,
+                });
+            }
+        }
+        Ok(Instance { dag, profiles })
+    }
+
+    /// Number of tasks `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Machine size `m`.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.profiles[0].m()
+    }
+
+    /// The precedence DAG.
+    #[inline]
+    pub fn dag(&self) -> &Dag {
+        &self.dag
+    }
+
+    /// Profile of task `j`.
+    #[inline]
+    pub fn profile(&self, j: usize) -> &Profile {
+        &self.profiles[j]
+    }
+
+    /// All profiles.
+    #[inline]
+    pub fn profiles(&self) -> &[Profile] {
+        &self.profiles
+    }
+
+    /// Checks the model assumptions for every task; entry `j` reports task
+    /// `j`.
+    pub fn verify_assumptions(&self) -> Vec<AssumptionReport> {
+        self.profiles.iter().map(assumptions::verify).collect()
+    }
+
+    /// `true` iff every task satisfies Assumptions 1 and 2 — the
+    /// precondition of the paper's approximation guarantee.
+    pub fn is_admissible(&self) -> bool {
+        self.profiles
+            .iter()
+            .all(|p| assumptions::verify(p).admissible())
+    }
+
+    /// Processing times under an allotment `α` (`alloc[j] ∈ 1..=m`).
+    ///
+    /// # Panics
+    /// Panics if the allotment length differs from `n` or any entry is out
+    /// of `1..=m`.
+    pub fn times_under(&self, alloc: &[usize]) -> Vec<f64> {
+        assert_eq!(alloc.len(), self.n(), "one allotment per task required");
+        alloc
+            .iter()
+            .zip(&self.profiles)
+            .map(|(&l, p)| p.time(l))
+            .collect()
+    }
+
+    /// Total work `W = Σ_j l_j · p_j(l_j)` under an allotment.
+    pub fn total_work_under(&self, alloc: &[usize]) -> f64 {
+        assert_eq!(alloc.len(), self.n(), "one allotment per task required");
+        alloc
+            .iter()
+            .zip(&self.profiles)
+            .map(|(&l, p)| p.work(l))
+            .sum()
+    }
+
+    /// Critical-path length `L(α)` under an allotment.
+    pub fn critical_path_under(&self, alloc: &[usize]) -> f64 {
+        let w = self.times_under(alloc);
+        paths::critical_path_length(&self.dag, &w)
+    }
+
+    /// A simple lower bound on the optimal makespan that needs no LP:
+    /// `max{ L(m-allotment), W(1-allotment)/m, max_j p_j(m) }`.
+    ///
+    /// * every schedule's critical path is at least the all-`m` path length
+    ///   (times are minimal there, Assumption 1);
+    /// * total work is minimized by the all-`1` allotment (Theorem 2.1 /
+    ///   Assumption 2′), and `W/m ≤ Cmax`;
+    /// * no task finishes faster than `p_j(m)`.
+    pub fn combinatorial_lower_bound(&self) -> f64 {
+        let n = self.n();
+        let all_m = vec![self.m(); n];
+        let all_one = vec![1usize; n];
+        let lpath = self.critical_path_under(&all_m);
+        let warea = self.total_work_under(&all_one) / self.m() as f64;
+        let pmax = self
+            .profiles
+            .iter()
+            .map(|p| p.time(self.m()))
+            .fold(0.0f64, f64::max);
+        lpath.max(warea).max(pmax)
+    }
+
+    /// Makespan of the trivial serial schedule (every task on one
+    /// processor, executed one after another) — an upper bound on OPT.
+    pub fn serial_upper_bound(&self) -> f64 {
+        self.profiles.iter().map(Profile::serial_time).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtsp_dag::generate;
+
+    fn small() -> Instance {
+        // diamond, power-law tasks
+        let dag = Dag::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let profiles = (0..4)
+            .map(|j| Profile::power_law(4.0 + j as f64, 0.5, 4).unwrap())
+            .collect();
+        Instance::new(dag, profiles).unwrap()
+    }
+
+    #[test]
+    fn construction_checks_counts() {
+        let dag = Dag::new(2);
+        let p = vec![Profile::constant(1.0, 3).unwrap()];
+        assert!(matches!(
+            Instance::new(dag, p),
+            Err(ModelError::TaskCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn construction_checks_machine_sizes() {
+        let dag = Dag::new(2);
+        let p = vec![
+            Profile::constant(1.0, 3).unwrap(),
+            Profile::constant(1.0, 4).unwrap(),
+        ];
+        assert!(matches!(
+            Instance::new(dag, p),
+            Err(ModelError::InconsistentMachineSize {
+                expected: 3,
+                found: 4,
+                task: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn construction_rejects_empty() {
+        assert!(Instance::new(Dag::new(0), vec![]).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let ins = small();
+        assert_eq!(ins.n(), 4);
+        assert_eq!(ins.m(), 4);
+        assert_eq!(ins.dag().edge_count(), 4);
+        assert!((ins.profile(0).serial_time() - 4.0).abs() < 1e-12);
+        assert!(ins.is_admissible());
+        assert!(ins.verify_assumptions().iter().all(|r| r.admissible()));
+    }
+
+    #[test]
+    fn times_and_work_under_allotment() {
+        let ins = small();
+        let alloc = vec![1, 2, 4, 1];
+        let times = ins.times_under(&alloc);
+        assert!((times[0] - 4.0).abs() < 1e-12);
+        assert!((times[1] - 5.0 / 2f64.sqrt()).abs() < 1e-12);
+        let w = ins.total_work_under(&alloc);
+        let expect: f64 = alloc
+            .iter()
+            .enumerate()
+            .map(|(j, &l)| ins.profile(j).work(l))
+            .sum();
+        assert!((w - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn critical_path_under_allotment() {
+        let ins = small();
+        let serial = ins.critical_path_under(&[1; 4]);
+        // serial path: 0 -> 2 -> 3 (heavier branch): 4 + 6 + 7 = 17
+        assert!((serial - 17.0).abs() < 1e-12);
+        let parallel = ins.critical_path_under(&[4; 4]);
+        assert!(parallel < serial);
+    }
+
+    #[test]
+    fn lower_and_upper_bounds_are_ordered() {
+        let ins = small();
+        let lb = ins.combinatorial_lower_bound();
+        let ub = ins.serial_upper_bound();
+        assert!(lb > 0.0);
+        assert!(lb <= ub + 1e-12, "LB {lb} must not exceed serial UB {ub}");
+    }
+
+    #[test]
+    fn lower_bound_on_single_fat_task() {
+        // One task: LB must be exactly p(m).
+        let ins = Instance::new(
+            Dag::new(1),
+            vec![Profile::power_law(9.0, 1.0, 3).unwrap()],
+        )
+        .unwrap();
+        assert!((ins.combinatorial_lower_bound() - 3.0).abs() < 1e-12);
+        assert!((ins.serial_upper_bound() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "one allotment per task")]
+    fn wrong_allotment_length_panics() {
+        small().times_under(&[1, 1]);
+    }
+
+    #[test]
+    fn chain_lower_bound_is_serial_path() {
+        // On a chain with constant profiles, LB = sum of times = UB.
+        let dag = generate::chain(3);
+        let profiles = vec![Profile::constant(2.0, 4).unwrap(); 3];
+        let ins = Instance::new(dag, profiles).unwrap();
+        assert!((ins.combinatorial_lower_bound() - 6.0).abs() < 1e-12);
+        assert!((ins.serial_upper_bound() - 6.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+//! # mtsp-model — the malleable-task model
+//!
+//! Discrete malleable tasks in the sense of Jansen & Zhang (SPAA 2005 /
+//! JCSS 2012), building on the Prasanna–Musicus model: each task `J_j` has a
+//! processing time `p_j(l)` for every processor count `l ∈ {1, …, m}`
+//! (`p_j(0) = ∞`), subject to
+//!
+//! * **Assumption 1**: `p_j(l)` non-increasing in `l`;
+//! * **Assumption 2**: the speedup `s_j(l) = p_j(1)/p_j(l)` concave in `l`.
+//!
+//! The crate provides:
+//!
+//! * [`Profile`] — a validated processing-time vector with constructors for
+//!   the standard curve families (power law `p(1)·l^{−d}`, Amdahl,
+//!   perfectly-parallel, constant, random concave, and the paper's
+//!   A2′-but-not-A2 counterexample);
+//! * [`assumptions`] — executable validators for Assumptions 1, 2, 2′ and
+//!   the Theorem 2.2 convexity property;
+//! * [`WorkFunction`] — the continuous piecewise-linear work function of
+//!   Eq. (6)/(8), its linear cuts for the LP, the fractional allotment
+//!   `l*(x) = w(x)/x` of Eq. (12), and the ρ-rounding of Section 3.1;
+//! * [`Instance`] — a precedence DAG plus one profile per task on `m`
+//!   processors, with validation, lower bounds, and a plain-text
+//!   serialization format ([`textio`]);
+//! * [`generate`] — seeded random instance generators combining the DAG
+//!   generators of `mtsp-dag` with the curve families.
+
+pub mod assumptions;
+pub mod error;
+pub mod generate;
+pub mod instance;
+pub mod profile;
+pub mod suite;
+pub mod textio;
+pub mod work;
+
+pub use error::ModelError;
+pub use instance::Instance;
+pub use profile::Profile;
+pub use work::{RoundingOutcome, WorkFunction};

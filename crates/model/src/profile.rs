@@ -1,0 +1,366 @@
+//! Processing-time profiles `p(1..m)` of malleable tasks and the standard
+//! curve families used in the paper and its experimental literature.
+
+use crate::error::ModelError;
+use rand::Rng;
+
+/// A validated processing-time vector for one malleable task: `p(l)` for
+/// `l = 1, …, m`, each positive and finite (`p(0) = ∞` implicitly).
+///
+/// Constructors of concrete families guarantee Assumptions 1 and 2 where
+/// documented; [`Profile::from_times`] accepts any positive vector so that
+/// counterexamples and adversarial inputs can also be represented (the
+/// validators live in [`crate::assumptions`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Profile {
+    /// `p[l-1]` is the processing time on `l` processors.
+    p: Vec<f64>,
+}
+
+impl Profile {
+    /// Wraps an explicit processing-time vector (`p[l-1] = p(l)`).
+    ///
+    /// Rejects empty vectors and non-positive / non-finite entries.
+    pub fn from_times(p: Vec<f64>) -> Result<Self, ModelError> {
+        if p.is_empty() {
+            return Err(ModelError::EmptyProfile);
+        }
+        for (i, &v) in p.iter().enumerate() {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(ModelError::NonPositiveTime { l: i + 1, value: v });
+            }
+        }
+        Ok(Profile { p })
+    }
+
+    /// Power-law (Prasanna–Musicus) profile `p(l) = p1 · l^{−d}` with
+    /// `d ∈ [0, 1]`; the paper's canonical Assumption 1+2 family
+    /// (`s(l) = l^d` is concave and non-decreasing).
+    pub fn power_law(p1: f64, d: f64, m: usize) -> Result<Self, ModelError> {
+        if !(p1.is_finite() && p1 > 0.0) {
+            return Err(ModelError::InvalidParameter("power_law: p1 must be positive"));
+        }
+        if !(0.0..=1.0).contains(&d) {
+            return Err(ModelError::InvalidParameter("power_law: d must lie in [0, 1]"));
+        }
+        Self::from_times((1..=m).map(|l| p1 * (l as f64).powf(-d)).collect())
+    }
+
+    /// Amdahl profile `p(l) = p1 · (f + (1−f)/l)` with serial fraction
+    /// `f ∈ [0, 1]`; speedup `s(l) = l/(f·l + 1 − f)` is concave and
+    /// non-decreasing, so Assumptions 1 and 2 hold.
+    pub fn amdahl(p1: f64, f: f64, m: usize) -> Result<Self, ModelError> {
+        if !(p1.is_finite() && p1 > 0.0) {
+            return Err(ModelError::InvalidParameter("amdahl: p1 must be positive"));
+        }
+        if !(0.0..=1.0).contains(&f) {
+            return Err(ModelError::InvalidParameter("amdahl: f must lie in [0, 1]"));
+        }
+        Self::from_times(
+            (1..=m)
+                .map(|l| p1 * (f + (1.0 - f) / l as f64))
+                .collect(),
+        )
+    }
+
+    /// Perfectly parallel task: `p(l) = p1/l` (power law with `d = 1`).
+    pub fn linear_speedup(p1: f64, m: usize) -> Result<Self, ModelError> {
+        Self::power_law(p1, 1.0, m)
+    }
+
+    /// Sequential (non-malleable) task: `p(l) = p1` for all `l`.
+    pub fn constant(p1: f64, m: usize) -> Result<Self, ModelError> {
+        Self::power_law(p1, 0.0, m)
+    }
+
+    /// Logarithmic profile `p(l) = p1 / (1 + α·log₂ l)` with `α ∈ (0, 1]`:
+    /// the speedup `s(l) = 1 + α·log₂ l` is concave and non-decreasing,
+    /// and the boundary triple `(0, 1, 2)` requires exactly `α ≤ 1`
+    /// (`s(1) ≥ s(2)/2`), so Assumptions 1 and 2 hold on the whole domain.
+    /// Models tasks whose parallelism is limited by a tree-structured
+    /// reduction.
+    pub fn logarithmic(p1: f64, alpha: f64, m: usize) -> Result<Self, ModelError> {
+        if !(p1.is_finite() && p1 > 0.0) {
+            return Err(ModelError::InvalidParameter("logarithmic: p1 must be positive"));
+        }
+        if !(alpha > 0.0 && alpha <= 1.0) {
+            return Err(ModelError::InvalidParameter(
+                "logarithmic: alpha must lie in (0, 1]",
+            ));
+        }
+        Self::from_times(
+            (1..=m)
+                .map(|l| p1 / (1.0 + alpha * (l as f64).log2()))
+                .collect(),
+        )
+    }
+
+    /// Saturating profile `p(l) = p1 / min(l, cap)` with `cap ≥ 1`:
+    /// perfect speedup up to `cap` processors, flat beyond — the classic
+    /// "inherent parallelism `cap`" model. `s(l) = min(l, cap)` is concave
+    /// (a minimum of linear functions through the origin), so Assumptions
+    /// 1 and 2 hold.
+    pub fn saturating(p1: f64, cap: f64, m: usize) -> Result<Self, ModelError> {
+        if !(p1.is_finite() && p1 > 0.0) {
+            return Err(ModelError::InvalidParameter("saturating: p1 must be positive"));
+        }
+        if !(cap.is_finite() && cap >= 1.0) {
+            return Err(ModelError::InvalidParameter("saturating: cap must be >= 1"));
+        }
+        Self::from_times((1..=m).map(|l| p1 / (l as f64).min(cap)).collect())
+    }
+
+    /// Random concave profile: a speedup function with `s(1) = 1` and
+    /// non-increasing increments `Δ_l = s(l+1) − s(l)` drawn uniformly from
+    /// `[0, 1]` and sorted descending, so `s` is concave, non-decreasing and
+    /// consistent with `s(0) = 0` (hence Assumptions 1 and 2 hold);
+    /// `p(l) = p1/s(l)`.
+    pub fn random_concave<R: Rng + ?Sized>(
+        rng: &mut R,
+        p1: f64,
+        m: usize,
+    ) -> Result<Self, ModelError> {
+        if !(p1.is_finite() && p1 > 0.0) {
+            return Err(ModelError::InvalidParameter(
+                "random_concave: p1 must be positive",
+            ));
+        }
+        if m == 0 {
+            return Err(ModelError::EmptyProfile);
+        }
+        let mut deltas: Vec<f64> = (0..m.saturating_sub(1)).map(|_| rng.gen::<f64>()).collect();
+        deltas.sort_by(|a, b| b.partial_cmp(a).expect("uniform samples are finite"));
+        let mut s = 1.0f64;
+        let mut p = Vec::with_capacity(m);
+        p.push(p1);
+        for d in deltas {
+            s += d;
+            p.push(p1 / s);
+        }
+        Self::from_times(p)
+    }
+
+    /// The paper's Section 2 counterexample `p(l) = 1/(1 − δ + δ·l²)` for
+    /// `δ ∈ (0, 1/(m²+1))`: satisfies Assumptions 1 and 2′ (monotone work)
+    /// but **violates** Assumption 2 (the speedup `s(l) = 1 − δ + δ·l²`
+    /// is convex).
+    pub fn counterexample_a2(delta: f64, m: usize) -> Result<Self, ModelError> {
+        let bound = 1.0 / ((m * m + 1) as f64);
+        if !(delta > 0.0 && delta < bound) {
+            return Err(ModelError::InvalidParameter(
+                "counterexample_a2: delta must lie in (0, 1/(m^2+1))",
+            ));
+        }
+        Self::from_times(
+            (1..=m)
+                .map(|l| 1.0 / (1.0 - delta + delta * (l * l) as f64))
+                .collect(),
+        )
+    }
+
+    /// Machine size `m` this profile is defined for.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.p.len()
+    }
+
+    /// Processing time `p(l)`; `l` is 1-based.
+    ///
+    /// # Panics
+    /// Panics if `l == 0` or `l > m` — `p(0) = ∞` is never materialized.
+    #[inline]
+    pub fn time(&self, l: usize) -> f64 {
+        assert!(l >= 1 && l <= self.p.len(), "allotment {l} out of 1..={}", self.p.len());
+        self.p[l - 1]
+    }
+
+    /// Work `W(l) = l · p(l)`.
+    #[inline]
+    pub fn work(&self, l: usize) -> f64 {
+        l as f64 * self.time(l)
+    }
+
+    /// Speedup `s(l) = p(1)/p(l)`.
+    #[inline]
+    pub fn speedup(&self, l: usize) -> f64 {
+        self.p[0] / self.time(l)
+    }
+
+    /// All processing times as a slice (`[p(1), …, p(m)]`).
+    #[inline]
+    pub fn times(&self) -> &[f64] {
+        &self.p
+    }
+
+    /// The fastest achievable time, `p(m)` under Assumption 1; computed as
+    /// the minimum so it is also correct for adversarial profiles.
+    pub fn min_time(&self) -> f64 {
+        self.p.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// The single-processor time `p(1)`.
+    #[inline]
+    pub fn serial_time(&self) -> f64 {
+        self.p[0]
+    }
+
+    /// Truncates the profile to a machine of `m' ≤ m` processors.
+    pub fn restrict(&self, m_new: usize) -> Result<Self, ModelError> {
+        if m_new == 0 || m_new > self.p.len() {
+            return Err(ModelError::InvalidParameter(
+                "restrict: m' must lie in 1..=m",
+            ));
+        }
+        Ok(Profile {
+            p: self.p[..m_new].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn from_times_validates() {
+        assert_eq!(Profile::from_times(vec![]), Err(ModelError::EmptyProfile));
+        assert!(matches!(
+            Profile::from_times(vec![1.0, 0.0]),
+            Err(ModelError::NonPositiveTime { l: 2, .. })
+        ));
+        assert!(matches!(
+            Profile::from_times(vec![f64::NAN]),
+            Err(ModelError::NonPositiveTime { l: 1, .. })
+        ));
+        assert!(matches!(
+            Profile::from_times(vec![f64::INFINITY]),
+            Err(ModelError::NonPositiveTime { l: 1, .. })
+        ));
+        let p = Profile::from_times(vec![2.0, 1.5]).unwrap();
+        assert_eq!(p.m(), 2);
+    }
+
+    #[test]
+    fn power_law_values() {
+        let p = Profile::power_law(8.0, 1.0, 4).unwrap();
+        assert_eq!(p.times(), &[8.0, 4.0, 8.0 / 3.0, 2.0]);
+        assert!((p.speedup(4) - 4.0).abs() < 1e-12);
+        assert!((p.work(1) - p.work(4)).abs() < 1e-12); // linear: work constant
+        let c = Profile::power_law(3.0, 0.0, 3).unwrap();
+        assert_eq!(c.times(), &[3.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn power_law_rejects_bad_params() {
+        assert!(Profile::power_law(0.0, 0.5, 4).is_err());
+        assert!(Profile::power_law(1.0, -0.1, 4).is_err());
+        assert!(Profile::power_law(1.0, 1.1, 4).is_err());
+        assert!(Profile::power_law(f64::INFINITY, 0.5, 4).is_err());
+    }
+
+    #[test]
+    fn amdahl_values() {
+        let p = Profile::amdahl(10.0, 0.2, 4).unwrap();
+        // p(1) = 10, p(4) = 10*(0.2 + 0.8/4) = 4
+        assert!((p.time(1) - 10.0).abs() < 1e-12);
+        assert!((p.time(4) - 4.0).abs() < 1e-12);
+        assert!(Profile::amdahl(1.0, 1.5, 4).is_err());
+    }
+
+    #[test]
+    fn constant_and_linear_aliases() {
+        let c = Profile::constant(5.0, 3).unwrap();
+        assert_eq!(c.times(), &[5.0, 5.0, 5.0]);
+        let l = Profile::linear_speedup(6.0, 3).unwrap();
+        assert!((l.time(3) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn logarithmic_values_and_admissibility() {
+        let p = Profile::logarithmic(6.0, 0.5, 8).unwrap();
+        assert!((p.time(1) - 6.0).abs() < 1e-12);
+        assert!((p.time(2) - 4.0).abs() < 1e-12); // 6/(1+0.5)
+        assert!((p.time(4) - 3.0).abs() < 1e-12); // 6/(1+1)
+        let r = crate::assumptions::verify(&p);
+        assert!(r.admissible() && r.assumption2_prime && r.work_convex_in_time);
+        // alpha = 1 is the concavity boundary and still admissible.
+        let p = Profile::logarithmic(6.0, 1.0, 16).unwrap();
+        assert!(crate::assumptions::verify(&p).admissible());
+        assert!(Profile::logarithmic(6.0, 1.5, 8).is_err());
+        assert!(Profile::logarithmic(6.0, 0.0, 8).is_err());
+        assert!(Profile::logarithmic(0.0, 0.5, 8).is_err());
+    }
+
+    #[test]
+    fn saturating_values_and_admissibility() {
+        let p = Profile::saturating(12.0, 3.0, 6).unwrap();
+        assert_eq!(p.times(), &[12.0, 6.0, 4.0, 4.0, 4.0, 4.0]);
+        let r = crate::assumptions::verify(&p);
+        assert!(r.admissible() && r.assumption2_prime);
+        // Fractional caps interpolate the last useful step.
+        let p = Profile::saturating(10.0, 2.5, 4).unwrap();
+        assert_eq!(p.times(), &[10.0, 5.0, 4.0, 4.0]);
+        assert!(crate::assumptions::verify(&p).admissible());
+        assert!(Profile::saturating(10.0, 0.5, 4).is_err());
+        assert!(Profile::saturating(-1.0, 2.0, 4).is_err());
+    }
+
+    #[test]
+    fn random_concave_satisfies_assumptions() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..50 {
+            let p = Profile::random_concave(&mut rng, 4.0, 9).unwrap();
+            assert_eq!(p.m(), 9);
+            let rep = crate::assumptions::verify(&p);
+            assert!(rep.assumption1, "A1 failed for {:?}", p);
+            assert!(rep.assumption2, "A2 failed for {:?}", p);
+        }
+    }
+
+    #[test]
+    fn random_concave_single_processor() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let p = Profile::random_concave(&mut rng, 2.0, 1).unwrap();
+        assert_eq!(p.times(), &[2.0]);
+    }
+
+    #[test]
+    fn counterexample_family_shape() {
+        let m = 5;
+        let p = Profile::counterexample_a2(0.02, m).unwrap();
+        let rep = crate::assumptions::verify(&p);
+        assert!(rep.assumption1);
+        assert!(rep.assumption2_prime);
+        assert!(!rep.assumption2, "the counterexample must violate A2");
+        // delta domain enforced
+        assert!(Profile::counterexample_a2(0.5, 5).is_err());
+        assert!(Profile::counterexample_a2(0.0, 5).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let p = Profile::from_times(vec![4.0, 3.0, 2.5]).unwrap();
+        assert_eq!(p.serial_time(), 4.0);
+        assert_eq!(p.min_time(), 2.5);
+        assert!((p.work(2) - 6.0).abs() < 1e-12);
+        assert!((p.speedup(2) - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of 1..=")]
+    fn time_zero_panics() {
+        let p = Profile::from_times(vec![1.0]).unwrap();
+        p.time(0);
+    }
+
+    #[test]
+    fn restrict_truncates() {
+        let p = Profile::power_law(8.0, 1.0, 4).unwrap();
+        let r = p.restrict(2).unwrap();
+        assert_eq!(r.times(), &[8.0, 4.0]);
+        assert!(p.restrict(0).is_err());
+        assert!(p.restrict(5).is_err());
+    }
+}

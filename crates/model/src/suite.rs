@@ -1,0 +1,120 @@
+//! Canonical named instances for documentation, tests and quick
+//! experiments — the "datasets" of this theory paper.
+
+use crate::instance::Instance;
+use crate::profile::Profile;
+use mtsp_dag::{generate, Dag};
+
+/// The paper's running example family: power-law tasks
+/// `p_j(l) = p_j(1)·l^{−d_j}` (Prasanna–Musicus) on a small pipeline DAG.
+/// Fully admissible; `m ≥ 1`.
+pub fn prasanna_musicus_pipeline(m: usize) -> Instance {
+    let dag = Dag::from_edges(
+        6,
+        &[(0, 1), (0, 2), (1, 3), (2, 4), (3, 5), (4, 5)],
+    )
+    .expect("static edge list is acyclic");
+    let params = [
+        (10.0, 0.9),
+        (16.0, 0.6),
+        (12.0, 0.3),
+        (8.0, 1.0),
+        (14.0, 0.4),
+        (6.0, 0.1),
+    ];
+    let profiles = params
+        .iter()
+        .map(|&(p1, d)| Profile::power_law(p1, d, m).expect("valid parameters"))
+        .collect();
+    Instance::new(dag, profiles).expect("consistent instance")
+}
+
+/// The Section 2 counterexample as a whole instance: every task has
+/// `p(l) = 1/(1 − δ + δl²)` — satisfies A1 and A2′ but violates A2, so
+/// [`Instance::is_admissible`] is `false`. Used to exercise the
+/// generalized-model code paths. Requires `m ≥ 2`.
+pub fn counterexample_instance(m: usize, n: usize) -> Instance {
+    let delta = 0.5 / ((m * m + 1) as f64);
+    let profile = Profile::counterexample_a2(delta, m).expect("delta in range");
+    let dag = generate::layered_random(3.max(n / 4), (1, 3), 0.5, 7);
+    let n_actual = dag.node_count();
+    Instance::new(dag, vec![profile; n_actual]).expect("consistent instance")
+}
+
+/// An Alewife-style numeric workload: blocked Cholesky kernels with
+/// power-law speedups differentiated by kernel type (the machine the
+/// Prasanna–Musicus model was deployed on; see the paper's introduction).
+pub fn alewife_cholesky(blocks: usize, m: usize) -> Instance {
+    let dag = generate::cholesky(blocks);
+    let profiles = (0..dag.node_count())
+        .map(|v| {
+            let (work, d) = match dag.in_degree(v) {
+                0 | 1 => (4.0, 0.55),
+                2 => (6.4, 0.75),
+                _ => (9.6, 0.95),
+            };
+            Profile::power_law(work, d, m).expect("valid parameters")
+        })
+        .collect();
+    Instance::new(dag, profiles).expect("consistent instance")
+}
+
+/// The worst-case-flavoured mix used in tightness discussions: one long
+/// chain of poorly-parallelizable tasks plus a block of independent,
+/// perfectly-parallel fillers — path bound and area bound fight each
+/// other. Requires `m ≥ 1`.
+pub fn path_vs_area(m: usize, chain_len: usize, fillers: usize) -> Instance {
+    let chain = generate::chain(chain_len);
+    let dag = chain.disjoint_union(&generate::independent(fillers));
+    let mut profiles = Vec::with_capacity(chain_len + fillers);
+    for _ in 0..chain_len {
+        profiles.push(Profile::amdahl(8.0, 0.6, m).expect("valid"));
+    }
+    for _ in 0..fillers {
+        profiles.push(Profile::power_law(8.0, 1.0, m).expect("valid"));
+    }
+    Instance::new(dag, profiles).expect("consistent instance")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_is_admissible_and_sized() {
+        let ins = prasanna_musicus_pipeline(8);
+        assert_eq!(ins.n(), 6);
+        assert_eq!(ins.m(), 8);
+        assert!(ins.is_admissible());
+    }
+
+    #[test]
+    fn counterexample_is_inadmissible_but_a1() {
+        let ins = counterexample_instance(6, 12);
+        assert!(!ins.is_admissible());
+        for r in ins.verify_assumptions() {
+            assert!(r.assumption1);
+            assert!(r.assumption2_prime);
+            assert!(!r.assumption2);
+        }
+    }
+
+    #[test]
+    fn alewife_instance_shape() {
+        let ins = alewife_cholesky(4, 16);
+        assert!(ins.is_admissible());
+        assert_eq!(ins.dag().sources().len(), 1);
+        assert_eq!(ins.m(), 16);
+    }
+
+    #[test]
+    fn path_vs_area_has_both_components() {
+        let ins = path_vs_area(8, 5, 10);
+        assert_eq!(ins.n(), 15);
+        assert!(ins.is_admissible());
+        // The chain part is connected, the fillers are isolated.
+        assert_eq!(ins.dag().edge_count(), 4);
+        let lb = ins.combinatorial_lower_bound();
+        assert!(lb > 0.0);
+    }
+}

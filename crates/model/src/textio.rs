@@ -1,0 +1,231 @@
+//! Plain-text serialization of instances.
+//!
+//! A small, self-describing line format (no external parser dependencies —
+//! the offline crate set has no JSON implementation):
+//!
+//! ```text
+//! mtsp-instance v1
+//! m 4
+//! tasks 3
+//! task 8 4 2.6666666666666665 2
+//! task 5 5 5 5
+//! task 6 3.5 2.8 2.5
+//! edges 2
+//! edge 0 1
+//! edge 1 2
+//! ```
+//!
+//! * `task` lines list `p(1) … p(m)` for tasks `0, 1, …` in order;
+//! * `edge u v` adds the precedence arc `(u, v)`;
+//! * blank lines and lines starting with `#` are ignored.
+//!
+//! Floats are written with `{:?}` (shortest representation that
+//! round-trips), so write→parse→write is byte-stable.
+
+use crate::error::ModelError;
+use crate::instance::Instance;
+use crate::profile::Profile;
+use mtsp_dag::Dag;
+use std::fmt::Write as _;
+
+/// Magic first line of the format.
+pub const HEADER: &str = "mtsp-instance v1";
+
+/// Serializes an instance to the text format.
+pub fn write_instance(ins: &Instance) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{HEADER}");
+    let _ = writeln!(s, "m {}", ins.m());
+    let _ = writeln!(s, "tasks {}", ins.n());
+    for p in ins.profiles() {
+        s.push_str("task");
+        for &t in p.times() {
+            let _ = write!(s, " {t:?}");
+        }
+        s.push('\n');
+    }
+    let _ = writeln!(s, "edges {}", ins.dag().edge_count());
+    for (u, v) in ins.dag().edges() {
+        let _ = writeln!(s, "edge {u} {v}");
+    }
+    s
+}
+
+fn err(line: usize, msg: impl Into<String>) -> ModelError {
+    ModelError::Parse {
+        line,
+        msg: msg.into(),
+    }
+}
+
+/// Parses the text format back into an [`Instance`].
+pub fn parse_instance(text: &str) -> Result<Instance, ModelError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
+
+    let (ln, header) = lines.next().ok_or_else(|| err(0, "empty input"))?;
+    if header != HEADER {
+        return Err(err(ln, format!("expected header '{HEADER}', got '{header}'")));
+    }
+
+    let parse_kv = |expect: &str,
+                    item: Option<(usize, &str)>|
+     -> Result<(usize, usize), ModelError> {
+        let (ln, line) = item.ok_or_else(|| err(0, format!("missing '{expect}' line")))?;
+        let mut parts = line.split_whitespace();
+        match (parts.next(), parts.next(), parts.next()) {
+            (Some(k), Some(v), None) if k == expect => v
+                .parse::<usize>()
+                .map(|v| (ln, v))
+                .map_err(|e| err(ln, format!("bad {expect} value: {e}"))),
+            _ => Err(err(ln, format!("expected '{expect} <count>', got '{line}'"))),
+        }
+    };
+
+    let (_, m) = parse_kv("m", lines.next())?;
+    if m == 0 {
+        return Err(err(0, "m must be at least 1"));
+    }
+    let (_, n) = parse_kv("tasks", lines.next())?;
+
+    let mut profiles = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (ln, line) = lines
+            .next()
+            .ok_or_else(|| err(0, "unexpected end of input in task list"))?;
+        let mut parts = line.split_whitespace();
+        if parts.next() != Some("task") {
+            return Err(err(ln, format!("expected 'task …', got '{line}'")));
+        }
+        let times: Result<Vec<f64>, _> = parts.map(str::parse::<f64>).collect();
+        let times = times.map_err(|e| err(ln, format!("bad processing time: {e}")))?;
+        if times.len() != m {
+            return Err(err(
+                ln,
+                format!("task line has {} times, expected m = {m}", times.len()),
+            ));
+        }
+        profiles.push(Profile::from_times(times).map_err(|e| err(ln, e.to_string()))?);
+    }
+
+    let (_, e) = parse_kv("edges", lines.next())?;
+    let mut dag = Dag::new(n);
+    for _ in 0..e {
+        let (ln, line) = lines
+            .next()
+            .ok_or_else(|| err(0, "unexpected end of input in edge list"))?;
+        let mut parts = line.split_whitespace();
+        if parts.next() != Some("edge") {
+            return Err(err(ln, format!("expected 'edge u v', got '{line}'")));
+        }
+        let u: usize = parts
+            .next()
+            .ok_or_else(|| err(ln, "edge missing source"))?
+            .parse()
+            .map_err(|e| err(ln, format!("bad edge source: {e}")))?;
+        let v: usize = parts
+            .next()
+            .ok_or_else(|| err(ln, "edge missing target"))?
+            .parse()
+            .map_err(|e| err(ln, format!("bad edge target: {e}")))?;
+        if parts.next().is_some() {
+            return Err(err(ln, "trailing tokens after edge"));
+        }
+        dag.add_edge(u, v).map_err(|e| err(ln, e.to_string()))?;
+    }
+    if let Some((ln, line)) = lines.next() {
+        return Err(err(ln, format!("trailing content: '{line}'")));
+    }
+
+    Instance::new(dag, profiles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Instance {
+        let dag = Dag::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let profiles = vec![
+            Profile::power_law(8.0, 1.0, 4).unwrap(),
+            Profile::constant(5.0, 4).unwrap(),
+            Profile::amdahl(6.0, 0.25, 4).unwrap(),
+        ];
+        Instance::new(dag, profiles).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_instance() {
+        let ins = sample();
+        let text = write_instance(&ins);
+        let back = parse_instance(&text).unwrap();
+        assert_eq!(ins, back);
+    }
+
+    #[test]
+    fn write_is_stable() {
+        let ins = sample();
+        let t1 = write_instance(&ins);
+        let t2 = write_instance(&parse_instance(&t1).unwrap());
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let ins = sample();
+        let mut text = String::from("# a comment\n\n");
+        text.push_str(&write_instance(&ins));
+        text.push_str("\n# trailing comment\n");
+        assert_eq!(parse_instance(&text).unwrap(), ins);
+    }
+
+    #[test]
+    fn rejects_wrong_header() {
+        let e = parse_instance("bogus v9\nm 1\n").unwrap_err();
+        assert!(matches!(e, ModelError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_time_count_mismatch() {
+        let text = "mtsp-instance v1\nm 3\ntasks 1\ntask 1 2\nedges 0\n";
+        let e = parse_instance(text).unwrap_err();
+        assert!(e.to_string().contains("expected m = 3"));
+    }
+
+    #[test]
+    fn rejects_bad_edge() {
+        let text = "mtsp-instance v1\nm 1\ntasks 2\ntask 1\ntask 1\nedges 1\nedge 0 5\n";
+        let e = parse_instance(text).unwrap_err();
+        assert!(e.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn rejects_cycle() {
+        let text =
+            "mtsp-instance v1\nm 1\ntasks 2\ntask 1\ntask 1\nedges 2\nedge 0 1\nedge 1 0\n";
+        let e = parse_instance(text).unwrap_err();
+        assert!(e.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut text = write_instance(&sample());
+        text.push_str("edge 0 2\n");
+        assert!(parse_instance(&text).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_input() {
+        let text = "mtsp-instance v1\nm 2\ntasks 2\ntask 1 1\n";
+        assert!(parse_instance(text).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_m() {
+        let text = "mtsp-instance v1\nm 0\ntasks 0\nedges 0\n";
+        assert!(parse_instance(text).is_err());
+    }
+}

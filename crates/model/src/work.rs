@@ -1,0 +1,403 @@
+//! The continuous piecewise-linear work function of Section 3.1 and the
+//! ρ-rounding of fractional processing times.
+//!
+//! For a task with processing times `p(1) ≥ … ≥ p(m)` and works
+//! `W(l) = l·p(l)`, Eq. (6) of the paper defines a continuous work function
+//! `w(x)` on `x ∈ [p(m), p(1)]` interpolating the points `(p(l), W(l))`.
+//! Under Assumptions 1 and 2 this function is convex (Theorem 2.2), so it
+//! is the maximum of the `m − 1` segment lines — Eq. (8) — which is what
+//! makes the allotment problem a *linear* program.
+
+use crate::error::ModelError;
+use crate::profile::Profile;
+
+/// Relative tolerance used when matching breakpoints.
+const EPS: f64 = 1e-9;
+
+/// One linear cut `w ≥ slope·x + intercept` of the convex work function
+/// (Eq. 8).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cut {
+    /// Slope of the line (non-positive for admissible profiles: reducing
+    /// the processing time increases the work).
+    pub slope: f64,
+    /// Intercept of the line.
+    pub intercept: f64,
+}
+
+impl Cut {
+    /// Evaluates the cut line at `x`.
+    #[inline]
+    pub fn at(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Result of rounding a fractional processing time (Section 3.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundingOutcome {
+    /// The integral allotment `l′` after rounding.
+    pub allotment: usize,
+    /// Its processing time `p(l′)`.
+    pub time: f64,
+    /// Its work `W(l′) = l′ · p(l′)`.
+    pub work: f64,
+    /// `true` if the processing time was rounded *up* (fewer processors).
+    pub rounded_up: bool,
+}
+
+/// The continuous work function `w(x)` of one malleable task, stored as
+/// breakpoints in strictly decreasing processing-time order.
+///
+/// Breakpoints with equal processing times are deduplicated keeping the
+/// smallest processor count (larger counts at the same time have strictly
+/// more work and never lie on the lower envelope used by the LP).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkFunction {
+    /// Strictly decreasing processing times `x_0 > x_1 > … > x_K`.
+    times: Vec<f64>,
+    /// Works at the breakpoints.
+    works: Vec<f64>,
+    /// Processor count realizing each breakpoint.
+    allots: Vec<usize>,
+}
+
+impl WorkFunction {
+    /// Builds the work function of a profile.
+    ///
+    /// Requires Assumption 1 (non-increasing times); returns
+    /// [`ModelError::InvalidParameter`] otherwise. Convexity (Theorem 2.2)
+    /// is *not* required here, but [`WorkFunction::cuts`] only reproduces
+    /// `w(x)` exactly when the profile's work is convex in time.
+    pub fn from_profile(p: &Profile) -> Result<Self, ModelError> {
+        if !crate::assumptions::assumption1(p) {
+            return Err(ModelError::InvalidParameter(
+                "WorkFunction requires Assumption 1 (non-increasing processing times)",
+            ));
+        }
+        let m = p.m();
+        let mut times: Vec<f64> = Vec::with_capacity(m);
+        let mut works: Vec<f64> = Vec::with_capacity(m);
+        let mut allots: Vec<usize> = Vec::with_capacity(m);
+        for l in 1..=m {
+            let t = p.time(l);
+            match times.last() {
+                Some(&prev) if t >= prev - EPS * prev.max(1.0) => {
+                    // Equal time (within tolerance): keep the earlier,
+                    // cheaper-in-work breakpoint.
+                }
+                _ => {
+                    times.push(t);
+                    works.push(p.work(l));
+                    allots.push(l);
+                }
+            }
+        }
+        Ok(WorkFunction {
+            times,
+            works,
+            allots,
+        })
+    }
+
+    /// The number of breakpoints `K + 1` (≤ m).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// `false` always — a work function has at least one breakpoint.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Largest representable processing time, `p(1)`.
+    #[inline]
+    pub fn max_time(&self) -> f64 {
+        self.times[0]
+    }
+
+    /// Smallest representable processing time, `p(m)` after deduplication.
+    #[inline]
+    pub fn min_time(&self) -> f64 {
+        *self.times.last().expect("at least one breakpoint")
+    }
+
+    /// Breakpoints as `(time, work, allotment)` triples in decreasing-time
+    /// order; the exact series plotted in Fig. 1 (right).
+    pub fn breakpoints(&self) -> impl Iterator<Item = (f64, f64, usize)> + '_ {
+        (0..self.len()).map(move |k| (self.times[k], self.works[k], self.allots[k]))
+    }
+
+    /// Clamps `x` into the domain `[p(m), p(1)]`.
+    #[inline]
+    fn clamp(&self, x: f64) -> f64 {
+        x.clamp(self.min_time(), self.max_time())
+    }
+
+    /// Index of the segment containing `x`: the largest `k` with
+    /// `times[k] ≥ x` (so `x ∈ [times[k+1], times[k]]` unless `k` is last).
+    fn segment_of(&self, x: f64) -> usize {
+        // times are sorted descending: binary search on the reversed order.
+        let mut lo = 0usize;
+        let mut hi = self.len(); // invariant: times[lo-1] >= x > times[hi]
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.times[mid] >= x {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo.saturating_sub(1)
+    }
+
+    /// Evaluates the continuous work function (Eq. 6) at `x`, clamping `x`
+    /// into `[p(m), p(1)]`.
+    pub fn eval(&self, x: f64) -> f64 {
+        let x = self.clamp(x);
+        let k = self.segment_of(x);
+        if k + 1 >= self.len() {
+            return self.works[k];
+        }
+        let (x0, x1) = (self.times[k], self.times[k + 1]);
+        let (w0, w1) = (self.works[k], self.works[k + 1]);
+        if (x - x0).abs() <= EPS * x0.max(1.0) {
+            return w0;
+        }
+        w0 + (x - x0) / (x1 - x0) * (w1 - w0)
+    }
+
+    /// The fractional processor count `l*(x) = w(x)/x` of Eq. (12).
+    ///
+    /// Lemma 4.1: if `x ∈ [p(l+1), p(l)]` then `l ≤ l*(x) ≤ l + 1`.
+    pub fn fractional_allotment(&self, x: f64) -> f64 {
+        let x = self.clamp(x);
+        self.eval(x) / x
+    }
+
+    /// The linear cuts of Eq. (8): `w(x) = max_k cuts[k].at(x)` for convex
+    /// work. A single constant cut is returned for one-breakpoint functions.
+    pub fn cuts(&self) -> Vec<Cut> {
+        if self.len() == 1 {
+            return vec![Cut {
+                slope: 0.0,
+                intercept: self.works[0],
+            }];
+        }
+        (0..self.len() - 1)
+            .map(|k| {
+                let slope =
+                    (self.works[k + 1] - self.works[k]) / (self.times[k + 1] - self.times[k]);
+                Cut {
+                    slope,
+                    intercept: self.works[k] - slope * self.times[k],
+                }
+            })
+            .collect()
+    }
+
+    /// Rounds a fractional processing time with parameter `ρ ∈ [0, 1]`
+    /// (Section 3.1): for `x ∈ (p(l+1), p(l))` the critical time is
+    /// `p(l_c) = ρ·p(l) + (1−ρ)·p(l+1)`; `x ≥ p(l_c)` rounds *up* to `p(l)`
+    /// (fewer processors), otherwise *down* to `p(l+1)` (more processors).
+    ///
+    /// Lemma 4.2 guarantees `p(l′) ≤ 2x/(1+ρ)` and `W(l′) ≤ 2w(x)/(2−ρ)`.
+    ///
+    /// # Panics
+    /// Panics if `ρ ∉ [0, 1]`.
+    pub fn round(&self, x: f64, rho: f64) -> RoundingOutcome {
+        assert!((0.0..=1.0).contains(&rho), "rho must lie in [0, 1]");
+        let x = self.clamp(x);
+        let k = self.segment_of(x);
+        let exact = |k: usize, up: bool| RoundingOutcome {
+            allotment: self.allots[k],
+            time: self.times[k],
+            work: self.works[k],
+            rounded_up: up,
+        };
+        if (x - self.times[k]).abs() <= EPS * self.times[k].max(1.0) || k + 1 >= self.len() {
+            return exact(k, false);
+        }
+        let critical = rho * self.times[k] + (1.0 - rho) * self.times[k + 1];
+        if x >= critical {
+            exact(k, true)
+        } else {
+            exact(k + 1, false)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn power(m: usize) -> (Profile, WorkFunction) {
+        let p = Profile::power_law(8.0, 0.5, m).unwrap();
+        let w = WorkFunction::from_profile(&p).unwrap();
+        (p, w)
+    }
+
+    #[test]
+    fn breakpoints_match_profile() {
+        let (p, w) = power(6);
+        assert_eq!(w.len(), 6);
+        for (k, (t, wk, l)) in w.breakpoints().enumerate() {
+            assert_eq!(l, k + 1);
+            assert!((t - p.time(l)).abs() < 1e-12);
+            assert!((wk - p.work(l)).abs() < 1e-12);
+        }
+        assert_eq!(w.max_time(), p.time(1));
+        assert_eq!(w.min_time(), p.time(6));
+    }
+
+    #[test]
+    fn rejects_a1_violations() {
+        let p = Profile::from_times(vec![1.0, 2.0]).unwrap();
+        assert!(WorkFunction::from_profile(&p).is_err());
+    }
+
+    #[test]
+    fn dedup_of_flat_steps() {
+        // p = [4, 2, 2, 1]: l=3 duplicates the time of l=2 with more work.
+        let p = Profile::from_times(vec![4.0, 2.0, 2.0, 1.0]).unwrap();
+        let w = WorkFunction::from_profile(&p).unwrap();
+        assert_eq!(w.len(), 3);
+        let allots: Vec<usize> = w.breakpoints().map(|(_, _, l)| l).collect();
+        assert_eq!(allots, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn eval_at_breakpoints_and_midpoints() {
+        let (p, w) = power(4);
+        for l in 1..=4 {
+            assert!((w.eval(p.time(l)) - p.work(l)).abs() < 1e-9, "l={l}");
+        }
+        // Midpoint of [p(2), p(1)]: linear interpolation of works.
+        let x = 0.5 * (p.time(1) + p.time(2));
+        let expect = 0.5 * (p.work(1) + p.work(2));
+        assert!((w.eval(x) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eval_clamps_out_of_range() {
+        let (p, w) = power(3);
+        assert!((w.eval(1e9) - p.work(1)).abs() < 1e-9);
+        assert!((w.eval(1e-9) - p.work(3)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cuts_reproduce_convex_work() {
+        let (_, w) = power(8);
+        let cuts = w.cuts();
+        assert_eq!(cuts.len(), 7);
+        // max over cuts == eval on a dense grid (Theorem 2.2 + Eq. 8).
+        let lo = w.min_time();
+        let hi = w.max_time();
+        for i in 0..=100 {
+            let x = lo + (hi - lo) * i as f64 / 100.0;
+            let maxcut = cuts.iter().map(|c| c.at(x)).fold(f64::NEG_INFINITY, f64::max);
+            assert!(
+                (maxcut - w.eval(x)).abs() < 1e-8,
+                "x={x}: max-cut {maxcut} vs eval {}",
+                w.eval(x)
+            );
+        }
+    }
+
+    #[test]
+    fn single_breakpoint_cut_is_constant() {
+        let p = Profile::constant(5.0, 1).unwrap();
+        let w = WorkFunction::from_profile(&p).unwrap();
+        let cuts = w.cuts();
+        assert_eq!(cuts.len(), 1);
+        assert_eq!(cuts[0].slope, 0.0);
+        assert!((cuts[0].intercept - 5.0).abs() < 1e-12);
+        assert!((w.eval(5.0) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lemma_4_1_fractional_allotment_bracket() {
+        let (p, w) = power(10);
+        for l in 1..10 {
+            for t in 1..10 {
+                let x = p.time(l + 1) + (p.time(l) - p.time(l + 1)) * t as f64 / 10.0;
+                let lstar = w.fractional_allotment(x);
+                assert!(
+                    lstar >= l as f64 - 1e-9 && lstar <= (l + 1) as f64 + 1e-9,
+                    "x in [p({}), p({})] but l* = {lstar}",
+                    l + 1,
+                    l
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rounding_at_breakpoint_is_exact() {
+        let (p, w) = power(5);
+        for l in 1..=5 {
+            let out = w.round(p.time(l), 0.26);
+            assert_eq!(out.allotment, l);
+            assert!(!out.rounded_up);
+            assert!((out.time - p.time(l)).abs() < 1e-12);
+            assert!((out.work - p.work(l)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rounding_respects_critical_point() {
+        let (p, w) = power(4);
+        let (hi, lo) = (p.time(2), p.time(3));
+        let rho = 0.3;
+        let critical = rho * hi + (1.0 - rho) * lo;
+        // Just above critical: round up to p(2) (allot 2).
+        let out = w.round(critical + 1e-6, rho);
+        assert_eq!(out.allotment, 2);
+        assert!(out.rounded_up);
+        // Just below critical: round down to p(3) (allot 3).
+        let out = w.round(critical - 1e-6, rho);
+        assert_eq!(out.allotment, 3);
+        assert!(!out.rounded_up);
+    }
+
+    #[test]
+    fn rounding_extremes_rho() {
+        let (p, w) = power(4);
+        let x = 0.5 * (p.time(1) + p.time(2));
+        // rho = 0: critical point p(l+1), interior x always rounds up.
+        assert_eq!(w.round(x, 0.0).allotment, 1);
+        // rho = 1: critical point p(l), interior x always rounds down.
+        assert_eq!(w.round(x, 1.0).allotment, 2);
+    }
+
+    #[test]
+    fn lemma_4_2_stretch_bounds_hold() {
+        let (p, w) = power(9);
+        for rho in [0.0, 0.26, 0.5, 1.0] {
+            for l in 1..9 {
+                for t in 0..=20 {
+                    let x =
+                        p.time(l + 1) + (p.time(l) - p.time(l + 1)) * t as f64 / 20.0;
+                    let out = w.round(x, rho);
+                    assert!(
+                        out.time <= 2.0 * x / (1.0 + rho) + 1e-9,
+                        "time stretch violated at rho={rho}, x={x}"
+                    );
+                    assert!(
+                        out.work <= 2.0 * w.eval(x) / (2.0 - rho) + 1e-9,
+                        "work stretch violated at rho={rho}, x={x}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rho must lie in [0, 1]")]
+    fn rounding_rejects_bad_rho() {
+        let (_, w) = power(3);
+        w.round(1.0, 1.5);
+    }
+}

@@ -1,0 +1,92 @@
+//! Error type for the simulator.
+
+use std::fmt;
+
+/// Errors raised while executing a schedule on the simulated machine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A start event required more processors than were free.
+    CapacityViolation {
+        /// Task that could not be placed.
+        task: usize,
+        /// Time of the start event.
+        time: f64,
+        /// Processors requested.
+        requested: usize,
+        /// Processors free at that moment.
+        free: usize,
+    },
+    /// Enough processors were free in total, but no *contiguous* block of
+    /// the requested size existed (contiguous-allocation mode only).
+    FragmentationViolation {
+        /// Task that could not be placed contiguously.
+        task: usize,
+        /// Time of the start event.
+        time: f64,
+        /// Processors requested.
+        requested: usize,
+        /// Largest free contiguous block at that moment.
+        largest_block: usize,
+    },
+    /// A precedence arc was violated by the realized start times.
+    PrecedenceViolation {
+        /// Predecessor task.
+        pred: usize,
+        /// Successor task.
+        succ: usize,
+    },
+    /// Schedule/instance shape mismatch.
+    ShapeMismatch(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::CapacityViolation {
+                task,
+                time,
+                requested,
+                free,
+            } => write!(
+                f,
+                "task {task} needs {requested} processors at t = {time} but only {free} free"
+            ),
+            SimError::FragmentationViolation {
+                task,
+                time,
+                requested,
+                largest_block,
+            } => write!(
+                f,
+                "task {task} needs a contiguous block of {requested} at t = {time} but the \
+                 largest free block has {largest_block}"
+            ),
+            SimError::PrecedenceViolation { pred, succ } => {
+                write!(f, "task {succ} started before predecessor {pred} finished")
+            }
+            SimError::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SimError::CapacityViolation {
+            task: 2,
+            time: 1.5,
+            requested: 3,
+            free: 1,
+        };
+        assert!(e.to_string().contains("task 2"));
+        assert!(e.to_string().contains("only 1 free"));
+        let e = SimError::PrecedenceViolation { pred: 0, succ: 1 };
+        assert!(e.to_string().contains("predecessor 0"));
+        assert!(SimError::ShapeMismatch("x".into()).to_string().contains('x'));
+    }
+}

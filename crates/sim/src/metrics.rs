@@ -1,0 +1,130 @@
+//! Schedule quality metrics beyond the makespan, computed from a schedule
+//! and its simulated execution — the measurement layer of the empirical
+//! experiments.
+
+use crate::executor::SimReport;
+use mtsp_core::Schedule;
+use mtsp_dag::paths;
+use mtsp_model::Instance;
+
+/// Aggregate execution metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metrics {
+    /// Utilization per physical processor (`busy / makespan`).
+    pub per_proc_utilization: Vec<f64>,
+    /// Mean over tasks of `start − ready` (time spent waiting for
+    /// processors after all predecessors finished).
+    pub mean_wait: f64,
+    /// Maximum task wait.
+    pub max_wait: f64,
+    /// `Σ_j p_j(1) / makespan` — speedup achieved over serial execution.
+    pub achieved_speedup: f64,
+    /// `L(α) / makespan` where `L(α)` is the critical-path length under
+    /// the schedule's allotment: 1.0 means the schedule is path-dominated,
+    /// small values mean it is capacity-dominated.
+    pub critical_path_fraction: f64,
+}
+
+/// Computes [`Metrics`] for an executed schedule.
+pub fn metrics(ins: &Instance, schedule: &Schedule, report: &SimReport) -> Metrics {
+    let makespan = schedule.makespan();
+    let per_proc_utilization = report
+        .busy
+        .iter()
+        .map(|&b| if makespan > 0.0 { b / makespan } else { 0.0 })
+        .collect();
+
+    // Ready time = max predecessor finish.
+    let mut waits = Vec::with_capacity(schedule.n());
+    for j in 0..schedule.n() {
+        let ready = ins
+            .dag()
+            .preds(j)
+            .iter()
+            .map(|&i| schedule.task(i).finish())
+            .fold(0.0f64, f64::max);
+        waits.push((schedule.task(j).start - ready).max(0.0));
+    }
+    let mean_wait = if waits.is_empty() {
+        0.0
+    } else {
+        waits.iter().sum::<f64>() / waits.len() as f64
+    };
+    let max_wait = waits.iter().copied().fold(0.0, f64::max);
+
+    let serial: f64 = ins.profiles().iter().map(|p| p.time(1)).sum();
+    let achieved_speedup = if makespan > 0.0 { serial / makespan } else { 1.0 };
+
+    let durations: Vec<f64> = (0..schedule.n())
+        .map(|j| schedule.task(j).duration)
+        .collect();
+    let lpath = paths::critical_path_length(ins.dag(), &durations);
+    let critical_path_fraction = if makespan > 0.0 { lpath / makespan } else { 1.0 };
+
+    Metrics {
+        per_proc_utilization,
+        mean_wait,
+        max_wait,
+        achieved_speedup,
+        critical_path_fraction,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::execute;
+    use mtsp_core::two_phase::schedule_jz;
+    use mtsp_core::{list_schedule, Priority};
+    use mtsp_model::{generate as igen, Profile};
+
+    #[test]
+    fn chain_is_path_dominated() {
+        let dag = mtsp_dag::generate::chain(4);
+        let profiles = vec![Profile::constant(2.0, 4).unwrap(); 4];
+        let ins = Instance::new(dag, profiles).unwrap();
+        let s = list_schedule(&ins, &[1; 4], Priority::TaskId);
+        let r = execute(&ins, &s).unwrap();
+        let m = metrics(&ins, &s, &r);
+        assert!((m.critical_path_fraction - 1.0).abs() < 1e-9);
+        assert!((m.mean_wait).abs() < 1e-9, "chain tasks never wait");
+        assert!((m.achieved_speedup - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn independent_tasks_wait_for_capacity() {
+        // 3 unit tasks, 1 proc each, m = 1: waits are 0, 1, 2.
+        let profiles = vec![Profile::constant(1.0, 1).unwrap(); 3];
+        let ins = Instance::new(mtsp_dag::generate::independent(3), profiles).unwrap();
+        let s = list_schedule(&ins, &[1; 3], Priority::TaskId);
+        let r = execute(&ins, &s).unwrap();
+        let m = metrics(&ins, &s, &r);
+        assert!((m.mean_wait - 1.0).abs() < 1e-9);
+        assert!((m.max_wait - 2.0).abs() < 1e-9);
+        assert!((m.per_proc_utilization[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup_on_parallel_workload() {
+        let ins = igen::random_instance(
+            igen::DagFamily::Independent,
+            igen::CurveFamily::PowerLaw,
+            16,
+            8,
+            4,
+        );
+        let rep = schedule_jz(&ins).unwrap();
+        let r = execute(&ins, &rep.schedule).unwrap();
+        let m = metrics(&ins, &rep.schedule, &r);
+        assert!(
+            m.achieved_speedup > 1.5,
+            "independent tasks on 8 procs must beat serial: {}",
+            m.achieved_speedup
+        );
+        assert!(m.per_proc_utilization.len() == 8);
+        assert!(m
+            .per_proc_utilization
+            .iter()
+            .all(|&u| (0.0..=1.0 + 1e-9).contains(&u)));
+    }
+}

@@ -1,0 +1,319 @@
+//! Online replay of the LIST policy under execution-time noise.
+//!
+//! The phase-1 allotment is a *plan*; on a real machine the realized
+//! processing times deviate from the model's `p_j(l)`. This module
+//! re-executes the greedy list policy event by event with realized
+//! durations `p_j(l_j) · ξ_j`, where `ξ_j` is a per-task noise factor. The
+//! resulting makespan measures how robust the allotment decision is
+//! (experiment E4 in DESIGN.md).
+//!
+//! With [`NoiseModel::None`] the replay reproduces
+//! [`mtsp_core::list_schedule`] *exactly* — a cross-validation of two
+//! independent implementations of the same policy.
+
+use mtsp_core::{Priority, Schedule, ScheduledTask};
+use mtsp_dag::paths;
+use mtsp_model::Instance;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Execution-time noise models.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NoiseModel {
+    /// Exact execution: realized = planned.
+    None,
+    /// Multiplicative uniform noise: `ξ ~ U[1−ε, 1+ε]`, `ε ∈ [0, 1)`.
+    Uniform {
+        /// Relative amplitude `ε`.
+        epsilon: f64,
+    },
+    /// Multiplicative one-sided slowdown: `ξ ~ 1 + U[0, ε]` — models
+    /// contention that only ever delays.
+    Slowdown {
+        /// Maximum relative slowdown `ε`.
+        epsilon: f64,
+    },
+}
+
+impl NoiseModel {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        match self {
+            NoiseModel::None => 1.0,
+            NoiseModel::Uniform { epsilon } => 1.0 + epsilon * (2.0 * rng.gen::<f64>() - 1.0),
+            NoiseModel::Slowdown { epsilon } => 1.0 + epsilon * rng.gen::<f64>(),
+        }
+    }
+}
+
+/// Totally ordered finite f64 for heap keys.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Ord64(f64);
+impl Eq for Ord64 {}
+impl PartialOrd for Ord64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ord64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("finite times")
+    }
+}
+
+/// Replays the greedy list policy with fixed allotments `alloc` and
+/// realized durations `p_j(l_j) · ξ_j`. Returns the realized schedule
+/// (its `duration`s are the *realized* ones, so
+/// [`mtsp_core::Schedule::verify`] will reject it for `ε > 0` — capacity
+/// and precedence still hold by construction and are asserted in tests).
+///
+/// # Panics
+/// Panics on allotment shape errors (same contract as
+/// [`mtsp_core::list_schedule`]) or a negative noise draw (`ε ≥ 1`).
+pub fn execute_online(
+    ins: &Instance,
+    alloc: &[usize],
+    priority: Priority,
+    noise: NoiseModel,
+    seed: u64,
+) -> Schedule {
+    let n = ins.n();
+    let m = ins.m();
+    assert_eq!(alloc.len(), n, "one allotment per task required");
+    assert!(
+        alloc.iter().all(|&l| l >= 1 && l <= m),
+        "allotments must lie in 1..=m"
+    );
+    let planned: Vec<f64> = ins.times_under(alloc);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let realized: Vec<f64> = planned
+        .iter()
+        .map(|&p| {
+            let xi = noise.sample(&mut rng);
+            assert!(xi > 0.0, "noise factor must stay positive");
+            p * xi
+        })
+        .collect();
+
+    let prio: Vec<f64> = match priority {
+        Priority::TaskId => (0..n).map(|j| -(j as f64)).collect(),
+        // The policy only knows planned times; priorities use them.
+        Priority::BottomLevel => paths::bottom_levels(ins.dag(), &planned),
+        Priority::WidestFirst => alloc.iter().map(|&l| l as f64).collect(),
+    };
+
+    let dag = ins.dag();
+    let mut remaining: Vec<usize> = (0..n).map(|j| dag.in_degree(j)).collect();
+    let mut ready_time = vec![0.0f64; n];
+    let mut available: BinaryHeap<Reverse<(Ord64, Ord64, usize)>> = BinaryHeap::new();
+    for j in 0..n {
+        if remaining[j] == 0 {
+            available.push(Reverse((Ord64(0.0), Ord64(-prio[j]), j)));
+        }
+    }
+    let mut running: BinaryHeap<Reverse<(Ord64, usize)>> = BinaryHeap::new();
+    let mut placed = vec![
+        ScheduledTask {
+            start: 0.0,
+            alloc: 1,
+            duration: 0.0,
+        };
+        n
+    ];
+    let mut waiting: Vec<usize> = Vec::new();
+    let mut free = m;
+    let mut now = 0.0f64;
+    let mut scheduled = 0usize;
+
+    while scheduled < n {
+        for j in waiting.drain(..) {
+            available.push(Reverse((Ord64(ready_time[j]), Ord64(-prio[j]), j)));
+        }
+        let mut deferred = Vec::new();
+        while let Some(&Reverse((rt, _, j))) = available.peek() {
+            if rt.0 > now + 1e-12 * (1.0 + now.abs()) {
+                break;
+            }
+            available.pop();
+            if alloc[j] <= free {
+                placed[j] = ScheduledTask {
+                    start: now,
+                    alloc: alloc[j],
+                    duration: realized[j],
+                };
+                free -= alloc[j];
+                running.push(Reverse((Ord64(now + realized[j]), j)));
+                scheduled += 1;
+            } else {
+                deferred.push(j);
+            }
+        }
+        waiting.extend(deferred);
+        if scheduled == n {
+            break;
+        }
+        if let Some(&Reverse((finish, _))) = running.peek() {
+            let next_ready = available
+                .peek()
+                .map(|&Reverse((rt, _, _))| rt.0)
+                .unwrap_or(f64::INFINITY);
+            if waiting.is_empty() && next_ready < finish.0 {
+                now = next_ready;
+                continue;
+            }
+            now = finish.0;
+            while let Some(&Reverse((f, j))) = running.peek() {
+                if f.0 > now + 1e-12 * (1.0 + now.abs()) {
+                    break;
+                }
+                running.pop();
+                free += alloc[j];
+                for &s in dag.succs(j) {
+                    remaining[s] -= 1;
+                    ready_time[s] = ready_time[s].max(f.0);
+                    if remaining[s] == 0 {
+                        available.push(Reverse((Ord64(ready_time[s]), Ord64(-prio[s]), s)));
+                    }
+                }
+            }
+        } else {
+            match available.peek() {
+                Some(&Reverse((rt, _, _))) => now = now.max(rt.0),
+                None => unreachable!("tasks remain but none running or available"),
+            }
+        }
+    }
+    Schedule::new(m, placed)
+}
+
+/// Verifies the structural feasibility of a realized schedule (capacity
+/// and precedence; durations are whatever the noise produced).
+pub fn realized_feasible(ins: &Instance, s: &Schedule) -> bool {
+    for (i, j) in ins.dag().edges() {
+        if s.task(i).finish() > s.task(j).start + 1e-9 {
+            return false;
+        }
+    }
+    s.slot_profile(1).intervals.iter().all(|&(_, _, b, _)| b <= ins.m())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtsp_core::list_schedule;
+    use mtsp_core::two_phase::schedule_jz;
+    use mtsp_model::generate as igen;
+
+    fn random(n: usize, m: usize, seed: u64) -> Instance {
+        igen::random_instance(
+            igen::DagFamily::Layered,
+            igen::CurveFamily::Mixed,
+            n,
+            m,
+            seed,
+        )
+    }
+
+    #[test]
+    fn zero_noise_reproduces_list_schedule_exactly() {
+        for seed in 0..6 {
+            let ins = random(25, 8, seed);
+            let alloc: Vec<usize> = (0..ins.n()).map(|j| 1 + j % 3).collect();
+            for prio in [Priority::TaskId, Priority::BottomLevel, Priority::WidestFirst] {
+                let a = list_schedule(&ins, &alloc, prio);
+                let b = execute_online(&ins, &alloc, prio, NoiseModel::None, seed);
+                assert_eq!(a, b, "seed {seed}, prio {prio:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn noisy_execution_stays_feasible() {
+        for seed in 0..5 {
+            let ins = random(20, 6, seed);
+            let rep = schedule_jz(&ins).unwrap();
+            for eps in [0.05, 0.1, 0.3] {
+                let s = execute_online(
+                    &ins,
+                    &rep.alloc,
+                    Priority::TaskId,
+                    NoiseModel::Uniform { epsilon: eps },
+                    seed,
+                );
+                assert!(realized_feasible(&ins, &s), "seed {seed} eps {eps}");
+            }
+        }
+    }
+
+    #[test]
+    fn slowdown_noise_never_speeds_up_tasks() {
+        let ins = random(15, 4, 3);
+        let alloc = vec![1usize; ins.n()];
+        let planned = list_schedule(&ins, &alloc, Priority::TaskId);
+        let s = execute_online(
+            &ins,
+            &alloc,
+            Priority::TaskId,
+            NoiseModel::Slowdown { epsilon: 0.2 },
+            7,
+        );
+        for j in 0..ins.n() {
+            assert!(s.task(j).duration >= planned.task(j).duration - 1e-12);
+        }
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_seed() {
+        let ins = random(12, 4, 1);
+        let alloc = vec![2usize; ins.n()];
+        let a = execute_online(
+            &ins,
+            &alloc,
+            Priority::TaskId,
+            NoiseModel::Uniform { epsilon: 0.1 },
+            42,
+        );
+        let b = execute_online(
+            &ins,
+            &alloc,
+            Priority::TaskId,
+            NoiseModel::Uniform { epsilon: 0.1 },
+            42,
+        );
+        assert_eq!(a, b);
+        let c = execute_online(
+            &ins,
+            &alloc,
+            Priority::TaskId,
+            NoiseModel::Uniform { epsilon: 0.1 },
+            43,
+        );
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn makespan_degrades_gracefully_with_noise() {
+        // Average makespan under ±10% noise stays within ~25% of planned
+        // (list scheduling absorbs perturbations; this is a sanity band,
+        // not a theorem).
+        let ins = random(30, 8, 9);
+        let rep = schedule_jz(&ins).unwrap();
+        let planned = rep.schedule.makespan();
+        let mut worst = 0.0f64;
+        for seed in 0..10 {
+            let s = execute_online(
+                &ins,
+                &rep.alloc,
+                Priority::TaskId,
+                NoiseModel::Uniform { epsilon: 0.1 },
+                seed,
+            );
+            worst = worst.max(s.makespan());
+        }
+        assert!(
+            worst <= planned * 1.35,
+            "worst noisy makespan {worst} vs planned {planned}"
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! Execution traces: time-ordered start/finish events with concrete
+//! processor assignments.
+
+/// What happened at an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// Task started on the listed processors.
+    Start {
+        /// Task id.
+        task: usize,
+        /// Concrete processor ids occupied (sorted ascending).
+        procs: Vec<usize>,
+    },
+    /// Task finished, releasing its processors.
+    Finish {
+        /// Task id.
+        task: usize,
+    },
+}
+
+/// One timestamped event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Simulation time.
+    pub time: f64,
+    /// The event.
+    pub kind: EventKind,
+}
+
+/// A full execution trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    /// Events sorted by time (starts after finishes at equal times).
+    pub events: Vec<Event>,
+}
+
+impl Trace {
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` iff no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Renders the trace as one line per event.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::with_capacity(self.events.len() * 48);
+        for e in &self.events {
+            match &e.kind {
+                EventKind::Start { task, procs } => {
+                    let _ = writeln!(
+                        s,
+                        "{:>12.4}  start  task {task:>4} on procs {procs:?}",
+                        e.time
+                    );
+                }
+                EventKind::Finish { task } => {
+                    let _ = writeln!(s, "{:>12.4}  finish task {task:>4}", e.time);
+                }
+            }
+        }
+        s
+    }
+
+    /// Checks internal consistency: events sorted by time, every start has
+    /// a matching later finish, processors never double-booked.
+    pub fn is_consistent(&self, m: usize) -> bool {
+        let mut owner: Vec<Option<usize>> = vec![None; m];
+        let mut last_t = f64::NEG_INFINITY;
+        let mut open: std::collections::HashMap<usize, Vec<usize>> =
+            std::collections::HashMap::new();
+        for e in &self.events {
+            if e.time < last_t - 1e-9 {
+                return false;
+            }
+            last_t = last_t.max(e.time);
+            match &e.kind {
+                EventKind::Start { task, procs } => {
+                    for &p in procs {
+                        if p >= m || owner[p].is_some() {
+                            return false;
+                        }
+                        owner[p] = Some(*task);
+                    }
+                    if open.insert(*task, procs.clone()).is_some() {
+                        return false;
+                    }
+                }
+                EventKind::Finish { task } => {
+                    let Some(procs) = open.remove(task) else {
+                        return false;
+                    };
+                    for p in procs {
+                        if owner[p] != Some(*task) {
+                            return false;
+                        }
+                        owner[p] = None;
+                    }
+                }
+            }
+        }
+        open.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start(t: f64, task: usize, procs: Vec<usize>) -> Event {
+        Event {
+            time: t,
+            kind: EventKind::Start { task, procs },
+        }
+    }
+
+    fn finish(t: f64, task: usize) -> Event {
+        Event {
+            time: t,
+            kind: EventKind::Finish { task },
+        }
+    }
+
+    #[test]
+    fn consistent_trace_accepted() {
+        let tr = Trace {
+            events: vec![
+                start(0.0, 0, vec![0, 1]),
+                finish(1.0, 0),
+                start(1.0, 1, vec![0]),
+                finish(3.0, 1),
+            ],
+        };
+        assert!(tr.is_consistent(2));
+        assert_eq!(tr.len(), 4);
+        assert!(!tr.is_empty());
+        let text = tr.render();
+        assert!(text.contains("start  task    0"));
+        assert!(text.contains("finish task    1"));
+    }
+
+    #[test]
+    fn double_booking_rejected() {
+        let tr = Trace {
+            events: vec![start(0.0, 0, vec![0]), start(0.5, 1, vec![0])],
+        };
+        assert!(!tr.is_consistent(1));
+    }
+
+    #[test]
+    fn unmatched_finish_rejected() {
+        let tr = Trace {
+            events: vec![finish(1.0, 0)],
+        };
+        assert!(!tr.is_consistent(1));
+    }
+
+    #[test]
+    fn unsorted_rejected() {
+        let tr = Trace {
+            events: vec![start(1.0, 0, vec![0]), finish(0.5, 0)],
+        };
+        assert!(!tr.is_consistent(1));
+    }
+
+    #[test]
+    fn dangling_start_rejected() {
+        let tr = Trace {
+            events: vec![start(0.0, 0, vec![0])],
+        };
+        assert!(!tr.is_consistent(1));
+    }
+}

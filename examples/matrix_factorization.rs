@@ -1,0 +1,76 @@
+//! Structure-driven multiprocessor compilation of numeric problems
+//! (after Prasanna's MIT/LCS/TR-502 — references \[22–25\] of the paper):
+//! blocked Cholesky and LU factorization task graphs whose kernels are
+//! malleable with power-law speedups `p(1)·l^{−d}`, exactly the
+//! Prasanna–Musicus family the paper builds its model on.
+//!
+//! Run with: `cargo run --release --example matrix_factorization`
+
+use mtsp::core::heavy_path::{heavy_path, low_slot_coverage};
+use mtsp::dag::{generate, stats::DagStats};
+use mtsp::prelude::*;
+
+/// Profiles for a factorization DAG: kernel flop counts scale with block
+/// position, parallelizability `d` differs per kernel type (GEMM-like
+/// updates parallelize best). We approximate kernel type by in-degree.
+fn kernel_profiles(dag: &Dag, m: usize, base: f64) -> Vec<Profile> {
+    (0..dag.node_count())
+        .map(|v| {
+            let indeg = dag.in_degree(v);
+            let (work, d) = match indeg {
+                0 | 1 => (base, 0.55),        // panel factorizations: limited
+                2 => (1.6 * base, 0.75),      // triangular solves
+                _ => (2.4 * base, 0.95),      // trailing updates: near-linear
+            };
+            Profile::power_law(work, d, m).expect("valid parameters")
+        })
+        .collect()
+}
+
+fn run(name: &str, dag: Dag, m: usize) {
+    let stats = DagStats::of(&dag);
+    let profiles = kernel_profiles(&dag, m, 4.0);
+    let ins = Instance::new(dag, profiles).expect("consistent");
+    assert!(ins.is_admissible());
+
+    let rep = schedule_jz(&ins).expect("schedules");
+    rep.schedule.verify(&ins).expect("feasible");
+    let sim = mtsp::sim::execute(&ins, &rep.schedule).expect("executable");
+
+    // The Fig. 2 construction on a real workload: the heavy path that
+    // certifies the critical-path part of the analysis.
+    let path = heavy_path(ins.dag(), &rep.schedule, rep.params.mu);
+    let cov = low_slot_coverage(&rep.schedule, rep.params.mu, &path);
+
+    println!("{name} on m = {m}:");
+    println!("  dag        : {stats}");
+    println!(
+        "  LP bound {:.3} | makespan {:.3} | ratio {:.3} (guarantee {:.3})",
+        rep.lp.cstar,
+        rep.schedule.makespan(),
+        rep.ratio_vs_cstar(),
+        rep.guarantee
+    );
+    println!(
+        "  utilization {:.1}% | heavy path: {} tasks, covers {:.0}% of T1+T2",
+        100.0 * sim.utilization(),
+        path.len(),
+        100.0 * cov
+    );
+    let profile = rep.schedule.slot_profile(rep.params.mu);
+    println!(
+        "  slot classes: |T1| = {:.3}, |T2| = {:.3}, |T3| = {:.3}",
+        profile.t1, profile.t2, profile.t3
+    );
+    println!();
+}
+
+fn main() {
+    for m in [8usize, 16] {
+        run("blocked Cholesky (6x6 blocks)", generate::cholesky(6), m);
+        run("blocked LU (5x5 blocks)", generate::lu(5), m);
+        run("FFT butterfly (64 points)", generate::fft(6), m);
+    }
+    println!("note: GEMM-heavy graphs keep T3 (high-utilization) slots dominant;");
+    println!("the heavy path always covers the low-utilization slots (Lemma 4.3).");
+}

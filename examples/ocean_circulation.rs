@@ -1,0 +1,113 @@
+//! Adaptive-mesh ocean-circulation workload (after Blayo–Debreu–Mounié–
+//! Trystram, Euro-Par 1999 — reference \[2\] of the paper, the application
+//! that motivated the monotone malleable-task model).
+//!
+//! An adaptive ocean model advances a coarse grid each time step and
+//! spawns refined sub-grids where eddies need resolution. Each (sub-)grid
+//! update is a malleable task: it parallelizes well up to the number of
+//! mesh blocks it owns and saturates beyond that (Amdahl-style). Step
+//! `t+1`'s coarse update depends on step `t`'s coarse update and on all of
+//! step `t`'s refinements; refinements depend on their step's coarse
+//! update.
+//!
+//! Run with: `cargo run --release --example ocean_circulation`
+
+use mtsp::core::baselines;
+use mtsp::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds `steps` time steps; each step has one coarse task plus a random
+/// number of refinement tasks.
+fn build_ocean_instance(steps: usize, m: usize, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut profiles: Vec<Profile> = Vec::new();
+    let mut prev_step_tasks: Vec<usize> = Vec::new();
+
+    for _ in 0..steps {
+        let coarse = profiles.len();
+        // The coarse solve scales well: big grid, little serial overhead.
+        profiles.push(Profile::amdahl(30.0 + rng.gen_range(0.0..10.0), 0.04, m).unwrap());
+        for &p in &prev_step_tasks {
+            edges.push((p, coarse));
+        }
+        let refinements = rng.gen_range(1..=4usize);
+        let mut this_step = vec![coarse];
+        for _ in 0..refinements {
+            let r = profiles.len();
+            // Refined patches are smaller and saturate quickly.
+            let work = 6.0 + rng.gen_range(0.0..12.0);
+            let serial_frac = rng.gen_range(0.15..0.45);
+            profiles.push(Profile::amdahl(work, serial_frac, m).unwrap());
+            edges.push((coarse, r));
+            this_step.push(r);
+        }
+        prev_step_tasks = this_step;
+    }
+    let dag = Dag::from_edges(profiles.len(), &edges).expect("construction is acyclic");
+    Instance::new(dag, profiles).expect("consistent instance")
+}
+
+fn main() {
+    println!("adaptive-mesh ocean circulation: ours vs baselines");
+    println!(
+        "{:>4} {:>6} {:>10} {:>10} {:>10} {:>10} {:>8} {:>9}",
+        "m", "tasks", "LP bound", "ours", "LTW-style", "serial", "ratio", "guarantee"
+    );
+    for m in [4usize, 8, 16, 32] {
+        let ins = build_ocean_instance(12, m, 0xB10C + m as u64);
+        assert!(ins.is_admissible());
+
+        let ours = schedule_jz(&ins).expect("schedules");
+        ours.schedule.verify(&ins).expect("feasible");
+        let ltw = baselines::ltw_baseline(&ins).expect("schedules");
+        let serial = baselines::serial_baseline(&ins);
+
+        println!(
+            "{:>4} {:>6} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>8.3} {:>9.3}",
+            m,
+            ins.n(),
+            ours.lp.cstar,
+            ours.schedule.makespan(),
+            ltw.schedule.makespan(),
+            serial.makespan(),
+            ours.ratio_vs_cstar(),
+            ours.guarantee,
+        );
+    }
+
+    // Robustness: replay the chosen allotment online with execution noise,
+    // as a real ocean run would experience (experiment E4).
+    println!();
+    println!("robustness of the m = 16 plan under execution-time noise:");
+    let ins = build_ocean_instance(12, 16, 0xB10C + 16);
+    let plan = schedule_jz(&ins).unwrap();
+    for eps in [0.0, 0.05, 0.10, 0.20] {
+        let mut worst: f64 = 0.0;
+        let mut sum = 0.0;
+        let runs = 20;
+        for seed in 0..runs {
+            let s = execute_online(
+                &ins,
+                &plan.alloc,
+                Priority::TaskId,
+                if eps == 0.0 {
+                    NoiseModel::None
+                } else {
+                    NoiseModel::Uniform { epsilon: eps }
+                },
+                seed,
+            );
+            worst = worst.max(s.makespan());
+            sum += s.makespan();
+        }
+        println!(
+            "  eps = {:>4.2}: mean makespan {:>8.3}, worst {:>8.3} (planned {:>8.3})",
+            eps,
+            sum / runs as f64,
+            worst,
+            plan.schedule.makespan()
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Ablation of the paper's design choices (experiment E2 of DESIGN.md):
+//! how the rounding parameter `ρ` and the cap `μ` move the *measured*
+//! makespan, compared with the analytic min–max bound that the paper
+//! optimizes. Also contrasts the paper's fixed parameters against the
+//! Table 4 grid optimum and the Section 4.3 continuous-ρ optimum.
+//!
+//! Run with: `cargo run --release --example parameter_study`
+
+use mtsp::analysis::{asymptotic, grid, minmax};
+use mtsp::core::two_phase::{schedule_jz_with, JzConfig};
+use mtsp::model::generate::{random_instance, CurveFamily, DagFamily};
+use mtsp::prelude::*;
+
+fn main() {
+    let m = 16usize;
+    let ins = random_instance(DagFamily::Layered, CurveFamily::Mixed, 60, m, 2024);
+    let paper = our_params(m);
+
+    println!("workload: layered random DAG, n = {}, m = {m}", ins.n());
+    println!();
+    println!("-- rho sweep (mu fixed at paper's mu = {}) --", paper.mu);
+    println!(
+        "{:>6} {:>12} {:>12} {:>12}",
+        "rho", "makespan", "obs. ratio", "bound r"
+    );
+    for i in 0..=10 {
+        let rho = i as f64 / 10.0;
+        let cfg = JzConfig {
+            params: Some(Params { rho, mu: paper.mu }),
+            ..JzConfig::default()
+        };
+        let rep = schedule_jz_with(&ins, &cfg).expect("schedules");
+        println!(
+            "{:>6.2} {:>12.4} {:>12.4} {:>12.4}",
+            rho,
+            rep.schedule.makespan(),
+            rep.ratio_vs_cstar(),
+            minmax::objective(m, paper.mu, rho)
+        );
+    }
+
+    println!();
+    println!("-- mu sweep (rho fixed at paper's rho = {}) --", paper.rho);
+    println!(
+        "{:>6} {:>12} {:>12} {:>12}",
+        "mu", "makespan", "obs. ratio", "bound r"
+    );
+    for mu in 1..=m / 2 + 1 {
+        let cfg = JzConfig {
+            params: Some(Params {
+                rho: paper.rho,
+                mu,
+            }),
+            ..JzConfig::default()
+        };
+        let rep = schedule_jz_with(&ins, &cfg).expect("schedules");
+        println!(
+            "{:>6} {:>12.4} {:>12.4} {:>12.4}",
+            mu,
+            rep.schedule.makespan(),
+            rep.ratio_vs_cstar(),
+            minmax::objective(m, mu, paper.rho)
+        );
+    }
+
+    println!();
+    println!("-- parameter selections for m = {m} --");
+    let g = grid::grid_search(m, 10_000, 4);
+    let rho_cont = asymptotic::optimal_rho(m);
+    println!(
+        "  paper (Eq. 19/20) : rho = {:.4}, mu = {:>2}, bound = {:.6}",
+        paper.rho,
+        paper.mu,
+        minmax::objective(m, paper.mu, paper.rho)
+    );
+    println!(
+        "  grid (Table 4)    : rho = {:.4}, mu = {:>2}, bound = {:.6}",
+        g.rho, g.mu, g.r
+    );
+    println!(
+        "  continuous Sec4.3 : rho = {:.4} (bound with continuous mu = {:.6})",
+        rho_cont,
+        asymptotic::continuous_objective(m, rho_cont)
+    );
+    println!(
+        "  asymptotic        : rho* = {:.6}, r -> {:.6}",
+        asymptotic::asymptotic_rho(),
+        asymptotic::asymptotic_ratio()
+    );
+}

@@ -1,0 +1,64 @@
+//! Quickstart: build a small malleable-task instance, run the Jansen–Zhang
+//! two-phase algorithm, inspect the schedule and its certificates.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use mtsp::prelude::*;
+
+fn main() {
+    // A machine with 8 identical processors.
+    let m = 8;
+
+    // Six tasks forming a small pipeline-with-fanout DAG:
+    //
+    //        0 ──▶ 1 ──▶ 3 ──▶ 5
+    //        └───▶ 2 ──▶ 4 ────┘
+    let dag = Dag::from_edges(6, &[(0, 1), (0, 2), (1, 3), (2, 4), (3, 5), (4, 5)])
+        .expect("edge list is acyclic");
+
+    // Malleable profiles satisfying the paper's Assumptions 1 and 2:
+    // power-law speedups p(l) = p(1) * l^{-d} (the Prasanna-Musicus family)
+    // and an Amdahl task with a 30% serial fraction.
+    let profiles = vec![
+        Profile::power_law(10.0, 0.9, m).unwrap(),
+        Profile::power_law(16.0, 0.6, m).unwrap(),
+        Profile::amdahl(12.0, 0.3, m).unwrap(),
+        Profile::power_law(8.0, 1.0, m).unwrap(),
+        Profile::power_law(14.0, 0.4, m).unwrap(),
+        Profile::amdahl(6.0, 0.1, m).unwrap(),
+    ];
+    let instance = Instance::new(dag, profiles).expect("consistent instance");
+    assert!(instance.is_admissible(), "Assumptions 1 + 2 hold");
+
+    // Run the two-phase algorithm with the paper's parameters rho(m), mu(m).
+    let report = schedule_jz(&instance).expect("admissible instance schedules");
+    report.schedule.verify(&instance).expect("schedule is feasible");
+
+    println!("== phase 1 (allotment LP + rounding) ==");
+    println!("  LP optimum C*            : {:.4}", report.lp.cstar);
+    println!("  fractional path length L*: {:.4}", report.lp.lstar);
+    println!("  fractional work W*       : {:.4}", report.lp.wstar);
+    println!("  parameters               : rho = {}, mu = {}", report.params.rho, report.params.mu);
+    println!("  allotment alpha'         : {:?}", report.alloc_prime);
+    println!("  capped allotment alpha   : {:?}", report.alloc);
+    println!();
+    println!("== phase 2 (LIST) ==");
+    print!("{}", report.schedule.render());
+    println!();
+    println!("== certificates ==");
+    println!("  lower bound max(L*, W*/m): {:.4}", report.lower_bound);
+    println!("  makespan                 : {:.4}", report.schedule.makespan());
+    println!("  observed ratio           : {:.4}", report.observed_ratio());
+    println!("  a-priori guarantee r(m)  : {:.4}", report.guarantee);
+    println!(
+        "  Theorem 4.1 bound        : {:.4}",
+        theorem_4_1_bound(m)
+    );
+
+    // Execute on the simulated machine with concrete processor ids.
+    let sim = mtsp::sim::execute(&instance, &report.schedule).expect("executable");
+    println!();
+    println!("== simulated execution ==");
+    println!("  utilization: {:.1}%", 100.0 * sim.utilization());
+    print!("{}", sim.trace.render());
+}

@@ -1,0 +1,47 @@
+//! Regenerates the paper's Tables 2, 3 and 4 from the analysis toolkit —
+//! the CLI twin of the `mtsp-bench` table binaries.
+//!
+//! Run with: `cargo run --release --example ratio_tables`
+
+use mtsp::analysis::{asymptotic, grid, ltw, ratio};
+
+fn main() {
+    println!("Table 2: bounds for this paper's algorithm (rho-hat = 0.26, mu from Eq. 20)");
+    println!("{:>4} {:>5} {:>7} {:>9}", "m", "mu", "rho", "r");
+    for m in 2..=33 {
+        let (m, mu, rho, r) = ratio::table2_row(m);
+        println!("{m:>4} {mu:>5} {rho:>7.3} {r:>9.4}");
+    }
+
+    println!();
+    println!("Table 3: bounds for the Lepere-Trystram-Woeginger algorithm [18]");
+    println!("{:>4} {:>5} {:>9}", "m", "mu", "r");
+    for m in 2..=33 {
+        let (mu, r) = ltw::table3_row(m);
+        println!("{m:>4} {mu:>5} {r:>9.4}");
+    }
+
+    println!();
+    println!("Table 4: numerical optimum of the min-max program (grid, d-rho = 1e-4)");
+    println!("{:>4} {:>5} {:>7} {:>9}", "m", "mu", "rho", "r");
+    for row in grid::table4(2..=33, 10_000, 4) {
+        println!("{:>4} {:>5} {:>7.3} {:>9.4}", row.m, row.mu, row.rho, row.r);
+    }
+
+    println!();
+    println!("Constants:");
+    println!(
+        "  Corollary 4.1 bound      : {:.6} (paper: 3.291919)",
+        ratio::corollary_4_1_constant()
+    );
+    println!(
+        "  asymptotic optimum (4.3) : rho* = {:.6}, mu*/m -> {:.6}, r -> {:.6}",
+        asymptotic::asymptotic_rho(),
+        asymptotic::mu_fraction(asymptotic::asymptotic_rho()),
+        asymptotic::asymptotic_ratio()
+    );
+    println!(
+        "  LTW asymptotic constant  : {:.6} (3 + sqrt 5)",
+        ltw::ltw_asymptotic_constant()
+    );
+}

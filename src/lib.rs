@@ -1,0 +1,59 @@
+#![warn(missing_docs)]
+//! # mtsp — Scheduling Malleable Tasks with Precedence constraints
+//!
+//! A full reproduction of Klaus Jansen and Hu Zhang, *Scheduling malleable
+//! tasks with precedence constraints* (SPAA 2005; JCSS 78(1), 2012): the
+//! `≈3.291919`-approximation two-phase algorithm for makespan minimization
+//! of malleable tasks under precedence constraints, together with every
+//! substrate it needs — precedence DAGs, the malleable-task model, an LP
+//! solver, a machine simulator — and the paper's complete numerical
+//! analysis (Tables 2–4, Figures 1–4, the asymptotics of Section 4.3).
+//!
+//! This crate is a facade: it re-exports the workspace crates under stable
+//! module names and hosts the runnable examples and cross-crate
+//! integration tests.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mtsp::prelude::*;
+//!
+//! // Three tasks: 0 -> {1, 2}, power-law speedups, 8 processors.
+//! let dag = Dag::from_edges(3, &[(0, 1), (0, 2)]).unwrap();
+//! let profiles = vec![
+//!     Profile::power_law(6.0, 0.8, 8).unwrap(),
+//!     Profile::amdahl(4.0, 0.2, 8).unwrap(),
+//!     Profile::power_law(9.0, 0.5, 8).unwrap(),
+//! ];
+//! let instance = Instance::new(dag, profiles).unwrap();
+//!
+//! let report = schedule_jz(&instance).unwrap();
+//! report.schedule.verify(&instance).unwrap();
+//! assert!(report.observed_ratio() <= report.guarantee);
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios and `crates/bench` for the
+//! harnesses that regenerate every table and figure of the paper.
+
+/// Precedence-DAG substrate (re-export of `mtsp-dag`).
+pub use mtsp_dag as dag;
+/// Malleable-task model (re-export of `mtsp-model`).
+pub use mtsp_model as model;
+/// LP substrate (re-export of `mtsp-lp`).
+pub use mtsp_lp as lp;
+/// The two-phase algorithm (re-export of `mtsp-core`).
+pub use mtsp_core as core;
+/// Ratio analysis and tables (re-export of `mtsp-analysis`).
+pub use mtsp_analysis as analysis;
+/// Machine simulator (re-export of `mtsp-sim`).
+pub use mtsp_sim as sim;
+
+/// The commonly used names in one import.
+pub mod prelude {
+    pub use mtsp_analysis::ratio::{our_params, theorem_4_1_bound, Params};
+    pub use mtsp_core::two_phase::{schedule_jz, schedule_jz_with, JzConfig, JzReport};
+    pub use mtsp_core::{list_schedule, Priority, Schedule, ScheduledTask};
+    pub use mtsp_dag::Dag;
+    pub use mtsp_model::{Instance, Profile};
+    pub use mtsp_sim::{execute, execute_online, NoiseModel};
+}

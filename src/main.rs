@@ -1,0 +1,482 @@
+//! `mtsp` — command-line interface to the malleable-task scheduler.
+//!
+//! ```text
+//! mtsp solve <file> [--rho R] [--mu K] [--priority id|bl|wf] [--improve] [--gantt]
+//! mtsp generate --dag <family> --curve <family> [--n N] [--m M] [--seed S]
+//! mtsp check <file>
+//! mtsp bounds <m>
+//! mtsp tables [2|3|4|all]
+//! ```
+//!
+//! Instances use the plain-text format of `mtsp::model::textio` (see
+//! `mtsp generate` to produce one).
+
+use mtsp::analysis::{grid, ltw, ratio};
+use mtsp::core::improve::{improve_allotment, ImproveOptions};
+use mtsp::core::two_phase::{schedule_jz_with, JzConfig, Phase1};
+use mtsp::model::generate::{random_instance, CurveFamily, DagFamily};
+use mtsp::model::textio;
+use mtsp::prelude::*;
+use std::fmt::Write as _;
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+enum Command {
+    Solve {
+        file: String,
+        rho: Option<f64>,
+        mu: Option<usize>,
+        priority: Priority,
+        improve: bool,
+        gantt: bool,
+        phase1: Phase1,
+    },
+    Generate {
+        dag: DagFamily,
+        curve: CurveFamily,
+        n: usize,
+        m: usize,
+        seed: u64,
+    },
+    Check {
+        file: String,
+    },
+    Bounds {
+        m: usize,
+    },
+    Tables {
+        which: String,
+    },
+    Help,
+}
+
+const USAGE: &str = "\
+mtsp — scheduling malleable tasks with precedence constraints (Jansen-Zhang)
+
+USAGE:
+  mtsp solve <file> [--rho R] [--mu K] [--priority id|bl|wf] [--improve] [--gantt]
+             [--phase1 lp|bisection]
+  mtsp generate --dag <family> --curve <family> [--n N] [--m M] [--seed S]
+  mtsp check <file>
+  mtsp bounds <m>
+  mtsp tables [2|3|4|all]
+
+DAG families:   independent chain layered series-parallel fork-join cholesky
+                wavefront random-tree
+curve families: power-law amdahl random-concave logarithmic saturating mixed
+";
+
+fn parse_dag(s: &str) -> Result<DagFamily, String> {
+    Ok(match s {
+        "independent" => DagFamily::Independent,
+        "chain" => DagFamily::Chain,
+        "layered" => DagFamily::Layered,
+        "series-parallel" => DagFamily::SeriesParallel,
+        "fork-join" => DagFamily::ForkJoin,
+        "cholesky" => DagFamily::Cholesky,
+        "wavefront" => DagFamily::Wavefront,
+        "random-tree" => DagFamily::RandomTree,
+        other => return Err(format!("unknown dag family '{other}'")),
+    })
+}
+
+fn parse_curve(s: &str) -> Result<CurveFamily, String> {
+    Ok(match s {
+        "power-law" => CurveFamily::PowerLaw,
+        "amdahl" => CurveFamily::Amdahl,
+        "random-concave" => CurveFamily::RandomConcave,
+        "logarithmic" => CurveFamily::Logarithmic,
+        "saturating" => CurveFamily::Saturating,
+        "mixed" => CurveFamily::Mixed,
+        other => return Err(format!("unknown curve family '{other}'")),
+    })
+}
+
+fn parse_priority(s: &str) -> Result<Priority, String> {
+    Ok(match s {
+        "id" => Priority::TaskId,
+        "bl" => Priority::BottomLevel,
+        "wf" => Priority::WidestFirst,
+        other => return Err(format!("unknown priority '{other}' (id|bl|wf)")),
+    })
+}
+
+/// Parses `argv[1..]` into a [`Command`].
+fn parse_args(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter().map(String::as_str);
+    let Some(cmd) = it.next() else {
+        return Ok(Command::Help);
+    };
+    let mut rest: Vec<&str> = it.collect();
+    let take_value = |rest: &mut Vec<&str>, flag: &str| -> Result<Option<String>, String> {
+        if let Some(pos) = rest.iter().position(|&a| a == flag) {
+            if pos + 1 >= rest.len() {
+                return Err(format!("{flag} needs a value"));
+            }
+            let v = rest[pos + 1].to_string();
+            rest.drain(pos..=pos + 1);
+            Ok(Some(v))
+        } else {
+            Ok(None)
+        }
+    };
+    let take_flag = |rest: &mut Vec<&str>, flag: &str| -> bool {
+        if let Some(pos) = rest.iter().position(|&a| a == flag) {
+            rest.remove(pos);
+            true
+        } else {
+            false
+        }
+    };
+    match cmd {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "solve" => {
+            let rho = take_value(&mut rest, "--rho")?
+                .map(|v| v.parse::<f64>().map_err(|e| format!("bad --rho: {e}")))
+                .transpose()?;
+            let mu = take_value(&mut rest, "--mu")?
+                .map(|v| v.parse::<usize>().map_err(|e| format!("bad --mu: {e}")))
+                .transpose()?;
+            let priority = take_value(&mut rest, "--priority")?
+                .map(|v| parse_priority(&v))
+                .transpose()?
+                .unwrap_or(Priority::TaskId);
+            let improve = take_flag(&mut rest, "--improve");
+            let gantt = take_flag(&mut rest, "--gantt");
+            let phase1 = match take_value(&mut rest, "--phase1")?.as_deref() {
+                None | Some("lp") => Phase1::Lp,
+                Some("bisection") => Phase1::Bisection,
+                Some(other) => return Err(format!("unknown phase1 '{other}' (lp|bisection)")),
+            };
+            let [file] = rest.as_slice() else {
+                return Err("solve needs exactly one instance file".into());
+            };
+            Ok(Command::Solve {
+                file: file.to_string(),
+                rho,
+                mu,
+                priority,
+                improve,
+                gantt,
+                phase1,
+            })
+        }
+        "generate" => {
+            let dag = parse_dag(
+                &take_value(&mut rest, "--dag")?.ok_or("generate needs --dag")?,
+            )?;
+            let curve = parse_curve(
+                &take_value(&mut rest, "--curve")?.ok_or("generate needs --curve")?,
+            )?;
+            let n = take_value(&mut rest, "--n")?
+                .map(|v| v.parse::<usize>().map_err(|e| format!("bad --n: {e}")))
+                .transpose()?
+                .unwrap_or(20);
+            let m = take_value(&mut rest, "--m")?
+                .map(|v| v.parse::<usize>().map_err(|e| format!("bad --m: {e}")))
+                .transpose()?
+                .unwrap_or(8);
+            let seed = take_value(&mut rest, "--seed")?
+                .map(|v| v.parse::<u64>().map_err(|e| format!("bad --seed: {e}")))
+                .transpose()?
+                .unwrap_or(0);
+            if !rest.is_empty() {
+                return Err(format!("unexpected arguments: {rest:?}"));
+            }
+            Ok(Command::Generate {
+                dag,
+                curve,
+                n,
+                m,
+                seed,
+            })
+        }
+        "check" => {
+            let [file] = rest.as_slice() else {
+                return Err("check needs exactly one instance file".into());
+            };
+            Ok(Command::Check {
+                file: file.to_string(),
+            })
+        }
+        "bounds" => {
+            let [m] = rest.as_slice() else {
+                return Err("bounds needs a machine size".into());
+            };
+            Ok(Command::Bounds {
+                m: m.parse().map_err(|e| format!("bad machine size: {e}"))?,
+            })
+        }
+        "tables" => {
+            let which = rest.first().copied().unwrap_or("all").to_string();
+            if !["2", "3", "4", "all"].contains(&which.as_str()) {
+                return Err(format!("unknown table '{which}' (2|3|4|all)"));
+            }
+            Ok(Command::Tables { which })
+        }
+        other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+    }
+}
+
+/// Executes a command, returning the text to print.
+fn run(cmd: Command) -> Result<String, String> {
+    let mut out = String::new();
+    match cmd {
+        Command::Help => out.push_str(USAGE),
+        Command::Generate {
+            dag,
+            curve,
+            n,
+            m,
+            seed,
+        } => {
+            let ins = random_instance(dag, curve, n, m, seed);
+            out.push_str(&textio::write_instance(&ins));
+        }
+        Command::Check { file } => {
+            let text = std::fs::read_to_string(&file).map_err(|e| format!("{file}: {e}"))?;
+            let ins = textio::parse_instance(&text).map_err(|e| e.to_string())?;
+            let _ = writeln!(out, "instance: n = {}, m = {}", ins.n(), ins.m());
+            let reports = ins.verify_assumptions();
+            let bad: Vec<usize> = reports
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| !r.admissible())
+                .map(|(j, _)| j)
+                .collect();
+            if bad.is_empty() {
+                let _ = writeln!(out, "all tasks satisfy Assumptions 1 and 2: admissible");
+            } else {
+                let _ = writeln!(out, "inadmissible tasks (A1/A2 violated): {bad:?}");
+            }
+            let _ = writeln!(
+                out,
+                "combinatorial lower bound: {:.6}",
+                ins.combinatorial_lower_bound()
+            );
+            let _ = writeln!(out, "serial upper bound:        {:.6}", ins.serial_upper_bound());
+        }
+        Command::Bounds { m } => {
+            let p = our_params(m);
+            let _ = writeln!(out, "machine size m = {m}:");
+            let _ = writeln!(out, "  paper parameters: rho = {}, mu = {}", p.rho, p.mu);
+            let _ = writeln!(
+                out,
+                "  min-max bound r(m)       = {:.6}",
+                mtsp::analysis::minmax::objective(m, p.mu, p.rho)
+            );
+            let _ = writeln!(out, "  Theorem 4.1 bound        = {:.6}", theorem_4_1_bound(m));
+            let g = grid::grid_search(m, 10_000, 2);
+            let _ = writeln!(
+                out,
+                "  grid optimum (Table 4)   = {:.6} at rho = {:.4}, mu = {}",
+                g.r, g.rho, g.mu
+            );
+            let (ltw_mu, ltw_r) = ltw::table3_row(m);
+            let _ = writeln!(out, "  LTW [18] bound (Table 3) = {ltw_r:.6} at mu = {ltw_mu}");
+        }
+        Command::Tables { which } => {
+            if which == "2" || which == "all" {
+                out.push_str("Table 2 (m mu rho r):\n");
+                for m in 2..=33 {
+                    let (m, mu, rho, r) = ratio::table2_row(m);
+                    let _ = writeln!(out, "{m:>3} {mu:>3} {rho:>6.3} {r:>8.4}");
+                }
+            }
+            if which == "3" || which == "all" {
+                out.push_str("Table 3 (m mu r):\n");
+                for m in 2..=33 {
+                    let (mu, r) = ltw::table3_row(m);
+                    let _ = writeln!(out, "{m:>3} {mu:>3} {r:>8.4}");
+                }
+            }
+            if which == "4" || which == "all" {
+                out.push_str("Table 4 (m mu rho r):\n");
+                for row in grid::table4(2..=33, 10_000, 2) {
+                    let _ = writeln!(
+                        out,
+                        "{:>3} {:>3} {:>6.3} {:>8.4}",
+                        row.m, row.mu, row.rho, row.r
+                    );
+                }
+            }
+        }
+        Command::Solve {
+            file,
+            rho,
+            mu,
+            priority,
+            improve,
+            gantt,
+            phase1,
+        } => {
+            let text = std::fs::read_to_string(&file).map_err(|e| format!("{file}: {e}"))?;
+            let ins = textio::parse_instance(&text).map_err(|e| e.to_string())?;
+            let default = our_params(ins.m());
+            let params = Params {
+                rho: rho.unwrap_or(default.rho),
+                mu: mu.unwrap_or(default.mu),
+            };
+            let cfg = JzConfig {
+                params: Some(params),
+                priority,
+                phase1,
+                ..JzConfig::default()
+            };
+            let rep = schedule_jz_with(&ins, &cfg).map_err(|e| e.to_string())?;
+            rep.schedule.verify(&ins).map_err(|e| e.to_string())?;
+            let _ = writeln!(out, "instance: n = {}, m = {}", ins.n(), ins.m());
+            let _ = writeln!(out, "params:   rho = {}, mu = {}", params.rho, params.mu);
+            let _ = writeln!(out, "LP bound C*      = {:.6}", rep.lp.cstar);
+            let _ = writeln!(out, "makespan         = {:.6}", rep.schedule.makespan());
+            let _ = writeln!(out, "observed ratio   = {:.4}", rep.ratio_vs_cstar());
+            let _ = writeln!(out, "guarantee r(m)   = {:.4}", rep.guarantee);
+            let (final_schedule, final_alloc) = if improve {
+                let res = improve_allotment(&ins, &rep.alloc, &ImproveOptions::default());
+                let _ = writeln!(
+                    out,
+                    "local search:    {} moves, makespan {:.6}",
+                    res.moves,
+                    res.schedule.makespan()
+                );
+                (res.schedule, res.alloc)
+            } else {
+                (rep.schedule, rep.alloc)
+            };
+            let _ = writeln!(out, "allotments:      {final_alloc:?}");
+            out.push_str(&final_schedule.render());
+            if gantt {
+                let sim = execute(&ins, &final_schedule).map_err(|e| e.to_string())?;
+                out.push_str(&mtsp::sim::gantt(&final_schedule, &sim, 72));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args).and_then(run) {
+        Ok(text) => print!("{text}"),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_solve_with_flags() {
+        let cmd = parse_args(&argv(
+            "solve inst.txt --rho 0.3 --mu 4 --priority bl --improve --gantt --phase1 bisection",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Solve {
+                file: "inst.txt".into(),
+                rho: Some(0.3),
+                mu: Some(4),
+                priority: Priority::BottomLevel,
+                improve: true,
+                gantt: true,
+                phase1: Phase1::Bisection,
+            }
+        );
+        assert!(parse_args(&argv("solve a.txt --phase1 nope")).is_err());
+    }
+
+    #[test]
+    fn parses_generate_defaults() {
+        let cmd = parse_args(&argv("generate --dag chain --curve amdahl")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Generate {
+                dag: DagFamily::Chain,
+                curve: CurveFamily::Amdahl,
+                n: 20,
+                m: 8,
+                seed: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(&argv("solve")).is_err());
+        assert!(parse_args(&argv("generate --dag nope --curve amdahl")).is_err());
+        assert!(parse_args(&argv("tables 7")).is_err());
+        assert!(parse_args(&argv("frobnicate")).is_err());
+        assert!(parse_args(&argv("solve a.txt --rho")).is_err());
+        assert!(parse_args(&argv("generate --dag chain --curve mixed extra")).is_err());
+    }
+
+    #[test]
+    fn no_args_is_help() {
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+        let text = run(Command::Help).unwrap();
+        assert!(text.contains("USAGE"));
+    }
+
+    #[test]
+    fn generate_then_solve_roundtrip() {
+        let gen = run(Command::Generate {
+            dag: DagFamily::Layered,
+            curve: CurveFamily::PowerLaw,
+            n: 10,
+            m: 4,
+            seed: 1,
+        })
+        .unwrap();
+        let dir = std::env::temp_dir().join("mtsp-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("inst.txt");
+        std::fs::write(&path, &gen).unwrap();
+
+        let text = run(Command::Check {
+            file: path.to_string_lossy().into_owned(),
+        })
+        .unwrap();
+        assert!(text.contains("admissible"));
+
+        let text = run(Command::Solve {
+            file: path.to_string_lossy().into_owned(),
+            rho: None,
+            mu: None,
+            priority: Priority::TaskId,
+            improve: true,
+            gantt: true,
+            phase1: Phase1::Lp,
+        })
+        .unwrap();
+        assert!(text.contains("makespan"));
+        assert!(text.contains("guarantee"));
+        assert!(text.contains("p0"), "gantt rows expected");
+    }
+
+    #[test]
+    fn bounds_and_tables_commands_run() {
+        let text = run(Command::Bounds { m: 8 }).unwrap();
+        assert!(text.contains("Theorem 4.1"));
+        assert!(text.contains("2.8659") || text.contains("2.866"));
+        let text = run(Command::Tables { which: "2".into() }).unwrap();
+        assert!(text.lines().count() >= 33);
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_error() {
+        let err = run(Command::Check {
+            file: "/nonexistent/nope.txt".into(),
+        })
+        .unwrap_err();
+        assert!(err.contains("nope.txt"));
+    }
+}

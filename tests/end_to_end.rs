@@ -1,0 +1,154 @@
+//! Cross-crate integration: the full pipeline — generate → LP → round →
+//! LIST → verify → simulate — across DAG families, curve families and
+//! machine sizes, with every analysis-level invariant checked on the way.
+
+use mtsp::prelude::*;
+use mtsp_analysis::minmax;
+use mtsp_core::heavy_path::{heavy_path, is_directed_path, low_slot_coverage};
+use mtsp_model::generate::{random_instance, CurveFamily, DagFamily};
+
+/// The full matrix of workloads used by several tests below.
+fn workloads() -> Vec<(DagFamily, CurveFamily, usize, usize, u64)> {
+    let mut w = Vec::new();
+    let mut seed = 0u64;
+    for df in DagFamily::ALL {
+        for cf in [CurveFamily::PowerLaw, CurveFamily::Mixed] {
+            for m in [2usize, 5, 8, 16] {
+                seed += 1;
+                w.push((df, cf, 24, m, seed));
+            }
+        }
+    }
+    w
+}
+
+#[test]
+fn pipeline_is_feasible_and_within_guarantee_everywhere() {
+    for (df, cf, n, m, seed) in workloads() {
+        let ins = random_instance(df, cf, n, m, seed);
+        let rep = schedule_jz(&ins).unwrap_or_else(|e| panic!("{df:?}/{cf:?}/m={m}: {e}"));
+        rep.schedule
+            .verify(&ins)
+            .unwrap_or_else(|e| panic!("{df:?}/{cf:?}/m={m}: {e}"));
+        // The approximation guarantee versus the LP bound (stronger than
+        // versus OPT).
+        assert!(
+            rep.ratio_vs_cstar() <= rep.guarantee + 1e-6,
+            "{df:?}/{cf:?}/m={m}: ratio {} > guarantee {}",
+            rep.ratio_vs_cstar(),
+            rep.guarantee
+        );
+        // Corollary 4.1: the guarantee itself is uniformly below the
+        // constant.
+        assert!(rep.guarantee <= mtsp_analysis::ratio::corollary_4_1_constant() + 1e-9);
+        // The simulator executes the schedule with concrete processors.
+        let sim = execute(&ins, &rep.schedule).unwrap();
+        assert!(sim.trace.is_consistent(m));
+        assert!((sim.makespan - rep.schedule.makespan()).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn slot_decomposition_partitions_the_makespan() {
+    for (df, cf, n, m, seed) in workloads().into_iter().step_by(3) {
+        let ins = random_instance(df, cf, n, m, seed);
+        let rep = schedule_jz(&ins).unwrap();
+        let prof = rep.schedule.slot_profile(rep.params.mu);
+        let total = prof.t1 + prof.t2 + prof.t3;
+        let cmax = rep.schedule.makespan();
+        assert!(
+            (total - cmax).abs() <= 1e-6 * (1.0 + cmax),
+            "{df:?}/{cf:?}/m={m}: |T1|+|T2|+|T3| = {total} != Cmax = {cmax}"
+        );
+    }
+}
+
+#[test]
+fn lemma_4_3_and_4_4_hold_across_the_matrix() {
+    for (df, cf, n, m, seed) in workloads().into_iter().step_by(2) {
+        let ins = random_instance(df, cf, n, m, seed);
+        let rep = schedule_jz(&ins).unwrap();
+        let prof = rep.schedule.slot_profile(rep.params.mu);
+        let (rho, muf, mf) = (rep.params.rho, rep.params.mu as f64, m as f64);
+        let lhs43 = (1.0 + rho) * prof.t1 / 2.0 + (muf / mf).min((1.0 + rho) / 2.0) * prof.t2;
+        assert!(
+            lhs43 <= rep.lp.cstar + 1e-6,
+            "{df:?}/{cf:?}/m={m}: Lemma 4.3: {lhs43} > C* {}",
+            rep.lp.cstar
+        );
+        let cmax = rep.schedule.makespan();
+        let rhs44 = 2.0 * mf * rep.lp.cstar / (2.0 - rho)
+            + (mf - muf) * prof.t1
+            + (mf - 2.0 * muf + 1.0) * prof.t2;
+        assert!(
+            (mf - muf + 1.0) * cmax <= rhs44 + 1e-6,
+            "{df:?}/{cf:?}/m={m}: Lemma 4.4 violated"
+        );
+    }
+}
+
+#[test]
+fn heavy_path_exists_and_covers_low_slots() {
+    for (df, cf, n, m, seed) in workloads().into_iter().step_by(4) {
+        let ins = random_instance(df, cf, n, m, seed);
+        let rep = schedule_jz(&ins).unwrap();
+        let path = heavy_path(ins.dag(), &rep.schedule, rep.params.mu);
+        assert!(is_directed_path(ins.dag(), &path), "{df:?}/{cf:?}/m={m}");
+        let cov = low_slot_coverage(&rep.schedule, rep.params.mu, &path);
+        assert!(
+            cov >= 1.0 - 1e-6,
+            "{df:?}/{cf:?}/m={m}: coverage {cov} < 1"
+        );
+    }
+}
+
+#[test]
+fn guarantee_equals_minmax_objective_at_chosen_params() {
+    for m in [2usize, 3, 4, 5, 6, 9, 16, 33] {
+        let ins = random_instance(DagFamily::Layered, CurveFamily::PowerLaw, 12, m, 77);
+        let rep = schedule_jz(&ins).unwrap();
+        let p = our_params(m);
+        assert_eq!(rep.params.mu, p.mu);
+        assert!((rep.params.rho - p.rho).abs() < 1e-12);
+        assert!(
+            (rep.guarantee - minmax::objective(m, p.mu, p.rho)).abs() < 1e-12,
+            "m={m}"
+        );
+    }
+}
+
+#[test]
+fn text_roundtrip_preserves_algorithm_behaviour() {
+    let ins = random_instance(DagFamily::Cholesky, CurveFamily::Amdahl, 30, 8, 5);
+    let text = mtsp_model::textio::write_instance(&ins);
+    let back = mtsp_model::textio::parse_instance(&text).unwrap();
+    let a = schedule_jz(&ins).unwrap();
+    let b = schedule_jz(&back).unwrap();
+    assert_eq!(a.alloc, b.alloc);
+    assert!((a.schedule.makespan() - b.schedule.makespan()).abs() < 1e-9);
+}
+
+#[test]
+fn online_replay_without_noise_matches_planned_schedule() {
+    let ins = random_instance(DagFamily::Wavefront, CurveFamily::Mixed, 36, 8, 21);
+    let rep = schedule_jz(&ins).unwrap();
+    let replay = execute_online(&ins, &rep.alloc, Priority::TaskId, NoiseModel::None, 0);
+    assert_eq!(replay, rep.schedule);
+}
+
+#[test]
+fn observed_ratios_stay_far_below_guarantee_in_practice() {
+    // Not a theorem — an empirical regression guard: on these moderate
+    // random workloads the measured ratio vs the LP bound stays below 2.2
+    // while the guarantee is ~2.7-3.2.
+    let mut worst: f64 = 0.0;
+    for (df, cf, n, m, seed) in workloads() {
+        let ins = random_instance(df, cf, n, m, seed);
+        let rep = schedule_jz(&ins).unwrap();
+        worst = worst.max(rep.ratio_vs_cstar());
+    }
+    assert!(
+        worst < 2.2,
+        "observed worst-case ratio {worst} regressed above the usual band"
+    );
+}

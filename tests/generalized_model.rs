@@ -1,0 +1,137 @@
+//! Section 5 of the paper: "we can generalize our model to the case where
+//! the work function is convex in the processing times and Assumption 1
+//! holds."
+//!
+//! Reproducing this led to a sharper statement, verified here and as a
+//! property test in `tests/theorems.rs`:
+//!
+//! > **Observation (converse of Theorems 2.1 + 2.2).** For discrete
+//! > profiles, A1 + work convex in time + `W(2) ≥ W(1)` already *imply*
+//! > Assumption 2. Proof sketch: with `r_l = p(l)/p(l+1) ≥ 1`, the segment
+//! > slope is `σ_l = l − 1/(r_l − 1)`, so convexity (`σ_{l+1} ≤ σ_l`)
+//! > gives `r_{l+1} ≤ 2 − 1/r_l`, which makes the speedup increments
+//! > `Δ_{l+1} = s(l+1)(r_{l+1} − 1) ≤ Δ_l` non-increasing; the boundary
+//! > triple `(0,1,2)` is exactly `W(2) ≥ W(1)`.
+//!
+//! Hence the generalized model differs from A1+A2 only on profiles with
+//! *super-linear initial speedup* (`p(2) < p(1)/2`, so the work dips below
+//! `W(1)`), which is what these tests exercise: the algorithm stays
+//! feasible there, while the worst-case guarantee — whose proof uses work
+//! monotonicity in the capping step of Lemma 4.4 — is checked empirically
+//! on fixed seeds.
+
+use mtsp::core::two_phase::{schedule_jz_with, JzConfig};
+use mtsp::prelude::*;
+use mtsp_model::assumptions;
+
+/// A1 + convex work + A2 violated exactly at the boundary triple
+/// (super-linear speedup from 1 to 2 processors: cache-effect style).
+fn superlinear_profile(m: usize) -> Profile {
+    // times 10, 4, 3.2, 2.8, ... (tail clamped at 2.8):
+    // works 10, 8, 9.6, 11.2: dips below W(1) then grows;
+    // slopes (8-10)/(4-10) = 1/3, then -2, then -4: non-increasing: convex.
+    let mut t = vec![10.0, 4.0, 3.2, 2.8];
+    t.resize(m.max(4), 2.8);
+    t.truncate(m.max(1));
+    Profile::from_times(t).unwrap()
+}
+
+#[test]
+fn superlinear_profile_has_claimed_shape() {
+    let p = superlinear_profile(4);
+    let r = assumptions::verify(&p);
+    assert!(r.assumption1, "A1 must hold");
+    assert!(!r.assumption2, "A2 must fail at the boundary triple");
+    assert!(r.work_convex_in_time, "work convexity must hold");
+    assert!(
+        !r.assumption2_prime,
+        "super-linear start means W(2) < W(1)"
+    );
+}
+
+#[test]
+fn converse_observation_on_crafted_profiles() {
+    // Any A1 + convex-work profile *with* W(2) >= W(1) must satisfy A2 —
+    // spot-check the observation on hand-made profiles (the random-profile
+    // version lives in tests/theorems.rs).
+    for times in [
+        vec![10.0, 6.0, 5.0, 4.6],
+        vec![8.0, 4.0, 3.0, 2.6, 2.4],
+        vec![5.0, 5.0, 5.0],
+        vec![9.0, 4.5, 3.0],
+    ] {
+        let p = Profile::from_times(times.clone()).unwrap();
+        let r = assumptions::verify(&p);
+        if r.assumption1 && r.work_convex_in_time && p.work(2) >= p.work(1) - 1e-12 {
+            assert!(
+                r.assumption2,
+                "converse observation violated by {times:?}: {r:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn generalized_instances_schedule_feasibly() {
+    for (n, m, seed) in [(12usize, 4usize, 1u64), (18, 6, 2), (24, 8, 3)] {
+        let base = mtsp_model::generate::random_instance(
+            mtsp_model::generate::DagFamily::Layered,
+            mtsp_model::generate::CurveFamily::PowerLaw,
+            n,
+            m,
+            seed,
+        );
+        let profiles: Vec<Profile> = (0..base.n())
+            .map(|j| {
+                if j % 3 == 0 {
+                    superlinear_profile(m)
+                } else {
+                    base.profile(j).clone()
+                }
+            })
+            .collect();
+        let ins = Instance::new(base.dag().clone(), profiles).unwrap();
+        assert!(!ins.is_admissible(), "A2 violated by construction");
+
+        let cfg = JzConfig {
+            skip_admissibility_check: true,
+            ..JzConfig::default()
+        };
+        let rep = schedule_jz_with(&ins, &cfg).unwrap();
+        rep.schedule.verify(&ins).unwrap();
+        // Lower bound semantics survive: the makespan dominates C*.
+        assert!(rep.schedule.makespan() >= rep.lp.cstar - 1e-6);
+        // Empirical (not a theorem here, see module docs): on these seeds
+        // the guarantee still holds comfortably.
+        assert!(
+            rep.ratio_vs_cstar() <= rep.guarantee + 1e-6,
+            "n={n} m={m} seed={seed}: observed {} vs guarantee {}",
+            rep.ratio_vs_cstar(),
+            rep.guarantee
+        );
+    }
+}
+
+#[test]
+fn a2_counterexample_schedules_but_may_lose_guarantee() {
+    // The Section 2 counterexample keeps A1 + A2' but its speedup is
+    // convex, so only feasibility is promised by the generalized model.
+    let m = 6;
+    let p = Profile::counterexample_a2(0.02, m).unwrap();
+    let dag = mtsp::dag::generate::layered_random(3, (2, 3), 0.5, 4);
+    let profiles = vec![p; dag.node_count()];
+    let ins = Instance::new(dag, profiles).unwrap();
+    let cfg = JzConfig {
+        skip_admissibility_check: true,
+        ..JzConfig::default()
+    };
+    let rep = schedule_jz_with(&ins, &cfg).unwrap();
+    rep.schedule.verify(&ins).unwrap();
+    assert!(rep.schedule.makespan() >= rep.lp.cstar - 1e-6);
+}
+
+#[test]
+fn default_config_rejects_generalized_instances() {
+    let ins = Instance::new(Dag::new(1), vec![superlinear_profile(4)]).unwrap();
+    assert!(schedule_jz(&ins).is_err(), "default config enforces A2");
+}

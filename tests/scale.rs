@@ -1,0 +1,59 @@
+//! Moderate-scale smoke tests: the pipeline must stay correct (not just
+//! fast) as instances grow; sizes here are chosen to run in seconds even
+//! in debug builds (the two-phase LP is ~50x slower unoptimized). The
+//! criterion benches own the timing story at release scale.
+
+use mtsp::prelude::*;
+use mtsp_model::generate::{random_instance, CurveFamily, DagFamily};
+
+#[test]
+fn seventy_task_pipeline_end_to_end() {
+    let ins = random_instance(DagFamily::Layered, CurveFamily::Mixed, 70, 16, 99);
+    let rep = schedule_jz(&ins).unwrap();
+    rep.schedule.verify(&ins).unwrap();
+    assert!(rep.ratio_vs_cstar() <= rep.guarantee + 1e-6);
+    let sim = execute(&ins, &rep.schedule).unwrap();
+    assert!(sim.trace.is_consistent(16));
+}
+
+#[test]
+fn wide_machine_m128() {
+    // Wide machines stress mu-hat selection and the crash-variable count
+    // (n * (m-1) columns).
+    let ins = random_instance(DagFamily::Cholesky, CurveFamily::PowerLaw, 20, 128, 5);
+    let p = our_params(128);
+    assert!(p.mu >= 40 && p.mu <= 45, "mu(128) = {}", p.mu); // ~0.3259 * 128
+    let rep = schedule_jz(&ins).unwrap();
+    rep.schedule.verify(&ins).unwrap();
+    assert!(rep.ratio_vs_cstar() <= rep.guarantee + 1e-6);
+}
+
+#[test]
+fn long_chain_250_tasks() {
+    // LIST and the LP must handle deep graphs without stack or numeric
+    // trouble; chain LPs are the sparsest case.
+    let dag = mtsp::dag::generate::chain(250);
+    let profiles = (0..250)
+        .map(|j| Profile::power_law(1.0 + (j % 9) as f64, 0.8, 4).unwrap())
+        .collect();
+    let ins = Instance::new(dag, profiles).unwrap();
+    let rep = schedule_jz(&ins).unwrap();
+    rep.schedule.verify(&ins).unwrap();
+    // Chain: starts must be strictly ordered.
+    for j in 1..250 {
+        assert!(rep.schedule.task(j).start >= rep.schedule.task(j - 1).finish() - 1e-6);
+    }
+}
+
+#[test]
+fn many_independent_tasks() {
+    let ins = random_instance(DagFamily::Independent, CurveFamily::Saturating, 200, 16, 2);
+    let rep = schedule_jz(&ins).unwrap();
+    rep.schedule.verify(&ins).unwrap();
+    // Utilization on independent work should be healthy.
+    assert!(
+        rep.schedule.utilization() > 0.4,
+        "utilization {}",
+        rep.schedule.utilization()
+    );
+}

@@ -1,0 +1,128 @@
+//! Special precedence classes the literature treats separately —
+//! independent tasks, chains, trees, series–parallel graphs — exercised
+//! end-to-end, with the structural facts that make them special verified
+//! on the way (exact width, known optima on crafted cases).
+
+use mtsp::core::baselines;
+use mtsp::dag::{antichain, generate};
+use mtsp::prelude::*;
+use mtsp_model::generate::{random_instance, CurveFamily, DagFamily};
+
+#[test]
+fn independent_tasks_are_width_n() {
+    let ins = random_instance(DagFamily::Independent, CurveFamily::Mixed, 20, 8, 1);
+    assert_eq!(antichain::width(ins.dag()), ins.n());
+    let rep = schedule_jz(&ins).unwrap();
+    rep.schedule.verify(&ins).unwrap();
+    assert!(rep.ratio_vs_cstar() <= rep.guarantee + 1e-6);
+}
+
+#[test]
+fn chains_have_width_one_and_tight_lp() {
+    let profiles: Vec<Profile> = (0..8)
+        .map(|j| Profile::power_law(4.0 + j as f64, 1.0, 8).unwrap())
+        .collect();
+    let ins = Instance::new(generate::chain(8), profiles).unwrap();
+    assert_eq!(antichain::width(ins.dag()), 1);
+    let rep = schedule_jz(&ins).unwrap();
+    // On a chain the schedule is a serial run of the allotted times, so
+    // the observed ratio is exactly the per-task time stretch of rounding
+    // plus mu-capping: max{2/(1+rho), m/mu} (the T2-case bound of
+    // Lemma 4.3). Here linear speedup makes capping the binding term:
+    // l* = m = 8 capped to mu(8) = 3 gives 8/3.
+    let stretch = (2.0 / (1.0 + rep.params.rho)).max(8.0 / rep.params.mu as f64);
+    assert!(
+        rep.ratio_vs_cstar() <= stretch + 1e-9,
+        "chain ratio {} exceeds stretch bound {}",
+        rep.ratio_vs_cstar(),
+        stretch
+    );
+    assert!(
+        (rep.ratio_vs_cstar() - 8.0 / 3.0).abs() < 1e-6,
+        "expected the capping loss exactly, got {}",
+        rep.ratio_vs_cstar()
+    );
+}
+
+#[test]
+fn random_trees_schedule_within_guarantee() {
+    for seed in 0..5 {
+        let ins = random_instance(DagFamily::RandomTree, CurveFamily::Mixed, 30, 8, seed);
+        // a tree on n nodes has n-1 arcs
+        assert_eq!(ins.dag().edge_count(), ins.n() - 1);
+        let rep = schedule_jz(&ins).unwrap();
+        rep.schedule.verify(&ins).unwrap();
+        assert!(
+            rep.ratio_vs_cstar() <= rep.guarantee + 1e-6,
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn series_parallel_two_terminal_structure() {
+    let ins = random_instance(DagFamily::SeriesParallel, CurveFamily::PowerLaw, 40, 8, 9);
+    assert_eq!(ins.dag().sources().len(), 1);
+    assert_eq!(ins.dag().sinks().len(), 1);
+    let rep = schedule_jz(&ins).unwrap();
+    rep.schedule.verify(&ins).unwrap();
+}
+
+#[test]
+fn single_wide_task_gets_the_whole_machine_capped() {
+    // One big linear-speedup task on m = 8 (mu(8) = 3): phase 1 crashes it
+    // fully, phase 2 caps at mu.
+    let ins = Instance::new(
+        Dag::new(1),
+        vec![Profile::power_law(24.0, 1.0, 8).unwrap()],
+    )
+    .unwrap();
+    let rep = schedule_jz(&ins).unwrap();
+    assert_eq!(rep.alloc[0], rep.params.mu.min(rep.alloc_prime[0]));
+    assert!(rep.ratio_vs_cstar() <= rep.guarantee + 1e-6);
+}
+
+#[test]
+fn known_optimum_on_crafted_fork_join() {
+    // Fork-join of 4 constant unit tasks between two negligible barriers
+    // on m = 4: optimum ~ the barrier chain + 1.
+    let dag = generate::fork_join(4, 1);
+    let eps = 1e-3;
+    let mut profiles = vec![Profile::constant(eps, 4).unwrap()];
+    profiles.extend(vec![Profile::constant(1.0, 4).unwrap(); 4]);
+    profiles.push(Profile::constant(eps, 4).unwrap());
+    let ins = Instance::new(dag, profiles).unwrap();
+    let rep = schedule_jz(&ins).unwrap();
+    // All four middle tasks fit simultaneously: makespan = 1 + 2 eps.
+    assert!(
+        (rep.schedule.makespan() - (1.0 + 2.0 * eps)).abs() < 1e-6,
+        "makespan {}",
+        rep.schedule.makespan()
+    );
+}
+
+#[test]
+fn baselines_ranked_sanely_on_wide_trees() {
+    // On a wide random tree with saturating speedups, gang scheduling
+    // (everything at m) wastes capacity on the many small leaves; ours and
+    // serial both beat it.
+    let ins = random_instance(DagFamily::RandomTree, CurveFamily::Saturating, 40, 16, 2);
+    let ours = schedule_jz(&ins).unwrap().schedule.makespan();
+    let gang = baselines::gang_baseline(&ins).makespan();
+    assert!(
+        ours < gang,
+        "ours {ours} should beat gang {gang} on wide trees"
+    );
+}
+
+#[test]
+fn exact_width_improves_on_layer_bound_sometimes() {
+    // Regression-style: the exact Dilworth width must dominate the cheap
+    // layering bound on every family.
+    for df in DagFamily::ALL {
+        let ins = random_instance(df, CurveFamily::PowerLaw, 25, 4, 3);
+        let exact = antichain::width(ins.dag());
+        let layer = mtsp::dag::stats::DagStats::of(ins.dag()).layer_width;
+        assert!(exact >= layer, "{df:?}: exact {exact} < layer {layer}");
+    }
+}

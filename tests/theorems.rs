@@ -1,0 +1,186 @@
+//! Property-based tests of the paper's structural theorems and lemmas,
+//! driven by randomly generated admissible profiles and instances.
+
+use mtsp_model::{assumptions, Profile, WorkFunction};
+use proptest::prelude::*;
+
+/// Strategy: an admissible profile via a random concave speedup — `s(1)=1`
+/// and non-increasing increments in `[0, 1]`, `p(l) = p1/s(l)`.
+fn admissible_profile() -> impl Strategy<Value = Profile> {
+    (1usize..=16, 0.5f64..50.0).prop_flat_map(|(m, p1)| {
+        proptest::collection::vec(0.0f64..=1.0, m.saturating_sub(1)).prop_map(move |mut deltas| {
+            deltas.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            let mut s = 1.0;
+            let mut times = vec![p1];
+            for d in deltas {
+                s += d;
+                times.push(p1 / s);
+            }
+            Profile::from_times(times).unwrap()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    /// Theorem 2.1: Assumptions 1+2 imply non-decreasing work.
+    #[test]
+    fn theorem_2_1_work_monotone(p in admissible_profile()) {
+        prop_assert!(assumptions::assumption1(&p));
+        prop_assert!(assumptions::assumption2(&p));
+        prop_assert!(
+            assumptions::assumption2_prime(&p),
+            "A2' must follow from A1+A2: {:?}",
+            p
+        );
+    }
+
+    /// Theorem 2.2: Assumptions 1+2 imply work convex in processing time.
+    #[test]
+    fn theorem_2_2_work_convex(p in admissible_profile()) {
+        prop_assert!(
+            assumptions::work_convex_in_time(&p),
+            "convexity must follow from A1+A2: {:?}",
+            p
+        );
+    }
+
+    /// Eq. 8: the max of the linear cuts reproduces the piecewise-linear
+    /// work function (convexity in action).
+    #[test]
+    fn eq_8_cuts_reproduce_work(p in admissible_profile(), t in 0.0f64..=1.0) {
+        let wf = WorkFunction::from_profile(&p).unwrap();
+        let x = wf.min_time() + t * (wf.max_time() - wf.min_time());
+        let direct = wf.eval(x);
+        let by_cuts = wf
+            .cuts()
+            .iter()
+            .map(|c| c.at(x))
+            .fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(
+            (direct - by_cuts).abs() <= 1e-7 * (1.0 + direct.abs()),
+            "eval {direct} vs cuts {by_cuts} at x = {x}"
+        );
+    }
+
+    /// Lemma 4.1: the fractional allotment l*(x) lies in [l, l+1] when
+    /// x in [p(l+1), p(l)].
+    #[test]
+    fn lemma_4_1_bracket(p in admissible_profile(), t in 0.0f64..=1.0) {
+        let wf = WorkFunction::from_profile(&p).unwrap();
+        let x = wf.min_time() + t * (wf.max_time() - wf.min_time());
+        let lstar = wf.fractional_allotment(x);
+        prop_assert!(lstar >= 1.0 - 1e-9 && lstar <= p.m() as f64 + 1e-9);
+        // Locate the surrounding breakpoints and check the bracket.
+        let bps: Vec<(f64, f64, usize)> = wf.breakpoints().collect();
+        for w in bps.windows(2) {
+            let (hi, _, l_hi) = w[0];
+            let (lo, _, l_lo) = w[1];
+            if x <= hi + 1e-12 && x >= lo - 1e-12 {
+                prop_assert!(
+                    lstar >= l_hi as f64 - 1e-7 && lstar <= l_lo as f64 + 1e-7,
+                    "x={x} in [p({l_lo}), p({l_hi})] but l* = {lstar}"
+                );
+            }
+        }
+    }
+
+    /// Lemma 4.2: rounding stretches time by at most 2/(1+rho) and work by
+    /// at most 2/(2-rho).
+    #[test]
+    fn lemma_4_2_stretches(
+        p in admissible_profile(),
+        t in 0.0f64..=1.0,
+        rho in 0.0f64..=1.0,
+    ) {
+        let wf = WorkFunction::from_profile(&p).unwrap();
+        let x = wf.min_time() + t * (wf.max_time() - wf.min_time());
+        let out = wf.round(x, rho);
+        prop_assert!(out.allotment >= 1 && out.allotment <= p.m());
+        prop_assert!(
+            out.time <= 2.0 * x / (1.0 + rho) + 1e-9,
+            "time stretch: p(l') = {} > 2x/(1+rho) = {}",
+            out.time,
+            2.0 * x / (1.0 + rho)
+        );
+        prop_assert!(
+            out.work <= 2.0 * wf.eval(x) / (2.0 - rho) + 1e-9,
+            "work stretch: W(l') = {} > 2w(x)/(2-rho) = {}",
+            out.work,
+            2.0 * wf.eval(x) / (2.0 - rho)
+        );
+    }
+
+    /// Converse of Theorems 2.1 + 2.2 (see tests/generalized_model.rs for
+    /// the derivation): A1 + convex work + W(2) >= W(1) imply Assumption 2
+    /// for discrete profiles. Checked over arbitrary non-increasing random
+    /// time vectors, not just concave-generated ones.
+    #[test]
+    fn converse_of_theorems_2_1_and_2_2(
+        raw in proptest::collection::vec(0.05f64..1.0, 1..12),
+        p1 in 0.5f64..20.0,
+    ) {
+        // Build an arbitrary A1 profile: times are p1 * cumulative product
+        // of random factors in (0, 1].
+        let mut times = vec![p1];
+        for f in &raw {
+            let last = *times.last().unwrap();
+            times.push(last * f.max(0.05));
+        }
+        let p = Profile::from_times(times).unwrap();
+        prop_assert!(assumptions::assumption1(&p));
+        let convex = assumptions::work_convex_in_time(&p);
+        let boundary_ok = p.m() < 2 || p.work(2) >= p.work(1) * (1.0 - 1e-12);
+        if convex && boundary_ok {
+            prop_assert!(
+                assumptions::assumption2(&p),
+                "converse violated by {:?}",
+                p
+            );
+        }
+    }
+
+    /// Rounding at rho used by the paper keeps allotments adjacent to the
+    /// fractional bracket: l' in {floor(l*), ceil(l*)} (up to breakpoint
+    /// deduplication).
+    #[test]
+    fn rounding_stays_adjacent(p in admissible_profile(), t in 0.0f64..=1.0) {
+        let wf = WorkFunction::from_profile(&p).unwrap();
+        let x = wf.min_time() + t * (wf.max_time() - wf.min_time());
+        let out = wf.round(x, 0.26);
+        let bps: Vec<(f64, f64, usize)> = wf.breakpoints().collect();
+        for w in bps.windows(2) {
+            let (hi, _, l_hi) = w[0];
+            let (lo, _, l_lo) = w[1];
+            if x <= hi + 1e-12 && x >= lo - 1e-12 {
+                prop_assert!(
+                    out.allotment == l_hi || out.allotment == l_lo,
+                    "x in segment ({l_hi}, {l_lo}) rounded to {}",
+                    out.allotment
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// End-to-end: on random instances the schedule is feasible and within
+    /// the guarantee of the LP bound (Lemma 4.5 / Theorem 4.1 pipeline).
+    #[test]
+    fn theorem_4_1_end_to_end(seed in 0u64..10_000, m in 2usize..=12, n in 2usize..=18) {
+        let ins = mtsp_model::generate::random_instance(
+            mtsp_model::generate::DagFamily::Layered,
+            mtsp_model::generate::CurveFamily::Mixed,
+            n,
+            m,
+            seed,
+        );
+        let rep = mtsp_core::two_phase::schedule_jz(&ins).unwrap();
+        rep.schedule.verify(&ins).unwrap();
+        prop_assert!(rep.ratio_vs_cstar() <= rep.guarantee + 1e-6);
+        prop_assert!(rep.guarantee <= mtsp_analysis::ratio::corollary_4_1_constant() + 1e-9);
+    }
+}
