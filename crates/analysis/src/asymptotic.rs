@@ -182,6 +182,7 @@ mod tests {
     fn m2_edge_case_has_c0_zero() {
         let c = equation21_coeffs(2);
         assert_eq!(c[0], 0.0); // (m-2) factor
+
         // And indeed rho = 0 is optimal for m = 2 (Table 4).
         let r = optimal_rho(2);
         let v = continuous_objective(2, r);

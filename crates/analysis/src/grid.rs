@@ -83,7 +83,11 @@ pub fn grid_search(m: usize, steps: usize, workers: usize) -> GridResult {
 }
 
 /// Runs [`grid_search`] for every `m` in the range (the full Table 4).
-pub fn table4(ms: impl IntoIterator<Item = usize>, steps: usize, workers: usize) -> Vec<GridResult> {
+pub fn table4(
+    ms: impl IntoIterator<Item = usize>,
+    steps: usize,
+    workers: usize,
+) -> Vec<GridResult> {
     ms.into_iter()
         .map(|m| grid_search(m, steps, workers))
         .collect()

@@ -41,7 +41,10 @@ pub fn our_params(m: usize) -> Params {
         2 => Params { rho: 0.0, mu: 1 },
         3 => Params { rho: 0.098, mu: 2 },
         4 => Params { rho: 0.0, mu: 2 },
-        5 => Params { rho: RHO_HAT, mu: 2 },
+        5 => Params {
+            rho: RHO_HAT,
+            mu: 2,
+        },
         _ => {
             let h = mu_hat(m);
             let lo = (h.floor() as usize).clamp(1, m);
@@ -82,7 +85,9 @@ pub fn lemma_4_7_bound(m: usize) -> f64 {
 pub fn lemma_4_9_bound(m: usize) -> f64 {
     let mf = m as f64;
     100.0 / 63.0
-        + 100.0 / 345_303.0 * (63.0 * mf - 87.0) * ((6469.0 * mf * mf - 6300.0 * mf).sqrt() + 13.0 * mf)
+        + 100.0 / 345_303.0
+            * (63.0 * mf - 87.0)
+            * ((6469.0 * mf * mf - 6300.0 * mf).sqrt() + 13.0 * mf)
             / (mf * mf - mf)
 }
 
@@ -268,11 +273,9 @@ mod tests {
         for &(m, rho) in &[(10usize, 0.26), (20, 0.31), (33, 0.2), (64, 0.26)] {
             let mf = m as f64;
             let h = |mu: f64| {
-                let a =
-                    (2.0 * mf / (2.0 - rho) + (mf - mu) * 2.0 / (1.0 + rho)) / (mf - mu + 1.0);
+                let a = (2.0 * mf / (2.0 - rho) + (mf - mu) * 2.0 / (1.0 + rho)) / (mf - mu + 1.0);
                 let q: f64 = (mu / mf).min((1.0 + rho) / 2.0);
-                let b =
-                    (2.0 * mf / (2.0 - rho) + (mf - 2.0 * mu + 1.0) / q) / (mf - mu + 1.0);
+                let b = (2.0 * mf / (2.0 - rho) + (mf - 2.0 * mu + 1.0) / q) / (mf - mu + 1.0);
                 a.max(b)
             };
             let (mut lo, mut hi) = (1.0f64, (m as f64 + 1.0) / 2.0);

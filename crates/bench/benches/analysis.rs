@@ -20,7 +20,9 @@ fn bench_tables(c: &mut Criterion) {
         b.iter(|| grid::grid_search(33, 10_000, 4))
     });
     g.finish();
-    c.bench_function("asymptotic_rho_root", |b| b.iter(asymptotic::asymptotic_rho));
+    c.bench_function("asymptotic_rho_root", |b| {
+        b.iter(asymptotic::asymptotic_rho)
+    });
     c.bench_function("equation21_optimal_rho_m33", |b| {
         b.iter(|| asymptotic::optimal_rho(33))
     });

@@ -18,7 +18,9 @@ fn bench_dag(c: &mut Criterion) {
     g.finish();
 
     let big = generate::layered_random(60, (10, 30), 0.25, 3);
-    let w: Vec<f64> = (0..big.node_count()).map(|v| 1.0 + (v % 7) as f64).collect();
+    let w: Vec<f64> = (0..big.node_count())
+        .map(|v| 1.0 + (v % 7) as f64)
+        .collect();
     c.bench_function("topological_order_n1k", |b| {
         b.iter(|| topo::topological_order(&big).unwrap())
     });

@@ -1,0 +1,125 @@
+//! Batch engine throughput: sequential solving vs the deterministic
+//! worker pool, cold vs warm solve cache, and the canonical hashing cost.
+//!
+//! The acceptance target of the engine subsystem is visible here: with a
+//! warm cache the batch path must beat sequential re-solving by well over
+//! 2x (every job degenerates to a canonical hash plus a shard lookup).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mtsp_engine::{instance_key, Engine, EngineConfig};
+use mtsp_model::generate::{random_instance, CurveFamily, DagFamily};
+use mtsp_model::Instance;
+
+/// A mixed batch: `k` jobs cycling over `distinct` distinct instances.
+fn batch(k: usize, distinct: usize, n: usize, m: usize) -> Vec<Instance> {
+    (0..k)
+        .map(|i| {
+            random_instance(
+                DagFamily::Layered,
+                CurveFamily::Mixed,
+                n,
+                m,
+                (i % distinct) as u64,
+            )
+        })
+        .collect()
+}
+
+fn bench_batch_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_batch");
+    g.sample_size(10);
+    let jobs = batch(32, 8, 16, 8);
+
+    let sequential = Engine::new(EngineConfig {
+        workers: 1,
+        cache: false,
+        ..EngineConfig::default()
+    });
+    g.bench_with_input(
+        BenchmarkId::new("sequential_no_cache", jobs.len()),
+        &jobs,
+        |b, jobs| b.iter(|| sequential.solve_batch(jobs)),
+    );
+
+    let pooled = Engine::new(EngineConfig {
+        workers: 8,
+        cache: false,
+        ..EngineConfig::default()
+    });
+    g.bench_with_input(
+        BenchmarkId::new("pool8_no_cache", jobs.len()),
+        &jobs,
+        |b, jobs| b.iter(|| pooled.solve_batch(jobs)),
+    );
+
+    let warm = Engine::new(EngineConfig {
+        workers: 8,
+        cache: true,
+        ..EngineConfig::default()
+    });
+    warm.solve_batch(&jobs); // prime the cache
+    g.bench_with_input(
+        BenchmarkId::new("pool8_warm_cache", jobs.len()),
+        &jobs,
+        |b, jobs| b.iter(|| warm.solve_batch(jobs)),
+    );
+    g.finish();
+}
+
+fn bench_canon(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_canon");
+    g.sample_size(50);
+    for (n, m) in [(20usize, 8usize), (100, 16), (400, 32)] {
+        let ins = random_instance(DagFamily::Layered, CurveFamily::Mixed, n, m, 7);
+        g.bench_with_input(
+            BenchmarkId::new("instance_key", format!("n{}_m{m}", ins.n())),
+            &ins,
+            |b, ins| b.iter(|| instance_key(ins)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_warm_speedup_report(c: &mut Criterion) {
+    // Not a micro-bench: one explicit comparative measurement, printed so
+    // `cargo bench` output directly reports the warm-cache speedup.
+    let jobs = batch(100, 10, 16, 8);
+    let sequential = Engine::new(EngineConfig {
+        workers: 1,
+        cache: false,
+        ..EngineConfig::default()
+    });
+    let warm = Engine::new(EngineConfig {
+        workers: 8,
+        cache: true,
+        ..EngineConfig::default()
+    });
+    warm.solve_batch(&jobs);
+    let seq = sequential.solve_batch(&jobs);
+    let hot = warm.solve_batch(&jobs);
+    assert_eq!(
+        seq.render_results(),
+        hot.render_results(),
+        "batch output must not depend on pool/cache mode"
+    );
+    println!(
+        "engine_warm_speedup: sequential {:.1} jobs/s vs warm pool {:.1} jobs/s => {:.1}x",
+        seq.metrics.throughput,
+        hot.metrics.throughput,
+        hot.metrics.throughput / seq.metrics.throughput.max(1e-12)
+    );
+    let mut g = c.benchmark_group("engine_warm");
+    g.sample_size(10);
+    g.bench_function("solve_batch_100_warm", |b| {
+        b.iter(|| warm.solve_batch(&jobs))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_batch_modes,
+    bench_canon,
+    bench_warm_speedup_report
+);
+criterion_main!(benches);

@@ -8,7 +8,11 @@ use mtsp_model::generate::{random_instance, CurveFamily, DagFamily};
 fn bench_pipeline(c: &mut Criterion) {
     let mut g = c.benchmark_group("two_phase");
     g.sample_size(10);
-    for df in [DagFamily::Layered, DagFamily::Cholesky, DagFamily::Wavefront] {
+    for df in [
+        DagFamily::Layered,
+        DagFamily::Cholesky,
+        DagFamily::Wavefront,
+    ] {
         for &(n, m) in &[(30usize, 8usize), (60, 16)] {
             let ins = random_instance(df, CurveFamily::Mixed, n, m, 7);
             g.bench_with_input(

@@ -20,11 +20,23 @@ fn main() {
         ("series-parallel", DagFamily::SeriesParallel),
     ];
 
-    println!("== rho ablation (mu = paper's {} fixed, m = {m}) ==", paper.mu);
-    let mut t = Table::new(vec!["rho", "bound r", "layered", "cholesky", "series-parallel"]);
+    println!(
+        "== rho ablation (mu = paper's {} fixed, m = {m}) ==",
+        paper.mu
+    );
+    let mut t = Table::new(vec![
+        "rho",
+        "bound r",
+        "layered",
+        "cholesky",
+        "series-parallel",
+    ]);
     for i in 0..=10 {
         let rho = i as f64 / 10.0;
-        let mut cells = vec![format!("{rho:.1}"), format!("{:.4}", minmax::objective(m, paper.mu, rho))];
+        let mut cells = vec![
+            format!("{rho:.1}"),
+            format!("{:.4}", minmax::objective(m, paper.mu, rho)),
+        ];
         for (_, df) in &workloads {
             let ins = random_instance(*df, CurveFamily::Mixed, 50, m, 99);
             let cfg = JzConfig {
@@ -39,10 +51,22 @@ fn main() {
     print!("{}", t.render());
 
     println!();
-    println!("== mu ablation (rho = paper's {} fixed, m = {m}) ==", paper.rho);
-    let mut t = Table::new(vec!["mu", "bound r", "layered", "cholesky", "series-parallel"]);
+    println!(
+        "== mu ablation (rho = paper's {} fixed, m = {m}) ==",
+        paper.rho
+    );
+    let mut t = Table::new(vec![
+        "mu",
+        "bound r",
+        "layered",
+        "cholesky",
+        "series-parallel",
+    ]);
     for mu in 1..=m.div_ceil(2) {
-        let mut cells = vec![mu.to_string(), format!("{:.4}", minmax::objective(m, mu, paper.rho))];
+        let mut cells = vec![
+            mu.to_string(),
+            format!("{:.4}", minmax::objective(m, mu, paper.rho)),
+        ];
         for (_, df) in &workloads {
             let ins = random_instance(*df, CurveFamily::Mixed, 50, m, 99);
             let cfg = JzConfig {
@@ -56,8 +80,12 @@ fn main() {
     }
     print!("{}", t.render());
     println!();
-    println!("paper's choice: rho = {}, mu = {} -> bound {:.4}", paper.rho, paper.mu,
-        minmax::objective(m, paper.mu, paper.rho));
+    println!(
+        "paper's choice: rho = {}, mu = {} -> bound {:.4}",
+        paper.rho,
+        paper.mu,
+        minmax::objective(m, paper.mu, paper.rho)
+    );
     println!("note: the bound is a worst case; measured ratios respond much more");
     println!("mildly to the parameters, which is consistent with the paper's");
     println!("strategy of optimizing the analytical bound rather than tuning per");

@@ -19,7 +19,10 @@ fn main() {
     let rho = asymptotic_rho();
     println!("rho*      = {rho:.6} (paper: 0.261917)");
     println!("mu*/m ->  = {:.6} (paper: 0.325907)", mu_fraction(rho));
-    println!("r     ->  = {:.6} (paper: 3.291913)", asymptotic_objective(rho));
+    println!(
+        "r     ->  = {:.6} (paper: 3.291913)",
+        asymptotic_objective(rho)
+    );
     println!(
         "fixed rho-hat = 0.26 gives r -> {:.6} = Corollary 4.1 constant {:.6}",
         asymptotic_objective(0.26),

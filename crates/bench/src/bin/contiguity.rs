@@ -20,7 +20,11 @@ fn main() {
         "fragmented",
         "contig price",
     ]);
-    for df in [DagFamily::Layered, DagFamily::Cholesky, DagFamily::Wavefront] {
+    for df in [
+        DagFamily::Layered,
+        DagFamily::Cholesky,
+        DagFamily::Wavefront,
+    ] {
         for &m in &EMPIRICAL_MS {
             let mut ok = 0usize;
             let mut frag = 0usize;

@@ -39,9 +39,7 @@ fn main() {
             .makespan()
             / rep.lp.cstar;
         let serial = baselines::serial_baseline(&ins).makespan() / rep.lp.cstar;
-        let e = agg
-            .entry((format!("{:?}", w.dag), w.m))
-            .or_default();
+        let e = agg.entry((format!("{:?}", w.dag), w.m)).or_default();
         e.sum_ratio += ratio;
         e.max_ratio = e.max_ratio.max(ratio);
         e.sum_ltw += ltw;

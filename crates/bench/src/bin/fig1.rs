@@ -9,8 +9,10 @@ use mtsp_model::{assumptions, Profile, WorkFunction};
 
 fn emit(name: &str, p: &Profile) {
     let rep = assumptions::verify(p);
-    println!("# {name}: A1 = {}, A2 = {}, A2' = {}, work convex = {}",
-        rep.assumption1, rep.assumption2, rep.assumption2_prime, rep.work_convex_in_time);
+    println!(
+        "# {name}: A1 = {}, A2 = {}, A2' = {}, work convex = {}",
+        rep.assumption1, rep.assumption2, rep.assumption2_prime, rep.work_convex_in_time
+    );
     println!("# series 1 (left diagram): l, speedup s(l)");
     println!("l,speedup");
     for l in 1..=p.m() {

@@ -17,7 +17,10 @@ fn main() {
     let rep = schedule_jz(&ins).expect("schedules");
     rep.schedule.verify(&ins).expect("feasible");
 
-    println!("== final schedule (m = 5, mu = {}, rho = {}) ==", rep.params.mu, rep.params.rho);
+    println!(
+        "== final schedule (m = 5, mu = {}, rho = {}) ==",
+        rep.params.mu, rep.params.rho
+    );
     print!("{}", rep.schedule.render());
 
     let prof = rep.schedule.slot_profile(rep.params.mu);
@@ -25,7 +28,10 @@ fn main() {
     for (s, e, busy, class) in &prof.intervals {
         println!("  [{s:>8.3}, {e:>8.3})  busy {busy}  {class:?}");
     }
-    println!("  |T1| = {:.3}, |T2| = {:.3}, |T3| = {:.3}", prof.t1, prof.t2, prof.t3);
+    println!(
+        "  |T1| = {:.3}, |T2| = {:.3}, |T3| = {:.3}",
+        prof.t1, prof.t2, prof.t3
+    );
 
     let path = heavy_path(ins.dag(), &rep.schedule, rep.params.mu);
     assert!(is_directed_path(ins.dag(), &path));

@@ -12,7 +12,8 @@ fn main() {
     let m = 20usize;
     let rho = 0.26;
     let mf = m as f64;
-    let a = move |mu: f64| (2.0 * mf / (2.0 - rho) + (mf - mu) * 2.0 / (1.0 + rho)) / (mf - mu + 1.0);
+    let a =
+        move |mu: f64| (2.0 * mf / (2.0 - rho) + (mf - mu) * 2.0 / (1.0 + rho)) / (mf - mu + 1.0);
     let b = move |mu: f64| {
         let q: f64 = (mu / mf).min((1.0 + rho) / 2.0);
         (2.0 * mf / (2.0 - rho) + (mf - 2.0 * mu + 1.0) / q) / (mf - mu + 1.0)
@@ -26,10 +27,16 @@ fn main() {
         let mu = lo + (hi - lo) * i as f64 / 80.0;
         println!("{mu:.4},{:.6},{:.6},{:.6}", a(mu), b(mu), a(mu).max(b(mu)));
     }
-    assert!(omega1_holds(a, b, lo, hi, 64), "Omega1 must hold on this range");
+    assert!(
+        omega1_holds(a, b, lo, hi, 64),
+        "Omega1 must hold on this range"
+    );
     let x0 = crossing(a, b, lo, hi, 1e-10).expect("branches cross");
     let (xmin, vmin) = minimize_max(a, b, lo, hi, 4000);
-    println!("# crossing x0 = {x0:.6} (Lemma 4.8 mu* = {:.6})", mu_star(m, rho));
+    println!(
+        "# crossing x0 = {x0:.6} (Lemma 4.8 mu* = {:.6})",
+        mu_star(m, rho)
+    );
     println!("# argmin of max(A,B) = {xmin:.6}, value {vmin:.6}");
 
     println!();
@@ -42,7 +49,10 @@ fn main() {
         let mu = lo + (hi - lo) * i as f64 / 80.0;
         println!("{mu:.4},{:.6},{:.6},{:.6}", f(mu), b(mu), f(mu).max(b(mu)));
     }
-    assert!(omega2_holds(f, b, lo, hi, 64), "Omega2 must hold on this range");
+    assert!(
+        omega2_holds(f, b, lo, hi, 64),
+        "Omega2 must hold on this range"
+    );
     let x0 = crossing(f, b, lo, hi, 1e-10).expect("crossing exists");
     let (xmin, _) = minimize_max(f, b, lo, hi, 4000);
     println!("# crossing x0 = {x0:.6}, argmin of max = {xmin:.6}");

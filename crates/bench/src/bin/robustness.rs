@@ -22,7 +22,11 @@ fn main() {
         "eps=10% worst",
         "slow 10% mean",
     ]);
-    for df in [DagFamily::Layered, DagFamily::Cholesky, DagFamily::Wavefront] {
+    for df in [
+        DagFamily::Layered,
+        DagFamily::Cholesky,
+        DagFamily::Wavefront,
+    ] {
         for m in [8usize, 16] {
             let ins = random_instance(df, CurveFamily::Mixed, 40, m, 7);
             let rep = schedule_jz(&ins).expect("schedules");

@@ -76,7 +76,9 @@ pub fn solve_allotment(ins: &Instance, opts: &SolverOptions) -> Result<Allotment
     let mut lp = Lp::minimize();
     let c = lp.add_var(0.0, f64::INFINITY, 1.0);
     let l = lp.add_var(0.0, f64::INFINITY, 0.0);
-    let completion: Vec<_> = (0..n).map(|_| lp.add_var(0.0, f64::INFINITY, 0.0)).collect();
+    let completion: Vec<_> = (0..n)
+        .map(|_| lp.add_var(0.0, f64::INFINITY, 0.0))
+        .collect();
 
     // Crash variables and per-task bookkeeping.
     let mut crash: Vec<Vec<(mtsp_lp::VarId, f64)>> = Vec::with_capacity(n); // (var, slope)
@@ -170,12 +172,16 @@ pub fn solve_allotment_direct(
     let mut lp = Lp::minimize();
     let c = lp.add_var(0.0, f64::INFINITY, 1.0);
     let l = lp.add_var(0.0, f64::INFINITY, 0.0);
-    let completion: Vec<_> = (0..n).map(|_| lp.add_var(0.0, f64::INFINITY, 0.0)).collect();
+    let completion: Vec<_> = (0..n)
+        .map(|_| lp.add_var(0.0, f64::INFINITY, 0.0))
+        .collect();
     let x: Vec<_> = wfs
         .iter()
         .map(|wf| lp.add_var(wf.min_time(), wf.max_time(), 0.0))
         .collect();
-    let wbar: Vec<_> = (0..n).map(|_| lp.add_var(0.0, f64::INFINITY, 0.0)).collect();
+    let wbar: Vec<_> = (0..n)
+        .map(|_| lp.add_var(0.0, f64::INFINITY, 0.0))
+        .collect();
 
     for j in 0..n {
         for &i in ins.dag().preds(j) {
@@ -312,21 +318,23 @@ pub fn solve_allotment_bisection(
     let mut hi = ins.serial_upper_bound().max(lo);
     // Evaluate at the bracket ends once for the final selection.
     #[allow(clippy::type_complexity)]
-    let eval = |b: f64,
-                iters: &mut usize|
-     -> Result<Option<(f64, Vec<f64>, Vec<f64>)>, CoreError> {
-        *iters += 1;
-        min_work_for_deadline(ins, &wfs, b, opts)
-    };
+    let eval =
+        |b: f64, iters: &mut usize| -> Result<Option<(f64, Vec<f64>, Vec<f64>)>, CoreError> {
+            *iters += 1;
+            min_work_for_deadline(ins, &wfs, b, opts)
+        };
     let mut best: Option<(f64, f64, Vec<f64>, Vec<f64>)> = None; // (obj, B, x, C)
     #[allow(clippy::type_complexity)]
-    let record =
-        |b: f64, w: f64, x: Vec<f64>, c: Vec<f64>, best: &mut Option<(f64, f64, Vec<f64>, Vec<f64>)>| {
-            let obj = b.max(w / m);
-            if best.as_ref().is_none_or(|(o, _, _, _)| obj < *o) {
-                *best = Some((obj, b, x, c));
-            }
-        };
+    let record = |b: f64,
+                  w: f64,
+                  x: Vec<f64>,
+                  c: Vec<f64>,
+                  best: &mut Option<(f64, f64, Vec<f64>, Vec<f64>)>| {
+        let obj = b.max(w / m);
+        if best.as_ref().is_none_or(|(o, _, _, _)| obj < *o) {
+            *best = Some((obj, b, x, c));
+        }
+    };
     if let Some((w, x, c)) = eval(hi, &mut iterations)? {
         record(hi, w, x, c, &mut best);
     }
@@ -450,11 +458,8 @@ mod tests {
 
     #[test]
     fn single_task_lp() {
-        let ins = Instance::new(
-            Dag::new(1),
-            vec![Profile::power_law(8.0, 1.0, 4).unwrap()],
-        )
-        .unwrap();
+        let ins =
+            Instance::new(Dag::new(1), vec![Profile::power_law(8.0, 1.0, 4).unwrap()]).unwrap();
         let r = solve_allotment(&ins, &opts()).unwrap();
         // One task on m=4 with linear speedup and work 8 independent of l:
         // C* = max(x, 8/4) minimized at x = 2 = p(4).
@@ -498,8 +503,9 @@ mod tests {
     fn independent_tasks_balance_area() {
         // Many independent linear-speedup tasks: the LP pushes toward the
         // area bound W(1)/m.
-        let profiles: Vec<Profile> =
-            (0..6).map(|_| Profile::power_law(4.0, 1.0, 4).unwrap()).collect();
+        let profiles: Vec<Profile> = (0..6)
+            .map(|_| Profile::power_law(4.0, 1.0, 4).unwrap())
+            .collect();
         let ins = Instance::new(generate::independent(6), profiles).unwrap();
         let r = solve_allotment(&ins, &opts()).unwrap();
         // Work is 4 per task regardless of allotment: W/m = 24/4 = 6; the
@@ -570,11 +576,8 @@ mod tests {
 
     #[test]
     fn bisection_on_single_task() {
-        let ins = Instance::new(
-            Dag::new(1),
-            vec![Profile::power_law(8.0, 1.0, 4).unwrap()],
-        )
-        .unwrap();
+        let ins =
+            Instance::new(Dag::new(1), vec![Profile::power_law(8.0, 1.0, 4).unwrap()]).unwrap();
         let r = solve_allotment_bisection(&ins, &opts(), 1e-9).unwrap();
         assert!((r.cstar - 2.0).abs() < 1e-5, "cstar = {}", r.cstar);
     }

@@ -68,7 +68,11 @@ mod tests {
         assert!(CoreError::BadLpStatus(mtsp_lp::Status::Infeasible)
             .to_string()
             .contains("Infeasible"));
-        assert!(CoreError::InvalidSchedule("x".into()).to_string().contains('x'));
-        assert!(CoreError::InvalidParameter("rho").to_string().contains("rho"));
+        assert!(CoreError::InvalidSchedule("x".into())
+            .to_string()
+            .contains('x'));
+        assert!(CoreError::InvalidParameter("rho")
+            .to_string()
+            .contains("rho"));
     }
 }

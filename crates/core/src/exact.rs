@@ -24,11 +24,7 @@ pub fn optimal_makespan(ins: &Instance, node_limit: u64) -> Option<f64> {
         ins,
         m: ins.m(),
         n,
-        pmin: ins
-            .profiles()
-            .iter()
-            .map(|p| p.time(ins.m()))
-            .collect(),
+        pmin: ins.profiles().iter().map(|p| p.time(ins.m())).collect(),
         best: ins.serial_upper_bound(),
         nodes: 0,
         limit: node_limit,
@@ -204,22 +200,15 @@ mod tests {
 
     #[test]
     fn single_task_uses_full_machine_when_helpful() {
-        let ins = Instance::new(
-            Dag::new(1),
-            vec![Profile::power_law(8.0, 1.0, 4).unwrap()],
-        )
-        .unwrap();
+        let ins =
+            Instance::new(Dag::new(1), vec![Profile::power_law(8.0, 1.0, 4).unwrap()]).unwrap();
         let opt = optimal_makespan(&ins, LIMIT).unwrap();
         assert!((opt - 2.0).abs() < 1e-9);
     }
 
     #[test]
     fn two_constant_tasks_run_in_parallel() {
-        let ins = Instance::new(
-            Dag::new(2),
-            vec![Profile::constant(3.0, 2).unwrap(); 2],
-        )
-        .unwrap();
+        let ins = Instance::new(Dag::new(2), vec![Profile::constant(3.0, 2).unwrap(); 2]).unwrap();
         let opt = optimal_makespan(&ins, LIMIT).unwrap();
         assert!((opt - 3.0).abs() < 1e-9);
     }
@@ -228,11 +217,7 @@ mod tests {
     fn chain_of_linear_tasks() {
         // Chain: every task should grab the whole machine.
         let dag = generate::chain(3);
-        let ins = Instance::new(
-            dag,
-            vec![Profile::power_law(4.0, 1.0, 2).unwrap(); 3],
-        )
-        .unwrap();
+        let ins = Instance::new(dag, vec![Profile::power_law(4.0, 1.0, 2).unwrap(); 3]).unwrap();
         let opt = optimal_makespan(&ins, LIMIT).unwrap();
         assert!((opt - 6.0).abs() < 1e-9);
     }

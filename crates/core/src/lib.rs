@@ -51,11 +51,15 @@ pub mod independent;
 pub mod list;
 pub mod schedule;
 pub mod two_phase;
+pub mod util;
 
-pub use allotment::{solve_allotment, solve_allotment_bisection, solve_allotment_direct, AllotmentResult};
+pub use allotment::{
+    solve_allotment, solve_allotment_bisection, solve_allotment_direct, AllotmentResult,
+};
 pub use error::CoreError;
 pub use improve::{improve_allotment, ImproveOptions, Improved};
 pub use independent::{schedule_independent, IndependentResult};
 pub use list::{list_schedule, Priority};
 pub use schedule::{Schedule, ScheduledTask, SlotClass, SlotProfile};
 pub use two_phase::{schedule_jz, schedule_jz_with, JzConfig, JzReport, Phase1};
+pub use util::Ord64;

@@ -9,6 +9,7 @@
 //! argument of Lemma 4.3 relies on.
 
 use crate::schedule::{Schedule, ScheduledTask};
+use crate::util::Ord64;
 use mtsp_dag::paths;
 use mtsp_model::Instance;
 use std::cmp::Reverse;
@@ -27,22 +28,6 @@ pub enum Priority {
     BottomLevel,
     /// Largest allotment first — packs wide tasks early.
     WidestFirst,
-}
-
-/// Totally ordered f64 for use inside heaps (all values are finite here).
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct Ord64(f64);
-
-impl Eq for Ord64 {}
-impl PartialOrd for Ord64 {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Ord64 {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).expect("finite times")
-    }
 }
 
 /// Runs LIST on `ins` with per-task allotments `alloc` (already capped by
@@ -276,7 +261,11 @@ mod tests {
         let serial: Vec<f64> = (0..n).map(|j| 1.0 + (j % 5) as f64).collect();
         let ins = instance(dag, 4, &serial);
         let alloc: Vec<usize> = (0..n).map(|j| 1 + j % 2).collect();
-        for prio in [Priority::TaskId, Priority::BottomLevel, Priority::WidestFirst] {
+        for prio in [
+            Priority::TaskId,
+            Priority::BottomLevel,
+            Priority::WidestFirst,
+        ] {
             let s = list_schedule(&ins, &alloc, prio);
             s.verify(&ins).unwrap();
             assert!(s.makespan() > 0.0);
@@ -291,7 +280,9 @@ mod tests {
         // task is waiting (greediness), via makespan <= serial sum.
         for seed in 0..5 {
             let dag = generate::random_order_dag(20, 0.15, seed);
-            let serial: Vec<f64> = (0..20).map(|j| 1.0 + (j * seed as usize % 7) as f64).collect();
+            let serial: Vec<f64> = (0..20)
+                .map(|j| 1.0 + (j * seed as usize % 7) as f64)
+                .collect();
             let ins = instance(dag, 4, &serial);
             let alloc = vec![1usize; 20];
             let s = list_schedule(&ins, &alloc, Priority::TaskId);
@@ -341,7 +332,11 @@ mod tests {
                 seed,
             );
             let alloc: Vec<usize> = (0..ins.n()).map(|j| 1 + (j + seed as usize) % 3).collect();
-            for prio in [Priority::TaskId, Priority::BottomLevel, Priority::WidestFirst] {
+            for prio in [
+                Priority::TaskId,
+                Priority::BottomLevel,
+                Priority::WidestFirst,
+            ] {
                 let s = list_schedule(&ins, &alloc, prio);
                 assert_eq!(
                     find_greedy_violation(&ins, &alloc, &s),

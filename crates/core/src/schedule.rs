@@ -97,15 +97,15 @@ impl Schedule {
 
     /// Makespan `Cmax = max_j C_j` (0 for the empty schedule).
     pub fn makespan(&self) -> f64 {
-        self.tasks.iter().map(ScheduledTask::finish).fold(0.0, f64::max)
+        self.tasks
+            .iter()
+            .map(ScheduledTask::finish)
+            .fold(0.0, f64::max)
     }
 
     /// Total work `Σ_j l_j · p_j(l_j)`.
     pub fn total_work(&self) -> f64 {
-        self.tasks
-            .iter()
-            .map(|t| t.alloc as f64 * t.duration)
-            .sum()
+        self.tasks.iter().map(|t| t.alloc as f64 * t.duration).sum()
     }
 
     /// Average utilization `W/(m · Cmax)` (0 for empty schedules).
@@ -143,7 +143,10 @@ impl Schedule {
         }
         for (j, t) in self.tasks.iter().enumerate() {
             if t.alloc < 1 || t.alloc > self.m {
-                return err(format!("task {j}: allotment {} out of 1..={}", t.alloc, self.m));
+                return err(format!(
+                    "task {j}: allotment {} out of 1..={}",
+                    t.alloc, self.m
+                ));
             }
             if t.start < -EPS || !t.start.is_finite() {
                 return err(format!("task {j}: bad start {}", t.start));
@@ -168,7 +171,10 @@ impl Schedule {
         // Capacity sweep.
         for (s, e, busy, _) in self.slot_profile(1).intervals {
             if busy > self.m {
-                return err(format!("capacity exceeded: {busy} > {} in [{s}, {e})", self.m));
+                return err(format!(
+                    "capacity exceeded: {busy} > {} in [{s}, {e})",
+                    self.m
+                ));
             }
         }
         Ok(())
@@ -207,7 +213,13 @@ impl Schedule {
             }
             if t > now + EPS * (1.0 + now.abs()) && now < makespan {
                 let b = busy.max(0) as usize;
-                push_interval(&mut intervals, now, t.min(makespan), b, classify(b, self.m, mu));
+                push_interval(
+                    &mut intervals,
+                    now,
+                    t.min(makespan),
+                    b,
+                    classify(b, self.m, mu),
+                );
             }
             busy += delta;
             now = now.max(t);

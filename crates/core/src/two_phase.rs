@@ -285,11 +285,8 @@ mod tests {
 
     #[test]
     fn single_task_schedules_at_zero() {
-        let ins = Instance::new(
-            Dag::new(1),
-            vec![Profile::power_law(4.0, 0.5, 4).unwrap()],
-        )
-        .unwrap();
+        let ins =
+            Instance::new(Dag::new(1), vec![Profile::power_law(4.0, 0.5, 4).unwrap()]).unwrap();
         let rep = schedule_jz(&ins).unwrap();
         assert_eq!(rep.schedule.task(0).start, 0.0);
         rep.schedule.verify(&ins).unwrap();
@@ -297,11 +294,7 @@ mod tests {
 
     #[test]
     fn report_ratios_degenerate_gracefully() {
-        let ins = Instance::new(
-            Dag::new(1),
-            vec![Profile::constant(1.0, 2).unwrap()],
-        )
-        .unwrap();
+        let ins = Instance::new(Dag::new(1), vec![Profile::constant(1.0, 2).unwrap()]).unwrap();
         let rep = schedule_jz(&ins).unwrap();
         assert!(rep.observed_ratio() >= 1.0 - 1e-9);
         assert!(rep.ratio_vs_cstar() >= 1.0 - 1e-9);

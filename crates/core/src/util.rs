@@ -1,0 +1,60 @@
+//! Small utilities shared across the workspace's scheduling loops.
+
+use std::cmp::Ordering;
+
+/// Totally ordered finite `f64` for use as a heap/sort key.
+///
+/// Event-driven schedulers throughout the workspace key binary heaps by
+/// times and priorities, all of which are finite by construction; this
+/// wrapper provides the `Ord` those containers need and panics loudly if a
+/// non-finite value ever sneaks in (comparing NaN).
+///
+/// One shared definition (re-exported as [`crate::Ord64`]) replaces the
+/// per-module copies that `mtsp-core` and `mtsp-sim` used to carry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ord64(pub f64);
+
+impl Eq for Ord64 {}
+
+impl PartialOrd for Ord64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ord64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.partial_cmp(&other.0).expect("finite times")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    #[test]
+    fn orders_like_f64() {
+        assert!(Ord64(1.0) < Ord64(2.0));
+        assert!(Ord64(-0.5) < Ord64(0.0));
+        assert_eq!(Ord64(3.25), Ord64(3.25));
+        assert_eq!(Ord64(1.0).max(Ord64(2.0)), Ord64(2.0));
+    }
+
+    #[test]
+    fn works_as_min_heap_key() {
+        let mut h = BinaryHeap::new();
+        for t in [3.0, 1.0, 2.0] {
+            h.push(Reverse((Ord64(t), t as usize)));
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| h.pop().map(|Reverse((_, i))| i)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite times")]
+    fn nan_comparison_panics() {
+        let _ = Ord64(f64::NAN) < Ord64(0.0);
+    }
+}

@@ -23,7 +23,8 @@ use rand::{Rng, SeedableRng};
 pub fn chain(n: usize) -> Dag {
     let mut g = Dag::new(n);
     for i in 1..n {
-        g.add_edge_unchecked(i - 1, i).expect("chain edges are valid");
+        g.add_edge_unchecked(i - 1, i)
+            .expect("chain edges are valid");
     }
     g
 }
@@ -65,7 +66,10 @@ pub fn fork_join(width: usize, stages: usize) -> Dag {
 /// Complete out-tree (root at node 0) of the given `arity` and `depth`
 /// (depth = number of levels; depth 1 is a single node).
 pub fn out_tree(arity: usize, depth: usize) -> Dag {
-    assert!(arity >= 1 && depth >= 1, "out_tree requires arity,depth >= 1");
+    assert!(
+        arity >= 1 && depth >= 1,
+        "out_tree requires arity,depth >= 1"
+    );
     // Node count of a complete arity-ary tree with `depth` levels.
     let mut n = 0usize;
     let mut level = 1usize;
@@ -84,7 +88,8 @@ pub fn out_tree(arity: usize, depth: usize) -> Dag {
             let v = offset + i;
             for c in 0..arity {
                 let child = next_offset + i * arity + c;
-                g.add_edge_unchecked(v, child).expect("tree edges are valid");
+                g.add_edge_unchecked(v, child)
+                    .expect("tree edges are valid");
             }
         }
         offset = next_offset;
@@ -124,10 +129,12 @@ pub fn wavefront(rows: usize, cols: usize) -> Dag {
     for i in 0..rows {
         for j in 0..cols {
             if i + 1 < rows {
-                g.add_edge_unchecked(idx(i, j), idx(i + 1, j)).expect("valid");
+                g.add_edge_unchecked(idx(i, j), idx(i + 1, j))
+                    .expect("valid");
             }
             if j + 1 < cols {
-                g.add_edge_unchecked(idx(i, j), idx(i, j + 1)).expect("valid");
+                g.add_edge_unchecked(idx(i, j), idx(i, j + 1))
+                    .expect("valid");
             }
         }
     }
@@ -303,12 +310,7 @@ pub fn fft(log2n: u32) -> Dag {
 /// from `width_range`; each (u, v) pair in consecutive layers is connected
 /// with probability `p`; every non-first-layer node gets at least one
 /// predecessor from the previous layer so the layering is tight.
-pub fn layered_random(
-    layers: usize,
-    width_range: (usize, usize),
-    p: f64,
-    seed: u64,
-) -> Dag {
+pub fn layered_random(layers: usize, width_range: (usize, usize), p: f64, seed: u64) -> Dag {
     assert!(layers >= 1, "layered_random requires layers >= 1");
     let (lo, hi) = width_range;
     assert!(1 <= lo && lo <= hi, "invalid width range");
@@ -370,7 +372,8 @@ pub fn random_order_dag(n: usize, p: f64, seed: u64) -> Dag {
     for i in 0..n {
         for j in i + 1..n {
             if rng.gen_bool(p) {
-                g.add_edge_unchecked(perm[i], perm[j]).expect("ordered edge");
+                g.add_edge_unchecked(perm[i], perm[j])
+                    .expect("ordered edge");
             }
         }
     }
@@ -410,7 +413,8 @@ pub fn series_parallel(target: usize, seed: u64) -> Dag {
     }
     let mut g = Dag::new(n);
     for (u, v) in edges {
-        g.add_edge_unchecked(u, v).expect("sp edges are unique and acyclic");
+        g.add_edge_unchecked(u, v)
+            .expect("sp edges are unique and acyclic");
     }
     g
 }

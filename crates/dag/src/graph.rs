@@ -201,10 +201,18 @@ impl Dag {
     pub fn disjoint_union(&self, other: &Dag) -> Dag {
         let off = self.node_count();
         let mut g = self.clone();
-        g.succs
-            .extend(other.succs.iter().map(|vs| vs.iter().map(|&v| v + off).collect()));
-        g.preds
-            .extend(other.preds.iter().map(|vs| vs.iter().map(|&v| v + off).collect()));
+        g.succs.extend(
+            other
+                .succs
+                .iter()
+                .map(|vs| vs.iter().map(|&v| v + off).collect()),
+        );
+        g.preds.extend(
+            other
+                .preds
+                .iter()
+                .map(|vs| vs.iter().map(|&v| v + off).collect()),
+        );
         g.m += other.m;
         g
     }
@@ -217,8 +225,7 @@ impl Dag {
         let mut closure = vec![vec![false; n]; n];
         // Process in reverse topological order so each node's row is the
         // union of its successors' rows.
-        let order = crate::topo::topological_order(self)
-            .expect("Dag invariant: graph is acyclic");
+        let order = crate::topo::topological_order(self).expect("Dag invariant: graph is acyclic");
         for &u in order.iter().rev() {
             for &v in &self.succs[u] {
                 closure[u][v] = true;
@@ -246,9 +253,7 @@ impl Dag {
         let mut g = Dag::new(n);
         for (u, v) in self.edges() {
             // Keep (u,v) unless some other successor w of u reaches v.
-            let redundant = self.succs[u]
-                .iter()
-                .any(|&w| w != v && closure[w][v]);
+            let redundant = self.succs[u].iter().any(|&w| w != v && closure[w][v]);
             if !redundant {
                 g.add_edge_unchecked(u, v)
                     .expect("reduction edges are unique and in range");
@@ -327,8 +332,14 @@ mod tests {
         g.add_edge(0, 1).unwrap();
         g.add_edge(1, 2).unwrap();
         g.add_edge(2, 3).unwrap();
-        assert_eq!(g.add_edge(3, 0), Err(DagError::WouldCycle { from: 3, to: 0 }));
-        assert_eq!(g.add_edge(2, 0), Err(DagError::WouldCycle { from: 2, to: 0 }));
+        assert_eq!(
+            g.add_edge(3, 0),
+            Err(DagError::WouldCycle { from: 3, to: 0 })
+        );
+        assert_eq!(
+            g.add_edge(2, 0),
+            Err(DagError::WouldCycle { from: 2, to: 0 })
+        );
         // Unrelated edge still fine.
         g.add_edge(0, 3).unwrap();
     }

@@ -41,8 +41,8 @@ pub mod paths;
 pub mod stats;
 pub mod topo;
 
+pub use antichain::{maximum_antichain, minimum_chain_cover, width};
 pub use error::DagError;
 pub use graph::{Dag, NodeId};
 pub use paths::{critical_path, earliest_starts, CriticalPath};
-pub use antichain::{maximum_antichain, minimum_chain_cover, width};
 pub use stats::DagStats;

@@ -206,11 +206,7 @@ mod tests {
 
     #[test]
     fn path_length_matches_path_nodes_weight() {
-        let g = Dag::from_edges(
-            6,
-            &[(0, 2), (1, 2), (2, 3), (2, 4), (3, 5), (4, 5)],
-        )
-        .unwrap();
+        let g = Dag::from_edges(6, &[(0, 2), (1, 2), (2, 3), (2, 4), (3, 5), (4, 5)]).unwrap();
         let w = [3.0, 1.0, 2.0, 4.0, 6.0, 1.0];
         let cp = critical_path(&g, &w);
         let sum: f64 = cp.nodes.iter().map(|&v| w[v]).sum();

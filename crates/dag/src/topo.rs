@@ -12,8 +12,7 @@ use crate::graph::{Dag, NodeId};
 pub fn topological_order(g: &Dag) -> Result<Vec<NodeId>, DagError> {
     let n = g.node_count();
     let mut indeg: Vec<usize> = (0..n).map(|v| g.in_degree(v)).collect();
-    let mut queue: std::collections::VecDeque<NodeId> =
-        (0..n).filter(|&v| indeg[v] == 0).collect();
+    let mut queue: std::collections::VecDeque<NodeId> = (0..n).filter(|&v| indeg[v] == 0).collect();
     let mut order = Vec::with_capacity(n);
     while let Some(u) = queue.pop_front() {
         order.push(u);

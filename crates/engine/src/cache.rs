@@ -1,0 +1,261 @@
+//! The sharded solve cache: memoizes [`JzReport`]s by canonical content
+//! key and config fingerprint.
+//!
+//! Plain design, deliberately: `S` shards, each a `Mutex<HashMap>`, with
+//! the shard picked from the high bits of the instance key. Workers take a
+//! shard lock only for the O(1) lookup/insert — never while solving — so
+//! the pool scales until the solver itself saturates the machine. Two
+//! workers racing on the same key may both solve it; the solver is
+//! deterministic, so whichever insert lands last stores the identical
+//! report and the race is invisible (and cheaper than holding a lock
+//! across an LP solve).
+
+use crate::canon::InstanceKey;
+use mtsp_core::two_phase::JzReport;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Full cache key: what instance, solved under which config.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Canonical instance content key.
+    pub instance: InstanceKey,
+    /// Fingerprint of the output-relevant [`mtsp_core::two_phase::JzConfig`]
+    /// fields.
+    pub config: u64,
+}
+
+/// Point-in-time counters of a [`SolveCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups that returned a stored report.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Stored reports.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// `hits / (hits + misses)`, or 0 for an untouched cache.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One shard: the map plus an insertion-order queue for FIFO eviction.
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<CacheKey, Arc<JzReport>>,
+    order: VecDeque<CacheKey>,
+}
+
+/// Sharded memo table from [`CacheKey`] to [`JzReport`], bounded to a
+/// fixed number of entries (FIFO eviction per shard). The engine is meant
+/// to run as a long-lived service over streaming traffic, so an unbounded
+/// memo table would grow until the process dies; eviction only ever costs
+/// a re-solve, never correctness (the solver is deterministic).
+#[derive(Debug)]
+pub struct SolveCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_cap: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Default total entry budget of [`SolveCache::new`]. Reports for the
+/// workloads in this repository are a few KiB each, so this keeps a fully
+/// loaded default cache in the tens-of-MiB range.
+pub const DEFAULT_CACHE_CAPACITY: usize = 65_536;
+
+impl SolveCache {
+    /// Creates a cache with `shards` shards (clamped to `1..=1024`) and
+    /// the [`DEFAULT_CACHE_CAPACITY`] entry budget.
+    pub fn new(shards: usize) -> Self {
+        Self::with_capacity(shards, DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// Creates a cache with `shards` shards and room for roughly
+    /// `capacity` entries in total (rounded up to a whole number per
+    /// shard, minimum one each).
+    pub fn with_capacity(shards: usize, capacity: usize) -> Self {
+        let shards = shards.clamp(1, 1024);
+        let per_shard_cap = capacity.div_ceil(shards).max(1);
+        SolveCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            per_shard_cap,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn shard(&self, key: &CacheKey) -> &Mutex<Shard> {
+        // High bits of the FNV digest are well mixed; fold in the config
+        // fingerprint so same-instance/different-config traffic spreads.
+        let sel = (key.instance.0 >> 64) as u64 ^ key.config;
+        &self.shards[(sel % self.shards.len() as u64) as usize]
+    }
+
+    /// Returns the stored report for `key`, counting a hit or miss.
+    pub fn lookup(&self, key: &CacheKey) -> Option<Arc<JzReport>> {
+        let found = self
+            .shard(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .map
+            .get(key)
+            .cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Stores `report` under `key`, evicting the oldest entries of the
+    /// shard once it is full (last writer wins on racing same-key
+    /// inserts; see module docs on why racing duplicates are harmless).
+    pub fn insert(&self, key: CacheKey, report: Arc<JzReport>) {
+        let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
+        if shard.map.insert(key, report).is_none() {
+            shard.order.push_back(key);
+            while shard.map.len() > self.per_shard_cap {
+                let oldest = shard.order.pop_front().expect("queue tracks map");
+                shard.map.remove(&oldest);
+            }
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| s.lock().expect("cache shard poisoned").map.len())
+                .sum(),
+        }
+    }
+
+    /// Drops all entries (counters keep running).
+    pub fn clear(&self) {
+        for s in &self.shards {
+            let mut shard = s.lock().expect("cache shard poisoned");
+            shard.map.clear();
+            shard.order.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canon::instance_key;
+    use mtsp_core::two_phase::schedule_jz;
+    use mtsp_model::generate::{random_instance, CurveFamily, DagFamily};
+
+    fn key(seed: u64) -> CacheKey {
+        let ins = random_instance(DagFamily::Layered, CurveFamily::PowerLaw, 8, 4, seed);
+        CacheKey {
+            instance: instance_key(&ins),
+            config: 0,
+        }
+    }
+
+    #[test]
+    fn lookup_insert_roundtrip_and_stats() {
+        let ins = random_instance(DagFamily::Layered, CurveFamily::PowerLaw, 8, 4, 1);
+        let rep = Arc::new(schedule_jz(&ins).unwrap());
+        let cache = SolveCache::new(8);
+        let k = key(1);
+        assert!(cache.lookup(&k).is_none());
+        cache.insert(k, rep.clone());
+        let back = cache.lookup(&k).expect("entry stored");
+        assert!(Arc::ptr_eq(&back, &rep));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+        cache.clear();
+        assert!(cache.lookup(&k).is_none());
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_alias_across_shards() {
+        let ins = random_instance(DagFamily::Layered, CurveFamily::PowerLaw, 8, 4, 1);
+        let rep = Arc::new(schedule_jz(&ins).unwrap());
+        for shards in [1usize, 2, 7, 64] {
+            let cache = SolveCache::new(shards);
+            for seed in 0..20 {
+                cache.insert(key(seed), rep.clone());
+            }
+            assert_eq!(cache.stats().entries, 20, "shards = {shards}");
+            for seed in 0..20 {
+                assert!(cache.lookup(&key(seed)).is_some(), "shards = {shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        let ins = random_instance(DagFamily::Layered, CurveFamily::PowerLaw, 8, 4, 1);
+        let rep = Arc::new(schedule_jz(&ins).unwrap());
+        let cache = SolveCache::new(4);
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let rep = rep.clone();
+                let cache = &cache;
+                s.spawn(move || {
+                    for i in 0..50 {
+                        let k = key(t * 50 + i);
+                        cache.insert(k, rep.clone());
+                        assert!(cache.lookup(&k).is_some());
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.stats().entries, 400);
+        assert_eq!(cache.stats().hits, 400);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_oldest_first() {
+        let ins = random_instance(DagFamily::Layered, CurveFamily::PowerLaw, 8, 4, 1);
+        let rep = Arc::new(schedule_jz(&ins).unwrap());
+        // One shard, room for 4 entries.
+        let cache = SolveCache::with_capacity(1, 4);
+        for seed in 0..10 {
+            cache.insert(key(seed), rep.clone());
+        }
+        assert_eq!(cache.stats().entries, 4);
+        // The newest four survive, the oldest six are gone.
+        for seed in 6..10 {
+            assert!(cache.lookup(&key(seed)).is_some(), "seed {seed} evicted");
+        }
+        for seed in 0..6 {
+            assert!(cache.lookup(&key(seed)).is_none(), "seed {seed} retained");
+        }
+        // Re-inserting an existing key must not grow the queue or evict.
+        let cache = SolveCache::with_capacity(1, 2);
+        cache.insert(key(0), rep.clone());
+        cache.insert(key(0), rep.clone());
+        cache.insert(key(1), rep.clone());
+        assert_eq!(cache.stats().entries, 2);
+        assert!(cache.lookup(&key(0)).is_some());
+        assert!(cache.lookup(&key(1)).is_some());
+    }
+
+    #[test]
+    fn default_hit_rate_is_zero() {
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+}

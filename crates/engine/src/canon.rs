@@ -1,0 +1,281 @@
+//! Canonicalization and content hashing of instances and solver configs.
+//!
+//! The solve cache needs a key with two properties:
+//!
+//! 1. **Stable**: the same logical instance always maps to the same key —
+//!    independent of edge insertion order and of the process it is
+//!    computed in. A re-parsed text instance hits the cache entry of the
+//!    original because the text format round-trips `f64`s bit-exactly.
+//! 2. **Collision-safe**: two instances with different solver outputs must
+//!    get different keys — a cache hit returns the stored report verbatim,
+//!    so a collision would silently return a wrong schedule. This is why
+//!    profile times are hashed by their exact bit patterns rather than
+//!    quantized: collapsing nearly-equal profiles would let a cached run
+//!    print another instance's full-precision digits, breaking the batch
+//!    CLI's byte-identical-with-or-without-`--cache` contract.
+//!
+//! The canonical form is therefore the *labeled* instance content: machine
+//! size, task count, each task's exact profile bits
+//! ([`mtsp_model::Profile::content_bits`]) in task order, and the arcs in
+//! canonical sorted order ([`mtsp_model::Instance::canonical_edges`]).
+//! Task labels are deliberately **not** quotiented away: reports index
+//! every vector by task id, so relabel-isomorphic instances need different
+//! cache entries anyway. Keys are 128-bit FNV-1a digests of that byte
+//! stream — no persistence-unstable `std` hasher involved.
+
+use mtsp_core::two_phase::{JzConfig, Phase1};
+use mtsp_core::Priority;
+use mtsp_model::Instance;
+
+/// 128-bit FNV-1a over a byte stream — small, dependency-free, stable
+/// across processes and platforms.
+#[derive(Debug, Clone)]
+pub struct Fnv128 {
+    state: u128,
+}
+
+const FNV128_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+const FNV128_PRIME: u128 = 0x0000000001000000000000000000013B;
+
+impl Fnv128 {
+    /// Fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv128 {
+            state: FNV128_OFFSET,
+        }
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u128;
+            self.state = self.state.wrapping_mul(FNV128_PRIME);
+        }
+    }
+
+    /// Absorbs a `u64` (little-endian).
+    #[inline]
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `usize` widened to 64 bits.
+    #[inline]
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// The digest.
+    pub fn finish(&self) -> u128 {
+        self.state
+    }
+}
+
+impl Default for Fnv128 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Content key of a canonicalized instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InstanceKey(pub u128);
+
+impl std::fmt::Display for InstanceKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// Domain-separation tags so that e.g. an edge `(2, 3)` can never collide
+/// with a profile value that happens to share its byte pattern.
+const TAG_HEADER: u64 = 0x6d7473702d763100; // "mtsp-v1\0"
+const TAG_PROFILE: u64 = 1;
+const TAG_EDGES: u64 = 2;
+
+/// Computes the canonical content key of an instance.
+///
+/// Two instances get equal keys iff they have the same `m`, the same `n`,
+/// bit-identical profiles (task by task), and the same arc set —
+/// regardless of edge insertion order.
+pub fn instance_key(ins: &Instance) -> InstanceKey {
+    let mut h = Fnv128::new();
+    h.write_u64(TAG_HEADER);
+    h.write_usize(ins.m());
+    h.write_usize(ins.n());
+    h.write_u64(TAG_PROFILE);
+    for p in ins.profiles() {
+        for bits in p.content_bits() {
+            h.write_u64(bits);
+        }
+    }
+    let edges = ins.canonical_edges();
+    h.write_u64(TAG_EDGES);
+    h.write_usize(edges.len());
+    for (u, v) in edges {
+        h.write_usize(u);
+        h.write_usize(v);
+    }
+    InstanceKey(h.finish())
+}
+
+/// Fingerprint of everything in a [`JzConfig`] that can change the solver
+/// output. Cache entries are keyed by `(instance key, config fingerprint)`
+/// so one cache can serve mixed-config traffic.
+pub fn config_fingerprint(cfg: &JzConfig) -> u64 {
+    let mut h = Fnv128::new();
+    match cfg.params {
+        None => h.write_u64(0),
+        Some(p) => {
+            h.write_u64(1);
+            h.write_u64(p.rho.to_bits());
+            h.write_usize(p.mu);
+        }
+    }
+    h.write_u64(match cfg.priority {
+        Priority::TaskId => 0,
+        Priority::BottomLevel => 1,
+        Priority::WidestFirst => 2,
+    });
+    h.write_u64(match cfg.phase1 {
+        Phase1::Lp => 0,
+        Phase1::Bisection => 1,
+    });
+    h.write_u64(cfg.skip_admissibility_check as u64);
+    h.write_usize(cfg.solver.max_iterations);
+    h.write_u64(cfg.solver.tol.to_bits());
+    h.write_usize(cfg.solver.refactor_interval);
+    h.write_usize(cfg.solver.bland_trigger);
+    h.finish() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtsp_analysis::ratio::Params;
+    use mtsp_dag::Dag;
+    use mtsp_model::{textio, Profile};
+
+    fn profiles(n: usize, m: usize) -> Vec<Profile> {
+        (0..n)
+            .map(|j| Profile::power_law(4.0 + j as f64, 0.6, m).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn key_is_stable_and_insertion_order_free() {
+        let a = Instance::new(
+            Dag::from_edges(4, &[(0, 1), (0, 2), (1, 3)]).unwrap(),
+            profiles(4, 8),
+        )
+        .unwrap();
+        let b = Instance::new(
+            Dag::from_edges(4, &[(1, 3), (0, 2), (0, 1)]).unwrap(),
+            profiles(4, 8),
+        )
+        .unwrap();
+        assert_eq!(instance_key(&a), instance_key(&b));
+        assert_eq!(instance_key(&a), instance_key(&a));
+    }
+
+    #[test]
+    fn key_separates_non_isomorphic_dags() {
+        let chain = Instance::new(
+            Dag::from_edges(3, &[(0, 1), (1, 2)]).unwrap(),
+            profiles(3, 4),
+        )
+        .unwrap();
+        let fork = Instance::new(
+            Dag::from_edges(3, &[(0, 1), (0, 2)]).unwrap(),
+            profiles(3, 4),
+        )
+        .unwrap();
+        let empty = Instance::new(Dag::new(3), profiles(3, 4)).unwrap();
+        let k: Vec<InstanceKey> = [&chain, &fork, &empty]
+            .iter()
+            .map(|i| instance_key(i))
+            .collect();
+        assert_ne!(k[0], k[1]);
+        assert_ne!(k[0], k[2]);
+        assert_ne!(k[1], k[2]);
+    }
+
+    #[test]
+    fn key_separates_profiles_m_and_n() {
+        let base = Instance::new(Dag::new(2), profiles(2, 4)).unwrap();
+        let other_profiles = Instance::new(
+            Dag::new(2),
+            vec![
+                Profile::power_law(4.0, 0.6, 4).unwrap(),
+                Profile::amdahl(5.0, 0.3, 4).unwrap(),
+            ],
+        )
+        .unwrap();
+        let wider = Instance::new(Dag::new(2), profiles(2, 8)).unwrap();
+        let bigger = Instance::new(Dag::new(3), profiles(3, 4)).unwrap();
+        let k0 = instance_key(&base);
+        assert_ne!(k0, instance_key(&other_profiles));
+        assert_ne!(k0, instance_key(&wider));
+        assert_ne!(k0, instance_key(&bigger));
+    }
+
+    #[test]
+    fn text_roundtrip_hits_the_same_key() {
+        let ins = mtsp_model::generate::random_instance(
+            mtsp_model::generate::DagFamily::Layered,
+            mtsp_model::generate::CurveFamily::Mixed,
+            18,
+            8,
+            42,
+        );
+        let back = textio::parse_instance(&textio::write_instance(&ins)).unwrap();
+        assert_eq!(instance_key(&ins), instance_key(&back));
+    }
+
+    #[test]
+    fn keys_are_bit_exact_over_profile_times() {
+        // Exactness is the collision-safety contract: even a 1-ulp
+        // difference is a different instance and must not share a cache
+        // entry (a hit returns the stored report verbatim).
+        let p = std::f64::consts::PI;
+        let noisy = f64::from_bits(p.to_bits() + 1);
+        let a = Instance::new(Dag::new(1), vec![Profile::from_times(vec![p]).unwrap()]).unwrap();
+        let b =
+            Instance::new(Dag::new(1), vec![Profile::from_times(vec![noisy]).unwrap()]).unwrap();
+        assert_ne!(
+            instance_key(&a),
+            instance_key(&b),
+            "1-ulp difference splits"
+        );
+        let same = Instance::new(Dag::new(1), vec![Profile::from_times(vec![p]).unwrap()]).unwrap();
+        assert_eq!(instance_key(&a), instance_key(&same));
+    }
+
+    #[test]
+    fn config_fingerprint_tracks_output_relevant_fields() {
+        let base = JzConfig::default();
+        let fp = config_fingerprint(&base);
+        assert_eq!(fp, config_fingerprint(&JzConfig::default()));
+        let with_params = JzConfig {
+            params: Some(Params { rho: 0.26, mu: 3 }),
+            ..JzConfig::default()
+        };
+        assert_ne!(fp, config_fingerprint(&with_params));
+        let other_priority = JzConfig {
+            priority: Priority::BottomLevel,
+            ..JzConfig::default()
+        };
+        assert_ne!(fp, config_fingerprint(&other_priority));
+        let other_phase1 = JzConfig {
+            phase1: Phase1::Bisection,
+            ..JzConfig::default()
+        };
+        assert_ne!(fp, config_fingerprint(&other_phase1));
+    }
+
+    #[test]
+    fn display_is_hex() {
+        let k = InstanceKey(0xdeadbeef);
+        assert_eq!(k.to_string(), format!("{:032x}", 0xdeadbeefu128));
+    }
+}

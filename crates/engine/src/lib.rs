@@ -1,0 +1,79 @@
+#![warn(missing_docs)]
+//! # mtsp-engine — high-throughput batch scheduling service
+//!
+//! The rest of the workspace solves *one* instance per call; this crate
+//! turns the solver into a service for the batch-cloud setting: many
+//! malleable-DAG instances streaming in, solved fast and concurrently,
+//! with repeated work amortized across requests.
+//!
+//! Pipeline: **queue → workers → cache → ordered results.**
+//!
+//! * [`canon`] — canonicalization and content hashing: an [`Instance`]
+//!   maps to a stable 128-bit key (exact profile bits, canonical sorted
+//!   arc list), and a [`JzConfig`](mtsp_core::two_phase::JzConfig) to a
+//!   fingerprint of its output-relevant fields.
+//! * [`cache`] — a sharded `Mutex<HashMap>` memo table from
+//!   `(instance key, config fingerprint)` to [`Arc<JzReport>`]; locks are
+//!   held for O(1) map operations only, never across a solve.
+//! * [`pool`] — a deterministic worker pool on scoped `std::thread`s: an
+//!   atomic cursor drains the job queue, results are reassembled by
+//!   submission index, so worker count changes wall-clock time but never
+//!   a byte of output.
+//! * [`metrics`] — service-level throughput metrics: jobs/sec, cache hit
+//!   rate, mean/p50/p99/max solve latency.
+//! * [`service`] — the [`Engine`] front end gluing the four together.
+//!
+//! ```
+//! use mtsp_engine::{Engine, EngineConfig};
+//! use mtsp_model::generate::{random_instance, CurveFamily, DagFamily};
+//!
+//! // 20 jobs, only 4 distinct instances: the cache absorbs the repeats.
+//! let jobs: Vec<_> = (0..20)
+//!     .map(|i| random_instance(DagFamily::Layered, CurveFamily::Mixed, 10, 4, i % 4))
+//!     .collect();
+//! let engine = Engine::new(EngineConfig { workers: 1, ..EngineConfig::default() });
+//! let report = engine.solve_batch(&jobs);
+//! assert!(report.results.iter().all(|r| r.is_ok()));
+//! assert_eq!(report.metrics.cache.misses, 4);
+//! assert_eq!(report.metrics.cache.hits, 16);
+//! // (With workers > 1 two threads may race on one key and both miss —
+//! // the results are still byte-identical, only the counters shift.)
+//! ```
+//!
+//! [`Instance`]: mtsp_model::Instance
+//! [`Arc<JzReport>`]: mtsp_core::two_phase::JzReport
+
+pub mod cache;
+pub mod canon;
+pub mod metrics;
+pub mod pool;
+pub mod service;
+
+pub use cache::{CacheKey, CacheStats, SolveCache};
+pub use canon::{config_fingerprint, instance_key, InstanceKey};
+pub use metrics::BatchMetrics;
+pub use pool::{run_batch, BatchRun, CacheOutcome, JobResult};
+pub use service::{render_result_line, BatchReport, Engine, EngineConfig};
+
+#[cfg(test)]
+mod static_assertions {
+    //! The pool shares instances, configs and reports across threads;
+    //! these compile-time checks pin down the auto-traits that contract
+    //! relies on.
+    fn is_send_sync<T: Send + Sync>() {}
+    fn is_clone<T: Clone>() {}
+
+    #[test]
+    fn shared_types_are_send_sync_and_reports_clone() {
+        is_send_sync::<mtsp_core::two_phase::JzReport>();
+        is_send_sync::<mtsp_core::two_phase::JzConfig>();
+        is_send_sync::<mtsp_model::Instance>();
+        is_send_sync::<crate::SolveCache>();
+        is_send_sync::<crate::Engine>();
+        is_clone::<mtsp_core::two_phase::JzReport>();
+        is_clone::<mtsp_core::AllotmentResult>();
+        is_clone::<mtsp_core::Schedule>();
+        is_clone::<crate::BatchReport>();
+        is_clone::<crate::BatchMetrics>();
+    }
+}

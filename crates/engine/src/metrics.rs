@@ -1,0 +1,157 @@
+//! Throughput and latency metrics for batch runs — the service-level
+//! counterpart of the per-schedule quality metrics in `mtsp_sim::metrics`.
+
+use crate::cache::CacheStats;
+use std::time::Duration;
+
+/// Nearest-rank percentile of an ascending-sorted slice (`q ∈ [0, 1]`).
+///
+/// Returns `Duration::ZERO` on an empty slice.
+pub fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Aggregate metrics of one batch run.
+#[derive(Debug, Clone)]
+pub struct BatchMetrics {
+    /// Jobs in the batch.
+    pub jobs: usize,
+    /// Jobs that failed to solve.
+    pub failures: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Wall-clock time of the whole batch.
+    pub wall: Duration,
+    /// `jobs / wall` in jobs per second.
+    pub throughput: f64,
+    /// Cache activity attributed to this batch (zeroed when the cache is
+    /// disabled).
+    pub cache: CacheStats,
+    /// Mean per-job solve latency.
+    pub mean_latency: Duration,
+    /// Median per-job solve latency.
+    pub p50_latency: Duration,
+    /// 99th-percentile per-job solve latency.
+    pub p99_latency: Duration,
+    /// Worst per-job solve latency.
+    pub max_latency: Duration,
+}
+
+impl BatchMetrics {
+    /// Builds metrics from raw per-job latencies.
+    pub fn from_latencies(
+        latencies: &[Duration],
+        failures: usize,
+        workers: usize,
+        wall: Duration,
+        cache: CacheStats,
+    ) -> Self {
+        let mut sorted = latencies.to_vec();
+        sorted.sort_unstable();
+        let total: Duration = sorted.iter().sum();
+        let jobs = sorted.len();
+        let mean = if jobs == 0 {
+            Duration::ZERO
+        } else {
+            total / jobs as u32
+        };
+        let wall_s = wall.as_secs_f64();
+        BatchMetrics {
+            jobs,
+            failures,
+            workers,
+            wall,
+            throughput: if wall_s > 0.0 {
+                jobs as f64 / wall_s
+            } else {
+                0.0
+            },
+            cache,
+            mean_latency: mean,
+            p50_latency: percentile(&sorted, 0.50),
+            p99_latency: percentile(&sorted, 0.99),
+            max_latency: sorted.last().copied().unwrap_or(Duration::ZERO),
+        }
+    }
+
+    /// Multi-line human-readable rendering. Contains wall-clock numbers,
+    /// so callers that promise byte-identical batch output (the CLI, the
+    /// determinism tests) must keep it out of that stream.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "jobs        {} ({} failed) on {} worker(s)\n",
+            self.jobs, self.failures, self.workers
+        ));
+        s.push_str(&format!(
+            "wall        {:.3} s  ({:.1} jobs/s)\n",
+            self.wall.as_secs_f64(),
+            self.throughput
+        ));
+        s.push_str(&format!(
+            "latency     mean {:.3} ms  p50 {:.3} ms  p99 {:.3} ms  max {:.3} ms\n",
+            self.mean_latency.as_secs_f64() * 1e3,
+            self.p50_latency.as_secs_f64() * 1e3,
+            self.p99_latency.as_secs_f64() * 1e3,
+            self.max_latency.as_secs_f64() * 1e3,
+        ));
+        s.push_str(&format!(
+            "cache       {} hits / {} misses ({:.1}% hit rate), {} entries\n",
+            self.cache.hits,
+            self.cache.misses,
+            100.0 * self.cache.hit_rate(),
+            self.cache.entries
+        ));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let sorted: Vec<Duration> = (1..=100).map(ms).collect();
+        assert_eq!(percentile(&sorted, 0.50), ms(50));
+        assert_eq!(percentile(&sorted, 0.99), ms(99));
+        assert_eq!(percentile(&sorted, 1.0), ms(100));
+        assert_eq!(percentile(&sorted, 0.0), ms(1));
+        assert_eq!(percentile(&[], 0.5), Duration::ZERO);
+        assert_eq!(percentile(&[ms(7)], 0.99), ms(7));
+    }
+
+    #[test]
+    fn from_latencies_aggregates() {
+        let lat = vec![ms(4), ms(2), ms(10), ms(4)];
+        let m = BatchMetrics::from_latencies(&lat, 1, 3, ms(100), CacheStats::default());
+        assert_eq!(m.jobs, 4);
+        assert_eq!(m.failures, 1);
+        assert_eq!(m.workers, 3);
+        assert_eq!(m.mean_latency, ms(5));
+        assert_eq!(m.p50_latency, ms(4));
+        assert_eq!(m.max_latency, ms(10));
+        assert!((m.throughput - 40.0).abs() < 1e-9);
+        let text = m.render();
+        assert!(text.contains("jobs/s"));
+        assert!(text.contains("p99"));
+    }
+
+    #[test]
+    fn empty_batch_is_well_defined() {
+        let m = BatchMetrics::from_latencies(&[], 0, 1, Duration::ZERO, CacheStats::default());
+        assert_eq!(m.jobs, 0);
+        assert_eq!(m.throughput, 0.0);
+        assert_eq!(m.p99_latency, Duration::ZERO);
+        assert!(m.render().contains("0 hits"));
+    }
+}

@@ -1,0 +1,238 @@
+//! The deterministic worker pool.
+//!
+//! Jobs are drained from a shared atomic cursor by `workers` scoped
+//! `std::thread`s; each worker solves its job (through the cache when one
+//! is supplied) and reports `(index, outcome, latency)` over a channel.
+//! Results are reassembled **by submission index**, so the output of a
+//! batch is a pure function of the job list and the solver config — the
+//! worker count and the OS scheduler only change wall-clock time, never a
+//! byte of output. The solver itself is deterministic, which also makes
+//! cache hits indistinguishable from fresh solves in the results.
+
+use crate::cache::{CacheKey, SolveCache};
+use crate::canon::{config_fingerprint, instance_key};
+use mtsp_core::two_phase::{schedule_jz_with, JzConfig, JzReport};
+use mtsp_core::CoreError;
+use mtsp_model::Instance;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// Outcome of one job.
+pub type JobResult = Result<Arc<JzReport>, CoreError>;
+
+/// How one job met the cache: `None` = cache disabled, `Some(true)` =
+/// served from the cache, `Some(false)` = solved and (on success) stored.
+pub type CacheOutcome = Option<bool>;
+
+/// Solves one instance, consulting `cache` if provided; also reports the
+/// per-job [`CacheOutcome`] so batch metrics can attribute hits/misses to
+/// *this* batch even when several batches share one engine concurrently
+/// (the cache's global counters cannot tell them apart).
+pub fn solve_one(
+    ins: &Instance,
+    cfg: &JzConfig,
+    config_fp: u64,
+    cache: Option<&SolveCache>,
+) -> (JobResult, CacheOutcome) {
+    let Some(cache) = cache else {
+        return (schedule_jz_with(ins, cfg).map(Arc::new), None);
+    };
+    let key = CacheKey {
+        instance: instance_key(ins),
+        config: config_fp,
+    };
+    if let Some(hit) = cache.lookup(&key) {
+        return (Ok(hit), Some(true));
+    }
+    match schedule_jz_with(ins, cfg) {
+        Ok(report) => {
+            let report = Arc::new(report);
+            cache.insert(key, report.clone());
+            (Ok(report), Some(false))
+        }
+        Err(e) => (Err(e), Some(false)),
+    }
+}
+
+/// Per-job data of one batch run, everything indexed by submission order.
+#[derive(Debug)]
+pub struct BatchRun {
+    /// Job outcomes.
+    pub results: Vec<JobResult>,
+    /// Solve latencies.
+    pub latencies: Vec<Duration>,
+    /// Cache outcomes (see [`CacheOutcome`]).
+    pub cache_outcomes: Vec<CacheOutcome>,
+}
+
+/// Runs `jobs` on `workers` threads and returns per-job outcomes,
+/// latencies and cache outcomes, all indexed by submission order.
+///
+/// `workers` is clamped to `1..=jobs.len()` (a pool larger than the batch
+/// only adds idle threads). With `workers == 1` the jobs run on the
+/// calling thread — no spawn overhead for sequential baselines.
+pub fn run_batch(
+    jobs: &[Instance],
+    cfg: &JzConfig,
+    workers: usize,
+    cache: Option<&SolveCache>,
+) -> BatchRun {
+    let n = jobs.len();
+    let config_fp = config_fingerprint(cfg);
+    let mut run = BatchRun {
+        results: Vec::with_capacity(n),
+        latencies: Vec::with_capacity(n),
+        cache_outcomes: Vec::with_capacity(n),
+    };
+    if n == 0 {
+        return run;
+    }
+    let workers = workers.clamp(1, n);
+
+    if workers == 1 {
+        for ins in jobs {
+            let t0 = Instant::now();
+            let (result, cache_outcome) = solve_one(ins, cfg, config_fp, cache);
+            run.latencies.push(t0.elapsed());
+            run.results.push(result);
+            run.cache_outcomes.push(cache_outcome);
+        }
+        return run;
+    }
+
+    let cursor = AtomicUsize::new(0);
+    type Report = (usize, JobResult, Duration, CacheOutcome);
+    let (tx, rx) = mpsc::channel::<Report>();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            s.spawn(move || loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                if idx >= n {
+                    break;
+                }
+                let t0 = Instant::now();
+                let (result, cache_outcome) = solve_one(&jobs[idx], cfg, config_fp, cache);
+                // A closed receiver means the caller is gone; stop quietly.
+                if tx.send((idx, result, t0.elapsed(), cache_outcome)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+    });
+
+    let mut results: Vec<Option<JobResult>> = (0..n).map(|_| None).collect();
+    run.latencies = vec![Duration::ZERO; n];
+    run.cache_outcomes = vec![None; n];
+    for (idx, result, latency, cache_outcome) in rx {
+        results[idx] = Some(result);
+        run.latencies[idx] = latency;
+        run.cache_outcomes[idx] = cache_outcome;
+    }
+    run.results = results
+        .into_iter()
+        .map(|r| r.expect("every job index reported exactly once"))
+        .collect();
+    run
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtsp_model::generate::{random_instance, CurveFamily, DagFamily};
+
+    fn batch(k: usize) -> Vec<Instance> {
+        (0..k)
+            .map(|i| {
+                random_instance(
+                    DagFamily::Layered,
+                    CurveFamily::Mixed,
+                    10 + i % 5,
+                    4,
+                    i as u64,
+                )
+            })
+            .collect()
+    }
+
+    fn makespans(results: &[JobResult]) -> Vec<f64> {
+        results
+            .iter()
+            .map(|r| r.as_ref().unwrap().schedule.makespan())
+            .collect()
+    }
+
+    #[test]
+    fn worker_count_never_changes_results() {
+        let jobs = batch(12);
+        let cfg = JzConfig::default();
+        let base = run_batch(&jobs, &cfg, 1, None);
+        assert_eq!(base.latencies.len(), 12);
+        assert!(base.cache_outcomes.iter().all(|o| o.is_none()));
+        for w in [2usize, 4, 8, 32] {
+            let run = run_batch(&jobs, &cfg, w, None);
+            assert_eq!(
+                makespans(&base.results),
+                makespans(&run.results),
+                "workers = {w}"
+            );
+            assert_eq!(run.latencies.len(), 12);
+        }
+    }
+
+    #[test]
+    fn cache_makes_duplicate_jobs_share_reports() {
+        let one = random_instance(DagFamily::SeriesParallel, CurveFamily::PowerLaw, 12, 4, 3);
+        let jobs: Vec<Instance> = (0..6).map(|_| one.clone()).collect();
+        let cache = SolveCache::new(4);
+        let run = run_batch(&jobs, &JzConfig::default(), 1, Some(&cache));
+        let first = run.results[0].as_ref().unwrap();
+        for r in &run.results[1..] {
+            assert!(Arc::ptr_eq(first, r.as_ref().unwrap()));
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.hits, 5);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(run.cache_outcomes[0], Some(false));
+        assert!(run.cache_outcomes[1..].iter().all(|&o| o == Some(true)));
+    }
+
+    #[test]
+    fn cached_and_uncached_agree() {
+        let jobs = batch(6);
+        let cache = SolveCache::new(2);
+        let plain = run_batch(&jobs, &JzConfig::default(), 2, None);
+        let cached = run_batch(&jobs, &JzConfig::default(), 2, Some(&cache));
+        assert_eq!(makespans(&plain.results), makespans(&cached.results));
+    }
+
+    #[test]
+    fn failures_keep_their_slot() {
+        // Job 1 violates A2 -> InadmissibleInstance; its neighbors solve.
+        let good = random_instance(DagFamily::Chain, CurveFamily::PowerLaw, 5, 4, 1);
+        let bad_profile = mtsp_model::Profile::counterexample_a2(0.01, 4).unwrap();
+        let bad = Instance::new(
+            mtsp_dag::Dag::new(2),
+            vec![bad_profile.clone(), bad_profile],
+        )
+        .unwrap();
+        let jobs = vec![good.clone(), bad, good];
+        let run = run_batch(&jobs, &JzConfig::default(), 3, None);
+        assert!(run.results[0].is_ok());
+        assert!(matches!(
+            run.results[1],
+            Err(CoreError::InadmissibleInstance { .. })
+        ));
+        assert!(run.results[2].is_ok());
+    }
+
+    #[test]
+    fn empty_batch() {
+        let run = run_batch(&[], &JzConfig::default(), 4, None);
+        assert!(run.results.is_empty() && run.latencies.is_empty());
+    }
+}

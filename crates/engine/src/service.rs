@@ -1,0 +1,284 @@
+//! The batch scheduling service: configuration, the engine object, and
+//! deterministic batch reports.
+
+use crate::cache::{CacheStats, SolveCache};
+use crate::canon::config_fingerprint;
+use crate::metrics::BatchMetrics;
+use crate::pool::{run_batch, solve_one, JobResult};
+
+use mtsp_core::two_phase::JzConfig;
+use mtsp_model::Instance;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads for batch solving: `0` means auto (one per
+    /// available core). Clamped to the batch size at run time; `1` =
+    /// solve on the calling thread.
+    pub workers: usize,
+    /// Whether to memoize results in the solve cache.
+    pub cache: bool,
+    /// Shard count of the solve cache.
+    pub cache_shards: usize,
+    /// Total entry budget of the solve cache (FIFO eviction per shard
+    /// beyond it).
+    pub cache_capacity: usize,
+    /// Solver configuration applied to every job.
+    pub jz: JzConfig,
+}
+
+impl EngineConfig {
+    /// The worker count with `0` resolved to one per available core —
+    /// the single source of truth for "auto" (the CLI's `--jobs 0` lands
+    /// here too).
+    pub fn resolved_workers(&self) -> usize {
+        if self.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.workers
+        }
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 0,
+            cache: true,
+            cache_shards: 16,
+            cache_capacity: crate::cache::DEFAULT_CACHE_CAPACITY,
+            jz: JzConfig::default(),
+        }
+    }
+}
+
+/// Everything one batch run produced.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Per-job outcomes, in submission order.
+    pub results: Vec<JobResult>,
+    /// Throughput/latency/cache metrics of the run.
+    pub metrics: BatchMetrics,
+}
+
+/// Formats the deterministic one-line summary of job `i` (shared by
+/// [`BatchReport::render_results`] and callers that interleave their own
+/// per-job failures, like the `batch` CLI verb).
+pub fn render_result_line(i: usize, result: &JobResult) -> String {
+    match result {
+        Ok(rep) => format!(
+            "job {i}: n={} m={} makespan={:?} ratio_vs_cstar={:.6} guarantee={:.6}",
+            rep.schedule.n(),
+            rep.schedule.m(),
+            rep.schedule.makespan(),
+            rep.ratio_vs_cstar(),
+            rep.guarantee,
+        ),
+        Err(e) => format!("job {i}: error: {e}"),
+    }
+}
+
+impl BatchReport {
+    /// Deterministic per-job summary: identical for identical job lists
+    /// and configs, whatever the worker count, cache state, or wall-clock
+    /// — the text the batch CLI prints to stdout and the determinism tests
+    /// compare byte-for-byte. (Timing lives in [`BatchMetrics::render`].)
+    pub fn render_results(&self) -> String {
+        let mut out = String::new();
+        for (i, r) in self.results.iter().enumerate() {
+            let _ = writeln!(out, "{}", render_result_line(i, r));
+        }
+        out
+    }
+}
+
+/// The batch scheduling engine: a solve cache plus a worker-pool front
+/// end over [`mtsp_core::two_phase::schedule_jz_with`].
+///
+/// ```
+/// use mtsp_engine::{Engine, EngineConfig};
+/// use mtsp_model::generate::{random_instance, CurveFamily, DagFamily};
+///
+/// let engine = Engine::new(EngineConfig { workers: 4, ..EngineConfig::default() });
+/// let jobs: Vec<_> = (0..8)
+///     .map(|s| random_instance(DagFamily::Layered, CurveFamily::Mixed, 12, 4, s))
+///     .collect();
+/// let report = engine.solve_batch(&jobs);
+/// assert_eq!(report.results.len(), 8);
+/// assert!(report.results.iter().all(|r| r.is_ok()));
+/// ```
+#[derive(Debug)]
+pub struct Engine {
+    config: EngineConfig,
+    config_fp: u64,
+    cache: SolveCache,
+}
+
+impl Engine {
+    /// Builds an engine (allocates the cache shards eagerly).
+    pub fn new(config: EngineConfig) -> Self {
+        let config_fp = config_fingerprint(&config.jz);
+        let cache = SolveCache::with_capacity(config.cache_shards, config.cache_capacity);
+        Engine {
+            config,
+            config_fp,
+            cache,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Solve-cache counters since construction.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drops every cached report.
+    pub fn clear_cache(&self) {
+        self.cache.clear();
+    }
+
+    /// Solves one instance through the cache (when enabled).
+    pub fn solve(&self, ins: &Instance) -> JobResult {
+        solve_one(
+            ins,
+            &self.config.jz,
+            self.config_fp,
+            self.config.cache.then_some(&self.cache),
+        )
+        .0
+    }
+
+    /// Solves a batch on the worker pool; results come back in submission
+    /// order regardless of completion order.
+    pub fn solve_batch(&self, jobs: &[Instance]) -> BatchReport {
+        let cache = self.config.cache.then_some(&self.cache);
+        let workers = self.config.resolved_workers();
+        let t0 = Instant::now();
+        let run = run_batch(jobs, &self.config.jz, workers, cache);
+        let wall = t0.elapsed();
+        // Attribute hits/misses from this batch's own per-job outcomes —
+        // the cache's global counters would also absorb concurrent batches
+        // sharing this engine.
+        let cache_delta = CacheStats {
+            hits: run
+                .cache_outcomes
+                .iter()
+                .filter(|&&o| o == Some(true))
+                .count() as u64,
+            misses: run
+                .cache_outcomes
+                .iter()
+                .filter(|&&o| o == Some(false))
+                .count() as u64,
+            entries: if self.config.cache {
+                self.cache.stats().entries
+            } else {
+                0
+            },
+        };
+        let failures = run.results.iter().filter(|r| r.is_err()).count();
+        let workers = workers.clamp(1, jobs.len().max(1));
+        BatchReport {
+            results: run.results,
+            metrics: BatchMetrics::from_latencies(
+                &run.latencies,
+                failures,
+                workers,
+                wall,
+                cache_delta,
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtsp_model::generate::{random_instance, CurveFamily, DagFamily};
+    use std::sync::Arc;
+
+    fn jobs(k: usize, distinct: usize) -> Vec<Instance> {
+        (0..k)
+            .map(|i| {
+                random_instance(
+                    DagFamily::Layered,
+                    CurveFamily::Mixed,
+                    12,
+                    4,
+                    (i % distinct) as u64,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_output_independent_of_worker_count() {
+        let jobs = jobs(10, 5);
+        let texts: Vec<String> = [1usize, 2, 8]
+            .into_iter()
+            .map(|workers| {
+                let engine = Engine::new(EngineConfig {
+                    workers,
+                    ..EngineConfig::default()
+                });
+                engine.solve_batch(&jobs).render_results()
+            })
+            .collect();
+        assert_eq!(texts[0], texts[1]);
+        assert_eq!(texts[0], texts[2]);
+        assert!(texts[0].lines().count() == 10);
+    }
+
+    #[test]
+    fn cache_hits_on_repeats_and_can_be_disabled() {
+        let jobs = jobs(9, 3);
+        let cached = Engine::new(EngineConfig {
+            workers: 1,
+            ..EngineConfig::default()
+        });
+        let rep = cached.solve_batch(&jobs);
+        assert_eq!(rep.metrics.cache.misses, 3);
+        assert_eq!(rep.metrics.cache.hits, 6);
+        assert_eq!(cached.cache_stats().entries, 3);
+
+        let uncached = Engine::new(EngineConfig {
+            workers: 1,
+            cache: false,
+            ..EngineConfig::default()
+        });
+        let rep2 = uncached.solve_batch(&jobs);
+        assert_eq!(rep2.metrics.cache.hits + rep2.metrics.cache.misses, 0);
+        assert_eq!(rep.render_results(), rep2.render_results());
+    }
+
+    #[test]
+    fn single_solve_uses_cache() {
+        let ins = random_instance(DagFamily::ForkJoin, CurveFamily::Amdahl, 10, 4, 7);
+        let engine = Engine::new(EngineConfig::default());
+        let a = engine.solve(&ins).unwrap();
+        let b = engine.solve(&ins).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        engine.clear_cache();
+        let c = engine.solve(&ins).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(a.schedule, c.schedule);
+    }
+
+    #[test]
+    fn failed_jobs_render_as_errors() {
+        let bad_profile = mtsp_model::Profile::counterexample_a2(0.01, 4).unwrap();
+        let bad = Instance::new(mtsp_dag::Dag::new(1), vec![bad_profile]).unwrap();
+        let engine = Engine::new(EngineConfig::default());
+        let rep = engine.solve_batch(&[bad]);
+        assert_eq!(rep.metrics.failures, 1);
+        assert!(rep.render_results().contains("error:"));
+    }
+}

@@ -137,7 +137,9 @@ pub fn presolve(lp: &Lp) -> Result<Presolved, LpError> {
 
         // Rules 2 + 3: empty and singleton rows.
         for slot in rows.iter_mut() {
-            let Some((coeffs, rel, rhs)) = slot else { continue };
+            let Some((coeffs, rel, rhs)) = slot else {
+                continue;
+            };
             match coeffs.len() {
                 0 => {
                     let ok = match rel {
@@ -234,9 +236,7 @@ pub fn presolve(lp: &Lp) -> Result<Presolved, LpError> {
             reduced.add_var(lower[j], upper[j], obj[j]);
         }
     }
-    let vars: Vec<crate::problem::VarId> = (0..orig_of.len())
-        .map(crate::problem::VarId)
-        .collect();
+    let vars: Vec<crate::problem::VarId> = (0..orig_of.len()).map(crate::problem::VarId).collect();
     for (coeffs, rel, rhs) in rows.iter().flatten() {
         let cs: Vec<_> = coeffs
             .iter()
@@ -335,6 +335,7 @@ mod tests {
         let x = lp.add_var(0.0, 10.0, -1.0);
         lp.add_row(&[(x, 2.0)], Relation::Le, 6.0); // x <= 3
         lp.add_row(&[(x, -1.0)], Relation::Le, -1.0); // x >= 1
+
         // Both rows become bounds (x in [1, 3]); x is then an empty column
         // and lands on its best bound, deciding the LP without the simplex.
         match presolve(&lp).unwrap() {

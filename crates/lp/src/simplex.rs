@@ -674,7 +674,9 @@ mod tests {
     fn bounded_variables_and_flips() {
         // min -x1 -2x2 -3x3, all in [0,1], x1+x2+x3 <= 2.
         let mut lp = Lp::minimize();
-        let v: Vec<_> = (0..3).map(|i| lp.add_var(0.0, 1.0, -(i as f64 + 1.0))).collect();
+        let v: Vec<_> = (0..3)
+            .map(|i| lp.add_var(0.0, 1.0, -(i as f64 + 1.0)))
+            .collect();
         lp.add_row(&[(v[0], 1.0), (v[1], 1.0), (v[2], 1.0)], Relation::Le, 2.0);
         assert_opt(&lp, -5.0, Some(&[0.0, 1.0, 1.0]));
     }
@@ -824,7 +826,9 @@ mod tests {
             .collect();
         let mut state = 12345u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         for r in 0..15 {

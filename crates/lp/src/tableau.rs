@@ -213,8 +213,7 @@ pub fn solve_reference(lp: &Lp) -> Result<Solution, LpError> {
                     let ratio = row[row.len() - 1] / row[c];
                     match best {
                         Some((r0, i0))
-                            if ratio > r0 + TOL
-                                || (ratio > r0 - TOL && basis[i] >= basis[i0]) => {}
+                            if ratio > r0 + TOL || (ratio > r0 - TOL && basis[i] >= basis[i0]) => {}
                         _ => best = Some((ratio, i)),
                     }
                 }
@@ -288,7 +287,10 @@ pub fn solve_reference(lp: &Lp) -> Result<Solution, LpError> {
         })
         .collect();
     let objective = lp.objective_at(&x);
-    debug_assert!((objective - (const_cost + c2.iter().zip(&xs).map(|(c, v)| c * v).sum::<f64>())).abs() < 1e-6);
+    debug_assert!(
+        (objective - (const_cost + c2.iter().zip(&xs).map(|(c, v)| c * v).sum::<f64>())).abs()
+            < 1e-6
+    );
     Ok(Solution {
         status: Status::Optimal,
         objective,

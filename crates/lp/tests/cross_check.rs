@@ -17,10 +17,8 @@ struct RandomLp {
 
 fn random_lp() -> impl Strategy<Value = RandomLp> {
     (2usize..6).prop_flat_map(|nvars| {
-        let bounds = proptest::collection::vec(
-            (0.0f64..2.0, 2.0f64..6.0).prop_map(|(l, u)| (l, u)),
-            nvars,
-        );
+        let bounds =
+            proptest::collection::vec((0.0f64..2.0, 2.0f64..6.0).prop_map(|(l, u)| (l, u)), nvars);
         let costs = proptest::collection::vec(-3.0f64..3.0, nvars);
         let row = (
             proptest::collection::vec((0usize..nvars, -2.0f64..2.0), 1..=nvars),

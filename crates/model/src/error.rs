@@ -46,7 +46,10 @@ impl fmt::Display for ModelError {
         match self {
             ModelError::EmptyProfile => write!(f, "profile must contain at least one time"),
             ModelError::NonPositiveTime { l, value } => {
-                write!(f, "processing time p({l}) = {value} must be positive and finite")
+                write!(
+                    f,
+                    "processing time p({l}) = {value} must be positive and finite"
+                )
             }
             ModelError::TaskCountMismatch { tasks, profiles } => write!(
                 f,
@@ -74,7 +77,9 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert!(ModelError::EmptyProfile.to_string().contains("at least one"));
+        assert!(ModelError::EmptyProfile
+            .to_string()
+            .contains("at least one"));
         let e = ModelError::NonPositiveTime { l: 3, value: -1.0 };
         assert!(e.to_string().contains("p(3)"));
         let e = ModelError::TaskCountMismatch {

@@ -114,19 +114,13 @@ impl CurveFamily {
     pub fn sample<R: Rng + ?Sized>(self, rng: &mut R, m: usize) -> Profile {
         let p1 = 10f64.powf(rng.gen_range(0.0..=2.0));
         match self {
-            CurveFamily::PowerLaw => {
-                Profile::power_law(p1, rng.gen_range(0.2..=1.0), m)
-                    .expect("parameters in documented domain")
-            }
+            CurveFamily::PowerLaw => Profile::power_law(p1, rng.gen_range(0.2..=1.0), m)
+                .expect("parameters in documented domain"),
             CurveFamily::Amdahl => Profile::amdahl(p1, rng.gen_range(0.02..=0.5), m)
                 .expect("parameters in documented domain"),
-            CurveFamily::RandomConcave => {
-                Profile::random_concave(rng, p1, m).expect("p1 positive")
-            }
-            CurveFamily::Logarithmic => {
-                Profile::logarithmic(p1, rng.gen_range(0.3..=1.0), m)
-                    .expect("parameters in documented domain")
-            }
+            CurveFamily::RandomConcave => Profile::random_concave(rng, p1, m).expect("p1 positive"),
+            CurveFamily::Logarithmic => Profile::logarithmic(p1, rng.gen_range(0.3..=1.0), m)
+                .expect("parameters in documented domain"),
             CurveFamily::Saturating => Profile::saturating(p1, rng.gen_range(1.0..=m as f64), m)
                 .expect("parameters in documented domain"),
             CurveFamily::Mixed => {

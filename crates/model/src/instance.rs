@@ -144,6 +144,16 @@ impl Instance {
     pub fn serial_upper_bound(&self) -> f64 {
         self.profiles.iter().map(Profile::serial_time).sum()
     }
+
+    /// The precedence arcs in canonical order (sorted lexicographically,
+    /// deduplicated): the DAG's contribution to a content key (see
+    /// `mtsp-engine`), independent of the order edges were inserted in.
+    pub fn canonical_edges(&self) -> Vec<(usize, usize)> {
+        let mut edges: Vec<(usize, usize)> = self.dag.edges().collect();
+        edges.sort_unstable();
+        edges.dedup();
+        edges
+    }
 }
 
 #[cfg(test)]
@@ -241,11 +251,8 @@ mod tests {
     #[test]
     fn lower_bound_on_single_fat_task() {
         // One task: LB must be exactly p(m).
-        let ins = Instance::new(
-            Dag::new(1),
-            vec![Profile::power_law(9.0, 1.0, 3).unwrap()],
-        )
-        .unwrap();
+        let ins =
+            Instance::new(Dag::new(1), vec![Profile::power_law(9.0, 1.0, 3).unwrap()]).unwrap();
         assert!((ins.combinatorial_lower_bound() - 3.0).abs() < 1e-12);
         assert!((ins.serial_upper_bound() - 9.0).abs() < 1e-12);
     }

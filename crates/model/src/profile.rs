@@ -38,10 +38,14 @@ impl Profile {
     /// (`s(l) = l^d` is concave and non-decreasing).
     pub fn power_law(p1: f64, d: f64, m: usize) -> Result<Self, ModelError> {
         if !(p1.is_finite() && p1 > 0.0) {
-            return Err(ModelError::InvalidParameter("power_law: p1 must be positive"));
+            return Err(ModelError::InvalidParameter(
+                "power_law: p1 must be positive",
+            ));
         }
         if !(0.0..=1.0).contains(&d) {
-            return Err(ModelError::InvalidParameter("power_law: d must lie in [0, 1]"));
+            return Err(ModelError::InvalidParameter(
+                "power_law: d must lie in [0, 1]",
+            ));
         }
         Self::from_times((1..=m).map(|l| p1 * (l as f64).powf(-d)).collect())
     }
@@ -56,11 +60,7 @@ impl Profile {
         if !(0.0..=1.0).contains(&f) {
             return Err(ModelError::InvalidParameter("amdahl: f must lie in [0, 1]"));
         }
-        Self::from_times(
-            (1..=m)
-                .map(|l| p1 * (f + (1.0 - f) / l as f64))
-                .collect(),
-        )
+        Self::from_times((1..=m).map(|l| p1 * (f + (1.0 - f) / l as f64)).collect())
     }
 
     /// Perfectly parallel task: `p(l) = p1/l` (power law with `d = 1`).
@@ -81,7 +81,9 @@ impl Profile {
     /// reduction.
     pub fn logarithmic(p1: f64, alpha: f64, m: usize) -> Result<Self, ModelError> {
         if !(p1.is_finite() && p1 > 0.0) {
-            return Err(ModelError::InvalidParameter("logarithmic: p1 must be positive"));
+            return Err(ModelError::InvalidParameter(
+                "logarithmic: p1 must be positive",
+            ));
         }
         if !(alpha > 0.0 && alpha <= 1.0) {
             return Err(ModelError::InvalidParameter(
@@ -102,7 +104,9 @@ impl Profile {
     /// 1 and 2 hold.
     pub fn saturating(p1: f64, cap: f64, m: usize) -> Result<Self, ModelError> {
         if !(p1.is_finite() && p1 > 0.0) {
-            return Err(ModelError::InvalidParameter("saturating: p1 must be positive"));
+            return Err(ModelError::InvalidParameter(
+                "saturating: p1 must be positive",
+            ));
         }
         if !(cap.is_finite() && cap >= 1.0) {
             return Err(ModelError::InvalidParameter("saturating: cap must be >= 1"));
@@ -170,7 +174,11 @@ impl Profile {
     /// Panics if `l == 0` or `l > m` — `p(0) = ∞` is never materialized.
     #[inline]
     pub fn time(&self, l: usize) -> f64 {
-        assert!(l >= 1 && l <= self.p.len(), "allotment {l} out of 1..={}", self.p.len());
+        assert!(
+            l >= 1 && l <= self.p.len(),
+            "allotment {l} out of 1..={}",
+            self.p.len()
+        );
         self.p[l - 1]
     }
 
@@ -202,6 +210,18 @@ impl Profile {
     #[inline]
     pub fn serial_time(&self) -> f64 {
         self.p[0]
+    }
+
+    /// Exact bit-representation of the processing times, the profile's
+    /// contribution to a content key (see `mtsp-engine`). Deliberately
+    /// **not** quantized: a cache hit returns the stored report verbatim,
+    /// so collapsing nearly-equal profiles onto one key would silently
+    /// serve a subtly wrong schedule. Exactness costs nothing in practice
+    /// — the text format round-trips `f64`s bit-exactly, so re-parsed
+    /// instances still hit. (`-0.0` cannot occur: times are validated
+    /// positive.)
+    pub fn content_bits(&self) -> impl Iterator<Item = u64> + '_ {
+        self.p.iter().map(|t| t.to_bits())
     }
 
     /// Truncates the profile to a machine of `m' ≤ m` processors.

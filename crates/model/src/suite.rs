@@ -9,11 +9,8 @@ use mtsp_dag::{generate, Dag};
 /// `p_j(l) = p_j(1)·l^{−d_j}` (Prasanna–Musicus) on a small pipeline DAG.
 /// Fully admissible; `m ≥ 1`.
 pub fn prasanna_musicus_pipeline(m: usize) -> Instance {
-    let dag = Dag::from_edges(
-        6,
-        &[(0, 1), (0, 2), (1, 3), (2, 4), (3, 5), (4, 5)],
-    )
-    .expect("static edge list is acyclic");
+    let dag = Dag::from_edges(6, &[(0, 1), (0, 2), (1, 3), (2, 4), (3, 5), (4, 5)])
+        .expect("static edge list is acyclic");
     let params = [
         (10.0, 0.9),
         (16.0, 0.6),

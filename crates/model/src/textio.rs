@@ -68,22 +68,27 @@ pub fn parse_instance(text: &str) -> Result<Instance, ModelError> {
 
     let (ln, header) = lines.next().ok_or_else(|| err(0, "empty input"))?;
     if header != HEADER {
-        return Err(err(ln, format!("expected header '{HEADER}', got '{header}'")));
+        return Err(err(
+            ln,
+            format!("expected header '{HEADER}', got '{header}'"),
+        ));
     }
 
-    let parse_kv = |expect: &str,
-                    item: Option<(usize, &str)>|
-     -> Result<(usize, usize), ModelError> {
-        let (ln, line) = item.ok_or_else(|| err(0, format!("missing '{expect}' line")))?;
-        let mut parts = line.split_whitespace();
-        match (parts.next(), parts.next(), parts.next()) {
-            (Some(k), Some(v), None) if k == expect => v
-                .parse::<usize>()
-                .map(|v| (ln, v))
-                .map_err(|e| err(ln, format!("bad {expect} value: {e}"))),
-            _ => Err(err(ln, format!("expected '{expect} <count>', got '{line}'"))),
-        }
-    };
+    let parse_kv =
+        |expect: &str, item: Option<(usize, &str)>| -> Result<(usize, usize), ModelError> {
+            let (ln, line) = item.ok_or_else(|| err(0, format!("missing '{expect}' line")))?;
+            let mut parts = line.split_whitespace();
+            match (parts.next(), parts.next(), parts.next()) {
+                (Some(k), Some(v), None) if k == expect => v
+                    .parse::<usize>()
+                    .map(|v| (ln, v))
+                    .map_err(|e| err(ln, format!("bad {expect} value: {e}"))),
+                _ => Err(err(
+                    ln,
+                    format!("expected '{expect} <count>', got '{line}'"),
+                )),
+            }
+        };
 
     let (_, m) = parse_kv("m", lines.next())?;
     if m == 0 {
@@ -204,8 +209,7 @@ mod tests {
 
     #[test]
     fn rejects_cycle() {
-        let text =
-            "mtsp-instance v1\nm 1\ntasks 2\ntask 1\ntask 1\nedges 2\nedge 0 1\nedge 1 0\n";
+        let text = "mtsp-instance v1\nm 1\ntasks 2\ntask 1\ntask 1\nedges 2\nedge 0 1\nedge 1 0\n";
         let e = parse_instance(text).unwrap_err();
         assert!(e.to_string().contains("cycle"));
     }

@@ -297,7 +297,10 @@ mod tests {
         let hi = w.max_time();
         for i in 0..=100 {
             let x = lo + (hi - lo) * i as f64 / 100.0;
-            let maxcut = cuts.iter().map(|c| c.at(x)).fold(f64::NEG_INFINITY, f64::max);
+            let maxcut = cuts
+                .iter()
+                .map(|c| c.at(x))
+                .fold(f64::NEG_INFINITY, f64::max);
             assert!(
                 (maxcut - w.eval(x)).abs() < 1e-8,
                 "x={x}: max-cut {maxcut} vs eval {}",
@@ -378,8 +381,7 @@ mod tests {
         for rho in [0.0, 0.26, 0.5, 1.0] {
             for l in 1..9 {
                 for t in 0..=20 {
-                    let x =
-                        p.time(l + 1) + (p.time(l) - p.time(l + 1)) * t as f64 / 20.0;
+                    let x = p.time(l + 1) + (p.time(l) - p.time(l + 1)) * t as f64 / 20.0;
                     let out = w.round(x, rho);
                     assert!(
                         out.time <= 2.0 * x / (1.0 + rho) + 1e-9,

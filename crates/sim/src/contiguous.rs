@@ -10,25 +10,10 @@
 //! rate of post-hoc placement.
 
 use crate::trace::{Event, EventKind, Trace};
-use mtsp_core::{Schedule, ScheduledTask};
+use mtsp_core::{Ord64, Schedule, ScheduledTask};
 use mtsp_model::Instance;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-
-/// Totally ordered finite f64 for heap keys.
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct Ord64(f64);
-impl Eq for Ord64 {}
-impl PartialOrd for Ord64 {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Ord64 {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).expect("finite times")
-    }
-}
 
 /// Result of contiguous list scheduling.
 #[derive(Debug, Clone)]

@@ -87,6 +87,8 @@ mod tests {
         assert!(e.to_string().contains("only 1 free"));
         let e = SimError::PrecedenceViolation { pred: 0, succ: 1 };
         assert!(e.to_string().contains("predecessor 0"));
-        assert!(SimError::ShapeMismatch("x".into()).to_string().contains('x'));
+        assert!(SimError::ShapeMismatch("x".into())
+            .to_string()
+            .contains('x'));
     }
 }

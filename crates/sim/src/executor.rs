@@ -104,7 +104,10 @@ pub fn execute(ins: &Instance, schedule: &Schedule) -> Result<SimReport, SimErro
             assignment[j] = got.clone();
             trace.events.push(Event {
                 time,
-                kind: EventKind::Start { task: j, procs: got },
+                kind: EventKind::Start {
+                    task: j,
+                    procs: got,
+                },
             });
         } else {
             for &p in &assignment[j] {
@@ -211,7 +214,10 @@ pub fn execute_contiguous(ins: &Instance, schedule: &Schedule) -> Result<SimRepo
             assignment[j] = got.clone();
             trace.events.push(Event {
                 time,
-                kind: EventKind::Start { task: j, procs: got },
+                kind: EventKind::Start {
+                    task: j,
+                    procs: got,
+                },
             });
         } else {
             for &p in &assignment[j] {

@@ -82,7 +82,10 @@ mod tests {
     fn idle_time_rendered_as_dots() {
         let (_, s, r) = setup();
         let chart = gantt(&s, &r, 40);
-        assert!(chart.contains('.'), "one processor idles in the second half");
+        assert!(
+            chart.contains('.'),
+            "one processor idles in the second half"
+        );
     }
 
     #[test]

@@ -53,13 +53,21 @@ pub fn metrics(ins: &Instance, schedule: &Schedule, report: &SimReport) -> Metri
     let max_wait = waits.iter().copied().fold(0.0, f64::max);
 
     let serial: f64 = ins.profiles().iter().map(|p| p.time(1)).sum();
-    let achieved_speedup = if makespan > 0.0 { serial / makespan } else { 1.0 };
+    let achieved_speedup = if makespan > 0.0 {
+        serial / makespan
+    } else {
+        1.0
+    };
 
     let durations: Vec<f64> = (0..schedule.n())
         .map(|j| schedule.task(j).duration)
         .collect();
     let lpath = paths::critical_path_length(ins.dag(), &durations);
-    let critical_path_fraction = if makespan > 0.0 { lpath / makespan } else { 1.0 };
+    let critical_path_fraction = if makespan > 0.0 {
+        lpath / makespan
+    } else {
+        1.0
+    };
 
     Metrics {
         per_proc_utilization,

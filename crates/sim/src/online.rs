@@ -11,7 +11,7 @@
 //! [`mtsp_core::list_schedule`] *exactly* — a cross-validation of two
 //! independent implementations of the same policy.
 
-use mtsp_core::{Priority, Schedule, ScheduledTask};
+use mtsp_core::{Ord64, Priority, Schedule, ScheduledTask};
 use mtsp_dag::paths;
 use mtsp_model::Instance;
 use rand::rngs::StdRng;
@@ -44,21 +44,6 @@ impl NoiseModel {
             NoiseModel::Uniform { epsilon } => 1.0 + epsilon * (2.0 * rng.gen::<f64>() - 1.0),
             NoiseModel::Slowdown { epsilon } => 1.0 + epsilon * rng.gen::<f64>(),
         }
-    }
-}
-
-/// Totally ordered finite f64 for heap keys.
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct Ord64(f64);
-impl Eq for Ord64 {}
-impl PartialOrd for Ord64 {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Ord64 {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).expect("finite times")
     }
 }
 
@@ -195,7 +180,10 @@ pub fn realized_feasible(ins: &Instance, s: &Schedule) -> bool {
             return false;
         }
     }
-    s.slot_profile(1).intervals.iter().all(|&(_, _, b, _)| b <= ins.m())
+    s.slot_profile(1)
+        .intervals
+        .iter()
+        .all(|&(_, _, b, _)| b <= ins.m())
 }
 
 #[cfg(test)]
@@ -220,7 +208,11 @@ mod tests {
         for seed in 0..6 {
             let ins = random(25, 8, seed);
             let alloc: Vec<usize> = (0..ins.n()).map(|j| 1 + j % 3).collect();
-            for prio in [Priority::TaskId, Priority::BottomLevel, Priority::WidestFirst] {
+            for prio in [
+                Priority::TaskId,
+                Priority::BottomLevel,
+                Priority::WidestFirst,
+            ] {
                 let a = list_schedule(&ins, &alloc, prio);
                 let b = execute_online(&ins, &alloc, prio, NoiseModel::None, seed);
                 assert_eq!(a, b, "seed {seed}, prio {prio:?}");

@@ -18,9 +18,9 @@ fn kernel_profiles(dag: &Dag, m: usize, base: f64) -> Vec<Profile> {
         .map(|v| {
             let indeg = dag.in_degree(v);
             let (work, d) = match indeg {
-                0 | 1 => (base, 0.55),        // panel factorizations: limited
-                2 => (1.6 * base, 0.75),      // triangular solves
-                _ => (2.4 * base, 0.95),      // trailing updates: near-linear
+                0 | 1 => (base, 0.55),   // panel factorizations: limited
+                2 => (1.6 * base, 0.75), // triangular solves
+                _ => (2.4 * base, 0.95), // trailing updates: near-linear
             };
             Profile::power_law(work, d, m).expect("valid parameters")
         })

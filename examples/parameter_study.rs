@@ -47,10 +47,7 @@ fn main() {
     );
     for mu in 1..=m / 2 + 1 {
         let cfg = JzConfig {
-            params: Some(Params {
-                rho: paper.rho,
-                mu,
-            }),
+            params: Some(Params { rho: paper.rho, mu }),
             ..JzConfig::default()
         };
         let rep = schedule_jz_with(&ins, &cfg).expect("schedules");

@@ -32,13 +32,19 @@ fn main() {
 
     // Run the two-phase algorithm with the paper's parameters rho(m), mu(m).
     let report = schedule_jz(&instance).expect("admissible instance schedules");
-    report.schedule.verify(&instance).expect("schedule is feasible");
+    report
+        .schedule
+        .verify(&instance)
+        .expect("schedule is feasible");
 
     println!("== phase 1 (allotment LP + rounding) ==");
     println!("  LP optimum C*            : {:.4}", report.lp.cstar);
     println!("  fractional path length L*: {:.4}", report.lp.lstar);
     println!("  fractional work W*       : {:.4}", report.lp.wstar);
-    println!("  parameters               : rho = {}, mu = {}", report.params.rho, report.params.mu);
+    println!(
+        "  parameters               : rho = {}, mu = {}",
+        report.params.rho, report.params.mu
+    );
     println!("  allotment alpha'         : {:?}", report.alloc_prime);
     println!("  capped allotment alpha   : {:?}", report.alloc);
     println!();
@@ -47,13 +53,16 @@ fn main() {
     println!();
     println!("== certificates ==");
     println!("  lower bound max(L*, W*/m): {:.4}", report.lower_bound);
-    println!("  makespan                 : {:.4}", report.schedule.makespan());
-    println!("  observed ratio           : {:.4}", report.observed_ratio());
-    println!("  a-priori guarantee r(m)  : {:.4}", report.guarantee);
     println!(
-        "  Theorem 4.1 bound        : {:.4}",
-        theorem_4_1_bound(m)
+        "  makespan                 : {:.4}",
+        report.schedule.makespan()
     );
+    println!(
+        "  observed ratio           : {:.4}",
+        report.observed_ratio()
+    );
+    println!("  a-priori guarantee r(m)  : {:.4}", report.guarantee);
+    println!("  Theorem 4.1 bound        : {:.4}", theorem_4_1_bound(m));
 
     // Execute on the simulated machine with concrete processor ids.
     let sim = mtsp::sim::execute(&instance, &report.schedule).expect("executable");

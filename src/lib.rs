@@ -35,16 +35,18 @@
 //! See `examples/` for end-to-end scenarios and `crates/bench` for the
 //! harnesses that regenerate every table and figure of the paper.
 
-/// Precedence-DAG substrate (re-export of `mtsp-dag`).
-pub use mtsp_dag as dag;
-/// Malleable-task model (re-export of `mtsp-model`).
-pub use mtsp_model as model;
-/// LP substrate (re-export of `mtsp-lp`).
-pub use mtsp_lp as lp;
-/// The two-phase algorithm (re-export of `mtsp-core`).
-pub use mtsp_core as core;
 /// Ratio analysis and tables (re-export of `mtsp-analysis`).
 pub use mtsp_analysis as analysis;
+/// The two-phase algorithm (re-export of `mtsp-core`).
+pub use mtsp_core as core;
+/// Precedence-DAG substrate (re-export of `mtsp-dag`).
+pub use mtsp_dag as dag;
+/// Batch scheduling service (re-export of `mtsp-engine`).
+pub use mtsp_engine as engine;
+/// LP substrate (re-export of `mtsp-lp`).
+pub use mtsp_lp as lp;
+/// Malleable-task model (re-export of `mtsp-model`).
+pub use mtsp_model as model;
 /// Machine simulator (re-export of `mtsp-sim`).
 pub use mtsp_sim as sim;
 
@@ -54,6 +56,7 @@ pub mod prelude {
     pub use mtsp_core::two_phase::{schedule_jz, schedule_jz_with, JzConfig, JzReport};
     pub use mtsp_core::{list_schedule, Priority, Schedule, ScheduledTask};
     pub use mtsp_dag::Dag;
+    pub use mtsp_engine::{instance_key, BatchReport, Engine, EngineConfig};
     pub use mtsp_model::{Instance, Profile};
     pub use mtsp_sim::{execute, execute_online, NoiseModel};
 }

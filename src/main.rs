@@ -4,6 +4,8 @@
 //! mtsp solve <file> [--rho R] [--mu K] [--priority id|bl|wf] [--improve] [--gantt]
 //! mtsp generate --dag <family> --curve <family> [--n N] [--m M] [--seed S]
 //! mtsp check <file>
+//! mtsp batch <dir|file>... [--jobs N] [--cache]
+//! mtsp bench-throughput --n-instances K [--jobs N] [--distinct D] [--n N] [--m M]
 //! mtsp bounds <m>
 //! mtsp tables [2|3|4|all]
 //! ```
@@ -41,6 +43,19 @@ enum Command {
     Check {
         file: String,
     },
+    Batch {
+        paths: Vec<String>,
+        jobs: usize,
+        cache: bool,
+    },
+    BenchThroughput {
+        n_instances: usize,
+        jobs: usize,
+        distinct: usize,
+        n: usize,
+        m: usize,
+        seed: u64,
+    },
     Bounds {
         m: usize,
     },
@@ -58,8 +73,16 @@ USAGE:
              [--phase1 lp|bisection]
   mtsp generate --dag <family> --curve <family> [--n N] [--m M] [--seed S]
   mtsp check <file>
+  mtsp batch <dir|file>... [--jobs N] [--cache]
+  mtsp bench-throughput --n-instances K [--jobs N] [--distinct D] [--n N] [--m M]
+                        [--seed S]
   mtsp bounds <m>
   mtsp tables [2|3|4|all]
+
+batch solves every instance file (directories expand to their non-hidden
+files, sorted by name) on a deterministic worker pool: results print in
+submission order and are byte-identical for any --jobs value; --cache
+memoizes repeated instances. Throughput metrics go to stderr.
 
 DAG families:   independent chain layered series-parallel fork-join cholesky
                 wavefront random-tree
@@ -162,12 +185,9 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             })
         }
         "generate" => {
-            let dag = parse_dag(
-                &take_value(&mut rest, "--dag")?.ok_or("generate needs --dag")?,
-            )?;
-            let curve = parse_curve(
-                &take_value(&mut rest, "--curve")?.ok_or("generate needs --curve")?,
-            )?;
+            let dag = parse_dag(&take_value(&mut rest, "--dag")?.ok_or("generate needs --dag")?)?;
+            let curve =
+                parse_curve(&take_value(&mut rest, "--curve")?.ok_or("generate needs --curve")?)?;
             let n = take_value(&mut rest, "--n")?
                 .map(|v| v.parse::<usize>().map_err(|e| format!("bad --n: {e}")))
                 .transpose()?
@@ -199,6 +219,64 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 file: file.to_string(),
             })
         }
+        "batch" => {
+            let jobs = take_value(&mut rest, "--jobs")?
+                .map(|v| v.parse::<usize>().map_err(|e| format!("bad --jobs: {e}")))
+                .transpose()?
+                .unwrap_or(0);
+            let cache = take_flag(&mut rest, "--cache");
+            if rest.is_empty() {
+                return Err("batch needs at least one file or directory".into());
+            }
+            Ok(Command::Batch {
+                paths: rest.iter().map(|s| s.to_string()).collect(),
+                jobs,
+                cache,
+            })
+        }
+        "bench-throughput" => {
+            let n_instances = take_value(&mut rest, "--n-instances")?
+                .ok_or("bench-throughput needs --n-instances")?
+                .parse::<usize>()
+                .map_err(|e| format!("bad --n-instances: {e}"))?;
+            let jobs = take_value(&mut rest, "--jobs")?
+                .map(|v| v.parse::<usize>().map_err(|e| format!("bad --jobs: {e}")))
+                .transpose()?
+                .unwrap_or(0);
+            let distinct = take_value(&mut rest, "--distinct")?
+                .map(|v| {
+                    v.parse::<usize>()
+                        .map_err(|e| format!("bad --distinct: {e}"))
+                })
+                .transpose()?
+                .unwrap_or(8);
+            let n = take_value(&mut rest, "--n")?
+                .map(|v| v.parse::<usize>().map_err(|e| format!("bad --n: {e}")))
+                .transpose()?
+                .unwrap_or(20);
+            let m = take_value(&mut rest, "--m")?
+                .map(|v| v.parse::<usize>().map_err(|e| format!("bad --m: {e}")))
+                .transpose()?
+                .unwrap_or(8);
+            let seed = take_value(&mut rest, "--seed")?
+                .map(|v| v.parse::<u64>().map_err(|e| format!("bad --seed: {e}")))
+                .transpose()?
+                .unwrap_or(0);
+            if !rest.is_empty() {
+                return Err(format!("unexpected arguments: {rest:?}"));
+            }
+            if n_instances == 0 || distinct == 0 || n == 0 || m == 0 {
+                return Err("--n-instances, --distinct, --n and --m must be positive".into());
+            }
+            Ok(Command::BenchThroughput {
+                n_instances,
+                jobs,
+                distinct,
+                n,
+                m,
+                seed,
+            })
+        }
         "bounds" => {
             let [m] = rest.as_slice() else {
                 return Err("bounds needs a machine size".into());
@@ -216,6 +294,38 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
         }
         other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
     }
+}
+
+/// Expands the `batch` path arguments: files pass through, directories
+/// expand to their non-hidden regular files sorted by name.
+fn expand_batch_paths(paths: &[String]) -> Result<Vec<std::path::PathBuf>, String> {
+    let mut files = Vec::new();
+    for p in paths {
+        let path = std::path::Path::new(p);
+        if path.is_dir() {
+            let mut entries: Vec<std::path::PathBuf> = std::fs::read_dir(path)
+                .map_err(|e| format!("{p}: {e}"))?
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|q| {
+                    q.is_file()
+                        && !q
+                            .file_name()
+                            .is_some_and(|n| n.to_string_lossy().starts_with('.'))
+                })
+                .collect();
+            entries.sort();
+            if entries.is_empty() {
+                return Err(format!("{p}: directory contains no instance files"));
+            }
+            files.extend(entries);
+        } else if path.is_file() {
+            files.push(path.to_path_buf());
+        } else {
+            return Err(format!("{p}: no such file or directory"));
+        }
+    }
+    Ok(files)
 }
 
 /// Executes a command, returning the text to print.
@@ -254,7 +364,130 @@ fn run(cmd: Command) -> Result<String, String> {
                 "combinatorial lower bound: {:.6}",
                 ins.combinatorial_lower_bound()
             );
-            let _ = writeln!(out, "serial upper bound:        {:.6}", ins.serial_upper_bound());
+            let _ = writeln!(
+                out,
+                "serial upper bound:        {:.6}",
+                ins.serial_upper_bound()
+            );
+        }
+        Command::Batch { paths, jobs, cache } => {
+            let files = expand_batch_paths(&paths)?;
+            // Unreadable/unparsable files become per-job error lines (like
+            // solver failures) instead of aborting the whole batch — a
+            // directory may mix instance files with a stray README. Parsed
+            // instances move into the job list; `outcomes` remembers which
+            // file index solved vs failed to parse.
+            let mut instances = Vec::with_capacity(files.len());
+            let mut outcomes: Vec<Result<(), String>> = Vec::with_capacity(files.len());
+            for f in &files {
+                let parsed = std::fs::read_to_string(f)
+                    .map_err(|e| format!("{}: {e}", f.display()))
+                    .and_then(|text| {
+                        textio::parse_instance(&text).map_err(|e| format!("{}: {e}", f.display()))
+                    });
+                match parsed {
+                    Ok(ins) => {
+                        instances.push(ins);
+                        outcomes.push(Ok(()));
+                    }
+                    Err(msg) => outcomes.push(Err(msg)),
+                }
+            }
+            let engine = Engine::new(EngineConfig {
+                workers: jobs,
+                cache,
+                ..EngineConfig::default()
+            });
+            let report = engine.solve_batch(&instances);
+            let _ = writeln!(out, "batch: {} instance(s)", files.len());
+            for (i, f) in files.iter().enumerate() {
+                let _ = writeln!(out, "  [{i}] {}", f.display());
+            }
+            let mut solved = report.results.iter();
+            for (i, outcome) in outcomes.iter().enumerate() {
+                match outcome {
+                    Ok(()) => {
+                        let r = solved.next().expect("one result per parsed instance");
+                        let _ = writeln!(out, "{}", mtsp::engine::render_result_line(i, r));
+                    }
+                    Err(msg) => {
+                        let _ = writeln!(out, "job {i}: error: {msg}");
+                    }
+                }
+            }
+            // Wall-clock metrics go to stderr so stdout stays byte-identical
+            // across --jobs values (the determinism contract of `batch`).
+            eprint!("{}", report.metrics.render());
+        }
+        Command::BenchThroughput {
+            n_instances,
+            jobs,
+            distinct,
+            n,
+            m,
+            seed,
+        } => {
+            let distinct = distinct.min(n_instances);
+            let suite: Vec<Instance> = (0..n_instances)
+                .map(|i| {
+                    random_instance(
+                        DagFamily::Layered,
+                        CurveFamily::Mixed,
+                        n,
+                        m,
+                        seed + (i % distinct) as u64,
+                    )
+                })
+                .collect();
+            let sequential = Engine::new(EngineConfig {
+                workers: 1,
+                cache: false,
+                ..EngineConfig::default()
+            });
+            let r_seq = sequential.solve_batch(&suite);
+            let pooled = Engine::new(EngineConfig {
+                workers: jobs,
+                cache: true,
+                ..EngineConfig::default()
+            });
+            // Clamp like the pool does, so the header never overstates the
+            // parallelism behind the quoted speedups.
+            let workers = pooled.config().resolved_workers().min(n_instances);
+            let r_cold = pooled.solve_batch(&suite);
+            let r_warm = pooled.solve_batch(&suite);
+            let identical = r_seq.render_results() == r_cold.render_results()
+                && r_cold.render_results() == r_warm.render_results();
+            let speed =
+                |r: &BatchReport| r.metrics.throughput / r_seq.metrics.throughput.max(1e-12);
+            let _ = writeln!(
+                out,
+                "bench-throughput: {n_instances} jobs ({distinct} distinct), n={n}, m={m}, workers={workers}"
+            );
+            let _ = writeln!(
+                out,
+                "  sequential, no cache  {:>10.1} jobs/s  (wall {:.3} s)",
+                r_seq.metrics.throughput,
+                r_seq.metrics.wall.as_secs_f64()
+            );
+            let _ = writeln!(
+                out,
+                "  pool, cold cache      {:>10.1} jobs/s  (wall {:.3} s)  speedup {:.2}x",
+                r_cold.metrics.throughput,
+                r_cold.metrics.wall.as_secs_f64(),
+                speed(&r_cold)
+            );
+            let _ = writeln!(
+                out,
+                "  pool, warm cache      {:>10.1} jobs/s  (wall {:.3} s)  speedup {:.2}x",
+                r_warm.metrics.throughput,
+                r_warm.metrics.wall.as_secs_f64(),
+                speed(&r_warm)
+            );
+            let _ = writeln!(
+                out,
+                "  warm hit rate {:.1}%  |  outputs byte-identical across modes: {identical}",
+                100.0 * r_warm.metrics.cache.hit_rate()
+            );
         }
         Command::Bounds { m } => {
             let p = our_params(m);
@@ -265,7 +498,11 @@ fn run(cmd: Command) -> Result<String, String> {
                 "  min-max bound r(m)       = {:.6}",
                 mtsp::analysis::minmax::objective(m, p.mu, p.rho)
             );
-            let _ = writeln!(out, "  Theorem 4.1 bound        = {:.6}", theorem_4_1_bound(m));
+            let _ = writeln!(
+                out,
+                "  Theorem 4.1 bound        = {:.6}",
+                theorem_4_1_bound(m)
+            );
             let g = grid::grid_search(m, 10_000, 2);
             let _ = writeln!(
                 out,
@@ -273,7 +510,10 @@ fn run(cmd: Command) -> Result<String, String> {
                 g.r, g.rho, g.mu
             );
             let (ltw_mu, ltw_r) = ltw::table3_row(m);
-            let _ = writeln!(out, "  LTW [18] bound (Table 3) = {ltw_r:.6} at mu = {ltw_mu}");
+            let _ = writeln!(
+                out,
+                "  LTW [18] bound (Table 3) = {ltw_r:.6} at mu = {ltw_mu}"
+            );
         }
         Command::Tables { which } => {
             if which == "2" || which == "all" {
@@ -460,6 +700,102 @@ mod tests {
         assert!(text.contains("makespan"));
         assert!(text.contains("guarantee"));
         assert!(text.contains("p0"), "gantt rows expected");
+    }
+
+    #[test]
+    fn parses_batch_and_bench_throughput() {
+        let cmd = parse_args(&argv("batch dir-a inst.txt --jobs 8 --cache")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Batch {
+                paths: vec!["dir-a".into(), "inst.txt".into()],
+                jobs: 8,
+                cache: true,
+            }
+        );
+        let cmd = parse_args(&argv("bench-throughput --n-instances 50 --distinct 5")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::BenchThroughput {
+                n_instances: 50,
+                jobs: 0,
+                distinct: 5,
+                n: 20,
+                m: 8,
+                seed: 0,
+            }
+        );
+        assert!(parse_args(&argv("batch --jobs 2")).is_err());
+        assert!(parse_args(&argv("bench-throughput")).is_err());
+        assert!(parse_args(&argv("bench-throughput --n-instances 0")).is_err());
+        assert!(parse_args(&argv("bench-throughput --n-instances 2 --m 0")).is_err());
+        assert!(parse_args(&argv("bench-throughput --n-instances 2 --n 0")).is_err());
+    }
+
+    #[test]
+    fn batch_output_is_deterministic_across_jobs() {
+        // Process-id suffix: parallel test processes must not share the dir.
+        let dir = std::env::temp_dir().join(format!("mtsp-cli-batch-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        for seed in 0..6u64 {
+            let gen = run(Command::Generate {
+                dag: DagFamily::Layered,
+                curve: CurveFamily::PowerLaw,
+                n: 8,
+                m: 4,
+                seed: seed % 3, // duplicates exercise the cache
+            })
+            .unwrap();
+            std::fs::write(dir.join(format!("inst{seed}.txt")), gen).unwrap();
+        }
+        // A stray non-instance file must become a per-job error line, not
+        // kill the batch ("zz" sorts after the instance files -> job 6).
+        std::fs::write(dir.join("zz-readme.txt"), "not an instance\n").unwrap();
+        let batch = |jobs: usize, cache: bool| {
+            run(Command::Batch {
+                paths: vec![dir.to_string_lossy().into_owned()],
+                jobs,
+                cache,
+            })
+            .unwrap()
+        };
+        let sequential = batch(1, false);
+        assert_eq!(
+            sequential.lines().count(),
+            1 + 7 + 7,
+            "header + files + jobs"
+        );
+        assert!(sequential.contains("job 5:"));
+        assert!(
+            sequential.contains("job 6: error:"),
+            "unparsable file reports per-job: {sequential}"
+        );
+        assert_eq!(sequential, batch(8, false), "worker count must not matter");
+        assert_eq!(sequential, batch(8, true), "cache must not matter");
+        let missing = run(Command::Batch {
+            paths: vec!["/nonexistent/nope".into()],
+            jobs: 1,
+            cache: false,
+        });
+        assert!(missing.is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bench_throughput_runs_and_reports_speedup() {
+        let text = run(Command::BenchThroughput {
+            n_instances: 12,
+            jobs: 4,
+            distinct: 3,
+            n: 8,
+            m: 4,
+            seed: 1,
+        })
+        .unwrap();
+        assert!(text.contains("sequential, no cache"));
+        assert!(text.contains("pool, warm cache"));
+        assert!(text.contains("outputs byte-identical across modes: true"));
     }
 
     #[test]

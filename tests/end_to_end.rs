@@ -95,10 +95,7 @@ fn heavy_path_exists_and_covers_low_slots() {
         let path = heavy_path(ins.dag(), &rep.schedule, rep.params.mu);
         assert!(is_directed_path(ins.dag(), &path), "{df:?}/{cf:?}/m={m}");
         let cov = low_slot_coverage(&rep.schedule, rep.params.mu, &path);
-        assert!(
-            cov >= 1.0 - 1e-6,
-            "{df:?}/{cf:?}/m={m}: coverage {cov} < 1"
-        );
+        assert!(cov >= 1.0 - 1e-6, "{df:?}/{cf:?}/m={m}: coverage {cov} < 1");
     }
 }
 

@@ -1,0 +1,200 @@
+//! Integration tests of the batch scheduling engine: canonical hashing,
+//! solve-cache behaviour, and the determinism contract of the worker pool
+//! (the acceptance criteria of the `mtsp-engine` subsystem).
+
+use mtsp::prelude::*;
+use mtsp_model::generate::{random_instance, CurveFamily, DagFamily};
+use std::sync::Arc;
+
+/// A mixed suite of `k` instances over `distinct` distinct contents.
+fn suite(k: usize, distinct: usize) -> Vec<Instance> {
+    let families = [
+        DagFamily::Layered,
+        DagFamily::SeriesParallel,
+        DagFamily::ForkJoin,
+        DagFamily::Wavefront,
+    ];
+    (0..k)
+        .map(|i| {
+            let d = i % distinct;
+            random_instance(
+                families[d % families.len()],
+                CurveFamily::Mixed,
+                10 + d % 7,
+                4 + (d % 2) * 4,
+                d as u64,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn cache_hits_on_identical_instances() {
+    let ins = random_instance(DagFamily::Cholesky, CurveFamily::PowerLaw, 15, 8, 3);
+    let engine = Engine::new(EngineConfig {
+        workers: 1,
+        ..EngineConfig::default()
+    });
+    let first = engine.solve(&ins).unwrap();
+    // A clone and a text round-trip must both hit the same entry.
+    let clone = ins.clone();
+    let roundtrip =
+        mtsp::model::textio::parse_instance(&mtsp::model::textio::write_instance(&ins)).unwrap();
+    let from_clone = engine.solve(&clone).unwrap();
+    let from_roundtrip = engine.solve(&roundtrip).unwrap();
+    assert!(Arc::ptr_eq(&first, &from_clone), "clone must hit the cache");
+    assert!(
+        Arc::ptr_eq(&first, &from_roundtrip),
+        "text round-trip must hit the cache"
+    );
+    let stats = engine.cache_stats();
+    assert_eq!(stats.misses, 1);
+    assert_eq!(stats.hits, 2);
+    assert_eq!(stats.entries, 1);
+}
+
+#[test]
+fn distinct_keys_for_non_isomorphic_dags() {
+    // Same n, m and profiles — only the precedence structure differs.
+    let profiles = |n: usize| -> Vec<Profile> {
+        (0..n)
+            .map(|j| Profile::power_law(5.0 + j as f64, 0.7, 4).unwrap())
+            .collect()
+    };
+    let chain = Instance::new(
+        Dag::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap(),
+        profiles(4),
+    )
+    .unwrap();
+    let diamond = Instance::new(
+        Dag::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap(),
+        profiles(4),
+    )
+    .unwrap();
+    let fork = Instance::new(
+        Dag::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap(),
+        profiles(4),
+    )
+    .unwrap();
+    let independent = Instance::new(Dag::new(4), profiles(4)).unwrap();
+    let keys = [
+        instance_key(&chain),
+        instance_key(&diamond),
+        instance_key(&fork),
+        instance_key(&independent),
+    ];
+    for i in 0..keys.len() {
+        for j in i + 1..keys.len() {
+            assert_ne!(keys[i], keys[j], "instances {i} and {j} must not collide");
+        }
+    }
+    // And the cache really treats them as distinct work.
+    let engine = Engine::new(EngineConfig {
+        workers: 1,
+        ..EngineConfig::default()
+    });
+    for ins in [&chain, &diamond, &fork, &independent] {
+        engine.solve(ins).unwrap();
+    }
+    assert_eq!(engine.cache_stats().entries, 4);
+    assert_eq!(engine.cache_stats().hits, 0);
+}
+
+#[test]
+fn batch_of_100_is_byte_identical_for_jobs_1_and_8() {
+    // The acceptance criterion: >= 100 instances, --jobs 8 output matches
+    // --jobs 1 exactly, results in submission order.
+    let jobs = suite(100, 23);
+    let run = |workers: usize, cache: bool| {
+        let engine = Engine::new(EngineConfig {
+            workers,
+            cache,
+            ..EngineConfig::default()
+        });
+        let report = engine.solve_batch(&jobs);
+        assert_eq!(report.results.len(), 100);
+        (report.render_results(), report)
+    };
+    let (text1, _) = run(1, false);
+    let (text8, report8) = run(8, true);
+    assert_eq!(
+        text1, text8,
+        "worker count and cache must not change output"
+    );
+    assert_eq!(text1.lines().count(), 100);
+
+    // Submission order: line i describes job i, whose (n, m) we know.
+    for (i, (line, ins)) in text1.lines().zip(&jobs).enumerate() {
+        assert!(line.starts_with(&format!("job {i}: ")), "line {i}: {line}");
+        assert!(
+            line.contains(&format!("n={} m={}", ins.n(), ins.m())),
+            "line {i} does not match submitted instance: {line}"
+        );
+    }
+
+    // Every result individually verifies against its own instance.
+    for (r, ins) in report8.results.iter().zip(&jobs) {
+        let rep = r.as_ref().expect("suite instances are admissible");
+        rep.schedule.verify(ins).unwrap();
+        assert!(rep.ratio_vs_cstar() <= rep.guarantee + 1e-6);
+    }
+
+    // 23 distinct contents => exactly 23 entries however many hits.
+    let engine = Engine::new(EngineConfig {
+        workers: 1,
+        ..EngineConfig::default()
+    });
+    let rep = engine.solve_batch(&jobs);
+    assert_eq!(engine.cache_stats().entries, 23);
+    assert_eq!(rep.metrics.cache.misses, 23);
+    assert_eq!(rep.metrics.cache.hits, 77);
+}
+
+#[test]
+fn warm_cache_batch_beats_sequential_by_2x() {
+    // The throughput acceptance criterion, at integration level: a warm
+    // cache must make batch solving at least 2x faster than sequential
+    // re-solving (in practice it is orders of magnitude).
+    let jobs = suite(100, 10);
+    let sequential = Engine::new(EngineConfig {
+        workers: 1,
+        cache: false,
+        ..EngineConfig::default()
+    });
+    let warm = Engine::new(EngineConfig {
+        workers: 8,
+        cache: true,
+        ..EngineConfig::default()
+    });
+    warm.solve_batch(&jobs); // prime
+    let seq = sequential.solve_batch(&jobs);
+    let hot = warm.solve_batch(&jobs);
+    assert_eq!(seq.render_results(), hot.render_results());
+    assert_eq!(hot.metrics.cache.hits, 100, "warm run must be all hits");
+    assert!(
+        hot.metrics.throughput >= 2.0 * seq.metrics.throughput,
+        "warm cache throughput {:.1} jobs/s must be >= 2x sequential {:.1} jobs/s",
+        hot.metrics.throughput,
+        seq.metrics.throughput
+    );
+}
+
+#[test]
+fn metrics_are_populated_and_sane() {
+    let jobs = suite(20, 5);
+    let engine = Engine::new(EngineConfig {
+        workers: 4,
+        ..EngineConfig::default()
+    });
+    let m = engine.solve_batch(&jobs).metrics;
+    assert_eq!(m.jobs, 20);
+    assert_eq!(m.failures, 0);
+    assert!(m.workers >= 1 && m.workers <= 4);
+    assert!(m.throughput > 0.0);
+    assert!(m.p50_latency <= m.p99_latency);
+    assert!(m.p99_latency <= m.max_latency);
+    assert!(m.mean_latency <= m.max_latency);
+    assert_eq!(m.cache.hits + m.cache.misses, 20);
+    let text = m.render();
+    assert!(text.contains("jobs/s") && text.contains("hit rate"));
+}

@@ -43,10 +43,7 @@ fn superlinear_profile_has_claimed_shape() {
     assert!(r.assumption1, "A1 must hold");
     assert!(!r.assumption2, "A2 must fail at the boundary triple");
     assert!(r.work_convex_in_time, "work convexity must hold");
-    assert!(
-        !r.assumption2_prime,
-        "super-linear start means W(2) < W(1)"
-    );
+    assert!(!r.assumption2_prime, "super-linear start means W(2) < W(1)");
 }
 
 #[test]

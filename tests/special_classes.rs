@@ -52,10 +52,7 @@ fn random_trees_schedule_within_guarantee() {
         assert_eq!(ins.dag().edge_count(), ins.n() - 1);
         let rep = schedule_jz(&ins).unwrap();
         rep.schedule.verify(&ins).unwrap();
-        assert!(
-            rep.ratio_vs_cstar() <= rep.guarantee + 1e-6,
-            "seed {seed}"
-        );
+        assert!(rep.ratio_vs_cstar() <= rep.guarantee + 1e-6, "seed {seed}");
     }
 }
 
@@ -72,11 +69,7 @@ fn series_parallel_two_terminal_structure() {
 fn single_wide_task_gets_the_whole_machine_capped() {
     // One big linear-speedup task on m = 8 (mu(8) = 3): phase 1 crashes it
     // fully, phase 2 caps at mu.
-    let ins = Instance::new(
-        Dag::new(1),
-        vec![Profile::power_law(24.0, 1.0, 8).unwrap()],
-    )
-    .unwrap();
+    let ins = Instance::new(Dag::new(1), vec![Profile::power_law(24.0, 1.0, 8).unwrap()]).unwrap();
     let rep = schedule_jz(&ins).unwrap();
     assert_eq!(rep.alloc[0], rep.params.mu.min(rep.alloc_prime[0]));
     assert!(rep.ratio_vs_cstar() <= rep.guarantee + 1e-6);

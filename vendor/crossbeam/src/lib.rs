@@ -1,0 +1,70 @@
+//! Offline stub of the slice of `crossbeam` this workspace uses:
+//! [`thread::scope`] with spawned closures that receive the scope again
+//! (so workers can spawn sub-workers), implemented on top of
+//! `std::thread::scope`.
+//!
+//! Behavioral difference from upstream: a panicking worker propagates the
+//! panic out of [`thread::scope`] (std semantics) instead of surfacing as
+//! `Err`; callers that `.expect()` the returned `Result` observe the same
+//! abort either way.
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+
+    /// A scope handle; borrowed by every worker closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a worker inside the scope. The closure receives the
+        /// scope, mirroring crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads can be
+    /// spawned; returns once all workers joined.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn workers_share_borrowed_slices() {
+            let mut data = vec![0u64; 8];
+            super::scope(|s| {
+                for (i, slot) in data.iter_mut().enumerate() {
+                    s.spawn(move |_| *slot = i as u64 + 1);
+                }
+            })
+            .unwrap();
+            assert_eq!(data, (1..=8).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn nested_spawn_through_scope_argument() {
+            let total = std::sync::atomic::AtomicU64::new(0);
+            super::scope(|s| {
+                s.spawn(|s2| {
+                    s2.spawn(|_| {
+                        total.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    });
+                });
+            })
+            .unwrap();
+            assert_eq!(total.load(std::sync::atomic::Ordering::SeqCst), 1);
+        }
+    }
+}
