@@ -9,7 +9,7 @@
 //! certificate (`makespan / lower bound`) are preserved, and the paper's
 //! guarantee can only improve — the starting point already satisfies it.
 
-use crate::list::{list_schedule, Priority};
+use crate::list::{list_schedule_in, ListWorkspace, Priority};
 use crate::schedule::Schedule;
 use mtsp_model::Instance;
 
@@ -58,7 +58,11 @@ pub struct Improved {
 pub fn improve_allotment(ins: &Instance, alloc: &[usize], opts: &ImproveOptions) -> Improved {
     let m = ins.m();
     let mut cur: Vec<usize> = alloc.to_vec();
-    let mut best = list_schedule(ins, &cur, opts.priority);
+    // The hill-climb is O(n) LIST evaluations per round on one instance;
+    // a single workspace keeps every evaluation after the first
+    // allocation-free.
+    let mut ws = ListWorkspace::new();
+    let mut best = list_schedule_in(&mut ws, ins, &cur, opts.priority);
     let mut best_mk = best.makespan();
     let mut moves = 0usize;
     let mut evaluations = 1usize;
@@ -72,7 +76,7 @@ pub fn improve_allotment(ins: &Instance, alloc: &[usize], opts: &ImproveOptions)
                     continue;
                 }
                 cur[j] = cand;
-                let s = list_schedule(ins, &cur, opts.priority);
+                let s = list_schedule_in(&mut ws, ins, &cur, opts.priority);
                 evaluations += 1;
                 if s.makespan() < best_mk * (1.0 - opts.min_gain) {
                     best_mk = s.makespan();
@@ -138,7 +142,7 @@ mod tests {
         let profiles = vec![Profile::power_law(8.0, 1.0, 8).unwrap(); 5];
         let ins = mtsp_model::Instance::new(dag, profiles).unwrap();
         let start = vec![1usize; 5];
-        let start_mk = list_schedule(&ins, &start, Priority::TaskId).makespan();
+        let start_mk = crate::list::list_schedule(&ins, &start, Priority::TaskId).makespan();
         let out = improve_allotment(&ins, &start, &ImproveOptions::default());
         assert!(out.moves > 0);
         assert!(

@@ -20,7 +20,7 @@
 //! algorithm on precedence-free inputs.
 
 use crate::error::CoreError;
-use crate::list::{list_schedule, Priority};
+use crate::list::{list_schedule_in, ListWorkspace, Priority};
 use crate::schedule::Schedule;
 use mtsp_model::Instance;
 
@@ -112,7 +112,11 @@ pub fn schedule_independent(ins: &Instance) -> Result<IndependentResult, CoreErr
     }
     let tau_star = hi;
     let alloc = canonical_allotment(ins, tau_star).expect("tau_star passed the feasibility test");
-    let schedule = list_schedule(ins, &alloc, Priority::WidestFirst);
+    // One LIST workspace serves the whole breakpoint sweep below — the
+    // sweep is a tight loop of list schedules over the same instance, so
+    // reusing the heaps and per-task arrays keeps it allocation-free.
+    let mut ws = ListWorkspace::new();
+    let schedule = list_schedule_in(&mut ws, ins, &alloc, Priority::WidestFirst);
 
     // tau* certifies the lower bound, but the canonical allotment at tau*
     // is not always the best *schedule*: larger targets mean narrower
@@ -164,7 +168,7 @@ pub fn schedule_independent(ins: &Instance) -> Result<IndependentResult, CoreErr
             break;
         }
         let all_serial = alloc.iter().all(|&l| l == 1);
-        let schedule = list_schedule(ins, &alloc, Priority::WidestFirst);
+        let schedule = list_schedule_in(&mut ws, ins, &alloc, Priority::WidestFirst);
         if schedule.makespan() < best.schedule.makespan() * (1.0 - 1e-12) {
             best.schedule = schedule;
             best.alloc = alloc;

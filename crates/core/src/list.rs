@@ -30,12 +30,54 @@ pub enum Priority {
     WidestFirst,
 }
 
+/// Reusable scratch for [`list_schedule_in`]: the heaps, per-task arrays
+/// and the per-round deferral buffer. Hot loops that evaluate many
+/// allotments on the same (or similar) instances — the breakpoint sweep of
+/// [`crate::independent::schedule_independent`] and the hill-climb of
+/// [`crate::improve::improve_allotment`] — keep one workspace alive so
+/// every LIST run after the first allocates only the returned schedule.
+/// The output never depends on what the workspace ran before.
+#[derive(Debug, Default)]
+pub struct ListWorkspace {
+    durations: Vec<f64>,
+    prio: Vec<f64>,
+    remaining_preds: Vec<usize>,
+    ready_time: Vec<f64>,
+    available: BinaryHeap<Reverse<(Ord64, Ord64, usize)>>,
+    running: BinaryHeap<Reverse<(Ord64, usize)>>,
+    waiting: Vec<usize>,
+    deferred: Vec<(Ord64, Ord64, usize)>,
+}
+
+impl ListWorkspace {
+    /// An empty workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        ListWorkspace::default()
+    }
+}
+
 /// Runs LIST on `ins` with per-task allotments `alloc` (already capped by
 /// the caller if desired) and returns the schedule.
 ///
 /// # Panics
 /// Panics if `alloc.len() != n` or any allotment is outside `1..=m`.
 pub fn list_schedule(ins: &Instance, alloc: &[usize], priority: Priority) -> Schedule {
+    list_schedule_in(&mut ListWorkspace::new(), ins, alloc, priority)
+}
+
+/// [`list_schedule`] with caller-owned scratch: identical output, no
+/// internal allocations beyond the returned [`Schedule`] once the
+/// workspace has warmed up.
+///
+/// # Panics
+/// Panics if `alloc.len() != n` or any allotment is outside `1..=m`.
+#[allow(clippy::needless_range_loop)] // task id j pairs several per-task arrays
+pub fn list_schedule_in(
+    ws: &mut ListWorkspace,
+    ins: &Instance,
+    alloc: &[usize],
+    priority: Priority,
+) -> Schedule {
     let n = ins.n();
     let m = ins.m();
     assert_eq!(alloc.len(), n, "one allotment per task required");
@@ -43,29 +85,38 @@ pub fn list_schedule(ins: &Instance, alloc: &[usize], priority: Priority) -> Sch
         alloc.iter().all(|&l| l >= 1 && l <= m),
         "allotments must lie in 1..=m"
     );
-    let durations: Vec<f64> = ins.times_under(alloc);
+    // Same mapping as `Instance::times_under`, written into the reused
+    // buffer instead of a fresh Vec — keep the two in sync.
+    ws.durations.clear();
+    ws.durations
+        .extend(alloc.iter().zip(ins.profiles()).map(|(&l, p)| p.time(l)));
+    let durations = &ws.durations;
 
     // Priority keys (higher = earlier). BottomLevel uses the durations of
     // the chosen allotment.
-    let prio: Vec<f64> = match priority {
-        Priority::TaskId => (0..n).map(|j| -(j as f64)).collect(),
-        Priority::BottomLevel => paths::bottom_levels(ins.dag(), &durations),
-        Priority::WidestFirst => alloc.iter().map(|&l| l as f64).collect(),
-    };
+    ws.prio.clear();
+    match priority {
+        Priority::TaskId => ws.prio.extend((0..n).map(|j| -(j as f64))),
+        Priority::BottomLevel => ws.prio.extend(paths::bottom_levels(ins.dag(), durations)),
+        Priority::WidestFirst => ws.prio.extend(alloc.iter().map(|&l| l as f64)),
+    }
+    let prio = &ws.prio;
 
     let dag = ins.dag();
-    let mut remaining_preds: Vec<usize> = (0..n).map(|j| dag.in_degree(j)).collect();
-    let mut ready_time: Vec<f64> = vec![0.0; n];
+    ws.remaining_preds.clear();
+    ws.remaining_preds.extend((0..n).map(|j| dag.in_degree(j)));
+    ws.ready_time.clear();
+    ws.ready_time.resize(n, 0.0);
 
     // Tasks whose predecessors all completed, keyed by (ready_time, -prio, id).
-    let mut available: BinaryHeap<Reverse<(Ord64, Ord64, usize)>> = BinaryHeap::new();
+    ws.available.clear();
     for j in 0..n {
-        if remaining_preds[j] == 0 {
-            available.push(Reverse((Ord64(0.0), Ord64(-prio[j]), j)));
+        if ws.remaining_preds[j] == 0 {
+            ws.available.push(Reverse((Ord64(0.0), Ord64(-prio[j]), j)));
         }
     }
     // Running tasks keyed by finish time.
-    let mut running: BinaryHeap<Reverse<(Ord64, usize)>> = BinaryHeap::new();
+    ws.running.clear();
 
     let mut placed: Vec<ScheduledTask> = vec![
         ScheduledTask {
@@ -80,21 +131,22 @@ pub fn list_schedule(ins: &Instance, alloc: &[usize], priority: Priority) -> Sch
     let mut scheduled = 0usize;
     // Tasks that were popped but do not fit right now; retried after the
     // next completion. Kept sorted by priority via re-push.
-    let mut waiting: Vec<usize> = Vec::new();
+    ws.waiting.clear();
 
     while scheduled < n {
         // Start every available-and-fitting task at `now`, best priority
         // first. Tasks not yet ready (ready_time > now) stay in the heap.
-        let mut deferred: Vec<(Ord64, Ord64, usize)> = Vec::new();
+        ws.deferred.clear();
         // Re-inject waiters (their ready_time is <= now by construction).
-        for j in waiting.drain(..) {
-            available.push(Reverse((Ord64(ready_time[j]), Ord64(-prio[j]), j)));
+        for j in ws.waiting.drain(..) {
+            ws.available
+                .push(Reverse((Ord64(ws.ready_time[j]), Ord64(-prio[j]), j)));
         }
-        while let Some(&Reverse((rt, pk, j))) = available.peek() {
+        while let Some(&Reverse((rt, pk, j))) = ws.available.peek() {
             if rt.0 > now + 1e-12 * (1.0 + now.abs()) {
                 break; // not ready yet; heap is ordered by ready time
             }
-            available.pop();
+            ws.available.pop();
             if alloc[j] <= free {
                 placed[j] = ScheduledTask {
                     start: now,
@@ -102,14 +154,14 @@ pub fn list_schedule(ins: &Instance, alloc: &[usize], priority: Priority) -> Sch
                     duration: durations[j],
                 };
                 free -= alloc[j];
-                running.push(Reverse((Ord64(now + durations[j]), j)));
+                ws.running.push(Reverse((Ord64(now + durations[j]), j)));
                 scheduled += 1;
             } else {
-                deferred.push((rt, pk, j));
+                ws.deferred.push((rt, pk, j));
             }
         }
-        for d in deferred {
-            waiting.push(d.2);
+        for &(_, _, j) in &ws.deferred {
+            ws.waiting.push(j);
         }
 
         if scheduled == n {
@@ -119,34 +171,36 @@ pub fn list_schedule(ins: &Instance, alloc: &[usize], priority: Priority) -> Sch
         // Advance time: to the next completion if anything is running,
         // otherwise to the next ready time (possible only when waiting is
         // empty — a non-empty waiting set implies something is running).
-        if let Some(Reverse((finish, _))) = running.peek().copied() {
-            let next_ready = available
+        if let Some(Reverse((finish, _))) = ws.running.peek().copied() {
+            let next_ready = ws
+                .available
                 .peek()
                 .map(|&Reverse((rt, _, _))| rt.0)
                 .unwrap_or(f64::INFINITY);
-            if waiting.is_empty() && next_ready < finish.0 {
+            if ws.waiting.is_empty() && next_ready < finish.0 {
                 now = next_ready;
                 continue;
             }
             now = finish.0;
             // Pop all completions at `now` and release their processors.
-            while let Some(&Reverse((f, j))) = running.peek() {
+            while let Some(&Reverse((f, j))) = ws.running.peek() {
                 if f.0 > now + 1e-12 * (1.0 + now.abs()) {
                     break;
                 }
-                running.pop();
+                ws.running.pop();
                 free += alloc[j];
                 for &s in dag.succs(j) {
-                    remaining_preds[s] -= 1;
-                    ready_time[s] = ready_time[s].max(f.0);
-                    if remaining_preds[s] == 0 {
-                        available.push(Reverse((Ord64(ready_time[s]), Ord64(-prio[s]), s)));
+                    ws.remaining_preds[s] -= 1;
+                    ws.ready_time[s] = ws.ready_time[s].max(f.0);
+                    if ws.remaining_preds[s] == 0 {
+                        ws.available
+                            .push(Reverse((Ord64(ws.ready_time[s]), Ord64(-prio[s]), s)));
                     }
                 }
             }
         } else {
             // Nothing running: jump to the next ready task.
-            match available.peek() {
+            match ws.available.peek() {
                 Some(&Reverse((rt, _, _))) => now = now.max(rt.0),
                 None => unreachable!("tasks remain but none running or available"),
             }

@@ -1,14 +1,14 @@
 //! The complete two-phase algorithm with certificates.
 
 use crate::allotment::{
-    round_allotment, solve_allotment, solve_allotment_bisection, AllotmentResult,
+    round_allotment, solve_allotment_bisection_in, solve_allotment_in, AllotmentResult,
 };
 use crate::error::CoreError;
 use crate::list::{list_schedule, Priority};
 use crate::schedule::Schedule;
 use mtsp_analysis::minmax;
 use mtsp_analysis::ratio::{our_params, Params};
-use mtsp_lp::SolverOptions;
+use mtsp_lp::{SolveContext, SolverOptions};
 use mtsp_model::{Instance, RoundingOutcome};
 
 /// Which phase-1 formulation to solve.
@@ -93,6 +93,20 @@ pub fn schedule_jz(ins: &Instance) -> Result<JzReport, CoreError> {
 
 /// Runs the algorithm with explicit configuration.
 pub fn schedule_jz_with(ins: &Instance, cfg: &JzConfig) -> Result<JzReport, CoreError> {
+    schedule_jz_in(&mut SolveContext::new(), ins, cfg)
+}
+
+/// Runs the algorithm through a caller-supplied LP [`SolveContext`]:
+/// phase 1 (either formulation) reuses the context's buffers — and, for
+/// the bisection, its warm-start basis across deadline probes. The engine
+/// worker pool holds one context per worker and threads it through every
+/// job; outputs are identical to [`schedule_jz_with`] regardless of what
+/// the context solved before.
+pub fn schedule_jz_in(
+    ctx: &mut SolveContext,
+    ins: &Instance,
+    cfg: &JzConfig,
+) -> Result<JzReport, CoreError> {
     let m = ins.m();
     if !cfg.skip_admissibility_check {
         if let Some(task) = ins
@@ -113,8 +127,8 @@ pub fn schedule_jz_with(ins: &Instance, cfg: &JzConfig) -> Result<JzReport, Core
 
     // Phase 1: LP + rounding.
     let lp = match cfg.phase1 {
-        Phase1::Lp => solve_allotment(ins, &cfg.solver)?,
-        Phase1::Bisection => solve_allotment_bisection(ins, &cfg.solver, 1e-7)?,
+        Phase1::Lp => solve_allotment_in(ctx, ins, &cfg.solver)?,
+        Phase1::Bisection => solve_allotment_bisection_in(ctx, ins, &cfg.solver, 1e-7)?,
     };
     let (alloc_prime, rounding) = round_allotment(ins, &lp.x, params.rho)?;
 

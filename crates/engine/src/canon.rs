@@ -146,6 +146,12 @@ pub fn config_fingerprint(cfg: &JzConfig) -> u64 {
     h.write_u64(cfg.solver.tol.to_bits());
     h.write_usize(cfg.solver.refactor_interval);
     h.write_usize(cfg.solver.bland_trigger);
+    // Warm vs cold resolves are bitwise-identical by the SolveContext
+    // contract, but the fingerprint stays conservative: every solver
+    // option that *could* steer the solve splits the cache key, so a
+    // collision can never hand a differently-configured caller a stale
+    // report.
+    h.write_u64(cfg.solver.warm_start as u64);
     h.finish() as u64
 }
 
@@ -271,6 +277,14 @@ mod tests {
             ..JzConfig::default()
         };
         assert_ne!(fp, config_fingerprint(&other_phase1));
+        let cold_solver = JzConfig {
+            solver: mtsp_lp::SolverOptions {
+                warm_start: false,
+                ..mtsp_lp::SolverOptions::default()
+            },
+            ..JzConfig::default()
+        };
+        assert_ne!(fp, config_fingerprint(&cold_solver));
     }
 
     #[test]

@@ -1,18 +1,23 @@
 //! The deterministic worker pool.
 //!
 //! Jobs are drained from a shared atomic cursor by `workers` scoped
-//! `std::thread`s; each worker solves its job (through the cache when one
-//! is supplied) and reports `(index, outcome, latency)` over a channel.
-//! Results are reassembled **by submission index**, so the output of a
-//! batch is a pure function of the job list and the solver config — the
-//! worker count and the OS scheduler only change wall-clock time, never a
-//! byte of output. The solver itself is deterministic, which also makes
-//! cache hits indistinguishable from fresh solves in the results.
+//! `std::thread`s; each worker owns one LP [`SolveContext`] — reused
+//! across every job it drains when context reuse is on, so the simplex
+//! scratch buffers, basis storage and factorization are allocated once
+//! per worker rather than once per job — and solves through the cache
+//! when one is supplied, reporting `(index, outcome, latency)` over a
+//! channel. Results are reassembled **by submission index**, so the
+//! output of a batch is a pure function of the job list and the solver
+//! config — the worker count, the OS scheduler, the cache state and the
+//! context-reuse setting only change wall-clock time, never a byte of
+//! output (each solve rebuilds its model in place; nothing of a previous
+//! job's state can leak into the next result).
 
 use crate::cache::{CacheKey, SolveCache};
 use crate::canon::{config_fingerprint, instance_key};
-use mtsp_core::two_phase::{schedule_jz_with, JzConfig, JzReport};
+use mtsp_core::two_phase::{schedule_jz_in, JzConfig, JzReport};
 use mtsp_core::CoreError;
+use mtsp_lp::SolveContext;
 use mtsp_model::Instance;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
@@ -25,18 +30,20 @@ pub type JobResult = Result<Arc<JzReport>, CoreError>;
 /// served from the cache, `Some(false)` = solved and (on success) stored.
 pub type CacheOutcome = Option<bool>;
 
-/// Solves one instance, consulting `cache` if provided; also reports the
-/// per-job [`CacheOutcome`] so batch metrics can attribute hits/misses to
-/// *this* batch even when several batches share one engine concurrently
-/// (the cache's global counters cannot tell them apart).
+/// Solves one instance through the caller's [`SolveContext`], consulting
+/// `cache` if provided; also reports the per-job [`CacheOutcome`] so batch
+/// metrics can attribute hits/misses to *this* batch even when several
+/// batches share one engine concurrently (the cache's global counters
+/// cannot tell them apart).
 pub fn solve_one(
     ins: &Instance,
     cfg: &JzConfig,
     config_fp: u64,
     cache: Option<&SolveCache>,
+    ctx: &mut SolveContext,
 ) -> (JobResult, CacheOutcome) {
     let Some(cache) = cache else {
-        return (schedule_jz_with(ins, cfg).map(Arc::new), None);
+        return (schedule_jz_in(ctx, ins, cfg).map(Arc::new), None);
     };
     let key = CacheKey {
         instance: instance_key(ins),
@@ -45,7 +52,7 @@ pub fn solve_one(
     if let Some(hit) = cache.lookup(&key) {
         return (Ok(hit), Some(true));
     }
-    match schedule_jz_with(ins, cfg) {
+    match schedule_jz_in(ctx, ins, cfg) {
         Ok(report) => {
             let report = Arc::new(report);
             cache.insert(key, report.clone());
@@ -71,12 +78,16 @@ pub struct BatchRun {
 ///
 /// `workers` is clamped to `1..=jobs.len()` (a pool larger than the batch
 /// only adds idle threads). With `workers == 1` the jobs run on the
-/// calling thread — no spawn overhead for sequential baselines.
+/// calling thread — no spawn overhead for sequential baselines. With
+/// `reuse_context` every worker threads one [`SolveContext`] through all
+/// of its jobs; without it a fresh context is built per job. Either way
+/// the results are byte-identical (asserted by the integration tests).
 pub fn run_batch(
     jobs: &[Instance],
     cfg: &JzConfig,
     workers: usize,
     cache: Option<&SolveCache>,
+    reuse_context: bool,
 ) -> BatchRun {
     let n = jobs.len();
     let config_fp = config_fingerprint(cfg);
@@ -91,9 +102,13 @@ pub fn run_batch(
     let workers = workers.clamp(1, n);
 
     if workers == 1 {
+        let mut ctx = SolveContext::new();
         for ins in jobs {
+            if !reuse_context {
+                ctx = SolveContext::new();
+            }
             let t0 = Instant::now();
-            let (result, cache_outcome) = solve_one(ins, cfg, config_fp, cache);
+            let (result, cache_outcome) = solve_one(ins, cfg, config_fp, cache, &mut ctx);
             run.latencies.push(t0.elapsed());
             run.results.push(result);
             run.cache_outcomes.push(cache_outcome);
@@ -108,16 +123,23 @@ pub fn run_batch(
         for _ in 0..workers {
             let tx = tx.clone();
             let cursor = &cursor;
-            s.spawn(move || loop {
-                let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                if idx >= n {
-                    break;
-                }
-                let t0 = Instant::now();
-                let (result, cache_outcome) = solve_one(&jobs[idx], cfg, config_fp, cache);
-                // A closed receiver means the caller is gone; stop quietly.
-                if tx.send((idx, result, t0.elapsed(), cache_outcome)).is_err() {
-                    break;
+            s.spawn(move || {
+                let mut ctx = SolveContext::new();
+                loop {
+                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                    if idx >= n {
+                        break;
+                    }
+                    if !reuse_context {
+                        ctx = SolveContext::new();
+                    }
+                    let t0 = Instant::now();
+                    let (result, cache_outcome) =
+                        solve_one(&jobs[idx], cfg, config_fp, cache, &mut ctx);
+                    // A closed receiver means the caller is gone; stop quietly.
+                    if tx.send((idx, result, t0.elapsed(), cache_outcome)).is_err() {
+                        break;
+                    }
                 }
             });
         }
@@ -169,11 +191,11 @@ mod tests {
     fn worker_count_never_changes_results() {
         let jobs = batch(12);
         let cfg = JzConfig::default();
-        let base = run_batch(&jobs, &cfg, 1, None);
+        let base = run_batch(&jobs, &cfg, 1, None, true);
         assert_eq!(base.latencies.len(), 12);
         assert!(base.cache_outcomes.iter().all(|o| o.is_none()));
         for w in [2usize, 4, 8, 32] {
-            let run = run_batch(&jobs, &cfg, w, None);
+            let run = run_batch(&jobs, &cfg, w, None, true);
             assert_eq!(
                 makespans(&base.results),
                 makespans(&run.results),
@@ -184,11 +206,40 @@ mod tests {
     }
 
     #[test]
+    fn context_reuse_never_changes_results() {
+        // Same jobs, contexts reused vs rebuilt per job, both phase-1
+        // formulations (the bisection exercises warm restarts *within*
+        // each job): bit-identical reports.
+        let jobs = batch(8);
+        for phase1 in [
+            mtsp_core::two_phase::Phase1::Lp,
+            mtsp_core::two_phase::Phase1::Bisection,
+        ] {
+            let cfg = JzConfig {
+                phase1,
+                ..JzConfig::default()
+            };
+            let reused = run_batch(&jobs, &cfg, 3, None, true);
+            let fresh = run_batch(&jobs, &cfg, 3, None, false);
+            for (i, (a, b)) in reused.results.iter().zip(&fresh.results).enumerate() {
+                let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+                assert_eq!(a.schedule, b.schedule, "{phase1:?} job {i}");
+                assert_eq!(
+                    a.lp.cstar.to_bits(),
+                    b.lp.cstar.to_bits(),
+                    "{phase1:?} job {i}"
+                );
+                assert_eq!(a.alloc, b.alloc, "{phase1:?} job {i}");
+            }
+        }
+    }
+
+    #[test]
     fn cache_makes_duplicate_jobs_share_reports() {
         let one = random_instance(DagFamily::SeriesParallel, CurveFamily::PowerLaw, 12, 4, 3);
         let jobs: Vec<Instance> = (0..6).map(|_| one.clone()).collect();
         let cache = SolveCache::new(4);
-        let run = run_batch(&jobs, &JzConfig::default(), 1, Some(&cache));
+        let run = run_batch(&jobs, &JzConfig::default(), 1, Some(&cache), true);
         let first = run.results[0].as_ref().unwrap();
         for r in &run.results[1..] {
             assert!(Arc::ptr_eq(first, r.as_ref().unwrap()));
@@ -205,8 +256,8 @@ mod tests {
     fn cached_and_uncached_agree() {
         let jobs = batch(6);
         let cache = SolveCache::new(2);
-        let plain = run_batch(&jobs, &JzConfig::default(), 2, None);
-        let cached = run_batch(&jobs, &JzConfig::default(), 2, Some(&cache));
+        let plain = run_batch(&jobs, &JzConfig::default(), 2, None, true);
+        let cached = run_batch(&jobs, &JzConfig::default(), 2, Some(&cache), true);
         assert_eq!(makespans(&plain.results), makespans(&cached.results));
     }
 
@@ -221,7 +272,7 @@ mod tests {
         )
         .unwrap();
         let jobs = vec![good.clone(), bad, good];
-        let run = run_batch(&jobs, &JzConfig::default(), 3, None);
+        let run = run_batch(&jobs, &JzConfig::default(), 3, None, true);
         assert!(run.results[0].is_ok());
         assert!(matches!(
             run.results[1],
@@ -232,7 +283,7 @@ mod tests {
 
     #[test]
     fn empty_batch() {
-        let run = run_batch(&[], &JzConfig::default(), 4, None);
+        let run = run_batch(&[], &JzConfig::default(), 4, None, true);
         assert!(run.results.is_empty() && run.latencies.is_empty());
     }
 }

@@ -25,6 +25,13 @@ pub struct EngineConfig {
     /// Total entry budget of the solve cache (FIFO eviction per shard
     /// beyond it).
     pub cache_capacity: usize,
+    /// Whether each pool worker keeps one LP [`mtsp_lp::SolveContext`]
+    /// alive across all of its jobs (scratch buffers, basis storage and
+    /// factorization allocated once per worker instead of once per job).
+    /// Off builds a fresh context per job; outputs are byte-identical
+    /// either way — this knob only trades allocations for memory
+    /// residency, and the integration tests assert the equality.
+    pub reuse_context: bool,
     /// Solver configuration applied to every job.
     pub jz: JzConfig,
 }
@@ -51,6 +58,7 @@ impl Default for EngineConfig {
             cache: true,
             cache_shards: 16,
             cache_capacity: crate::cache::DEFAULT_CACHE_CAPACITY,
+            reuse_context: true,
             jz: JzConfig::default(),
         }
     }
@@ -145,13 +153,15 @@ impl Engine {
         self.cache.clear();
     }
 
-    /// Solves one instance through the cache (when enabled).
+    /// Solves one instance through the cache (when enabled), on a
+    /// throwaway context (batch workers are where contexts live long).
     pub fn solve(&self, ins: &Instance) -> JobResult {
         solve_one(
             ins,
             &self.config.jz,
             self.config_fp,
             self.config.cache.then_some(&self.cache),
+            &mut mtsp_lp::SolveContext::new(),
         )
         .0
     }
@@ -162,7 +172,13 @@ impl Engine {
         let cache = self.config.cache.then_some(&self.cache);
         let workers = self.config.resolved_workers();
         let t0 = Instant::now();
-        let run = run_batch(jobs, &self.config.jz, workers, cache);
+        let run = run_batch(
+            jobs,
+            &self.config.jz,
+            workers,
+            cache,
+            self.config.reuse_context,
+        );
         let wall = t0.elapsed();
         // Attribute hits/misses from this batch's own per-job outcomes —
         // the cache's global counters would also absorb concurrent batches

@@ -1,0 +1,378 @@
+//! Reusable solve contexts with an explicit warm-start API.
+//!
+//! A [`SolveContext`] owns everything a solve needs beyond the model
+//! itself: the standard-form CSC matrix, the current basis and its
+//! factorization, and every scratch buffer of the iteration loops. Two
+//! usage patterns:
+//!
+//! * **Buffer reuse** — call [`SolveContext::solve`] for each of many
+//!   unrelated LPs. Each call rebuilds the standard form in place, so a
+//!   long-lived context (e.g. one per `mtsp-engine` pool worker)
+//!   amortizes every allocation across jobs. Results are identical to
+//!   [`crate::Lp::solve_with`] whatever was solved before.
+//! * **Warm re-solve** — after a solve, mutate bounds / right-hand sides /
+//!   objective coefficients in place ([`SolveContext::set_var_bounds`],
+//!   [`SolveContext::set_rhs`], [`SolveContext::set_objective`]) and call
+//!   [`SolveContext::resolve`]: the dual simplex restarts from the
+//!   previous optimal basis instead of solving cold — the classic
+//!   re-optimization trick for parameter sweeps like the deadline binary
+//!   search of `mtsp-core::allotment`.
+//!
+//! ## Determinism contract
+//!
+//! A resolve with [`crate::SolverOptions::warm_start`] `= false` rebuilds
+//! the start basis and runs the full two-phase primal method — exactly
+//! the cold path. Optimal solutions are extracted from one fresh
+//! refactorization of the final basis, so **warm and cold resolves that
+//! finish in the same basis return bitwise-identical solutions**; the
+//! `mtsp-core` allotment tests and the engine batch tests assert this end
+//! to end. (On degenerate alternate optima the two paths could in
+//! principle settle in different optimal bases; the dual entering rule
+//! breaks ties deterministically, and the property suites cross-check
+//! agreement on random instances.)
+
+use crate::error::LpError;
+use crate::problem::{Lp, VarId};
+use crate::simplex::{Core, Solution, SolverOptions};
+
+/// A reusable LP solve context: scratch buffers, the current basis and
+/// factorization, and the mutate-and-[`resolve`](SolveContext::resolve)
+/// warm-start API. See the module docs.
+///
+/// ```
+/// use mtsp_lp::{Lp, Relation, SolveContext, SolverOptions, Status};
+///
+/// // min -x - 2y  s.t.  x + y <= 4, x <= 3, y <= 2.
+/// let mut lp = Lp::minimize();
+/// let x = lp.add_var(0.0, 3.0, -1.0);
+/// let y = lp.add_var(0.0, 2.0, -2.0);
+/// lp.add_row(&[(x, 1.0), (y, 1.0)], Relation::Le, 4.0);
+///
+/// let opts = SolverOptions::default();
+/// let mut ctx = SolveContext::new();
+/// let cold = ctx.solve(&lp, &opts).unwrap();
+/// assert_eq!(cold.status, Status::Optimal);
+///
+/// // Tighten x's upper bound and re-optimize from the previous basis.
+/// ctx.set_var_bounds(x, 0.0, 1.0).unwrap();
+/// let warm = ctx.resolve(&opts).unwrap();
+/// assert_eq!(warm.status, Status::Optimal);
+/// assert!((warm.objective - (-5.0)).abs() < 1e-9); // x=1, y=2
+/// ```
+pub struct SolveContext {
+    core: Core,
+    loaded: bool,
+}
+
+impl Default for SolveContext {
+    fn default() -> Self {
+        SolveContext::new()
+    }
+}
+
+impl std::fmt::Debug for SolveContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SolveContext")
+            .field("loaded", &self.loaded)
+            .field("rows", &self.core.num_rows())
+            .field("structurals", &self.core.num_structurals())
+            .finish()
+    }
+}
+
+impl SolveContext {
+    /// An empty context; the first [`SolveContext::solve`] loads a model.
+    pub fn new() -> Self {
+        SolveContext {
+            core: Core::new(),
+            loaded: false,
+        }
+    }
+
+    /// Whether a model is loaded (i.e. `solve` ran at least once).
+    #[inline]
+    pub fn is_loaded(&self) -> bool {
+        self.loaded
+    }
+
+    /// Solves `lp` from a cold start, (re)building the standard form in
+    /// place. Equivalent to [`Lp::solve_with`] but reuses this context's
+    /// buffers and leaves the final basis loaded for
+    /// [`SolveContext::resolve`].
+    pub fn solve(&mut self, lp: &Lp, opts: &SolverOptions) -> Result<Solution, LpError> {
+        lp.validate()?;
+        self.core.load(lp, opts.tol);
+        self.loaded = true;
+        self.core.solve_cold(opts)
+    }
+
+    /// Replaces the bounds of structural variable `var` in place. A
+    /// nonbasic variable keeps its current side while that bound stays
+    /// finite (it sits at the *new* bound value on resolve).
+    pub fn set_var_bounds(&mut self, var: VarId, lower: f64, upper: f64) -> Result<(), LpError> {
+        self.require_loaded()?;
+        let j = var.index();
+        if j >= self.core.num_structurals() {
+            return Err(LpError::BadVariable(j));
+        }
+        if lower.is_nan() || upper.is_nan() {
+            return Err(LpError::NanData("variable bound"));
+        }
+        if lower > upper {
+            return Err(LpError::EmptyDomain {
+                var: j,
+                lower,
+                upper,
+            });
+        }
+        self.core.set_var_bounds(j, lower, upper);
+        Ok(())
+    }
+
+    /// Replaces the right-hand side of row `row` in place.
+    pub fn set_rhs(&mut self, row: usize, rhs: f64) -> Result<(), LpError> {
+        self.require_loaded()?;
+        if row >= self.core.num_rows() {
+            return Err(LpError::BadRow(row));
+        }
+        if rhs.is_nan() || rhs.is_infinite() {
+            return Err(LpError::NanData("right-hand side"));
+        }
+        self.core.set_rhs(row, rhs);
+        Ok(())
+    }
+
+    /// Replaces the objective coefficient of structural variable `var` in
+    /// place. (Objective changes may break dual feasibility, in which case
+    /// [`SolveContext::resolve`] transparently falls back to a cold
+    /// solve.)
+    pub fn set_objective(&mut self, var: VarId, cost: f64) -> Result<(), LpError> {
+        self.require_loaded()?;
+        let j = var.index();
+        if j >= self.core.num_structurals() {
+            return Err(LpError::BadVariable(j));
+        }
+        if cost.is_nan() || cost.is_infinite() {
+            return Err(LpError::NanData("objective coefficient"));
+        }
+        self.core.set_objective(j, cost);
+        Ok(())
+    }
+
+    /// Re-optimizes the mutated model. With
+    /// [`SolverOptions::warm_start`] the dual simplex restarts from the
+    /// previous basis (falling back to a cold solve when that basis is
+    /// unusable); without it, a full cold solve of the mutated model runs.
+    /// Either way the model stays loaded for further mutations.
+    pub fn resolve(&mut self, opts: &SolverOptions) -> Result<Solution, LpError> {
+        self.require_loaded()?;
+        self.core.set_tol(opts.tol);
+        if opts.warm_start {
+            self.core.resolve_warm(opts)
+        } else {
+            self.core.solve_cold(opts)
+        }
+    }
+
+    fn require_loaded(&self) -> Result<(), LpError> {
+        if self.loaded {
+            Ok(())
+        } else {
+            Err(LpError::NoModel)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Relation;
+    use crate::simplex::Status;
+
+    fn opts() -> SolverOptions {
+        SolverOptions::default()
+    }
+
+    fn cold_opts() -> SolverOptions {
+        SolverOptions {
+            warm_start: false,
+            ..SolverOptions::default()
+        }
+    }
+
+    /// The deadline-sweep shape of `mtsp-core`: tighten an upper bound,
+    /// warm resolve, compare against a cold solve of the same model.
+    #[test]
+    fn warm_resolve_tracks_bound_sweeps_bitwise() {
+        let build = |deadline: f64| {
+            let mut lp = Lp::minimize();
+            let c1 = lp.add_var(0.0, deadline, 0.0);
+            let c2 = lp.add_var(0.0, deadline, 0.0);
+            let y1 = lp.add_var(0.0, 3.0, 1.0);
+            let y2 = lp.add_var(0.0, 4.0, 2.0);
+            // c1 >= 5 - y1  (task 1, serial time 5, crashable by y1)
+            lp.add_row(&[(c1, -1.0), (y1, -1.0)], Relation::Le, -5.0);
+            // c1 + (6 - y2) <= c2
+            lp.add_row(&[(c1, 1.0), (c2, -1.0), (y2, -1.0)], Relation::Le, -6.0);
+            (lp, [c1, c2])
+        };
+        let (lp, vars) = build(20.0);
+        let mut ctx = SolveContext::new();
+        let first = ctx.solve(&lp, &opts()).unwrap();
+        assert_eq!(first.status, Status::Optimal);
+        for deadline in [11.0, 9.0, 8.0, 7.5, 7.0, 9.5] {
+            for v in vars {
+                ctx.set_var_bounds(v, 0.0, deadline).unwrap();
+            }
+            let warm = ctx.resolve(&opts()).unwrap();
+            let (cold_lp, _) = build(deadline);
+            let cold = cold_lp.solve().unwrap();
+            assert_eq!(warm.status, cold.status, "deadline {deadline}");
+            assert_eq!(warm.x, cold.x, "deadline {deadline}");
+            assert_eq!(
+                warm.objective.to_bits(),
+                cold.objective.to_bits(),
+                "deadline {deadline}"
+            );
+        }
+        // An infeasible deadline (below the 5 - 3 = 2 crash limit of c1
+        // combined with... actually below 2 for c1): warm detects it too.
+        for v in vars {
+            ctx.set_var_bounds(v, 0.0, 1.0).unwrap();
+        }
+        assert_eq!(ctx.resolve(&opts()).unwrap().status, Status::Infeasible);
+        // And recovers when the deadline relaxes again.
+        for v in vars {
+            ctx.set_var_bounds(v, 0.0, 50.0).unwrap();
+        }
+        let back = ctx.resolve(&opts()).unwrap();
+        assert_eq!(back.status, Status::Optimal);
+        assert_eq!(back.x, first.x);
+    }
+
+    #[test]
+    fn cold_resolve_equals_fresh_solve() {
+        let mut lp = Lp::minimize();
+        let x = lp.add_var(0.0, 10.0, -1.0);
+        let y = lp.add_var(0.0, 10.0, -2.0);
+        lp.add_row(&[(x, 1.0), (y, 1.0)], Relation::Le, 12.0);
+        let mut ctx = SolveContext::new();
+        ctx.solve(&lp, &cold_opts()).unwrap();
+        ctx.set_rhs(0, 6.0).unwrap();
+        let resolved = ctx.resolve(&cold_opts()).unwrap();
+        let mut fresh = lp.clone();
+        fresh.set_row_rhs(0, 6.0);
+        let direct = fresh.solve_with(&cold_opts()).unwrap();
+        assert_eq!(resolved.status, direct.status);
+        assert_eq!(resolved.x, direct.x);
+        assert_eq!(resolved.iterations, direct.iterations);
+    }
+
+    #[test]
+    fn objective_mutation_falls_back_and_stays_correct() {
+        let mut lp = Lp::minimize();
+        let x = lp.add_var(0.0, 5.0, 1.0);
+        let y = lp.add_var(0.0, 5.0, 1.0);
+        lp.add_row(&[(x, 1.0), (y, 1.0)], Relation::Ge, 4.0);
+        let mut ctx = SolveContext::new();
+        let a = ctx.solve(&lp, &opts()).unwrap();
+        assert!((a.objective - 4.0).abs() < 1e-9);
+        // Flip the preference: now y is much cheaper.
+        ctx.set_objective(x, 10.0).unwrap();
+        let b = ctx.resolve(&opts()).unwrap();
+        assert_eq!(b.status, Status::Optimal);
+        assert!((b.objective - 4.0).abs() < 1e-9, "y=4 costs 4");
+        assert!((b.x[1] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mutations_and_resolve_require_a_loaded_model() {
+        let mut ctx = SolveContext::new();
+        assert!(!ctx.is_loaded());
+        assert!(matches!(ctx.resolve(&opts()), Err(LpError::NoModel)));
+        assert!(matches!(ctx.set_rhs(0, 1.0), Err(LpError::NoModel)));
+        let mut lp = Lp::minimize();
+        let x = lp.add_var(0.0, 1.0, 1.0);
+        lp.add_row(&[(x, 1.0)], Relation::Le, 1.0);
+        ctx.solve(&lp, &opts()).unwrap();
+        assert!(ctx.is_loaded());
+        // Out-of-range and invalid mutations are rejected.
+        assert!(matches!(
+            ctx.set_var_bounds(crate::VarId(7), 0.0, 1.0),
+            Err(LpError::BadVariable(7))
+        ));
+        assert!(matches!(ctx.set_rhs(3, 0.0), Err(LpError::BadRow(3))));
+        assert!(matches!(
+            ctx.set_var_bounds(x, 2.0, 1.0),
+            Err(LpError::EmptyDomain { .. })
+        ));
+        assert!(matches!(ctx.set_rhs(0, f64::NAN), Err(LpError::NanData(_))));
+        assert!(matches!(
+            ctx.set_objective(x, f64::INFINITY),
+            Err(LpError::NanData(_))
+        ));
+    }
+
+    #[test]
+    fn context_reuse_across_unrelated_models_is_stateless() {
+        // Solving B after A must give the same bits as solving B fresh.
+        let mut a = Lp::minimize();
+        let xa = a.add_var(0.0, 9.0, -3.0);
+        a.add_row(&[(xa, 2.0)], Relation::Le, 7.0);
+        let mut b = Lp::minimize();
+        let xb = b.add_var(0.0, f64::INFINITY, 1.0);
+        let yb = b.add_var(0.0, f64::INFINITY, 1.0);
+        b.add_row(&[(xb, 1.0), (yb, 1.0)], Relation::Eq, 5.0);
+        b.add_row(&[(xb, 1.0), (yb, -1.0)], Relation::Eq, 1.0);
+
+        let mut reused = SolveContext::new();
+        reused.solve(&a, &opts()).unwrap();
+        let through_reuse = reused.solve(&b, &opts()).unwrap();
+        let fresh = SolveContext::new().solve(&b, &opts()).unwrap();
+        assert_eq!(through_reuse.x, fresh.x);
+        assert_eq!(through_reuse.duals, fresh.duals);
+        assert_eq!(through_reuse.iterations, fresh.iterations);
+        assert_eq!(through_reuse.objective.to_bits(), fresh.objective.to_bits());
+    }
+
+    /// Regression: an infeasible phase 1 must not leave the zeroed
+    /// phase-1 objective (or unpinned artificials) loaded in the context
+    /// — a later repaired model has to optimize the *real* costs.
+    #[test]
+    fn resolve_after_infeasible_solve_optimizes_the_real_objective() {
+        // min x, x in [0, 1], x = 5: infeasible.
+        let mut lp = Lp::minimize();
+        let x = lp.add_var(0.0, 1.0, 1.0);
+        lp.add_row(&[(x, 1.0)], Relation::Eq, 5.0);
+        let mut ctx = SolveContext::new();
+        assert_eq!(ctx.solve(&lp, &opts()).unwrap().status, Status::Infeasible);
+        // Repair the rhs: min x s.t. x = 0.5 has optimum 0.5, not 0.
+        ctx.set_rhs(0, 0.5).unwrap();
+        for warm in [true, false] {
+            let o = SolverOptions {
+                warm_start: warm,
+                ..SolverOptions::default()
+            };
+            let sol = ctx.resolve(&o).unwrap();
+            assert_eq!(sol.status, Status::Optimal, "warm={warm}");
+            assert!(
+                (sol.objective - 0.5).abs() < 1e-9,
+                "warm={warm}: objective {} != 0.5 (phase-1 costs leaked?)",
+                sol.objective
+            );
+            assert!((sol.x[0] - 0.5).abs() < 1e-9, "warm={warm}");
+        }
+    }
+
+    #[test]
+    fn loosening_bounds_keeps_the_basis_and_improves() {
+        let mut lp = Lp::minimize();
+        let x = lp.add_var(0.0, 2.0, -1.0);
+        let mut ctx = SolveContext::new();
+        let tight = ctx.solve(&lp, &opts()).unwrap();
+        assert!((tight.objective + 2.0).abs() < 1e-12);
+        ctx.set_var_bounds(x, 0.0, 8.0).unwrap();
+        let loose = ctx.resolve(&opts()).unwrap();
+        assert!((loose.objective + 8.0).abs() < 1e-12);
+    }
+}

@@ -94,16 +94,54 @@ impl Matrix {
         out
     }
 
+    /// Reshapes to `rows × cols`, zero-filling, and keeping the backing
+    /// allocation when it already fits.
+    pub fn resize_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Reshapes to the identity of order `n`, reusing the allocation.
+    pub fn set_identity(&mut self, n: usize) {
+        self.resize_zeroed(n, n);
+        for i in 0..n {
+            self[(i, i)] = 1.0;
+        }
+    }
+
+    /// Copies shape and contents from `src`, reusing the allocation.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
     /// Inverse by Gauss–Jordan elimination with partial pivoting.
     ///
     /// Returns `None` if a pivot smaller than `tol` (relative to the
     /// largest remaining entry) is encountered, i.e. the matrix is
     /// (numerically) singular.
     pub fn inverse(&self, tol: f64) -> Option<Matrix> {
+        let mut scratch = Matrix::zeros(0, 0);
+        let mut out = Matrix::zeros(0, 0);
+        self.inverse_into(tol, &mut scratch, &mut out)
+            .then_some(out)
+    }
+
+    /// Allocation-free form of [`Matrix::inverse`]: `scratch` receives a
+    /// working copy of `self`, `out` the inverse. Both are reshaped as
+    /// needed, so repeated refactorizations reuse their buffers. The
+    /// elimination sequence is identical to [`Matrix::inverse`].
+    pub fn inverse_into(&self, tol: f64, scratch: &mut Matrix, out: &mut Matrix) -> bool {
         assert_eq!(self.rows, self.cols, "inverse of non-square matrix");
         let n = self.rows;
-        let mut a = self.clone();
-        let mut inv = Matrix::identity(n);
+        let a = scratch;
+        a.copy_from(self);
+        let inv = out;
+        inv.set_identity(n);
         for col in 0..n {
             // Partial pivoting: the largest |entry| in this column at or
             // below the diagonal.
@@ -117,7 +155,7 @@ impl Matrix {
                 }
             }
             if best <= tol {
-                return None;
+                return false;
             }
             if piv != col {
                 a.swap_rows(piv, col);
@@ -142,7 +180,7 @@ impl Matrix {
                 }
             }
         }
-        Some(inv)
+        true
     }
 
     /// Swaps two rows in place.
@@ -244,5 +282,39 @@ mod tests {
     #[should_panic(expected = "ragged rows")]
     fn ragged_rows_panic() {
         Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn inverse_into_matches_inverse_and_reuses_buffers() {
+        let a = Matrix::from_rows(&[vec![4.0, 7.0], vec![2.0, 6.0]]);
+        let mut scratch = Matrix::zeros(0, 0);
+        let mut out = Matrix::zeros(0, 0);
+        assert!(a.inverse_into(1e-12, &mut scratch, &mut out));
+        assert_eq!(out, a.inverse(1e-12).unwrap());
+        // A second, larger inversion through the same buffers.
+        let b = Matrix::from_rows(&[
+            vec![2.0, 1.0, 0.0],
+            vec![1.0, 3.0, 1.0],
+            vec![0.0, 1.0, 4.0],
+        ]);
+        assert!(b.inverse_into(1e-12, &mut scratch, &mut out));
+        assert_eq!(out, b.inverse(1e-12).unwrap());
+        // Singular input reports false through the same path.
+        let s = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert!(!s.inverse_into(1e-12, &mut scratch, &mut out));
+    }
+
+    #[test]
+    fn resize_identity_and_copy() {
+        let mut m = Matrix::zeros(1, 1);
+        m.set_identity(3);
+        assert_eq!(m, Matrix::identity(3));
+        m.resize_zeroed(2, 4);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 4);
+        assert!(m.row(1).iter().all(|&v| v == 0.0));
+        let src = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        m.copy_from(&src);
+        assert_eq!(m, src);
     }
 }

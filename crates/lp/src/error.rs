@@ -7,6 +7,8 @@ use std::fmt;
 pub enum LpError {
     /// A variable id referenced a non-existent variable.
     BadVariable(usize),
+    /// A row index referenced a non-existent row (context mutations).
+    BadRow(usize),
     /// Lower bound exceeds upper bound for a variable.
     EmptyDomain {
         /// Variable index.
@@ -24,18 +26,23 @@ pub enum LpError {
     /// Internal invariant violation (refactorization found a singular
     /// basis). Should not occur; reported instead of panicking.
     SingularBasis,
+    /// A [`crate::SolveContext`] mutation or resolve was attempted before
+    /// any model was loaded with a successful solve.
+    NoModel,
 }
 
 impl fmt::Display for LpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LpError::BadVariable(v) => write!(f, "unknown variable id {v}"),
+            LpError::BadRow(r) => write!(f, "unknown row index {r}"),
             LpError::EmptyDomain { var, lower, upper } => {
                 write!(f, "variable {var} has empty domain [{lower}, {upper}]")
             }
             LpError::NanData(what) => write!(f, "NaN in LP data: {what}"),
             LpError::IterationLimit(n) => write!(f, "simplex iteration limit {n} exhausted"),
             LpError::SingularBasis => write!(f, "basis matrix became singular"),
+            LpError::NoModel => write!(f, "no model loaded in the solve context"),
         }
     }
 }
@@ -49,6 +56,7 @@ mod tests {
     #[test]
     fn display_messages() {
         assert!(LpError::BadVariable(3).to_string().contains('3'));
+        assert!(LpError::BadRow(7).to_string().contains("row index 7"));
         let e = LpError::EmptyDomain {
             var: 1,
             lower: 2.0,
@@ -58,5 +66,6 @@ mod tests {
         assert!(LpError::NanData("rhs").to_string().contains("rhs"));
         assert!(LpError::IterationLimit(99).to_string().contains("99"));
         assert!(LpError::SingularBasis.to_string().contains("singular"));
+        assert!(LpError::NoModel.to_string().contains("no model"));
     }
 }

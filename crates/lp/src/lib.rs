@@ -7,18 +7,48 @@
 //!
 //! * [`Lp`] — a model-builder API (variables with bounds, `≤ / = / ≥` rows,
 //!   minimization objective);
-//! * [`simplex`] — a dense **bounded-variable revised simplex** with a
-//!   two-phase start, Dantzig pricing with a Bland anti-cycling fallback,
-//!   bound-flip ratio tests and periodic refactorization;
+//! * [`sparse`] — the compressed-sparse-column (CSC) constraint matrix:
+//!   `col_ptr` / `row_idx` / `values` arrays, append-only columns (slacks
+//!   and artificials ride behind the structurals) and deterministic
+//!   in-column entry order;
+//! * [`simplex`] — a sparse **bounded-variable revised simplex** (primal
+//!   *and* dual) over that CSC matrix, with a two-phase start, Dantzig
+//!   pricing with a Bland anti-cycling fallback, bound-flip ratio tests,
+//!   periodic refactorization, and all per-iteration work vectors in
+//!   reusable scratch buffers;
+//! * [`context`] — [`SolveContext`], a reusable solve context with an
+//!   explicit **warm-start API**: solve once, mutate bounds / rhs /
+//!   objective in place, and `resolve` with the dual simplex from the
+//!   previous basis instead of solving cold;
 //! * [`tableau`] — an independent dense two-phase *tableau* simplex used as
 //!   a cross-checking reference implementation in tests and benches;
 //! * [`dense`] — the small dense-matrix kernel (Gauss–Jordan inversion)
-//!   shared by both solvers.
+//!   used for basis refactorization and by the reference solver.
 //!
-//! The allotment LPs produced by `mtsp-core` have `|E| + n + 2` rows and
-//! `O(n·m)` columns in the crashing formulation; the revised simplex keeps
-//! only an `rows × rows` inverse, so instances with hundreds of tasks solve
-//! in milliseconds.
+//! The allotment LPs produced by `mtsp-core` have `|E| + n + 2` rows, a
+//! handful of nonzeros per row, and `O(n·m)` columns in the crashing
+//! formulation; the revised simplex keeps only an `rows × rows` inverse
+//! and walks only stored nonzeros, so instances with hundreds of tasks
+//! solve in milliseconds — and deadline sweeps re-solve in a fraction of
+//! that via the warm-start path.
+//!
+//! ## Warm-start contract
+//!
+//! After [`SolveContext::solve`] returns [`Status::Optimal`], callers may
+//! mutate variable bounds, row right-hand sides and objective
+//! coefficients in place and call [`SolveContext::resolve`]. The contract:
+//!
+//! * with [`SolverOptions::warm_start`] (the default) the dual simplex
+//!   restarts from the previous basis — bound/rhs edits preserve dual
+//!   feasibility, so typically only a few pivots run; objective edits may
+//!   void the warm basis, in which case the context transparently falls
+//!   back to a cold solve;
+//! * with `warm_start = false` every resolve is a full cold solve of the
+//!   mutated model — byte-for-byte the same answer, used as the
+//!   determinism baseline by the downstream test suites;
+//! * optimal solutions are extracted from one fresh refactorization of
+//!   the final basis, so the reported numbers depend only on that basis
+//!   and the bound states, not on the pivot history.
 //!
 //! ```
 //! use mtsp_lp::{Lp, Relation, Status};
@@ -34,15 +64,19 @@
 //! ```
 
 pub mod certify;
+pub mod context;
 pub mod dense;
 pub mod error;
 pub mod presolve;
 pub mod problem;
 pub mod simplex;
+pub mod sparse;
 pub mod tableau;
 
 pub use certify::verify_optimality;
+pub use context::SolveContext;
 pub use error::LpError;
 pub use presolve::{presolve, solve_presolved, Presolved};
 pub use problem::{Lp, Relation, VarId};
 pub use simplex::{Solution, SolverOptions, Status};
+pub use sparse::CscMatrix;

@@ -96,6 +96,26 @@ impl Lp {
         });
     }
 
+    /// Replaces the right-hand side of row `row` (for rebuilding sweep
+    /// variants of a model; in-place re-optimization goes through
+    /// [`crate::SolveContext::set_rhs`] instead).
+    ///
+    /// # Panics
+    /// Panics if `row` is out of range.
+    pub fn set_row_rhs(&mut self, row: usize, rhs: f64) {
+        self.rows[row].rhs = rhs;
+    }
+
+    /// Replaces the bounds of variable `var` (the rebuild-side companion
+    /// of [`crate::SolveContext::set_var_bounds`]).
+    ///
+    /// # Panics
+    /// Panics if `var` is out of range.
+    pub fn set_var_bounds(&mut self, var: VarId, lower: f64, upper: f64) {
+        self.lower[var.0] = lower;
+        self.upper[var.0] = upper;
+    }
+
     /// Validates variable references, bounds and data finiteness.
     pub fn validate(&self) -> Result<(), LpError> {
         let n = self.num_vars();

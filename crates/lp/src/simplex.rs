@@ -1,10 +1,13 @@
-//! Dense bounded-variable revised simplex.
+//! Sparse bounded-variable revised simplex (primal + dual).
 //!
 //! Internally the problem is brought to the computational standard form
 //! `min c·z  s.t.  A z = b,  l ≤ z ≤ u`, where `z` stacks the structural
 //! variables, one slack per row (`≤` rows get `s ∈ [0, ∞)`, `≥` rows
 //! `s ∈ (−∞, 0]`, `=` rows `s ∈ [0, 0]`) and, when needed, phase-1
-//! artificial variables.
+//! artificial variables. The constraint matrix is stored once in
+//! compressed sparse column form ([`crate::sparse::CscMatrix`]); pricing,
+//! FTRAN and the dual row walk only the stored nonzeros (~3 per row in
+//! the allotment LPs of `mtsp-core`).
 //!
 //! The implementation follows the classical two-phase bounded-variable
 //! method:
@@ -18,17 +21,26 @@
 //! * the ratio test handles basic variables hitting either bound *and*
 //!   entering-variable bound flips, choosing among near-minimal ratios the
 //!   pivot with the largest `|w_r|` for numerical stability.
+//!
+//! All per-iteration work vectors (duals `y`, FTRAN result `w`, residuals)
+//! live in reusable scratch buffers inside [`Core`], so the iteration loop
+//! allocates nothing; a [`crate::SolveContext`] keeps one `Core` alive
+//! across solves and re-optimizes with the **dual simplex** from the
+//! previous basis after bound/rhs/objective mutations (see the crate docs
+//! for the warm-start contract).
 
 use crate::dense::Matrix;
 use crate::error::LpError;
 use crate::problem::{Lp, Relation};
+use crate::sparse::CscMatrix;
 
 /// Termination status of a solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Status {
     /// An optimal solution was found.
     Optimal,
-    /// No feasible point exists (phase-1 optimum is positive).
+    /// No feasible point exists (phase-1 optimum is positive, or the dual
+    /// simplex proved a bound violation irreparable).
     Infeasible,
     /// The objective is unbounded below over the feasible region.
     Unbounded,
@@ -46,7 +58,7 @@ pub struct Solution {
     pub x: Vec<f64>,
     /// Simplex multipliers `y = c_B B⁻¹` of the final basis, one per row.
     pub duals: Vec<f64>,
-    /// Total simplex iterations over both phases.
+    /// Total simplex iterations over all phases of this (re)solve.
     pub iterations: usize,
 }
 
@@ -62,6 +74,13 @@ pub struct SolverOptions {
     pub refactor_interval: usize,
     /// Consecutive degenerate pivots before switching to Bland's rule.
     pub bland_trigger: usize,
+    /// Whether [`crate::SolveContext::resolve`] may warm-start the dual
+    /// simplex from the previous basis. With `false` every resolve
+    /// rebuilds the start basis and runs the full two-phase method —
+    /// useful as a deterministic cold baseline; the results must be
+    /// bitwise identical either way (asserted by the `mtsp-core` and
+    /// engine test suites).
+    pub warm_start: bool,
 }
 
 impl Default for SolverOptions {
@@ -71,6 +90,7 @@ impl Default for SolverOptions {
             tol: 1e-9,
             refactor_interval: 100,
             bland_trigger: 40,
+            warm_start: true,
         }
     }
 }
@@ -85,26 +105,170 @@ enum VarState {
     FreeZero,
 }
 
-/// The standard-form working problem.
-struct Core {
+/// The standard-form working problem plus every scratch buffer the
+/// iteration loops need. One `Core` lives inside each
+/// [`crate::SolveContext`] and is rebuilt in place by [`Core::load`]; the
+/// buffers persist across solves so repeated solving allocates only for
+/// the returned [`Solution`].
+pub(crate) struct Core {
     rows: usize,
-    /// Sparse columns of `A` (row, value).
-    cols: Vec<Vec<(usize, f64)>>,
+    /// Standard-form constraint matrix: structurals, then one slack per
+    /// row, then any phase-1 artificials.
+    a: CscMatrix,
     b: Vec<f64>,
     lower: Vec<f64>,
     upper: Vec<f64>,
     cost: Vec<f64>,
-    /// Phase-1 cost (1 on artificials); swapped in/out of `cost`.
     n_struct: usize,
+    first_slack: usize,
     first_artificial: usize,
     state: Vec<VarState>,
     basis: Vec<usize>,
     binv: Matrix,
     xb: Vec<f64>,
     tol: f64,
+    // --- reusable scratch (contents meaningless between uses) ----------
+    /// Simplex multipliers `y = c_B B⁻¹`.
+    y: Vec<f64>,
+    /// FTRAN result `w = B⁻¹ A_j`.
+    w: Vec<f64>,
+    /// Residual `b − N x_N` used by refactorization and the start basis.
+    resid: Vec<f64>,
+    /// Phase-1 objective swap space.
+    saved_cost: Vec<f64>,
+    /// Basis matrix scratch for refactorization.
+    bmat: Matrix,
+    /// Gauss–Jordan working copy for [`Matrix::inverse_into`].
+    inv_scratch: Matrix,
 }
 
 impl Core {
+    /// An empty core; [`Core::load`] gives it a model.
+    pub(crate) fn new() -> Self {
+        Core {
+            rows: 0,
+            a: CscMatrix::with_rows(0),
+            b: Vec::new(),
+            lower: Vec::new(),
+            upper: Vec::new(),
+            cost: Vec::new(),
+            n_struct: 0,
+            first_slack: 0,
+            first_artificial: 0,
+            state: Vec::new(),
+            basis: Vec::new(),
+            binv: Matrix::zeros(0, 0),
+            xb: Vec::new(),
+            tol: 1e-9,
+            y: Vec::new(),
+            w: Vec::new(),
+            resid: Vec::new(),
+            saved_cost: Vec::new(),
+            bmat: Matrix::zeros(0, 0),
+            inv_scratch: Matrix::zeros(0, 0),
+        }
+    }
+
+    /// Number of structural variables of the loaded model.
+    #[inline]
+    pub(crate) fn num_structurals(&self) -> usize {
+        self.n_struct
+    }
+
+    /// Number of rows of the loaded model.
+    #[inline]
+    pub(crate) fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Rebuilds the standard form from `lp` in place, reusing every
+    /// buffer. The caller has validated `lp`.
+    pub(crate) fn load(&mut self, lp: &Lp, tol: f64) {
+        let n = lp.num_vars();
+        let m = lp.num_rows();
+        self.rows = m;
+        self.n_struct = n;
+        self.first_slack = n;
+        self.tol = tol;
+        self.lower.clear();
+        self.lower.extend_from_slice(&lp.lower);
+        self.upper.clear();
+        self.upper.extend_from_slice(&lp.upper);
+        self.cost.clear();
+        self.cost.extend_from_slice(&lp.obj);
+        self.b.clear();
+        self.b.extend(lp.rows.iter().map(|r| r.rhs));
+        // Structural columns via a counting scatter: entries land in row
+        // order within each column, exactly as if pushed row-major.
+        self.a.rebuild_from_row_major(m, n, |sink| {
+            for (i, row) in lp.rows.iter().enumerate() {
+                for &(v, a) in &row.coeffs {
+                    if a != 0.0 {
+                        sink(i, v, a);
+                    }
+                }
+            }
+        });
+        // Slacks.
+        for (i, row) in lp.rows.iter().enumerate() {
+            self.a.push_col([(i, 1.0)]);
+            self.cost.push(0.0);
+            match row.rel {
+                Relation::Le => {
+                    self.lower.push(0.0);
+                    self.upper.push(f64::INFINITY);
+                }
+                Relation::Ge => {
+                    self.lower.push(f64::NEG_INFINITY);
+                    self.upper.push(0.0);
+                }
+                Relation::Eq => {
+                    self.lower.push(0.0);
+                    self.upper.push(0.0);
+                }
+            }
+        }
+        self.first_artificial = self.a.ncols();
+    }
+
+    /// Updates the bounds of structural variable `j` in place, keeping the
+    /// nonbasic state on its current side when that bound is still finite.
+    pub(crate) fn set_var_bounds(&mut self, j: usize, lower: f64, upper: f64) {
+        self.lower[j] = lower;
+        self.upper[j] = upper;
+        if self.state[j] != VarState::Basic {
+            self.state[j] = match self.state[j] {
+                VarState::AtLower if lower.is_finite() => VarState::AtLower,
+                VarState::AtUpper if upper.is_finite() => VarState::AtUpper,
+                _ => {
+                    if lower.is_finite() {
+                        VarState::AtLower
+                    } else if upper.is_finite() {
+                        VarState::AtUpper
+                    } else {
+                        VarState::FreeZero
+                    }
+                }
+            };
+        }
+    }
+
+    /// Updates the right-hand side of row `i` in place.
+    pub(crate) fn set_rhs(&mut self, i: usize, rhs: f64) {
+        self.b[i] = rhs;
+    }
+
+    /// Updates the objective coefficient of structural variable `j`.
+    pub(crate) fn set_objective(&mut self, j: usize, cost: f64) {
+        self.cost[j] = cost;
+    }
+
+    /// Refreshes the pivot tolerance (a resolve may carry different
+    /// options than the load-time solve).
+    pub(crate) fn set_tol(&mut self, tol: f64) {
+        self.tol = tol;
+    }
+
     /// Current value of a nonbasic variable.
     #[inline]
     fn nonbasic_value(&self, j: usize) -> f64 {
@@ -116,90 +280,168 @@ impl Core {
         }
     }
 
-    /// Full primal vector (all standard-form variables).
-    fn full_x(&self) -> Vec<f64> {
-        let mut x: Vec<f64> = (0..self.cols.len())
-            .map(|j| {
-                if self.state[j] == VarState::Basic {
-                    0.0
-                } else {
-                    self.nonbasic_value(j)
-                }
-            })
-            .collect();
-        for (k, &j) in self.basis.iter().enumerate() {
-            x[j] = self.xb[k];
-        }
-        x
-    }
-
-    /// Recomputes `B⁻¹` and `x_B` from scratch.
+    /// Recomputes `B⁻¹` and `x_B` from scratch (no allocations; the dense
+    /// factorization scratch lives in the core).
     fn refactor(&mut self) -> Result<(), LpError> {
         let m = self.rows;
-        let mut bmat = Matrix::zeros(m, m);
+        self.bmat.resize_zeroed(m, m);
         for (k, &j) in self.basis.iter().enumerate() {
-            for &(i, a) in &self.cols[j] {
-                bmat[(i, k)] = a;
+            for (i, a) in self.a.col(j).iter() {
+                self.bmat[(i, k)] = a;
             }
         }
-        self.binv = bmat.inverse(1e-12).ok_or(LpError::SingularBasis)?;
+        if !self
+            .bmat
+            .inverse_into(1e-12, &mut self.inv_scratch, &mut self.binv)
+        {
+            return Err(LpError::SingularBasis);
+        }
         // r = b - N x_N
-        let mut r = self.b.clone();
-        for j in 0..self.cols.len() {
+        self.resid.clear();
+        self.resid.extend_from_slice(&self.b);
+        for j in 0..self.a.ncols() {
             if self.state[j] == VarState::Basic {
                 continue;
             }
             let v = self.nonbasic_value(j);
             if v != 0.0 {
-                for &(i, a) in &self.cols[j] {
-                    r[i] -= a * v;
+                for (i, a) in self.a.col(j).iter() {
+                    self.resid[i] -= a * v;
                 }
             }
         }
+        self.xb.clear();
+        self.xb.resize(m, 0.0);
         for k in 0..m {
-            self.xb[k] = self.binv.row(k).iter().zip(&r).map(|(c, rv)| c * rv).sum();
+            self.xb[k] = self
+                .binv
+                .row(k)
+                .iter()
+                .zip(&self.resid)
+                .map(|(c, rv)| c * rv)
+                .sum();
         }
         Ok(())
     }
 
-    /// Simplex multipliers `y = c_B B⁻¹`.
-    fn duals(&self) -> Vec<f64> {
+    /// Simplex multipliers `y = c_B B⁻¹`, written into the `y` scratch.
+    fn compute_duals(&mut self) {
         let m = self.rows;
-        let mut y = vec![0.0; m];
+        self.y.clear();
+        self.y.resize(m, 0.0);
         for (k, &j) in self.basis.iter().enumerate() {
             let cb = self.cost[j];
             if cb != 0.0 {
-                for (yi, &bi) in y.iter_mut().zip(self.binv.row(k)) {
+                for (yi, &bi) in self.y.iter_mut().zip(self.binv.row(k)) {
                     *yi += cb * bi;
                 }
             }
         }
-        y
     }
 
-    /// Reduced cost of column `j` given multipliers `y`.
+    /// Reduced cost of column `j` against the current `y` scratch.
     #[inline]
-    fn reduced_cost(&self, j: usize, y: &[f64]) -> f64 {
-        let dot: f64 = self.cols[j].iter().map(|&(i, a)| y[i] * a).sum();
-        self.cost[j] - dot
+    fn reduced_cost(&self, j: usize) -> f64 {
+        self.cost[j] - self.a.col_dot(j, &self.y)
     }
 
-    /// `w = B⁻¹ A_j`.
-    #[allow(clippy::needless_range_loop)] // w[k] pairs with binv[(k, i)]
-    fn ftran(&self, j: usize) -> Vec<f64> {
+    /// `w = B⁻¹ A_j`, written into the `w` scratch.
+    fn ftran(&mut self, j: usize) {
         let m = self.rows;
-        let mut w = vec![0.0; m];
-        for &(i, a) in &self.cols[j] {
+        self.w.clear();
+        self.w.resize(m, 0.0);
+        for (i, a) in self.a.col(j).iter() {
             if a != 0.0 {
                 for k in 0..m {
-                    w[k] += self.binv[(k, i)] * a;
+                    self.w[k] += self.binv[(k, i)] * a;
                 }
             }
         }
-        w
     }
 
-    /// Runs simplex iterations until optimality of the current cost vector.
+    /// Elementary update of `B⁻¹` after pivoting column `j` into row `r`
+    /// (the `w` scratch holds `B⁻¹ A_j`).
+    fn update_binv(&mut self, r: usize) {
+        let m = self.rows;
+        let wr = self.w[r];
+        for i in 0..m {
+            self.binv[(r, i)] /= wr;
+        }
+        for k in 0..m {
+            if k == r {
+                continue;
+            }
+            let wk = self.w[k];
+            if wk == 0.0 {
+                continue;
+            }
+            for i in 0..m {
+                let delta = wk * self.binv[(r, i)];
+                self.binv[(k, i)] -= delta;
+            }
+        }
+    }
+
+    /// Truncates any artificial tail, rebuilds the initial nonbasic states
+    /// and picks the start basis (slack where it can hold the residual,
+    /// fresh artificial otherwise). Returns whether artificials exist.
+    fn start_basis(&mut self) -> Result<bool, LpError> {
+        let m = self.rows;
+        let tol = self.tol;
+        self.a.truncate_cols(self.first_artificial);
+        self.lower.truncate(self.first_artificial);
+        self.upper.truncate(self.first_artificial);
+        self.cost.truncate(self.first_artificial);
+        self.state.clear();
+        for j in 0..self.a.ncols() {
+            self.state.push(if self.lower[j].is_finite() {
+                VarState::AtLower
+            } else if self.upper[j].is_finite() {
+                VarState::AtUpper
+            } else {
+                VarState::FreeZero
+            });
+        }
+        // Residuals with every structural at its initial bound (slacks at
+        // 0 contribute nothing unless their bound is 0 anyway).
+        self.resid.clear();
+        self.resid.extend_from_slice(&self.b);
+        for j in 0..self.first_slack {
+            let v = match self.state[j] {
+                VarState::AtLower => self.lower[j],
+                VarState::AtUpper => self.upper[j],
+                _ => 0.0,
+            };
+            if v != 0.0 {
+                for (i, a) in self.a.col(j).iter() {
+                    self.resid[i] -= a * v;
+                }
+            }
+        }
+        self.basis.clear();
+        let mut any_artificial = false;
+        for i in 0..m {
+            let s = self.first_slack + i;
+            if self.resid[i] >= self.lower[s] - tol && self.resid[i] <= self.upper[s] + tol {
+                self.basis.push(s);
+                self.state[s] = VarState::Basic;
+            } else {
+                let sign = if self.resid[i] >= 0.0 { 1.0 } else { -1.0 };
+                let j = self.a.push_col([(i, sign)]);
+                self.lower.push(0.0);
+                self.upper.push(f64::INFINITY);
+                self.cost.push(0.0);
+                self.state.push(VarState::Basic);
+                self.basis.push(j);
+                any_artificial = true;
+            }
+        }
+        self.refactor()?;
+        Ok(any_artificial)
+    }
+
+    /// Runs primal simplex iterations until optimality of the current
+    /// cost vector.
     ///
     /// Returns `Ok(true)` on optimal, `Ok(false)` on unbounded.
     fn optimize(
@@ -209,6 +451,7 @@ impl Core {
         max_iterations: usize,
     ) -> Result<bool, LpError> {
         let tol = self.tol;
+        let m = self.rows;
         let mut degenerate_run = 0usize;
         let mut since_refactor = 0usize;
         loop {
@@ -221,12 +464,12 @@ impl Core {
                 since_refactor = 0;
             }
 
-            let y = self.duals();
+            self.compute_duals();
             let use_bland = degenerate_run >= opts.bland_trigger;
 
             // --- Pricing ---------------------------------------------------
             let mut entering: Option<(usize, f64, f64)> = None; // (col, d, sigma)
-            for j in 0..self.cols.len() {
+            for j in 0..self.a.ncols() {
                 let st = self.state[j];
                 if st == VarState::Basic {
                     continue;
@@ -234,7 +477,7 @@ impl Core {
                 if self.lower[j] == self.upper[j] && st != VarState::FreeZero {
                     continue; // fixed variable can never move
                 }
-                let d = self.reduced_cost(j, &y);
+                let d = self.reduced_cost(j);
                 let sigma = match st {
                     VarState::AtLower if d < -tol => 1.0,
                     VarState::AtUpper if d > tol => -1.0,
@@ -256,15 +499,15 @@ impl Core {
             };
 
             // --- Ratio test ------------------------------------------------
-            let w = self.ftran(j);
+            self.ftran(j);
             let mut t = match (self.lower[j].is_finite(), self.upper[j].is_finite()) {
                 (true, true) => self.upper[j] - self.lower[j],
                 _ => f64::INFINITY,
             };
             let mut leaving: Option<usize> = None;
             // First pass: minimal ratio.
-            for (k, &wk) in w.iter().enumerate() {
-                let d = sigma * wk;
+            for k in 0..m {
+                let d = sigma * self.w[k];
                 if d.abs() <= 1e-11 {
                     continue;
                 }
@@ -291,7 +534,8 @@ impl Core {
             if leaving.is_some() {
                 let mut best_w = 0.0f64;
                 let mut best_k = None;
-                for (k, &wk) in w.iter().enumerate() {
+                for k in 0..m {
+                    let wk = self.w[k];
                     let d = sigma * wk;
                     if d.abs() <= 1e-11 {
                         continue;
@@ -316,7 +560,7 @@ impl Core {
                 if let Some(k) = best_k {
                     leaving = Some(k);
                     // Recompute the exact ratio of the chosen row.
-                    let d = sigma * w[k];
+                    let d = sigma * self.w[k];
                     let jb = self.basis[k];
                     t = if d > 0.0 {
                         ((self.xb[k] - self.lower[jb]) / d).max(0.0)
@@ -334,8 +578,8 @@ impl Core {
             match leaving {
                 None => {
                     // Bound flip: entering travels to its other bound.
-                    for (k, &wk) in w.iter().enumerate() {
-                        self.xb[k] -= sigma * t * wk;
+                    for k in 0..m {
+                        self.xb[k] -= sigma * t * self.w[k];
                     }
                     self.state[j] = match self.state[j] {
                         VarState::AtLower => VarState::AtUpper,
@@ -350,13 +594,13 @@ impl Core {
                         VarState::FreeZero => 0.0,
                         VarState::Basic => unreachable!(),
                     } + sigma * t;
-                    for (k, &wk) in w.iter().enumerate() {
+                    for k in 0..m {
                         if k != r {
-                            self.xb[k] -= sigma * t * wk;
+                            self.xb[k] -= sigma * t * self.w[k];
                         }
                     }
                     let lv = self.basis[r];
-                    self.state[lv] = if sigma * w[r] > 0.0 {
+                    self.state[lv] = if sigma * self.w[r] > 0.0 {
                         VarState::AtLower
                     } else {
                         VarState::AtUpper
@@ -364,250 +608,418 @@ impl Core {
                     self.basis[r] = j;
                     self.state[j] = VarState::Basic;
                     self.xb[r] = enter_value;
-                    // Elementary update of B⁻¹: row r scaled, others swept.
-                    let wr = w[r];
-                    let m = self.rows;
-                    for i in 0..m {
-                        self.binv[(r, i)] /= wr;
-                    }
-                    for (k, &wk) in w.iter().enumerate() {
-                        if k == r || wk == 0.0 {
-                            continue;
-                        }
-                        for i in 0..m {
-                            let delta = wk * self.binv[(r, i)];
-                            self.binv[(k, i)] -= delta;
-                        }
-                    }
+                    self.update_binv(r);
                     since_refactor += 1;
                 }
             }
         }
     }
-}
 
-/// Solves `lp` (already validated by the caller).
-#[allow(clippy::needless_range_loop)] // row index i pairs data across arrays
-pub(crate) fn solve(lp: &Lp, opts: &SolverOptions) -> Result<Solution, LpError> {
-    let n = lp.num_vars();
-    let m = lp.num_rows();
-    let tol = opts.tol;
-
-    // --- Build standard form ---------------------------------------------
-    let total_guess = n + 2 * m;
-    let mut cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
-    let mut lower = lp.lower.clone();
-    let mut upper = lp.upper.clone();
-    let mut cost = lp.obj.clone();
-    cols.reserve(total_guess - n);
-    let mut b = Vec::with_capacity(m);
-    for (i, row) in lp.rows.iter().enumerate() {
-        for &(v, a) in &row.coeffs {
-            if a != 0.0 {
-                cols[v].push((i, a));
-            }
-        }
-        b.push(row.rhs);
-    }
-    // Slacks.
-    let first_slack = cols.len();
-    for (i, row) in lp.rows.iter().enumerate() {
-        cols.push(vec![(i, 1.0)]);
-        cost.push(0.0);
-        match row.rel {
-            Relation::Le => {
-                lower.push(0.0);
-                upper.push(f64::INFINITY);
-            }
-            Relation::Ge => {
-                lower.push(f64::NEG_INFINITY);
-                upper.push(0.0);
-            }
-            Relation::Eq => {
-                lower.push(0.0);
-                upper.push(0.0);
-            }
-        }
-    }
-
-    // Initial nonbasic states for structurals + slacks.
-    let mut state: Vec<VarState> = (0..cols.len())
-        .map(|j| {
-            if lower[j].is_finite() {
-                VarState::AtLower
-            } else if upper[j].is_finite() {
-                VarState::AtUpper
-            } else {
-                VarState::FreeZero
-            }
-        })
-        .collect();
-
-    // Residuals with every structural at its initial bound (slacks at 0
-    // contribute nothing unless their bound is 0 anyway).
-    let mut resid = b.clone();
-    for (j, col) in cols.iter().enumerate().take(first_slack) {
-        let v = match state[j] {
-            VarState::AtLower => lower[j],
-            VarState::AtUpper => upper[j],
-            _ => 0.0,
-        };
-        if v != 0.0 {
-            for &(i, a) in col {
-                resid[i] -= a * v;
-            }
-        }
-    }
-
-    // Choose initial basis per row: the slack if it can hold the residual,
-    // otherwise a fresh artificial of matching sign.
-    let mut basis = Vec::with_capacity(m);
-    let first_artificial = cols.len();
-    let mut any_artificial = false;
-    for i in 0..m {
-        let s = first_slack + i;
-        if resid[i] >= lower[s] - tol && resid[i] <= upper[s] + tol {
-            basis.push(s);
-            state[s] = VarState::Basic;
-        } else {
-            let sign = if resid[i] >= 0.0 { 1.0 } else { -1.0 };
-            cols.push(vec![(i, sign)]);
-            lower.push(0.0);
-            upper.push(f64::INFINITY);
-            cost.push(0.0);
-            state.push(VarState::Basic);
-            basis.push(cols.len() - 1);
-            any_artificial = true;
-        }
-    }
-
-    let mut core = Core {
-        rows: m,
-        cols,
-        b,
-        lower,
-        upper,
-        cost,
-        n_struct: n,
-        first_artificial,
-        state,
-        basis,
-        binv: Matrix::identity(m),
-        xb: vec![0.0; m],
-        tol,
-    };
-    core.refactor()?;
-
-    let max_iterations = if opts.max_iterations > 0 {
-        opts.max_iterations
-    } else {
-        50 * (m + core.cols.len()) + 10_000
-    };
-    let mut iterations = 0usize;
-
-    // --- Phase 1 -----------------------------------------------------------
-    if any_artificial {
-        let saved_cost: Vec<f64> = core.cost.clone();
-        for c in core.cost.iter_mut() {
-            *c = 0.0;
-        }
-        for j in core.first_artificial..core.cols.len() {
-            core.cost[j] = 1.0;
-        }
-        let optimal = core.optimize(opts, &mut iterations, max_iterations)?;
-        debug_assert!(optimal, "phase 1 objective is bounded below by zero");
-        let infeas: f64 = core
-            .basis
-            .iter()
-            .zip(&core.xb)
-            .filter(|(&j, _)| j >= core.first_artificial)
-            .map(|(_, &v)| v.abs())
-            .sum();
-        if infeas > 1e-7 {
-            return Ok(Solution {
-                status: Status::Infeasible,
-                objective: f64::NAN,
-                x: vec![0.0; n],
-                duals: core.duals(),
-                iterations,
-            });
-        }
-        // Fix artificials at zero and restore the real costs.
-        for j in core.first_artificial..core.cols.len() {
-            core.lower[j] = 0.0;
-            core.upper[j] = 0.0;
-            if core.state[j] == VarState::FreeZero {
-                core.state[j] = VarState::AtLower;
-            }
-        }
-        core.cost = saved_cost;
-        // Drive basic artificials (all at ~0) out of the basis when a
-        // non-artificial pivot column exists; redundant rows keep theirs.
-        for r in 0..m {
-            if core.basis[r] < core.first_artificial {
+    /// Checks dual feasibility of the current basis: every nonbasic,
+    /// non-fixed variable's reduced cost must be on the correct side for
+    /// its state. Computes `y` as a side effect.
+    fn is_dual_feasible(&mut self) -> bool {
+        let tol = self.tol;
+        self.compute_duals();
+        for j in 0..self.a.ncols() {
+            let st = self.state[j];
+            if st == VarState::Basic {
                 continue;
             }
-            let mut pivot_col = None;
-            for j in 0..core.first_artificial {
-                if core.state[j] == VarState::Basic {
-                    continue;
-                }
-                let wr: f64 = core.cols[j]
-                    .iter()
-                    .map(|&(i, a)| core.binv[(r, i)] * a)
-                    .sum();
-                if wr.abs() > 1e-7 {
-                    pivot_col = Some(j);
-                    break;
-                }
+            if self.lower[j] == self.upper[j] && st != VarState::FreeZero {
+                continue; // fixed variables never enter; any sign is fine
             }
-            if let Some(j) = pivot_col {
-                let w = core.ftran(j);
-                let old = core.basis[r];
-                core.state[old] = VarState::AtLower;
-                core.basis[r] = j;
-                core.state[j] = VarState::Basic;
-                let wr = w[r];
-                for i in 0..m {
-                    core.binv[(r, i)] /= wr;
-                }
-                for (k, &wk) in w.iter().enumerate() {
-                    if k == r || wk == 0.0 {
-                        continue;
-                    }
-                    for i in 0..m {
-                        let delta = wk * core.binv[(r, i)];
-                        core.binv[(k, i)] -= delta;
-                    }
-                }
-                core.refactor()?;
+            let d = self.reduced_cost(j);
+            let bad = match st {
+                VarState::AtLower => d < -tol,
+                VarState::AtUpper => d > tol,
+                VarState::FreeZero => d.abs() > tol,
+                VarState::Basic => unreachable!(),
+            };
+            if bad {
+                return false;
             }
         }
-        core.refactor()?;
+        true
     }
 
-    // --- Phase 2 -----------------------------------------------------------
-    let optimal = core.optimize(opts, &mut iterations, max_iterations)?;
-    let duals = core.duals();
-    if !optimal {
-        return Ok(Solution {
+    /// Bounded-variable **dual simplex**: from a dual-feasible basis,
+    /// repeatedly pivots out the worst primal bound violation, choosing
+    /// the entering column by the minimal dual ratio `|d_j| / |α_j|`
+    /// (ties: largest `|α_j|`, then smallest index; Bland-style smallest
+    /// indices after a degenerate run).
+    ///
+    /// Returns `Ok(true)` when primal feasibility is reached (the caller
+    /// finishes with a primal cleanup) and `Ok(false)` when a violated
+    /// row admits no entering column — the certificate that the problem
+    /// is primal infeasible.
+    fn dual_optimize(
+        &mut self,
+        opts: &SolverOptions,
+        iterations: &mut usize,
+        max_iterations: usize,
+    ) -> Result<bool, LpError> {
+        let tol = self.tol;
+        let m = self.rows;
+        let mut degenerate_run = 0usize;
+        let mut since_refactor = 0usize;
+        loop {
+            if *iterations >= max_iterations {
+                return Err(LpError::IterationLimit(max_iterations));
+            }
+            *iterations += 1;
+            if since_refactor >= opts.refactor_interval {
+                self.refactor()?;
+                since_refactor = 0;
+            }
+            let use_bland = degenerate_run >= opts.bland_trigger;
+
+            // --- Leaving row: the worst bound violation --------------------
+            let mut leaving: Option<(usize, f64)> = None; // (row, delta)
+            for k in 0..m {
+                let jb = self.basis[k];
+                let below = self.lower[jb] - self.xb[k];
+                let above = self.xb[k] - self.upper[jb];
+                // delta = xb - violated bound: negative below, positive above.
+                let (viol, delta) = if below >= above {
+                    (below, -below)
+                } else {
+                    (above, above)
+                };
+                if viol > tol {
+                    if use_bland {
+                        leaving = Some((k, delta));
+                        break;
+                    }
+                    match leaving {
+                        Some((_, d)) if viol <= d.abs() => {}
+                        _ => leaving = Some((k, delta)),
+                    }
+                }
+            }
+            let Some((r, delta)) = leaving else {
+                return Ok(true); // primal feasible
+            };
+
+            // --- Entering: minimal dual ratio ------------------------------
+            self.compute_duals();
+            let mut entering: Option<(usize, f64, f64)> = None; // (col, ratio, |alpha|)
+            for j in 0..self.a.ncols() {
+                let st = self.state[j];
+                if st == VarState::Basic {
+                    continue;
+                }
+                if self.lower[j] == self.upper[j] && st != VarState::FreeZero {
+                    continue;
+                }
+                let mut alpha = 0.0f64;
+                for (i, a) in self.a.col(j).iter() {
+                    alpha += self.binv[(r, i)] * a;
+                }
+                if alpha.abs() <= 1e-11 {
+                    continue;
+                }
+                // The entering variable moves by dv = delta / alpha, which
+                // restores xb[r] to its violated bound; its state limits
+                // the admissible direction of dv.
+                let dv_positive = (delta / alpha) > 0.0;
+                let ok = match st {
+                    VarState::AtLower => dv_positive,
+                    VarState::AtUpper => !dv_positive,
+                    VarState::FreeZero => true,
+                    VarState::Basic => unreachable!(),
+                };
+                if !ok {
+                    continue;
+                }
+                let d = self.reduced_cost(j);
+                let ratio = match st {
+                    VarState::AtLower => d.max(0.0) / alpha.abs(),
+                    VarState::AtUpper => (-d).max(0.0) / alpha.abs(),
+                    VarState::FreeZero => d.abs() / alpha.abs(),
+                    VarState::Basic => unreachable!(),
+                };
+                let better = if use_bland {
+                    // Bland mode must still honour ratio minimality —
+                    // dual feasibility depends on it — but breaks ties
+                    // by the smallest column index (ascending iteration
+                    // plus strict `<` does exactly that), which restores
+                    // the termination guarantee.
+                    match entering {
+                        None => true,
+                        Some((_, rb, _)) => ratio < rb,
+                    }
+                } else {
+                    match entering {
+                        None => true,
+                        Some((_, rb, ab)) => {
+                            let near = 1e-9 * (1.0 + rb.abs());
+                            if ratio < rb - near {
+                                true
+                            } else {
+                                ratio <= rb + near && alpha.abs() > ab
+                            }
+                        }
+                    }
+                };
+                if better {
+                    entering = Some((j, ratio, alpha.abs()));
+                }
+            }
+            let Some((j, ratio, _)) = entering else {
+                return Ok(false); // dual unbounded => primal infeasible
+            };
+            degenerate_run = if ratio <= 1e-11 {
+                degenerate_run + 1
+            } else {
+                0
+            };
+
+            // --- Pivot -----------------------------------------------------
+            // Deliberate simplification: dv is not capped at the entering
+            // variable's opposite bound (no dual bound-flip step). A boxed
+            // entering variable can go basic past its bound; the next
+            // iterations pivot it back — correct, at the cost of extra
+            // pivots on flip-heavy sweeps. A capped ratio test with flips
+            // is the next optimization lever here.
+            self.ftran(j);
+            let wr = self.w[r];
+            let dv = delta / wr;
+            let enter_value = self.nonbasic_value(j) + dv;
+            for k in 0..m {
+                if k != r {
+                    self.xb[k] -= dv * self.w[k];
+                }
+            }
+            let lv = self.basis[r];
+            self.state[lv] = if delta < 0.0 {
+                VarState::AtLower
+            } else {
+                VarState::AtUpper
+            };
+            self.basis[r] = j;
+            self.state[j] = VarState::Basic;
+            self.xb[r] = enter_value;
+            self.update_binv(r);
+            since_refactor += 1;
+        }
+    }
+
+    /// Builds the infeasible-status solution (shared by cold phase 1 and
+    /// the dual simplex certificate). Duals reflect the current costs.
+    fn infeasible_solution(&mut self, iterations: usize) -> Solution {
+        self.compute_duals();
+        Solution {
+            status: Status::Infeasible,
+            objective: f64::NAN,
+            x: vec![0.0; self.n_struct],
+            duals: self.y.clone(),
+            iterations,
+        }
+    }
+
+    /// Builds the unbounded-status solution.
+    fn unbounded_solution(&mut self, iterations: usize) -> Solution {
+        self.compute_duals();
+        Solution {
             status: Status::Unbounded,
             objective: f64::NEG_INFINITY,
-            x: vec![0.0; n],
+            x: vec![0.0; self.n_struct],
+            duals: self.y.clone(),
+            iterations,
+        }
+    }
+
+    /// Canonicalizes and extracts the optimal solution: one fresh
+    /// refactorization (so the numbers depend only on the final basis and
+    /// bound states — the keystone of the warm == cold bitwise contract),
+    /// then primal values, duals and objective.
+    fn extract_optimal(&mut self, iterations: usize) -> Result<Solution, LpError> {
+        self.refactor()?;
+        self.compute_duals();
+        let duals = self.y.clone();
+        let mut x = vec![0.0; self.n_struct];
+        for (j, xv) in x.iter_mut().enumerate() {
+            if self.state[j] != VarState::Basic {
+                *xv = self.nonbasic_value(j);
+            }
+        }
+        for (k, &j) in self.basis.iter().enumerate() {
+            if j < self.n_struct {
+                x[j] = self.xb[k];
+            }
+        }
+        let objective = self.cost[..self.n_struct]
+            .iter()
+            .zip(&x)
+            .map(|(c, v)| c * v)
+            .sum();
+        Ok(Solution {
+            status: Status::Optimal,
+            objective,
+            x,
             duals,
             iterations,
-        });
+        })
     }
-    let full = core.full_x();
-    let x: Vec<f64> = full[..core.n_struct].to_vec();
-    let objective = lp.objective_at(&x);
-    Ok(Solution {
-        status: Status::Optimal,
-        objective,
-        x,
-        duals,
-        iterations,
-    })
+
+    /// Ends phase 1 whatever its outcome: pins every artificial at zero
+    /// and swaps the real objective back in. Must run on the infeasible
+    /// path too, or the context would stay loaded with the phase-1 costs
+    /// and corrupt every later warm or cold resolve.
+    fn end_phase1(&mut self) {
+        for j in self.first_artificial..self.a.ncols() {
+            self.lower[j] = 0.0;
+            self.upper[j] = 0.0;
+            if self.state[j] == VarState::FreeZero {
+                self.state[j] = VarState::AtLower;
+            }
+        }
+        self.cost.clear();
+        let saved = std::mem::take(&mut self.saved_cost);
+        self.cost.extend_from_slice(&saved);
+        self.saved_cost = saved;
+    }
+
+    /// Full two-phase solve from a fresh start basis. `load` (or previous
+    /// mutations) defines the model; any prior basis is discarded.
+    pub(crate) fn solve_cold(&mut self, opts: &SolverOptions) -> Result<Solution, LpError> {
+        let m = self.rows;
+        let any_artificial = self.start_basis()?;
+        let max_iterations = if opts.max_iterations > 0 {
+            opts.max_iterations
+        } else {
+            50 * (m + self.a.ncols()) + 10_000
+        };
+        let mut iterations = 0usize;
+
+        // --- Phase 1 -------------------------------------------------------
+        if any_artificial {
+            self.saved_cost.clear();
+            self.saved_cost.extend_from_slice(&self.cost);
+            for c in self.cost.iter_mut() {
+                *c = 0.0;
+            }
+            for j in self.first_artificial..self.a.ncols() {
+                self.cost[j] = 1.0;
+            }
+            let optimal = self.optimize(opts, &mut iterations, max_iterations)?;
+            debug_assert!(optimal, "phase 1 objective is bounded below by zero");
+            let infeas: f64 = self
+                .basis
+                .iter()
+                .zip(&self.xb)
+                .filter(|(&j, _)| j >= self.first_artificial)
+                .map(|(_, &v)| v.abs())
+                .sum();
+            if infeas > 1e-7 {
+                // Duals reflect the phase-1 objective (the infeasibility
+                // certificate) — build the solution before restoring the
+                // real costs, but DO restore them: the context stays
+                // loaded, and a later mutate-and-resolve must not
+                // optimize the zeroed phase-1 objective.
+                let sol = self.infeasible_solution(iterations);
+                self.end_phase1();
+                return Ok(sol);
+            }
+            self.end_phase1();
+            // Drive basic artificials (all at ~0) out of the basis when a
+            // non-artificial pivot column exists; redundant rows keep theirs.
+            for r in 0..m {
+                if self.basis[r] < self.first_artificial {
+                    continue;
+                }
+                let mut pivot_col = None;
+                for j in 0..self.first_artificial {
+                    if self.state[j] == VarState::Basic {
+                        continue;
+                    }
+                    let mut wr = 0.0f64;
+                    for (i, a) in self.a.col(j).iter() {
+                        wr += self.binv[(r, i)] * a;
+                    }
+                    if wr.abs() > 1e-7 {
+                        pivot_col = Some(j);
+                        break;
+                    }
+                }
+                if let Some(j) = pivot_col {
+                    self.ftran(j);
+                    let old = self.basis[r];
+                    self.state[old] = VarState::AtLower;
+                    self.basis[r] = j;
+                    self.state[j] = VarState::Basic;
+                    self.update_binv(r);
+                    self.refactor()?;
+                }
+            }
+            self.refactor()?;
+        }
+
+        // --- Phase 2 -------------------------------------------------------
+        let optimal = self.optimize(opts, &mut iterations, max_iterations)?;
+        if !optimal {
+            return Ok(self.unbounded_solution(iterations));
+        }
+        self.extract_optimal(iterations)
+    }
+
+    /// Warm re-optimization from the previous basis after in-place
+    /// mutations: refactor, verify dual feasibility, then dual simplex to
+    /// primal feasibility and a primal cleanup. Falls back to
+    /// [`Core::solve_cold`] whenever the warm path is not viable (singular
+    /// basis, dual infeasibility after an objective change) — the results
+    /// are bitwise identical either way by the extraction contract.
+    pub(crate) fn resolve_warm(&mut self, opts: &SolverOptions) -> Result<Solution, LpError> {
+        let max_iterations = if opts.max_iterations > 0 {
+            opts.max_iterations
+        } else {
+            50 * (self.rows + self.a.ncols()) + 10_000
+        };
+        let mut iterations = 0usize;
+        if self.refactor().is_err() {
+            return self.solve_cold(opts);
+        }
+        if !self.is_dual_feasible() {
+            return self.solve_cold(opts);
+        }
+        match self.dual_optimize(opts, &mut iterations, max_iterations) {
+            Ok(true) => {}
+            Ok(false) => return Ok(self.infeasible_solution(iterations)),
+            // An unusable warm basis (singular after mutations) or a
+            // stalled dual run must degrade to the cold path, not error
+            // out on an instance the cold configuration solves fine.
+            Err(LpError::SingularBasis) | Err(LpError::IterationLimit(_)) => {
+                return self.solve_cold(opts)
+            }
+            Err(e) => return Err(e),
+        }
+        let optimal = match self.optimize(opts, &mut iterations, max_iterations) {
+            Ok(v) => v,
+            Err(LpError::SingularBasis) | Err(LpError::IterationLimit(_)) => {
+                return self.solve_cold(opts)
+            }
+            Err(e) => return Err(e),
+        };
+        if !optimal {
+            return Ok(self.unbounded_solution(iterations));
+        }
+        match self.extract_optimal(iterations) {
+            Ok(sol) => Ok(sol),
+            // A warm-selected basis that the canonical refactorization
+            // rejects as singular is just another unusable warm
+            // trajectory: degrade to cold.
+            Err(LpError::SingularBasis) => self.solve_cold(opts),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Solves `lp` (already validated by the caller) with a throwaway core.
+pub(crate) fn solve(lp: &Lp, opts: &SolverOptions) -> Result<Solution, LpError> {
+    let mut core = Core::new();
+    core.load(lp, opts.tol);
+    core.solve_cold(opts)
 }
 
 #[cfg(test)]

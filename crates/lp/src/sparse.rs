@@ -1,0 +1,290 @@
+//! Column-major (CSC) sparse matrix for the simplex standard form.
+//!
+//! The allotment LPs of `mtsp-core` have ~3 nonzeros per row (one
+//! precedence row per arc plus chain/deadline rows), so storing the
+//! standard-form constraint matrix densely wastes both memory and — far
+//! worse — pricing time: every reduced-cost evaluation and every FTRAN
+//! walks whole columns. [`CscMatrix`] stores the matrix in **compressed
+//! sparse column** form:
+//!
+//! ```text
+//! col_ptr : [c₀, c₁, …, c_ncols]          (monotone, len = ncols + 1)
+//! row_idx : [r…]                          (len = nnz, rows of each entry)
+//! values  : [v…]                          (len = nnz, parallel to row_idx)
+//! column j = (row_idx[col_ptr[j]..col_ptr[j+1]], values[same range])
+//! ```
+//!
+//! Within one column, entries are kept in the order they were pushed
+//! (ascending row for columns built from the row-major [`crate::Lp`]),
+//! which makes iteration deterministic — a requirement for the
+//! warm-vs-cold bitwise-equality contract of [`crate::SolveContext`].
+//!
+//! The type is append-only plus [`CscMatrix::truncate_cols`]: the simplex
+//! appends slack and artificial columns after the structurals and drops
+//! the artificial tail again when a context is re-solved from scratch.
+//! Values of existing entries never move, so a [`ColView`] is a pair of
+//! contiguous slices.
+
+/// One column of a [`CscMatrix`]: parallel row-index and value slices.
+#[derive(Debug, Clone, Copy)]
+pub struct ColView<'a> {
+    /// Row index of each stored entry.
+    pub rows: &'a [usize],
+    /// Value of each stored entry.
+    pub values: &'a [f64],
+}
+
+impl<'a> ColView<'a> {
+    /// Iterates `(row, value)` pairs in storage order.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = (usize, f64)> + 'a {
+        self.rows.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+/// A compressed-sparse-column matrix with a fixed row count and an
+/// append-only column list. See the module docs for the layout.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CscMatrix {
+    nrows: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// An empty matrix with `nrows` rows and no columns.
+    pub fn with_rows(nrows: usize) -> Self {
+        CscMatrix {
+            nrows,
+            col_ptr: vec![0],
+            row_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Resets to `nrows` rows and zero columns, keeping the allocations.
+    pub fn reset(&mut self, nrows: usize) {
+        self.nrows = nrows;
+        self.col_ptr.clear();
+        self.col_ptr.push(0);
+        self.row_idx.clear();
+        self.values.clear();
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.col_ptr.len() - 1
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.row_idx.len()
+    }
+
+    /// Appends a column from `(row, value)` pairs (kept in the given
+    /// order); returns its index. Zero values may be stored; callers that
+    /// care filter them first.
+    ///
+    /// # Panics
+    /// Panics (debug) if a row index is out of range.
+    pub fn push_col<I: IntoIterator<Item = (usize, f64)>>(&mut self, entries: I) -> usize {
+        for (r, v) in entries {
+            debug_assert!(r < self.nrows, "row {r} out of range {}", self.nrows);
+            self.row_idx.push(r);
+            self.values.push(v);
+        }
+        self.col_ptr.push(self.row_idx.len());
+        self.ncols() - 1
+    }
+
+    /// The column `j` as parallel slices.
+    ///
+    /// # Panics
+    /// Panics if `j >= ncols`.
+    #[inline]
+    pub fn col(&self, j: usize) -> ColView<'_> {
+        let (s, e) = (self.col_ptr[j], self.col_ptr[j + 1]);
+        ColView {
+            rows: &self.row_idx[s..e],
+            values: &self.values[s..e],
+        }
+    }
+
+    /// Drops every column with index `>= ncols` (used to discard the
+    /// artificial tail before a from-scratch re-solve).
+    ///
+    /// # Panics
+    /// Panics if `ncols` exceeds the current column count.
+    pub fn truncate_cols(&mut self, ncols: usize) {
+        assert!(ncols <= self.ncols(), "cannot truncate to more columns");
+        let nnz = self.col_ptr[ncols];
+        self.col_ptr.truncate(ncols + 1);
+        self.row_idx.truncate(nnz);
+        self.values.truncate(nnz);
+    }
+
+    /// Rebuilds the matrix from row-major data via a two-pass counting
+    /// scatter, reusing the allocations. `emit` must drive its sink with
+    /// every `(row, col, value)` nonzero and behave identically on both
+    /// invocations; within each column, entries land in emission order
+    /// (ascending row for row-major emitters).
+    pub fn rebuild_from_row_major<F>(&mut self, nrows: usize, ncols: usize, emit: F)
+    where
+        F: Fn(&mut dyn FnMut(usize, usize, f64)),
+    {
+        self.nrows = nrows;
+        let mut cp = std::mem::take(&mut self.col_ptr);
+        let mut ri = std::mem::take(&mut self.row_idx);
+        let mut va = std::mem::take(&mut self.values);
+        // Pass 1: count entries per column into cp[j + 1].
+        cp.clear();
+        cp.resize(ncols + 1, 0);
+        emit(&mut |_r, c, _v| {
+            debug_assert!(c < ncols, "column {c} out of range {ncols}");
+            cp[c + 1] += 1;
+        });
+        for j in 0..ncols {
+            cp[j + 1] += cp[j];
+        }
+        let nnz = cp[ncols];
+        ri.clear();
+        ri.resize(nnz, 0);
+        va.clear();
+        va.resize(nnz, 0.0);
+        // Pass 2: scatter, using cp[j] as the write cursor of column j.
+        emit(&mut |r, c, v| {
+            debug_assert!(r < nrows, "row {r} out of range {nrows}");
+            let p = cp[c];
+            ri[p] = r;
+            va[p] = v;
+            cp[c] += 1;
+        });
+        // cp[j] now holds end(j) = start(j + 1); shift right to restore
+        // the column-pointer invariant.
+        for j in (0..ncols).rev() {
+            cp[j + 1] = cp[j];
+        }
+        cp[0] = 0;
+        self.col_ptr = cp;
+        self.row_idx = ri;
+        self.values = va;
+    }
+
+    /// Sparse dot product of column `j` with a dense vector.
+    #[inline]
+    pub fn col_dot(&self, j: usize, x: &[f64]) -> f64 {
+        let c = self.col(j);
+        c.rows.iter().zip(c.values).map(|(&i, &a)| x[i] * a).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_read_back() {
+        let mut a = CscMatrix::with_rows(3);
+        assert_eq!(a.ncols(), 0);
+        let c0 = a.push_col([(0, 1.0), (2, -2.0)]);
+        let c1 = a.push_col(std::iter::empty());
+        let c2 = a.push_col([(1, 4.0)]);
+        assert_eq!((c0, c1, c2), (0, 1, 2));
+        assert_eq!(a.nrows(), 3);
+        assert_eq!(a.ncols(), 3);
+        assert_eq!(a.nnz(), 3);
+        assert_eq!(a.col(0).rows, &[0, 2]);
+        assert_eq!(a.col(0).values, &[1.0, -2.0]);
+        assert_eq!(a.col(1).nnz(), 0);
+        let pairs: Vec<_> = a.col(2).iter().collect();
+        assert_eq!(pairs, vec![(1, 4.0)]);
+    }
+
+    #[test]
+    fn col_dot_matches_dense() {
+        let mut a = CscMatrix::with_rows(4);
+        a.push_col([(0, 2.0), (3, 1.0)]);
+        a.push_col([(1, -1.0), (2, 5.0)]);
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(a.col_dot(0, &x), 2.0 + 4.0);
+        assert_eq!(a.col_dot(1, &x), -2.0 + 15.0);
+    }
+
+    #[test]
+    fn truncate_drops_the_tail_only() {
+        let mut a = CscMatrix::with_rows(2);
+        a.push_col([(0, 1.0)]);
+        a.push_col([(1, 2.0)]);
+        a.push_col([(0, 3.0), (1, 4.0)]);
+        a.truncate_cols(2);
+        assert_eq!(a.ncols(), 2);
+        assert_eq!(a.nnz(), 2);
+        assert_eq!(a.col(1).values, &[2.0]);
+        // Appending after a truncate works.
+        a.push_col([(0, 9.0)]);
+        assert_eq!(a.ncols(), 3);
+        assert_eq!(a.col(2).values, &[9.0]);
+    }
+
+    #[test]
+    fn rebuild_from_row_major_scatters_in_row_order() {
+        // Row-major emission:
+        //   row 0: (c1, 1.0), (c0, 2.0)
+        //   row 1: (c0, 3.0)
+        //   row 2: (c2, 4.0), (c0, 5.0)
+        let mut a = CscMatrix::with_rows(1);
+        a.push_col([(0, 9.0)]); // stale content to overwrite
+        a.rebuild_from_row_major(3, 3, |sink| {
+            sink(0, 1, 1.0);
+            sink(0, 0, 2.0);
+            sink(1, 0, 3.0);
+            sink(2, 2, 4.0);
+            sink(2, 0, 5.0);
+        });
+        assert_eq!(a.nrows(), 3);
+        assert_eq!(a.ncols(), 3);
+        assert_eq!(a.nnz(), 5);
+        assert_eq!(a.col(0).rows, &[0, 1, 2]);
+        assert_eq!(a.col(0).values, &[2.0, 3.0, 5.0]);
+        assert_eq!(a.col(1).rows, &[0]);
+        assert_eq!(a.col(2).values, &[4.0]);
+        // Appending (slacks) after a rebuild works.
+        a.push_col([(1, -1.0)]);
+        assert_eq!(a.col(3).rows, &[1]);
+    }
+
+    #[test]
+    fn reset_reuses_storage() {
+        let mut a = CscMatrix::with_rows(2);
+        a.push_col([(0, 1.0), (1, 1.0)]);
+        a.reset(5);
+        assert_eq!(a.nrows(), 5);
+        assert_eq!(a.ncols(), 0);
+        assert_eq!(a.nnz(), 0);
+        a.push_col([(4, 7.0)]);
+        assert_eq!(a.col(0).rows, &[4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot truncate")]
+    fn truncate_beyond_end_panics() {
+        let mut a = CscMatrix::with_rows(1);
+        a.push_col([(0, 1.0)]);
+        a.truncate_cols(5);
+    }
+}

@@ -57,6 +57,7 @@ pub mod prelude {
     pub use mtsp_core::{list_schedule, Priority, Schedule, ScheduledTask};
     pub use mtsp_dag::Dag;
     pub use mtsp_engine::{instance_key, BatchReport, Engine, EngineConfig};
+    pub use mtsp_lp::{SolveContext, SolverOptions};
     pub use mtsp_model::{Instance, Profile};
     pub use mtsp_sim::{execute, execute_online, NoiseModel};
 }

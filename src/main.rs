@@ -4,7 +4,7 @@
 //! mtsp solve <file> [--rho R] [--mu K] [--priority id|bl|wf] [--improve] [--gantt]
 //! mtsp generate --dag <family> --curve <family> [--n N] [--m M] [--seed S]
 //! mtsp check <file>
-//! mtsp batch <dir|file>... [--jobs N] [--cache]
+//! mtsp batch <dir|file>... [--jobs N] [--cache] [--fresh-contexts]
 //! mtsp bench-throughput --n-instances K [--jobs N] [--distinct D] [--n N] [--m M]
 //! mtsp bounds <m>
 //! mtsp tables [2|3|4|all]
@@ -47,6 +47,7 @@ enum Command {
         paths: Vec<String>,
         jobs: usize,
         cache: bool,
+        fresh_contexts: bool,
     },
     BenchThroughput {
         n_instances: usize,
@@ -73,7 +74,7 @@ USAGE:
              [--phase1 lp|bisection]
   mtsp generate --dag <family> --curve <family> [--n N] [--m M] [--seed S]
   mtsp check <file>
-  mtsp batch <dir|file>... [--jobs N] [--cache]
+  mtsp batch <dir|file>... [--jobs N] [--cache] [--fresh-contexts]
   mtsp bench-throughput --n-instances K [--jobs N] [--distinct D] [--n N] [--m M]
                         [--seed S]
   mtsp bounds <m>
@@ -82,7 +83,9 @@ USAGE:
 batch solves every instance file (directories expand to their non-hidden
 files, sorted by name) on a deterministic worker pool: results print in
 submission order and are byte-identical for any --jobs value; --cache
-memoizes repeated instances. Throughput metrics go to stderr.
+memoizes repeated instances; --fresh-contexts rebuilds the per-worker LP
+solve context for every job instead of reusing it (same bytes out, only
+slower — a determinism/debugging aid). Throughput metrics go to stderr.
 
 DAG families:   independent chain layered series-parallel fork-join cholesky
                 wavefront random-tree
@@ -225,6 +228,7 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 .transpose()?
                 .unwrap_or(0);
             let cache = take_flag(&mut rest, "--cache");
+            let fresh_contexts = take_flag(&mut rest, "--fresh-contexts");
             if rest.is_empty() {
                 return Err("batch needs at least one file or directory".into());
             }
@@ -232,6 +236,7 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 paths: rest.iter().map(|s| s.to_string()).collect(),
                 jobs,
                 cache,
+                fresh_contexts,
             })
         }
         "bench-throughput" => {
@@ -370,7 +375,12 @@ fn run(cmd: Command) -> Result<String, String> {
                 ins.serial_upper_bound()
             );
         }
-        Command::Batch { paths, jobs, cache } => {
+        Command::Batch {
+            paths,
+            jobs,
+            cache,
+            fresh_contexts,
+        } => {
             let files = expand_batch_paths(&paths)?;
             // Unreadable/unparsable files become per-job error lines (like
             // solver failures) instead of aborting the whole batch — a
@@ -396,6 +406,7 @@ fn run(cmd: Command) -> Result<String, String> {
             let engine = Engine::new(EngineConfig {
                 workers: jobs,
                 cache,
+                reuse_context: !fresh_contexts,
                 ..EngineConfig::default()
             });
             let report = engine.solve_batch(&instances);
@@ -704,13 +715,17 @@ mod tests {
 
     #[test]
     fn parses_batch_and_bench_throughput() {
-        let cmd = parse_args(&argv("batch dir-a inst.txt --jobs 8 --cache")).unwrap();
+        let cmd = parse_args(&argv(
+            "batch dir-a inst.txt --jobs 8 --cache --fresh-contexts",
+        ))
+        .unwrap();
         assert_eq!(
             cmd,
             Command::Batch {
                 paths: vec!["dir-a".into(), "inst.txt".into()],
                 jobs: 8,
                 cache: true,
+                fresh_contexts: true,
             }
         );
         let cmd = parse_args(&argv("bench-throughput --n-instances 50 --distinct 5")).unwrap();
@@ -752,15 +767,16 @@ mod tests {
         // A stray non-instance file must become a per-job error line, not
         // kill the batch ("zz" sorts after the instance files -> job 6).
         std::fs::write(dir.join("zz-readme.txt"), "not an instance\n").unwrap();
-        let batch = |jobs: usize, cache: bool| {
+        let batch = |jobs: usize, cache: bool, fresh_contexts: bool| {
             run(Command::Batch {
                 paths: vec![dir.to_string_lossy().into_owned()],
                 jobs,
                 cache,
+                fresh_contexts,
             })
             .unwrap()
         };
-        let sequential = batch(1, false);
+        let sequential = batch(1, false, false);
         assert_eq!(
             sequential.lines().count(),
             1 + 7 + 7,
@@ -771,12 +787,22 @@ mod tests {
             sequential.contains("job 6: error:"),
             "unparsable file reports per-job: {sequential}"
         );
-        assert_eq!(sequential, batch(8, false), "worker count must not matter");
-        assert_eq!(sequential, batch(8, true), "cache must not matter");
+        assert_eq!(
+            sequential,
+            batch(8, false, false),
+            "worker count must not matter"
+        );
+        assert_eq!(sequential, batch(8, true, false), "cache must not matter");
+        assert_eq!(
+            sequential,
+            batch(4, true, true),
+            "context reuse must not matter"
+        );
         let missing = run(Command::Batch {
             paths: vec!["/nonexistent/nope".into()],
             jobs: 1,
             cache: false,
+            fresh_contexts: false,
         });
         assert!(missing.is_err());
         let _ = std::fs::remove_dir_all(&dir);

@@ -151,6 +151,80 @@ fn batch_of_100_is_byte_identical_for_jobs_1_and_8() {
 }
 
 #[test]
+fn batch_output_byte_identical_across_jobs_and_context_reuse() {
+    // The warm-start acceptance criterion at the service level: stdout-
+    // bound text is byte-identical across --jobs 1/4 and across context
+    // reuse on/off, for both phase-1 formulations (the bisection warm-
+    // starts the dual simplex across its deadline probes; reuse=false is
+    // the cold-context baseline).
+    let jobs = suite(24, 11);
+    for phase1 in [
+        mtsp::core::two_phase::Phase1::Lp,
+        mtsp::core::two_phase::Phase1::Bisection,
+    ] {
+        let render = |workers: usize, reuse_context: bool| {
+            let engine = Engine::new(EngineConfig {
+                workers,
+                reuse_context,
+                jz: mtsp::core::two_phase::JzConfig {
+                    phase1,
+                    ..Default::default()
+                },
+                ..EngineConfig::default()
+            });
+            engine.solve_batch(&jobs).render_results()
+        };
+        let baseline = render(1, true);
+        assert_eq!(baseline.lines().count(), 24);
+        for (workers, reuse) in [(1, false), (4, true), (4, false)] {
+            assert_eq!(
+                baseline,
+                render(workers, reuse),
+                "{phase1:?}: workers={workers} reuse={reuse} changed the output"
+            );
+        }
+    }
+}
+
+#[test]
+fn batch_cli_stdout_byte_identical_across_jobs_and_context_reuse() {
+    // End to end through the real binary: `mtsp batch` stdout must be
+    // byte-identical for --jobs 1/4, with and without --fresh-contexts.
+    let dir = std::env::temp_dir().join(format!("mtsp-batch-ctx-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    for seed in 0..5u64 {
+        let ins = random_instance(DagFamily::Layered, CurveFamily::Mixed, 10, 4, seed % 3);
+        std::fs::write(
+            dir.join(format!("inst{seed}.txt")),
+            mtsp::model::textio::write_instance(&ins),
+        )
+        .unwrap();
+    }
+    let run = |extra: &[&str]| {
+        let out = std::process::Command::new(env!("CARGO_BIN_EXE_mtsp"))
+            .arg("batch")
+            .arg(&dir)
+            .args(extra)
+            .output()
+            .expect("mtsp batch runs");
+        assert!(out.status.success(), "batch failed: {out:?}");
+        out.stdout
+    };
+    let baseline = run(&["--jobs", "1"]);
+    assert!(!baseline.is_empty());
+    for extra in [
+        &["--jobs", "4"][..],
+        &["--jobs", "1", "--fresh-contexts"][..],
+        &["--jobs", "4", "--fresh-contexts"][..],
+        &["--jobs", "4", "--cache"][..],
+    ] {
+        assert_eq!(baseline, run(extra), "stdout changed under {extra:?}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn warm_cache_batch_beats_sequential_by_2x() {
     // The throughput acceptance criterion, at integration level: a warm
     // cache must make batch solving at least 2x faster than sequential
