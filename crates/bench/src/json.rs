@@ -1,0 +1,598 @@
+//! Hand-rolled JSON: a value tree, a byte-stable writer, and a strict
+//! parser — no external dependencies (the offline crate set has none).
+//!
+//! Built for the machine-readable quality reports of `mtsp-harness`
+//! (`BENCH_harness.json` and its committed regression baselines), where
+//! the contract is **byte stability**: object members are stored in a
+//! `BTreeMap` and therefore always serialize sorted by key, floats print
+//! with `{:?}` (the shortest representation that round-trips), and the
+//! pretty printer is deterministic — so two semantically equal reports
+//! are byte-identical files, and `parse → write` is a canonicalizer.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON value. Numbers keep the integer/float distinction so counts
+/// serialize as `17`, never `17.0`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (serialized without a decimal point).
+    Int(i64),
+    /// A finite float (serialized with `{:?}`; NaN/∞ are rejected by the
+    /// writer since JSON cannot represent them).
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; `BTreeMap` keeps members sorted by key, which is what
+    /// makes the writer byte-stable.
+    Object(BTreeMap<String, Value>),
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Self {
+        Value::Array(v)
+    }
+}
+
+impl Value {
+    /// Builds an object from `(key, value)` pairs (later duplicates win).
+    pub fn object<K: Into<String>, V: Into<Value>>(
+        pairs: impl IntoIterator<Item = (K, V)>,
+    ) -> Value {
+        Value::Object(
+            pairs
+                .into_iter()
+                .map(|(k, v)| (k.into(), v.into()))
+                .collect(),
+        )
+    }
+
+    /// Member lookup on objects; `None` elsewhere.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The numeric value of an `Int` or `Float`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(v) => Some(v as f64),
+            Value::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value of an `Int`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value of a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value of a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The elements of an `Array`.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The members of an `Object`.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// Pretty-prints with two-space indentation and a trailing newline —
+    /// the canonical on-disk form of every `BENCH_*.json` artifact.
+    /// Deterministic: equal values produce identical bytes.
+    ///
+    /// Panics on non-finite floats (JSON cannot represent them; the
+    /// report builders never produce them).
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(v) => out.push_str(&v.to_string()),
+            Value::Float(v) => {
+                assert!(v.is_finite(), "JSON cannot represent {v}");
+                // `{:?}` is the shortest string that round-trips, and it
+                // always keeps a decimal point or exponent, so floats stay
+                // distinguishable from ints after reparsing.
+                out.push_str(&format!("{v:?}"));
+            }
+            Value::Str(s) => write_escaped(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(if i == 0 { "\n" } else { ",\n" });
+                    push_indent(out, indent + 1);
+                    item.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Value::Object(map) => {
+                if map.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    out.push_str(if i == 0 { "\n" } else { ",\n" });
+                    push_indent(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A JSON parse error: byte offset plus message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input where the error was detected.
+    pub offset: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.offset, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses one JSON document (trailing whitespace allowed, trailing
+/// content rejected). Strict: no comments, no trailing commas, no NaN.
+pub fn parse(text: &str) -> Result<Value, ParseError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing content after document"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            msg: msg.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(format!("unexpected character '{}'", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(s),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b't' => s.push('\t'),
+                        b'r' => s.push('\r'),
+                        b'b' => s.push('\u{0008}'),
+                        b'f' => s.push('\u{000c}'),
+                        b'u' => {
+                            let end = self.pos + 4;
+                            let hex = self
+                                .bytes
+                                .get(self.pos..end)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            // Reports only emit \u00xx control escapes;
+                            // surrogate pairs are out of scope.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| self.err("invalid \\u code point"))?;
+                            s.push(c);
+                            self.pos = end;
+                        }
+                        other => return Err(self.err(format!("bad escape '\\{}'", other as char))),
+                    }
+                }
+                b if b < 0x80 => s.push(b as char),
+                _ => {
+                    // Re-decode the multi-byte UTF-8 sequence starting here.
+                    let start = self.pos - 1;
+                    let text = std::str::from_utf8(&self.bytes[start..])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    let c = text.chars().next().expect("non-empty by construction");
+                    s.push(c);
+                    self.pos = start + c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII by scan");
+        if !is_float {
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Value::Int(v));
+            }
+        }
+        let v: f64 = text
+            .parse()
+            .map_err(|e| self.err(format!("bad number '{text}': {e}")))?;
+        if !v.is_finite() {
+            return Err(self.err(format!("non-finite number '{text}'")));
+        }
+        Ok(Value::Float(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Value {
+        Value::object([
+            ("zeta", Value::from(1.0f64)),
+            ("alpha", Value::from(17usize)),
+            (
+                "nested",
+                Value::object([
+                    ("list", Value::Array(vec![1i64.into(), 2.5f64.into()])),
+                    ("flag", true.into()),
+                    ("none", Value::Null),
+                    ("text", "hi \"there\"\n".into()),
+                ]),
+            ),
+            ("empty_list", Value::Array(vec![])),
+            ("empty_obj", Value::Object(Default::default())),
+        ])
+    }
+
+    #[test]
+    fn writer_sorts_keys_and_is_stable() {
+        let text = sample().to_pretty();
+        // Keys appear sorted regardless of construction order.
+        let alpha = text.find("\"alpha\"").unwrap();
+        let zeta = text.find("\"zeta\"").unwrap();
+        assert!(alpha < zeta);
+        assert!(text.ends_with('\n'));
+        assert_eq!(text, sample().to_pretty(), "writer must be deterministic");
+    }
+
+    #[test]
+    fn ints_and_floats_stay_distinguishable() {
+        let text = Value::object([("i", Value::Int(3)), ("f", Value::Float(3.0))]).to_pretty();
+        assert!(text.contains("\"i\": 3\n"), "{text}");
+        assert!(text.contains("\"f\": 3.0"), "{text}");
+        let back = parse(&text).unwrap();
+        assert_eq!(back.get("i"), Some(&Value::Int(3)));
+        assert_eq!(back.get("f"), Some(&Value::Float(3.0)));
+    }
+
+    #[test]
+    fn round_trip_preserves_value_and_bytes() {
+        let v = sample();
+        let t1 = v.to_pretty();
+        let back = parse(&t1).unwrap();
+        assert_eq!(back, v);
+        assert_eq!(back.to_pretty(), t1, "parse → write must be stable");
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for x in [
+            0.1,
+            1.0 / 3.0,
+            3.291919,
+            f64::MIN_POSITIVE,
+            1.7976931348623157e308,
+            -0.0,
+            12345.678901234567,
+        ] {
+            let text = Value::Float(x).to_pretty();
+            let back = parse(&text).unwrap();
+            assert_eq!(
+                back.as_f64().unwrap().to_bits(),
+                x.to_bits(),
+                "{x} mangled via {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn accessors_work() {
+        let v = sample();
+        assert_eq!(v.get("alpha").and_then(Value::as_i64), Some(17));
+        assert_eq!(v.get("zeta").and_then(Value::as_f64), Some(1.0));
+        let nested = v.get("nested").unwrap();
+        assert_eq!(nested.get("flag").and_then(Value::as_bool), Some(true));
+        assert_eq!(
+            nested.get("text").and_then(Value::as_str),
+            Some("hi \"there\"\n")
+        );
+        assert_eq!(
+            nested.get("list").and_then(Value::as_array).unwrap().len(),
+            2
+        );
+        assert!(v.as_object().unwrap().contains_key("empty_obj"));
+        assert!(v.get("missing").is_none());
+        assert!(Value::Null.get("x").is_none());
+        assert!(Value::Null.as_f64().is_none());
+    }
+
+    #[test]
+    fn parses_hand_written_json() {
+        let v = parse(" { \"a\" : [ 1 , -2.5e-1 , \"x\\u0041\" ] , \"b\" : { } } ").unwrap();
+        let items = v.get("a").unwrap().as_array().unwrap();
+        assert_eq!(items[0], Value::Int(1));
+        assert_eq!(items[1], Value::Float(-0.25));
+        assert_eq!(items[2], Value::Str("xA".into()));
+        assert_eq!(v.get("b").unwrap(), &Value::Object(Default::default()));
+    }
+
+    #[test]
+    fn unicode_survives() {
+        let v = Value::Str("ρ ≤ 3.291919 — ok".into());
+        let back = parse(&v.to_pretty()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\" 1}",
+            "{\"a\": 1} extra",
+            "nul",
+            "\"unterminated",
+            "{\"a\": 00x}",
+            "[1 2]",
+            "{'a': 1}",
+            "\"bad \\q escape\"",
+            "1e999",
+        ] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "JSON cannot represent")]
+    fn writer_rejects_nan() {
+        Value::Float(f64::NAN).to_pretty();
+    }
+}

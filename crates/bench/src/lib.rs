@@ -23,6 +23,8 @@
 //! | `contiguity`  | E6 — contiguous-allocation feasibility + price |
 //! | `tightness`   | E7 — constructive lower bounds on the worst case |
 
+pub mod json;
+
 use mtsp_core::two_phase::{schedule_jz, JzReport};
 use mtsp_model::generate::{random_instance, CurveFamily, DagFamily};
 use mtsp_model::Instance;

@@ -18,7 +18,10 @@
 //! * [`pool`] — a deterministic worker pool on scoped `std::thread`s: an
 //!   atomic cursor drains the job queue, results are reassembled by
 //!   submission index, so worker count changes wall-clock time but never
-//!   a byte of output.
+//!   a byte of output. Its streaming half, [`StreamSession`], is an
+//!   incremental submit/collect channel API over detached workers for
+//!   corpora that must never be materialized at once (see
+//!   [`Engine::stream`]).
 //! * [`metrics`] — service-level throughput metrics: jobs/sec, cache hit
 //!   rate, mean/p50/p99/max solve latency.
 //! * [`service`] — the [`Engine`] front end gluing the four together.
@@ -52,7 +55,7 @@ pub mod service;
 pub use cache::{CacheKey, CacheStats, SolveCache};
 pub use canon::{config_fingerprint, instance_key, InstanceKey};
 pub use metrics::BatchMetrics;
-pub use pool::{run_batch, BatchRun, CacheOutcome, JobResult};
+pub use pool::{run_batch, BatchRun, CacheOutcome, JobResult, StreamSession};
 pub use service::{render_result_line, BatchReport, Engine, EngineConfig};
 
 #[cfg(test)]

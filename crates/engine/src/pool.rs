@@ -1,26 +1,37 @@
-//! The deterministic worker pool.
+//! The deterministic worker pool — batch and streaming front halves.
 //!
-//! Jobs are drained from a shared atomic cursor by `workers` scoped
-//! `std::thread`s; each worker owns one LP [`SolveContext`] — reused
-//! across every job it drains when context reuse is on, so the simplex
-//! scratch buffers, basis storage and factorization are allocated once
-//! per worker rather than once per job — and solves through the cache
-//! when one is supplied, reporting `(index, outcome, latency)` over a
-//! channel. Results are reassembled **by submission index**, so the
-//! output of a batch is a pure function of the job list and the solver
-//! config — the worker count, the OS scheduler, the cache state and the
-//! context-reuse setting only change wall-clock time, never a byte of
-//! output (each solve rebuilds its model in place; nothing of a previous
-//! job's state can leak into the next result).
+//! **Batch** ([`run_batch`]): jobs are drained from a shared atomic cursor
+//! by `workers` scoped `std::thread`s; each worker owns one LP
+//! [`SolveContext`] — reused across every job it drains when context reuse
+//! is on, so the simplex scratch buffers, basis storage and factorization
+//! are allocated once per worker rather than once per job — and solves
+//! through the cache when one is supplied, reporting
+//! `(index, outcome, latency)` over a channel. Results are reassembled
+//! **by submission index**, so the output of a batch is a pure function of
+//! the job list and the solver config — the worker count, the OS
+//! scheduler, the cache state and the context-reuse setting only change
+//! wall-clock time, never a byte of output (each solve rebuilds its model
+//! in place; nothing of a previous job's state can leak into the next
+//! result).
+//!
+//! **Streaming** ([`StreamSession`]): the incremental submit/collect
+//! counterpart for corpora too large to materialize. Detached worker
+//! threads pull `(index, instance)` jobs off a shared channel; the session
+//! reorders completions back into submission order and hands them out one
+//! at a time, so a caller that keeps a bounded number of jobs in flight
+//! processes a million-instance corpus in O(window) memory with the same
+//! byte-determinism contract as the batch pool.
 
 use crate::cache::{CacheKey, SolveCache};
 use crate::canon::{config_fingerprint, instance_key};
+use crate::metrics::BatchMetrics;
 use mtsp_core::two_phase::{schedule_jz_in, JzConfig, JzReport};
 use mtsp_core::CoreError;
 use mtsp_lp::SolveContext;
 use mtsp_model::Instance;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Outcome of one job.
@@ -161,6 +172,195 @@ pub fn run_batch(
     run
 }
 
+/// What a stream worker reports per job.
+type StreamReport = (usize, JobResult, Duration, CacheOutcome);
+
+/// An incremental submit/collect session over a detached worker pool —
+/// the streaming counterpart of [`run_batch`], built for corpora that must
+/// never be materialized in memory at once.
+///
+/// [`StreamSession::submit`] enqueues one instance (non-blocking;
+/// submission order assigns indices `0, 1, …`) and
+/// [`StreamSession::recv`] blocks for the *next result in submission
+/// order*, whatever order the workers finish in. The session only buffers
+/// results that completed ahead of the delivery cursor, so memory is
+/// bounded by how many jobs the caller keeps in flight — submit a bounded
+/// window, collect one, submit the next, and an arbitrarily large corpus
+/// streams through in O(window) space (plus one `Duration` per job for
+/// the latency percentiles of [`StreamSession::finish`]).
+///
+/// Determinism: the solver is deterministic and delivery is by submission
+/// index, so the sequence of `(index, result)` pairs is a pure function of
+/// the submitted instances and the engine config — worker count, context
+/// reuse and cache state never change a byte (asserted by the pool and
+/// harness tests).
+#[derive(Debug)]
+pub struct StreamSession {
+    /// Job sender; `None` once closed by [`StreamSession::finish`].
+    tx: Option<mpsc::Sender<(usize, Instance)>>,
+    rx: mpsc::Receiver<StreamReport>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    /// Completed-but-undelivered results (holes behind the slowest
+    /// in-flight job); bounded by the caller's in-flight window.
+    pending: BTreeMap<usize, (JobResult, CacheOutcome)>,
+    latencies: Vec<Duration>,
+    failures: usize,
+    hits: u64,
+    misses: u64,
+    submitted: usize,
+    delivered: usize,
+    workers: usize,
+    cache: Option<Arc<SolveCache>>,
+    t0: Instant,
+}
+
+impl StreamSession {
+    /// Spawns `workers` detached threads (each with its own
+    /// [`SolveContext`], reused per `reuse_context`) serving this session.
+    pub(crate) fn spawn(
+        workers: usize,
+        cfg: JzConfig,
+        config_fp: u64,
+        cache: Option<Arc<SolveCache>>,
+        reuse_context: bool,
+    ) -> Self {
+        let workers = workers.max(1);
+        let (tx_jobs, rx_jobs) = mpsc::channel::<(usize, Instance)>();
+        let (tx_results, rx_results) = mpsc::channel::<StreamReport>();
+        // Workers share one receiver behind a mutex; the lock is held
+        // across the blocking recv, which serializes job *pickup* but
+        // never job *solving* — pickup is O(1) per job.
+        let rx_jobs = Arc::new(Mutex::new(rx_jobs));
+        let handles = (0..workers)
+            .map(|_| {
+                let rx_jobs = Arc::clone(&rx_jobs);
+                let tx = tx_results.clone();
+                let cfg = cfg.clone();
+                let cache = cache.clone();
+                std::thread::spawn(move || {
+                    let mut ctx = SolveContext::new();
+                    loop {
+                        let job = rx_jobs.lock().expect("job queue poisoned").recv();
+                        let Ok((idx, ins)) = job else {
+                            break; // submit side closed and drained
+                        };
+                        if !reuse_context {
+                            ctx = SolveContext::new();
+                        }
+                        let t0 = Instant::now();
+                        let (result, cache_outcome) =
+                            solve_one(&ins, &cfg, config_fp, cache.as_deref(), &mut ctx);
+                        // A closed receiver means the session is gone.
+                        if tx.send((idx, result, t0.elapsed(), cache_outcome)).is_err() {
+                            break;
+                        }
+                    }
+                })
+            })
+            .collect();
+        StreamSession {
+            tx: Some(tx_jobs),
+            rx: rx_results,
+            handles,
+            pending: BTreeMap::new(),
+            latencies: Vec::new(),
+            failures: 0,
+            hits: 0,
+            misses: 0,
+            submitted: 0,
+            delivered: 0,
+            workers,
+            cache,
+            t0: Instant::now(),
+        }
+    }
+
+    /// Enqueues one instance; returns its submission index. Non-blocking.
+    pub fn submit(&mut self, ins: Instance) -> usize {
+        let idx = self.submitted;
+        self.tx
+            .as_ref()
+            .expect("submit after finish")
+            .send((idx, ins))
+            .expect("stream workers alive while the session holds the sender");
+        self.submitted += 1;
+        idx
+    }
+
+    /// Jobs submitted so far.
+    pub fn submitted(&self) -> usize {
+        self.submitted
+    }
+
+    /// Jobs submitted but not yet delivered through [`StreamSession::recv`].
+    pub fn in_flight(&self) -> usize {
+        self.submitted - self.delivered
+    }
+
+    /// Records one completion arriving off the wire.
+    fn absorb(&mut self, (idx, result, latency, cache_outcome): StreamReport) {
+        if self.latencies.len() <= idx {
+            self.latencies.resize(idx + 1, Duration::ZERO);
+        }
+        self.latencies[idx] = latency;
+        if result.is_err() {
+            self.failures += 1;
+        }
+        match cache_outcome {
+            Some(true) => self.hits += 1,
+            Some(false) => self.misses += 1,
+            None => {}
+        }
+        self.pending.insert(idx, (result, cache_outcome));
+    }
+
+    /// Blocks for the next result **in submission order**; `None` once
+    /// every submitted job has been delivered.
+    pub fn recv(&mut self) -> Option<(usize, JobResult)> {
+        if self.in_flight() == 0 {
+            return None;
+        }
+        while !self.pending.contains_key(&self.delivered) {
+            let report = self
+                .rx
+                .recv()
+                .expect("stream workers alive while jobs are in flight");
+            self.absorb(report);
+        }
+        let idx = self.delivered;
+        let (result, _) = self.pending.remove(&idx).expect("checked above");
+        self.delivered += 1;
+        Some((idx, result))
+    }
+
+    /// Closes the submit side, drains any undelivered results (their job
+    /// outcomes are dropped; latencies and failure counts still register),
+    /// joins the workers, and returns the session's service metrics.
+    pub fn finish(mut self) -> BatchMetrics {
+        drop(self.tx.take()); // workers exit once the queue drains
+        let outstanding: Vec<StreamReport> = self.rx.iter().collect();
+        for report in outstanding {
+            self.absorb(report);
+        }
+        for h in self.handles.drain(..) {
+            h.join().expect("stream worker panicked");
+        }
+        let wall = self.t0.elapsed();
+        let cache_delta = crate::cache::CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            entries: self.cache.as_ref().map_or(0, |c| c.stats().entries),
+        };
+        BatchMetrics::from_latencies(
+            &self.latencies,
+            self.failures,
+            self.workers,
+            wall,
+            cache_delta,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,5 +485,164 @@ mod tests {
     fn empty_batch() {
         let run = run_batch(&[], &JzConfig::default(), 4, None, true);
         assert!(run.results.is_empty() && run.latencies.is_empty());
+    }
+
+    /// Streams `jobs` through a fresh session with a bounded in-flight
+    /// window, returning delivered makespans (in delivery order) and the
+    /// session metrics.
+    fn stream_all(
+        jobs: &[Instance],
+        workers: usize,
+        window: usize,
+        cache: Option<Arc<SolveCache>>,
+        reuse_context: bool,
+    ) -> (Vec<f64>, BatchMetrics) {
+        let mut session = StreamSession::spawn(
+            workers,
+            JzConfig::default(),
+            config_fingerprint(&JzConfig::default()),
+            cache,
+            reuse_context,
+        );
+        let mut out = Vec::with_capacity(jobs.len());
+        let drain = |s: &mut StreamSession, out: &mut Vec<f64>| {
+            let (idx, result) = s.recv().expect("jobs in flight");
+            assert_eq!(idx, out.len(), "delivery must follow submission order");
+            out.push(result.unwrap().schedule.makespan());
+        };
+        for ins in jobs {
+            session.submit(ins.clone());
+            if session.in_flight() >= window {
+                drain(&mut session, &mut out);
+            }
+        }
+        while session.in_flight() > 0 {
+            drain(&mut session, &mut out);
+        }
+        assert!(session.recv().is_none(), "drained session yields None");
+        (out, session.finish())
+    }
+
+    #[test]
+    fn stream_delivers_in_submission_order_for_any_worker_count() {
+        let jobs = batch(14);
+        let cfg = JzConfig::default();
+        let base = run_batch(&jobs, &cfg, 1, None, true);
+        let expect = makespans(&base.results);
+        for (workers, window, reuse) in [(1usize, 1usize, true), (3, 4, true), (8, 2, false)] {
+            let (got, metrics) = stream_all(&jobs, workers, window, None, reuse);
+            assert_eq!(
+                got, expect,
+                "workers={workers} window={window} reuse={reuse}"
+            );
+            assert_eq!(metrics.jobs, jobs.len());
+            assert_eq!(metrics.failures, 0);
+            assert_eq!(metrics.workers, workers);
+            assert!(metrics.max_latency > Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn stream_window_bounds_pending_results() {
+        // With window w, at most w jobs are ever in flight, so the
+        // reorder buffer can never hold more than w - 1 entries.
+        let jobs = batch(10);
+        let mut session = StreamSession::spawn(
+            4,
+            JzConfig::default(),
+            config_fingerprint(&JzConfig::default()),
+            None,
+            true,
+        );
+        let window = 3;
+        for ins in &jobs {
+            session.submit(ins.clone());
+            while session.in_flight() >= window {
+                session.recv().unwrap().1.unwrap();
+            }
+            assert!(session.in_flight() < window);
+            assert!(session.pending.len() < window);
+        }
+        while session.recv().is_some() {}
+        session.finish();
+    }
+
+    #[test]
+    fn stream_shares_a_cache_and_counts_outcomes() {
+        let one = random_instance(DagFamily::SeriesParallel, CurveFamily::PowerLaw, 12, 4, 3);
+        let jobs: Vec<Instance> = (0..6).map(|_| one.clone()).collect();
+        let cache = Arc::new(SolveCache::new(4));
+        let (a, metrics) = stream_all(&jobs, 1, 2, Some(Arc::clone(&cache)), true);
+        assert!(a.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(metrics.cache.misses, 1);
+        assert_eq!(metrics.cache.hits, 5);
+        assert_eq!(metrics.cache.entries, 1);
+        // A second session against the same cache is all hits.
+        let (_, metrics) = stream_all(&jobs, 2, 3, Some(cache), true);
+        assert_eq!(metrics.cache.hits, 6);
+        assert_eq!(metrics.cache.misses, 0);
+    }
+
+    #[test]
+    fn stream_failures_are_reported_in_slot_and_counted() {
+        let good = random_instance(DagFamily::Chain, CurveFamily::PowerLaw, 5, 4, 1);
+        let bad_profile = mtsp_model::Profile::counterexample_a2(0.01, 4).unwrap();
+        let bad = Instance::new(
+            mtsp_dag::Dag::new(2),
+            vec![bad_profile.clone(), bad_profile],
+        )
+        .unwrap();
+        let mut session = StreamSession::spawn(
+            2,
+            JzConfig::default(),
+            config_fingerprint(&JzConfig::default()),
+            None,
+            true,
+        );
+        session.submit(good.clone());
+        session.submit(bad);
+        session.submit(good);
+        let (i0, r0) = session.recv().unwrap();
+        let (i1, r1) = session.recv().unwrap();
+        let (i2, r2) = session.recv().unwrap();
+        assert_eq!((i0, i1, i2), (0, 1, 2));
+        assert!(r0.is_ok());
+        assert!(matches!(r1, Err(CoreError::InadmissibleInstance { .. })));
+        assert!(r2.is_ok());
+        assert_eq!(session.finish().failures, 1);
+    }
+
+    #[test]
+    fn stream_finish_drains_undelivered_results() {
+        let jobs = batch(5);
+        let mut session = StreamSession::spawn(
+            2,
+            JzConfig::default(),
+            config_fingerprint(&JzConfig::default()),
+            None,
+            true,
+        );
+        for ins in &jobs {
+            session.submit(ins.clone());
+        }
+        // Deliver only two of five; finish still accounts for all.
+        session.recv().unwrap().1.unwrap();
+        session.recv().unwrap().1.unwrap();
+        let metrics = session.finish();
+        assert_eq!(metrics.jobs, 5);
+        assert!(metrics.max_latency > Duration::ZERO);
+    }
+
+    #[test]
+    fn empty_stream_finishes_cleanly() {
+        let session = StreamSession::spawn(
+            3,
+            JzConfig::default(),
+            config_fingerprint(&JzConfig::default()),
+            None,
+            true,
+        );
+        let metrics = session.finish();
+        assert_eq!(metrics.jobs, 0);
     }
 }

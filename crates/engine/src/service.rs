@@ -4,11 +4,12 @@
 use crate::cache::{CacheStats, SolveCache};
 use crate::canon::config_fingerprint;
 use crate::metrics::BatchMetrics;
-use crate::pool::{run_batch, solve_one, JobResult};
+use crate::pool::{run_batch, solve_one, JobResult, StreamSession};
 
 use mtsp_core::two_phase::JzConfig;
 use mtsp_model::Instance;
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Engine configuration.
@@ -123,14 +124,19 @@ impl BatchReport {
 pub struct Engine {
     config: EngineConfig,
     config_fp: u64,
-    cache: SolveCache,
+    // Behind an `Arc` so detached stream workers ([`Engine::stream`]) can
+    // share it without borrowing the engine.
+    cache: Arc<SolveCache>,
 }
 
 impl Engine {
     /// Builds an engine (allocates the cache shards eagerly).
     pub fn new(config: EngineConfig) -> Self {
         let config_fp = config_fingerprint(&config.jz);
-        let cache = SolveCache::with_capacity(config.cache_shards, config.cache_capacity);
+        let cache = Arc::new(SolveCache::with_capacity(
+            config.cache_shards,
+            config.cache_capacity,
+        ));
         Engine {
             config,
             config_fp,
@@ -160,16 +166,54 @@ impl Engine {
             ins,
             &self.config.jz,
             self.config_fp,
-            self.config.cache.then_some(&self.cache),
+            self.config.cache.then(|| &*self.cache),
             &mut mtsp_lp::SolveContext::new(),
         )
         .0
     }
 
+    /// Opens an incremental submit/collect session on a detached worker
+    /// pool — the streaming counterpart of [`Engine::solve_batch`] for
+    /// corpora that must never be materialized at once. The session
+    /// shares this engine's solve cache (when enabled) and inherits its
+    /// worker count, solver config and context-reuse setting; results
+    /// come back in submission order, byte-identical for any worker
+    /// count. Keep a bounded number of jobs in flight and memory stays
+    /// O(window) however many jobs stream through.
+    ///
+    /// ```
+    /// use mtsp_engine::{Engine, EngineConfig};
+    /// use mtsp_model::generate::{random_instance, CurveFamily, DagFamily};
+    ///
+    /// let engine = Engine::new(EngineConfig { workers: 2, ..EngineConfig::default() });
+    /// let mut stream = engine.stream();
+    /// for s in 0..4 {
+    ///     stream.submit(random_instance(DagFamily::Chain, CurveFamily::PowerLaw, 6, 2, s));
+    ///     if stream.in_flight() >= 2 {
+    ///         let (idx, result) = stream.recv().unwrap();
+    ///         assert!(result.is_ok(), "job {idx}");
+    ///     }
+    /// }
+    /// while let Some((_, result)) = stream.recv() {
+    ///     assert!(result.is_ok());
+    /// }
+    /// let metrics = stream.finish();
+    /// assert_eq!(metrics.jobs, 4);
+    /// ```
+    pub fn stream(&self) -> StreamSession {
+        StreamSession::spawn(
+            self.config.resolved_workers(),
+            self.config.jz.clone(),
+            self.config_fp,
+            self.config.cache.then(|| Arc::clone(&self.cache)),
+            self.config.reuse_context,
+        )
+    }
+
     /// Solves a batch on the worker pool; results come back in submission
     /// order regardless of completion order.
     pub fn solve_batch(&self, jobs: &[Instance]) -> BatchReport {
-        let cache = self.config.cache.then_some(&self.cache);
+        let cache = self.config.cache.then(|| &*self.cache);
         let workers = self.config.resolved_workers();
         let t0 = Instant::now();
         let run = run_batch(

@@ -1,0 +1,404 @@
+//! The audit layer: folds streamed solve results into per-family quality
+//! statistics and renders the machine-readable report.
+//!
+//! Everything recorded here is a deterministic function of the corpus and
+//! the solver configuration — makespans, the Eq. (11) LP lower bounds,
+//! realized ratios, baseline comparisons, and cross-validation verdicts —
+//! so the rendered report is byte-identical across worker counts, context
+//! reuse, and cache state. Wall-clock quantities (throughput, latency
+//! percentiles) deliberately live *outside* the report, in the
+//! [`BatchMetrics`](mtsp_engine::BatchMetrics) the runner returns
+//! alongside it.
+
+use mtsp_analysis::ratio::corollary_4_1_constant;
+use mtsp_bench::json::Value;
+use mtsp_core::baselines::{gang_baseline, ltw_baseline, serial_baseline};
+use mtsp_core::two_phase::JzReport;
+use mtsp_core::CoreError;
+use mtsp_model::textio::{CorpusCell, CorpusSpec};
+use mtsp_model::Instance;
+use std::collections::BTreeMap;
+
+/// Magic `format` member of the report.
+pub const REPORT_FORMAT: &str = "mtsp-harness-report v1";
+
+/// Slack for comparing a realized ratio against its a-priori guarantee
+/// (absorbs LP termination tolerance, nothing more).
+pub const GUARANTEE_SLACK: f64 = 1e-6;
+
+/// Running min/max/sum of one statistic.
+#[derive(Debug, Clone, Copy)]
+struct StatAgg {
+    min: f64,
+    max: f64,
+    sum: f64,
+    count: usize,
+}
+
+impl StatAgg {
+    fn new() -> Self {
+        StatAgg {
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    fn push(&mut self, v: f64) {
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.sum += v;
+        self.count += 1;
+    }
+
+    /// `{"max": …, "mean": …, "min": …}`, or `null` when nothing was
+    /// recorded (a group whose every job failed).
+    fn to_json(self) -> Value {
+        if self.count == 0 {
+            return Value::Null;
+        }
+        Value::object([
+            ("max", self.max),
+            ("mean", self.sum / self.count as f64),
+            ("min", self.min),
+        ])
+    }
+}
+
+/// Accumulated statistics of one `dag/curve` group.
+#[derive(Debug, Clone)]
+struct GroupStats {
+    instances: usize,
+    failures: usize,
+    /// Schedules that failed replay through the core verifier or the
+    /// per-processor booking simulator (must be zero).
+    violations: usize,
+    /// Realized ratios that exceeded their instance's a-priori guarantee
+    /// `r(m)` or the Corollary 4.1 ceiling (must be zero).
+    guarantee_breaches: usize,
+    ltw_failures: usize,
+    ratio_vs_cstar: StatAgg,
+    ratio_vs_lower_bound: StatAgg,
+    guarantee_max: f64,
+    makespan_sum: f64,
+    cstar_sum: f64,
+    lower_bound_sum: f64,
+    serial_sum: f64,
+    gang_sum: f64,
+    ltw_sum: f64,
+}
+
+impl GroupStats {
+    fn new() -> Self {
+        GroupStats {
+            instances: 0,
+            failures: 0,
+            violations: 0,
+            guarantee_breaches: 0,
+            ltw_failures: 0,
+            ratio_vs_cstar: StatAgg::new(),
+            ratio_vs_lower_bound: StatAgg::new(),
+            guarantee_max: 0.0,
+            makespan_sum: 0.0,
+            cstar_sum: 0.0,
+            lower_bound_sum: 0.0,
+            serial_sum: 0.0,
+            gang_sum: 0.0,
+            ltw_sum: 0.0,
+        }
+    }
+
+    fn to_json(&self) -> Value {
+        Value::object([
+            (
+                "baselines",
+                Value::object([
+                    ("gang_makespan_sum", Value::from(self.gang_sum)),
+                    ("ltw_failures", Value::from(self.ltw_failures)),
+                    ("ltw_makespan_sum", Value::from(self.ltw_sum)),
+                    ("serial_makespan_sum", Value::from(self.serial_sum)),
+                ]),
+            ),
+            ("cstar_sum", Value::from(self.cstar_sum)),
+            ("failures", Value::from(self.failures)),
+            ("guarantee_breaches", Value::from(self.guarantee_breaches)),
+            ("guarantee_max", Value::from(self.guarantee_max)),
+            ("instances", Value::from(self.instances)),
+            ("lower_bound_sum", Value::from(self.lower_bound_sum)),
+            ("makespan_sum", Value::from(self.makespan_sum)),
+            ("ratio_vs_cstar", self.ratio_vs_cstar.to_json()),
+            ("ratio_vs_lower_bound", self.ratio_vs_lower_bound.to_json()),
+            ("violations", Value::from(self.violations)),
+        ])
+    }
+}
+
+/// Streaming fold of per-instance audit records into per-group and
+/// overall statistics; O(#groups) memory however many instances pass
+/// through. Records **must** arrive in submission order — the runner
+/// guarantees it — so float accumulation order, and therefore every byte
+/// of the report, is deterministic.
+#[derive(Debug)]
+pub struct AuditAccumulator {
+    groups: BTreeMap<String, GroupStats>,
+    /// First few failure messages, for diagnosis (capped; the counts are
+    /// authoritative).
+    failure_samples: Vec<String>,
+}
+
+impl AuditAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        AuditAccumulator {
+            groups: BTreeMap::new(),
+            failure_samples: Vec::new(),
+        }
+    }
+
+    fn group(&mut self, cell: &CorpusCell) -> &mut GroupStats {
+        self.groups
+            .entry(cell.label())
+            .or_insert_with(GroupStats::new)
+    }
+
+    /// Records a job the solver rejected.
+    pub fn record_failure(&mut self, cell: &CorpusCell, err: &CoreError) {
+        if self.failure_samples.len() < 8 {
+            self.failure_samples.push(format!(
+                "{} n={} m={} seed={}: {err}",
+                cell.label(),
+                cell.n,
+                cell.m,
+                cell.seed
+            ));
+        }
+        let g = self.group(cell);
+        g.instances += 1;
+        g.failures += 1;
+    }
+
+    /// Records one solved instance: quality ratios, lower bounds, the
+    /// three baseline comparisons, and the cross-validation replay
+    /// (core verifier + per-processor booking via [`mtsp_sim::execute`]).
+    pub fn record(&mut self, cell: &CorpusCell, ins: &Instance, rep: &JzReport) {
+        let makespan = rep.schedule.makespan();
+        let ratio_cstar = rep.ratio_vs_cstar();
+        let ratio_lb = rep.observed_ratio();
+        let cross_validates =
+            rep.schedule.verify(ins).is_ok() && mtsp_sim::execute(ins, &rep.schedule).is_ok();
+        let ceiling = corollary_4_1_constant();
+        let within = ratio_cstar <= rep.guarantee + GUARANTEE_SLACK
+            && ratio_cstar <= ceiling + GUARANTEE_SLACK;
+        let serial = serial_baseline(ins).makespan();
+        let gang = gang_baseline(ins).makespan();
+        let ltw = ltw_baseline(ins).map(|r| r.schedule.makespan());
+
+        let g = self.group(cell);
+        g.instances += 1;
+        if !cross_validates {
+            g.violations += 1;
+        }
+        if !within {
+            g.guarantee_breaches += 1;
+        }
+        g.ratio_vs_cstar.push(ratio_cstar);
+        g.ratio_vs_lower_bound.push(ratio_lb);
+        g.guarantee_max = g.guarantee_max.max(rep.guarantee);
+        g.makespan_sum += makespan;
+        g.cstar_sum += rep.lp.cstar;
+        g.lower_bound_sum += rep.lower_bound;
+        g.serial_sum += serial;
+        g.gang_sum += gang;
+        match ltw {
+            Ok(mk) => g.ltw_sum += mk,
+            Err(_) => g.ltw_failures += 1,
+        }
+    }
+
+    /// Renders the deterministic quality report.
+    pub fn into_report(self, spec: &CorpusSpec) -> Value {
+        let mut instances = 0usize;
+        let mut failures = 0usize;
+        let mut violations = 0usize;
+        let mut breaches = 0usize;
+        let mut ltw_failures = 0usize;
+        let mut ratio_max = f64::NEG_INFINITY;
+        let mut any_ratio = false;
+        for g in self.groups.values() {
+            instances += g.instances;
+            failures += g.failures;
+            violations += g.violations;
+            breaches += g.guarantee_breaches;
+            ltw_failures += g.ltw_failures;
+            if g.ratio_vs_cstar.count > 0 {
+                any_ratio = true;
+                ratio_max = ratio_max.max(g.ratio_vs_cstar.max);
+            }
+        }
+        let corpus = Value::object([
+            ("cells", Value::from(spec.len())),
+            (
+                "curves",
+                Value::Array(spec.curves.iter().map(|c| c.name().into()).collect()),
+            ),
+            (
+                "dags",
+                Value::Array(spec.dags.iter().map(|d| d.name().into()).collect()),
+            ),
+            (
+                "machines",
+                Value::Array(spec.machines.iter().map(|&m| m.into()).collect()),
+            ),
+            ("name", Value::from(spec.name.as_str())),
+            (
+                "seeds",
+                Value::Array(spec.seeds.iter().map(|&s| s.into()).collect()),
+            ),
+            (
+                "sizes",
+                Value::Array(spec.sizes.iter().map(|&n| n.into()).collect()),
+            ),
+        ]);
+        let summary = Value::object([
+            ("failures", Value::from(failures)),
+            (
+                "failure_samples",
+                Value::Array(
+                    self.failure_samples
+                        .iter()
+                        .map(|s| s.as_str().into())
+                        .collect(),
+                ),
+            ),
+            ("guarantee_breaches", Value::from(breaches)),
+            ("guarantee_ceiling", Value::from(corollary_4_1_constant())),
+            ("instances", Value::from(instances)),
+            ("ltw_failures", Value::from(ltw_failures)),
+            (
+                "ratio_vs_cstar_max",
+                if any_ratio {
+                    Value::from(ratio_max)
+                } else {
+                    Value::Null
+                },
+            ),
+            ("violations", Value::from(violations)),
+            (
+                "within_guarantee",
+                Value::from(breaches == 0 && failures == 0 && violations == 0),
+            ),
+        ]);
+        Value::object([
+            ("corpus", corpus),
+            ("format", Value::from(REPORT_FORMAT)),
+            (
+                "groups",
+                Value::Object(
+                    self.groups
+                        .iter()
+                        .map(|(k, g)| (k.clone(), g.to_json()))
+                        .collect(),
+                ),
+            ),
+            ("summary", summary),
+        ])
+    }
+}
+
+impl Default for AuditAccumulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtsp_core::two_phase::schedule_jz;
+    use mtsp_model::generate::{CurveFamily, DagFamily};
+
+    fn cell(seed: u64) -> CorpusCell {
+        CorpusCell {
+            dag: DagFamily::Layered,
+            curve: CurveFamily::PowerLaw,
+            n: 8,
+            m: 4,
+            seed,
+        }
+    }
+
+    fn spec() -> CorpusSpec {
+        CorpusSpec {
+            name: "t".into(),
+            dags: vec![DagFamily::Layered],
+            curves: vec![CurveFamily::PowerLaw],
+            sizes: vec![8],
+            machines: vec![4],
+            seeds: vec![0, 1],
+        }
+    }
+
+    #[test]
+    fn records_fold_into_sound_groups() {
+        let mut acc = AuditAccumulator::new();
+        for seed in [0, 1] {
+            let c = cell(seed);
+            let ins = c.instantiate();
+            let rep = schedule_jz(&ins).unwrap();
+            acc.record(&c, &ins, &rep);
+        }
+        let report = acc.into_report(&spec());
+        assert_eq!(
+            report.get("format").and_then(Value::as_str),
+            Some(REPORT_FORMAT)
+        );
+        let g = report
+            .get("groups")
+            .and_then(|g| g.get("layered/power-law"))
+            .expect("group present");
+        assert_eq!(g.get("instances").and_then(Value::as_i64), Some(2));
+        assert_eq!(g.get("violations").and_then(Value::as_i64), Some(0));
+        assert_eq!(g.get("guarantee_breaches").and_then(Value::as_i64), Some(0));
+        let ratio = g.get("ratio_vs_cstar").unwrap();
+        let (min, max, mean) = (
+            ratio.get("min").unwrap().as_f64().unwrap(),
+            ratio.get("max").unwrap().as_f64().unwrap(),
+            ratio.get("mean").unwrap().as_f64().unwrap(),
+        );
+        assert!(1.0 - 1e-9 <= min && min <= mean && mean <= max);
+        assert!(max <= corollary_4_1_constant() + GUARANTEE_SLACK);
+        // Gang serializes, so its sum dominates ours on these DAGs.
+        let gang = g
+            .get("baselines")
+            .and_then(|b| b.get("gang_makespan_sum"))
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        let ours = g.get("makespan_sum").unwrap().as_f64().unwrap();
+        assert!(gang >= ours - 1e-9);
+        let s = report.get("summary").unwrap();
+        assert_eq!(
+            s.get("within_guarantee").and_then(Value::as_bool),
+            Some(true)
+        );
+        assert_eq!(s.get("instances").and_then(Value::as_i64), Some(2));
+    }
+
+    #[test]
+    fn failures_are_counted_and_sampled() {
+        let mut acc = AuditAccumulator::new();
+        acc.record_failure(&cell(0), &CoreError::InadmissibleInstance { task: 3 });
+        let report = acc.into_report(&spec());
+        let s = report.get("summary").unwrap();
+        assert_eq!(s.get("failures").and_then(Value::as_i64), Some(1));
+        assert_eq!(
+            s.get("within_guarantee").and_then(Value::as_bool),
+            Some(false)
+        );
+        assert_eq!(s.get("ratio_vs_cstar_max"), Some(&Value::Null));
+        let samples = s.get("failure_samples").unwrap().as_array().unwrap();
+        assert_eq!(samples.len(), 1);
+        assert!(samples[0].as_str().unwrap().contains("layered/power-law"));
+    }
+}

@@ -1,0 +1,126 @@
+//! Corpora: validated workload grids, including the built-in ones.
+
+use mtsp_model::generate::{CurveFamily, DagFamily};
+use mtsp_model::textio::{parse_corpus_spec, write_corpus_spec, CorpusCell, CorpusSpec};
+use mtsp_model::ModelError;
+
+/// A validated corpus: a [`CorpusSpec`] grid that is guaranteed to satisfy
+/// the format's structural invariants (non-empty duplicate-free lists,
+/// positive sizes and machines), so every consumer can iterate without
+/// re-checking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Corpus {
+    spec: CorpusSpec,
+}
+
+impl Corpus {
+    /// Wraps a spec after validating it.
+    pub fn from_spec(spec: CorpusSpec) -> Result<Corpus, ModelError> {
+        spec.validate()?;
+        Ok(Corpus { spec })
+    }
+
+    /// Parses the `mtsp-corpus v1` text format.
+    pub fn parse(text: &str) -> Result<Corpus, ModelError> {
+        Ok(Corpus {
+            spec: parse_corpus_spec(text)?,
+        })
+    }
+
+    /// The tiny grid used by tests and CI: every DAG family × two curve
+    /// families on one small size — 16 instances, a couple of seconds
+    /// even in debug builds, yet it exercises every generator and the
+    /// whole streaming audit pipeline.
+    pub fn builtin_smoke() -> Corpus {
+        Corpus {
+            spec: CorpusSpec {
+                name: "builtin-smoke".into(),
+                dags: DagFamily::ALL.to_vec(),
+                curves: vec![CurveFamily::PowerLaw, CurveFamily::Mixed],
+                sizes: vec![7],
+                machines: vec![3],
+                seeds: vec![1],
+            },
+        }
+    }
+
+    /// The default audit corpus of `mtsp audit`: the full cross of all
+    /// 8 DAG families × all 6 curve families × two sizes × two machine
+    /// sizes × two seeds — 384 instances covering every scenario the
+    /// generators know.
+    pub fn builtin_audit() -> Corpus {
+        Corpus {
+            spec: CorpusSpec {
+                name: "builtin-audit".into(),
+                dags: DagFamily::ALL.to_vec(),
+                curves: CurveFamily::ALL.to_vec(),
+                sizes: vec![12, 24],
+                machines: vec![4, 8],
+                seeds: vec![1, 2],
+            },
+        }
+    }
+
+    /// The underlying spec.
+    pub fn spec(&self) -> &CorpusSpec {
+        &self.spec
+    }
+
+    /// Number of grid cells.
+    pub fn len(&self) -> usize {
+        self.spec.len()
+    }
+
+    /// Whether the grid has no cells (impossible for a validated corpus,
+    /// but the conventional pair of [`Corpus::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.spec.is_empty()
+    }
+
+    /// Lazily visits the grid cells in canonical order.
+    pub fn cells(&self) -> impl Iterator<Item = CorpusCell> + '_ {
+        self.spec.cells()
+    }
+
+    /// Serializes to the `mtsp-corpus v1` text format.
+    pub fn to_text(&self) -> String {
+        write_corpus_spec(&self.spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_are_valid_and_sized_as_documented() {
+        let smoke = Corpus::builtin_smoke();
+        assert_eq!(smoke.len(), 16);
+        assert!(!smoke.is_empty());
+        assert!(smoke.spec().validate().is_ok());
+        let audit = Corpus::builtin_audit();
+        assert_eq!(audit.len(), 384);
+        assert!(audit.spec().validate().is_ok());
+        // The audit corpus covers the full family cross.
+        assert_eq!(audit.spec().dags.len(), 8);
+        assert_eq!(audit.spec().curves.len(), 6);
+    }
+
+    #[test]
+    fn builtins_round_trip_through_the_text_format() {
+        for corpus in [Corpus::builtin_smoke(), Corpus::builtin_audit()] {
+            let text = corpus.to_text();
+            let back = Corpus::parse(&text).unwrap();
+            assert_eq!(back, corpus);
+            assert_eq!(back.to_text(), text);
+        }
+    }
+
+    #[test]
+    fn from_spec_validates() {
+        let mut spec = Corpus::builtin_smoke().spec().clone();
+        spec.machines = vec![0];
+        assert!(Corpus::from_spec(spec).is_err());
+        assert!(Corpus::from_spec(Corpus::builtin_smoke().spec().clone()).is_ok());
+    }
+}

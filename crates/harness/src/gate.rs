@@ -1,0 +1,299 @@
+//! The regression gate: diffs a fresh quality report against a committed
+//! baseline and reports every regression it finds.
+//!
+//! Quality comparisons are tight (the report is deterministic, so any
+//! drift means the algorithm changed); the throughput check compares the
+//! *measured* jobs/s of the current run against an explicit conservative
+//! floor stored in the baseline — wall-clock numbers never live in the
+//! report itself, which must stay byte-stable.
+
+use crate::audit::REPORT_FORMAT;
+use mtsp_bench::json::Value;
+
+/// Default tolerance for ratio comparisons against the baseline. The
+/// pipeline is deterministic end to end, so on identical code the diff is
+/// exactly zero; the tolerance only gives future solver tweaks room for
+/// last-ulp float drift without tripping the gate.
+pub const DEFAULT_RATIO_TOL: f64 = 1e-9;
+
+/// Key under which a baseline stores its conservative throughput floor.
+pub const PERF_FLOOR_KEY: &str = "perf_floor_jobs_per_sec";
+
+/// Turns a report into a committable baseline: same document plus the
+/// explicit throughput floor (jobs/s) the gate will enforce. The floor is
+/// chosen by the committer, not measured, so baselines stay deterministic.
+pub fn make_baseline(report: &Value, perf_floor_jobs_per_sec: f64) -> Value {
+    let mut map = report
+        .as_object()
+        .cloned()
+        .expect("report is a JSON object");
+    map.insert(
+        PERF_FLOOR_KEY.to_string(),
+        Value::Float(perf_floor_jobs_per_sec),
+    );
+    Value::Object(map)
+}
+
+fn path_f64(v: &Value, path: &[&str]) -> Option<f64> {
+    let mut cur = v;
+    for p in path {
+        cur = cur.get(p)?;
+    }
+    cur.as_f64()
+}
+
+fn path_i64(v: &Value, path: &[&str]) -> Option<i64> {
+    let mut cur = v;
+    for p in path {
+        cur = cur.get(p)?;
+    }
+    cur.as_i64()
+}
+
+/// Diffs `current` (a fresh `mtsp-harness-report v1`) against `baseline`
+/// (a prior report, usually wrapped by [`make_baseline`]) and returns
+/// every problem found — an empty vector is a pass.
+///
+/// `measured_throughput` is the current run's jobs/s (from the runner's
+/// metrics); pass `None` to skip the perf check (e.g. when re-gating a
+/// report loaded from disk).
+pub fn check_regression(
+    current: &Value,
+    baseline: &Value,
+    measured_throughput: Option<f64>,
+    ratio_tol: f64,
+) -> Vec<String> {
+    let mut problems: Vec<String> = Vec::new();
+
+    for (doc, name) in [(current, "current report"), (baseline, "baseline")] {
+        if doc.get("format").and_then(Value::as_str) != Some(REPORT_FORMAT) {
+            problems.push(format!("{name}: not a '{REPORT_FORMAT}' document"));
+        }
+    }
+    if !problems.is_empty() {
+        return problems;
+    }
+
+    // The gate only makes sense over the same corpus. Compare the whole
+    // embedded corpus object — name, cell count, and every grid list —
+    // so a regenerated grid under an old name can't gate against
+    // incomparable numbers.
+    let cur_corpus = current.get("corpus");
+    let base_corpus = baseline.get("corpus");
+    if cur_corpus != base_corpus {
+        let describe = |c: Option<&Value>| {
+            c.and_then(|c| c.get("name"))
+                .and_then(Value::as_str)
+                .unwrap_or("<missing>")
+                .to_string()
+        };
+        problems.push(format!(
+            "corpus grid changed ('{}' -> '{}', or its dag/curve/size/machine/seed lists differ); regenerate the baseline",
+            describe(base_corpus),
+            describe(cur_corpus)
+        ));
+        return problems;
+    }
+
+    // Hard invariants of the current run.
+    for key in ["failures", "violations", "guarantee_breaches"] {
+        match path_i64(current, &["summary", key]) {
+            Some(0) => {}
+            Some(k) => problems.push(format!("summary.{key} = {k}, expected 0")),
+            None => problems.push(format!("summary.{key} missing")),
+        }
+    }
+    if path_f64(current, &["summary", "ratio_vs_cstar_max"]).is_none() {
+        problems.push("summary.ratio_vs_cstar_max missing (no successful solves?)".into());
+    }
+
+    // Per-group quality: no ratio may regress beyond tolerance, and the
+    // group structure itself must match (a vanished group hides coverage).
+    let (Some(cur_groups), Some(base_groups)) = (
+        current.get("groups").and_then(Value::as_object),
+        baseline.get("groups").and_then(Value::as_object),
+    ) else {
+        problems.push("missing 'groups' object".into());
+        return problems;
+    };
+    for name in base_groups.keys() {
+        if !cur_groups.contains_key(name) {
+            problems.push(format!("group '{name}' disappeared from the report"));
+        }
+    }
+    for name in cur_groups.keys() {
+        if !base_groups.contains_key(name) {
+            problems.push(format!("group '{name}' is new; regenerate the baseline"));
+        }
+    }
+    for (name, base_group) in base_groups {
+        let Some(cur_group) = cur_groups.get(name) else {
+            continue;
+        };
+        let cur_n = path_i64(cur_group, &["instances"]);
+        let base_n = path_i64(base_group, &["instances"]);
+        if cur_n != base_n {
+            problems.push(format!(
+                "group '{name}': instance count changed ({base_n:?} -> {cur_n:?})"
+            ));
+            continue;
+        }
+        for stat in ["max", "mean"] {
+            let cur = path_f64(cur_group, &["ratio_vs_cstar", stat]);
+            let base = path_f64(base_group, &["ratio_vs_cstar", stat]);
+            match (cur, base) {
+                (Some(c), Some(b)) if c > b + ratio_tol => problems.push(format!(
+                    "group '{name}': ratio_vs_cstar.{stat} regressed {b:?} -> {c:?} (tol {ratio_tol:e})"
+                )),
+                (None, Some(_)) => {
+                    problems.push(format!("group '{name}': ratio_vs_cstar.{stat} missing"))
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Throughput floor (an explicit committed number, not a measurement).
+    if let (Some(throughput), Some(floor)) = (
+        measured_throughput,
+        baseline.get(PERF_FLOOR_KEY).and_then(Value::as_f64),
+    ) {
+        if throughput < floor {
+            problems.push(format!(
+                "throughput {throughput:.1} jobs/s below the baseline floor {floor:.1} jobs/s"
+            ));
+        }
+    }
+
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::Corpus;
+    use crate::runner::{run_corpus, RunConfig};
+
+    fn smoke_report() -> Value {
+        run_corpus(&Corpus::builtin_smoke(), &RunConfig::default()).report
+    }
+
+    #[test]
+    fn identical_reports_pass_the_gate() {
+        let report = smoke_report();
+        let baseline = make_baseline(&report, 0.5);
+        let problems = check_regression(&report, &baseline, Some(100.0), DEFAULT_RATIO_TOL);
+        assert!(problems.is_empty(), "{problems:?}");
+        // Skipping the perf check also passes.
+        assert!(check_regression(&report, &baseline, None, DEFAULT_RATIO_TOL).is_empty());
+    }
+
+    #[test]
+    fn ratio_regressions_are_caught() {
+        let report = smoke_report();
+        // Lower the baseline's recorded max ratio below what we achieve:
+        // the current report now "regresses" against it.
+        let mut baseline = make_baseline(&report, 0.5);
+        let Value::Object(map) = &mut baseline else {
+            unreachable!()
+        };
+        let Some(Value::Object(groups)) = map.get_mut("groups") else {
+            unreachable!()
+        };
+        let (name, group) = groups.iter_mut().next().unwrap();
+        let name = name.clone();
+        let Value::Object(g) = group else {
+            unreachable!()
+        };
+        let Some(Value::Object(ratio)) = g.get_mut("ratio_vs_cstar") else {
+            unreachable!()
+        };
+        ratio.insert("max".into(), Value::Float(1.0000001));
+        ratio.insert("mean".into(), Value::Float(1.0));
+        let problems = check_regression(&report, &baseline, None, DEFAULT_RATIO_TOL);
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains(&name) && p.contains("regressed")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn corpus_and_structure_drift_are_caught() {
+        let report = smoke_report();
+        let mut other = run_corpus(
+            &Corpus::parse(
+                "mtsp-corpus v1\nname other\ndags chain\ncurves power-law\nsizes 5\nmachines 2\nseeds 1\n",
+            )
+            .unwrap(),
+            &RunConfig::default(),
+        )
+        .report;
+        let problems = check_regression(
+            &report,
+            &make_baseline(&other, 0.5),
+            None,
+            DEFAULT_RATIO_TOL,
+        );
+        assert!(
+            problems.iter().any(|p| p.contains("corpus grid changed")),
+            "{problems:?}"
+        );
+
+        // Same corpus name and cell count, different grid (a regenerated
+        // seed list): still caught.
+        let mut same_name = make_baseline(&report, 0.5);
+        let Value::Object(map) = &mut same_name else {
+            unreachable!()
+        };
+        let Some(Value::Object(corpus)) = map.get_mut("corpus") else {
+            unreachable!()
+        };
+        corpus.insert("seeds".into(), Value::Array(vec![Value::Int(99)]));
+        let problems = check_regression(&report, &same_name, None, DEFAULT_RATIO_TOL);
+        assert!(
+            problems.iter().any(|p| p.contains("corpus grid changed")),
+            "{problems:?}"
+        );
+
+        // Same corpus header, mutilated group set.
+        other = make_baseline(&report, 0.5);
+        let Value::Object(map) = &mut other else {
+            unreachable!()
+        };
+        let Some(Value::Object(groups)) = map.get_mut("groups") else {
+            unreachable!()
+        };
+        let first = groups.keys().next().unwrap().clone();
+        let entry = groups.remove(&first).unwrap();
+        groups.insert("zz/extra".into(), entry);
+        let problems = check_regression(&report, &other, None, DEFAULT_RATIO_TOL);
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("disappeared") || p.contains("is new")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn throughput_floor_is_enforced() {
+        let report = smoke_report();
+        let baseline = make_baseline(&report, 10.0);
+        let problems = check_regression(&report, &baseline, Some(1.0), DEFAULT_RATIO_TOL);
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("below the baseline floor")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn non_reports_are_rejected() {
+        let junk = Value::object([("format", "nope")]);
+        let problems = check_regression(&junk, &junk, None, DEFAULT_RATIO_TOL);
+        assert_eq!(problems.len(), 2);
+    }
+}

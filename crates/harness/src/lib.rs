@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+//! # mtsp-harness — the corpus ratio-audit pipeline
+//!
+//! The paper proves a worst-case ratio (≈3.291919, Theorem 4.1); this
+//! crate *measures* realized ratios at scale and turns them into a
+//! regression-gated quality trajectory. Pipeline:
+//!
+//! ```text
+//! CorpusSpec grid ──lazy cells──▶ Engine::stream ──in order──▶ audit fold ──▶ JSON report
+//!      (model)                      (engine)                   (this crate)    (bench::json)
+//!                                                                   │
+//!                                              committed baseline ──┴──▶ regression gate
+//! ```
+//!
+//! * [`Corpus`] — a validated `mtsp-corpus v1` grid
+//!   ([`mtsp_model::textio::CorpusSpec`]): DAG families × curve families ×
+//!   sizes × machines × seeds, enumerated lazily. [`Corpus::builtin_smoke`]
+//!   (16 cells, tests/CI) and [`Corpus::builtin_audit`] (384 cells, all
+//!   8 DAG × 6 curve families) ship built in.
+//! * [`run_corpus`] — the streaming bounded-memory runner: instances are
+//!   generated at submit time, pushed through the engine's incremental
+//!   [`StreamSession`](mtsp_engine::StreamSession) with at most
+//!   [`RunConfig::window`] in flight, audited in submission order, and
+//!   dropped — corpora never materialize, and the report is byte-identical
+//!   for any worker count.
+//! * [`AuditAccumulator`] — per-instance makespan, the Eq. (11) LP lower
+//!   bound, realized ratios, the LTW/serial/gang baseline comparisons, and
+//!   a cross-validation replay through the core verifier and the
+//!   per-processor booking simulator, folded into per-`dag/curve` groups.
+//! * [`check_regression`] — diffs a report against a committed baseline
+//!   (`BENCH_baseline*.json`) and fails on quality or throughput
+//!   regressions beyond tolerance.
+//!
+//! ```
+//! use mtsp_harness::{run_corpus, check_regression, make_baseline, Corpus, RunConfig};
+//!
+//! let outcome = run_corpus(&Corpus::builtin_smoke(), &RunConfig::default());
+//! let summary = outcome.report.get("summary").unwrap();
+//! assert_eq!(summary.get("within_guarantee").and_then(|v| v.as_bool()), Some(true));
+//!
+//! let baseline = make_baseline(&outcome.report, 0.5);
+//! let problems = check_regression(&outcome.report, &baseline,
+//!                                 Some(outcome.metrics.throughput), 1e-9);
+//! assert!(problems.is_empty());
+//! ```
+
+pub mod audit;
+pub mod corpus;
+pub mod gate;
+pub mod runner;
+
+pub use audit::{AuditAccumulator, GUARANTEE_SLACK, REPORT_FORMAT};
+pub use corpus::Corpus;
+pub use gate::{check_regression, make_baseline, DEFAULT_RATIO_TOL, PERF_FLOOR_KEY};
+pub use runner::{run_corpus, RunConfig, RunOutcome};

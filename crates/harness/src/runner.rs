@@ -1,0 +1,188 @@
+//! The streaming corpus runner: generate → submit → collect → audit,
+//! with a bounded number of instances in flight.
+
+use crate::audit::AuditAccumulator;
+use crate::corpus::Corpus;
+use mtsp_bench::json::Value;
+use mtsp_engine::{BatchMetrics, Engine, EngineConfig, StreamSession};
+use mtsp_model::textio::CorpusCell;
+use std::collections::VecDeque;
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Worker threads (`0` = one per core), as in
+    /// [`EngineConfig::workers`].
+    pub workers: usize,
+    /// Reuse per-worker LP solve contexts across jobs.
+    pub reuse_context: bool,
+    /// Memoize solves in the engine cache (duplicate cells hit it).
+    pub cache: bool,
+    /// Maximum instances in flight at once (`0` = auto: 4 per worker).
+    /// This is the memory bound of the whole pipeline: instances are
+    /// generated at submit time and dropped after audit, so peak residency
+    /// is `window` instances however large the corpus. It never affects
+    /// report bytes — only memory and scheduling slack.
+    pub window: usize,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            workers: 0,
+            reuse_context: true,
+            cache: true,
+            window: 0,
+        }
+    }
+}
+
+/// What one corpus run produced: the deterministic quality report and the
+/// (wall-clock, non-deterministic) service metrics, kept strictly apart
+/// so the report can be compared byte-for-byte across runs.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// The `mtsp-harness-report v1` quality report.
+    pub report: Value,
+    /// Throughput / latency-percentile / cache metrics of the run.
+    pub metrics: BatchMetrics,
+}
+
+/// Streams every cell of `corpus` through an [`Engine`] worker pool and
+/// folds the results into an audit report.
+///
+/// Memory is bounded: at any moment at most `window` instances exist —
+/// the grid itself is never materialized, results are audited and dropped
+/// in submission order as they arrive. The report is a pure function of
+/// the corpus (worker count, window, cache and context reuse never change
+/// a byte); the metrics are wall-clock and vary run to run.
+///
+/// Scaling note: the audit fold — including the LTW baseline re-solve —
+/// runs serially on the collecting thread, so with many workers the solve
+/// pool can outpace it and throughput saturates at the fold's rate.
+/// That keeps float accumulation order (and thus report bytes) trivially
+/// deterministic; if the fold ever dominates, the deterministic move is
+/// to compute per-instance records inside the workers and keep only the
+/// ordered aggregation here.
+pub fn run_corpus(corpus: &Corpus, cfg: &RunConfig) -> RunOutcome {
+    let engine = Engine::new(EngineConfig {
+        workers: cfg.workers,
+        cache: cfg.cache,
+        reuse_context: cfg.reuse_context,
+        ..EngineConfig::default()
+    });
+    let window = if cfg.window == 0 {
+        (engine.config().resolved_workers() * 4).clamp(4, 512)
+    } else {
+        cfg.window
+    };
+
+    let mut stream = engine.stream();
+    // Cells of in-flight jobs, front = next delivery (delivery follows
+    // submission order). Instances are regenerated at audit time from the
+    // cell — deterministic and far cheaper than the baselines computed on
+    // them — so nothing solver-sized is retained here.
+    let mut in_flight: VecDeque<CorpusCell> = VecDeque::with_capacity(window);
+    let mut acc = AuditAccumulator::new();
+
+    fn collect_one(
+        stream: &mut StreamSession,
+        in_flight: &mut VecDeque<CorpusCell>,
+        acc: &mut AuditAccumulator,
+    ) {
+        let (_, result) = stream.recv().expect("a job is in flight");
+        let cell = in_flight.pop_front().expect("one cell per in-flight job");
+        match result {
+            Ok(rep) => {
+                let ins = cell.instantiate();
+                acc.record(&cell, &ins, &rep);
+            }
+            Err(e) => acc.record_failure(&cell, &e),
+        }
+    }
+
+    for cell in corpus.cells() {
+        stream.submit(cell.instantiate());
+        in_flight.push_back(cell);
+        if stream.in_flight() >= window {
+            collect_one(&mut stream, &mut in_flight, &mut acc);
+        }
+    }
+    while stream.in_flight() > 0 {
+        collect_one(&mut stream, &mut in_flight, &mut acc);
+    }
+    let metrics = stream.finish();
+    RunOutcome {
+        report: acc.into_report(corpus.spec()),
+        metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtsp_bench::json::Value;
+
+    #[test]
+    fn smoke_corpus_audits_clean() {
+        let outcome = run_corpus(&Corpus::builtin_smoke(), &RunConfig::default());
+        let s = outcome.report.get("summary").unwrap();
+        assert_eq!(s.get("instances").and_then(Value::as_i64), Some(16));
+        assert_eq!(s.get("failures").and_then(Value::as_i64), Some(0));
+        assert_eq!(s.get("violations").and_then(Value::as_i64), Some(0));
+        assert_eq!(
+            s.get("within_guarantee").and_then(Value::as_bool),
+            Some(true)
+        );
+        assert_eq!(outcome.metrics.jobs, 16);
+        assert_eq!(outcome.metrics.failures, 0);
+        // Every dag family shows up as a group (2 curves each).
+        assert_eq!(
+            outcome
+                .report
+                .get("groups")
+                .unwrap()
+                .as_object()
+                .unwrap()
+                .len(),
+            16
+        );
+    }
+
+    #[test]
+    fn report_bytes_identical_across_workers_window_cache_and_context() {
+        let corpus = Corpus::builtin_smoke();
+        let base = run_corpus(
+            &corpus,
+            &RunConfig {
+                workers: 1,
+                window: 1,
+                cache: false,
+                ..RunConfig::default()
+            },
+        )
+        .report
+        .to_pretty();
+        for (workers, window, cache, reuse) in [
+            (4, 3, true, true),
+            (2, 16, false, false),
+            (8, 0, true, false),
+        ] {
+            let got = run_corpus(
+                &corpus,
+                &RunConfig {
+                    workers,
+                    window,
+                    cache,
+                    reuse_context: reuse,
+                },
+            )
+            .report
+            .to_pretty();
+            assert_eq!(
+                base, got,
+                "report changed under workers={workers} window={window} cache={cache} reuse={reuse}"
+            );
+        }
+    }
+}

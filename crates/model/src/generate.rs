@@ -54,6 +54,26 @@ pub enum DagFamily {
 }
 
 impl DagFamily {
+    /// Canonical lowercase name, stable across releases — the token used
+    /// by the CLI and the `mtsp-corpus v1` spec format.
+    pub fn name(self) -> &'static str {
+        match self {
+            DagFamily::Independent => "independent",
+            DagFamily::Chain => "chain",
+            DagFamily::Layered => "layered",
+            DagFamily::SeriesParallel => "series-parallel",
+            DagFamily::ForkJoin => "fork-join",
+            DagFamily::Cholesky => "cholesky",
+            DagFamily::Wavefront => "wavefront",
+            DagFamily::RandomTree => "random-tree",
+        }
+    }
+
+    /// Inverse of [`DagFamily::name`].
+    pub fn parse_name(s: &str) -> Option<DagFamily> {
+        DagFamily::ALL.into_iter().find(|f| f.name() == s)
+    }
+
     /// All families, for sweeps.
     pub const ALL: [DagFamily; 8] = [
         DagFamily::Independent,
@@ -99,6 +119,24 @@ impl DagFamily {
 }
 
 impl CurveFamily {
+    /// Canonical lowercase name, stable across releases — the token used
+    /// by the CLI and the `mtsp-corpus v1` spec format.
+    pub fn name(self) -> &'static str {
+        match self {
+            CurveFamily::PowerLaw => "power-law",
+            CurveFamily::Amdahl => "amdahl",
+            CurveFamily::RandomConcave => "random-concave",
+            CurveFamily::Logarithmic => "logarithmic",
+            CurveFamily::Saturating => "saturating",
+            CurveFamily::Mixed => "mixed",
+        }
+    }
+
+    /// Inverse of [`CurveFamily::name`].
+    pub fn parse_name(s: &str) -> Option<CurveFamily> {
+        CurveFamily::ALL.into_iter().find(|f| f.name() == s)
+    }
+
     /// All families, for sweeps.
     pub const ALL: [CurveFamily; 6] = [
         CurveFamily::PowerLaw,
@@ -205,6 +243,18 @@ mod tests {
                 assert!(p.serial_time() >= 1.0 && p.serial_time() <= 100.0);
             }
         }
+    }
+
+    #[test]
+    fn family_names_round_trip() {
+        for df in DagFamily::ALL {
+            assert_eq!(DagFamily::parse_name(df.name()), Some(df));
+        }
+        for cf in CurveFamily::ALL {
+            assert_eq!(CurveFamily::parse_name(cf.name()), Some(cf));
+        }
+        assert_eq!(DagFamily::parse_name("nope"), None);
+        assert_eq!(CurveFamily::parse_name("Layered"), None);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Plain-text serialization of instances.
+//! Plain-text serialization of instances and corpus specifications.
 //!
 //! A small, self-describing line format (no external parser dependencies —
 //! the offline crate set has no JSON implementation):
@@ -21,8 +21,27 @@
 //!
 //! Floats are written with `{:?}` (shortest representation that
 //! round-trips), so write→parse→write is byte-stable.
+//!
+//! The sibling `mtsp-corpus v1` format ([`CorpusSpec`]) describes a *grid*
+//! of generated instances instead of one concrete instance — the input of
+//! the `mtsp-harness` streaming runner and the `mtsp corpus run` verb:
+//!
+//! ```text
+//! mtsp-corpus v1
+//! name smoke
+//! dags layered chain
+//! curves power-law amdahl
+//! sizes 8 12
+//! machines 4
+//! seeds 0 1
+//! ```
+//!
+//! The grid is the cartesian product of the five lists; every cell names
+//! one deterministic [`generate::random_instance`] call. The same
+//! comment/blank-line rules apply, and write→parse→write is byte-stable.
 
 use crate::error::ModelError;
+use crate::generate::{self, CurveFamily, DagFamily};
 use crate::instance::Instance;
 use crate::profile::Profile;
 use mtsp_dag::Dag;
@@ -30,6 +49,9 @@ use std::fmt::Write as _;
 
 /// Magic first line of the format.
 pub const HEADER: &str = "mtsp-instance v1";
+
+/// Magic first line of the corpus-spec format.
+pub const CORPUS_HEADER: &str = "mtsp-corpus v1";
 
 /// Serializes an instance to the text format.
 pub fn write_instance(ins: &Instance) -> String {
@@ -148,6 +170,271 @@ pub fn parse_instance(text: &str) -> Result<Instance, ModelError> {
     Instance::new(dag, profiles)
 }
 
+/// A declarative grid of generated instances: the cartesian product
+/// `dags × curves × sizes × machines × seeds`, every cell one
+/// deterministic [`generate::random_instance`] call. Cells are visited in
+/// that nesting order (dag outermost, seed innermost), so iteration order
+/// — and everything downstream of it — is a pure function of the spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusSpec {
+    /// Corpus name (a single whitespace-free token).
+    pub name: String,
+    /// DAG shape families of the grid.
+    pub dags: Vec<DagFamily>,
+    /// Speedup-curve families of the grid.
+    pub curves: Vec<CurveFamily>,
+    /// Approximate task counts `n`.
+    pub sizes: Vec<usize>,
+    /// Machine sizes `m`.
+    pub machines: Vec<usize>,
+    /// Generator seeds.
+    pub seeds: Vec<u64>,
+}
+
+/// One cell of a [`CorpusSpec`] grid: the full recipe for one instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CorpusCell {
+    /// DAG shape family.
+    pub dag: DagFamily,
+    /// Speedup-curve family.
+    pub curve: CurveFamily,
+    /// Approximate task count.
+    pub n: usize,
+    /// Machine size.
+    pub m: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl CorpusCell {
+    /// Generates the instance this cell describes (deterministic).
+    pub fn instantiate(&self) -> Instance {
+        generate::random_instance(self.dag, self.curve, self.n, self.m, self.seed)
+    }
+
+    /// Short display label `dag/curve`.
+    pub fn label(&self) -> String {
+        format!("{}/{}", self.dag.name(), self.curve.name())
+    }
+}
+
+impl CorpusSpec {
+    /// Checks the structural invariants the parser enforces — non-empty
+    /// whitespace-free name, every list non-empty, duplicate-free, and
+    /// positive sizes/machines — so hand-built specs meet the same
+    /// contract as parsed ones.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        let fail = |msg: String| -> Result<(), ModelError> { Err(err(0, msg)) };
+        if self.name.is_empty() || self.name.contains(char::is_whitespace) {
+            return fail("corpus name must be one non-empty token".into());
+        }
+        fn check_list<T: PartialEq + std::fmt::Debug>(
+            what: &str,
+            items: &[T],
+        ) -> Result<(), ModelError> {
+            if items.is_empty() {
+                return Err(err(0, format!("{what} list must be non-empty")));
+            }
+            for (i, a) in items.iter().enumerate() {
+                if items[..i].contains(a) {
+                    return Err(err(0, format!("duplicate {what} entry {a:?}")));
+                }
+            }
+            Ok(())
+        }
+        check_list("dags", &self.dags)?;
+        check_list("curves", &self.curves)?;
+        check_list("sizes", &self.sizes)?;
+        check_list("machines", &self.machines)?;
+        check_list("seeds", &self.seeds)?;
+        if self.sizes.contains(&0) {
+            return fail("sizes must be positive".into());
+        }
+        if self.machines.contains(&0) {
+            return fail("machines must be positive".into());
+        }
+        Ok(())
+    }
+
+    /// Number of cells in the grid.
+    pub fn len(&self) -> usize {
+        self.dags.len()
+            * self.curves.len()
+            * self.sizes.len()
+            * self.machines.len()
+            * self.seeds.len()
+    }
+
+    /// Whether the grid has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lazily visits every grid cell in canonical order (dag outermost,
+    /// then curve, size, machine, seed) — instances are *not* generated
+    /// here, so corpora of any size stream in O(1) memory.
+    pub fn cells(&self) -> impl Iterator<Item = CorpusCell> + '_ {
+        self.dags.iter().flat_map(move |&dag| {
+            self.curves.iter().flat_map(move |&curve| {
+                self.sizes.iter().flat_map(move |&n| {
+                    self.machines.iter().flat_map(move |&m| {
+                        self.seeds.iter().map(move |&seed| CorpusCell {
+                            dag,
+                            curve,
+                            n,
+                            m,
+                            seed,
+                        })
+                    })
+                })
+            })
+        })
+    }
+}
+
+/// Serializes a corpus spec to the `mtsp-corpus v1` text format.
+pub fn write_corpus_spec(spec: &CorpusSpec) -> String {
+    fn list(s: &mut String, keyword: &str, tokens: impl Iterator<Item = String>) {
+        s.push_str(keyword);
+        for t in tokens {
+            let _ = write!(s, " {t}");
+        }
+        s.push('\n');
+    }
+    let mut s = String::new();
+    let _ = writeln!(s, "{CORPUS_HEADER}");
+    let _ = writeln!(s, "name {}", spec.name);
+    list(&mut s, "dags", spec.dags.iter().map(|d| d.name().into()));
+    list(
+        &mut s,
+        "curves",
+        spec.curves.iter().map(|c| c.name().into()),
+    );
+    list(&mut s, "sizes", spec.sizes.iter().map(|n| n.to_string()));
+    list(
+        &mut s,
+        "machines",
+        spec.machines.iter().map(|m| m.to_string()),
+    );
+    list(&mut s, "seeds", spec.seeds.iter().map(|x| x.to_string()));
+    s
+}
+
+/// Parses the `mtsp-corpus v1` text format. Errors carry the 1-based line
+/// number of the offending line, mirroring [`parse_instance`].
+pub fn parse_corpus_spec(text: &str) -> Result<CorpusSpec, ModelError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
+
+    let (ln, header) = lines.next().ok_or_else(|| err(0, "empty input"))?;
+    if header != CORPUS_HEADER {
+        return Err(err(
+            ln,
+            format!("expected header '{CORPUS_HEADER}', got '{header}'"),
+        ));
+    }
+
+    // Every subsequent line is `keyword tok tok …`; this pulls the next
+    // line, checks the keyword, and hands back (line number, tokens).
+    let mut field = |expect: &str| -> Result<(usize, Vec<&str>), ModelError> {
+        let (ln, line) = lines
+            .next()
+            .ok_or_else(|| err(0, format!("missing '{expect}' line")))?;
+        let mut parts = line.split_whitespace();
+        if parts.next() != Some(expect) {
+            return Err(err(ln, format!("expected '{expect} …', got '{line}'")));
+        }
+        let toks: Vec<&str> = parts.collect();
+        if toks.is_empty() {
+            return Err(err(ln, format!("'{expect}' needs at least one value")));
+        }
+        Ok((ln, toks))
+    };
+
+    let (ln, name_toks) = field("name")?;
+    let [name] = name_toks.as_slice() else {
+        return Err(err(ln, "corpus name must be one token"));
+    };
+    let name = name.to_string();
+
+    let (ln_dags, toks) = field("dags")?;
+    let dags = toks
+        .iter()
+        .map(|t| {
+            DagFamily::parse_name(t)
+                .ok_or_else(|| err(ln_dags, format!("unknown dag family '{t}'")))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let (ln_curves, toks) = field("curves")?;
+    let curves = toks
+        .iter()
+        .map(|t| {
+            CurveFamily::parse_name(t)
+                .ok_or_else(|| err(ln_curves, format!("unknown curve family '{t}'")))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let (ln_sizes, toks) = field("sizes")?;
+    let sizes = toks
+        .iter()
+        .map(|t| {
+            t.parse::<usize>()
+                .map_err(|e| err(ln_sizes, format!("bad size '{t}': {e}")))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let (ln_machines, toks) = field("machines")?;
+    let machines = toks
+        .iter()
+        .map(|t| {
+            t.parse::<usize>()
+                .map_err(|e| err(ln_machines, format!("bad machine size '{t}': {e}")))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let (ln_seeds, toks) = field("seeds")?;
+    let seeds = toks
+        .iter()
+        .map(|t| {
+            t.parse::<u64>()
+                .map_err(|e| err(ln_seeds, format!("bad seed '{t}': {e}")))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+
+    if let Some((ln, line)) = lines.next() {
+        return Err(err(ln, format!("trailing content: '{line}'")));
+    }
+    let spec = CorpusSpec {
+        name,
+        dags,
+        curves,
+        sizes,
+        machines,
+        seeds,
+    };
+    // Re-anchor structural violations on the line that introduced them.
+    spec.validate().map_err(|e| match e {
+        ModelError::Parse { msg, .. } => {
+            let line = if msg.contains("dags") {
+                ln_dags
+            } else if msg.contains("curves") {
+                ln_curves
+            } else if msg.contains("sizes") {
+                ln_sizes
+            } else if msg.contains("machines") {
+                ln_machines
+            } else if msg.contains("seeds") {
+                ln_seeds
+            } else {
+                ln
+            };
+            err(line, msg)
+        }
+        other => other,
+    })?;
+    Ok(spec)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -231,5 +518,150 @@ mod tests {
     fn rejects_zero_m() {
         let text = "mtsp-instance v1\nm 0\ntasks 0\nedges 0\n";
         assert!(parse_instance(text).is_err());
+    }
+
+    fn sample_spec() -> CorpusSpec {
+        CorpusSpec {
+            name: "smoke".into(),
+            dags: vec![DagFamily::Layered, DagFamily::Chain],
+            curves: vec![CurveFamily::PowerLaw, CurveFamily::Amdahl],
+            sizes: vec![8, 12],
+            machines: vec![4],
+            seeds: vec![0, 1],
+        }
+    }
+
+    /// The exact bytes `write_corpus_spec` must emit for [`sample_spec`] —
+    /// the golden file of the format.
+    const GOLDEN_SPEC: &str = "\
+mtsp-corpus v1
+name smoke
+dags layered chain
+curves power-law amdahl
+sizes 8 12
+machines 4
+seeds 0 1
+";
+
+    #[test]
+    fn corpus_spec_matches_golden_bytes() {
+        assert_eq!(write_corpus_spec(&sample_spec()), GOLDEN_SPEC);
+    }
+
+    #[test]
+    fn corpus_spec_round_trips_and_is_write_stable() {
+        let spec = sample_spec();
+        let t1 = write_corpus_spec(&spec);
+        let back = parse_corpus_spec(&t1).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(write_corpus_spec(&back), t1);
+    }
+
+    #[test]
+    fn corpus_cells_enumerate_the_grid_in_order() {
+        let spec = sample_spec();
+        assert_eq!(spec.len(), 16); // 2 dags × 2 curves × 2 sizes × 1 machine × 2 seeds
+        assert!(!spec.is_empty());
+        let cells: Vec<CorpusCell> = spec.cells().collect();
+        assert_eq!(cells.len(), spec.len());
+        // Canonical nesting: dag outermost, seed innermost.
+        assert_eq!(cells[0].dag, DagFamily::Layered);
+        assert_eq!(cells[0].seed, 0);
+        assert_eq!(cells[1].seed, 1);
+        assert_eq!(cells[cells.len() - 1].dag, DagFamily::Chain);
+        // Cells instantiate deterministically and label sensibly.
+        assert_eq!(cells[0].instantiate(), cells[0].instantiate());
+        assert_eq!(cells[0].label(), "layered/power-law");
+    }
+
+    #[test]
+    fn corpus_spec_ignores_comments_and_blanks() {
+        let mut text = String::from("# corpus\n\n");
+        text.push_str(GOLDEN_SPEC);
+        text.push_str("\n# trailing\n");
+        assert_eq!(parse_corpus_spec(&text).unwrap(), sample_spec());
+    }
+
+    #[test]
+    fn corpus_spec_rejects_malformed_grids_with_line_numbers() {
+        // (input, expected 1-based error line, expected message fragment)
+        let cases: &[(&str, usize, &str)] = &[
+            ("", 0, "empty input"),
+            ("mtsp-instance v1\n", 1, "expected header"),
+            ("mtsp-corpus v1\n", 0, "missing 'name'"),
+            ("mtsp-corpus v1\nname a b\n", 2, "one token"),
+            (
+                "mtsp-corpus v1\nname x\ndags nope\ncurves mixed\nsizes 5\nmachines 2\nseeds 0\n",
+                3,
+                "unknown dag family 'nope'",
+            ),
+            (
+                "mtsp-corpus v1\nname x\ndags chain\ncurves Mixed\nsizes 5\nmachines 2\nseeds 0\n",
+                4,
+                "unknown curve family",
+            ),
+            (
+                "mtsp-corpus v1\nname x\ndags chain\ncurves mixed\nsizes 0\nmachines 2\nseeds 0\n",
+                5,
+                "sizes must be positive",
+            ),
+            (
+                "mtsp-corpus v1\nname x\ndags chain\ncurves mixed\nsizes 5\nmachines 2 2\nseeds 0\n",
+                6,
+                "duplicate machines",
+            ),
+            (
+                "mtsp-corpus v1\nname x\ndags chain chain\ncurves mixed\nsizes 5\nmachines 2\nseeds 0\n",
+                3,
+                "duplicate dags",
+            ),
+            (
+                "mtsp-corpus v1\nname x\ndags chain\ncurves mixed\nsizes 5\nmachines 2\nseeds 0 0\n",
+                7,
+                "duplicate seeds",
+            ),
+            (
+                "mtsp-corpus v1\nname x\ndags chain\ncurves mixed\nsizes 5\nmachines 2\nseeds -1\n",
+                7,
+                "bad seed",
+            ),
+            (
+                "mtsp-corpus v1\nname x\ndags chain\ncurves mixed\nsizes 5\nmachines 2\nseeds 0\nextra\n",
+                8,
+                "trailing content",
+            ),
+            (
+                "mtsp-corpus v1\nname x\ndags chain\ncurves mixed\nsizes 5\nmachines\nseeds 0\n",
+                6,
+                "at least one value",
+            ),
+            (
+                "mtsp-corpus v1\nname x\ndags chain\nsizes 5\nmachines 2\nseeds 0\n",
+                4,
+                "expected 'curves",
+            ),
+        ];
+        for (text, line, frag) in cases {
+            let e = parse_corpus_spec(text).unwrap_err();
+            let ModelError::Parse { line: got, msg } = &e else {
+                panic!("expected parse error for {text:?}, got {e:?}");
+            };
+            assert_eq!(got, line, "wrong line for {text:?}: {msg}");
+            assert!(
+                msg.contains(frag),
+                "message {msg:?} missing {frag:?} for {text:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn corpus_spec_validate_rejects_bad_hand_built_specs() {
+        let mut spec = sample_spec();
+        spec.name = "two words".into();
+        assert!(spec.validate().is_err());
+        let mut spec = sample_spec();
+        spec.curves.clear();
+        assert!(spec.validate().is_err());
+        assert!(sample_spec().validate().is_ok());
     }
 }

@@ -37,12 +37,17 @@
 
 /// Ratio analysis and tables (re-export of `mtsp-analysis`).
 pub use mtsp_analysis as analysis;
+/// Experiment machinery, including the hand-rolled JSON of the quality
+/// reports (re-export of `mtsp-bench`).
+pub use mtsp_bench as bench;
 /// The two-phase algorithm (re-export of `mtsp-core`).
 pub use mtsp_core as core;
 /// Precedence-DAG substrate (re-export of `mtsp-dag`).
 pub use mtsp_dag as dag;
 /// Batch scheduling service (re-export of `mtsp-engine`).
 pub use mtsp_engine as engine;
+/// Corpus ratio-audit pipeline (re-export of `mtsp-harness`).
+pub use mtsp_harness as harness;
 /// LP substrate (re-export of `mtsp-lp`).
 pub use mtsp_lp as lp;
 /// Malleable-task model (re-export of `mtsp-model`).
@@ -56,7 +61,8 @@ pub mod prelude {
     pub use mtsp_core::two_phase::{schedule_jz, schedule_jz_with, JzConfig, JzReport};
     pub use mtsp_core::{list_schedule, Priority, Schedule, ScheduledTask};
     pub use mtsp_dag::Dag;
-    pub use mtsp_engine::{instance_key, BatchReport, Engine, EngineConfig};
+    pub use mtsp_engine::{instance_key, BatchReport, Engine, EngineConfig, StreamSession};
+    pub use mtsp_harness::{check_regression, make_baseline, run_corpus, Corpus, RunConfig};
     pub use mtsp_lp::{SolveContext, SolverOptions};
     pub use mtsp_model::{Instance, Profile};
     pub use mtsp_sim::{execute, execute_online, NoiseModel};

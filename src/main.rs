@@ -6,12 +6,15 @@
 //! mtsp check <file>
 //! mtsp batch <dir|file>... [--jobs N] [--cache] [--fresh-contexts]
 //! mtsp bench-throughput --n-instances K [--jobs N] [--distinct D] [--n N] [--m M]
+//! mtsp corpus run <spec> [--jobs N] [--fresh-contexts] [--no-cache] [--window W] [--out FILE]
+//! mtsp audit [--smoke] [--jobs N] [--out FILE] [--baseline FILE] [--write-baseline] ...
 //! mtsp bounds <m>
 //! mtsp tables [2|3|4|all]
 //! ```
 //!
 //! Instances use the plain-text format of `mtsp::model::textio` (see
-//! `mtsp generate` to produce one).
+//! `mtsp generate` to produce one); corpus specs use its `mtsp-corpus v1`
+//! sibling format.
 
 use mtsp::analysis::{grid, ltw, ratio};
 use mtsp::core::improve::{improve_allotment, ImproveOptions};
@@ -57,6 +60,25 @@ enum Command {
         m: usize,
         seed: u64,
     },
+    CorpusRun {
+        spec: String,
+        jobs: usize,
+        fresh_contexts: bool,
+        no_cache: bool,
+        window: usize,
+        out: Option<String>,
+    },
+    Audit {
+        smoke: bool,
+        jobs: usize,
+        fresh_contexts: bool,
+        out: String,
+        baseline: Option<String>,
+        write_baseline: bool,
+        perf_floor: f64,
+        tol: f64,
+        no_gate: bool,
+    },
     Bounds {
         m: usize,
     },
@@ -77,6 +99,11 @@ USAGE:
   mtsp batch <dir|file>... [--jobs N] [--cache] [--fresh-contexts]
   mtsp bench-throughput --n-instances K [--jobs N] [--distinct D] [--n N] [--m M]
                         [--seed S]
+  mtsp corpus run <spec> [--jobs N] [--fresh-contexts] [--no-cache] [--window W]
+                 [--out FILE]
+  mtsp audit [--smoke] [--jobs N] [--fresh-contexts] [--out FILE]
+             [--baseline FILE] [--write-baseline] [--perf-floor F] [--tol T]
+             [--no-gate]
   mtsp bounds <m>
   mtsp tables [2|3|4|all]
 
@@ -87,35 +114,30 @@ memoizes repeated instances; --fresh-contexts rebuilds the per-worker LP
 solve context for every job instead of reusing it (same bytes out, only
 slower — a determinism/debugging aid). Throughput metrics go to stderr.
 
+corpus run streams the grid of an mtsp-corpus v1 spec file through the
+engine pool under bounded memory (at most --window instances in flight)
+and emits the machine-readable mtsp-harness-report v1 quality report
+(JSON) on stdout or to --out; report bytes are identical for any --jobs.
+audit runs the built-in 384-cell corpus (all 8 DAG x 6 curve families;
+--smoke: the 16-cell CI grid), writes the report to --out (default
+BENCH_harness.json), and gates it against --baseline (default
+BENCH_baseline.json, or BENCH_baseline_smoke.json with --smoke):
+quality regressions beyond --tol or measured throughput below the
+baseline's committed floor fail the run. --write-baseline records the
+current report (plus --perf-floor, default 0.5 jobs/s) as the new
+baseline instead of gating. Wall-clock metrics always go to stderr.
+
 DAG families:   independent chain layered series-parallel fork-join cholesky
                 wavefront random-tree
 curve families: power-law amdahl random-concave logarithmic saturating mixed
 ";
 
 fn parse_dag(s: &str) -> Result<DagFamily, String> {
-    Ok(match s {
-        "independent" => DagFamily::Independent,
-        "chain" => DagFamily::Chain,
-        "layered" => DagFamily::Layered,
-        "series-parallel" => DagFamily::SeriesParallel,
-        "fork-join" => DagFamily::ForkJoin,
-        "cholesky" => DagFamily::Cholesky,
-        "wavefront" => DagFamily::Wavefront,
-        "random-tree" => DagFamily::RandomTree,
-        other => return Err(format!("unknown dag family '{other}'")),
-    })
+    DagFamily::parse_name(s).ok_or_else(|| format!("unknown dag family '{s}'"))
 }
 
 fn parse_curve(s: &str) -> Result<CurveFamily, String> {
-    Ok(match s {
-        "power-law" => CurveFamily::PowerLaw,
-        "amdahl" => CurveFamily::Amdahl,
-        "random-concave" => CurveFamily::RandomConcave,
-        "logarithmic" => CurveFamily::Logarithmic,
-        "saturating" => CurveFamily::Saturating,
-        "mixed" => CurveFamily::Mixed,
-        other => return Err(format!("unknown curve family '{other}'")),
-    })
+    CurveFamily::parse_name(s).ok_or_else(|| format!("unknown curve family '{s}'"))
 }
 
 fn parse_priority(s: &str) -> Result<Priority, String> {
@@ -280,6 +302,76 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 n,
                 m,
                 seed,
+            })
+        }
+        "corpus" => {
+            // Subcommand layout mirrors the usage line: `corpus run <spec>`.
+            if rest.first() != Some(&"run") {
+                return Err("corpus needs the 'run' subcommand: corpus run <spec>".into());
+            }
+            rest.remove(0);
+            let jobs = take_value(&mut rest, "--jobs")?
+                .map(|v| v.parse::<usize>().map_err(|e| format!("bad --jobs: {e}")))
+                .transpose()?
+                .unwrap_or(0);
+            let fresh_contexts = take_flag(&mut rest, "--fresh-contexts");
+            let no_cache = take_flag(&mut rest, "--no-cache");
+            let window = take_value(&mut rest, "--window")?
+                .map(|v| v.parse::<usize>().map_err(|e| format!("bad --window: {e}")))
+                .transpose()?
+                .unwrap_or(0);
+            let out = take_value(&mut rest, "--out")?;
+            let [spec] = rest.as_slice() else {
+                return Err("corpus run needs exactly one spec file".into());
+            };
+            Ok(Command::CorpusRun {
+                spec: spec.to_string(),
+                jobs,
+                fresh_contexts,
+                no_cache,
+                window,
+                out,
+            })
+        }
+        "audit" => {
+            let smoke = take_flag(&mut rest, "--smoke");
+            let jobs = take_value(&mut rest, "--jobs")?
+                .map(|v| v.parse::<usize>().map_err(|e| format!("bad --jobs: {e}")))
+                .transpose()?
+                .unwrap_or(0);
+            let fresh_contexts = take_flag(&mut rest, "--fresh-contexts");
+            let out =
+                take_value(&mut rest, "--out")?.unwrap_or_else(|| "BENCH_harness.json".into());
+            let baseline = take_value(&mut rest, "--baseline")?;
+            let write_baseline = take_flag(&mut rest, "--write-baseline");
+            let perf_floor = take_value(&mut rest, "--perf-floor")?
+                .map(|v| {
+                    v.parse::<f64>()
+                        .map_err(|e| format!("bad --perf-floor: {e}"))
+                })
+                .transpose()?
+                .unwrap_or(0.5);
+            let tol = take_value(&mut rest, "--tol")?
+                .map(|v| v.parse::<f64>().map_err(|e| format!("bad --tol: {e}")))
+                .transpose()?
+                .unwrap_or(mtsp::harness::DEFAULT_RATIO_TOL);
+            let no_gate = take_flag(&mut rest, "--no-gate");
+            if !rest.is_empty() {
+                return Err(format!("unexpected arguments: {rest:?}"));
+            }
+            if !perf_floor.is_finite() || perf_floor < 0.0 || !tol.is_finite() || tol < 0.0 {
+                return Err("--perf-floor and --tol must be non-negative".into());
+            }
+            Ok(Command::Audit {
+                smoke,
+                jobs,
+                fresh_contexts,
+                out,
+                baseline,
+                write_baseline,
+                perf_floor,
+                tol,
+                no_gate,
             })
         }
         "bounds" => {
@@ -499,6 +591,143 @@ fn run(cmd: Command) -> Result<String, String> {
                 "  warm hit rate {:.1}%  |  outputs byte-identical across modes: {identical}",
                 100.0 * r_warm.metrics.cache.hit_rate()
             );
+        }
+        Command::CorpusRun {
+            spec,
+            jobs,
+            fresh_contexts,
+            no_cache,
+            window,
+            out: out_file,
+        } => {
+            let text = std::fs::read_to_string(&spec).map_err(|e| format!("{spec}: {e}"))?;
+            let corpus = Corpus::parse(&text).map_err(|e| format!("{spec}: {e}"))?;
+            let outcome = run_corpus(
+                &corpus,
+                &RunConfig {
+                    workers: jobs,
+                    reuse_context: !fresh_contexts,
+                    cache: !no_cache,
+                    window,
+                },
+            );
+            // Wall-clock metrics to stderr; the report (stdout or --out)
+            // stays byte-identical across --jobs values.
+            eprint!("{}", outcome.metrics.render());
+            let json = outcome.report.to_pretty();
+            match out_file {
+                Some(f) => {
+                    std::fs::write(&f, json).map_err(|e| format!("{f}: {e}"))?;
+                    let _ = writeln!(out, "report written to {f}");
+                }
+                None => out.push_str(&json),
+            }
+        }
+        Command::Audit {
+            smoke,
+            jobs,
+            fresh_contexts,
+            out: out_file,
+            baseline,
+            write_baseline,
+            perf_floor,
+            tol,
+            no_gate,
+        } => {
+            let corpus = if smoke {
+                Corpus::builtin_smoke()
+            } else {
+                Corpus::builtin_audit()
+            };
+            let outcome = run_corpus(
+                &corpus,
+                &RunConfig {
+                    workers: jobs,
+                    reuse_context: !fresh_contexts,
+                    ..RunConfig::default()
+                },
+            );
+            eprint!("{}", outcome.metrics.render());
+            std::fs::write(&out_file, outcome.report.to_pretty())
+                .map_err(|e| format!("{out_file}: {e}"))?;
+            let summary = outcome.report.get("summary").expect("report has summary");
+            let get_int = |k: &str| summary.get(k).and_then(|v| v.as_i64()).unwrap_or(-1);
+            let _ = writeln!(
+                out,
+                "audit: corpus {} ({} instances), report -> {out_file}",
+                corpus.spec().name,
+                get_int("instances"),
+            );
+            let ratio_max = summary
+                .get("ratio_vs_cstar_max")
+                .and_then(|v| v.as_f64())
+                .map(|r| format!("{r:.6}"))
+                .unwrap_or_else(|| "n/a".into());
+            let _ = writeln!(
+                out,
+                "  ratio_vs_cstar max {ratio_max}  (guarantee ceiling {:.6})",
+                summary
+                    .get("guarantee_ceiling")
+                    .and_then(|v| v.as_f64())
+                    .unwrap_or(f64::NAN),
+            );
+            let _ = writeln!(
+                out,
+                "  failures {}  violations {}  guarantee_breaches {}  within_guarantee {}",
+                get_int("failures"),
+                get_int("violations"),
+                get_int("guarantee_breaches"),
+                summary
+                    .get("within_guarantee")
+                    .and_then(|v| v.as_bool())
+                    .unwrap_or(false),
+            );
+            let baseline_path = baseline.unwrap_or_else(|| {
+                if smoke {
+                    "BENCH_baseline_smoke.json".into()
+                } else {
+                    "BENCH_baseline.json".into()
+                }
+            });
+            if write_baseline {
+                let doc = make_baseline(&outcome.report, perf_floor);
+                std::fs::write(&baseline_path, doc.to_pretty())
+                    .map_err(|e| format!("{baseline_path}: {e}"))?;
+                let _ = writeln!(
+                    out,
+                    "baseline written to {baseline_path} (perf floor {perf_floor} jobs/s)"
+                );
+            } else if no_gate {
+                let _ = writeln!(out, "gate: skipped (--no-gate)");
+            } else if !std::path::Path::new(&baseline_path).exists() {
+                // A fresh checkout or ad-hoc corpus has no baseline yet —
+                // report it and pass (the repo commits its baselines, so CI
+                // always gates).
+                let _ = writeln!(out, "gate: no baseline at {baseline_path}, skipped");
+            } else {
+                let text = std::fs::read_to_string(&baseline_path)
+                    .map_err(|e| format!("{baseline_path}: {e}"))?;
+                let base =
+                    mtsp::bench::json::parse(&text).map_err(|e| format!("{baseline_path}: {e}"))?;
+                let problems = check_regression(
+                    &outcome.report,
+                    &base,
+                    Some(outcome.metrics.throughput),
+                    tol,
+                );
+                if problems.is_empty() {
+                    let _ = writeln!(out, "gate: ok vs {baseline_path}");
+                } else {
+                    let mut msg = format!(
+                        "regression gate failed vs {baseline_path} ({} problem(s)):",
+                        problems.len()
+                    );
+                    for p in &problems {
+                        let _ = write!(msg, "\n  - {p}");
+                    }
+                    return Err(msg);
+                }
+            }
         }
         Command::Bounds { m } => {
             let p = our_params(m);
@@ -745,6 +974,108 @@ mod tests {
         assert!(parse_args(&argv("bench-throughput --n-instances 0")).is_err());
         assert!(parse_args(&argv("bench-throughput --n-instances 2 --m 0")).is_err());
         assert!(parse_args(&argv("bench-throughput --n-instances 2 --n 0")).is_err());
+    }
+
+    #[test]
+    fn parses_corpus_and_audit() {
+        let cmd = parse_args(&argv(
+            "corpus run spec.txt --jobs 4 --fresh-contexts --no-cache --window 7 --out r.json",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::CorpusRun {
+                spec: "spec.txt".into(),
+                jobs: 4,
+                fresh_contexts: true,
+                no_cache: true,
+                window: 7,
+                out: Some("r.json".into()),
+            }
+        );
+        let cmd = parse_args(&argv("audit --smoke --write-baseline --perf-floor 2.5")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Audit {
+                smoke: true,
+                jobs: 0,
+                fresh_contexts: false,
+                out: "BENCH_harness.json".into(),
+                baseline: None,
+                write_baseline: true,
+                perf_floor: 2.5,
+                tol: mtsp::harness::DEFAULT_RATIO_TOL,
+                no_gate: false,
+            }
+        );
+        assert!(parse_args(&argv("corpus")).is_err());
+        assert!(parse_args(&argv("corpus run")).is_err());
+        assert!(parse_args(&argv("corpus run a b")).is_err());
+        assert!(parse_args(&argv("audit --perf-floor -1")).is_err());
+        assert!(parse_args(&argv("audit extra")).is_err());
+    }
+
+    #[test]
+    fn corpus_run_and_smoke_audit_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("mtsp-cli-corpus-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec_path = dir.join("spec.txt");
+        std::fs::write(
+            &spec_path,
+            "mtsp-corpus v1\nname cli-test\ndags chain layered\ncurves power-law\nsizes 6\nmachines 3\nseeds 1 2\n",
+        )
+        .unwrap();
+
+        // corpus run: report JSON on stdout, parseable, clean summary.
+        let text = run(Command::CorpusRun {
+            spec: spec_path.to_string_lossy().into_owned(),
+            jobs: 2,
+            fresh_contexts: false,
+            no_cache: false,
+            window: 2,
+            out: None,
+        })
+        .unwrap();
+        let report = mtsp::bench::json::parse(&text).unwrap();
+        let summary = report.get("summary").unwrap();
+        assert_eq!(summary.get("instances").and_then(|v| v.as_i64()), Some(4));
+        assert_eq!(
+            summary.get("within_guarantee").and_then(|v| v.as_bool()),
+            Some(true)
+        );
+
+        // audit --smoke: write baseline, then gate against it cleanly.
+        let out_path = dir.join("BENCH_harness.json");
+        let base_path = dir.join("baseline.json");
+        let audit = |write_baseline: bool, tol: f64| {
+            run(Command::Audit {
+                smoke: true,
+                jobs: 2,
+                fresh_contexts: false,
+                out: out_path.to_string_lossy().into_owned(),
+                baseline: Some(base_path.to_string_lossy().into_owned()),
+                write_baseline,
+                perf_floor: 0.0,
+                tol,
+                no_gate: false,
+            })
+        };
+        let text = audit(true, 1e-9).unwrap();
+        assert!(text.contains("baseline written"));
+        assert!(out_path.exists() && base_path.exists());
+        let text = audit(false, 1e-9).unwrap();
+        assert!(text.contains("gate: ok"), "{text}");
+        assert!(text.contains("within_guarantee true"), "{text}");
+
+        // A baseline demanding impossible ratios fails the gate.
+        let base_text = std::fs::read_to_string(&base_path).unwrap();
+        std::fs::write(&base_path, base_text.replace("\"max\": 1.", "\"max\": 0.")).unwrap();
+        let err = audit(false, 1e-9).unwrap_err();
+        assert!(err.contains("regression gate failed"), "{err}");
+        assert!(err.contains("regressed"), "{err}");
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! Integration tests of the corpus ratio-audit pipeline: cross-validation
+//! of every harness schedule through the machine simulator, byte-identical
+//! reports across worker counts (in-process and through the real binary),
+//! and the committed smoke baseline gating green.
+
+use mtsp::bench::json;
+use mtsp::core::two_phase::schedule_jz;
+use mtsp::harness::{run_corpus, Corpus, RunConfig};
+use mtsp::sim::execute;
+
+/// Satellite: every schedule produced during a harness smoke run replays
+/// through `mtsp-sim::execute` (per-processor booking) and the core
+/// verifier with zero capacity or precedence violations — here both
+/// directly and via the report's `violations` counters (the audit layer
+/// performs the same replay on every streamed result).
+#[test]
+fn smoke_schedules_cross_validate_in_sim() {
+    let corpus = Corpus::builtin_smoke();
+    for cell in corpus.cells() {
+        let ins = cell.instantiate();
+        let rep = schedule_jz(&ins)
+            .unwrap_or_else(|e| panic!("{} seed={}: {e}", cell.label(), cell.seed));
+        // Core verifier: precedence, allotment bounds, machine capacity.
+        rep.schedule.verify(&ins).unwrap();
+        // Mechanism-level replay: explicit processor booking.
+        let sim = execute(&ins, &rep.schedule)
+            .unwrap_or_else(|e| panic!("{} seed={}: sim rejected: {e}", cell.label(), cell.seed));
+        assert!((sim.makespan - rep.schedule.makespan()).abs() < 1e-9);
+        for (j, procs) in sim.assignment.iter().enumerate() {
+            assert_eq!(procs.len(), rep.schedule.task(j).alloc, "task {j}");
+        }
+    }
+
+    // The audit layer ran the same replay per streamed schedule.
+    let outcome = run_corpus(&corpus, &RunConfig::default());
+    let summary = outcome.report.get("summary").unwrap();
+    assert_eq!(summary.get("violations").and_then(|v| v.as_i64()), Some(0));
+    assert_eq!(summary.get("failures").and_then(|v| v.as_i64()), Some(0));
+    assert_eq!(
+        summary.get("within_guarantee").and_then(|v| v.as_bool()),
+        Some(true)
+    );
+}
+
+/// The committed smoke baseline must gate the current code green — this
+/// is the same check CI runs, kept in-tree so a quality regression fails
+/// `cargo test` before it ever reaches CI.
+#[test]
+fn committed_smoke_baseline_gates_green() {
+    let text = std::fs::read_to_string("BENCH_baseline_smoke.json")
+        .expect("BENCH_baseline_smoke.json is committed at the workspace root");
+    let baseline = json::parse(&text).unwrap();
+    let outcome = run_corpus(&Corpus::builtin_smoke(), &RunConfig::default());
+    // No measured throughput here: the perf floor is CI's concern; this
+    // test pins quality only.
+    let problems = mtsp::harness::check_regression(
+        &outcome.report,
+        &baseline,
+        None,
+        mtsp::harness::DEFAULT_RATIO_TOL,
+    );
+    assert!(problems.is_empty(), "{problems:#?}");
+}
+
+/// Satellite: `mtsp corpus run` emits byte-identical reports for
+/// `--jobs 1` vs `--jobs 4`, with `--fresh-contexts` on and off — through
+/// the real binary, stdout and `--out` file alike — and `mtsp audit
+/// --smoke` writes a byte-identical `BENCH_harness.json` across worker
+/// counts (the acceptance criterion of the harness).
+#[test]
+fn corpus_run_and_audit_are_byte_identical_across_jobs() {
+    let dir = std::env::temp_dir().join(format!("mtsp-harness-cli-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec = dir.join("spec.txt");
+    std::fs::write(
+        &spec,
+        "mtsp-corpus v1\nname determinism\ndags layered series-parallel random-tree\n\
+         curves mixed amdahl\nsizes 8\nmachines 4\nseeds 1 2\n",
+    )
+    .unwrap();
+
+    let corpus_run = |extra: &[&str]| {
+        let out = std::process::Command::new(env!("CARGO_BIN_EXE_mtsp"))
+            .arg("corpus")
+            .arg("run")
+            .arg(&spec)
+            .args(extra)
+            .output()
+            .expect("mtsp corpus run executes");
+        assert!(out.status.success(), "corpus run failed: {out:?}");
+        out.stdout
+    };
+    let baseline = corpus_run(&["--jobs", "1"]);
+    assert!(!baseline.is_empty());
+    json::parse(std::str::from_utf8(&baseline).unwrap()).expect("stdout is one JSON document");
+    for extra in [
+        &["--jobs", "4"][..],
+        &["--jobs", "1", "--fresh-contexts"][..],
+        &["--jobs", "4", "--fresh-contexts"][..],
+        &["--jobs", "4", "--no-cache", "--window", "2"][..],
+    ] {
+        assert_eq!(
+            baseline,
+            corpus_run(extra),
+            "corpus run report changed under {extra:?}"
+        );
+    }
+
+    // audit --smoke: the written BENCH_harness.json must be bitwise
+    // identical across --jobs 1/4 (gate skipped via explicit missing
+    // baseline path so this test is independent of committed files).
+    let audit_report = |jobs: &str, tag: &str| {
+        let out_path = dir.join(format!("BENCH_harness-{tag}.json"));
+        let out = std::process::Command::new(env!("CARGO_BIN_EXE_mtsp"))
+            .args(["audit", "--smoke", "--jobs", jobs, "--no-gate", "--out"])
+            .arg(&out_path)
+            .output()
+            .expect("mtsp audit executes");
+        assert!(out.status.success(), "audit failed: {out:?}");
+        std::fs::read(out_path).unwrap()
+    };
+    let a = audit_report("1", "j1");
+    let b = audit_report("4", "j4");
+    assert_eq!(a, b, "BENCH_harness.json differs between --jobs 1 and 4");
+    let report = json::parse(std::str::from_utf8(&a).unwrap()).unwrap();
+    assert_eq!(
+        report
+            .get("summary")
+            .and_then(|s| s.get("within_guarantee"))
+            .and_then(|v| v.as_bool()),
+        Some(true)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
