@@ -1,0 +1,115 @@
+//! Online session economics: warm epoch re-planning vs cold re-solving.
+//!
+//! The acceptance target of the session subsystem is visible here: a full
+//! arrival-scenario replay whose epochs re-plan through one long-lived
+//! warm `SolveContext` must measurably beat the same replay rebuilding a
+//! cold context every epoch — with `Phase1::Bisection` each epoch's
+//! deadline sweep additionally warm-starts probe-to-probe from the
+//! previous basis (the axis measured at 3–9x for the batch pipeline in
+//! `lp_warmstart.rs`). Both variants produce byte-identical plans
+//! (asserted in the session and replay test suites), so the delta is pure
+//! re-plan latency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mtsp_core::two_phase::{JzConfig, Phase1};
+use mtsp_engine::SessionConfig;
+use mtsp_model::generate::{CurveFamily, DagFamily};
+use mtsp_model::textio::Scenario;
+use mtsp_sim::{arrival_scenario, replay, ArrivalPattern, NoiseModel, ReplayConfig};
+
+fn scenario(n: usize, m: usize) -> Scenario {
+    arrival_scenario(
+        DagFamily::Layered,
+        CurveFamily::Mixed,
+        n,
+        m,
+        ArrivalPattern::Bursty,
+        0.4,
+        7,
+    )
+}
+
+/// `warm = true`: one long-lived context, dual-simplex warm starts on
+/// (every bisection probe restarts from the previous basis). `warm =
+/// false`: fresh context per epoch and `warm_start = false` — every probe
+/// a full cold solve, the from-scratch re-solve baseline.
+fn cfg(phase1: Phase1, warm: bool) -> ReplayConfig {
+    ReplayConfig {
+        session: SessionConfig {
+            jz: JzConfig {
+                phase1,
+                solver: mtsp_lp::SolverOptions {
+                    warm_start: warm,
+                    ..mtsp_lp::SolverOptions::default()
+                },
+                ..JzConfig::default()
+            },
+            reuse_context: warm,
+        },
+        noise: NoiseModel::Uniform { epsilon: 0.1 },
+        seed: 7,
+    }
+}
+
+fn bench_epoch_replans(c: &mut Criterion) {
+    let mut g = c.benchmark_group("session_replay");
+    g.sample_size(10);
+    for (n, m) in [(24usize, 8usize), (48, 8)] {
+        let sc = scenario(n, m);
+        let label = format!("n{}_m{m}", sc.ins.n());
+        for (phase1, tag) in [(Phase1::Lp, "lp"), (Phase1::Bisection, "bisection")] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("{tag}_warm"), &label),
+                &sc,
+                |b, sc| b.iter(|| replay(sc, &cfg(phase1, true)).unwrap()),
+            );
+            g.bench_with_input(
+                BenchmarkId::new(format!("{tag}_cold"), &label),
+                &sc,
+                |b, sc| b.iter(|| replay(sc, &cfg(phase1, false)).unwrap()),
+            );
+        }
+    }
+    g.finish();
+}
+
+/// Isolates the re-plan itself (no dispatch, no noise): one warm session
+/// absorbing an arrival stream epoch by epoch vs a cold context rebuilt
+/// for every epoch — the serving-loop hot path.
+fn bench_replan_only(c: &mut Criterion) {
+    let mut g = c.benchmark_group("session_replan_only");
+    g.sample_size(10);
+    let sc = scenario(32, 8);
+    for (warm, tag) in [(true, "warm"), (false, "cold")] {
+        g.bench_with_input(BenchmarkId::new(tag, sc.ins.n()), &sc, |b, sc| {
+            b.iter(|| {
+                let mut s = mtsp_engine::ScheduleSession::new(
+                    sc.ins.m(),
+                    cfg(Phase1::Bisection, warm).session,
+                )
+                .unwrap();
+                let mut order = sc.ins.dag().topological_order();
+                order.sort_by(|&a, &b| sc.arrival[a].partial_cmp(&sc.arrival[b]).unwrap());
+                let mut sess = vec![usize::MAX; sc.ins.n()];
+                let mut last = f64::NEG_INFINITY;
+                for &j in &order {
+                    let t = sc.arrival[j];
+                    if t > last && last != f64::NEG_INFINITY {
+                        s.replan(last).unwrap();
+                    }
+                    sess[j] = s.arrive(sc.ins.profile(j).clone(), t).unwrap();
+                    for &i in sc.ins.dag().preds(j) {
+                        s.add_dependency(sess[i], sess[j], t).unwrap();
+                    }
+                    last = t;
+                }
+                s.replan(last).unwrap();
+                s.epochs().len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_epoch_replans, bench_replan_only);
+criterion_main!(benches);

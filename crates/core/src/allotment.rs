@@ -97,6 +97,49 @@ pub fn solve_allotment_in(
     ins: &Instance,
     opts: &SolverOptions,
 ) -> Result<AllotmentResult, CoreError> {
+    solve_allotment_impl(ctx, ins, None, opts)
+}
+
+/// The suffix re-solve entry point of the online session loop:
+/// [`solve_allotment_in`] with a per-task **release time** `r_j ≥ 0`
+/// adding the constraint `C_j ≥ r_j + x_j` — task `j` cannot start before
+/// `r_j`. An online planner re-planning at time `t` calls this on the
+/// not-yet-started suffix with releases measured relative to `t`: frozen
+/// (already-running) predecessors and late arrivals become release lower
+/// bounds, and the optimum `C*max` is a lower bound on the *residual*
+/// makespan of any plan for the suffix.
+///
+/// With all releases zero this is exactly [`solve_allotment_in`].
+pub fn solve_allotment_with_releases_in(
+    ctx: &mut SolveContext,
+    ins: &Instance,
+    releases: &[f64],
+    opts: &SolverOptions,
+) -> Result<AllotmentResult, CoreError> {
+    validate_releases(ins, releases)?;
+    solve_allotment_impl(ctx, ins, Some(releases), opts)
+}
+
+fn validate_releases(ins: &Instance, releases: &[f64]) -> Result<(), CoreError> {
+    if releases.len() != ins.n() {
+        return Err(CoreError::InvalidParameter(
+            "one release time per task required",
+        ));
+    }
+    if releases.iter().any(|r| !(r.is_finite() && *r >= 0.0)) {
+        return Err(CoreError::InvalidParameter(
+            "release times must be finite and non-negative",
+        ));
+    }
+    Ok(())
+}
+
+fn solve_allotment_impl(
+    ctx: &mut SolveContext,
+    ins: &Instance,
+    releases: Option<&[f64]>,
+    opts: &SolverOptions,
+) -> Result<AllotmentResult, CoreError> {
     let n = ins.n();
     let m = ins.m();
     let wfs = work_functions(ins)?;
@@ -139,14 +182,17 @@ pub fn solve_allotment_in(
             }
             lp.add_row(&row, Relation::Le, -pj1);
         }
-        if ins.dag().preds(j).is_empty() {
-            // Source: x_j <= C_j.
+        // Release / source row: r_j + x_j <= C_j (r_j = 0 without
+        // releases; sources always get it, inner tasks only when their
+        // release binds beyond the precedence rows).
+        let rj = releases.map_or(0.0, |r| r[j]);
+        if ins.dag().preds(j).is_empty() || rj > 0.0 {
             row.clear();
             row.push((completion[j], -1.0));
             for &(y, _) in &crash[j] {
                 row.push((y, -1.0));
             }
-            lp.add_row(&row, Relation::Le, -pj1);
+            lp.add_row(&row, Relation::Le, -(pj1 + rj));
         }
         // C_j <= L.
         lp.add_row(&[(completion[j], 1.0), (l, -1.0)], Relation::Le, 0.0);
@@ -275,7 +321,7 @@ struct DeadlineSweep {
 }
 
 impl DeadlineSweep {
-    fn build(ins: &Instance, wfs: &[WorkFunction]) -> Self {
+    fn build(ins: &Instance, wfs: &[WorkFunction], releases: Option<&[f64]>) -> Self {
         let n = ins.n();
         let mut lp = Lp::minimize();
         // Placeholder bounds: every solve_at rebinds the completion
@@ -310,13 +356,14 @@ impl DeadlineSweep {
                 }
                 lp.add_row(&row, Relation::Le, -pj1);
             }
-            if ins.dag().preds(j).is_empty() {
+            let rj = releases.map_or(0.0, |r| r[j]);
+            if ins.dag().preds(j).is_empty() || rj > 0.0 {
                 row.clear();
                 row.push((completion[j], -1.0));
                 for &y in &crash[j] {
                     row.push((y, -1.0));
                 }
-                lp.add_row(&row, Relation::Le, -pj1);
+                lp.add_row(&row, Relation::Le, -(pj1 + rj));
             }
         }
         DeadlineSweep {
@@ -394,16 +441,54 @@ pub fn solve_allotment_bisection_in(
     opts: &SolverOptions,
     tol: f64,
 ) -> Result<AllotmentResult, CoreError> {
+    solve_allotment_bisection_impl(ctx, ins, None, opts, tol)
+}
+
+/// The bisection counterpart of [`solve_allotment_with_releases_in`]: the
+/// deadline-driven phase 1 over a suffix with per-task release times. The
+/// deadline LP (with its release rows) is built once; every probe of the
+/// binary search warm-resolves from the previous basis — the
+/// re-optimization pattern an epoch re-planning loop leans on.
+pub fn solve_allotment_bisection_with_releases_in(
+    ctx: &mut SolveContext,
+    ins: &Instance,
+    releases: &[f64],
+    opts: &SolverOptions,
+    tol: f64,
+) -> Result<AllotmentResult, CoreError> {
+    validate_releases(ins, releases)?;
+    solve_allotment_bisection_impl(ctx, ins, Some(releases), opts, tol)
+}
+
+fn solve_allotment_bisection_impl(
+    ctx: &mut SolveContext,
+    ins: &Instance,
+    releases: Option<&[f64]>,
+    opts: &SolverOptions,
+    tol: f64,
+) -> Result<AllotmentResult, CoreError> {
     let m = ins.m() as f64;
     let wfs = work_functions(ins)?;
     let mut iterations = 0usize;
 
     // Bracket: B_lo = all-m critical path (fastest possible), B_hi = the
     // serial schedule length (certainly feasible and work-minimal-ish).
-    let mut lo = ins.critical_path_under(&vec![ins.m(); ins.n()]);
-    let mut hi = ins.serial_upper_bound().max(lo);
+    // Releases shift both ends: nothing completes before its release plus
+    // its fastest time, and running everything serially after the last
+    // release is always feasible.
+    let max_release = releases.map_or(0.0, |r| r.iter().copied().fold(0.0, f64::max));
+    let release_floor = releases.map_or(0.0, |r| {
+        r.iter()
+            .zip(ins.profiles())
+            .map(|(&rj, p)| rj + p.min_time())
+            .fold(0.0, f64::max)
+    });
+    let mut lo = ins
+        .critical_path_under(&vec![ins.m(); ins.n()])
+        .max(release_floor);
+    let mut hi = (max_release + ins.serial_upper_bound()).max(lo);
     let hi0 = hi; // always-feasible ceiling, kept for the extraction ladder
-    let mut sweep = DeadlineSweep::build(ins, &wfs);
+    let mut sweep = DeadlineSweep::build(ins, &wfs, releases);
     // Evaluate at the bracket ends once for the final selection.
     #[allow(clippy::type_complexity)]
     let mut eval =

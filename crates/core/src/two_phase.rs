@@ -85,6 +85,19 @@ impl JzReport {
     }
 }
 
+/// Validates `(ρ, μ)` against the machine count `m` — the one domain
+/// check shared by the batch pipeline and the online session's epoch
+/// re-plans.
+pub fn validate_params(params: &Params, m: usize) -> Result<(), CoreError> {
+    if params.mu == 0 || params.mu > m {
+        return Err(CoreError::InvalidParameter("mu must lie in 1..=m"));
+    }
+    if !(0.0..=1.0).contains(&params.rho) {
+        return Err(CoreError::InvalidParameter("rho must lie in [0, 1]"));
+    }
+    Ok(())
+}
+
 /// Runs the Jansen–Zhang two-phase algorithm with default configuration:
 /// the paper's parameters, task-id tie-break and default LP options.
 pub fn schedule_jz(ins: &Instance) -> Result<JzReport, CoreError> {
@@ -118,12 +131,7 @@ pub fn schedule_jz_in(
         }
     }
     let params = cfg.params.unwrap_or_else(|| our_params(m));
-    if params.mu == 0 || params.mu > m {
-        return Err(CoreError::InvalidParameter("mu must lie in 1..=m"));
-    }
-    if !(0.0..=1.0).contains(&params.rho) {
-        return Err(CoreError::InvalidParameter("rho must lie in [0, 1]"));
-    }
+    validate_params(&params, m)?;
 
     // Phase 1: LP + rounding.
     let lp = match cfg.phase1 {

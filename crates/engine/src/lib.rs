@@ -25,6 +25,12 @@
 //! * [`metrics`] — service-level throughput metrics: jobs/sec, cache hit
 //!   rate, mean/p50/p99/max solve latency.
 //! * [`service`] — the [`Engine`] front end gluing the four together.
+//! * [`session`] — the *online* counterpart of the batch service: a
+//!   long-lived [`ScheduleSession`] absorbing incremental events (task
+//!   arrivals, new precedence edges, machine-count changes), re-planning
+//!   the not-yet-started suffix at every epoch through one warm LP
+//!   [`SolveContext`](mtsp_lp::SolveContext) while started tasks stay
+//!   frozen.
 //!
 //! ```
 //! use mtsp_engine::{Engine, EngineConfig};
@@ -51,12 +57,14 @@ pub mod canon;
 pub mod metrics;
 pub mod pool;
 pub mod service;
+pub mod session;
 
 pub use cache::{CacheKey, CacheStats, SolveCache};
 pub use canon::{config_fingerprint, instance_key, InstanceKey};
 pub use metrics::BatchMetrics;
 pub use pool::{run_batch, BatchRun, CacheOutcome, JobResult, StreamSession};
 pub use service::{render_result_line, BatchReport, Engine, EngineConfig};
+pub use session::{EpochStats, ScheduleSession, SessionConfig, SessionError, TaskState};
 
 #[cfg(test)]
 mod static_assertions {

@@ -26,17 +26,17 @@ pub const REPORT_FORMAT: &str = "mtsp-harness-report v1";
 /// (absorbs LP termination tolerance, nothing more).
 pub const GUARANTEE_SLACK: f64 = 1e-6;
 
-/// Running min/max/sum of one statistic.
+/// Running min/max/sum of one statistic (shared with the scenario audit).
 #[derive(Debug, Clone, Copy)]
-struct StatAgg {
-    min: f64,
-    max: f64,
-    sum: f64,
-    count: usize,
+pub(crate) struct StatAgg {
+    pub(crate) min: f64,
+    pub(crate) max: f64,
+    pub(crate) sum: f64,
+    pub(crate) count: usize,
 }
 
 impl StatAgg {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         StatAgg {
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
@@ -45,7 +45,7 @@ impl StatAgg {
         }
     }
 
-    fn push(&mut self, v: f64) {
+    pub(crate) fn push(&mut self, v: f64) {
         self.min = self.min.min(v);
         self.max = self.max.max(v);
         self.sum += v;
@@ -54,7 +54,7 @@ impl StatAgg {
 
     /// `{"max": …, "mean": …, "min": …}`, or `null` when nothing was
     /// recorded (a group whose every job failed).
-    fn to_json(self) -> Value {
+    pub(crate) fn to_json(self) -> Value {
         if self.count == 0 {
             return Value::Null;
         }

@@ -19,6 +19,19 @@ pub const DEFAULT_RATIO_TOL: f64 = 1e-9;
 /// Key under which a baseline stores its conservative throughput floor.
 pub const PERF_FLOOR_KEY: &str = "perf_floor_jobs_per_sec";
 
+/// Embeds a scenario-audit section (from
+/// [`run_scenario_grid`](crate::run_scenario_grid)) into a corpus report
+/// under the `"scenarios"` key — the merged document `mtsp audit` writes
+/// and the gate checks as one unit.
+pub fn attach_scenarios(report: Value, scenarios: Value) -> Value {
+    let mut map = report
+        .as_object()
+        .cloned()
+        .expect("report is a JSON object");
+    map.insert("scenarios".to_string(), scenarios);
+    Value::Object(map)
+}
+
 /// Turns a report into a committable baseline: same document plus the
 /// explicit throughput floor (jobs/s) the gate will enforce. The floor is
 /// chosen by the committer, not measured, so baselines stay deterministic.
@@ -153,6 +166,18 @@ pub fn check_regression(
         }
     }
 
+    // The scenario (online replay) section, when present: same shape of
+    // checks — grid identity, hard invariants, per-group ratio
+    // regressions. Presence must match between report and baseline.
+    match (current.get("scenarios"), baseline.get("scenarios")) {
+        (None, None) => {}
+        (Some(_), None) => {
+            problems.push("scenarios section is new; regenerate the baseline".into())
+        }
+        (None, Some(_)) => problems.push("scenarios section disappeared from the report".into()),
+        (Some(cur), Some(base)) => check_scenarios(cur, base, ratio_tol, &mut problems),
+    }
+
     // Throughput floor (an explicit committed number, not a measurement).
     if let (Some(throughput), Some(floor)) = (
         measured_throughput,
@@ -166,6 +191,72 @@ pub fn check_regression(
     }
 
     problems
+}
+
+/// Scenario-section half of [`check_regression`].
+fn check_scenarios(current: &Value, baseline: &Value, ratio_tol: f64, problems: &mut Vec<String>) {
+    if current.get("grid") != baseline.get("grid") {
+        problems.push(
+            "scenario grid changed (name or its dag/curve/size/machine/seed/pattern/gap/noise \
+             lists differ); regenerate the baseline"
+                .into(),
+        );
+        return;
+    }
+    for key in ["failures", "violations"] {
+        match path_i64(current, &["summary", key]) {
+            Some(0) => {}
+            Some(k) => problems.push(format!("scenarios.summary.{key} = {k}, expected 0")),
+            None => problems.push(format!("scenarios.summary.{key} missing")),
+        }
+    }
+    let (Some(cur_groups), Some(base_groups)) = (
+        current.get("groups").and_then(Value::as_object),
+        baseline.get("groups").and_then(Value::as_object),
+    ) else {
+        problems.push("scenarios: missing 'groups' object".into());
+        return;
+    };
+    for name in base_groups.keys() {
+        if !cur_groups.contains_key(name) {
+            problems.push(format!(
+                "scenario group '{name}' disappeared from the report"
+            ));
+        }
+    }
+    for name in cur_groups.keys() {
+        if !base_groups.contains_key(name) {
+            problems.push(format!(
+                "scenario group '{name}' is new; regenerate the baseline"
+            ));
+        }
+    }
+    for (name, base_group) in base_groups {
+        let Some(cur_group) = cur_groups.get(name) else {
+            continue;
+        };
+        let cur_n = path_i64(cur_group, &["cells"]);
+        let base_n = path_i64(base_group, &["cells"]);
+        if cur_n != base_n {
+            problems.push(format!(
+                "scenario group '{name}': cell count changed ({base_n:?} -> {cur_n:?})"
+            ));
+            continue;
+        }
+        for stat in ["max", "mean"] {
+            let cur = path_f64(cur_group, &["ratio_vs_batch", stat]);
+            let base = path_f64(base_group, &["ratio_vs_batch", stat]);
+            match (cur, base) {
+                (Some(c), Some(b)) if c > b + ratio_tol => problems.push(format!(
+                    "scenario group '{name}': ratio_vs_batch.{stat} regressed {b:?} -> {c:?} (tol {ratio_tol:e})"
+                )),
+                (None, Some(_)) => {
+                    problems.push(format!("scenario group '{name}': ratio_vs_batch.{stat} missing"))
+                }
+                _ => {}
+            }
+        }
+    }
 }
 
 #[cfg(test)]

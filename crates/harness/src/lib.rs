@@ -30,6 +30,12 @@
 //! * [`check_regression`] — diffs a report against a committed baseline
 //!   (`BENCH_baseline*.json`) and fails on quality or throughput
 //!   regressions beyond tolerance.
+//! * [`scenario`] — the online counterpart: arrival grids × noise models
+//!   ([`ScenarioGrid`], `mtsp-replay v1` spec format) replayed through
+//!   the session pipeline of `mtsp-engine`/`mtsp-sim`, folded into a
+//!   deterministic `"scenarios"` section that `mtsp audit` embeds in the
+//!   gated report (realized vs clairvoyant-batch makespans, feasibility
+//!   cross-checks, epoch counts).
 //!
 //! ```
 //! use mtsp_harness::{run_corpus, check_regression, make_baseline, Corpus, RunConfig};
@@ -48,8 +54,16 @@ pub mod audit;
 pub mod corpus;
 pub mod gate;
 pub mod runner;
+pub mod scenario;
 
 pub use audit::{AuditAccumulator, GUARANTEE_SLACK, REPORT_FORMAT};
 pub use corpus::Corpus;
-pub use gate::{check_regression, make_baseline, DEFAULT_RATIO_TOL, PERF_FLOOR_KEY};
+pub use gate::{
+    attach_scenarios, check_regression, make_baseline, DEFAULT_RATIO_TOL, PERF_FLOOR_KEY,
+};
 pub use runner::{run_corpus, RunConfig, RunOutcome};
+pub use scenario::{
+    replay_scenario_report, run_scenario_grid, standalone_scenario_report, ScenarioCell,
+    ScenarioGrid, ScenarioMetrics, ScenarioOutcome, REPLAY_HEADER, SCENARIO_REPORT_FORMAT,
+    SINGLE_REPLAY_FORMAT,
+};

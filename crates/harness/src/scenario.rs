@@ -1,0 +1,858 @@
+//! The scenario audit: arrival grids × noise models replayed through the
+//! online [`ScheduleSession`] pipeline, folded into a deterministic report
+//! section that rides in the gated quality report.
+//!
+//! Where the corpus audit measures the *batch* pipeline (realized ratios
+//! against LP lower bounds), this module measures the *serving loop*: for
+//! every cell of a [`ScenarioGrid`] it generates an arrival scenario
+//! ([`mtsp_sim::arrival_scenario`]), replays it event by event through a
+//! session ([`mtsp_sim::replay`]), cross-checks the realized schedule's
+//! structural feasibility, and compares the realized makespan against the
+//! clairvoyant batch plan (`schedule_jz` on the closed instance) — the
+//! price of scheduling online. Grid cells fan out over a deterministic
+//! worker pool; the fold runs in cell order, so the section is
+//! byte-identical for any worker count. Wall-clock re-plan latency stays
+//! out of the report, in [`ScenarioMetrics`].
+//!
+//! [`ScheduleSession`]: mtsp_engine::ScheduleSession
+
+use crate::audit::StatAgg;
+use mtsp_bench::json::Value;
+use mtsp_core::two_phase::schedule_jz;
+use mtsp_model::generate::{CurveFamily, DagFamily};
+use mtsp_model::ModelError;
+use mtsp_sim::{
+    arrival_scenario, replay, replay_feasible, ArrivalPattern, NoiseModel, ReplayConfig,
+};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Magic first line of the replay-grid spec format.
+pub const REPLAY_HEADER: &str = "mtsp-replay v1";
+
+/// Magic `format` member of a standalone scenario report.
+pub const SCENARIO_REPORT_FORMAT: &str = "mtsp-replay-report v1";
+
+/// A declarative grid of arrival scenarios: the cartesian product
+/// `dags × curves × sizes × machines × seeds × patterns × gaps × noises`,
+/// each cell one deterministic generate-and-replay run. Text form:
+///
+/// ```text
+/// mtsp-replay v1
+/// name smoke
+/// dags layered chain
+/// curves mixed
+/// sizes 10
+/// machines 4
+/// seeds 1
+/// patterns periodic poisson
+/// gaps 0.75
+/// noises none uniform:0.1
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioGrid {
+    /// Grid name (one whitespace-free token).
+    pub name: String,
+    /// DAG shape families.
+    pub dags: Vec<DagFamily>,
+    /// Speedup-curve families.
+    pub curves: Vec<CurveFamily>,
+    /// Approximate task counts.
+    pub sizes: Vec<usize>,
+    /// Machine sizes.
+    pub machines: Vec<usize>,
+    /// Generator seeds (also the noise seeds).
+    pub seeds: Vec<u64>,
+    /// Arrival patterns.
+    pub patterns: Vec<ArrivalPattern>,
+    /// Mean inter-arrival gaps.
+    pub gaps: Vec<f64>,
+    /// Execution-time noise models.
+    pub noises: Vec<NoiseModel>,
+}
+
+/// One cell of a [`ScenarioGrid`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioCell {
+    /// DAG shape family.
+    pub dag: DagFamily,
+    /// Speedup-curve family.
+    pub curve: CurveFamily,
+    /// Approximate task count.
+    pub n: usize,
+    /// Machine size.
+    pub m: usize,
+    /// Generator / noise seed.
+    pub seed: u64,
+    /// Arrival pattern.
+    pub pattern: ArrivalPattern,
+    /// Mean inter-arrival gap.
+    pub gap: f64,
+    /// Execution-time noise.
+    pub noise: NoiseModel,
+}
+
+impl ScenarioCell {
+    /// Group label `pattern/noise` — the fold key of the report.
+    pub fn label(&self) -> String {
+        format!("{}/{}", self.pattern.name(), self.noise.name())
+    }
+}
+
+fn perr(line: usize, msg: impl Into<String>) -> ModelError {
+    ModelError::Parse {
+        line,
+        msg: msg.into(),
+    }
+}
+
+impl ScenarioGrid {
+    /// The 8-cell CI grid: two DAG shapes, two arrival patterns, noise
+    /// on/off.
+    pub fn builtin_smoke() -> Self {
+        ScenarioGrid {
+            name: "replay-smoke".into(),
+            dags: vec![DagFamily::Layered, DagFamily::Chain],
+            curves: vec![CurveFamily::Mixed],
+            sizes: vec![10],
+            machines: vec![4],
+            seeds: vec![1],
+            patterns: vec![ArrivalPattern::Periodic, ArrivalPattern::Poisson],
+            gaps: vec![0.75],
+            noises: vec![NoiseModel::None, NoiseModel::Uniform { epsilon: 0.1 }],
+        }
+    }
+
+    /// The full audit grid: 108 cells over three DAG shapes, two curve
+    /// families, three arrival patterns and three noise models.
+    pub fn builtin_audit() -> Self {
+        ScenarioGrid {
+            name: "replay-audit".into(),
+            dags: vec![
+                DagFamily::Layered,
+                DagFamily::SeriesParallel,
+                DagFamily::RandomTree,
+            ],
+            curves: vec![CurveFamily::Mixed, CurveFamily::PowerLaw],
+            sizes: vec![12],
+            machines: vec![4],
+            seeds: vec![1, 2],
+            patterns: vec![
+                ArrivalPattern::Periodic,
+                ArrivalPattern::Poisson,
+                ArrivalPattern::Bursty,
+            ],
+            gaps: vec![0.5],
+            noises: vec![
+                NoiseModel::None,
+                NoiseModel::Uniform { epsilon: 0.1 },
+                NoiseModel::Slowdown { epsilon: 0.2 },
+            ],
+        }
+    }
+
+    /// Structural invariants (mirrors [`CorpusSpec::validate`]):
+    /// one-token name, all lists non-empty and duplicate-free, positive
+    /// sizes/machines, finite non-negative gaps.
+    ///
+    /// [`CorpusSpec::validate`]: mtsp_model::textio::CorpusSpec::validate
+    pub fn validate(&self) -> Result<(), ModelError> {
+        if self.name.is_empty() || self.name.contains(char::is_whitespace) {
+            return Err(perr(0, "grid name must be one non-empty token"));
+        }
+        fn check_list<T: PartialEq + std::fmt::Debug>(
+            what: &str,
+            items: &[T],
+        ) -> Result<(), ModelError> {
+            if items.is_empty() {
+                return Err(perr(0, format!("{what} list must be non-empty")));
+            }
+            for (i, a) in items.iter().enumerate() {
+                if items[..i].contains(a) {
+                    return Err(perr(0, format!("duplicate {what} entry {a:?}")));
+                }
+            }
+            Ok(())
+        }
+        check_list("dags", &self.dags)?;
+        check_list("curves", &self.curves)?;
+        check_list("sizes", &self.sizes)?;
+        check_list("machines", &self.machines)?;
+        check_list("seeds", &self.seeds)?;
+        check_list("patterns", &self.patterns)?;
+        check_list("gaps", &self.gaps)?;
+        check_list("noises", &self.noises)?;
+        if self.sizes.contains(&0) {
+            return Err(perr(0, "sizes must be positive".to_string()));
+        }
+        if self.machines.contains(&0) {
+            return Err(perr(0, "machines must be positive".to_string()));
+        }
+        if self.gaps.iter().any(|g| !(g.is_finite() && *g >= 0.0)) {
+            return Err(perr(0, "gaps must be finite and non-negative".to_string()));
+        }
+        for n in &self.noises {
+            n.validate().map_err(|e| perr(0, format!("noises: {e}")))?;
+        }
+        Ok(())
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.dags.len()
+            * self.curves.len()
+            * self.sizes.len()
+            * self.machines.len()
+            * self.seeds.len()
+            * self.patterns.len()
+            * self.gaps.len()
+            * self.noises.len()
+    }
+
+    /// Whether the grid has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Every cell in canonical nesting order (dag outermost, noise
+    /// innermost).
+    pub fn cells(&self) -> Vec<ScenarioCell> {
+        let mut out = Vec::with_capacity(self.len());
+        for &dag in &self.dags {
+            for &curve in &self.curves {
+                for &n in &self.sizes {
+                    for &m in &self.machines {
+                        for &seed in &self.seeds {
+                            for &pattern in &self.patterns {
+                                for &gap in &self.gaps {
+                                    for &noise in &self.noises {
+                                        out.push(ScenarioCell {
+                                            dag,
+                                            curve,
+                                            n,
+                                            m,
+                                            seed,
+                                            pattern,
+                                            gap,
+                                            noise,
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The grid's identity object embedded in reports (the gate compares
+    /// it whole, like the corpus object).
+    fn to_json(&self) -> Value {
+        Value::object([
+            ("cells", Value::from(self.len())),
+            (
+                "curves",
+                Value::Array(self.curves.iter().map(|c| c.name().into()).collect()),
+            ),
+            (
+                "dags",
+                Value::Array(self.dags.iter().map(|d| d.name().into()).collect()),
+            ),
+            (
+                "gaps",
+                Value::Array(self.gaps.iter().map(|&g| Value::Float(g)).collect()),
+            ),
+            (
+                "machines",
+                Value::Array(self.machines.iter().map(|&m| m.into()).collect()),
+            ),
+            ("name", Value::from(self.name.as_str())),
+            (
+                "noises",
+                Value::Array(self.noises.iter().map(|n| n.name().into()).collect()),
+            ),
+            (
+                "patterns",
+                Value::Array(self.patterns.iter().map(|p| p.name().into()).collect()),
+            ),
+            (
+                "seeds",
+                Value::Array(self.seeds.iter().map(|&s| s.into()).collect()),
+            ),
+            (
+                "sizes",
+                Value::Array(self.sizes.iter().map(|&n| n.into()).collect()),
+            ),
+        ])
+    }
+
+    /// Serializes to the `mtsp-replay v1` text format (byte-stable).
+    pub fn write(&self) -> String {
+        fn list(s: &mut String, keyword: &str, tokens: impl Iterator<Item = String>) {
+            s.push_str(keyword);
+            for t in tokens {
+                let _ = write!(s, " {t}");
+            }
+            s.push('\n');
+        }
+        let mut s = String::new();
+        let _ = writeln!(s, "{REPLAY_HEADER}");
+        let _ = writeln!(s, "name {}", self.name);
+        list(&mut s, "dags", self.dags.iter().map(|d| d.name().into()));
+        list(
+            &mut s,
+            "curves",
+            self.curves.iter().map(|c| c.name().into()),
+        );
+        list(&mut s, "sizes", self.sizes.iter().map(|n| n.to_string()));
+        list(
+            &mut s,
+            "machines",
+            self.machines.iter().map(|m| m.to_string()),
+        );
+        list(&mut s, "seeds", self.seeds.iter().map(|x| x.to_string()));
+        list(
+            &mut s,
+            "patterns",
+            self.patterns.iter().map(|p| p.name().into()),
+        );
+        list(&mut s, "gaps", self.gaps.iter().map(|g| format!("{g:?}")));
+        list(&mut s, "noises", self.noises.iter().map(|n| n.name()));
+        s
+    }
+
+    /// Parses the `mtsp-replay v1` text format with line-numbered errors.
+    pub fn parse(text: &str) -> Result<ScenarioGrid, ModelError> {
+        let mut lines = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (i + 1, l.trim()))
+            .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
+
+        let (ln, header) = lines.next().ok_or_else(|| perr(0, "empty input"))?;
+        if header != REPLAY_HEADER {
+            return Err(perr(
+                ln,
+                format!("expected header '{REPLAY_HEADER}', got '{header}'"),
+            ));
+        }
+        let mut field = |expect: &str| -> Result<(usize, Vec<&str>), ModelError> {
+            let (ln, line) = lines
+                .next()
+                .ok_or_else(|| perr(0, format!("missing '{expect}' line")))?;
+            let mut parts = line.split_whitespace();
+            if parts.next() != Some(expect) {
+                return Err(perr(ln, format!("expected '{expect} …', got '{line}'")));
+            }
+            let toks: Vec<&str> = parts.collect();
+            if toks.is_empty() {
+                return Err(perr(ln, format!("'{expect}' needs at least one value")));
+            }
+            Ok((ln, toks))
+        };
+        fn parse_list<T>(
+            ln: usize,
+            toks: &[&str],
+            what: &str,
+            f: impl Fn(&str) -> Option<T>,
+        ) -> Result<Vec<T>, ModelError> {
+            toks.iter()
+                .map(|t| f(t).ok_or_else(|| perr(ln, format!("unknown {what} '{t}'"))))
+                .collect()
+        }
+
+        let (ln, name_toks) = field("name")?;
+        let [name] = name_toks.as_slice() else {
+            return Err(perr(ln, "grid name must be one token"));
+        };
+        let name = name.to_string();
+        let (ln, toks) = field("dags")?;
+        let dags = parse_list(ln, &toks, "dag family", DagFamily::parse_name)?;
+        let (ln, toks) = field("curves")?;
+        let curves = parse_list(ln, &toks, "curve family", CurveFamily::parse_name)?;
+        let (ln, toks) = field("sizes")?;
+        let sizes = parse_list(ln, &toks, "size", |t| t.parse::<usize>().ok())?;
+        let (ln, toks) = field("machines")?;
+        let machines = parse_list(ln, &toks, "machine size", |t| t.parse::<usize>().ok())?;
+        let (ln, toks) = field("seeds")?;
+        let seeds = parse_list(ln, &toks, "seed", |t| t.parse::<u64>().ok())?;
+        let (ln, toks) = field("patterns")?;
+        let patterns = parse_list(ln, &toks, "arrival pattern", ArrivalPattern::parse_name)?;
+        let (gap_ln, toks) = field("gaps")?;
+        let gaps = toks
+            .iter()
+            .map(|t| {
+                t.parse::<f64>()
+                    .ok()
+                    .filter(|g| g.is_finite() && *g >= 0.0)
+                    .ok_or_else(|| perr(gap_ln, format!("bad gap '{t}'")))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let (ln, toks) = field("noises")?;
+        let noises = parse_list(ln, &toks, "noise model", NoiseModel::parse_name)?;
+        if let Some((ln, line)) = lines.next() {
+            return Err(perr(ln, format!("trailing content: '{line}'")));
+        }
+        let grid = ScenarioGrid {
+            name,
+            dags,
+            curves,
+            sizes,
+            machines,
+            seeds,
+            patterns,
+            gaps,
+            noises,
+        };
+        grid.validate()?;
+        Ok(grid)
+    }
+}
+
+/// Deterministic per-cell record (no wall-clock quantities).
+#[derive(Debug, Clone)]
+struct CellRecord {
+    makespan: f64,
+    batch_makespan: f64,
+    epochs: usize,
+    lp_iterations: usize,
+    feasible: bool,
+    error: Option<String>,
+}
+
+/// Wall-clock metrics of one scenario-grid run — kept apart from the
+/// deterministic report, mirroring the corpus runner's split.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioMetrics {
+    /// Cells replayed.
+    pub cells: usize,
+    /// Total re-plan epochs across all cells.
+    pub epochs: usize,
+    /// Whole-run wall time.
+    pub wall: Duration,
+    /// Summed re-plan latency across all epochs of all cells.
+    pub replan_wall: Duration,
+}
+
+impl ScenarioMetrics {
+    /// Human-readable one-paragraph rendering (stderr material).
+    pub fn render(&self) -> String {
+        let mean_replan = if self.epochs == 0 {
+            Duration::ZERO
+        } else {
+            self.replan_wall / self.epochs as u32
+        };
+        format!(
+            "scenario replay: {} cells, {} epochs in {:.3} s (replan total {:.3} s, mean {:.1} us)\n",
+            self.cells,
+            self.epochs,
+            self.wall.as_secs_f64(),
+            self.replan_wall.as_secs_f64(),
+            mean_replan.as_secs_f64() * 1e6,
+        )
+    }
+}
+
+/// What one scenario-grid run produced.
+#[derive(Debug)]
+pub struct ScenarioOutcome {
+    /// The deterministic report section (embed under `"scenarios"` or
+    /// serve standalone with [`standalone_scenario_report`]).
+    pub section: Value,
+    /// Wall-clock metrics.
+    pub metrics: ScenarioMetrics,
+}
+
+/// Accumulated statistics of one `pattern/noise` group.
+#[derive(Debug)]
+struct ScenGroup {
+    cells: usize,
+    failures: usize,
+    violations: usize,
+    epochs: usize,
+    lp_iterations: usize,
+    makespan_sum: f64,
+    batch_makespan_sum: f64,
+    ratio_vs_batch: StatAgg,
+}
+
+impl ScenGroup {
+    fn new() -> Self {
+        ScenGroup {
+            cells: 0,
+            failures: 0,
+            violations: 0,
+            epochs: 0,
+            lp_iterations: 0,
+            makespan_sum: 0.0,
+            batch_makespan_sum: 0.0,
+            ratio_vs_batch: StatAgg::new(),
+        }
+    }
+
+    fn to_json(&self) -> Value {
+        Value::object([
+            ("batch_makespan_sum", Value::from(self.batch_makespan_sum)),
+            ("cells", Value::from(self.cells)),
+            ("epochs", Value::from(self.epochs)),
+            ("failures", Value::from(self.failures)),
+            ("lp_iterations", Value::from(self.lp_iterations)),
+            ("makespan_sum", Value::from(self.makespan_sum)),
+            ("ratio_vs_batch", self.ratio_vs_batch.to_json()),
+            ("violations", Value::from(self.violations)),
+        ])
+    }
+}
+
+/// Replays one cell (deterministic part + the cell's re-plan wall time).
+fn run_cell(cell: &ScenarioCell) -> (CellRecord, Duration) {
+    let scenario = arrival_scenario(
+        cell.dag,
+        cell.curve,
+        cell.n,
+        cell.m,
+        cell.pattern,
+        cell.gap,
+        cell.seed,
+    );
+    let batch_makespan = match schedule_jz(&scenario.ins) {
+        Ok(rep) => rep.schedule.makespan(),
+        Err(e) => {
+            return (
+                CellRecord {
+                    makespan: 0.0,
+                    batch_makespan: 0.0,
+                    epochs: 0,
+                    lp_iterations: 0,
+                    feasible: false,
+                    error: Some(format!("batch reference failed: {e}")),
+                },
+                Duration::ZERO,
+            )
+        }
+    };
+    let cfg = ReplayConfig {
+        noise: cell.noise,
+        seed: cell.seed,
+        ..ReplayConfig::default()
+    };
+    match replay(&scenario, &cfg) {
+        Ok(out) => (
+            CellRecord {
+                makespan: out.makespan,
+                batch_makespan,
+                epochs: out.epochs.len(),
+                lp_iterations: out.lp_iterations(),
+                feasible: replay_feasible(&scenario, &out.schedule),
+                error: None,
+            },
+            out.replan_wall,
+        ),
+        Err(e) => (
+            CellRecord {
+                makespan: 0.0,
+                batch_makespan,
+                epochs: 0,
+                lp_iterations: 0,
+                feasible: false,
+                error: Some(e.to_string()),
+            },
+            Duration::ZERO,
+        ),
+    }
+}
+
+/// Runs every cell of `grid` on `workers` threads (`0` = one per core)
+/// and folds the records — in cell order, so the section is
+/// byte-identical for any worker count.
+pub fn run_scenario_grid(grid: &ScenarioGrid, workers: usize) -> ScenarioOutcome {
+    let t0 = Instant::now();
+    let cells = grid.cells();
+    let n = cells.len();
+    let workers = if workers == 0 {
+        std::thread::available_parallelism()
+            .map(|w| w.get())
+            .unwrap_or(1)
+    } else {
+        workers
+    }
+    .clamp(1, n.max(1));
+
+    let mut records: Vec<Option<(CellRecord, Duration)>> = (0..n).map(|_| None).collect();
+    if workers == 1 {
+        for (i, cell) in cells.iter().enumerate() {
+            records[i] = Some(run_cell(cell));
+        }
+    } else {
+        let cursor = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, (CellRecord, Duration))>();
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let cursor = &cursor;
+                let cells = &cells;
+                s.spawn(move || loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    if tx.send((i, run_cell(&cells[i]))).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            for (i, rec) in rx {
+                records[i] = Some(rec);
+            }
+        });
+    }
+
+    // Ordered fold: cell order fixes float accumulation order.
+    let mut groups: BTreeMap<String, ScenGroup> = BTreeMap::new();
+    let mut failure_samples: Vec<String> = Vec::new();
+    let mut replan_wall = Duration::ZERO;
+    let mut total_epochs = 0usize;
+    for (cell, rec) in cells.iter().zip(records) {
+        let (rec, wall) = rec.expect("every cell reported");
+        replan_wall += wall;
+        total_epochs += rec.epochs;
+        let g = groups.entry(cell.label()).or_insert_with(ScenGroup::new);
+        g.cells += 1;
+        if let Some(msg) = &rec.error {
+            g.failures += 1;
+            if failure_samples.len() < 8 {
+                failure_samples.push(format!(
+                    "{} {}/{} n={} m={} seed={}: {msg}",
+                    cell.label(),
+                    cell.dag.name(),
+                    cell.curve.name(),
+                    cell.n,
+                    cell.m,
+                    cell.seed
+                ));
+            }
+            continue;
+        }
+        if !rec.feasible {
+            g.violations += 1;
+        }
+        g.epochs += rec.epochs;
+        g.lp_iterations += rec.lp_iterations;
+        g.makespan_sum += rec.makespan;
+        g.batch_makespan_sum += rec.batch_makespan;
+        if rec.batch_makespan > 0.0 {
+            g.ratio_vs_batch.push(rec.makespan / rec.batch_makespan);
+        }
+    }
+
+    let mut cells_total = 0usize;
+    let mut failures = 0usize;
+    let mut violations = 0usize;
+    let mut ratio_max = f64::NEG_INFINITY;
+    let mut any_ratio = false;
+    for g in groups.values() {
+        cells_total += g.cells;
+        failures += g.failures;
+        violations += g.violations;
+        if g.ratio_vs_batch.count > 0 {
+            any_ratio = true;
+            ratio_max = ratio_max.max(g.ratio_vs_batch.max);
+        }
+    }
+    let summary = Value::object([
+        ("cells", Value::from(cells_total)),
+        ("epochs", Value::from(total_epochs)),
+        ("failures", Value::from(failures)),
+        (
+            "failure_samples",
+            Value::Array(failure_samples.iter().map(|s| s.as_str().into()).collect()),
+        ),
+        (
+            "ratio_vs_batch_max",
+            if any_ratio {
+                Value::from(ratio_max)
+            } else {
+                Value::Null
+            },
+        ),
+        ("violations", Value::from(violations)),
+    ]);
+    let section = Value::object([
+        ("grid", grid.to_json()),
+        (
+            "groups",
+            Value::Object(
+                groups
+                    .iter()
+                    .map(|(k, g)| (k.clone(), g.to_json()))
+                    .collect(),
+            ),
+        ),
+        ("summary", summary),
+    ]);
+    ScenarioOutcome {
+        section,
+        metrics: ScenarioMetrics {
+            cells: n,
+            epochs: total_epochs,
+            wall: t0.elapsed(),
+            replan_wall,
+        },
+    }
+}
+
+/// Magic `format` member of a single-scenario replay report.
+pub const SINGLE_REPLAY_FORMAT: &str = "mtsp-scenario-replay v1";
+
+/// Replays one concrete scenario (an `mtsp-scenario v1` file) and renders
+/// the deterministic report `mtsp replay <scenario>` prints: realized
+/// makespan, frozen allotments, the full epoch trace (times, pending
+/// counts, residual LP bounds, iteration counts — no wall-clock), and the
+/// structural feasibility verdict. Returns the report with the replay's
+/// wall-clock re-plan latency alongside (stderr material).
+pub fn replay_scenario_report(
+    scenario: &mtsp_model::textio::Scenario,
+    cfg: &ReplayConfig,
+) -> Result<(Value, Duration), mtsp_sim::SimError> {
+    let out = replay(scenario, cfg)?;
+    let epochs: Vec<Value> = out
+        .epochs
+        .iter()
+        .map(|e| {
+            Value::object([
+                ("arrivals", Value::from(e.arrivals)),
+                ("cstar", Value::from(e.cstar)),
+                ("lp_iterations", Value::from(e.lp_iterations)),
+                ("machine_change", Value::from(e.machine_change)),
+                ("pending", Value::from(e.pending)),
+                ("time", Value::from(e.time)),
+            ])
+        })
+        .collect();
+    let report = Value::object([
+        (
+            "allotments",
+            Value::Array(
+                out.schedule
+                    .allotments()
+                    .into_iter()
+                    .map(Value::from)
+                    .collect(),
+            ),
+        ),
+        ("epochs", Value::Array(epochs)),
+        (
+            "feasible",
+            Value::from(replay_feasible(scenario, &out.schedule)),
+        ),
+        ("format", Value::from(SINGLE_REPLAY_FORMAT)),
+        ("makespan", Value::from(out.makespan)),
+        ("noise", Value::from(cfg.noise.name().as_str())),
+        ("seed", Value::from(cfg.seed)),
+        ("tasks", Value::from(scenario.ins.n())),
+    ]);
+    Ok((report, out.replan_wall))
+}
+
+/// Wraps a scenario section as a standalone `mtsp-replay-report v1`
+/// document (what `mtsp replay <grid>` prints).
+pub fn standalone_scenario_report(section: &Value) -> Value {
+    let mut map = section
+        .as_object()
+        .cloned()
+        .expect("scenario section is an object");
+    map.insert("format".into(), Value::from(SCENARIO_REPORT_FORMAT));
+    Value::Object(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_spec_round_trips_and_validates() {
+        for grid in [ScenarioGrid::builtin_smoke(), ScenarioGrid::builtin_audit()] {
+            grid.validate().unwrap();
+            let text = grid.write();
+            let back = ScenarioGrid::parse(&text).unwrap();
+            assert_eq!(back, grid);
+            assert_eq!(back.write(), text, "write is stable");
+        }
+        assert_eq!(ScenarioGrid::builtin_smoke().len(), 8);
+        assert_eq!(ScenarioGrid::builtin_audit().len(), 108);
+    }
+
+    #[test]
+    fn grid_spec_rejects_malformed_input_with_line_numbers() {
+        let cases: &[(&str, usize, &str)] = &[
+            ("", 0, "empty input"),
+            ("mtsp-corpus v1\n", 1, "expected header"),
+            (
+                "mtsp-replay v1\nname x\ndags chain\ncurves mixed\nsizes 5\nmachines 2\nseeds 0\npatterns nope\ngaps 1\nnoises none\n",
+                8,
+                "unknown arrival pattern",
+            ),
+            (
+                "mtsp-replay v1\nname x\ndags chain\ncurves mixed\nsizes 5\nmachines 2\nseeds 0\npatterns batch\ngaps -1\nnoises none\n",
+                9,
+                "bad gap",
+            ),
+            (
+                "mtsp-replay v1\nname x\ndags chain\ncurves mixed\nsizes 5\nmachines 2\nseeds 0\npatterns batch\ngaps 1\nnoises uniform:1.5\n",
+                10,
+                "unknown noise model",
+            ),
+            (
+                "mtsp-replay v1\nname x\ndags chain\ncurves mixed\nsizes 5\nmachines 2\nseeds 0\npatterns batch\ngaps 1\nnoises none\nextra\n",
+                11,
+                "trailing content",
+            ),
+        ];
+        for (text, line, frag) in cases {
+            let e = ScenarioGrid::parse(text).unwrap_err();
+            let ModelError::Parse { line: got, msg } = &e else {
+                panic!("expected parse error for {text:?}");
+            };
+            assert_eq!(got, line, "{text:?}: {msg}");
+            assert!(msg.contains(frag), "{msg:?} missing {frag:?}");
+        }
+    }
+
+    #[test]
+    fn smoke_grid_runs_clean_and_is_deterministic_across_workers() {
+        let grid = ScenarioGrid::builtin_smoke();
+        let base = run_scenario_grid(&grid, 1);
+        let s = base.section.get("summary").unwrap();
+        assert_eq!(s.get("cells").and_then(Value::as_i64), Some(8));
+        assert_eq!(s.get("failures").and_then(Value::as_i64), Some(0));
+        assert_eq!(s.get("violations").and_then(Value::as_i64), Some(0));
+        // Online never beats the clairvoyant batch plan's floor by much;
+        // the ratio is finite and ≥ a sane floor.
+        let rmax = s.get("ratio_vs_batch_max").and_then(Value::as_f64).unwrap();
+        assert!(rmax.is_finite() && rmax > 0.5, "ratio max {rmax}");
+        assert_eq!(base.metrics.cells, 8);
+        assert!(
+            base.metrics.epochs > 8,
+            "staggered arrivals imply >1 epoch/cell"
+        );
+        for workers in [2usize, 4] {
+            let got = run_scenario_grid(&grid, workers);
+            assert_eq!(
+                base.section.to_pretty(),
+                got.section.to_pretty(),
+                "section changed under workers={workers}"
+            );
+        }
+        let doc = standalone_scenario_report(&base.section);
+        assert_eq!(
+            doc.get("format").and_then(Value::as_str),
+            Some(SCENARIO_REPORT_FORMAT)
+        );
+    }
+}

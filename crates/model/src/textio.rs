@@ -39,6 +39,31 @@
 //! The grid is the cartesian product of the five lists; every cell names
 //! one deterministic [`generate::random_instance`] call. The same
 //! comment/blank-line rules apply, and write→parse→write is byte-stable.
+//!
+//! The third format, `mtsp-scenario v1` ([`Scenario`]), is the *event*
+//! sibling of `mtsp-instance v1`: an instance whose tasks carry release
+//! (arrival) times, plus a time-ordered list of machine-count changes —
+//! the input of the online session replay (`mtsp replay`):
+//!
+//! ```text
+//! mtsp-scenario v1
+//! m 4
+//! tasks 2
+//! task 0.0 8 4 2.6666666666666665 2
+//! task 1.5 5 5 5 5
+//! edges 1
+//! edge 0 1
+//! machine-events 1
+//! machine-event 3.5 2
+//! ```
+//!
+//! `task` lines lead with the arrival time, followed by `p(1) … p(m)`;
+//! `machine-event t m` sets the machine count to `m` at time `t`. Arrival
+//! times must respect precedence (`arrival[u] ≤ arrival[v]` for every arc
+//! `(u, v)`): a task cannot be known to the scheduler before all of its
+//! dependencies exist. All three formats reject non-finite numbers with a
+//! line-numbered error — `inf`/`nan` parse as valid `f64`s but would
+//! poison content hashing and the LP downstream.
 
 use crate::error::ModelError;
 use crate::generate::{self, CurveFamily, DagFamily};
@@ -52,6 +77,9 @@ pub const HEADER: &str = "mtsp-instance v1";
 
 /// Magic first line of the corpus-spec format.
 pub const CORPUS_HEADER: &str = "mtsp-corpus v1";
+
+/// Magic first line of the arrival-scenario format.
+pub const SCENARIO_HEADER: &str = "mtsp-scenario v1";
 
 /// Serializes an instance to the text format.
 pub fn write_instance(ins: &Instance) -> String {
@@ -78,6 +106,19 @@ fn err(line: usize, msg: impl Into<String>) -> ModelError {
         line,
         msg: msg.into(),
     }
+}
+
+/// Parses one float token, rejecting non-finite values: `inf`/`nan` are
+/// valid `f64` literals to `str::parse` but poison content hashing and the
+/// LP downstream, so they fail here with the offending token and line.
+fn parse_finite(tok: &str, ln: usize, what: &str) -> Result<f64, ModelError> {
+    let v: f64 = tok
+        .parse()
+        .map_err(|e| err(ln, format!("bad {what}: {e}")))?;
+    if !v.is_finite() {
+        return Err(err(ln, format!("non-finite {what} '{tok}'")));
+    }
+    Ok(v)
 }
 
 /// Parses the text format back into an [`Instance`].
@@ -127,8 +168,9 @@ pub fn parse_instance(text: &str) -> Result<Instance, ModelError> {
         if parts.next() != Some("task") {
             return Err(err(ln, format!("expected 'task …', got '{line}'")));
         }
-        let times: Result<Vec<f64>, _> = parts.map(str::parse::<f64>).collect();
-        let times = times.map_err(|e| err(ln, format!("bad processing time: {e}")))?;
+        let times: Vec<f64> = parts
+            .map(|tok| parse_finite(tok, ln, "processing time"))
+            .collect::<Result<_, _>>()?;
         if times.len() != m {
             return Err(err(
                 ln,
@@ -168,6 +210,280 @@ pub fn parse_instance(text: &str) -> Result<Instance, ModelError> {
     }
 
     Instance::new(dag, profiles)
+}
+
+/// An online arrival scenario: an [`Instance`] whose tasks carry arrival
+/// (release) times, plus a time-ordered list of machine-count changes —
+/// the event stream a [`ScheduleSession`] replays.
+///
+/// Invariants (checked by [`Scenario::new`] and the parser):
+///
+/// * one finite arrival time `≥ 0` per task;
+/// * arrivals respect precedence: `arrival[u] ≤ arrival[v]` for every arc
+///   `(u, v)` — a task cannot arrive before the tasks it depends on, since
+///   its edges are declared when it arrives;
+/// * machine events are strictly increasing in time, with finite times
+///   `≥ 0` and machine counts in `1..=m` (the profile domain).
+///
+/// [`ScheduleSession`]: https://docs.rs/mtsp-engine
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// The tasks, their profiles and the precedence DAG.
+    pub ins: Instance,
+    /// Arrival time of each task (same indexing as the instance).
+    pub arrival: Vec<f64>,
+    /// `(time, new_m)` machine-count changes, strictly increasing in time.
+    pub machine_events: Vec<(f64, usize)>,
+}
+
+impl Scenario {
+    /// Builds a scenario, checking the invariants listed on the type.
+    pub fn new(
+        ins: Instance,
+        arrival: Vec<f64>,
+        machine_events: Vec<(f64, usize)>,
+    ) -> Result<Self, ModelError> {
+        let fail = |msg: String| ModelError::Parse { line: 0, msg };
+        if arrival.len() != ins.n() {
+            return Err(fail(format!(
+                "scenario has {} arrival times for {} tasks",
+                arrival.len(),
+                ins.n()
+            )));
+        }
+        for (j, &t) in arrival.iter().enumerate() {
+            if !(t.is_finite() && t >= 0.0) {
+                return Err(fail(format!(
+                    "task {j}: arrival time {t} must be finite and >= 0"
+                )));
+            }
+        }
+        for (u, v) in ins.dag().edges() {
+            if arrival[u] > arrival[v] {
+                return Err(fail(format!(
+                    "edge ({u}, {v}): predecessor arrives at {} after successor at {}",
+                    arrival[u], arrival[v]
+                )));
+            }
+        }
+        let mut prev = f64::NEG_INFINITY;
+        for &(t, m_new) in &machine_events {
+            if !(t.is_finite() && t >= 0.0) {
+                return Err(fail(format!(
+                    "machine event time {t} must be finite and >= 0"
+                )));
+            }
+            if t <= prev {
+                return Err(fail(format!(
+                    "machine events must be strictly increasing in time (saw {t} after {prev})"
+                )));
+            }
+            prev = t;
+            if m_new == 0 || m_new > ins.m() {
+                return Err(fail(format!(
+                    "machine event sets m = {m_new}, outside 1..={}",
+                    ins.m()
+                )));
+            }
+        }
+        Ok(Scenario {
+            ins,
+            arrival,
+            machine_events,
+        })
+    }
+
+    /// A closed-batch view of an instance: every task arrives at time 0
+    /// and the machine count never changes. Replaying this scenario with
+    /// zero noise reproduces the batch pipeline exactly.
+    pub fn batch(ins: Instance) -> Self {
+        let arrival = vec![0.0; ins.n()];
+        Scenario {
+            ins,
+            arrival,
+            machine_events: Vec::new(),
+        }
+    }
+
+    /// The latest arrival time (0 for the empty scenario).
+    pub fn last_arrival(&self) -> f64 {
+        self.arrival.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// Serializes a scenario to the `mtsp-scenario v1` text format.
+pub fn write_scenario(sc: &Scenario) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{SCENARIO_HEADER}");
+    let _ = writeln!(s, "m {}", sc.ins.m());
+    let _ = writeln!(s, "tasks {}", sc.ins.n());
+    for (p, &a) in sc.ins.profiles().iter().zip(&sc.arrival) {
+        let _ = write!(s, "task {a:?}");
+        for &t in p.times() {
+            let _ = write!(s, " {t:?}");
+        }
+        s.push('\n');
+    }
+    let _ = writeln!(s, "edges {}", sc.ins.dag().edge_count());
+    for (u, v) in sc.ins.dag().edges() {
+        let _ = writeln!(s, "edge {u} {v}");
+    }
+    let _ = writeln!(s, "machine-events {}", sc.machine_events.len());
+    for &(t, m) in &sc.machine_events {
+        let _ = writeln!(s, "machine-event {t:?} {m}");
+    }
+    s
+}
+
+/// Parses the `mtsp-scenario v1` text format. Errors carry the 1-based
+/// line number of the offending line, mirroring [`parse_instance`].
+pub fn parse_scenario(text: &str) -> Result<Scenario, ModelError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
+
+    let (ln, header) = lines.next().ok_or_else(|| err(0, "empty input"))?;
+    if header != SCENARIO_HEADER {
+        return Err(err(
+            ln,
+            format!("expected header '{SCENARIO_HEADER}', got '{header}'"),
+        ));
+    }
+
+    let parse_kv =
+        |expect: &str, item: Option<(usize, &str)>| -> Result<(usize, usize), ModelError> {
+            let (ln, line) = item.ok_or_else(|| err(0, format!("missing '{expect}' line")))?;
+            let mut parts = line.split_whitespace();
+            match (parts.next(), parts.next(), parts.next()) {
+                (Some(k), Some(v), None) if k == expect => v
+                    .parse::<usize>()
+                    .map(|v| (ln, v))
+                    .map_err(|e| err(ln, format!("bad {expect} value: {e}"))),
+                _ => Err(err(
+                    ln,
+                    format!("expected '{expect} <count>', got '{line}'"),
+                )),
+            }
+        };
+
+    let (_, m) = parse_kv("m", lines.next())?;
+    if m == 0 {
+        return Err(err(0, "m must be at least 1"));
+    }
+    let (_, n) = parse_kv("tasks", lines.next())?;
+
+    let mut arrival = Vec::with_capacity(n);
+    let mut profiles = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (ln, line) = lines
+            .next()
+            .ok_or_else(|| err(0, "unexpected end of input in task list"))?;
+        let mut parts = line.split_whitespace();
+        if parts.next() != Some("task") {
+            return Err(err(ln, format!("expected 'task …', got '{line}'")));
+        }
+        let a = parse_finite(
+            parts
+                .next()
+                .ok_or_else(|| err(ln, "task missing arrival time"))?,
+            ln,
+            "arrival time",
+        )?;
+        if a < 0.0 {
+            return Err(err(ln, format!("arrival time {a} must be >= 0")));
+        }
+        arrival.push(a);
+        let times: Vec<f64> = parts
+            .map(|tok| parse_finite(tok, ln, "processing time"))
+            .collect::<Result<_, _>>()?;
+        if times.len() != m {
+            return Err(err(
+                ln,
+                format!("task line has {} times, expected m = {m}", times.len()),
+            ));
+        }
+        profiles.push(Profile::from_times(times).map_err(|e| err(ln, e.to_string()))?);
+    }
+
+    let (_, e) = parse_kv("edges", lines.next())?;
+    let mut dag = Dag::new(n);
+    let mut first_edge_ln = 0;
+    for _ in 0..e {
+        let (ln, line) = lines
+            .next()
+            .ok_or_else(|| err(0, "unexpected end of input in edge list"))?;
+        if first_edge_ln == 0 {
+            first_edge_ln = ln;
+        }
+        let mut parts = line.split_whitespace();
+        if parts.next() != Some("edge") {
+            return Err(err(ln, format!("expected 'edge u v', got '{line}'")));
+        }
+        let u: usize = parts
+            .next()
+            .ok_or_else(|| err(ln, "edge missing source"))?
+            .parse()
+            .map_err(|e| err(ln, format!("bad edge source: {e}")))?;
+        let v: usize = parts
+            .next()
+            .ok_or_else(|| err(ln, "edge missing target"))?
+            .parse()
+            .map_err(|e| err(ln, format!("bad edge target: {e}")))?;
+        if parts.next().is_some() {
+            return Err(err(ln, "trailing tokens after edge"));
+        }
+        dag.add_edge(u, v).map_err(|e| err(ln, e.to_string()))?;
+    }
+
+    let (ev_ln, k) = parse_kv("machine-events", lines.next())?;
+    let mut machine_events = Vec::with_capacity(k);
+    for _ in 0..k {
+        let (ln, line) = lines
+            .next()
+            .ok_or_else(|| err(0, "unexpected end of input in machine-event list"))?;
+        let mut parts = line.split_whitespace();
+        if parts.next() != Some("machine-event") {
+            return Err(err(
+                ln,
+                format!("expected 'machine-event t m', got '{line}'"),
+            ));
+        }
+        let t = parse_finite(
+            parts
+                .next()
+                .ok_or_else(|| err(ln, "machine event missing time"))?,
+            ln,
+            "machine event time",
+        )?;
+        let m_new: usize = parts
+            .next()
+            .ok_or_else(|| err(ln, "machine event missing machine count"))?
+            .parse()
+            .map_err(|e| err(ln, format!("bad machine count: {e}")))?;
+        if parts.next().is_some() {
+            return Err(err(ln, "trailing tokens after machine event"));
+        }
+        machine_events.push((t, m_new));
+    }
+    if let Some((ln, line)) = lines.next() {
+        return Err(err(ln, format!("trailing content: '{line}'")));
+    }
+
+    let ins = Instance::new(dag, profiles)?;
+    // Re-anchor semantic violations on the section that introduced them.
+    Scenario::new(ins, arrival, machine_events).map_err(|e| match e {
+        ModelError::Parse { msg, .. } => {
+            let line = if msg.contains("machine event") {
+                ev_ln
+            } else {
+                first_edge_ln
+            };
+            err(line, msg)
+        }
+        other => other,
+    })
 }
 
 /// A declarative grid of generated instances: the cartesian product
@@ -518,6 +834,137 @@ mod tests {
     fn rejects_zero_m() {
         let text = "mtsp-instance v1\nm 0\ntasks 0\nedges 0\n";
         assert!(parse_instance(text).is_err());
+    }
+
+    /// `inf`/`nan` parse as valid `f64`s; the format must reject them at
+    /// the offending line — they would poison `content_bits` hashing and
+    /// the LP downstream.
+    #[test]
+    fn rejects_non_finite_processing_times_with_line_numbers() {
+        for tok in ["inf", "+inf", "-inf", "NaN", "nan", "infinity"] {
+            let text = format!("mtsp-instance v1\nm 2\ntasks 2\ntask 1 1\ntask {tok} 2\nedges 0\n");
+            let e = parse_instance(&text).unwrap_err();
+            let ModelError::Parse { line, msg } = &e else {
+                panic!("expected parse error for {tok}, got {e:?}");
+            };
+            assert_eq!(*line, 5, "{tok}: {msg}");
+            assert!(
+                msg.contains("non-finite") && msg.contains(tok),
+                "{tok}: {msg}"
+            );
+        }
+        // Negative (finite) times still fail through Profile validation,
+        // also line-anchored.
+        let e = parse_instance("mtsp-instance v1\nm 1\ntasks 1\ntask -3\nedges 0\n").unwrap_err();
+        assert!(matches!(e, ModelError::Parse { line: 4, .. }), "{e}");
+    }
+
+    fn sample_scenario() -> Scenario {
+        Scenario::new(sample(), vec![0.0, 1.5, 1.5], vec![(2.5, 2)]).unwrap()
+    }
+
+    /// The exact bytes `write_scenario` must emit for [`sample_scenario`].
+    const GOLDEN_SCENARIO: &str = "\
+mtsp-scenario v1
+m 4
+tasks 3
+task 0.0 8.0 4.0 2.6666666666666665 2.0
+task 1.5 5.0 5.0 5.0 5.0
+task 1.5 6.0 3.75 3.0 2.625
+edges 2
+edge 0 1
+edge 1 2
+machine-events 1
+machine-event 2.5 2
+";
+
+    #[test]
+    fn scenario_matches_golden_bytes_and_round_trips() {
+        let sc = sample_scenario();
+        let text = write_scenario(&sc);
+        assert_eq!(text, GOLDEN_SCENARIO);
+        let back = parse_scenario(&text).unwrap();
+        assert_eq!(back, sc);
+        assert_eq!(write_scenario(&back), text, "write is stable");
+        assert_eq!(sc.last_arrival(), 1.5);
+    }
+
+    #[test]
+    fn scenario_batch_view_and_validation() {
+        let sc = Scenario::batch(sample());
+        assert!(sc.arrival.iter().all(|&t| t == 0.0));
+        assert!(sc.machine_events.is_empty());
+        // One arrival per task.
+        assert!(Scenario::new(sample(), vec![0.0], vec![]).is_err());
+        // Finite non-negative arrivals.
+        assert!(Scenario::new(sample(), vec![0.0, -1.0, 0.0], vec![]).is_err());
+        assert!(Scenario::new(sample(), vec![0.0, f64::INFINITY, 0.0], vec![]).is_err());
+        // Arrivals must respect precedence (edge 0 -> 1).
+        assert!(Scenario::new(sample(), vec![1.0, 0.0, 2.0], vec![]).is_err());
+        // Machine events: strictly increasing, in 1..=m.
+        assert!(Scenario::new(sample(), vec![0.0; 3], vec![(1.0, 5)]).is_err());
+        assert!(Scenario::new(sample(), vec![0.0; 3], vec![(1.0, 2), (1.0, 3)]).is_err());
+        assert!(Scenario::new(sample(), vec![0.0; 3], vec![(f64::NAN, 2)]).is_err());
+        assert!(Scenario::new(sample(), vec![0.0; 3], vec![(1.0, 2), (2.0, 4)]).is_ok());
+    }
+
+    #[test]
+    fn scenario_parser_rejects_malformed_input_with_line_numbers() {
+        let cases: &[(&str, usize, &str)] = &[
+            ("", 0, "empty input"),
+            ("mtsp-instance v1\n", 1, "expected header"),
+            (
+                "mtsp-scenario v1\nm 2\ntasks 1\ntask inf 1 1\nedges 0\nmachine-events 0\n",
+                4,
+                "non-finite arrival time",
+            ),
+            (
+                "mtsp-scenario v1\nm 2\ntasks 1\ntask -1 1 1\nedges 0\nmachine-events 0\n",
+                4,
+                "must be >= 0",
+            ),
+            (
+                "mtsp-scenario v1\nm 2\ntasks 1\ntask 0 1 inf\nedges 0\nmachine-events 0\n",
+                4,
+                "non-finite processing time",
+            ),
+            (
+                "mtsp-scenario v1\nm 2\ntasks 1\ntask 0 1\nedges 0\nmachine-events 0\n",
+                4,
+                "expected m = 2",
+            ),
+            (
+                "mtsp-scenario v1\nm 2\ntasks 1\ntask 0 1 1\nedges 0\nmachine-events 1\nmachine-event nan 1\n",
+                7,
+                "non-finite machine event time",
+            ),
+            (
+                "mtsp-scenario v1\nm 2\ntasks 1\ntask 0 1 1\nedges 0\nmachine-events 1\nmachine-event 1 3\n",
+                6,
+                "outside 1..=2",
+            ),
+            (
+                "mtsp-scenario v1\nm 2\ntasks 2\ntask 1 1 1\ntask 0 1 1\nedges 1\nedge 0 1\nmachine-events 0\n",
+                7,
+                "after successor",
+            ),
+            (
+                "mtsp-scenario v1\nm 2\ntasks 1\ntask 0 1 1\nedges 0\nmachine-events 0\nextra\n",
+                7,
+                "trailing content",
+            ),
+        ];
+        for (text, line, frag) in cases {
+            let e = parse_scenario(text).unwrap_err();
+            let ModelError::Parse { line: got, msg } = &e else {
+                panic!("expected parse error for {text:?}, got {e:?}");
+            };
+            assert_eq!(got, line, "wrong line for {text:?}: {msg}");
+            assert!(
+                msg.contains(frag),
+                "message {msg:?} missing {frag:?} for {text:?}"
+            );
+        }
     }
 
     fn sample_spec() -> CorpusSpec {

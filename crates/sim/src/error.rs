@@ -37,6 +37,20 @@ pub enum SimError {
     },
     /// Schedule/instance shape mismatch.
     ShapeMismatch(String),
+    /// The event-driven session replay failed (an invalid scenario /
+    /// session interaction; carries the underlying message).
+    ReplayFailure(String),
+    /// A noise-model parameter was outside its documented domain (e.g.
+    /// `Uniform { epsilon }` with `ε ∉ [0, 1)`, which would sample
+    /// non-positive realized durations).
+    InvalidNoise {
+        /// The noise model kind (`"uniform"` / `"slowdown"`).
+        kind: &'static str,
+        /// The offending amplitude.
+        epsilon: f64,
+        /// The documented domain.
+        domain: &'static str,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -65,6 +79,15 @@ impl fmt::Display for SimError {
                 write!(f, "task {succ} started before predecessor {pred} finished")
             }
             SimError::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
+            SimError::ReplayFailure(msg) => write!(f, "session replay failed: {msg}"),
+            SimError::InvalidNoise {
+                kind,
+                epsilon,
+                domain,
+            } => write!(
+                f,
+                "{kind} noise amplitude epsilon = {epsilon} outside its domain {domain}"
+            ),
         }
     }
 }

@@ -19,20 +19,34 @@
 //!   With `ε = 0` it reproduces `mtsp_core::list_schedule` exactly (tested),
 //!   which cross-validates both implementations; with `ε > 0` it measures
 //!   the robustness of the phase-1 allotment (experiment E4).
+//! * [`arrivals`] — deterministic arrival-stream generators: any generated
+//!   instance becomes an open [`Scenario`](mtsp_model::textio::Scenario)
+//!   with topologically-consistent release times under periodic / Poisson
+//!   / bursty inter-arrival processes.
+//! * [`replay`] — the event-driven session replay: arrivals, new edges and
+//!   machine-count changes drive a long-lived
+//!   [`ScheduleSession`](mtsp_engine::ScheduleSession) that re-plans the
+//!   not-yet-started suffix at every epoch while committed tasks stay
+//!   frozen; realized makespans and per-epoch re-plan latency come back in
+//!   a [`ReplayOutcome`].
 //! * [`trace`] — time-ordered event logs and per-processor utilization.
 
+pub mod arrivals;
 pub mod contiguous;
 pub mod error;
 pub mod executor;
 pub mod gantt;
 pub mod metrics;
 pub mod online;
+pub mod replay;
 pub mod trace;
 
+pub use arrivals::{arrival_scenario, ArrivalPattern};
 pub use contiguous::{list_schedule_contiguous, ContiguousSchedule};
 pub use error::SimError;
 pub use executor::{execute, execute_contiguous, SimReport};
 pub use gantt::gantt;
 pub use metrics::{metrics, Metrics};
-pub use online::{execute_online, NoiseModel};
+pub use online::{execute_online, try_execute_online, NoiseModel};
+pub use replay::{replay, replay_feasible, EpochTrace, ReplayConfig, ReplayOutcome};
 pub use trace::{Event, EventKind, Trace};

@@ -11,6 +11,7 @@
 //! [`mtsp_core::list_schedule`] *exactly* — a cross-validation of two
 //! independent implementations of the same policy.
 
+use crate::error::SimError;
 use mtsp_core::{Ord64, Priority, Schedule, ScheduledTask};
 use mtsp_dag::paths;
 use mtsp_model::Instance;
@@ -20,9 +21,10 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// Execution-time noise models.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum NoiseModel {
     /// Exact execution: realized = planned.
+    #[default]
     None,
     /// Multiplicative uniform noise: `ξ ~ U[1−ε, 1+ε]`, `ε ∈ [0, 1)`.
     Uniform {
@@ -38,7 +40,86 @@ pub enum NoiseModel {
 }
 
 impl NoiseModel {
-    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+    /// A validated uniform noise model: `ε ∈ [0, 1)` keeps every factor
+    /// `ξ = 1 + ε·u`, `u ∈ [−1, 1]`, strictly positive.
+    pub fn uniform(epsilon: f64) -> Result<Self, SimError> {
+        let model = NoiseModel::Uniform { epsilon };
+        model.validate()?;
+        Ok(model)
+    }
+
+    /// A validated one-sided slowdown model: any finite `ε ≥ 0` (factors
+    /// are `ξ = 1 + ε·u ≥ 1`).
+    pub fn slowdown(epsilon: f64) -> Result<Self, SimError> {
+        let model = NoiseModel::Slowdown { epsilon };
+        model.validate()?;
+        Ok(model)
+    }
+
+    /// Checks the amplitude against the documented domain. The enum fields
+    /// are public (struct-literal construction is allowed for e.g. config
+    /// plumbing), so every consumer that *samples* validates first — an
+    /// out-of-range `ε` would otherwise produce non-positive realized
+    /// durations and silently corrupt a replay.
+    pub fn validate(self) -> Result<(), SimError> {
+        match self {
+            NoiseModel::None => Ok(()),
+            NoiseModel::Uniform { epsilon } => {
+                if epsilon.is_finite() && (0.0..1.0).contains(&epsilon) {
+                    Ok(())
+                } else {
+                    Err(SimError::InvalidNoise {
+                        kind: "uniform",
+                        epsilon,
+                        domain: "[0, 1)",
+                    })
+                }
+            }
+            NoiseModel::Slowdown { epsilon } => {
+                if epsilon.is_finite() && epsilon >= 0.0 {
+                    Ok(())
+                } else {
+                    Err(SimError::InvalidNoise {
+                        kind: "slowdown",
+                        epsilon,
+                        domain: "[0, inf)",
+                    })
+                }
+            }
+        }
+    }
+
+    /// Canonical text form: `none`, `uniform:EPS`, `slowdown:EPS` (floats
+    /// printed with `{:?}`, so [`NoiseModel::parse_name`] round-trips).
+    pub fn name(self) -> String {
+        match self {
+            NoiseModel::None => "none".into(),
+            NoiseModel::Uniform { epsilon } => format!("uniform:{epsilon:?}"),
+            NoiseModel::Slowdown { epsilon } => format!("slowdown:{epsilon:?}"),
+        }
+    }
+
+    /// Parses the canonical text form; `None` for unknown kinds, malformed
+    /// amplitudes, or amplitudes outside the documented domain.
+    pub fn parse_name(s: &str) -> Option<Self> {
+        if s == "none" {
+            return Some(NoiseModel::None);
+        }
+        let (kind, eps) = s.split_once(':')?;
+        let epsilon: f64 = eps.parse().ok()?;
+        match kind {
+            "uniform" => NoiseModel::uniform(epsilon).ok(),
+            "slowdown" => NoiseModel::slowdown(epsilon).ok(),
+            _ => None,
+        }
+    }
+
+    /// Draws one multiplicative factor. Callers must [`validate`] the
+    /// model first; with a valid amplitude every draw is strictly
+    /// positive.
+    ///
+    /// [`validate`]: NoiseModel::validate
+    pub(crate) fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
         match self {
             NoiseModel::None => 1.0,
             NoiseModel::Uniform { epsilon } => 1.0 + epsilon * (2.0 * rng.gen::<f64>() - 1.0),
@@ -47,22 +128,45 @@ impl NoiseModel {
     }
 }
 
+/// Draws one noise factor per task (task-id order, so the draw sequence is
+/// independent of scheduling order) after validating the model. Shared by
+/// [`try_execute_online`] and the session replay in [`crate::replay`].
+pub(crate) fn draw_noise_factors(
+    noise: NoiseModel,
+    n: usize,
+    seed: u64,
+) -> Result<Vec<f64>, SimError> {
+    noise.validate()?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    Ok((0..n)
+        .map(|_| {
+            let xi = noise.sample(&mut rng);
+            debug_assert!(xi > 0.0, "validated noise draws are positive");
+            xi
+        })
+        .collect())
+}
+
 /// Replays the greedy list policy with fixed allotments `alloc` and
 /// realized durations `p_j(l_j) · ξ_j`. Returns the realized schedule
 /// (its `duration`s are the *realized* ones, so
 /// [`mtsp_core::Schedule::verify`] will reject it for `ε > 0` — capacity
 /// and precedence still hold by construction and are asserted in tests).
 ///
+/// Rejects noise models whose amplitude is outside its documented domain
+/// ([`NoiseModel::validate`]) — e.g. `Uniform { epsilon: 1.5 }` would
+/// sample negative realized durations and corrupt the replay.
+///
 /// # Panics
 /// Panics on allotment shape errors (same contract as
-/// [`mtsp_core::list_schedule`]) or a negative noise draw (`ε ≥ 1`).
-pub fn execute_online(
+/// [`mtsp_core::list_schedule`]).
+pub fn try_execute_online(
     ins: &Instance,
     alloc: &[usize],
     priority: Priority,
     noise: NoiseModel,
     seed: u64,
-) -> Schedule {
+) -> Result<Schedule, SimError> {
     let n = ins.n();
     let m = ins.m();
     assert_eq!(alloc.len(), n, "one allotment per task required");
@@ -71,15 +175,8 @@ pub fn execute_online(
         "allotments must lie in 1..=m"
     );
     let planned: Vec<f64> = ins.times_under(alloc);
-    let mut rng = StdRng::seed_from_u64(seed);
-    let realized: Vec<f64> = planned
-        .iter()
-        .map(|&p| {
-            let xi = noise.sample(&mut rng);
-            assert!(xi > 0.0, "noise factor must stay positive");
-            p * xi
-        })
-        .collect();
+    let xi = draw_noise_factors(noise, n, seed)?;
+    let realized: Vec<f64> = planned.iter().zip(&xi).map(|(&p, &x)| p * x).collect();
 
     let prio: Vec<f64> = match priority {
         Priority::TaskId => (0..n).map(|j| -(j as f64)).collect(),
@@ -169,7 +266,23 @@ pub fn execute_online(
             }
         }
     }
-    Schedule::new(m, placed)
+    Ok(Schedule::new(m, placed))
+}
+
+/// [`try_execute_online`], panicking on an invalid noise model — the
+/// historical signature, kept for callers that construct their noise from
+/// literals they control.
+///
+/// # Panics
+/// Panics on allotment shape errors or an out-of-domain noise amplitude.
+pub fn execute_online(
+    ins: &Instance,
+    alloc: &[usize],
+    priority: Priority,
+    noise: NoiseModel,
+    seed: u64,
+) -> Schedule {
+    try_execute_online(ins, alloc, priority, noise, seed).expect("valid noise model")
 }
 
 /// Verifies the structural feasibility of a realized schedule (capacity
@@ -282,6 +395,80 @@ mod tests {
             43,
         );
         assert_ne!(a, c);
+    }
+
+    /// The bugfix: `ε ∈ [0, 1)` is documented but was never validated —
+    /// `Uniform { epsilon: 1.5 }` samples negative realized durations.
+    /// Out-of-domain amplitudes now fail loudly with a `SimError`.
+    #[test]
+    fn out_of_domain_noise_is_rejected() {
+        for eps in [1.0, 1.5, -0.1, f64::NAN, f64::INFINITY] {
+            let e = NoiseModel::uniform(eps).unwrap_err();
+            assert!(
+                matches!(
+                    e,
+                    SimError::InvalidNoise {
+                        kind: "uniform",
+                        ..
+                    }
+                ),
+                "eps {eps}: {e:?}"
+            );
+            assert!(e.to_string().contains("uniform"), "{e}");
+        }
+        for eps in [-0.5, f64::NAN, f64::NEG_INFINITY] {
+            assert!(NoiseModel::slowdown(eps).is_err(), "eps {eps}");
+        }
+        // Boundary values inside the domain are accepted.
+        assert!(NoiseModel::uniform(0.0).is_ok());
+        assert!(NoiseModel::uniform(0.999_999).is_ok());
+        assert!(NoiseModel::slowdown(0.0).is_ok());
+        assert!(NoiseModel::slowdown(10.0).is_ok());
+        assert!(NoiseModel::None.validate().is_ok());
+
+        // The replay entry point surfaces the error instead of silently
+        // corrupting durations.
+        let ins = random(8, 3, 0);
+        let alloc = vec![1usize; ins.n()];
+        let r = try_execute_online(
+            &ins,
+            &alloc,
+            Priority::TaskId,
+            NoiseModel::Uniform { epsilon: 1.5 },
+            0,
+        );
+        assert!(matches!(r, Err(SimError::InvalidNoise { .. })));
+        // Valid models still realize strictly positive durations at the
+        // domain boundary.
+        let s = try_execute_online(
+            &ins,
+            &alloc,
+            Priority::TaskId,
+            NoiseModel::Uniform {
+                epsilon: 1.0 - 1e-9,
+            },
+            0,
+        )
+        .unwrap();
+        for j in 0..ins.n() {
+            assert!(s.task(j).duration > 0.0);
+        }
+    }
+
+    #[test]
+    fn noise_names_round_trip() {
+        for model in [
+            NoiseModel::None,
+            NoiseModel::Uniform { epsilon: 0.1 },
+            NoiseModel::Slowdown { epsilon: 0.25 },
+        ] {
+            assert_eq!(NoiseModel::parse_name(&model.name()), Some(model));
+        }
+        assert_eq!(NoiseModel::parse_name("uniform:1.5"), None);
+        assert_eq!(NoiseModel::parse_name("uniform:x"), None);
+        assert_eq!(NoiseModel::parse_name("gauss:0.1"), None);
+        assert_eq!(NoiseModel::parse_name("uniform"), None);
+        assert_eq!(NoiseModel::default(), NoiseModel::None);
     }
 
     #[test]

@@ -8,13 +8,15 @@
 //! mtsp bench-throughput --n-instances K [--jobs N] [--distinct D] [--n N] [--m M]
 //! mtsp corpus run <spec> [--jobs N] [--fresh-contexts] [--no-cache] [--window W] [--out FILE]
 //! mtsp audit [--smoke] [--jobs N] [--out FILE] [--baseline FILE] [--write-baseline] ...
+//! mtsp replay (<spec>|--smoke) [--jobs N] [--out FILE] [--noise MODEL] [--seed S]
 //! mtsp bounds <m>
 //! mtsp tables [2|3|4|all]
 //! ```
 //!
 //! Instances use the plain-text format of `mtsp::model::textio` (see
 //! `mtsp generate` to produce one); corpus specs use its `mtsp-corpus v1`
-//! sibling format.
+//! sibling format; replay takes either an `mtsp-replay v1` scenario grid
+//! or a concrete `mtsp-scenario v1` event file.
 
 use mtsp::analysis::{grid, ltw, ratio};
 use mtsp::core::improve::{improve_allotment, ImproveOptions};
@@ -79,6 +81,15 @@ enum Command {
         tol: f64,
         no_gate: bool,
     },
+    Replay {
+        /// Grid or scenario file; `None` = the built-in smoke grid
+        /// (`--smoke`).
+        spec: Option<String>,
+        jobs: usize,
+        out: Option<String>,
+        noise: mtsp::sim::NoiseModel,
+        seed: u64,
+    },
     Bounds {
         m: usize,
     },
@@ -104,6 +115,8 @@ USAGE:
   mtsp audit [--smoke] [--jobs N] [--fresh-contexts] [--out FILE]
              [--baseline FILE] [--write-baseline] [--perf-floor F] [--tol T]
              [--no-gate]
+  mtsp replay (<spec>|--smoke) [--jobs N] [--out FILE] [--noise MODEL]
+             [--seed S]
   mtsp bounds <m>
   mtsp tables [2|3|4|all]
 
@@ -125,11 +138,26 @@ BENCH_baseline.json, or BENCH_baseline_smoke.json with --smoke):
 quality regressions beyond --tol or measured throughput below the
 baseline's committed floor fail the run. --write-baseline records the
 current report (plus --perf-floor, default 0.5 jobs/s) as the new
-baseline instead of gating. Wall-clock metrics always go to stderr.
+baseline instead of gating. The audit also replays the built-in arrival
+scenario grid through the online session and embeds the section under
+\"scenarios\" (gated like the rest). Wall-clock metrics always go to
+stderr.
 
-DAG families:   independent chain layered series-parallel fork-join cholesky
-                wavefront random-tree
-curve families: power-law amdahl random-concave logarithmic saturating mixed
+replay drives the online ScheduleSession: tasks arrive over time, each
+arrival batch or machine-count change re-plans the not-yet-started
+suffix (phase 1 with release times, warm LP context), and committed
+tasks stay frozen. <spec> is either an mtsp-replay v1 grid (arrival
+patterns x noise models, replayed on --jobs workers) or a concrete
+mtsp-scenario v1 event file (single replay; --noise none|uniform:E|
+slowdown:E and --seed select the execution noise). --smoke runs the
+built-in 8-cell grid. Reports are byte-identical for any --jobs;
+re-plan latency goes to stderr.
+
+DAG families:     independent chain layered series-parallel fork-join cholesky
+                  wavefront random-tree
+curve families:   power-law amdahl random-concave logarithmic saturating mixed
+arrival patterns: batch periodic poisson bursty
+noise models:     none uniform:EPS slowdown:EPS
 ";
 
 fn parse_dag(s: &str) -> Result<DagFamily, String> {
@@ -372,6 +400,36 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 perf_floor,
                 tol,
                 no_gate,
+            })
+        }
+        "replay" => {
+            let smoke = take_flag(&mut rest, "--smoke");
+            let jobs = take_value(&mut rest, "--jobs")?
+                .map(|v| v.parse::<usize>().map_err(|e| format!("bad --jobs: {e}")))
+                .transpose()?
+                .unwrap_or(0);
+            let out = take_value(&mut rest, "--out")?;
+            let noise = match take_value(&mut rest, "--noise")? {
+                None => mtsp::sim::NoiseModel::None,
+                Some(s) => mtsp::sim::NoiseModel::parse_name(&s).ok_or(format!(
+                    "bad --noise '{s}' (none | uniform:EPS with EPS in [0,1) | slowdown:EPS)"
+                ))?,
+            };
+            let seed = take_value(&mut rest, "--seed")?
+                .map(|v| v.parse::<u64>().map_err(|e| format!("bad --seed: {e}")))
+                .transpose()?
+                .unwrap_or(0);
+            let spec = match (rest.as_slice(), smoke) {
+                ([], true) => None,
+                ([spec], false) => Some(spec.to_string()),
+                _ => return Err("replay needs exactly one spec file, or --smoke".into()),
+            };
+            Ok(Command::Replay {
+                spec,
+                jobs,
+                out,
+                noise,
+                seed,
             })
         }
         "bounds" => {
@@ -648,9 +706,20 @@ fn run(cmd: Command) -> Result<String, String> {
                 },
             );
             eprint!("{}", outcome.metrics.render());
-            std::fs::write(&out_file, outcome.report.to_pretty())
+            // The scenario audit rides along: the built-in arrival grid
+            // replayed through the online session, embedded under
+            // "scenarios" and gated with the rest.
+            let scen_grid = if smoke {
+                mtsp::harness::ScenarioGrid::builtin_smoke()
+            } else {
+                mtsp::harness::ScenarioGrid::builtin_audit()
+            };
+            let scen = mtsp::harness::run_scenario_grid(&scen_grid, jobs);
+            eprint!("{}", scen.metrics.render());
+            let report = mtsp::harness::attach_scenarios(outcome.report, scen.section);
+            std::fs::write(&out_file, report.to_pretty())
                 .map_err(|e| format!("{out_file}: {e}"))?;
-            let summary = outcome.report.get("summary").expect("report has summary");
+            let summary = report.get("summary").expect("report has summary");
             let get_int = |k: &str| summary.get(k).and_then(|v| v.as_i64()).unwrap_or(-1);
             let _ = writeln!(
                 out,
@@ -682,6 +751,31 @@ fn run(cmd: Command) -> Result<String, String> {
                     .and_then(|v| v.as_bool())
                     .unwrap_or(false),
             );
+            let scen_summary = report
+                .get("scenarios")
+                .and_then(|s| s.get("summary"))
+                .expect("report has scenarios.summary");
+            let _ = writeln!(
+                out,
+                "  scenarios: {} cells  ratio_vs_batch max {}  violations {}  failures {}",
+                scen_summary
+                    .get("cells")
+                    .and_then(|v| v.as_i64())
+                    .unwrap_or(-1),
+                scen_summary
+                    .get("ratio_vs_batch_max")
+                    .and_then(|v| v.as_f64())
+                    .map(|r| format!("{r:.6}"))
+                    .unwrap_or_else(|| "n/a".into()),
+                scen_summary
+                    .get("violations")
+                    .and_then(|v| v.as_i64())
+                    .unwrap_or(-1),
+                scen_summary
+                    .get("failures")
+                    .and_then(|v| v.as_i64())
+                    .unwrap_or(-1),
+            );
             let baseline_path = baseline.unwrap_or_else(|| {
                 if smoke {
                     "BENCH_baseline_smoke.json".into()
@@ -690,7 +784,7 @@ fn run(cmd: Command) -> Result<String, String> {
                 }
             });
             if write_baseline {
-                let doc = make_baseline(&outcome.report, perf_floor);
+                let doc = make_baseline(&report, perf_floor);
                 std::fs::write(&baseline_path, doc.to_pretty())
                     .map_err(|e| format!("{baseline_path}: {e}"))?;
                 let _ = writeln!(
@@ -709,12 +803,8 @@ fn run(cmd: Command) -> Result<String, String> {
                     .map_err(|e| format!("{baseline_path}: {e}"))?;
                 let base =
                     mtsp::bench::json::parse(&text).map_err(|e| format!("{baseline_path}: {e}"))?;
-                let problems = check_regression(
-                    &outcome.report,
-                    &base,
-                    Some(outcome.metrics.throughput),
-                    tol,
-                );
+                let problems =
+                    check_regression(&report, &base, Some(outcome.metrics.throughput), tol);
                 if problems.is_empty() {
                     let _ = writeln!(out, "gate: ok vs {baseline_path}");
                 } else {
@@ -727,6 +817,77 @@ fn run(cmd: Command) -> Result<String, String> {
                     }
                     return Err(msg);
                 }
+            }
+        }
+        Command::Replay {
+            spec,
+            jobs,
+            out: out_file,
+            noise,
+            seed,
+        } => {
+            use mtsp::harness::{
+                replay_scenario_report, run_scenario_grid, standalone_scenario_report, ScenarioGrid,
+            };
+            // One verb, two inputs (header-sniffed): a grid of generated
+            // scenarios, or one concrete event file.
+            let (json, metrics_text) = match spec {
+                None => {
+                    let outcome = run_scenario_grid(&ScenarioGrid::builtin_smoke(), jobs);
+                    (
+                        standalone_scenario_report(&outcome.section).to_pretty(),
+                        outcome.metrics.render(),
+                    )
+                }
+                Some(path) => {
+                    let text =
+                        std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+                    let first = text
+                        .lines()
+                        .map(str::trim)
+                        .find(|l| !l.is_empty() && !l.starts_with('#'))
+                        .unwrap_or("");
+                    if first == mtsp::model::textio::SCENARIO_HEADER {
+                        let scenario = mtsp::model::textio::parse_scenario(&text)
+                            .map_err(|e| format!("{path}: {e}"))?;
+                        let cfg = mtsp::sim::ReplayConfig {
+                            noise,
+                            seed,
+                            ..mtsp::sim::ReplayConfig::default()
+                        };
+                        let (report, replan_wall) =
+                            replay_scenario_report(&scenario, &cfg).map_err(|e| e.to_string())?;
+                        (
+                            report.to_pretty(),
+                            format!(
+                                "replay: {} epochs, re-plan total {:.3} ms\n",
+                                report
+                                    .get("epochs")
+                                    .and_then(|e| e.as_array())
+                                    .map_or(0, |e| e.len()),
+                                replan_wall.as_secs_f64() * 1e3
+                            ),
+                        )
+                    } else {
+                        let grid =
+                            ScenarioGrid::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+                        let outcome = run_scenario_grid(&grid, jobs);
+                        (
+                            standalone_scenario_report(&outcome.section).to_pretty(),
+                            outcome.metrics.render(),
+                        )
+                    }
+                }
+            };
+            // Re-plan latency to stderr; the report (stdout or --out)
+            // stays byte-identical across --jobs values.
+            eprint!("{metrics_text}");
+            match out_file {
+                Some(f) => {
+                    std::fs::write(&f, json).map_err(|e| format!("{f}: {e}"))?;
+                    let _ = writeln!(out, "report written to {f}");
+                }
+                None => out.push_str(&json),
             }
         }
         Command::Bounds { m } => {
@@ -1074,6 +1235,110 @@ mod tests {
         let err = audit(false, 1e-9).unwrap_err();
         assert!(err.contains("regression gate failed"), "{err}");
         assert!(err.contains("regressed"), "{err}");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parses_replay() {
+        let cmd = parse_args(&argv("replay --smoke --jobs 4 --out r.json")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Replay {
+                spec: None,
+                jobs: 4,
+                out: Some("r.json".into()),
+                noise: mtsp::sim::NoiseModel::None,
+                seed: 0,
+            }
+        );
+        let cmd = parse_args(&argv("replay sc.txt --noise uniform:0.1 --seed 7")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Replay {
+                spec: Some("sc.txt".into()),
+                jobs: 0,
+                out: None,
+                noise: mtsp::sim::NoiseModel::Uniform { epsilon: 0.1 },
+                seed: 7,
+            }
+        );
+        assert!(parse_args(&argv("replay")).is_err());
+        assert!(parse_args(&argv("replay a b")).is_err());
+        assert!(parse_args(&argv("replay --smoke extra")).is_err());
+        assert!(parse_args(&argv("replay sc.txt --noise uniform:1.5")).is_err());
+        assert!(parse_args(&argv("replay sc.txt --noise bogus")).is_err());
+    }
+
+    #[test]
+    fn replay_grid_and_scenario_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("mtsp-cli-replay-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Built-in smoke grid on stdout: a parseable standalone report.
+        let text = run(Command::Replay {
+            spec: None,
+            jobs: 2,
+            out: None,
+            noise: mtsp::sim::NoiseModel::None,
+            seed: 0,
+        })
+        .unwrap();
+        let report = mtsp::bench::json::parse(&text).unwrap();
+        assert_eq!(
+            report.get("format").and_then(|v| v.as_str()),
+            Some(mtsp::harness::SCENARIO_REPORT_FORMAT)
+        );
+        let s = report.get("summary").unwrap();
+        assert_eq!(s.get("violations").and_then(|v| v.as_i64()), Some(0));
+        assert_eq!(s.get("failures").and_then(|v| v.as_i64()), Some(0));
+
+        // A concrete scenario file: staggered arrivals + a machine drop.
+        let ins = random_instance(DagFamily::Layered, CurveFamily::PowerLaw, 8, 4, 3);
+        let order = ins.dag().topological_order();
+        let mut arrival = vec![0.0; ins.n()];
+        for (k, &j) in order.iter().enumerate() {
+            arrival[j] = k as f64 * 0.5;
+        }
+        let sc = mtsp::model::textio::Scenario::new(ins, arrival, vec![(1.25, 2)]).unwrap();
+        let sc_path = dir.join("scenario.txt");
+        std::fs::write(&sc_path, mtsp::model::textio::write_scenario(&sc)).unwrap();
+        let text = run(Command::Replay {
+            spec: Some(sc_path.to_string_lossy().into_owned()),
+            jobs: 0,
+            out: None,
+            noise: mtsp::sim::NoiseModel::Slowdown { epsilon: 0.2 },
+            seed: 9,
+        })
+        .unwrap();
+        let report = mtsp::bench::json::parse(&text).unwrap();
+        assert_eq!(
+            report.get("format").and_then(|v| v.as_str()),
+            Some(mtsp::harness::SINGLE_REPLAY_FORMAT)
+        );
+        assert_eq!(report.get("feasible").and_then(|v| v.as_bool()), Some(true));
+        assert!(report.get("epochs").unwrap().as_array().unwrap().len() >= 2);
+
+        // Grid spec from a file, written to --out.
+        let grid_path = dir.join("grid.txt");
+        std::fs::write(
+            &grid_path,
+            "mtsp-replay v1\nname t\ndags chain\ncurves power-law\nsizes 6\nmachines 2\n\
+             seeds 1\npatterns periodic\ngaps 1.0\nnoises none\n",
+        )
+        .unwrap();
+        let out_path = dir.join("report.json");
+        let text = run(Command::Replay {
+            spec: Some(grid_path.to_string_lossy().into_owned()),
+            jobs: 1,
+            out: Some(out_path.to_string_lossy().into_owned()),
+            noise: mtsp::sim::NoiseModel::None,
+            seed: 0,
+        })
+        .unwrap();
+        assert!(text.contains("report written"));
+        mtsp::bench::json::parse(&std::fs::read_to_string(&out_path).unwrap()).unwrap();
 
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -44,21 +44,21 @@ fn smoke_schedules_cross_validate_in_sim() {
 
 /// The committed smoke baseline must gate the current code green — this
 /// is the same check CI runs, kept in-tree so a quality regression fails
-/// `cargo test` before it ever reaches CI.
+/// `cargo test` before it ever reaches CI. The audit report is the
+/// *merged* document: the corpus quality report plus the online scenario
+/// audit under `"scenarios"`.
 #[test]
 fn committed_smoke_baseline_gates_green() {
     let text = std::fs::read_to_string("BENCH_baseline_smoke.json")
         .expect("BENCH_baseline_smoke.json is committed at the workspace root");
     let baseline = json::parse(&text).unwrap();
     let outcome = run_corpus(&Corpus::builtin_smoke(), &RunConfig::default());
+    let scen = mtsp::harness::run_scenario_grid(&mtsp::harness::ScenarioGrid::builtin_smoke(), 0);
+    let report = mtsp::harness::attach_scenarios(outcome.report, scen.section);
     // No measured throughput here: the perf floor is CI's concern; this
     // test pins quality only.
-    let problems = mtsp::harness::check_regression(
-        &outcome.report,
-        &baseline,
-        None,
-        mtsp::harness::DEFAULT_RATIO_TOL,
-    );
+    let problems =
+        mtsp::harness::check_regression(&report, &baseline, None, mtsp::harness::DEFAULT_RATIO_TOL);
     assert!(problems.is_empty(), "{problems:#?}");
 }
 

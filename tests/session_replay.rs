@@ -1,0 +1,150 @@
+//! Integration tests of the online session subsystem: boundary-ε noise
+//! properties of the replay (proptest), batch equivalence of the session
+//! path with the offline pipeline, and byte-determinism of `mtsp replay`
+//! across worker counts through the real binary.
+
+use mtsp::core::two_phase::schedule_jz;
+use mtsp::core::{list_schedule, Priority};
+use mtsp::model::generate::{random_instance, CurveFamily, DagFamily};
+use mtsp::model::textio::Scenario;
+use mtsp::sim::{
+    arrival_scenario, replay, replay_feasible, try_execute_online, ArrivalPattern, NoiseModel,
+    ReplayConfig,
+};
+use proptest::prelude::*;
+
+/// The boundary amplitudes of every noise model: `ε = 0` and the largest
+/// representable ε inside each domain.
+fn boundary_noise(kind: usize) -> NoiseModel {
+    match kind {
+        0 => NoiseModel::None,
+        1 => NoiseModel::Uniform { epsilon: 0.0 },
+        2 => NoiseModel::Uniform {
+            epsilon: 1.0 - f64::EPSILON,
+        },
+        3 => NoiseModel::Slowdown { epsilon: 0.0 },
+        _ => NoiseModel::Slowdown { epsilon: 4.0 },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Online-replay property: under every noise model at boundary ε,
+    /// every realized duration stays strictly positive and the realized
+    /// makespan finite — across DAG/curve families and arrival patterns,
+    /// through the full session replay path.
+    #[test]
+    fn replay_durations_positive_and_makespan_finite_at_boundary_eps(
+        dag_idx in 0usize..8,
+        curve_idx in 0usize..6,
+        pattern_idx in 0usize..4,
+        noise_kind in 0usize..5,
+        seed in 0u64..10_000,
+    ) {
+        let noise = boundary_noise(noise_kind);
+        prop_assert!(noise.validate().is_ok());
+        let sc = arrival_scenario(
+            DagFamily::ALL[dag_idx],
+            CurveFamily::ALL[curve_idx],
+            8,
+            4,
+            ArrivalPattern::ALL[pattern_idx],
+            0.6,
+            seed,
+        );
+        let out = replay(&sc, &ReplayConfig { noise, seed, ..ReplayConfig::default() })
+            .unwrap_or_else(|e| panic!("{noise:?} seed={seed}: replay failed: {e}"));
+        for (j, t) in out.schedule.tasks().iter().enumerate() {
+            prop_assert!(t.duration > 0.0, "task {j} realized duration {}", t.duration);
+        }
+        prop_assert!(
+            out.makespan.is_finite() && out.makespan > 0.0,
+            "makespan {}",
+            out.makespan
+        );
+        prop_assert!(replay_feasible(&sc, &out.schedule));
+        for e in &out.epochs {
+            prop_assert!(e.cstar.is_finite() && e.cstar >= 0.0);
+        }
+    }
+
+    /// The same property through the fixed-allotment online executor.
+    #[test]
+    fn execute_online_durations_positive_at_boundary_eps(
+        noise_kind in 0usize..5,
+        seed in 0u64..10_000,
+    ) {
+        let ins = random_instance(DagFamily::Layered, CurveFamily::Mixed, 12, 4, seed);
+        let alloc: Vec<usize> = (0..ins.n()).map(|j| 1 + j % 3).collect();
+        let s = try_execute_online(&ins, &alloc, Priority::TaskId, boundary_noise(noise_kind), seed)
+            .unwrap_or_else(|e| panic!("seed={seed}: execute_online failed: {e}"));
+        for j in 0..ins.n() {
+            prop_assert!(s.task(j).duration > 0.0);
+        }
+        prop_assert!(s.makespan().is_finite());
+    }
+}
+
+/// `NoiseModel::None` reproduces `list_schedule` bit-exactly through the
+/// session replay path: the session's epoch-0 allotments equal the batch
+/// pipeline's, and the realized schedule equals LIST on them.
+#[test]
+fn zero_noise_batch_replay_is_bit_exact() {
+    for (n, m, seed) in [(14usize, 4usize, 0u64), (22, 8, 1), (30, 6, 2)] {
+        let ins = random_instance(DagFamily::Layered, CurveFamily::Mixed, n, m, seed);
+        let rep = schedule_jz(&ins).unwrap();
+        let out = replay(&Scenario::batch(ins.clone()), &ReplayConfig::default()).unwrap();
+        assert_eq!(
+            out.schedule.allotments(),
+            rep.alloc,
+            "n={n} m={m} seed={seed}"
+        );
+        let expect = list_schedule(&ins, &rep.alloc, Priority::TaskId);
+        assert_eq!(out.schedule, expect, "n={n} m={m} seed={seed}");
+        assert_eq!(out.makespan.to_bits(), expect.makespan().to_bits());
+    }
+}
+
+/// `mtsp replay --smoke` emits byte-identical reports for `--jobs 1` vs
+/// `--jobs 4`, on stdout and through `--out` — the same determinism
+/// contract the batch path enforces, checked through the real binary.
+#[test]
+fn replay_report_byte_identical_across_jobs() {
+    let dir = std::env::temp_dir().join(format!("mtsp-replay-determinism-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let run = |jobs: &str, out: Option<&std::path::Path>| -> Vec<u8> {
+        let mut cmd = std::process::Command::new(env!("CARGO_BIN_EXE_mtsp"));
+        cmd.args(["replay", "--smoke", "--jobs", jobs]);
+        if let Some(p) = out {
+            cmd.arg("--out").arg(p);
+        }
+        let res = cmd.output().expect("mtsp replay executes");
+        assert!(res.status.success(), "replay failed: {res:?}");
+        match out {
+            Some(p) => std::fs::read(p).unwrap(),
+            None => res.stdout,
+        }
+    };
+
+    let stdout1 = run("1", None);
+    assert!(!stdout1.is_empty());
+    mtsp::bench::json::parse(std::str::from_utf8(&stdout1).unwrap())
+        .expect("stdout is one JSON document");
+    assert_eq!(
+        stdout1,
+        run("4", None),
+        "stdout differs between --jobs 1 and 4"
+    );
+
+    let f1 = dir.join("r1.json");
+    let f4 = dir.join("r4.json");
+    let a = run("1", Some(&f1));
+    let b = run("4", Some(&f4));
+    assert_eq!(a, b, "--out files differ between --jobs 1 and 4");
+    assert_eq!(a, stdout1, "--out and stdout disagree");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
