@@ -24,6 +24,7 @@
 //! | `tightness`   | E7 — constructive lower bounds on the worst case |
 
 pub mod json;
+pub mod trace;
 
 use mtsp_core::two_phase::{schedule_jz, JzReport};
 use mtsp_model::generate::{random_instance, CurveFamily, DagFamily};

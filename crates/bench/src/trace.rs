@@ -1,0 +1,120 @@
+//! Chrome trace-event export for [`mtsp_obs`] span profiles.
+//!
+//! Converts drained [`SpanEvent`]s into the Trace Event Format that
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev) load: a JSON
+//! object with a `traceEvents` array of `"X"` (complete) events,
+//! timestamps and durations in **microseconds**, one row (`tid`) per
+//! recording lane. The conversion lives here, not in `mtsp-obs`, so the
+//! observability crate stays dependency-free — the JSON writer is this
+//! crate's [`json`](crate::json) module.
+
+use crate::json::Value;
+use mtsp_obs::SpanEvent;
+
+/// Builds a Chrome trace-event document from drained span events.
+///
+/// Each span becomes one complete (`"ph": "X"`) event with `ts`/`dur` in
+/// fractional microseconds since the collector epoch; `pid` is always 0
+/// and `tid` is the recording thread's lane id, so parallel workers render
+/// as separate rows. Metadata events name the process and each lane.
+pub fn chrome_trace(events: &[SpanEvent]) -> Value {
+    let mut out: Vec<Value> = Vec::with_capacity(events.len() + 1);
+    out.push(Value::object([
+        ("args", Value::object([("name", Value::from("mtsp"))])),
+        ("name", Value::from("process_name")),
+        ("ph", Value::from("M")),
+        ("pid", Value::from(0u64)),
+        ("tid", Value::from(0u64)),
+    ]));
+    let mut lanes: Vec<u64> = events.iter().map(|e| e.lane).collect();
+    lanes.sort_unstable();
+    lanes.dedup();
+    for lane in lanes {
+        out.push(Value::object([
+            (
+                "args",
+                Value::object([("name", Value::from(format!("lane {lane}")))]),
+            ),
+            ("name", Value::from("thread_name")),
+            ("ph", Value::from("M")),
+            ("pid", Value::from(0u64)),
+            ("tid", Value::from(lane)),
+        ]));
+    }
+    for e in events {
+        out.push(Value::object([
+            ("dur", Value::from(e.dur_ns as f64 / 1e3)),
+            ("name", Value::from(e.label)),
+            ("ph", Value::from("X")),
+            ("pid", Value::from(0u64)),
+            ("tid", Value::from(e.lane)),
+            ("ts", Value::from(e.start_ns as f64 / 1e3)),
+        ]));
+    }
+    Value::object([
+        ("displayTimeUnit", Value::from("ms")),
+        ("traceEvents", Value::Array(out)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn ev(label: &'static str, lane: u64, start_ns: u64, dur_ns: u64) -> SpanEvent {
+        SpanEvent {
+            label,
+            lane,
+            start_ns,
+            dur_ns,
+        }
+    }
+
+    #[test]
+    fn trace_document_round_trips_and_carries_every_span() {
+        let events = vec![
+            ev("phase1.bisection", 0, 0, 2_500),
+            ev("phase1.lp", 0, 100, 1_000),
+            ev("phase2.list", 1, 3_000, 400),
+        ];
+        let doc = chrome_trace(&events);
+        // Strict re-parse: the document is valid JSON for any consumer.
+        let back = json::parse(&doc.to_pretty()).expect("trace JSON parses");
+        let arr = back
+            .get("traceEvents")
+            .and_then(Value::as_array)
+            .expect("traceEvents array");
+        // 1 process metadata + 2 lane metadata + 3 spans.
+        assert_eq!(arr.len(), 6);
+        let complete: Vec<&Value> = arr
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+            .collect();
+        assert_eq!(complete.len(), 3);
+        let first = complete
+            .iter()
+            .find(|e| e.get("name").and_then(Value::as_str) == Some("phase1.bisection"))
+            .expect("span present");
+        assert_eq!(first.get("ts").and_then(Value::as_f64), Some(0.0));
+        assert_eq!(first.get("dur").and_then(Value::as_f64), Some(2.5));
+        assert_eq!(first.get("tid").and_then(Value::as_i64), Some(0));
+        // Lane metadata rows exist for both lanes.
+        let meta_names: Vec<&str> = arr
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("M"))
+            .filter_map(|e| e.get("args")?.get("name")?.as_str())
+            .collect();
+        assert!(meta_names.contains(&"mtsp"));
+        assert!(meta_names.contains(&"lane 0"));
+        assert!(meta_names.contains(&"lane 1"));
+    }
+
+    #[test]
+    fn empty_profile_is_still_a_valid_document() {
+        let doc = chrome_trace(&[]);
+        let back = json::parse(&doc.to_pretty()).unwrap();
+        let arr = back.get("traceEvents").and_then(Value::as_array).unwrap();
+        assert_eq!(arr.len(), 1, "only the process metadata event");
+    }
+}

@@ -46,6 +46,7 @@
 use crate::error::CoreError;
 use mtsp_lp::{Lp, Relation, SolveContext, SolverOptions, Status};
 use mtsp_model::{Instance, RoundingOutcome, WorkFunction};
+use mtsp_obs::Counter;
 
 /// Result of phase 1: the fractional LP optimum.
 #[derive(Debug, Clone, PartialEq)]
@@ -386,6 +387,7 @@ impl DeadlineSweep {
         deadline: f64,
         opts: &SolverOptions,
     ) -> Result<Option<(f64, Vec<f64>, Vec<f64>)>, CoreError> {
+        ctx.counters_mut().inc(Counter::BisectionProbes);
         let sol = if self.solved_once {
             for &c in &self.completion {
                 ctx.set_var_bounds(c, 0.0, deadline)?;

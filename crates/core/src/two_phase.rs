@@ -10,6 +10,7 @@ use mtsp_analysis::minmax;
 use mtsp_analysis::ratio::{our_params, Params};
 use mtsp_lp::{SolveContext, SolverOptions};
 use mtsp_model::{Instance, RoundingOutcome};
+use mtsp_obs::{Counter, Counters};
 
 /// Which phase-1 formulation to solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -62,6 +63,11 @@ pub struct JzReport {
     pub guarantee: f64,
     /// `max{L*, W*/m}` — the lower bound used for observed ratios.
     pub lower_bound: f64,
+    /// Deterministic counter *delta* attributed to this solve: the
+    /// context's counters diffed around [`schedule_jz_in`]. A cached
+    /// report replays the identical delta, so aggregated totals are
+    /// byte-stable across cache modes and worker counts.
+    pub counters: Counters,
 }
 
 impl JzReport {
@@ -132,20 +138,37 @@ pub fn schedule_jz_in(
     }
     let params = cfg.params.unwrap_or_else(|| our_params(m));
     validate_params(&params, m)?;
+    let counters_at_entry = *ctx.counters();
 
     // Phase 1: LP + rounding.
     let lp = match cfg.phase1 {
-        Phase1::Lp => solve_allotment_in(ctx, ins, &cfg.solver)?,
-        Phase1::Bisection => solve_allotment_bisection_in(ctx, ins, &cfg.solver, 1e-7)?,
+        Phase1::Lp => {
+            let _span = mtsp_obs::span!("phase1.lp");
+            solve_allotment_in(ctx, ins, &cfg.solver)?
+        }
+        Phase1::Bisection => {
+            let _span = mtsp_obs::span!("phase1.bisection");
+            solve_allotment_bisection_in(ctx, ins, &cfg.solver, 1e-7)?
+        }
     };
-    let (alloc_prime, rounding) = round_allotment(ins, &lp.x, params.rho)?;
+    ctx.counters_mut().inc(Counter::RoundingPasses);
+    let (alloc_prime, rounding) = {
+        let _span = mtsp_obs::span!("phase1.rounding");
+        round_allotment(ins, &lp.x, params.rho)?
+    };
 
     // Phase 2: cap at mu and LIST.
     let alloc: Vec<usize> = alloc_prime.iter().map(|&l| l.min(params.mu)).collect();
-    let schedule = list_schedule(ins, &alloc, cfg.priority);
+    ctx.counters_mut()
+        .add(Counter::ListSteps, alloc.len() as u64);
+    let schedule = {
+        let _span = mtsp_obs::span!("phase2.list");
+        list_schedule(ins, &alloc, cfg.priority)
+    };
 
     let guarantee = minmax::objective(m, params.mu, params.rho);
     let lower_bound = lp.lower_bound(m).max(ins.combinatorial_lower_bound());
+    let counters = ctx.counters().diff(&counters_at_entry);
     Ok(JzReport {
         schedule,
         params,
@@ -155,6 +178,7 @@ pub fn schedule_jz_in(
         alloc,
         guarantee,
         lower_bound,
+        counters,
     })
 }
 

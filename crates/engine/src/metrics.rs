@@ -33,9 +33,16 @@ pub struct BatchMetrics {
     /// disabled).
     pub cache: CacheStats,
     /// Mean per-job solve latency.
+    ///
+    /// Rounding contract: the sum of latencies is taken exactly (128-bit
+    /// nanoseconds) and divided by the job count with a single round
+    /// toward zero at the end — the mean is never off by more than one
+    /// nanosecond, regardless of batch size.
     pub mean_latency: Duration,
     /// Median per-job solve latency.
     pub p50_latency: Duration,
+    /// 90th-percentile per-job solve latency.
+    pub p90_latency: Duration,
     /// 99th-percentile per-job solve latency.
     pub p99_latency: Duration,
     /// Worst per-job solve latency.
@@ -53,12 +60,16 @@ impl BatchMetrics {
     ) -> Self {
         let mut sorted = latencies.to_vec();
         sorted.sort_unstable();
-        let total: Duration = sorted.iter().sum();
         let jobs = sorted.len();
+        // Exact 128-bit nanosecond summation with one final round-down:
+        // `Duration / u32` would round each division separately, and the
+        // old `total / jobs` form truncated sub-nanosecond remainders per
+        // call site — see the `mean_latency` field docs for the contract.
+        let total_ns: u128 = sorted.iter().map(|d| d.as_nanos()).sum();
         let mean = if jobs == 0 {
             Duration::ZERO
         } else {
-            total / jobs as u32
+            Duration::from_nanos((total_ns / jobs as u128) as u64)
         };
         let wall_s = wall.as_secs_f64();
         BatchMetrics {
@@ -74,6 +85,7 @@ impl BatchMetrics {
             cache,
             mean_latency: mean,
             p50_latency: percentile(&sorted, 0.50),
+            p90_latency: percentile(&sorted, 0.90),
             p99_latency: percentile(&sorted, 0.99),
             max_latency: sorted.last().copied().unwrap_or(Duration::ZERO),
         }
@@ -94,9 +106,10 @@ impl BatchMetrics {
             self.throughput
         ));
         s.push_str(&format!(
-            "latency     mean {:.3} ms  p50 {:.3} ms  p99 {:.3} ms  max {:.3} ms\n",
+            "latency     mean {:.3} ms  p50 {:.3} ms  p90 {:.3} ms  p99 {:.3} ms  max {:.3} ms\n",
             self.mean_latency.as_secs_f64() * 1e3,
             self.p50_latency.as_secs_f64() * 1e3,
+            self.p90_latency.as_secs_f64() * 1e3,
             self.p99_latency.as_secs_f64() * 1e3,
             self.max_latency.as_secs_f64() * 1e3,
         ));
@@ -139,11 +152,42 @@ mod tests {
         assert_eq!(m.workers, 3);
         assert_eq!(m.mean_latency, ms(5));
         assert_eq!(m.p50_latency, ms(4));
+        assert_eq!(m.p90_latency, ms(10));
         assert_eq!(m.max_latency, ms(10));
         assert!((m.throughput - 40.0).abs() < 1e-9);
         let text = m.render();
         assert!(text.contains("jobs/s"));
+        assert!(text.contains("p90"));
         assert!(text.contains("p99"));
+    }
+
+    /// The mean is nanosecond-exact: summed at 128-bit precision, one
+    /// round-down at the end. Three 1ns jobs plus one 2ns job = 5ns / 4
+    /// jobs = 1ns (rounded down from 1.25) — the old `Duration / u32`
+    /// shape agreed here, but summing in coarser units or dividing
+    /// per-element would not.
+    #[test]
+    fn mean_latency_is_nanosecond_exact() {
+        let ns = Duration::from_nanos;
+        let m = BatchMetrics::from_latencies(
+            &[ns(1), ns(1), ns(1), ns(2)],
+            0,
+            1,
+            ns(10),
+            CacheStats::default(),
+        );
+        assert_eq!(m.mean_latency, ns(1));
+        // Large values that would overflow a u64 *millisecond* sum still
+        // divide exactly: 3 × ~585 years in ns fits u128, not u64 × 3.
+        let big = Duration::from_secs(u64::MAX / 1_000_000_000);
+        let m = BatchMetrics::from_latencies(
+            &[big, big, big],
+            0,
+            1,
+            Duration::from_secs(1),
+            CacheStats::default(),
+        );
+        assert_eq!(m.mean_latency, big);
     }
 
     #[test]

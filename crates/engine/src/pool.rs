@@ -53,6 +53,7 @@ pub fn solve_one(
     cache: Option<&SolveCache>,
     ctx: &mut SolveContext,
 ) -> (JobResult, CacheOutcome) {
+    let _span = mtsp_obs::span!("engine.job");
     let Some(cache) = cache else {
         return (schedule_jz_in(ctx, ins, cfg).map(Arc::new), None);
     };

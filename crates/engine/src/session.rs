@@ -41,6 +41,7 @@ use mtsp_core::CoreError;
 use mtsp_dag::Dag;
 use mtsp_lp::SolveContext;
 use mtsp_model::{assumptions, Instance, ModelError, Profile};
+use mtsp_obs::{Counter, Counters};
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -218,6 +219,10 @@ pub struct EpochStats {
     pub cstar: f64,
     /// Simplex iterations of the re-solve.
     pub lp_iterations: usize,
+    /// Deterministic counter delta attributed to this epoch (LP events of
+    /// the re-solve plus the session's own epoch/frozen-task tallies) — a
+    /// pure function of the event history, independent of context reuse.
+    pub counters: Counters,
     /// Re-plan wall-clock latency (non-deterministic).
     pub wall: Duration,
 }
@@ -502,15 +507,21 @@ impl ScheduleSession {
     /// plan itself is a pure function of the event history (context reuse
     /// and warm starts never change a byte — asserted in tests).
     pub fn replan(&mut self, t: f64) -> Result<&EpochStats, SessionError> {
+        let _span = mtsp_obs::span!("engine.replan");
         let t0 = Instant::now();
         self.advance(t)?;
         let pending = self.pending();
+        let frozen = (self.n() - pending.len()) as u64;
         if pending.is_empty() {
+            let mut counters = Counters::new();
+            counters.inc(Counter::SessionEpochs);
+            counters.add(Counter::FrozenTasks, frozen);
             self.epochs.push(EpochStats {
                 time: self.now,
                 pending: 0,
                 cstar: 0.0,
                 lp_iterations: 0,
+                counters,
                 wall: t0.elapsed(),
             });
             return Ok(self.epochs.last().expect("just pushed"));
@@ -565,6 +576,9 @@ impl ScheduleSession {
         } else {
             &mut cold_ctx
         };
+        let counters_at_entry = *ctx.counters();
+        ctx.counters_mut().inc(Counter::SessionEpochs);
+        ctx.counters_mut().add(Counter::FrozenTasks, frozen);
         let solver = &self.cfg.jz.solver;
         let lp = match self.cfg.jz.phase1 {
             Phase1::Lp => solve_allotment_with_releases_in(ctx, &sub, &releases, solver)?,
@@ -572,15 +586,18 @@ impl ScheduleSession {
                 solve_allotment_bisection_with_releases_in(ctx, &sub, &releases, solver, 1e-7)?
             }
         };
+        ctx.counters_mut().inc(Counter::RoundingPasses);
         let (alloc_prime, _) = round_allotment(&sub, &lp.x, params.rho)?;
         for (k, &j) in pending.iter().enumerate() {
             self.alloc[j] = Some(alloc_prime[k].min(params.mu));
         }
+        let counters = ctx.counters().diff(&counters_at_entry);
         self.epochs.push(EpochStats {
             time: self.now,
             pending: pending.len(),
             cstar: lp.cstar,
             lp_iterations: lp.iterations,
+            counters,
             wall: t0.elapsed(),
         });
         Ok(self.epochs.last().expect("just pushed"))

@@ -17,6 +17,7 @@ use mtsp_core::two_phase::JzReport;
 use mtsp_core::CoreError;
 use mtsp_model::textio::{CorpusCell, CorpusSpec};
 use mtsp_model::Instance;
+use mtsp_obs::Counters;
 use std::collections::BTreeMap;
 
 /// Magic `format` member of the report.
@@ -33,6 +34,14 @@ pub(crate) struct StatAgg {
     pub(crate) max: f64,
     pub(crate) sum: f64,
     pub(crate) count: usize,
+}
+
+/// Renders a counter set as a JSON object keyed by the stable dotted wire
+/// names, every counter present even when zero — so two reports are
+/// comparable key by key and a vanished counter is visible as a schema
+/// change, not a silent hole.
+pub fn counters_to_json(c: &Counters) -> Value {
+    Value::object(c.iter().map(|(k, v)| (k.name(), v)))
 }
 
 impl StatAgg {
@@ -145,6 +154,11 @@ pub struct AuditAccumulator {
     /// First few failure messages, for diagnosis (capped; the counts are
     /// authoritative).
     failure_samples: Vec<String>,
+    /// Sum of per-solve counter deltas over every solved instance. Each
+    /// [`JzReport`] carries the delta its solve produced — a cache hit
+    /// replays the stored delta — so this total is identical for any
+    /// worker count, cache mode, or context-reuse pattern.
+    counters: Counters,
 }
 
 impl AuditAccumulator {
@@ -153,6 +167,7 @@ impl AuditAccumulator {
         AuditAccumulator {
             groups: BTreeMap::new(),
             failure_samples: Vec::new(),
+            counters: Counters::new(),
         }
     }
 
@@ -194,6 +209,7 @@ impl AuditAccumulator {
         let gang = gang_baseline(ins).makespan();
         let ltw = ltw_baseline(ins).map(|r| r.schedule.makespan());
 
+        self.counters.merge(&rep.counters);
         let g = self.group(cell);
         g.instances += 1;
         if !cross_validates {
@@ -291,6 +307,7 @@ impl AuditAccumulator {
         ]);
         Value::object([
             ("corpus", corpus),
+            ("counters", counters_to_json(&self.counters)),
             ("format", Value::from(REPORT_FORMAT)),
             (
                 "groups",
@@ -383,6 +400,23 @@ mod tests {
             Some(true)
         );
         assert_eq!(s.get("instances").and_then(Value::as_i64), Some(2));
+        // The counters section lists every counter by wire name; solving
+        // two instances must have burned simplex pivots and LIST steps.
+        let c = report.get("counters").expect("counters section present");
+        for counter in mtsp_obs::Counter::ALL {
+            assert!(
+                c.get(counter.name()).is_some(),
+                "missing {}",
+                counter.name()
+            );
+        }
+        assert!(c.get("lp.simplex_iterations").unwrap().as_i64().unwrap() > 0);
+        assert!(c.get("core.list_steps").unwrap().as_i64().unwrap() > 0);
+        assert_eq!(
+            c.get("engine.session_epochs").and_then(Value::as_i64),
+            Some(0),
+            "batch audits never re-plan sessions"
+        );
     }
 
     #[test]

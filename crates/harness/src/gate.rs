@@ -166,6 +166,19 @@ pub fn check_regression(
         }
     }
 
+    // Deterministic counters: algorithmic work (simplex pivots, probes,
+    // LIST steps…) may not grow beyond tolerance. The counters are
+    // byte-stable across worker counts and cache modes, so growth means
+    // the algorithm itself got more expensive — a perf regression caught
+    // without timing anything. Presence must match between report and
+    // baseline; counters new in the current report are additive and pass.
+    match (current.get("counters"), baseline.get("counters")) {
+        (None, None) => {}
+        (Some(_), None) => problems.push("counters section is new; regenerate the baseline".into()),
+        (None, Some(_)) => problems.push("counters section disappeared from the report".into()),
+        (Some(cur), Some(base)) => check_counters(cur, base, ratio_tol, &mut problems),
+    }
+
     // The scenario (online replay) section, when present: same shape of
     // checks — grid identity, hard invariants, per-group ratio
     // regressions. Presence must match between report and baseline.
@@ -191,6 +204,34 @@ pub fn check_regression(
     }
 
     problems
+}
+
+/// Counters half of [`check_regression`]: every baseline counter must
+/// still exist and must not exceed `baseline · (1 + tol)`. Shrinking is
+/// always fine (the gate is one-sided, like the ratio checks); a counter
+/// present only in the current report is a new instrument, not a
+/// regression.
+fn check_counters(current: &Value, baseline: &Value, tol: f64, problems: &mut Vec<String>) {
+    let (Some(cur), Some(base)) = (current.as_object(), baseline.as_object()) else {
+        problems.push("counters: not a JSON object".into());
+        return;
+    };
+    for (name, bval) in base {
+        let Some(b) = bval.as_i64() else {
+            problems.push(format!("baseline counter '{name}' is not an integer"));
+            continue;
+        };
+        match cur.get(name).and_then(Value::as_i64) {
+            Some(c) => {
+                if c as f64 > b as f64 * (1.0 + tol) {
+                    problems.push(format!(
+                        "counter '{name}' regressed {b} -> {c} (tol {tol:e})"
+                    ));
+                }
+            }
+            None => problems.push(format!("counter '{name}' missing from the report")),
+        }
+    }
 }
 
 /// Scenario-section half of [`check_regression`].
@@ -364,6 +405,82 @@ mod tests {
             problems
                 .iter()
                 .any(|p| p.contains("disappeared") || p.contains("is new")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn counter_regressions_are_caught() {
+        let report = smoke_report();
+        // Halve one baseline counter: the unchanged current run now does
+        // "more" algorithmic work than the baseline records.
+        let mut baseline = make_baseline(&report, 0.5);
+        let Value::Object(map) = &mut baseline else {
+            unreachable!()
+        };
+        let Some(Value::Object(counters)) = map.get_mut("counters") else {
+            panic!("report has no counters section");
+        };
+        let pivots = counters
+            .get("lp.simplex_iterations")
+            .and_then(Value::as_i64)
+            .expect("pivot counter present");
+        assert!(pivots > 0, "smoke corpus must burn simplex pivots");
+        counters.insert("lp.simplex_iterations".into(), Value::Int(pivots / 2));
+        let problems = check_regression(&report, &baseline, None, DEFAULT_RATIO_TOL);
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("lp.simplex_iterations") && p.contains("regressed")),
+            "{problems:?}"
+        );
+
+        // A generous tolerance absorbs the same growth.
+        let problems = check_regression(&report, &baseline, None, 2.0);
+        assert!(
+            !problems.iter().any(|p| p.contains("regressed")),
+            "{problems:?}"
+        );
+
+        // A baseline counter vanishing from the report is a schema break.
+        let mut report2 = report.clone();
+        let Value::Object(map) = &mut report2 else {
+            unreachable!()
+        };
+        let Some(Value::Object(counters)) = map.get_mut("counters") else {
+            unreachable!()
+        };
+        counters.remove("core.list_steps");
+        let baseline = make_baseline(&report, 0.5);
+        let problems = check_regression(&report2, &baseline, None, DEFAULT_RATIO_TOL);
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("core.list_steps") && p.contains("missing")),
+            "{problems:?}"
+        );
+
+        // Presence of the section must match in both directions.
+        let mut stripped = report.clone();
+        let Value::Object(map) = &mut stripped else {
+            unreachable!()
+        };
+        map.remove("counters");
+        let problems = check_regression(&stripped, &baseline, None, DEFAULT_RATIO_TOL);
+        assert!(
+            problems.iter().any(|p| p.contains("disappeared")),
+            "{problems:?}"
+        );
+        let problems = check_regression(
+            &report,
+            &make_baseline(&stripped, 0.5),
+            None,
+            DEFAULT_RATIO_TOL,
+        );
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("counters section is new")),
             "{problems:?}"
         );
     }

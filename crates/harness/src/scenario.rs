@@ -16,7 +16,7 @@
 //!
 //! [`ScheduleSession`]: mtsp_engine::ScheduleSession
 
-use crate::audit::StatAgg;
+use crate::audit::{counters_to_json, StatAgg};
 use mtsp_bench::json::Value;
 use mtsp_core::two_phase::schedule_jz;
 use mtsp_model::generate::{CurveFamily, DagFamily};
@@ -727,6 +727,7 @@ pub fn replay_scenario_report(
         .map(|e| {
             Value::object([
                 ("arrivals", Value::from(e.arrivals)),
+                ("counters", counters_to_json(&e.counters)),
                 ("cstar", Value::from(e.cstar)),
                 ("lp_iterations", Value::from(e.lp_iterations)),
                 ("machine_change", Value::from(e.machine_change)),

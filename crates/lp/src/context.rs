@@ -34,6 +34,7 @@
 use crate::error::LpError;
 use crate::problem::{Lp, VarId};
 use crate::simplex::{Core, Solution, SolverOptions};
+use mtsp_obs::{Counter, Counters};
 
 /// A reusable LP solve context: scratch buffers, the current basis and
 /// factorization, and the mutate-and-[`resolve`](SolveContext::resolve)
@@ -95,13 +96,34 @@ impl SolveContext {
         self.loaded
     }
 
+    /// Deterministic event counters accumulated by this context: every
+    /// solve and resolve adds its simplex iterations, FTRAN/BTRAN
+    /// applications, refactorizations and solve-kind tallies here, and
+    /// higher layers (`mtsp-core`, `mtsp-engine`) count their own events
+    /// through [`SolveContext::counters_mut`]. Counters are never reset
+    /// implicitly — callers snapshot with `counters().clone()` and
+    /// [`mtsp_obs::Counters::diff`] to attribute deltas to a solve.
+    #[inline]
+    pub fn counters(&self) -> &Counters {
+        self.core.counters()
+    }
+
+    /// Mutable access to the counter registry (see
+    /// [`SolveContext::counters`]).
+    #[inline]
+    pub fn counters_mut(&mut self) -> &mut Counters {
+        self.core.counters_mut()
+    }
+
     /// Solves `lp` from a cold start, (re)building the standard form in
     /// place. Equivalent to [`Lp::solve_with`] but reuses this context's
     /// buffers and leaves the final basis loaded for
     /// [`SolveContext::resolve`].
     pub fn solve(&mut self, lp: &Lp, opts: &SolverOptions) -> Result<Solution, LpError> {
+        let _span = mtsp_obs::span!("lp.solve");
         lp.validate()?;
         self.core.load(lp, opts.tol);
+        self.core.counters_mut().inc(Counter::LpBuilds);
         self.loaded = true;
         self.core.solve_cold(opts)
     }
@@ -165,6 +187,7 @@ impl SolveContext {
     /// unusable); without it, a full cold solve of the mutated model runs.
     /// Either way the model stays loaded for further mutations.
     pub fn resolve(&mut self, opts: &SolverOptions) -> Result<Solution, LpError> {
+        let _span = mtsp_obs::span!("lp.resolve");
         self.require_loaded()?;
         self.core.set_tol(opts.tol);
         if opts.warm_start {

@@ -76,6 +76,7 @@ pub mod tableau;
 pub use certify::verify_optimality;
 pub use context::SolveContext;
 pub use error::LpError;
+pub use mtsp_obs::{Counter, Counters};
 pub use presolve::{presolve, solve_presolved, Presolved};
 pub use problem::{Lp, Relation, VarId};
 pub use simplex::{Solution, SolverOptions, Status};

@@ -33,6 +33,7 @@ use crate::dense::Matrix;
 use crate::error::LpError;
 use crate::problem::{Lp, Relation};
 use crate::sparse::CscMatrix;
+use mtsp_obs::{Counter, Counters};
 
 /// Termination status of a solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -140,6 +141,9 @@ pub(crate) struct Core {
     bmat: Matrix,
     /// Gauss–Jordan working copy for [`Matrix::inverse_into`].
     inv_scratch: Matrix,
+    /// Deterministic event counters, accumulated across every solve this
+    /// core runs (never reset by [`Core::load`] — callers snapshot/diff).
+    counters: Counters,
 }
 
 impl Core {
@@ -166,7 +170,21 @@ impl Core {
             saved_cost: Vec::new(),
             bmat: Matrix::zeros(0, 0),
             inv_scratch: Matrix::zeros(0, 0),
+            counters: Counters::new(),
         }
+    }
+
+    /// Deterministic event counters accumulated by this core.
+    #[inline]
+    pub(crate) fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Mutable access for layers that count their own events through the
+    /// context (bisection probes, rounding passes, session epochs, …).
+    #[inline]
+    pub(crate) fn counters_mut(&mut self) -> &mut Counters {
+        &mut self.counters
     }
 
     /// Number of structural variables of the loaded model.
@@ -283,6 +301,7 @@ impl Core {
     /// Recomputes `B⁻¹` and `x_B` from scratch (no allocations; the dense
     /// factorization scratch lives in the core).
     fn refactor(&mut self) -> Result<(), LpError> {
+        self.counters.inc(Counter::Refactorizations);
         let m = self.rows;
         self.bmat.resize_zeroed(m, m);
         for (k, &j) in self.basis.iter().enumerate() {
@@ -326,6 +345,7 @@ impl Core {
 
     /// Simplex multipliers `y = c_B B⁻¹`, written into the `y` scratch.
     fn compute_duals(&mut self) {
+        self.counters.inc(Counter::Btran);
         let m = self.rows;
         self.y.clear();
         self.y.resize(m, 0.0);
@@ -347,6 +367,7 @@ impl Core {
 
     /// `w = B⁻¹ A_j`, written into the `w` scratch.
     fn ftran(&mut self, j: usize) {
+        self.counters.inc(Counter::Ftran);
         let m = self.rows;
         self.w.clear();
         self.w.resize(m, 0.0);
@@ -459,6 +480,7 @@ impl Core {
                 return Err(LpError::IterationLimit(max_iterations));
             }
             *iterations += 1;
+            self.counters.inc(Counter::SimplexIterations);
             if since_refactor >= opts.refactor_interval {
                 self.refactor()?;
                 since_refactor = 0;
@@ -668,6 +690,7 @@ impl Core {
                 return Err(LpError::IterationLimit(max_iterations));
             }
             *iterations += 1;
+            self.counters.inc(Counter::SimplexIterations);
             if since_refactor >= opts.refactor_interval {
                 self.refactor()?;
                 since_refactor = 0;
@@ -884,6 +907,7 @@ impl Core {
     /// Full two-phase solve from a fresh start basis. `load` (or previous
     /// mutations) defines the model; any prior basis is discarded.
     pub(crate) fn solve_cold(&mut self, opts: &SolverOptions) -> Result<Solution, LpError> {
+        self.counters.inc(Counter::ColdSolves);
         let m = self.rows;
         let any_artificial = self.start_basis()?;
         let max_iterations = if opts.max_iterations > 0 {
@@ -971,6 +995,7 @@ impl Core {
     /// basis, dual infeasibility after an objective change) — the results
     /// are bitwise identical either way by the extraction contract.
     pub(crate) fn resolve_warm(&mut self, opts: &SolverOptions) -> Result<Solution, LpError> {
+        self.counters.inc(Counter::WarmResolves);
         let max_iterations = if opts.max_iterations > 0 {
             opts.max_iterations
         } else {

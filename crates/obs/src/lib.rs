@@ -1,0 +1,26 @@
+//! Observability for the solve pipeline: deterministic counters and a
+//! scoped wall-clock span profiler. Hand-rolled with zero external
+//! dependencies, like `mtsp-bench::json`.
+//!
+//! The two faces serve opposite masters and must never mix:
+//!
+//! * **[`Counters`]** count *algorithmic events* — simplex iterations,
+//!   FTRAN/BTRAN applications, refactorizations, bisection probes, list
+//!   steps, session epochs. They are pure functions of the solved inputs,
+//!   so they are **byte-stable** across worker counts, cache modes and
+//!   context reuse, and may appear in deterministic reports (the audit's
+//!   `counters` section) and be regression-gated like quality ratios — a
+//!   perf proxy that does not flake on shared CI hardware.
+//! * **[`span`](mod@span)s** measure *wall-clock time* per labeled scope.
+//!   Wall time is inherently non-deterministic, so spans are opt-in
+//!   (zero-cost when disabled) and their output is confined to stderr and
+//!   explicit `--trace` files — never a deterministic stream.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod counters;
+pub mod span;
+
+pub use counters::{Counter, Counters};
+pub use span::{SpanAgg, SpanEvent};

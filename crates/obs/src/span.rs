@@ -1,0 +1,198 @@
+//! Scoped wall-clock spans: lightweight timers aggregated per label.
+//!
+//! A span is a guard: [`span`] (or the [`span!`](crate::span!) macro)
+//! stamps the start, the guard's `Drop` stamps the end and records the
+//! event in a process-global collector. Collection is **off by default**
+//! — a disabled span takes one relaxed atomic load and never touches the
+//! clock — so instrumented hot paths cost nothing in production solves.
+//!
+//! Wall time is non-deterministic, so span output must stay out of every
+//! deterministic stream: callers print aggregates to **stderr** or write
+//! raw events to an explicit `--trace` file (Chrome trace-event JSON via
+//! `mtsp-bench`). The collector is global because spans cross thread
+//! boundaries (the engine pool's workers record into the same profile);
+//! per-thread lane ids are assigned on first use for trace rendering.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static EVENTS: Mutex<Vec<SpanEvent>> = Mutex::new(Vec::new());
+static NEXT_LANE: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static LANE: u64 = NEXT_LANE.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The process-wide time origin: first call pins it, later calls reuse it
+/// so event timestamps from different threads share one clock.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// One completed span occurrence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Static label, dotted by layer (`"phase1.bisection"`).
+    pub label: &'static str,
+    /// Recording thread's lane id (stable within the process lifetime).
+    pub lane: u64,
+    /// Start, nanoseconds since the collector epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Per-label aggregate of collected spans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanAgg {
+    /// The span label.
+    pub label: &'static str,
+    /// Number of completed occurrences.
+    pub count: u64,
+    /// Total wall time across occurrences, nanoseconds.
+    pub total_ns: u64,
+}
+
+/// Turns collection on (clearing previously collected events) and pins
+/// the time origin. Spans opened before `enable` record nothing.
+pub fn enable() {
+    epoch();
+    EVENTS.lock().expect("span collector poisoned").clear();
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Turns collection off. Already-collected events stay until [`drain`].
+pub fn disable() {
+    ENABLED.store(false, Ordering::SeqCst);
+}
+
+/// Whether spans are currently being collected.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Takes every collected event, sorted by `(start_ns, lane, label)` so
+/// the output order does not depend on mutex acquisition order.
+pub fn drain() -> Vec<SpanEvent> {
+    let mut events = std::mem::take(&mut *EVENTS.lock().expect("span collector poisoned"));
+    events.sort_by(|a, b| (a.start_ns, a.lane, a.label).cmp(&(b.start_ns, b.lane, b.label)));
+    events
+}
+
+/// Aggregates events per label, sorted by label.
+pub fn aggregate(events: &[SpanEvent]) -> Vec<SpanAgg> {
+    let mut aggs: Vec<SpanAgg> = Vec::new();
+    for e in events {
+        match aggs.iter_mut().find(|a| a.label == e.label) {
+            Some(a) => {
+                a.count += 1;
+                a.total_ns += e.dur_ns;
+            }
+            None => aggs.push(SpanAgg {
+                label: e.label,
+                count: 1,
+                total_ns: e.dur_ns,
+            }),
+        }
+    }
+    aggs.sort_by_key(|a| a.label);
+    aggs
+}
+
+/// An open span; records its event when dropped. Inert (no clock read,
+/// nothing recorded) when collection was disabled at open time.
+#[must_use = "a span measures the scope it is bound to — bind it to a variable"]
+pub struct Span {
+    open: Option<(&'static str, Instant)>,
+}
+
+/// Opens a span. Prefer the [`span!`](crate::span!) macro at call sites.
+#[inline]
+pub fn span(label: &'static str) -> Span {
+    Span {
+        open: enabled().then(|| (label, Instant::now())),
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some((label, start)) = self.open.take() else {
+            return;
+        };
+        let dur_ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let start_ns = start
+            .saturating_duration_since(epoch())
+            .as_nanos()
+            .min(u64::MAX as u128) as u64;
+        let event = SpanEvent {
+            label,
+            lane: LANE.with(|&l| l),
+            start_ns,
+            dur_ns,
+        };
+        // Collection may have been disabled while the span was open; the
+        // span still records so enable/solve/disable windows are complete.
+        EVENTS.lock().expect("span collector poisoned").push(event);
+    }
+}
+
+/// Opens a scoped span: `let _s = mtsp_obs::span!("phase1.lp");`. The
+/// span closes (and records, when collection is enabled) when `_s` drops.
+#[macro_export]
+macro_rules! span {
+    ($label:expr) => {
+        $crate::span::span($label)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test owns the global collector end to end: cargo test threads
+    // share the process, so assertions stay within a single #[test].
+    #[test]
+    fn spans_collect_aggregate_and_disable() {
+        // Disabled: nothing recorded, no clock contact needed.
+        disable();
+        {
+            let _s = crate::span!("obs.test.disabled");
+        }
+        enable();
+        {
+            let _outer = crate::span!("obs.test.outer");
+            for _ in 0..3 {
+                let _inner = crate::span!("obs.test.inner");
+                std::hint::black_box(0u64);
+            }
+        }
+        disable();
+        let events = drain();
+        assert!(
+            !events.iter().any(|e| e.label == "obs.test.disabled"),
+            "disabled span must not record"
+        );
+        let aggs = aggregate(&events);
+        let find = |label: &str| aggs.iter().find(|a| a.label == label);
+        assert_eq!(find("obs.test.inner").map(|a| a.count), Some(3));
+        assert_eq!(find("obs.test.outer").map(|a| a.count), Some(1));
+        let (outer, inner) = (
+            find("obs.test.outer").unwrap(),
+            find("obs.test.inner").unwrap(),
+        );
+        assert!(
+            outer.total_ns >= inner.total_ns,
+            "outer span covers the inner ones"
+        );
+        // Events are ordered and lane-stamped.
+        for w in events.windows(2) {
+            assert!(w[0].start_ns <= w[1].start_ns);
+        }
+        // Drain empties the collector.
+        assert!(drain().is_empty());
+    }
+}

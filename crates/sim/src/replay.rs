@@ -57,6 +57,9 @@ pub struct EpochTrace {
     pub cstar: f64,
     /// Simplex iterations of the re-solve.
     pub lp_iterations: usize,
+    /// Deterministic counter delta of the epoch (see
+    /// [`mtsp_engine::EpochStats::counters`]).
+    pub counters: mtsp_obs::Counters,
     /// Re-plan wall-clock latency (non-deterministic).
     pub wall: Duration,
 }
@@ -277,6 +280,7 @@ pub fn replay(scenario: &Scenario, cfg: &ReplayConfig) -> Result<ReplayOutcome, 
                 pending: stats.pending,
                 cstar: stats.cstar,
                 lp_iterations: stats.lp_iterations,
+                counters: stats.counters,
                 wall: stats.wall,
             });
         }

@@ -1,0 +1,189 @@
+//! Property tests for the ordering invariants of [`mtsp_sim::Trace`].
+//!
+//! The executor promises two things beyond raw feasibility, and these
+//! properties pin both over randomly generated instances and allotments:
+//!
+//! * **Finishes before starts at equal times** — when a task starts the
+//!   instant another finishes, the finish event is logged first, so a
+//!   reader scanning the trace never sees a processor occupied by two
+//!   tasks at once.
+//! * **Occupy/release balance** — every processor a `Start` occupies is
+//!   released by exactly one matching `Finish`, occupancy never exceeds
+//!   `m`, and the machine is empty when the trace ends.
+
+use std::collections::HashMap;
+
+use mtsp_core::{list_schedule, Priority};
+use mtsp_model::generate::{random_instance, CurveFamily, DagFamily};
+use mtsp_sim::{execute, execute_contiguous, EventKind, Trace};
+use proptest::prelude::*;
+
+fn dag_family(pick: usize) -> DagFamily {
+    match pick % 4 {
+        0 => DagFamily::Independent,
+        1 => DagFamily::Chain,
+        2 => DagFamily::Layered,
+        _ => DagFamily::SeriesParallel,
+    }
+}
+
+fn priority(pick: usize) -> Priority {
+    match pick % 3 {
+        0 => Priority::TaskId,
+        1 => Priority::BottomLevel,
+        _ => Priority::WidestFirst,
+    }
+}
+
+/// Finish events must sort strictly before start events at equal
+/// timestamps (exact float equality: the executor emits both from the
+/// same completion value, no arithmetic in between).
+fn assert_finishes_before_starts(tr: &Trace) {
+    for w in tr.events.windows(2) {
+        let (a, b) = (&w[0], &w[1]);
+        assert!(
+            a.time <= b.time,
+            "events out of order: {} after {}",
+            a.time,
+            b.time
+        );
+        if a.time == b.time {
+            let a_is_start = matches!(a.kind, EventKind::Start { .. });
+            let b_is_finish = matches!(b.kind, EventKind::Finish { .. });
+            assert!(
+                !(a_is_start && b_is_finish),
+                "finish at t={} logged after a start at the same time",
+                b.time
+            );
+        }
+    }
+}
+
+/// Replays the trace, checking occupy/release balance event by event:
+/// no double-booking, no phantom releases, occupancy bounded by `m`,
+/// everything released at the end. Returns (starts, finishes).
+fn assert_occupy_release_balance(tr: &Trace, m: usize) -> (usize, usize) {
+    let mut owner: Vec<Option<usize>> = vec![None; m];
+    let mut open: HashMap<usize, Vec<usize>> = HashMap::new();
+    let mut busy = 0usize;
+    let (mut starts, mut finishes) = (0usize, 0usize);
+    for e in &tr.events {
+        match &e.kind {
+            EventKind::Start { task, procs } => {
+                starts += 1;
+                assert!(!procs.is_empty(), "task {task} started on no processors");
+                for &p in procs {
+                    assert!(p < m, "task {task} started on out-of-range proc {p}");
+                    assert!(
+                        owner[p].is_none(),
+                        "proc {p} double-booked by task {task} at t={}",
+                        e.time
+                    );
+                    owner[p] = Some(*task);
+                }
+                busy += procs.len();
+                assert!(busy <= m, "occupancy {busy} exceeds m={m} at t={}", e.time);
+                assert!(
+                    open.insert(*task, procs.clone()).is_none(),
+                    "task {task} started twice"
+                );
+            }
+            EventKind::Finish { task } => {
+                finishes += 1;
+                let procs = open
+                    .remove(task)
+                    .unwrap_or_else(|| panic!("task {task} finished without starting"));
+                for p in procs {
+                    assert_eq!(
+                        owner[p],
+                        Some(*task),
+                        "task {task} released proc {p} it did not hold"
+                    );
+                    owner[p] = None;
+                    busy -= 1;
+                }
+            }
+        }
+    }
+    assert!(open.is_empty(), "tasks never finished: {:?}", open.keys());
+    assert_eq!(busy, 0, "processors still occupied at end of trace");
+    (starts, finishes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Free (non-contiguous) executor traces keep both invariants for
+    /// random instances scheduled by LIST under random allotments.
+    #[test]
+    fn executor_trace_invariants(
+        n in 2usize..=16,
+        m in 2usize..=6,
+        seed in 0u64..10_000,
+        dag_pick in 0usize..4,
+        prio_pick in 0usize..3,
+        alloc_raw in proptest::collection::vec(1usize..=6, 16),
+    ) {
+        let ins = random_instance(
+            dag_family(dag_pick),
+            CurveFamily::Mixed,
+            n,
+            m,
+            seed,
+        );
+        // Some DAG families round the task count to their natural shape,
+        // so size the allotment off the instance, not the requested `n`.
+        let n = ins.n();
+        let alloc: Vec<usize> = (0..n).map(|j| alloc_raw[j % alloc_raw.len()].min(m)).collect();
+        let schedule = list_schedule(&ins, &alloc, priority(prio_pick));
+        let report = execute(&ins, &schedule).expect("LIST schedules must simulate");
+        let tr = &report.trace;
+
+        prop_assert!(tr.is_consistent(m));
+        assert_finishes_before_starts(tr);
+        let (starts, finishes) = assert_occupy_release_balance(tr, m);
+        prop_assert_eq!(starts, finishes);
+        // Every positive-duration task appears exactly once; zero-duration
+        // tasks are elided from the trace by contract.
+        let expected = (0..n)
+            .filter(|&j| ins.profile(j).time(alloc[j]) > 0.0)
+            .count();
+        prop_assert_eq!(starts, expected);
+    }
+
+    /// The contiguous executor (interval processor blocks) upholds the
+    /// same trace contract.
+    #[test]
+    fn contiguous_executor_trace_invariants(
+        n in 2usize..=12,
+        m in 2usize..=5,
+        seed in 0u64..10_000,
+        prio_pick in 0usize..3,
+        alloc_raw in proptest::collection::vec(1usize..=5, 12),
+    ) {
+        let ins = random_instance(
+            DagFamily::Layered,
+            CurveFamily::PowerLaw,
+            n,
+            m,
+            seed,
+        );
+        let n = ins.n();
+        let alloc: Vec<usize> = (0..n).map(|j| alloc_raw[j % alloc_raw.len()].min(m)).collect();
+        let schedule = list_schedule(&ins, &alloc, priority(prio_pick));
+        // Counts-feasible schedules may not survive the contiguity
+        // requirement (fragmentation is a documented outcome); the trace
+        // contract only applies to successful executions.
+        match execute_contiguous(&ins, &schedule) {
+            Ok(report) => {
+                let tr = &report.trace;
+                prop_assert!(tr.is_consistent(m));
+                assert_finishes_before_starts(tr);
+                let (starts, finishes) = assert_occupy_release_balance(tr, m);
+                prop_assert_eq!(starts, finishes);
+            }
+            Err(mtsp_sim::SimError::FragmentationViolation { .. }) => {}
+            Err(other) => panic!("unexpected simulation error: {other}"),
+        }
+    }
+}

@@ -52,6 +52,9 @@ pub use mtsp_harness as harness;
 pub use mtsp_lp as lp;
 /// Malleable-task model (re-export of `mtsp-model`).
 pub use mtsp_model as model;
+/// Solve telemetry — deterministic counters and the span profiler
+/// (re-export of `mtsp-obs`).
+pub use mtsp_obs as obs;
 /// Machine simulator (re-export of `mtsp-sim`).
 pub use mtsp_sim as sim;
 

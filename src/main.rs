@@ -4,11 +4,13 @@
 //! mtsp solve <file> [--rho R] [--mu K] [--priority id|bl|wf] [--improve] [--gantt]
 //! mtsp generate --dag <family> --curve <family> [--n N] [--m M] [--seed S]
 //! mtsp check <file>
-//! mtsp batch <dir|file>... [--jobs N] [--cache] [--fresh-contexts]
+//! mtsp profile <file> [--phase1 lp|bisection] [--trace FILE]
+//! mtsp batch <dir|file>... [--jobs N] [--cache] [--fresh-contexts] [--trace FILE]
 //! mtsp bench-throughput --n-instances K [--jobs N] [--distinct D] [--n N] [--m M]
 //! mtsp corpus run <spec> [--jobs N] [--fresh-contexts] [--no-cache] [--window W] [--out FILE]
 //! mtsp audit [--smoke] [--jobs N] [--out FILE] [--baseline FILE] [--write-baseline] ...
 //! mtsp replay (<spec>|--smoke) [--jobs N] [--out FILE] [--noise MODEL] [--seed S]
+//!            [--trace FILE]
 //! mtsp bounds <m>
 //! mtsp tables [2|3|4|all]
 //! ```
@@ -48,11 +50,18 @@ enum Command {
     Check {
         file: String,
     },
+    Profile {
+        file: String,
+        phase1: Phase1,
+        /// Chrome trace-event JSON destination (`--trace FILE`).
+        trace: Option<String>,
+    },
     Batch {
         paths: Vec<String>,
         jobs: usize,
         cache: bool,
         fresh_contexts: bool,
+        trace: Option<String>,
     },
     BenchThroughput {
         n_instances: usize,
@@ -89,6 +98,7 @@ enum Command {
         out: Option<String>,
         noise: mtsp::sim::NoiseModel,
         seed: u64,
+        trace: Option<String>,
     },
     Bounds {
         m: usize,
@@ -107,7 +117,8 @@ USAGE:
              [--phase1 lp|bisection]
   mtsp generate --dag <family> --curve <family> [--n N] [--m M] [--seed S]
   mtsp check <file>
-  mtsp batch <dir|file>... [--jobs N] [--cache] [--fresh-contexts]
+  mtsp profile <file> [--phase1 lp|bisection] [--trace FILE]
+  mtsp batch <dir|file>... [--jobs N] [--cache] [--fresh-contexts] [--trace FILE]
   mtsp bench-throughput --n-instances K [--jobs N] [--distinct D] [--n N] [--m M]
                         [--seed S]
   mtsp corpus run <spec> [--jobs N] [--fresh-contexts] [--no-cache] [--window W]
@@ -116,16 +127,24 @@ USAGE:
              [--baseline FILE] [--write-baseline] [--perf-floor F] [--tol T]
              [--no-gate]
   mtsp replay (<spec>|--smoke) [--jobs N] [--out FILE] [--noise MODEL]
-             [--seed S]
+             [--seed S] [--trace FILE]
   mtsp bounds <m>
   mtsp tables [2|3|4|all]
+
+profile solves one instance with telemetry on: stdout carries the
+deterministic counter table (simplex iterations, FTRAN/BTRAN passes,
+bisection probes, rounding passes, list steps — identical bytes on every
+run), stderr carries the per-label span profile (wall clock), and
+--trace additionally writes the raw spans as Chrome trace-event JSON
+(load in chrome://tracing or Perfetto).
 
 batch solves every instance file (directories expand to their non-hidden
 files, sorted by name) on a deterministic worker pool: results print in
 submission order and are byte-identical for any --jobs value; --cache
 memoizes repeated instances; --fresh-contexts rebuilds the per-worker LP
 solve context for every job instead of reusing it (same bytes out, only
-slower — a determinism/debugging aid). Throughput metrics go to stderr.
+slower — a determinism/debugging aid). Throughput metrics go to stderr;
+--trace writes a Chrome trace of the run's spans.
 
 corpus run streams the grid of an mtsp-corpus v1 spec file through the
 engine pool under bounded memory (at most --window instances in flight)
@@ -151,7 +170,12 @@ patterns x noise models, replayed on --jobs workers) or a concrete
 mtsp-scenario v1 event file (single replay; --noise none|uniform:E|
 slowdown:E and --seed select the execution noise). --smoke runs the
 built-in 8-cell grid. Reports are byte-identical for any --jobs;
-re-plan latency goes to stderr.
+re-plan latency goes to stderr, --trace writes a Chrome trace of the
+run's spans.
+
+Wall-clock output always goes to stderr as '# metric key=value' lines
+(one stable scrapeable format across batch, corpus, audit, and replay),
+never to stdout or the JSON reports.
 
 DAG families:     independent chain layered series-parallel fork-join cholesky
                   wavefront random-tree
@@ -272,6 +296,22 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 file: file.to_string(),
             })
         }
+        "profile" => {
+            let phase1 = match take_value(&mut rest, "--phase1")?.as_deref() {
+                None | Some("lp") => Phase1::Lp,
+                Some("bisection") => Phase1::Bisection,
+                Some(other) => return Err(format!("unknown phase1 '{other}' (lp|bisection)")),
+            };
+            let trace = take_value(&mut rest, "--trace")?;
+            let [file] = rest.as_slice() else {
+                return Err("profile needs exactly one instance file".into());
+            };
+            Ok(Command::Profile {
+                file: file.to_string(),
+                phase1,
+                trace,
+            })
+        }
         "batch" => {
             let jobs = take_value(&mut rest, "--jobs")?
                 .map(|v| v.parse::<usize>().map_err(|e| format!("bad --jobs: {e}")))
@@ -279,6 +319,7 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 .unwrap_or(0);
             let cache = take_flag(&mut rest, "--cache");
             let fresh_contexts = take_flag(&mut rest, "--fresh-contexts");
+            let trace = take_value(&mut rest, "--trace")?;
             if rest.is_empty() {
                 return Err("batch needs at least one file or directory".into());
             }
@@ -287,6 +328,7 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 jobs,
                 cache,
                 fresh_contexts,
+                trace,
             })
         }
         "bench-throughput" => {
@@ -419,6 +461,7 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 .map(|v| v.parse::<u64>().map_err(|e| format!("bad --seed: {e}")))
                 .transpose()?
                 .unwrap_or(0);
+            let trace = take_value(&mut rest, "--trace")?;
             let spec = match (rest.as_slice(), smoke) {
                 ([], true) => None,
                 ([spec], false) => Some(spec.to_string()),
@@ -430,6 +473,7 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 out,
                 noise,
                 seed,
+                trace,
             })
         }
         "bounds" => {
@@ -483,6 +527,68 @@ fn expand_batch_paths(paths: &[String]) -> Result<Vec<std::path::PathBuf>, Strin
     Ok(files)
 }
 
+/// Emits wall-clock metrics to stderr as `# metric <section>.<key>=<value>`
+/// lines — the single format every verb uses for non-deterministic
+/// material, so nothing timing-dependent ever reaches stdout or the JSON
+/// reports.
+fn emit_metrics(section: &str, pairs: &[(&str, String)]) {
+    for (k, v) in pairs {
+        eprintln!("# metric {section}.{k}={v}");
+    }
+}
+
+/// Batch-pool wall-clock metrics in `# metric` form.
+fn emit_batch_metrics(section: &str, m: &mtsp::engine::BatchMetrics) {
+    let ms = |d: std::time::Duration| format!("{:.3}", d.as_secs_f64() * 1e3);
+    emit_metrics(
+        section,
+        &[
+            ("jobs", m.jobs.to_string()),
+            ("failures", m.failures.to_string()),
+            ("workers", m.workers.to_string()),
+            ("wall_s", format!("{:.3}", m.wall.as_secs_f64())),
+            ("throughput_jobs_per_s", format!("{:.1}", m.throughput)),
+            ("mean_latency_ms", ms(m.mean_latency)),
+            ("p50_latency_ms", ms(m.p50_latency)),
+            ("p90_latency_ms", ms(m.p90_latency)),
+            ("p99_latency_ms", ms(m.p99_latency)),
+            ("max_latency_ms", ms(m.max_latency)),
+            ("cache_hits", m.cache.hits.to_string()),
+            ("cache_misses", m.cache.misses.to_string()),
+            ("cache_entries", m.cache.entries.to_string()),
+        ],
+    );
+}
+
+/// Scenario-replay wall-clock metrics in `# metric` form.
+fn emit_scenario_metrics(section: &str, m: &mtsp::harness::ScenarioMetrics) {
+    emit_metrics(
+        section,
+        &[
+            ("cells", m.cells.to_string()),
+            ("epochs", m.epochs.to_string()),
+            ("wall_s", format!("{:.3}", m.wall.as_secs_f64())),
+            (
+                "replan_wall_ms",
+                format!("{:.3}", m.replan_wall.as_secs_f64() * 1e3),
+            ),
+        ],
+    );
+}
+
+/// Stops span collection and writes the collected events as Chrome
+/// trace-event JSON. Returns the confirmation line for stdout.
+fn write_trace(path: &str) -> Result<String, String> {
+    mtsp::obs::span::disable();
+    let events = mtsp::obs::span::drain();
+    let json = mtsp::bench::trace::chrome_trace(&events).to_pretty();
+    std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+    Ok(format!(
+        "trace written to {path} ({} span(s))\n",
+        events.len()
+    ))
+}
+
 /// Executes a command, returning the text to print.
 fn run(cmd: Command) -> Result<String, String> {
     let mut out = String::new();
@@ -525,11 +631,64 @@ fn run(cmd: Command) -> Result<String, String> {
                 ins.serial_upper_bound()
             );
         }
+        Command::Profile {
+            file,
+            phase1,
+            trace,
+        } => {
+            let text = std::fs::read_to_string(&file).map_err(|e| format!("{file}: {e}"))?;
+            let ins = textio::parse_instance(&text).map_err(|e| e.to_string())?;
+            let cfg = JzConfig {
+                phase1,
+                ..JzConfig::default()
+            };
+            mtsp::obs::span::enable();
+            let rep = schedule_jz_with(&ins, &cfg).map_err(|e| e.to_string())?;
+            mtsp::obs::span::disable();
+            let events = mtsp::obs::span::drain();
+            // stdout: the deterministic story — instance, result, and the
+            // counter table (identical bytes on every run).
+            let _ = writeln!(
+                out,
+                "profile: n = {}, m = {}, phase1 = {}",
+                ins.n(),
+                ins.m(),
+                match phase1 {
+                    Phase1::Lp => "lp",
+                    Phase1::Bisection => "bisection",
+                }
+            );
+            let _ = writeln!(
+                out,
+                "makespan = {:.6}  (LP bound C* = {:.6})",
+                rep.schedule.makespan(),
+                rep.lp.cstar
+            );
+            out.push_str("counters:\n");
+            for (c, v) in rep.counters.iter() {
+                let _ = writeln!(out, "  {:<24} {v}", c.name());
+            }
+            // stderr: the wall-clock story — per-label span aggregates.
+            for a in mtsp::obs::span::aggregate(&events) {
+                eprintln!(
+                    "# span {} count={} total_ms={:.3}",
+                    a.label,
+                    a.count,
+                    a.total_ns as f64 / 1e6
+                );
+            }
+            if let Some(f) = trace {
+                let json = mtsp::bench::trace::chrome_trace(&events).to_pretty();
+                std::fs::write(&f, json).map_err(|e| format!("{f}: {e}"))?;
+                let _ = writeln!(out, "trace written to {f} ({} span(s))", events.len());
+            }
+        }
         Command::Batch {
             paths,
             jobs,
             cache,
             fresh_contexts,
+            trace,
         } => {
             let files = expand_batch_paths(&paths)?;
             // Unreadable/unparsable files become per-job error lines (like
@@ -559,6 +718,9 @@ fn run(cmd: Command) -> Result<String, String> {
                 reuse_context: !fresh_contexts,
                 ..EngineConfig::default()
             });
+            if trace.is_some() {
+                mtsp::obs::span::enable();
+            }
             let report = engine.solve_batch(&instances);
             let _ = writeln!(out, "batch: {} instance(s)", files.len());
             for (i, f) in files.iter().enumerate() {
@@ -576,9 +738,12 @@ fn run(cmd: Command) -> Result<String, String> {
                     }
                 }
             }
+            if let Some(f) = &trace {
+                out.push_str(&write_trace(f)?);
+            }
             // Wall-clock metrics go to stderr so stdout stays byte-identical
             // across --jobs values (the determinism contract of `batch`).
-            eprint!("{}", report.metrics.render());
+            emit_batch_metrics("batch", &report.metrics);
         }
         Command::BenchThroughput {
             n_instances,
@@ -671,7 +836,7 @@ fn run(cmd: Command) -> Result<String, String> {
             );
             // Wall-clock metrics to stderr; the report (stdout or --out)
             // stays byte-identical across --jobs values.
-            eprint!("{}", outcome.metrics.render());
+            emit_batch_metrics("corpus", &outcome.metrics);
             let json = outcome.report.to_pretty();
             match out_file {
                 Some(f) => {
@@ -705,7 +870,7 @@ fn run(cmd: Command) -> Result<String, String> {
                     ..RunConfig::default()
                 },
             );
-            eprint!("{}", outcome.metrics.render());
+            emit_batch_metrics("audit.corpus", &outcome.metrics);
             // The scenario audit rides along: the built-in arrival grid
             // replayed through the online session, embedded under
             // "scenarios" and gated with the rest.
@@ -715,7 +880,7 @@ fn run(cmd: Command) -> Result<String, String> {
                 mtsp::harness::ScenarioGrid::builtin_audit()
             };
             let scen = mtsp::harness::run_scenario_grid(&scen_grid, jobs);
-            eprint!("{}", scen.metrics.render());
+            emit_scenario_metrics("audit.scenarios", &scen.metrics);
             let report = mtsp::harness::attach_scenarios(outcome.report, scen.section);
             std::fs::write(&out_file, report.to_pretty())
                 .map_err(|e| format!("{out_file}: {e}"))?;
@@ -825,19 +990,23 @@ fn run(cmd: Command) -> Result<String, String> {
             out: out_file,
             noise,
             seed,
+            trace,
         } => {
             use mtsp::harness::{
                 replay_scenario_report, run_scenario_grid, standalone_scenario_report, ScenarioGrid,
             };
+            if trace.is_some() {
+                mtsp::obs::span::enable();
+            }
             // One verb, two inputs (header-sniffed): a grid of generated
-            // scenarios, or one concrete event file.
-            let (json, metrics_text) = match spec {
+            // scenarios, or one concrete event file. Re-plan latency goes
+            // to stderr; the report (stdout or --out) stays byte-identical
+            // across --jobs values.
+            let json = match spec {
                 None => {
                     let outcome = run_scenario_grid(&ScenarioGrid::builtin_smoke(), jobs);
-                    (
-                        standalone_scenario_report(&outcome.section).to_pretty(),
-                        outcome.metrics.render(),
-                    )
+                    emit_scenario_metrics("replay", &outcome.metrics);
+                    standalone_scenario_report(&outcome.section).to_pretty()
                 }
                 Some(path) => {
                     let text =
@@ -857,31 +1026,36 @@ fn run(cmd: Command) -> Result<String, String> {
                         };
                         let (report, replan_wall) =
                             replay_scenario_report(&scenario, &cfg).map_err(|e| e.to_string())?;
-                        (
-                            report.to_pretty(),
-                            format!(
-                                "replay: {} epochs, re-plan total {:.3} ms\n",
-                                report
-                                    .get("epochs")
-                                    .and_then(|e| e.as_array())
-                                    .map_or(0, |e| e.len()),
-                                replan_wall.as_secs_f64() * 1e3
-                            ),
-                        )
+                        emit_metrics(
+                            "replay",
+                            &[
+                                (
+                                    "epochs",
+                                    report
+                                        .get("epochs")
+                                        .and_then(|e| e.as_array())
+                                        .map_or(0, |e| e.len())
+                                        .to_string(),
+                                ),
+                                (
+                                    "replan_wall_ms",
+                                    format!("{:.3}", replan_wall.as_secs_f64() * 1e3),
+                                ),
+                            ],
+                        );
+                        report.to_pretty()
                     } else {
                         let grid =
                             ScenarioGrid::parse(&text).map_err(|e| format!("{path}: {e}"))?;
                         let outcome = run_scenario_grid(&grid, jobs);
-                        (
-                            standalone_scenario_report(&outcome.section).to_pretty(),
-                            outcome.metrics.render(),
-                        )
+                        emit_scenario_metrics("replay", &outcome.metrics);
+                        standalone_scenario_report(&outcome.section).to_pretty()
                     }
                 }
             };
-            // Re-plan latency to stderr; the report (stdout or --out)
-            // stays byte-identical across --jobs values.
-            eprint!("{metrics_text}");
+            if let Some(f) = &trace {
+                out.push_str(&write_trace(f)?);
+            }
             match out_file {
                 Some(f) => {
                     std::fs::write(&f, json).map_err(|e| format!("{f}: {e}"))?;
@@ -1116,6 +1290,7 @@ mod tests {
                 jobs: 8,
                 cache: true,
                 fresh_contexts: true,
+                trace: None,
             }
         );
         let cmd = parse_args(&argv("bench-throughput --n-instances 50 --distinct 5")).unwrap();
@@ -1135,6 +1310,99 @@ mod tests {
         assert!(parse_args(&argv("bench-throughput --n-instances 0")).is_err());
         assert!(parse_args(&argv("bench-throughput --n-instances 2 --m 0")).is_err());
         assert!(parse_args(&argv("bench-throughput --n-instances 2 --n 0")).is_err());
+    }
+
+    #[test]
+    fn parses_profile_and_trace_flags() {
+        let cmd = parse_args(&argv("profile inst.txt --phase1 bisection --trace t.json")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Profile {
+                file: "inst.txt".into(),
+                phase1: Phase1::Bisection,
+                trace: Some("t.json".into()),
+            }
+        );
+        let cmd = parse_args(&argv("batch dir --trace t.json")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Batch {
+                paths: vec!["dir".into()],
+                jobs: 0,
+                cache: false,
+                fresh_contexts: false,
+                trace: Some("t.json".into()),
+            }
+        );
+        let cmd = parse_args(&argv("replay --smoke --trace t.json")).unwrap();
+        assert!(matches!(cmd, Command::Replay { trace: Some(_), .. }));
+        assert!(parse_args(&argv("profile")).is_err());
+        assert!(parse_args(&argv("profile a.txt --phase1 nope")).is_err());
+        assert!(parse_args(&argv("profile a.txt --trace")).is_err());
+        assert!(parse_args(&argv("profile a.txt b.txt")).is_err());
+    }
+
+    #[test]
+    fn profile_and_trace_end_to_end() {
+        let dir =
+            std::env::temp_dir().join(format!("mtsp-cli-profile-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let gen = run(Command::Generate {
+            dag: DagFamily::Layered,
+            curve: CurveFamily::PowerLaw,
+            n: 10,
+            m: 4,
+            seed: 2,
+        })
+        .unwrap();
+        let inst = dir.join("inst.txt");
+        std::fs::write(&inst, &gen).unwrap();
+
+        let profile = |trace: Option<String>| {
+            run(Command::Profile {
+                file: inst.to_string_lossy().into_owned(),
+                phase1: Phase1::Lp,
+                trace,
+            })
+            .unwrap()
+        };
+        let trace_path = dir.join("trace.json");
+        let a = profile(Some(trace_path.to_string_lossy().into_owned()));
+        assert!(a.contains("counters:"), "{a}");
+        assert!(a.contains("lp.simplex_iterations"), "{a}");
+        assert!(a.contains("core.rounding_passes"), "{a}");
+        assert!(a.contains("trace written"), "{a}");
+        let doc = mtsp::bench::json::parse(&std::fs::read_to_string(&trace_path).unwrap()).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        assert!(
+            events
+                .iter()
+                .any(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X")),
+            "trace has at least one complete event"
+        );
+        // Everything on stdout except the trace confirmation is
+        // deterministic — a plain run must produce the same bytes.
+        let b = profile(None);
+        let a_lines: Vec<&str> = a
+            .lines()
+            .filter(|l| !l.starts_with("trace written"))
+            .collect();
+        assert_eq!(a_lines, b.lines().collect::<Vec<&str>>());
+
+        // batch --trace writes a parseable Chrome trace too.
+        let btrace = dir.join("batch-trace.json");
+        let text = run(Command::Batch {
+            paths: vec![inst.to_string_lossy().into_owned()],
+            jobs: 2,
+            cache: false,
+            fresh_contexts: false,
+            trace: Some(btrace.to_string_lossy().into_owned()),
+        })
+        .unwrap();
+        assert!(text.contains("trace written"), "{text}");
+        mtsp::bench::json::parse(&std::fs::read_to_string(&btrace).unwrap()).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -1250,6 +1518,7 @@ mod tests {
                 out: Some("r.json".into()),
                 noise: mtsp::sim::NoiseModel::None,
                 seed: 0,
+                trace: None,
             }
         );
         let cmd = parse_args(&argv("replay sc.txt --noise uniform:0.1 --seed 7")).unwrap();
@@ -1261,6 +1530,7 @@ mod tests {
                 out: None,
                 noise: mtsp::sim::NoiseModel::Uniform { epsilon: 0.1 },
                 seed: 7,
+                trace: None,
             }
         );
         assert!(parse_args(&argv("replay")).is_err());
@@ -1283,6 +1553,7 @@ mod tests {
             out: None,
             noise: mtsp::sim::NoiseModel::None,
             seed: 0,
+            trace: None,
         })
         .unwrap();
         let report = mtsp::bench::json::parse(&text).unwrap();
@@ -1310,6 +1581,7 @@ mod tests {
             out: None,
             noise: mtsp::sim::NoiseModel::Slowdown { epsilon: 0.2 },
             seed: 9,
+            trace: None,
         })
         .unwrap();
         let report = mtsp::bench::json::parse(&text).unwrap();
@@ -1335,6 +1607,7 @@ mod tests {
             out: Some(out_path.to_string_lossy().into_owned()),
             noise: mtsp::sim::NoiseModel::None,
             seed: 0,
+            trace: None,
         })
         .unwrap();
         assert!(text.contains("report written"));
@@ -1369,6 +1642,7 @@ mod tests {
                 jobs,
                 cache,
                 fresh_contexts,
+                trace: None,
             })
             .unwrap()
         };
@@ -1399,6 +1673,7 @@ mod tests {
             jobs: 1,
             cache: false,
             fresh_contexts: false,
+            trace: None,
         });
         assert!(missing.is_err());
         let _ = std::fs::remove_dir_all(&dir);
