@@ -1,0 +1,110 @@
+//! Daemon serving-path economics: request dispatch through the sharded
+//! registry, and what the shared solve cache buys across tenants.
+//!
+//! Two axes. `serve/script` pushes a fixed multi-session wire script
+//! through an in-process [`Registry`](mtsp_serve::Registry) at 1 and 4
+//! shards — replies are byte-identical (the daemon's determinism
+//! contract, asserted in the harness audit), so the delta is pure
+//! dispatch and queue overhead. `serve/solve_cache` issues the same
+//! `SOLVE` body from many tenants with the cache on and off: the shared
+//! content-addressed cache should collapse N solves into one.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mtsp_engine::EngineConfig;
+use mtsp_model::generate::{random_instance, CurveFamily, DagFamily};
+use mtsp_model::textio::write_instance;
+use mtsp_serve::daemon::serve_script;
+use mtsp_serve::{Quotas, Registry, ServeConfig};
+
+/// A session-driving script: four tenants, arrivals satisfying the model
+/// assumptions (A1/A2), edges, replans, a snapshot each.
+fn session_script() -> String {
+    let mut s = String::new();
+    for tenant in ["acme", "zork", "hilo", "wave"] {
+        s.push_str(&format!(
+            "\
+OPEN {tenant} s1 4
+ARRIVE {tenant} s1 0.0 8.0 5.0 4.0 3.5
+ARRIVE {tenant} s1 0.0 6.0 3.25 2.5 2.25
+ARRIVE {tenant} s1 0.0 5.0 2.75 2.0 1.75
+EDGE {tenant} s1 0.0 0 1
+REPLAN {tenant} s1 0.0
+START {tenant} s1 0.5 0
+FINISH {tenant} s1 2.5 0
+REPLAN {tenant} s1 2.5
+SNAPSHOT {tenant} s1
+CLOSE {tenant} s1
+"
+        ));
+    }
+    s
+}
+
+/// The same `SOLVE` body billed to eight different tenants.
+fn solve_script() -> String {
+    let ins = random_instance(DagFamily::Layered, CurveFamily::Mixed, 10, 4, 11);
+    let body = write_instance(&ins);
+    let k = body.lines().count();
+    let mut s = String::new();
+    for i in 0..8 {
+        s.push_str(&format!("SOLVE tenant{i} {k}\n{body}"));
+    }
+    s
+}
+
+fn config(shards: usize, cache: bool) -> ServeConfig {
+    ServeConfig {
+        shards,
+        quotas: Quotas::unlimited(),
+        engine: EngineConfig {
+            workers: 1,
+            cache,
+            ..EngineConfig::default()
+        },
+        ..ServeConfig::default()
+    }
+}
+
+fn bench_script_dispatch(c: &mut Criterion) {
+    let script = session_script();
+    let mut group = c.benchmark_group("serve/script");
+    for shards in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(shards),
+            &shards,
+            |b, &shards| {
+                b.iter(|| {
+                    let reg = Registry::new(config(shards, false));
+                    let out = serve_script(&reg, &script);
+                    reg.shutdown();
+                    out
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_solve_cache(c: &mut Criterion) {
+    let script = solve_script();
+    let mut group = c.benchmark_group("serve/solve_cache");
+    group.sample_size(20);
+    for cache in [false, true] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(if cache { "shared" } else { "off" }),
+            &cache,
+            |b, &cache| {
+                b.iter(|| {
+                    let reg = Registry::new(config(2, cache));
+                    let out = serve_script(&reg, &script);
+                    reg.shutdown();
+                    out
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_script_dispatch, bench_solve_cache);
+criterion_main!(benches);

@@ -161,6 +161,29 @@ mod tests {
         assert!(text.contains("p99"));
     }
 
+    /// The percentile contract: latencies arrive unsorted, every reported
+    /// percentile is an actually-observed value (nearest rank never
+    /// interpolates), the exact nearest-rank values come out on a full
+    /// permutation, and the ladder is monotone p50 ≤ p90 ≤ p99 ≤ max.
+    #[test]
+    fn percentile_contract_p50_p90_p99() {
+        // 1..=200 ms, visited in multiplicative-shuffle order (119 is
+        // coprime to 200, so this is a permutation, not a sorted ramp).
+        let lat: Vec<Duration> = (0..200u64).map(|i| ms((i * 7919) % 200 + 1)).collect();
+        let m = BatchMetrics::from_latencies(&lat, 0, 2, ms(1000), CacheStats::default());
+        assert_eq!(m.p50_latency, ms(100));
+        assert_eq!(m.p90_latency, ms(180));
+        assert_eq!(m.p99_latency, ms(198));
+        assert_eq!(m.max_latency, ms(200));
+        assert!(m.p50_latency <= m.p90_latency);
+        assert!(m.p90_latency <= m.p99_latency);
+        assert!(m.p99_latency <= m.max_latency);
+        assert!(
+            lat.contains(&m.p99_latency),
+            "nearest rank reports an observed value"
+        );
+    }
+
     /// The mean is nanosecond-exact: summed at 128-bit precision, one
     /// round-down at the end. Three 1ns jobs plus one 2ns job = 5ns / 4
     /// jobs = 1ns (rounded down from 1.25) — the old `Duration / u32`

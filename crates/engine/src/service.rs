@@ -144,6 +144,26 @@ impl Engine {
         }
     }
 
+    /// Builds an engine around an existing solve cache — the
+    /// multi-tenant hook: every shard of the serving daemon constructs
+    /// its engine this way so one content-addressed cache serves all
+    /// tenants (keys cover the config fingerprint, so engines with
+    /// different solver configs can safely share one cache too).
+    pub fn with_cache(config: EngineConfig, cache: Arc<SolveCache>) -> Self {
+        let config_fp = config_fingerprint(&config.jz);
+        Engine {
+            config,
+            config_fp,
+            cache,
+        }
+    }
+
+    /// A shared handle to this engine's solve cache, for handing to
+    /// [`Engine::with_cache`].
+    pub fn cache_handle(&self) -> Arc<SolveCache> {
+        Arc::clone(&self.cache)
+    }
+
     /// The active configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config

@@ -507,6 +507,37 @@ impl ScheduleSession {
     /// plan itself is a pure function of the event history (context reuse
     /// and warm starts never change a byte — asserted in tests).
     pub fn replan(&mut self, t: f64) -> Result<&EpochStats, SessionError> {
+        // Route through the session-owned (or a throwaway cold) context.
+        // `mem::replace` frees the `&mut self` borrow for `replan_inner`;
+        // a fresh `SolveContext` is lazy and allocation-free until used.
+        let mut ctx = if self.cfg.reuse_context {
+            std::mem::replace(&mut self.ctx, SolveContext::new())
+        } else {
+            SolveContext::new()
+        };
+        let res = self.replan_inner(&mut ctx, t);
+        if self.cfg.reuse_context {
+            self.ctx = ctx;
+        }
+        res?;
+        Ok(self.epochs.last().expect("replan_inner pushed an epoch"))
+    }
+
+    /// [`replan`](Self::replan), but through a caller-owned LP context —
+    /// the hook the serving daemon uses to share one warm context per
+    /// shard across every session the shard owns. The plan is a pure
+    /// function of the event history, so which context solved it (warm,
+    /// cold, shared, session-owned) never changes a byte.
+    pub fn replan_in(
+        &mut self,
+        ctx: &mut SolveContext,
+        t: f64,
+    ) -> Result<&EpochStats, SessionError> {
+        self.replan_inner(ctx, t)?;
+        Ok(self.epochs.last().expect("replan_inner pushed an epoch"))
+    }
+
+    fn replan_inner(&mut self, ctx: &mut SolveContext, t: f64) -> Result<(), SessionError> {
         let _span = mtsp_obs::span!("engine.replan");
         let t0 = Instant::now();
         self.advance(t)?;
@@ -524,7 +555,7 @@ impl ScheduleSession {
                 counters,
                 wall: t0.elapsed(),
             });
-            return Ok(self.epochs.last().expect("just pushed"));
+            return Ok(());
         }
 
         // Suffix sub-instance on the active machine count.
@@ -570,12 +601,6 @@ impl ScheduleSession {
         let params = self.cfg.jz.params.unwrap_or_else(|| our_params(self.m));
         validate_params(&params, self.m).map_err(SessionError::Core)?;
 
-        let mut cold_ctx = SolveContext::new();
-        let ctx = if self.cfg.reuse_context {
-            &mut self.ctx
-        } else {
-            &mut cold_ctx
-        };
         let counters_at_entry = *ctx.counters();
         ctx.counters_mut().inc(Counter::SessionEpochs);
         ctx.counters_mut().add(Counter::FrozenTasks, frozen);
@@ -600,7 +625,7 @@ impl ScheduleSession {
             counters,
             wall: t0.elapsed(),
         });
-        Ok(self.epochs.last().expect("just pushed"))
+        Ok(())
     }
 }
 
@@ -674,6 +699,45 @@ mod tests {
                 out
             };
             assert_eq!(run(true), run(false), "{phase1:?}");
+        }
+    }
+
+    /// One external context shared across *different* sessions (the
+    /// daemon's shard shape: one warm context, many tenants' sessions
+    /// interleaving on it) plans byte-identically to per-session owned
+    /// contexts.
+    #[test]
+    fn shared_external_context_plans_identically() {
+        let instances: Vec<Instance> = (0..3)
+            .map(|s| random_instance(DagFamily::ForkJoin, CurveFamily::Amdahl, 10, 4, s))
+            .collect();
+        let epochs_owned: Vec<(u64, Vec<usize>)> = instances
+            .iter()
+            .map(|ins| {
+                let mut s = batch_session(ins, SessionConfig::new());
+                let e = *s.replan(0.0).unwrap();
+                let alloc = (0..ins.n()).map(|j| s.planned_alloc(j).unwrap()).collect();
+                (e.cstar.to_bits(), alloc)
+            })
+            .collect();
+        // Same sessions, interleaved twice over one shared warm context.
+        let mut shared = SolveContext::new();
+        let mut sessions: Vec<ScheduleSession> = instances
+            .iter()
+            .map(|ins| batch_session(ins, SessionConfig::new()))
+            .collect();
+        for round in 0..2 {
+            for (i, s) in sessions.iter_mut().enumerate() {
+                let e = *s.replan_in(&mut shared, round as f64 * 0.25).unwrap();
+                let alloc: Vec<usize> = (0..instances[i].n())
+                    .map(|j| s.planned_alloc(j).unwrap())
+                    .collect();
+                assert_eq!(
+                    (e.cstar.to_bits(), alloc),
+                    epochs_owned[i],
+                    "session {i} round {round}"
+                );
+            }
         }
     }
 
@@ -807,5 +871,105 @@ mod tests {
         let e = *s.replan(3.0).unwrap();
         assert_eq!((e.pending, e.cstar), (0, 0.0));
         assert_eq!(s.epochs().len(), 2);
+    }
+
+    /// Edge cases around the frozen prefix and the event clock: a started
+    /// or finished task is immovable, machine counts stay inside the
+    /// profile domain, the cycle check keeps working after part of the
+    /// DAG has executed, and every mutator rejects non-monotone or
+    /// non-finite timestamps.
+    #[test]
+    fn frozen_tasks_machine_domain_and_clock_edges() {
+        let mut s = ScheduleSession::new(4, SessionConfig::new()).unwrap();
+        let a = s.arrive(Profile::constant(1.0, 4).unwrap(), 0.0).unwrap();
+        let b = s.arrive(Profile::constant(2.0, 4).unwrap(), 0.0).unwrap();
+        s.add_dependency(a, b, 0.0).unwrap();
+        s.replan(0.0).unwrap();
+        s.mark_started(a, 0.0).unwrap();
+
+        // A running task can be started neither again nor as a successor.
+        assert!(matches!(
+            s.mark_started(a, 0.5),
+            Err(SessionError::TaskNotPending(_))
+        ));
+        // A pending successor of an unfinished predecessor cannot start.
+        assert!(matches!(
+            s.mark_started(b, 0.5),
+            Err(SessionError::PredecessorUnfinished { .. })
+        ));
+        s.mark_finished(a, 1.0).unwrap();
+        // A finished task is frozen: not startable, not re-finishable,
+        // and no longer a legal edge target.
+        assert!(matches!(
+            s.mark_started(a, 1.0),
+            Err(SessionError::TaskNotPending(_))
+        ));
+        assert!(matches!(
+            s.mark_finished(a, 1.5),
+            Err(SessionError::TaskNotRunning(_))
+        ));
+        assert!(matches!(
+            s.add_dependency(b, a, 1.5),
+            Err(SessionError::TaskNotPending(_))
+        ));
+
+        // Machine counts outside the profile domain: zero and above the
+        // domain the profiles were declared for.
+        assert!(matches!(
+            s.set_machines(0, 1.5),
+            Err(SessionError::MachineCount { .. })
+        ));
+        assert!(matches!(
+            s.set_machines(5, 1.5),
+            Err(SessionError::MachineCount { .. })
+        ));
+        s.set_machines(2, 1.5).unwrap();
+
+        // The cycle check still holds on the pending suffix after the
+        // prefix has executed.
+        let c = s.arrive(Profile::constant(1.0, 4).unwrap(), 2.0).unwrap();
+        let d = s.arrive(Profile::constant(1.0, 4).unwrap(), 2.0).unwrap();
+        s.add_dependency(b, c, 2.0).unwrap();
+        s.add_dependency(c, d, 2.0).unwrap();
+        assert!(matches!(
+            s.add_dependency(d, b, 2.0),
+            Err(SessionError::CycleEdge { .. })
+        ));
+
+        // Non-monotone and non-finite clocks are rejected by every
+        // mutator, and a rejected event leaves the clock untouched.
+        let now = s.now();
+        for t in [1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(matches!(
+                s.arrive(Profile::constant(1.0, 4).unwrap(), t),
+                Err(SessionError::TimeRegression { .. })
+            ));
+            assert!(matches!(
+                s.add_dependency(c, d, t),
+                Err(SessionError::TimeRegression { .. })
+            ));
+            assert!(matches!(
+                s.set_machines(2, t),
+                Err(SessionError::TimeRegression { .. })
+            ));
+            assert!(matches!(
+                s.mark_started(b, t),
+                Err(SessionError::TimeRegression { .. })
+            ));
+            assert!(matches!(
+                s.mark_finished(b, t),
+                Err(SessionError::TimeRegression { .. })
+            ));
+            assert!(matches!(
+                s.replan(t),
+                Err(SessionError::TimeRegression { .. })
+            ));
+            assert_eq!(s.now(), now, "rejected events must not advance the clock");
+        }
+
+        // The session still works after all those rejections.
+        s.replan(2.0).unwrap();
+        s.mark_started(b, 2.0).unwrap();
+        s.mark_finished(b, 4.0).unwrap();
     }
 }

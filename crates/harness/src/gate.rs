@@ -24,11 +24,18 @@ pub const PERF_FLOOR_KEY: &str = "perf_floor_jobs_per_sec";
 /// under the `"scenarios"` key — the merged document `mtsp audit` writes
 /// and the gate checks as one unit.
 pub fn attach_scenarios(report: Value, scenarios: Value) -> Value {
+    attach_section(report, "scenarios", scenarios)
+}
+
+/// Embeds an arbitrary audit section into a corpus report under `key` —
+/// the general form of [`attach_scenarios`], used for the `"serve"`
+/// daemon-audit section.
+pub fn attach_section(report: Value, key: &str, section: Value) -> Value {
     let mut map = report
         .as_object()
         .cloned()
         .expect("report is a JSON object");
-    map.insert("scenarios".to_string(), scenarios);
+    map.insert(key.to_string(), section);
     Value::Object(map)
 }
 
@@ -191,6 +198,18 @@ pub fn check_regression(
         (Some(cur), Some(base)) => check_scenarios(cur, base, ratio_tol, &mut problems),
     }
 
+    // The serve (daemon wire-protocol audit) section, when present. Every
+    // field is deterministic, so the comparison is exact equality — any
+    // drift in the request/rejection/snapshot tallies or the transcript
+    // fingerprint means the wire grammar, quota arithmetic, or planner
+    // changed. Presence must match between report and baseline.
+    match (current.get("serve"), baseline.get("serve")) {
+        (None, None) => {}
+        (Some(_), None) => problems.push("serve section is new; regenerate the baseline".into()),
+        (None, Some(_)) => problems.push("serve section disappeared from the report".into()),
+        (Some(cur), Some(base)) => check_serve(cur, base, &mut problems),
+    }
+
     // Throughput floor (an explicit committed number, not a measurement).
     if let (Some(throughput), Some(floor)) = (
         measured_throughput,
@@ -230,6 +249,35 @@ fn check_counters(current: &Value, baseline: &Value, tol: f64, problems: &mut Ve
                 }
             }
             None => problems.push(format!("counter '{name}' missing from the report")),
+        }
+    }
+}
+
+/// Serve-section half of [`check_regression`]: the daemon audit is
+/// deterministic end to end, so every field must match the baseline
+/// exactly, and the current run must itself report shard consistency.
+fn check_serve(current: &Value, baseline: &Value, problems: &mut Vec<String>) {
+    if current.get("shard_consistent").and_then(Value::as_bool) != Some(true) {
+        problems
+            .push("serve: responses differ across shard counts (shard_consistent != true)".into());
+    }
+    let (Some(cur), Some(base)) = (current.as_object(), baseline.as_object()) else {
+        problems.push("serve: not a JSON object".into());
+        return;
+    };
+    for (name, bval) in base {
+        match cur.get(name) {
+            Some(cval) if cval == bval => {}
+            Some(cval) => problems.push(format!(
+                "serve.{name} changed {bval:?} -> {cval:?}; the daemon audit is exact — \
+                 regenerate the baseline if the change is intended"
+            )),
+            None => problems.push(format!("serve.{name} missing from the report")),
+        }
+    }
+    for name in cur.keys() {
+        if !base.contains_key(name) {
+            problems.push(format!("serve.{name} is new; regenerate the baseline"));
         }
     }
 }
@@ -481,6 +529,68 @@ mod tests {
             problems
                 .iter()
                 .any(|p| p.contains("counters section is new")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn serve_section_drift_is_caught() {
+        let report = smoke_report();
+        let serve = Value::object([
+            ("requests", Value::Int(21)),
+            ("rejections", Value::Int(3)),
+            ("snapshots", Value::Int(1)),
+            ("shard_consistent", Value::Bool(true)),
+        ]);
+        let with_serve = attach_section(report.clone(), "serve", serve.clone());
+        let baseline = make_baseline(&with_serve, 0.5);
+
+        // Identical sections pass.
+        let problems = check_regression(&with_serve, &baseline, None, DEFAULT_RATIO_TOL);
+        assert!(problems.is_empty(), "{problems:?}");
+
+        // Any field drift fails exactly.
+        let drifted = attach_section(
+            with_serve.clone(),
+            "serve",
+            attach_section(serve.clone(), "requests", Value::Int(22)),
+        );
+        let problems = check_regression(&drifted, &baseline, None, DEFAULT_RATIO_TOL);
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("serve.requests changed")),
+            "{problems:?}"
+        );
+
+        // A shard-inconsistent run fails even against a matching baseline.
+        let inconsistent_serve = attach_section(serve, "shard_consistent", Value::Bool(false));
+        let inconsistent = attach_section(with_serve.clone(), "serve", inconsistent_serve.clone());
+        let bad_base = make_baseline(&inconsistent, 0.5);
+        let problems = check_regression(&inconsistent, &bad_base, None, DEFAULT_RATIO_TOL);
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("shard_consistent != true")),
+            "{problems:?}"
+        );
+
+        // Presence must match in both directions.
+        let problems = check_regression(
+            &with_serve,
+            &make_baseline(&report, 0.5),
+            None,
+            DEFAULT_RATIO_TOL,
+        );
+        assert!(
+            problems.iter().any(|p| p.contains("serve section is new")),
+            "{problems:?}"
+        );
+        let problems = check_regression(&report, &baseline, None, DEFAULT_RATIO_TOL);
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("serve section disappeared")),
             "{problems:?}"
         );
     }

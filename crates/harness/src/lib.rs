@@ -36,6 +36,11 @@
 //!   deterministic `"scenarios"` section that `mtsp audit` embeds in the
 //!   gated report (realized vs clairvoyant-batch makespans, feasibility
 //!   cross-checks, epoch counts).
+//! * [`serve`](crate::serve) — the daemon counterpart: a fixed
+//!   multi-tenant `mtsp-wire v1` script (quota rejections, shared-cache
+//!   solves, snapshot → restore) replayed in-process against the
+//!   [`mtsp_serve::Registry`] at shard counts 1 and 4, folded into a
+//!   `"serve"` section the gate compares by exact equality.
 //!
 //! ```
 //! use mtsp_harness::{run_corpus, check_regression, make_baseline, Corpus, RunConfig};
@@ -55,11 +60,13 @@ pub mod corpus;
 pub mod gate;
 pub mod runner;
 pub mod scenario;
+pub mod serve;
 
 pub use audit::{AuditAccumulator, GUARANTEE_SLACK, REPORT_FORMAT};
 pub use corpus::Corpus;
 pub use gate::{
-    attach_scenarios, check_regression, make_baseline, DEFAULT_RATIO_TOL, PERF_FLOOR_KEY,
+    attach_scenarios, attach_section, check_regression, make_baseline, DEFAULT_RATIO_TOL,
+    PERF_FLOOR_KEY,
 };
 pub use runner::{run_corpus, RunConfig, RunOutcome};
 pub use scenario::{
@@ -67,3 +74,4 @@ pub use scenario::{
     ScenarioGrid, ScenarioMetrics, ScenarioOutcome, REPLAY_HEADER, SCENARIO_REPORT_FORMAT,
     SINGLE_REPLAY_FORMAT,
 };
+pub use serve::{run_serve_audit, ServeOutcome, SERVE_SECTION_VERSION};

@@ -1,0 +1,176 @@
+//! The `serve` audit section: a deterministic multi-tenant wire-protocol
+//! exercise folded into the gated quality report.
+//!
+//! A fixed two-stage script (sessions, quota violations, a shared-cache
+//! `SOLVE` pair, snapshot → close → restore → replan) runs **in-process**
+//! against a [`Registry`](mtsp_serve::Registry) at `--shards 1` and
+//! `--shards 4`. The transcripts must match byte-for-byte (the daemon's
+//! determinism contract), and the merged serve counters are embedded so
+//! the regression gate pins the request/rejection/snapshot tallies and
+//! the transcript fingerprint exactly — any drift in the wire grammar,
+//! the quota arithmetic, or the planner shows up as a gate failure.
+
+use mtsp_bench::json::Value;
+use mtsp_model::generate::{random_instance, CurveFamily, DagFamily};
+use mtsp_model::textio::write_instance;
+use mtsp_obs::{Counter, Counters};
+use mtsp_serve::daemon::serve_script;
+use mtsp_serve::{Quotas, Registry, ServeConfig};
+
+/// Version tag of the serve section (bumped with the script or grammar).
+pub const SERVE_SECTION_VERSION: &str = "mtsp-serve-audit v1";
+
+/// Everything the serve audit produced.
+#[derive(Debug, Clone)]
+pub struct ServeOutcome {
+    /// The JSON section embedded under `"serve"` in the audit report.
+    pub section: Value,
+    /// The full reply transcript (shards = 1 run), for debugging.
+    pub transcript: String,
+}
+
+/// 64-bit FNV-1a fingerprint, rendered as fixed-width hex.
+fn fnv1a64_hex(bytes: &[u8]) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+fn builtin_quotas() -> Quotas {
+    Quotas {
+        max_sessions: 2,
+        max_tasks: 3,
+        max_replans_per_sec: 1.0,
+    }
+}
+
+/// Stage-1 script: two tenants, deterministic quota rejections, a
+/// shared-cache `SOLVE` pair, one snapshot.
+fn stage1_script() -> String {
+    let ins = random_instance(DagFamily::Layered, CurveFamily::Mixed, 8, 4, 11);
+    let body = write_instance(&ins);
+    let k = body.lines().count();
+    format!(
+        "\
+OPEN acme s1 4
+OPEN acme s2 4
+OPEN acme s3 4
+OPEN zork s1 4
+ARRIVE acme s1 0.0 8.0 5.0 4.0 3.5
+ARRIVE acme s1 0.0 6.0 3.25 2.5 2.25
+ARRIVE acme s1 0.0 5.0 2.75 2.0 1.75
+ARRIVE acme s1 0.0 4.0 2.5 2.0 1.75
+EDGE acme s1 0.0 0 1
+REPLAN acme s1 0.0
+REPLAN acme s1 0.0
+START acme s1 0.5 0
+ARRIVE zork s1 0.0 7.0 3.75 2.75 2.25
+REPLAN zork s1 0.0
+SOLVE acme {k}
+{body}SOLVE zork {k}
+{body}SNAPSHOT acme s1
+CLOSE acme s2
+"
+    )
+}
+
+/// Stage-2 script: restore the stage-1 snapshot as a new session of a
+/// third tenant and replan past the frozen prefix.
+fn stage2_script(snapshot: &str) -> String {
+    let k = snapshot.lines().count();
+    format!(
+        "\
+RESTORE migr s1 {k}
+{snapshot}REPLAN migr s1 2.0
+CLOSE migr s1
+STATS
+"
+    )
+}
+
+/// Extracts the body of the last `OK SNAPSHOT <k>` reply in a transcript.
+fn last_snapshot_body(transcript: &str) -> Option<String> {
+    let lines: Vec<&str> = transcript.lines().collect();
+    for (i, line) in lines.iter().enumerate().rev() {
+        if let Some(k) = line
+            .strip_prefix("OK SNAPSHOT ")
+            .and_then(|k| k.parse::<usize>().ok())
+        {
+            return Some(
+                lines[i + 1..i + 1 + k]
+                    .iter()
+                    .map(|l| format!("{l}\n"))
+                    .collect(),
+            );
+        }
+    }
+    None
+}
+
+fn run_one(shards: usize) -> (String, Counters) {
+    let reg = Registry::new(ServeConfig {
+        shards,
+        quotas: builtin_quotas(),
+        ..ServeConfig::default()
+    });
+    let mut transcript = serve_script(&reg, &stage1_script());
+    let snapshot = last_snapshot_body(&transcript).expect("stage-1 script snapshots acme/s1");
+    transcript.push_str(&serve_script(&reg, &stage2_script(&snapshot)));
+    let counters = reg.counters();
+    reg.shutdown();
+    (transcript, counters)
+}
+
+/// Runs the serve audit (shards 1 vs 4) and folds it into a section.
+pub fn run_serve_audit() -> ServeOutcome {
+    let (t1, c1) = run_one(1);
+    let (t4, c4) = run_one(4);
+    let shard_consistent = t1 == t4 && c1 == c4;
+    let section = Value::object([
+        ("rejections", Value::from(c1.get(Counter::ServeRejections))),
+        ("replies", Value::from(t1.lines().count())),
+        ("requests", Value::from(c1.get(Counter::ServeRequests))),
+        ("shard_consistent", Value::from(shard_consistent)),
+        ("snapshots", Value::from(c1.get(Counter::ServeSnapshots))),
+        ("transcript_fnv", Value::from(fnv1a64_hex(t1.as_bytes()))),
+        ("version", Value::from(SERVE_SECTION_VERSION)),
+    ]);
+    ServeOutcome {
+        section,
+        transcript: t1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_audit_is_deterministic_and_shard_consistent() {
+        let a = run_serve_audit();
+        let b = run_serve_audit();
+        assert_eq!(a.section, b.section, "section must be byte-stable");
+        assert_eq!(
+            a.section.get("shard_consistent").and_then(Value::as_bool),
+            Some(true)
+        );
+        // The script exercises every rejection class deterministically:
+        // session quota, task quota, replan-rate quota.
+        let rejections = a.section.get("rejections").and_then(Value::as_i64).unwrap();
+        assert_eq!(rejections, 3, "transcript:\n{}", a.transcript);
+        assert_eq!(a.section.get("snapshots").and_then(Value::as_i64), Some(1));
+        assert!(a.transcript.contains("ERR 3 quota"), "{}", a.transcript);
+        assert!(a.transcript.contains("OK RESTORE"), "{}", a.transcript);
+        // The two SOLVEs of the same instance return identical replies.
+        let solves: Vec<&str> = a
+            .transcript
+            .lines()
+            .filter(|l| l.starts_with("OK SOLVE"))
+            .collect();
+        assert_eq!(solves.len(), 2);
+        assert_eq!(solves[0], solves[1], "shared cache returns identical bytes");
+    }
+}

@@ -24,7 +24,9 @@
 //!   processors, with validation, lower bounds, and a plain-text
 //!   serialization format ([`textio`]);
 //! * [`generate`] — seeded random instance generators combining the DAG
-//!   generators of `mtsp-dag` with the curve families.
+//!   generators of `mtsp-dag` with the curve families;
+//! * [`wire`] — the `mtsp-wire v1` daemon line protocol and the
+//!   `mtsp-session v1` session-log snapshot format.
 
 pub mod assumptions;
 pub mod error;
@@ -33,6 +35,7 @@ pub mod instance;
 pub mod profile;
 pub mod suite;
 pub mod textio;
+pub mod wire;
 pub mod work;
 
 pub use error::ModelError;

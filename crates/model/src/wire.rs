@@ -1,0 +1,1302 @@
+//! Text formats for the serving daemon: the `mtsp-wire v1` line protocol
+//! and the `mtsp-session v1` session-log snapshot.
+//!
+//! # `mtsp-wire v1`
+//!
+//! A line-delimited request/response protocol in the family of
+//! [`textio`](crate::textio): whitespace-separated tokens, floats
+//! rendered with `{:?}` (shortest round-trip), parse errors carrying the
+//! 1-based line number of the offending input line. One request per
+//! line; most replies are one line. Two requests carry a *body* — a
+//! count of raw follow-up lines framed in the request line itself
+//! (`RESTORE … <k>`, `SOLVE … <k>`) — and the `SNAPSHOT`/`STATS` replies
+//! frame a body the same way (`OK SNAPSHOT <k>`), so a reader always
+//! knows how many lines to consume without sniffing content.
+//!
+//! ```text
+//! OPEN <tenant> <session> <m>
+//! ARRIVE <tenant> <session> <t> <p1> … <pm>
+//! EDGE <tenant> <session> <t> <pred> <succ>
+//! MACHINES <tenant> <session> <t> <m>
+//! START <tenant> <session> <t> <task>
+//! FINISH <tenant> <session> <t> <task>
+//! REPLAN <tenant> <session> <t>
+//! SNAPSHOT <tenant> <session>
+//! RESTORE <tenant> <session> <k>      (+ k body lines: mtsp-session v1)
+//! CLOSE <tenant> <session>
+//! SOLVE <tenant> <k>                  (+ k body lines: mtsp-instance v1)
+//! STATS
+//! ```
+//!
+//! Tenant and session names are single tokens over `[A-Za-z0-9._-]`,
+//! at most 64 bytes. Error replies are structured:
+//! `ERR <line> <code> <message…>` where `<line>` is the input line the
+//! request arrived on and `<code>` is a stable machine-readable word
+//! ([`ErrCode`]).
+//!
+//! # `mtsp-session v1`
+//!
+//! A snapshot of one online session as its **event log**: every
+//! state-changing event in arrival order with its logical timestamp.
+//! Replaying the log through a fresh `ScheduleSession` reproduces the
+//! session bit-exactly — plans are pure functions of the event history,
+//! so the log *is* the state (frozen allotments included, because
+//! `replan` events are part of the log and re-run on restore).
+//!
+//! ```text
+//! mtsp-session v1
+//! m <profile-domain-machines>
+//! events <k>
+//! arrive <t> <p1> … <pm>
+//! edge <t> <pred> <succ>
+//! machines <t> <m>
+//! start <t> <task>
+//! finish <t> <task>
+//! replan <t>
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::error::ModelError;
+
+/// Magic first line of the session-log snapshot format.
+pub const SESSION_HEADER: &str = "mtsp-session v1";
+
+/// Maximum byte length of a tenant or session name token.
+pub const MAX_NAME_LEN: usize = 64;
+
+fn err(line: usize, msg: impl Into<String>) -> ModelError {
+    ModelError::Parse {
+        line,
+        msg: msg.into(),
+    }
+}
+
+fn parse_finite(tok: &str, ln: usize, what: &str) -> Result<f64, ModelError> {
+    let v: f64 = tok
+        .parse()
+        .map_err(|e| err(ln, format!("bad {what}: {e}")))?;
+    if !v.is_finite() {
+        return Err(err(ln, format!("non-finite {what} '{tok}'")));
+    }
+    Ok(v)
+}
+
+fn parse_usize(tok: &str, ln: usize, what: &str) -> Result<usize, ModelError> {
+    tok.parse().map_err(|e| err(ln, format!("bad {what}: {e}")))
+}
+
+/// Checks that `name` is a valid tenant/session token: non-empty, at most
+/// [`MAX_NAME_LEN`] bytes, over `[A-Za-z0-9._-]`.
+pub fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= MAX_NAME_LEN
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-')
+}
+
+fn parse_name(tok: &str, ln: usize, what: &str) -> Result<String, ModelError> {
+    if !valid_name(tok) {
+        return Err(err(
+            ln,
+            format!("bad {what} '{tok}': names are 1-{MAX_NAME_LEN} chars of [A-Za-z0-9._-]"),
+        ));
+    }
+    Ok(tok.to_string())
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+/// One parsed `mtsp-wire v1` request line. `Restore`/`Solve` announce a
+/// body of `body_lines` raw follow-up lines that the transport layer must
+/// read and hand to the daemon alongside the request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// `OPEN <tenant> <session> <m>` — create a session with `m` machines.
+    Open {
+        /// Tenant name.
+        tenant: String,
+        /// Session name, unique per tenant.
+        session: String,
+        /// Machine count (also the profile domain of later arrivals).
+        m: usize,
+    },
+    /// `ARRIVE <tenant> <session> <t> <p1> … <pm>` — task arrival.
+    Arrive {
+        /// Tenant name.
+        tenant: String,
+        /// Session name.
+        session: String,
+        /// Logical event time.
+        t: f64,
+        /// Processing-time profile `p(1..=m)`.
+        times: Vec<f64>,
+    },
+    /// `EDGE <tenant> <session> <t> <pred> <succ>` — precedence edge.
+    Edge {
+        /// Tenant name.
+        tenant: String,
+        /// Session name.
+        session: String,
+        /// Logical event time.
+        t: f64,
+        /// Predecessor task id.
+        pred: usize,
+        /// Successor task id.
+        succ: usize,
+    },
+    /// `MACHINES <tenant> <session> <t> <m>` — machine-count change.
+    Machines {
+        /// Tenant name.
+        tenant: String,
+        /// Session name.
+        session: String,
+        /// Logical event time.
+        t: f64,
+        /// New machine count.
+        m: usize,
+    },
+    /// `START <tenant> <session> <t> <task>` — freeze a planned task.
+    Start {
+        /// Tenant name.
+        tenant: String,
+        /// Session name.
+        session: String,
+        /// Logical event time.
+        t: f64,
+        /// Task id.
+        task: usize,
+    },
+    /// `FINISH <tenant> <session> <t> <task>` — complete a running task.
+    Finish {
+        /// Tenant name.
+        tenant: String,
+        /// Session name.
+        session: String,
+        /// Logical event time.
+        t: f64,
+        /// Task id.
+        task: usize,
+    },
+    /// `REPLAN <tenant> <session> <t>` — re-run phase 1 over the suffix.
+    Replan {
+        /// Tenant name.
+        tenant: String,
+        /// Session name.
+        session: String,
+        /// Logical event time.
+        t: f64,
+    },
+    /// `SNAPSHOT <tenant> <session>` — render the session log.
+    Snapshot {
+        /// Tenant name.
+        tenant: String,
+        /// Session name.
+        session: String,
+    },
+    /// `RESTORE <tenant> <session> <k>` — recreate a session from a
+    /// `k`-line `mtsp-session v1` body.
+    Restore {
+        /// Tenant name.
+        tenant: String,
+        /// Session name.
+        session: String,
+        /// Number of body lines that follow this request line.
+        body_lines: usize,
+    },
+    /// `CLOSE <tenant> <session>` — drop the session.
+    Close {
+        /// Tenant name.
+        tenant: String,
+        /// Session name.
+        session: String,
+    },
+    /// `SOLVE <tenant> <k>` — one-shot batch solve of a `k`-line
+    /// `mtsp-instance v1` body through the shared engine cache.
+    Solve {
+        /// Tenant name.
+        tenant: String,
+        /// Number of body lines that follow this request line.
+        body_lines: usize,
+    },
+    /// `STATS` — deterministic daemon counters.
+    Stats,
+}
+
+impl Request {
+    /// The tenant this request bills to, if any.
+    pub fn tenant(&self) -> Option<&str> {
+        match self {
+            Request::Open { tenant, .. }
+            | Request::Arrive { tenant, .. }
+            | Request::Edge { tenant, .. }
+            | Request::Machines { tenant, .. }
+            | Request::Start { tenant, .. }
+            | Request::Finish { tenant, .. }
+            | Request::Replan { tenant, .. }
+            | Request::Snapshot { tenant, .. }
+            | Request::Restore { tenant, .. }
+            | Request::Close { tenant, .. }
+            | Request::Solve { tenant, .. } => Some(tenant),
+            Request::Stats => None,
+        }
+    }
+
+    /// The session this request addresses, if any.
+    pub fn session(&self) -> Option<&str> {
+        match self {
+            Request::Open { session, .. }
+            | Request::Arrive { session, .. }
+            | Request::Edge { session, .. }
+            | Request::Machines { session, .. }
+            | Request::Start { session, .. }
+            | Request::Finish { session, .. }
+            | Request::Replan { session, .. }
+            | Request::Snapshot { session, .. }
+            | Request::Restore { session, .. }
+            | Request::Close { session, .. } => Some(session),
+            Request::Solve { .. } | Request::Stats => None,
+        }
+    }
+
+    /// Number of raw body lines that follow the request line (0 for most).
+    pub fn body_lines(&self) -> usize {
+        match self {
+            Request::Restore { body_lines, .. } | Request::Solve { body_lines, .. } => *body_lines,
+            _ => 0,
+        }
+    }
+}
+
+/// Serializes a request to its one-line wire form (no trailing newline;
+/// bodies are transported separately).
+pub fn write_request(req: &Request) -> String {
+    match req {
+        Request::Open { tenant, session, m } => format!("OPEN {tenant} {session} {m}"),
+        Request::Arrive {
+            tenant,
+            session,
+            t,
+            times,
+        } => {
+            let mut s = format!("ARRIVE {tenant} {session} {t:?}");
+            for p in times {
+                let _ = write!(s, " {p:?}");
+            }
+            s
+        }
+        Request::Edge {
+            tenant,
+            session,
+            t,
+            pred,
+            succ,
+        } => format!("EDGE {tenant} {session} {t:?} {pred} {succ}"),
+        Request::Machines {
+            tenant,
+            session,
+            t,
+            m,
+        } => format!("MACHINES {tenant} {session} {t:?} {m}"),
+        Request::Start {
+            tenant,
+            session,
+            t,
+            task,
+        } => format!("START {tenant} {session} {t:?} {task}"),
+        Request::Finish {
+            tenant,
+            session,
+            t,
+            task,
+        } => format!("FINISH {tenant} {session} {t:?} {task}"),
+        Request::Replan { tenant, session, t } => format!("REPLAN {tenant} {session} {t:?}"),
+        Request::Snapshot { tenant, session } => format!("SNAPSHOT {tenant} {session}"),
+        Request::Restore {
+            tenant,
+            session,
+            body_lines,
+        } => format!("RESTORE {tenant} {session} {body_lines}"),
+        Request::Close { tenant, session } => format!("CLOSE {tenant} {session}"),
+        Request::Solve { tenant, body_lines } => format!("SOLVE {tenant} {body_lines}"),
+        Request::Stats => "STATS".to_string(),
+    }
+}
+
+/// Parses one request line. `ln` is the 1-based input line number,
+/// embedded in the error on failure (and echoed by the daemon's `ERR`
+/// replies).
+pub fn parse_request(line: &str, ln: usize) -> Result<Request, ModelError> {
+    let mut parts = line.split_whitespace();
+    let verb = parts.next().ok_or_else(|| err(ln, "empty request"))?;
+    let toks: Vec<&str> = parts.collect();
+    let need = |n: usize, shape: &str| -> Result<(), ModelError> {
+        if toks.len() == n {
+            Ok(())
+        } else {
+            Err(err(
+                ln,
+                format!("{verb} expects '{verb} {shape}', got {} args", toks.len()),
+            ))
+        }
+    };
+    let name = |i: usize, what: &str| parse_name(toks[i], ln, what);
+    match verb {
+        "OPEN" => {
+            need(3, "<tenant> <session> <m>")?;
+            Ok(Request::Open {
+                tenant: name(0, "tenant")?,
+                session: name(1, "session")?,
+                m: parse_usize(toks[2], ln, "machine count")?,
+            })
+        }
+        "ARRIVE" => {
+            if toks.len() < 4 {
+                return Err(err(ln, "ARRIVE expects '<tenant> <session> <t> <p1> …'"));
+            }
+            let times = toks[3..]
+                .iter()
+                .map(|tok| parse_finite(tok, ln, "processing time"))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Request::Arrive {
+                tenant: name(0, "tenant")?,
+                session: name(1, "session")?,
+                t: parse_finite(toks[2], ln, "event time")?,
+                times,
+            })
+        }
+        "EDGE" => {
+            need(5, "<tenant> <session> <t> <pred> <succ>")?;
+            Ok(Request::Edge {
+                tenant: name(0, "tenant")?,
+                session: name(1, "session")?,
+                t: parse_finite(toks[2], ln, "event time")?,
+                pred: parse_usize(toks[3], ln, "pred task")?,
+                succ: parse_usize(toks[4], ln, "succ task")?,
+            })
+        }
+        "MACHINES" => {
+            need(4, "<tenant> <session> <t> <m>")?;
+            Ok(Request::Machines {
+                tenant: name(0, "tenant")?,
+                session: name(1, "session")?,
+                t: parse_finite(toks[2], ln, "event time")?,
+                m: parse_usize(toks[3], ln, "machine count")?,
+            })
+        }
+        "START" => {
+            need(4, "<tenant> <session> <t> <task>")?;
+            Ok(Request::Start {
+                tenant: name(0, "tenant")?,
+                session: name(1, "session")?,
+                t: parse_finite(toks[2], ln, "event time")?,
+                task: parse_usize(toks[3], ln, "task id")?,
+            })
+        }
+        "FINISH" => {
+            need(4, "<tenant> <session> <t> <task>")?;
+            Ok(Request::Finish {
+                tenant: name(0, "tenant")?,
+                session: name(1, "session")?,
+                t: parse_finite(toks[2], ln, "event time")?,
+                task: parse_usize(toks[3], ln, "task id")?,
+            })
+        }
+        "REPLAN" => {
+            need(3, "<tenant> <session> <t>")?;
+            Ok(Request::Replan {
+                tenant: name(0, "tenant")?,
+                session: name(1, "session")?,
+                t: parse_finite(toks[2], ln, "event time")?,
+            })
+        }
+        "SNAPSHOT" => {
+            need(2, "<tenant> <session>")?;
+            Ok(Request::Snapshot {
+                tenant: name(0, "tenant")?,
+                session: name(1, "session")?,
+            })
+        }
+        "RESTORE" => {
+            need(3, "<tenant> <session> <body-lines>")?;
+            Ok(Request::Restore {
+                tenant: name(0, "tenant")?,
+                session: name(1, "session")?,
+                body_lines: parse_usize(toks[2], ln, "body line count")?,
+            })
+        }
+        "CLOSE" => {
+            need(2, "<tenant> <session>")?;
+            Ok(Request::Close {
+                tenant: name(0, "tenant")?,
+                session: name(1, "session")?,
+            })
+        }
+        "SOLVE" => {
+            need(2, "<tenant> <body-lines>")?;
+            Ok(Request::Solve {
+                tenant: name(0, "tenant")?,
+                body_lines: parse_usize(toks[1], ln, "body line count")?,
+            })
+        }
+        "STATS" => {
+            need(0, "")?;
+            Ok(Request::Stats)
+        }
+        _ => Err(err(ln, format!("unknown request verb '{verb}'"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+/// Stable machine-readable error codes carried by `ERR` replies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrCode {
+    /// The request line failed to parse.
+    Parse,
+    /// The request was well-formed but violated the protocol (e.g. a
+    /// session that already exists, a body miscount).
+    Proto,
+    /// A per-tenant quota rejected the request.
+    Quota,
+    /// The addressed session does not exist.
+    NoSession,
+    /// The session rejected the event (`SessionError` downstream).
+    Session,
+    /// The one-shot solve failed.
+    Solve,
+}
+
+impl ErrCode {
+    /// The wire word for this code.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrCode::Parse => "parse",
+            ErrCode::Proto => "proto",
+            ErrCode::Quota => "quota",
+            ErrCode::NoSession => "no-session",
+            ErrCode::Session => "session",
+            ErrCode::Solve => "solve",
+        }
+    }
+
+    /// Parses a wire word back into a code.
+    pub fn parse_name(s: &str) -> Option<ErrCode> {
+        Some(match s {
+            "parse" => ErrCode::Parse,
+            "proto" => ErrCode::Proto,
+            "quota" => ErrCode::Quota,
+            "no-session" => ErrCode::NoSession,
+            "session" => ErrCode::Session,
+            "solve" => ErrCode::Solve,
+            _ => return None,
+        })
+    }
+}
+
+/// One `mtsp-wire v1` reply line. `SnapshotOk`/`StatsOk` announce a body
+/// of `body_lines` raw follow-up lines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// `OK OPEN <session>`.
+    OpenOk {
+        /// The opened session's name.
+        session: String,
+    },
+    /// `OK ARRIVE <task>` — the arrived task's id within the session.
+    ArriveOk {
+        /// Task id assigned by the session (dense, arrival order).
+        task: usize,
+    },
+    /// `OK EDGE`.
+    EdgeOk,
+    /// `OK MACHINES <m>`.
+    MachinesOk {
+        /// The new machine count.
+        m: usize,
+    },
+    /// `OK START <task> <alloc>` — the frozen allotment.
+    StartOk {
+        /// Task id.
+        task: usize,
+        /// Machines the task was frozen at.
+        alloc: usize,
+    },
+    /// `OK FINISH <task>`.
+    FinishOk {
+        /// Task id.
+        task: usize,
+    },
+    /// `OK REPLAN <pending> <cstar> <j>:<a> …` — epoch summary: pending
+    /// task count, the epoch's fractional lower bound, and the planned
+    /// allotment of every pending task in task-id order.
+    ReplanOk {
+        /// Tasks re-planned in this epoch (not yet started).
+        pending: usize,
+        /// Phase-1 fractional optimum `C*` of the epoch.
+        cstar: f64,
+        /// `(task, machines)` planned allotments, ascending task id.
+        alloc: Vec<(usize, usize)>,
+    },
+    /// `OK SNAPSHOT <k>` + `k` body lines (`mtsp-session v1`).
+    SnapshotOk {
+        /// Number of body lines that follow.
+        body_lines: usize,
+    },
+    /// `OK RESTORE <events>` — events replayed.
+    RestoreOk {
+        /// Number of events replayed from the log.
+        events: usize,
+    },
+    /// `OK CLOSE <events>` — events the session had absorbed.
+    CloseOk {
+        /// Number of events the closed session had absorbed.
+        events: usize,
+    },
+    /// `OK SOLVE <makespan> <cstar> <a1> …` — one-shot solve result.
+    SolveOk {
+        /// Schedule makespan.
+        makespan: f64,
+        /// Fractional lower bound `C*`.
+        cstar: f64,
+        /// Final allotment per task.
+        alloc: Vec<usize>,
+    },
+    /// `OK STATS <k>` + `k` body lines (`name value` counter rows).
+    StatsOk {
+        /// Number of body lines that follow.
+        body_lines: usize,
+    },
+    /// `ERR <line> <code> <message…>`.
+    Err {
+        /// 1-based input line number of the offending request.
+        line: usize,
+        /// Stable machine-readable code.
+        code: ErrCode,
+        /// Human-readable message (single line).
+        msg: String,
+    },
+}
+
+impl Response {
+    /// Number of raw body lines that follow the reply line (0 for most).
+    pub fn body_lines(&self) -> usize {
+        match self {
+            Response::SnapshotOk { body_lines } | Response::StatsOk { body_lines } => *body_lines,
+            _ => 0,
+        }
+    }
+
+    /// Builds an error reply.
+    pub fn error(line: usize, code: ErrCode, msg: impl Into<String>) -> Response {
+        let msg: String = msg.into();
+        debug_assert!(!msg.contains('\n'), "ERR messages are single-line");
+        Response::Err {
+            line,
+            code,
+            msg: msg.replace('\n', " "),
+        }
+    }
+}
+
+/// Serializes a reply to its one-line wire form (no trailing newline).
+pub fn write_response(resp: &Response) -> String {
+    match resp {
+        Response::OpenOk { session } => format!("OK OPEN {session}"),
+        Response::ArriveOk { task } => format!("OK ARRIVE {task}"),
+        Response::EdgeOk => "OK EDGE".to_string(),
+        Response::MachinesOk { m } => format!("OK MACHINES {m}"),
+        Response::StartOk { task, alloc } => format!("OK START {task} {alloc}"),
+        Response::FinishOk { task } => format!("OK FINISH {task}"),
+        Response::ReplanOk {
+            pending,
+            cstar,
+            alloc,
+        } => {
+            let mut s = format!("OK REPLAN {pending} {cstar:?}");
+            for (j, a) in alloc {
+                let _ = write!(s, " {j}:{a}");
+            }
+            s
+        }
+        Response::SnapshotOk { body_lines } => format!("OK SNAPSHOT {body_lines}"),
+        Response::RestoreOk { events } => format!("OK RESTORE {events}"),
+        Response::CloseOk { events } => format!("OK CLOSE {events}"),
+        Response::SolveOk {
+            makespan,
+            cstar,
+            alloc,
+        } => {
+            let mut s = format!("OK SOLVE {makespan:?} {cstar:?}");
+            for a in alloc {
+                let _ = write!(s, " {a}");
+            }
+            s
+        }
+        Response::StatsOk { body_lines } => format!("OK STATS {body_lines}"),
+        Response::Err { line, code, msg } => format!("ERR {line} {} {msg}", code.name()),
+    }
+}
+
+/// Parses one reply line (the client side of the protocol). `ln` is the
+/// 1-based line number within the reply stream.
+pub fn parse_response(line: &str, ln: usize) -> Result<Response, ModelError> {
+    let trimmed = line.trim();
+    if let Some(rest) = trimmed.strip_prefix("ERR ") {
+        let mut parts = rest.splitn(3, ' ');
+        let l = parts
+            .next()
+            .ok_or_else(|| err(ln, "ERR missing line number"))?;
+        let code = parts.next().ok_or_else(|| err(ln, "ERR missing code"))?;
+        let msg = parts.next().unwrap_or("").to_string();
+        return Ok(Response::Err {
+            line: parse_usize(l, ln, "ERR line number")?,
+            code: ErrCode::parse_name(code)
+                .ok_or_else(|| err(ln, format!("unknown ERR code '{code}'")))?,
+            msg,
+        });
+    }
+    let mut parts = trimmed.split_whitespace();
+    if parts.next() != Some("OK") {
+        return Err(err(ln, format!("expected 'OK …' or 'ERR …', got '{line}'")));
+    }
+    let verb = parts.next().ok_or_else(|| err(ln, "OK missing verb"))?;
+    let toks: Vec<&str> = parts.collect();
+    let need = |n: usize| -> Result<(), ModelError> {
+        if toks.len() == n {
+            Ok(())
+        } else {
+            Err(err(
+                ln,
+                format!("OK {verb} expects {n} args, got {}", toks.len()),
+            ))
+        }
+    };
+    match verb {
+        "OPEN" => {
+            need(1)?;
+            Ok(Response::OpenOk {
+                session: parse_name(toks[0], ln, "session")?,
+            })
+        }
+        "ARRIVE" => {
+            need(1)?;
+            Ok(Response::ArriveOk {
+                task: parse_usize(toks[0], ln, "task id")?,
+            })
+        }
+        "EDGE" => {
+            need(0)?;
+            Ok(Response::EdgeOk)
+        }
+        "MACHINES" => {
+            need(1)?;
+            Ok(Response::MachinesOk {
+                m: parse_usize(toks[0], ln, "machine count")?,
+            })
+        }
+        "START" => {
+            need(2)?;
+            Ok(Response::StartOk {
+                task: parse_usize(toks[0], ln, "task id")?,
+                alloc: parse_usize(toks[1], ln, "allotment")?,
+            })
+        }
+        "FINISH" => {
+            need(1)?;
+            Ok(Response::FinishOk {
+                task: parse_usize(toks[0], ln, "task id")?,
+            })
+        }
+        "REPLAN" => {
+            if toks.len() < 2 {
+                return Err(err(ln, "OK REPLAN expects '<pending> <cstar> [j:a …]'"));
+            }
+            let pending = parse_usize(toks[0], ln, "pending count")?;
+            let cstar = parse_finite(toks[1], ln, "cstar")?;
+            let alloc = toks[2..]
+                .iter()
+                .map(|tok| {
+                    let (j, a) = tok
+                        .split_once(':')
+                        .ok_or_else(|| err(ln, format!("bad alloc pair '{tok}'")))?;
+                    Ok((
+                        parse_usize(j, ln, "alloc task")?,
+                        parse_usize(a, ln, "alloc machines")?,
+                    ))
+                })
+                .collect::<Result<Vec<_>, ModelError>>()?;
+            Ok(Response::ReplanOk {
+                pending,
+                cstar,
+                alloc,
+            })
+        }
+        "SNAPSHOT" => {
+            need(1)?;
+            Ok(Response::SnapshotOk {
+                body_lines: parse_usize(toks[0], ln, "body line count")?,
+            })
+        }
+        "RESTORE" => {
+            need(1)?;
+            Ok(Response::RestoreOk {
+                events: parse_usize(toks[0], ln, "event count")?,
+            })
+        }
+        "CLOSE" => {
+            need(1)?;
+            Ok(Response::CloseOk {
+                events: parse_usize(toks[0], ln, "event count")?,
+            })
+        }
+        "SOLVE" => {
+            if toks.len() < 2 {
+                return Err(err(ln, "OK SOLVE expects '<makespan> <cstar> [alloc …]'"));
+            }
+            let makespan = parse_finite(toks[0], ln, "makespan")?;
+            let cstar = parse_finite(toks[1], ln, "cstar")?;
+            let alloc = toks[2..]
+                .iter()
+                .map(|tok| parse_usize(tok, ln, "allotment"))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Response::SolveOk {
+                makespan,
+                cstar,
+                alloc,
+            })
+        }
+        "STATS" => {
+            need(1)?;
+            Ok(Response::StatsOk {
+                body_lines: parse_usize(toks[0], ln, "body line count")?,
+            })
+        }
+        _ => Err(err(ln, format!("unknown reply verb '{verb}'"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Session log (`mtsp-session v1`)
+// ---------------------------------------------------------------------------
+
+/// One state-changing event of an online session, with its logical
+/// timestamp. The variants mirror the `ScheduleSession` mutators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionEvent {
+    /// Task arrival with its processing-time profile `p(1..=m)`.
+    Arrive {
+        /// Logical event time.
+        t: f64,
+        /// Processing-time profile over the session's profile domain.
+        times: Vec<f64>,
+    },
+    /// Precedence edge added.
+    Edge {
+        /// Logical event time.
+        t: f64,
+        /// Predecessor task id.
+        pred: usize,
+        /// Successor task id.
+        succ: usize,
+    },
+    /// Machine-count change.
+    Machines {
+        /// Logical event time.
+        t: f64,
+        /// New machine count.
+        m: usize,
+    },
+    /// Task started (allotment frozen at the current plan).
+    Start {
+        /// Logical event time.
+        t: f64,
+        /// Task id.
+        task: usize,
+    },
+    /// Task finished.
+    Finish {
+        /// Logical event time.
+        t: f64,
+        /// Task id.
+        task: usize,
+    },
+    /// Epoch re-plan.
+    Replan {
+        /// Logical event time.
+        t: f64,
+    },
+}
+
+impl SessionEvent {
+    /// The event's logical timestamp.
+    pub fn time(&self) -> f64 {
+        match self {
+            SessionEvent::Arrive { t, .. }
+            | SessionEvent::Edge { t, .. }
+            | SessionEvent::Machines { t, .. }
+            | SessionEvent::Start { t, .. }
+            | SessionEvent::Finish { t, .. }
+            | SessionEvent::Replan { t } => *t,
+        }
+    }
+}
+
+/// A session snapshot: the profile-domain machine count plus the full
+/// event log in arrival order. See the module docs for the text format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionLog {
+    /// Profile-domain machine count the session was opened with.
+    pub m: usize,
+    /// Every event in arrival order.
+    pub events: Vec<SessionEvent>,
+}
+
+/// Serializes a session log to the `mtsp-session v1` text format.
+pub fn write_session_log(log: &SessionLog) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{SESSION_HEADER}");
+    let _ = writeln!(s, "m {}", log.m);
+    let _ = writeln!(s, "events {}", log.events.len());
+    for e in &log.events {
+        match e {
+            SessionEvent::Arrive { t, times } => {
+                let _ = write!(s, "arrive {t:?}");
+                for p in times {
+                    let _ = write!(s, " {p:?}");
+                }
+                s.push('\n');
+            }
+            SessionEvent::Edge { t, pred, succ } => {
+                let _ = writeln!(s, "edge {t:?} {pred} {succ}");
+            }
+            SessionEvent::Machines { t, m } => {
+                let _ = writeln!(s, "machines {t:?} {m}");
+            }
+            SessionEvent::Start { t, task } => {
+                let _ = writeln!(s, "start {t:?} {task}");
+            }
+            SessionEvent::Finish { t, task } => {
+                let _ = writeln!(s, "finish {t:?} {task}");
+            }
+            SessionEvent::Replan { t } => {
+                let _ = writeln!(s, "replan {t:?}");
+            }
+        }
+    }
+    s
+}
+
+/// Parses the `mtsp-session v1` text format. Errors carry the 1-based
+/// line number of the offending line. Validation here is structural
+/// (finite times, profile arity, monotone timestamps); semantic
+/// admissibility is re-checked when the log is replayed through a real
+/// session.
+pub fn parse_session_log(text: &str) -> Result<SessionLog, ModelError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
+
+    let (ln, header) = lines.next().ok_or_else(|| err(0, "empty input"))?;
+    if header != SESSION_HEADER {
+        return Err(err(
+            ln,
+            format!("expected header '{SESSION_HEADER}', got '{header}'"),
+        ));
+    }
+
+    let parse_kv = |expect: &str, item: Option<(usize, &str)>| -> Result<usize, ModelError> {
+        let (ln, line) = item.ok_or_else(|| err(0, format!("missing '{expect}' line")))?;
+        let mut parts = line.split_whitespace();
+        match (parts.next(), parts.next(), parts.next()) {
+            (Some(k), Some(v), None) if k == expect => v
+                .parse::<usize>()
+                .map_err(|e| err(ln, format!("bad {expect} value: {e}"))),
+            _ => Err(err(
+                ln,
+                format!("expected '{expect} <count>', got '{line}'"),
+            )),
+        }
+    };
+
+    let m = parse_kv("m", lines.next())?;
+    if m == 0 {
+        return Err(err(0, "m must be at least 1"));
+    }
+    let k = parse_kv("events", lines.next())?;
+
+    let mut events = Vec::with_capacity(k);
+    let mut last_t = f64::NEG_INFINITY;
+    for _ in 0..k {
+        let (ln, line) = lines
+            .next()
+            .ok_or_else(|| err(0, "unexpected end of input in event list"))?;
+        let mut parts = line.split_whitespace();
+        let kind = parts.next().expect("non-empty line has a first token");
+        let toks: Vec<&str> = parts.collect();
+        let t = parse_finite(
+            toks.first().ok_or_else(|| err(ln, "event missing time"))?,
+            ln,
+            "event time",
+        )?;
+        if t < last_t {
+            return Err(err(
+                ln,
+                format!("event time {t:?} regresses below {last_t:?}"),
+            ));
+        }
+        last_t = t;
+        let need = |n: usize, shape: &str| -> Result<(), ModelError> {
+            if toks.len() == n {
+                Ok(())
+            } else {
+                Err(err(ln, format!("{kind} expects '{kind} {shape}'")))
+            }
+        };
+        let ev = match kind {
+            "arrive" => {
+                let times = toks[1..]
+                    .iter()
+                    .map(|tok| parse_finite(tok, ln, "processing time"))
+                    .collect::<Result<Vec<_>, _>>()?;
+                if times.len() != m {
+                    return Err(err(
+                        ln,
+                        format!("arrive has {} times, expected m = {m}", times.len()),
+                    ));
+                }
+                SessionEvent::Arrive { t, times }
+            }
+            "edge" => {
+                need(3, "<t> <pred> <succ>")?;
+                SessionEvent::Edge {
+                    t,
+                    pred: parse_usize(toks[1], ln, "pred task")?,
+                    succ: parse_usize(toks[2], ln, "succ task")?,
+                }
+            }
+            "machines" => {
+                need(2, "<t> <m>")?;
+                SessionEvent::Machines {
+                    t,
+                    m: parse_usize(toks[1], ln, "machine count")?,
+                }
+            }
+            "start" => {
+                need(2, "<t> <task>")?;
+                SessionEvent::Start {
+                    t,
+                    task: parse_usize(toks[1], ln, "task id")?,
+                }
+            }
+            "finish" => {
+                need(2, "<t> <task>")?;
+                SessionEvent::Finish {
+                    t,
+                    task: parse_usize(toks[1], ln, "task id")?,
+                }
+            }
+            "replan" => {
+                need(1, "<t>")?;
+                SessionEvent::Replan { t }
+            }
+            _ => return Err(err(ln, format!("unknown event kind '{kind}'"))),
+        };
+        events.push(ev);
+    }
+    if let Some((ln, line)) = lines.next() {
+        return Err(err(ln, format!("trailing content: '{line}'")));
+    }
+    Ok(SessionLog { m, events })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOLDEN_SESSION: &str = "\
+mtsp-session v1
+m 3
+events 7
+arrive 0.0 6.0 3.5 2.5
+arrive 0.0 4.0 2.25 1.75
+edge 0.0 0 1
+replan 0.0
+start 0.5 0
+machines 1.25 2
+finish 2.0 0
+";
+
+    fn golden_log() -> SessionLog {
+        SessionLog {
+            m: 3,
+            events: vec![
+                SessionEvent::Arrive {
+                    t: 0.0,
+                    times: vec![6.0, 3.5, 2.5],
+                },
+                SessionEvent::Arrive {
+                    t: 0.0,
+                    times: vec![4.0, 2.25, 1.75],
+                },
+                SessionEvent::Edge {
+                    t: 0.0,
+                    pred: 0,
+                    succ: 1,
+                },
+                SessionEvent::Replan { t: 0.0 },
+                SessionEvent::Start { t: 0.5, task: 0 },
+                SessionEvent::Machines { t: 1.25, m: 2 },
+                SessionEvent::Finish { t: 2.0, task: 0 },
+            ],
+        }
+    }
+
+    #[test]
+    fn session_log_golden_bytes() {
+        assert_eq!(write_session_log(&golden_log()), GOLDEN_SESSION);
+    }
+
+    #[test]
+    fn session_log_round_trips() {
+        let log = golden_log();
+        let parsed = parse_session_log(&write_session_log(&log)).unwrap();
+        assert_eq!(parsed, log);
+        // Write-stability: parse → write reproduces the bytes.
+        assert_eq!(write_session_log(&parsed), GOLDEN_SESSION);
+    }
+
+    #[test]
+    fn session_log_rejections_carry_line_numbers() {
+        let cases: &[(&str, usize)] = &[
+            ("mtsp-instance v1\nm 1\nevents 0\n", 1),
+            ("mtsp-session v1\nm 0\nevents 0\n", 0),
+            ("mtsp-session v1\nm 2\nevents 1\narrive 0.0 1.0\n", 4),
+            ("mtsp-session v1\nm 1\nevents 1\narrive inf 1.0\n", 4),
+            ("mtsp-session v1\nm 1\nevents 1\nwobble 0.0\n", 4),
+            (
+                "mtsp-session v1\nm 1\nevents 2\nreplan 1.0\nreplan 0.5\n",
+                5,
+            ),
+            ("mtsp-session v1\nm 1\nevents 1\nstart 0.0 0\nextra\n", 5),
+            ("mtsp-session v1\nm 1\nevents 1\nedge 0.0 0\n", 4),
+        ];
+        for (text, want_line) in cases {
+            match parse_session_log(text) {
+                Err(ModelError::Parse { line, .. }) => {
+                    assert_eq!(line, *want_line, "wrong line for {text:?}")
+                }
+                other => panic!("expected parse error for {text:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn request_golden_round_trip() {
+        let reqs = vec![
+            Request::Open {
+                tenant: "acme".into(),
+                session: "s-1".into(),
+                m: 4,
+            },
+            Request::Arrive {
+                tenant: "acme".into(),
+                session: "s-1".into(),
+                t: 0.0,
+                times: vec![6.0, 3.5, 2.5, 2.0],
+            },
+            Request::Edge {
+                tenant: "acme".into(),
+                session: "s-1".into(),
+                t: 0.5,
+                pred: 0,
+                succ: 1,
+            },
+            Request::Machines {
+                tenant: "acme".into(),
+                session: "s-1".into(),
+                t: 1.0,
+                m: 3,
+            },
+            Request::Start {
+                tenant: "acme".into(),
+                session: "s-1".into(),
+                t: 1.0,
+                task: 0,
+            },
+            Request::Finish {
+                tenant: "acme".into(),
+                session: "s-1".into(),
+                t: 2.0,
+                task: 0,
+            },
+            Request::Replan {
+                tenant: "acme".into(),
+                session: "s-1".into(),
+                t: 2.0,
+            },
+            Request::Snapshot {
+                tenant: "acme".into(),
+                session: "s-1".into(),
+            },
+            Request::Restore {
+                tenant: "acme".into(),
+                session: "s-2".into(),
+                body_lines: 9,
+            },
+            Request::Close {
+                tenant: "acme".into(),
+                session: "s-1".into(),
+            },
+            Request::Solve {
+                tenant: "acme".into(),
+                body_lines: 6,
+            },
+            Request::Stats,
+        ];
+        let golden = "\
+OPEN acme s-1 4
+ARRIVE acme s-1 0.0 6.0 3.5 2.5 2.0
+EDGE acme s-1 0.5 0 1
+MACHINES acme s-1 1.0 3
+START acme s-1 1.0 0
+FINISH acme s-1 2.0 0
+REPLAN acme s-1 2.0
+SNAPSHOT acme s-1
+RESTORE acme s-2 9
+CLOSE acme s-1
+SOLVE acme 6
+STATS";
+        let wire: Vec<String> = reqs.iter().map(write_request).collect();
+        assert_eq!(wire.join("\n"), golden);
+        for (i, (line, req)) in wire.iter().zip(&reqs).enumerate() {
+            let parsed = parse_request(line, i + 1).unwrap();
+            assert_eq!(&parsed, req, "round trip for '{line}'");
+        }
+    }
+
+    #[test]
+    fn response_golden_round_trip() {
+        let resps = vec![
+            Response::OpenOk {
+                session: "s-1".into(),
+            },
+            Response::ArriveOk { task: 7 },
+            Response::EdgeOk,
+            Response::MachinesOk { m: 3 },
+            Response::StartOk { task: 0, alloc: 2 },
+            Response::FinishOk { task: 0 },
+            Response::ReplanOk {
+                pending: 2,
+                cstar: 3.25,
+                alloc: vec![(1, 2), (2, 1)],
+            },
+            Response::SnapshotOk { body_lines: 9 },
+            Response::RestoreOk { events: 6 },
+            Response::CloseOk { events: 6 },
+            Response::SolveOk {
+                makespan: 5.5,
+                cstar: 4.125,
+                alloc: vec![2, 1, 1],
+            },
+            Response::StatsOk { body_lines: 15 },
+            Response::Err {
+                line: 12,
+                code: ErrCode::Quota,
+                msg: "tenant acme exceeds max sessions (2)".into(),
+            },
+        ];
+        let golden = "\
+OK OPEN s-1
+OK ARRIVE 7
+OK EDGE
+OK MACHINES 3
+OK START 0 2
+OK FINISH 0
+OK REPLAN 2 3.25 1:2 2:1
+OK SNAPSHOT 9
+OK RESTORE 6
+OK CLOSE 6
+OK SOLVE 5.5 4.125 2 1 1
+OK STATS 15
+ERR 12 quota tenant acme exceeds max sessions (2)";
+        let wire: Vec<String> = resps.iter().map(write_response).collect();
+        assert_eq!(wire.join("\n"), golden);
+        for (i, (line, resp)) in wire.iter().zip(&resps).enumerate() {
+            let parsed = parse_response(line, i + 1).unwrap();
+            assert_eq!(&parsed, resp, "round trip for '{line}'");
+        }
+    }
+
+    #[test]
+    fn request_rejections_carry_line_numbers() {
+        let cases: &[&str] = &[
+            "",
+            "NUKE acme s-1",
+            "OPEN acme s-1",
+            "OPEN acme s-1 two",
+            "OPEN ac me s-1 2",
+            "OPEN acme s!1 2",
+            "ARRIVE acme s-1 0.0",
+            "ARRIVE acme s-1 inf 1.0",
+            "ARRIVE acme s-1 0.0 nan",
+            "EDGE acme s-1 0.0 0",
+            "REPLAN acme s-1 0.0 9",
+            "STATS now",
+            "SOLVE acme",
+        ];
+        for (i, line) in cases.iter().enumerate() {
+            let ln = i + 10;
+            match parse_request(line, ln) {
+                Err(ModelError::Parse { line: l, .. }) => {
+                    assert_eq!(l, ln, "error should carry the input line for {line:?}")
+                }
+                other => panic!("expected parse error for {line:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn response_rejections() {
+        for line in [
+            "YES OPEN s-1",
+            "OK WOBBLE",
+            "OK START 0",
+            "OK REPLAN 2",
+            "OK REPLAN 2 1.5 3-4",
+            "ERR twelve quota nope",
+            "ERR 3 lava nope",
+        ] {
+            assert!(parse_response(line, 1).is_err(), "should reject {line:?}");
+        }
+        // ERR with an empty message round-trips.
+        let e = Response::error(3, ErrCode::Parse, "");
+        assert_eq!(parse_response(&write_response(&e), 1).unwrap(), e);
+    }
+
+    #[test]
+    fn names_validate() {
+        assert!(valid_name("acme-1.prod_x"));
+        assert!(!valid_name(""));
+        assert!(!valid_name("has space"));
+        assert!(!valid_name("weird!"));
+        assert!(!valid_name(&"x".repeat(MAX_NAME_LEN + 1)));
+        assert!(valid_name(&"x".repeat(MAX_NAME_LEN)));
+    }
+
+    #[test]
+    fn body_line_framing() {
+        assert_eq!(parse_request("RESTORE a s 4", 1).unwrap().body_lines(), 4);
+        assert_eq!(parse_request("SOLVE a 6", 1).unwrap().body_lines(), 6);
+        assert_eq!(parse_request("STATS", 1).unwrap().body_lines(), 0);
+        assert_eq!(Response::SnapshotOk { body_lines: 9 }.body_lines(), 9);
+        assert_eq!(Response::EdgeOk.body_lines(), 0);
+    }
+}

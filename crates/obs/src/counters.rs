@@ -47,11 +47,20 @@ pub enum Counter {
     /// Frozen (committed) tasks carried across epoch re-plans
     /// (`mtsp-engine`).
     FrozenTasks,
+    /// Wire requests applied by the daemon's shard workers
+    /// (`mtsp-serve`). Counts every request that reached a shard,
+    /// whether it succeeded or produced a structured `ERR`.
+    ServeRequests,
+    /// Requests rejected by the daemon — quota violations, protocol
+    /// errors, or session-state errors (`mtsp-serve`).
+    ServeRejections,
+    /// Session snapshots rendered by the daemon (`mtsp-serve`).
+    ServeSnapshots,
 }
 
 impl Counter {
     /// Every counter, in array-layout (= serialization) order.
-    pub const ALL: [Counter; 12] = [
+    pub const ALL: [Counter; 15] = [
         Counter::SimplexIterations,
         Counter::Ftran,
         Counter::Btran,
@@ -64,6 +73,9 @@ impl Counter {
         Counter::ListSteps,
         Counter::SessionEpochs,
         Counter::FrozenTasks,
+        Counter::ServeRequests,
+        Counter::ServeRejections,
+        Counter::ServeSnapshots,
     ];
 
     /// Stable dotted name (`layer.event`), used as the JSON key in report
@@ -82,6 +94,9 @@ impl Counter {
             Counter::ListSteps => "core.list_steps",
             Counter::SessionEpochs => "engine.session_epochs",
             Counter::FrozenTasks => "engine.frozen_tasks",
+            Counter::ServeRequests => "serve.requests",
+            Counter::ServeRejections => "serve.rejections",
+            Counter::ServeSnapshots => "serve.snapshots",
         }
     }
 
@@ -180,6 +195,8 @@ mod tests {
         assert_eq!(Counter::SimplexIterations.name(), "lp.simplex_iterations");
         assert_eq!(Counter::BisectionProbes.name(), "core.bisection_probes");
         assert_eq!(Counter::SessionEpochs.name(), "engine.session_epochs");
+        assert_eq!(Counter::ServeRequests.name(), "serve.requests");
+        assert_eq!(Counter::ServeSnapshots.name(), "serve.snapshots");
     }
 
     #[test]

@@ -1,0 +1,168 @@
+//! Level gauges: lock-free current-value/high-watermark instruments.
+//!
+//! A [`Gauge`] tracks a non-negative level that moves up and down — a
+//! queue depth, an open-session count — together with the highest level
+//! ever observed. Unlike [`Counters`](crate::Counters), a gauge reading
+//! is **timing-dependent** (it depends on when producers and consumers
+//! interleave), so gauges live on the non-deterministic side of the
+//! telemetry split with spans: their output is confined to stderr
+//! `# metric` lines and must never enter a byte-stable report.
+//!
+//! Gauges are plain values, not process globals: a [`GaugeSet`] is owned
+//! by whoever needs it (the serve daemon's registry owns one with one
+//! gauge per shard queue) and handed out as cheap [`Gauge`] handles
+//! (`Arc`-backed) to the threads that move the level.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A single gauge: current level + high watermark. Cloning shares the
+/// underlying instrument.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    inner: Arc<GaugeInner>,
+}
+
+#[derive(Debug, Default)]
+struct GaugeInner {
+    current: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Gauge {
+    /// A fresh gauge at level 0.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Raises the level by 1 and folds the new level into the watermark.
+    pub fn inc(&self) {
+        let now = self.inner.current.fetch_add(1, Ordering::Relaxed) + 1;
+        self.inner.max.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Lowers the level by 1 (saturating at 0).
+    pub fn dec(&self) {
+        let _ = self
+            .inner
+            .current
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
+    }
+
+    /// The current level.
+    pub fn current(&self) -> u64 {
+        self.inner.current.load(Ordering::Relaxed)
+    }
+
+    /// The highest level ever observed.
+    pub fn high_watermark(&self) -> u64 {
+        self.inner.max.load(Ordering::Relaxed)
+    }
+}
+
+/// A named collection of gauges, rendered in stable (registration-name)
+/// order for stderr metric output.
+#[derive(Debug, Default)]
+pub struct GaugeSet {
+    gauges: Vec<(String, Gauge)>,
+}
+
+impl GaugeSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        GaugeSet::default()
+    }
+
+    /// Registers (or retrieves) the gauge named `name` and returns a
+    /// shared handle to it.
+    pub fn register(&mut self, name: &str) -> Gauge {
+        if let Some((_, g)) = self.gauges.iter().find(|(n, _)| n == name) {
+            return g.clone();
+        }
+        let g = Gauge::new();
+        self.gauges.push((name.to_string(), g.clone()));
+        self.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        g
+    }
+
+    /// Iterates `(name, gauge)` in sorted-name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Gauge)> {
+        self.gauges.iter().map(|(n, g)| (n.as_str(), g))
+    }
+
+    /// Renders `name.current=v` / `name.max=w` lines in sorted order —
+    /// stderr material only (readings are timing-dependent).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for (name, g) in self.iter() {
+            let _ = writeln!(s, "{name}.current={}", g.current());
+            let _ = writeln!(s, "{name}.max={}", g.high_watermark());
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gauge_tracks_level_and_watermark() {
+        let g = Gauge::new();
+        assert_eq!((g.current(), g.high_watermark()), (0, 0));
+        g.inc();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!((g.current(), g.high_watermark()), (2, 3));
+        g.dec();
+        g.dec();
+        g.dec(); // saturates at 0
+        assert_eq!((g.current(), g.high_watermark()), (0, 3));
+    }
+
+    #[test]
+    fn handles_share_the_instrument_across_threads() {
+        let g = Gauge::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let h = g.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        h.inc();
+                        h.dec();
+                    }
+                });
+            }
+        });
+        assert_eq!(g.current(), 0);
+        assert!(g.high_watermark() >= 1);
+        assert!(g.high_watermark() <= 4);
+    }
+
+    #[test]
+    fn set_registers_once_and_renders_sorted() {
+        let mut set = GaugeSet::new();
+        let b = set.register("serve.queue_depth.shard1");
+        let a = set.register("serve.queue_depth.shard0");
+        let a2 = set.register("serve.queue_depth.shard0");
+        a.inc();
+        assert_eq!(a2.current(), 1, "re-registering returns the same gauge");
+        b.inc();
+        b.inc();
+        let text = set.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                "serve.queue_depth.shard0.current=1",
+                "serve.queue_depth.shard0.max=1",
+                "serve.queue_depth.shard1.current=2",
+                "serve.queue_depth.shard1.max=2",
+            ]
+        );
+    }
+}

@@ -15,12 +15,17 @@
 //!   Wall time is inherently non-deterministic, so spans are opt-in
 //!   (zero-cost when disabled) and their output is confined to stderr and
 //!   explicit `--trace` files — never a deterministic stream.
+//! * **[`gauge`](mod@gauge)s** track *levels* (queue depths, open
+//!   sessions) with high watermarks. Readings depend on thread
+//!   interleaving, so like spans they are stderr-only material.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod counters;
+pub mod gauge;
 pub mod span;
 
 pub use counters::{Counter, Counters};
+pub use gauge::{Gauge, GaugeSet};
 pub use span::{SpanAgg, SpanEvent};

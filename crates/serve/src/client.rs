@@ -1,0 +1,154 @@
+//! A scripted wire client: sends `mtsp-wire v1` request lines, collects
+//! the reply stream, and captures snapshot bodies for `--snapshot-out`.
+//!
+//! The client mirrors the daemon's framing rules: it parses each script
+//! line to learn how many body lines to send with it, and parses each
+//! reply line to learn how many body lines to read back. Unparseable
+//! script lines are sent anyway (the daemon answers with a structured
+//! `ERR`), so error paths can be exercised from a plain script file.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::Path;
+
+use mtsp_model::wire::{parse_request, parse_response, Response};
+
+/// Everything one scripted client run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientOutcome {
+    /// The full reply stream: every response line plus body, in order.
+    pub transcript: String,
+    /// The body of the last `OK SNAPSHOT` reply, if any.
+    pub last_snapshot: Option<String>,
+}
+
+/// Drives `script` over an established connection (`reader`/`writer`
+/// must be two handles on the same stream).
+pub fn run_script_io<R: BufRead, W: Write>(
+    mut reader: R,
+    mut writer: W,
+    script: &str,
+) -> io::Result<ClientOutcome> {
+    let mut transcript = String::new();
+    let mut last_snapshot = None;
+    let mut lines = script.lines().peekable();
+    let mut reply_no = 0usize;
+    while let Some(line) = lines.next() {
+        let trimmed = line.trim();
+        writer.write_all(line.as_bytes())?;
+        writer.write_all(b"\n")?;
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue; // the daemon skips these without replying
+        }
+        // Forward declared body lines verbatim before expecting a reply.
+        if let Ok(req) = parse_request(trimmed, 0) {
+            for _ in 0..req.body_lines() {
+                let Some(body_line) = lines.next() else { break };
+                writer.write_all(body_line.as_bytes())?;
+                writer.write_all(b"\n")?;
+            }
+        }
+        writer.flush()?;
+        // One reply per effective request line.
+        let mut reply_line = String::new();
+        if reader.read_line(&mut reply_line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before reply",
+            ));
+        }
+        reply_no += 1;
+        transcript.push_str(&reply_line);
+        let resp = parse_response(reply_line.trim_end(), reply_no)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let mut body = String::new();
+        for _ in 0..resp.body_lines() {
+            let mut body_line = String::new();
+            if reader.read_line(&mut body_line)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed inside reply body",
+                ));
+            }
+            body.push_str(&body_line);
+        }
+        transcript.push_str(&body);
+        if matches!(resp, Response::SnapshotOk { .. }) {
+            last_snapshot = Some(body);
+        }
+    }
+    Ok(ClientOutcome {
+        transcript,
+        last_snapshot,
+    })
+}
+
+/// Connects to a Unix socket and drives `script`.
+pub fn run_script_unix(path: &Path, script: &str) -> io::Result<ClientOutcome> {
+    let stream = std::os::unix::net::UnixStream::connect(path)?;
+    let reader = BufReader::new(stream.try_clone()?);
+    run_script_io(reader, stream, script)
+}
+
+/// Connects to a TCP address and drives `script`.
+pub fn run_script_tcp(addr: &str, script: &str) -> io::Result<ClientOutcome> {
+    let stream = std::net::TcpStream::connect(addr)?;
+    let reader = BufReader::new(stream.try_clone()?);
+    run_script_io(reader, stream, script)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::daemon::serve_unix;
+    use crate::registry::{Registry, ServeConfig};
+    use std::sync::Arc;
+
+    #[test]
+    fn client_and_daemon_speak_over_a_unix_socket() {
+        let dir = std::env::temp_dir().join(format!("mtsp-serve-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let sock = dir.join("daemon.sock");
+        let reg = Arc::new(Registry::new(ServeConfig {
+            shards: 2,
+            ..ServeConfig::default()
+        }));
+        {
+            let reg = Arc::clone(&reg);
+            let sock = sock.clone();
+            std::thread::spawn(move || {
+                let _ = serve_unix(reg, &sock);
+            });
+        }
+        // Wait for the socket to appear.
+        for _ in 0..200 {
+            if sock.exists() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        let script = "\
+OPEN acme s1 2
+ARRIVE acme s1 0.0 2.0 1.0
+REPLAN acme s1 0.0
+SNAPSHOT acme s1
+CLOSE acme s1
+";
+        let out = run_script_unix(&sock, script).unwrap();
+        assert!(
+            out.transcript.starts_with("OK OPEN s1\n"),
+            "{}",
+            out.transcript
+        );
+        assert!(out.transcript.contains("OK CLOSE 2"), "{}", out.transcript);
+        let snap = out.last_snapshot.expect("snapshot captured");
+        mtsp_model::wire::parse_session_log(&snap).unwrap();
+        // A second client connection sees its own line numbering.
+        let err_out = run_script_unix(&sock, "REPLAN acme gone 0.0\n").unwrap();
+        assert!(
+            err_out.transcript.starts_with("ERR 1 no-session"),
+            "{}",
+            err_out.transcript
+        );
+        std::fs::remove_file(&sock).ok();
+    }
+}

@@ -1,0 +1,48 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! # mtsp-serve — the multi-tenant scheduling daemon
+//!
+//! A long-lived process fronting many tenants' online scheduling
+//! sessions behind the `mtsp-wire v1` line protocol
+//! (`mtsp_model::wire`):
+//!
+//! * **Sharded registry** ([`Registry`]): sessions hash to one of N
+//!   shards; each shard is a worker thread owning its sessions, one warm
+//!   LP [`SolveContext`](mtsp_lp::SolveContext) shared across them
+//!   (`ScheduleSession::replan_in`), and an [`Engine`](mtsp_engine::Engine)
+//!   front over a solve cache **shared by every shard and tenant**
+//!   (`Engine::with_cache`). Plans are pure functions of each session's
+//!   event history, so responses are byte-identical for any shard count —
+//!   asserted in tests, the harness `serve` section, and CI.
+//! * **Backpressure** ([`ServeConfig::queue_cap`]): shard queues are
+//!   bounded `sync_channel`s; a full queue blocks the sender instead of
+//!   buffering without bound.
+//! * **Quotas** ([`Quotas`]): max sessions per tenant (global, across
+//!   shards), max tasks per session, and a max replan rate enforced by a
+//!   deterministic token bucket over the session's *logical* event clock
+//!   — quota `ERR` replies are part of the deterministic transcript.
+//! * **Snapshot/restore** (`mtsp-session v1`): a session serializes as
+//!   its full event log; replaying the log through a fresh session
+//!   reproduces every planned allotment bit-exactly, so the daemon can
+//!   crash-recover and tenants can migrate across shards or processes.
+//! * **Telemetry**: deterministic `serve.requests` / `serve.rejections` /
+//!   `serve.snapshots` counters merged across shards (`STATS`, audit
+//!   reports), plus non-deterministic per-shard queue-depth gauges
+//!   (stderr only).
+//!
+//! Transports: stdin/stdout pipes ([`daemon::serve_stdio`]), Unix
+//! sockets ([`daemon::serve_unix`]), TCP ([`daemon::serve_tcp`]), and an
+//! in-process script runner ([`daemon::serve_script`]) for deterministic
+//! tests. [`client`] drives scripted sessions from the `mtsp client`
+//! verb.
+
+pub mod client;
+pub mod daemon;
+pub mod quota;
+pub mod registry;
+pub mod session;
+
+pub use client::ClientOutcome;
+pub use quota::Quotas;
+pub use registry::{Registry, Reply, ServeConfig};
+pub use session::ServedSession;

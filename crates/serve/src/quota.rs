@@ -1,0 +1,127 @@
+//! Per-tenant admission quotas.
+//!
+//! Three knobs, each with `0` (or `0.0`) meaning *unlimited*:
+//!
+//! * `max_sessions` — open sessions per tenant, enforced across every
+//!   shard at `OPEN`/`RESTORE` time;
+//! * `max_tasks` — tasks per session, enforced at `ARRIVE`;
+//! * `max_replans_per_sec` — a token bucket over the session's **logical
+//!   event clock** (not wall time), enforced at `REPLAN`.
+//!
+//! Rating replans by the logical clock keeps quota decisions
+//! deterministic: the same request script always produces the same
+//! accept/reject sequence, whatever the machine load — which is what
+//! lets the byte-determinism contract cover quota `ERR` replies too.
+
+/// Per-tenant quota configuration. `0` / `0.0` disables a limit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quotas {
+    /// Maximum concurrently open sessions per tenant.
+    pub max_sessions: usize,
+    /// Maximum tasks per session.
+    pub max_tasks: usize,
+    /// Sustained `REPLAN` rate per session, in events per logical-clock
+    /// second (burst = `max(rate, 1)`).
+    pub max_replans_per_sec: f64,
+}
+
+impl Default for Quotas {
+    fn default() -> Self {
+        Quotas {
+            max_sessions: 64,
+            max_tasks: 100_000,
+            max_replans_per_sec: 0.0,
+        }
+    }
+}
+
+impl Quotas {
+    /// Fully unlimited quotas.
+    pub fn unlimited() -> Self {
+        Quotas {
+            max_sessions: 0,
+            max_tasks: 0,
+            max_replans_per_sec: 0.0,
+        }
+    }
+}
+
+/// Deterministic token bucket over a session's logical event clock. The
+/// bucket starts full; each admitted replan takes one token; tokens
+/// refill at `rate` per logical second up to a burst of `max(rate, 1)`.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplanBucket {
+    rate: f64,
+    tokens: f64,
+    last: f64,
+}
+
+impl ReplanBucket {
+    /// A full bucket at logical time 0. `rate <= 0` disables limiting.
+    pub fn new(rate: f64) -> Self {
+        ReplanBucket {
+            rate,
+            tokens: rate.max(1.0),
+            last: 0.0,
+        }
+    }
+
+    /// Admits or rejects a replan at logical time `t`. Pure f64
+    /// arithmetic over event times — replaying the same event sequence
+    /// reproduces the same decisions bit-exactly.
+    pub fn admit(&mut self, t: f64) -> bool {
+        if self.rate <= 0.0 {
+            return true;
+        }
+        let burst = self.rate.max(1.0);
+        self.tokens = (self.tokens + (t - self.last).max(0.0) * self.rate).min(burst);
+        if t > self.last {
+            self.last = t;
+        }
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rate_is_unlimited() {
+        let mut b = ReplanBucket::new(0.0);
+        for i in 0..100 {
+            assert!(b.admit(0.001 * i as f64));
+        }
+    }
+
+    #[test]
+    fn bucket_enforces_sustained_rate() {
+        // 2 replans per logical second, burst 2.
+        let mut b = ReplanBucket::new(2.0);
+        assert!(b.admit(0.0));
+        assert!(b.admit(0.0), "burst of 2 at t=0");
+        assert!(!b.admit(0.0), "third replan at t=0 rejected");
+        assert!(!b.admit(0.25), "only half a token refilled");
+        assert!(b.admit(0.75), "a full token accrued by t=0.75");
+        // Long quiet period refills to burst, not beyond.
+        assert!(b.admit(100.0));
+        assert!(b.admit(100.0));
+        assert!(!b.admit(100.0));
+    }
+
+    #[test]
+    fn decisions_replay_identically() {
+        let times = [0.0, 0.1, 0.4, 0.4, 1.0, 1.6, 1.6, 1.7, 5.0];
+        let run = || -> Vec<bool> {
+            let mut b = ReplanBucket::new(1.5);
+            times.iter().map(|&t| b.admit(t)).collect()
+        };
+        assert_eq!(run(), run());
+        assert!(run().contains(&false), "the script trips the limit");
+    }
+}

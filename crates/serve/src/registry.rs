@@ -1,0 +1,649 @@
+//! The sharded session registry: N shard worker threads, each owning its
+//! sessions, one warm [`SolveContext`], and one [`Engine`] front over a
+//! **shared** content-addressed solve cache.
+//!
+//! A session lives on `hash(tenant, session) % shards` for its whole
+//! life; requests are routed there over a *bounded* `sync_channel` whose
+//! blocking `send` is the backpressure mechanism (a full shard queue
+//! slows callers down instead of buffering without bound). Each request
+//! carries its own reply channel, so a connection's requests are
+//! answered strictly in order and the response stream is a pure function
+//! of the request stream — byte-identical for any shard count, which the
+//! harness and CI assert.
+
+use std::collections::HashMap;
+use std::sync::mpsc::{self, Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use mtsp_engine::{Engine, EngineConfig, SessionConfig, SolveCache};
+use mtsp_lp::SolveContext;
+use mtsp_model::textio::parse_instance;
+use mtsp_model::wire::{parse_session_log, ErrCode, Request, Response};
+use mtsp_obs::{Counter, Counters, Gauge, GaugeSet};
+
+use crate::quota::Quotas;
+use crate::session::ServedSession;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Shard (worker thread) count, `>= 1`.
+    pub shards: usize,
+    /// Bounded per-shard queue capacity; a full queue blocks senders.
+    pub queue_cap: usize,
+    /// Per-tenant quotas.
+    pub quotas: Quotas,
+    /// Session configuration applied to every opened session.
+    pub session: SessionConfig,
+    /// Engine configuration for one-shot `SOLVE` requests (the solve
+    /// cache it describes is shared across all shards and tenants).
+    pub engine: EngineConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shards: 4,
+            queue_cap: 128,
+            quotas: Quotas::default(),
+            session: SessionConfig::new(),
+            engine: EngineConfig {
+                workers: 1,
+                ..EngineConfig::default()
+            },
+        }
+    }
+}
+
+/// One wire reply: the response line plus its raw body (empty for most
+/// replies; the `mtsp-session v1` text for `OK SNAPSHOT`, counter rows
+/// for `OK STATS`). Body lines are `\n`-terminated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reply {
+    /// The one-line response.
+    pub response: Response,
+    /// Raw body lines following the response line.
+    pub body: String,
+}
+
+impl Reply {
+    fn bare(response: Response) -> Reply {
+        Reply {
+            response,
+            body: String::new(),
+        }
+    }
+}
+
+enum ShardMsg {
+    Req {
+        line: usize,
+        req: Request,
+        body: String,
+        reply: SyncSender<Reply>,
+    },
+    Counters {
+        reply: SyncSender<Counters>,
+    },
+}
+
+/// The sharded registry. See the module docs.
+pub struct Registry {
+    txs: Vec<SyncSender<ShardMsg>>,
+    handles: Vec<JoinHandle<()>>,
+    depth: Vec<Gauge>,
+    gauges: GaugeSet,
+    cache: Arc<SolveCache>,
+}
+
+/// 64-bit FNV-1a over the routing key; stable across runs and platforms.
+fn shard_of(tenant: &str, session: &str, shards: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in tenant.bytes().chain([0u8]).chain(session.bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % shards as u64) as usize
+}
+
+impl Registry {
+    /// Spawns the shard workers. The engine cache is created once and
+    /// shared by every shard via [`Engine::with_cache`].
+    pub fn new(cfg: ServeConfig) -> Registry {
+        let shards = cfg.shards.max(1);
+        let queue_cap = cfg.queue_cap.max(1);
+        let cache = Arc::new(SolveCache::with_capacity(
+            cfg.engine.cache_shards,
+            cfg.engine.cache_capacity,
+        ));
+        let tenants: Arc<Mutex<HashMap<String, usize>>> = Arc::new(Mutex::new(HashMap::new()));
+        let mut gauges = GaugeSet::new();
+        let mut txs = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        let mut depth = Vec::with_capacity(shards);
+        for i in 0..shards {
+            let (tx, rx) = mpsc::sync_channel::<ShardMsg>(queue_cap);
+            let gauge = gauges.register(&format!("serve.queue_depth.shard{i}"));
+            let worker = ShardWorker {
+                rx,
+                gauge: gauge.clone(),
+                tenants: Arc::clone(&tenants),
+                quotas: cfg.quotas,
+                session_cfg: cfg.session.clone(),
+                engine: Engine::with_cache(cfg.engine.clone(), Arc::clone(&cache)),
+            };
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("mtsp-serve-shard{i}"))
+                    .spawn(move || worker.run())
+                    .expect("spawn shard worker"),
+            );
+            txs.push(tx);
+            depth.push(gauge);
+        }
+        Registry {
+            txs,
+            handles,
+            depth,
+            gauges,
+            cache,
+        }
+    }
+
+    /// Routes one request to its shard and blocks for the reply. `line`
+    /// is the 1-based input line the request arrived on (echoed in `ERR`
+    /// replies); `body` is the raw body for body-carrying requests.
+    pub fn dispatch(&self, line: usize, req: Request, body: String) -> Reply {
+        if matches!(req, Request::Stats) {
+            return self.stats();
+        }
+        let shard = match (req.tenant(), req.session()) {
+            (Some(t), Some(s)) => shard_of(t, s, self.txs.len()),
+            (Some(t), None) => shard_of(t, "", self.txs.len()),
+            _ => 0,
+        };
+        let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+        self.depth[shard].inc();
+        self.txs[shard]
+            .send(ShardMsg::Req {
+                line,
+                req,
+                body,
+                reply: reply_tx,
+            })
+            .expect("shard worker alive while registry exists");
+        reply_rx.recv().expect("shard worker replies before drop")
+    }
+
+    /// Merged deterministic counters across every shard (order-independent
+    /// sum, so totals are identical for any shard count).
+    pub fn counters(&self) -> Counters {
+        let mut total = Counters::new();
+        for (shard, tx) in self.txs.iter().enumerate() {
+            let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+            self.depth[shard].inc();
+            tx.send(ShardMsg::Counters { reply: reply_tx })
+                .expect("shard worker alive while registry exists");
+            total.merge(&reply_rx.recv().expect("shard worker replies"));
+        }
+        total
+    }
+
+    fn stats(&self) -> Reply {
+        let total = self.counters();
+        let mut body = String::new();
+        for (c, v) in total.iter() {
+            body.push_str(c.name());
+            body.push(' ');
+            body.push_str(&v.to_string());
+            body.push('\n');
+        }
+        Reply {
+            response: Response::StatsOk {
+                body_lines: Counter::ALL.len(),
+            },
+            body,
+        }
+    }
+
+    /// Shared solve-cache statistics (hits/misses across all tenants).
+    pub fn cache_stats(&self) -> mtsp_engine::CacheStats {
+        self.cache.stats()
+    }
+
+    /// Renders the per-shard queue-depth gauges (non-deterministic;
+    /// stderr material).
+    pub fn render_gauges(&self) -> String {
+        self.gauges.render()
+    }
+
+    /// Stops the shard workers and waits for them to drain.
+    pub fn shutdown(mut self) {
+        self.txs.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Registry {
+    fn drop(&mut self) {
+        self.txs.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+struct ShardWorker {
+    rx: Receiver<ShardMsg>,
+    gauge: Gauge,
+    tenants: Arc<Mutex<HashMap<String, usize>>>,
+    quotas: Quotas,
+    session_cfg: SessionConfig,
+    engine: Engine,
+}
+
+impl ShardWorker {
+    fn run(self) {
+        let mut ctx = SolveContext::new();
+        let mut sessions: HashMap<(String, String), ServedSession> = HashMap::new();
+        let ShardWorker {
+            rx,
+            gauge,
+            tenants,
+            quotas,
+            session_cfg,
+            engine,
+        } = self;
+        while let Ok(msg) = rx.recv() {
+            gauge.dec();
+            match msg {
+                ShardMsg::Counters { reply } => {
+                    let _ = reply.send(*ctx.counters());
+                }
+                ShardMsg::Req {
+                    line,
+                    req,
+                    body,
+                    reply,
+                } => {
+                    let out = handle(
+                        &mut sessions,
+                        &mut ctx,
+                        &tenants,
+                        &quotas,
+                        &session_cfg,
+                        &engine,
+                        line,
+                        &req,
+                        &body,
+                    );
+                    let c = ctx.counters_mut();
+                    c.inc(Counter::ServeRequests);
+                    if matches!(out.response, Response::Err { .. }) {
+                        c.inc(Counter::ServeRejections);
+                    }
+                    if matches!(out.response, Response::SnapshotOk { .. }) {
+                        c.inc(Counter::ServeSnapshots);
+                    }
+                    let _ = reply.send(out);
+                }
+            }
+        }
+    }
+}
+
+/// Applies one routed request against the shard's session map.
+#[allow(clippy::too_many_arguments)]
+fn handle(
+    sessions: &mut HashMap<(String, String), ServedSession>,
+    ctx: &mut SolveContext,
+    tenants: &Mutex<HashMap<String, usize>>,
+    quotas: &Quotas,
+    session_cfg: &SessionConfig,
+    engine: &Engine,
+    line: usize,
+    req: &Request,
+    body: &str,
+) -> Reply {
+    // Session-count quota: check-and-increment under the shared lock so
+    // concurrent opens across shards cannot oversubscribe a tenant.
+    let admit_session = |tenant: &str| -> Result<(), Reply> {
+        let mut map = tenants.lock().expect("tenant map lock");
+        let count = map.entry(tenant.to_string()).or_insert(0);
+        if quotas.max_sessions > 0 && *count >= quotas.max_sessions {
+            return Err(Reply::bare(Response::error(
+                line,
+                ErrCode::Quota,
+                format!(
+                    "tenant {tenant} exceeds max sessions ({})",
+                    quotas.max_sessions
+                ),
+            )));
+        }
+        *count += 1;
+        Ok(())
+    };
+    let release_session = |tenant: &str| {
+        let mut map = tenants.lock().expect("tenant map lock");
+        if let Some(count) = map.get_mut(tenant) {
+            *count = count.saturating_sub(1);
+        }
+    };
+    let key = |tenant: &String, session: &String| (tenant.clone(), session.clone());
+
+    match req {
+        Request::Stats => unreachable!("STATS is answered by the registry, not a shard"),
+        Request::Open { tenant, session, m } => {
+            if sessions.contains_key(&key(tenant, session)) {
+                return Reply::bare(Response::error(
+                    line,
+                    ErrCode::Proto,
+                    format!("session {tenant}/{session} already exists"),
+                ));
+            }
+            if let Err(reject) = admit_session(tenant) {
+                return reject;
+            }
+            match ServedSession::open(*m, session_cfg.clone(), quotas) {
+                Ok(s) => {
+                    sessions.insert(key(tenant, session), s);
+                    Reply::bare(Response::OpenOk {
+                        session: session.clone(),
+                    })
+                }
+                Err(e) => {
+                    release_session(tenant);
+                    Reply::bare(Response::error(line, ErrCode::Session, e))
+                }
+            }
+        }
+        Request::Restore {
+            tenant, session, ..
+        } => {
+            if sessions.contains_key(&key(tenant, session)) {
+                return Reply::bare(Response::error(
+                    line,
+                    ErrCode::Proto,
+                    format!("session {tenant}/{session} already exists"),
+                ));
+            }
+            let log = match parse_session_log(body) {
+                Ok(log) => log,
+                Err(e) => {
+                    return Reply::bare(Response::error(
+                        line,
+                        ErrCode::Proto,
+                        format!("bad snapshot body: {e}"),
+                    ))
+                }
+            };
+            if let Err(reject) = admit_session(tenant) {
+                return reject;
+            }
+            let events = log.events.len();
+            match ServedSession::restore(log, session_cfg.clone(), quotas, ctx) {
+                Ok(s) => {
+                    sessions.insert(key(tenant, session), s);
+                    Reply::bare(Response::RestoreOk { events })
+                }
+                Err(e) => {
+                    release_session(tenant);
+                    Reply::bare(Response::error(line, ErrCode::Proto, e))
+                }
+            }
+        }
+        Request::Close { tenant, session } => match sessions.remove(&key(tenant, session)) {
+            Some(s) => {
+                release_session(tenant);
+                Reply::bare(Response::CloseOk { events: s.events() })
+            }
+            None => Reply::bare(unknown_session(line, tenant, session)),
+        },
+        Request::Snapshot { tenant, session } => match sessions.get(&key(tenant, session)) {
+            Some(s) => {
+                let body = s.snapshot();
+                Reply {
+                    response: Response::SnapshotOk {
+                        body_lines: body.lines().count(),
+                    },
+                    body,
+                }
+            }
+            None => Reply::bare(unknown_session(line, tenant, session)),
+        },
+        Request::Solve { .. } => match parse_instance(body) {
+            Err(e) => Reply::bare(Response::error(
+                line,
+                ErrCode::Solve,
+                format!("bad instance body: {e}"),
+            )),
+            Ok(ins) => match engine.solve(&ins) {
+                Ok(rep) => {
+                    // Fold the solve's deterministic counter delta into the
+                    // shard registry — cache hits replay identical deltas,
+                    // so totals stay byte-stable across cache modes.
+                    ctx.counters_mut().merge(&rep.counters);
+                    Reply::bare(Response::SolveOk {
+                        makespan: rep.schedule.makespan(),
+                        cstar: rep.lp.cstar,
+                        alloc: rep.alloc.clone(),
+                    })
+                }
+                Err(e) => Reply::bare(Response::error(line, ErrCode::Solve, e.to_string())),
+            },
+        },
+        Request::Arrive {
+            tenant,
+            session,
+            t,
+            times,
+        } => with_session(sessions, tenant, session, line, |s| {
+            s.arrive(*t, times, line, quotas)
+        }),
+        Request::Edge {
+            tenant,
+            session,
+            t,
+            pred,
+            succ,
+        } => with_session(sessions, tenant, session, line, |s| {
+            s.edge(*t, *pred, *succ, line)
+        }),
+        Request::Machines {
+            tenant,
+            session,
+            t,
+            m,
+        } => with_session(sessions, tenant, session, line, |s| {
+            s.machines(*t, *m, line)
+        }),
+        Request::Start {
+            tenant,
+            session,
+            t,
+            task,
+        } => with_session(sessions, tenant, session, line, |s| {
+            s.start(*t, *task, line)
+        }),
+        Request::Finish {
+            tenant,
+            session,
+            t,
+            task,
+        } => with_session(sessions, tenant, session, line, |s| {
+            s.mark_finished(*t, *task, line)
+        }),
+        Request::Replan { tenant, session, t } => {
+            match sessions.get_mut(&(tenant.clone(), session.clone())) {
+                Some(s) => Reply::bare(s.replan(*t, line, ctx)),
+                None => Reply::bare(unknown_session(line, tenant, session)),
+            }
+        }
+    }
+}
+
+fn unknown_session(line: usize, tenant: &str, session: &str) -> Response {
+    Response::error(
+        line,
+        ErrCode::NoSession,
+        format!("no session {tenant}/{session}"),
+    )
+}
+
+fn with_session(
+    sessions: &mut HashMap<(String, String), ServedSession>,
+    tenant: &str,
+    session: &str,
+    line: usize,
+    f: impl FnOnce(&mut ServedSession) -> Response,
+) -> Reply {
+    match sessions.get_mut(&(tenant.to_owned(), session.to_owned())) {
+        Some(s) => Reply::bare(f(s)),
+        None => Reply::bare(unknown_session(line, tenant, session)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtsp_model::wire::parse_request;
+
+    fn req(line: &str, ln: usize) -> Request {
+        parse_request(line, ln).unwrap()
+    }
+
+    fn dispatch_script(reg: &Registry, script: &[(&str, &str)]) -> Vec<Reply> {
+        script
+            .iter()
+            .enumerate()
+            .map(|(i, (line, body))| reg.dispatch(i + 1, req(line, i + 1), body.to_string()))
+            .collect()
+    }
+
+    fn demo_script() -> Vec<(&'static str, &'static str)> {
+        vec![
+            ("OPEN acme s1 4", ""),
+            ("OPEN zork s1 4", ""),
+            ("ARRIVE acme s1 0.0 8.0 4.0 3.0 2.0", ""),
+            ("ARRIVE acme s1 0.0 6.0 3.25 2.5 2.25", ""),
+            ("EDGE acme s1 0.0 0 1", ""),
+            ("ARRIVE zork s1 0.0 5.0 2.75 2.0 1.75", ""),
+            ("REPLAN acme s1 0.0", ""),
+            ("REPLAN zork s1 0.0", ""),
+            ("START acme s1 0.5 0", ""),
+            ("SNAPSHOT acme s1", ""),
+            ("STATS", ""),
+            ("CLOSE zork s1", ""),
+        ]
+    }
+
+    fn render(replies: &[Reply]) -> String {
+        use mtsp_model::wire::write_response;
+        let mut out = String::new();
+        for r in replies {
+            out.push_str(&write_response(&r.response));
+            out.push('\n');
+            out.push_str(&r.body);
+        }
+        out
+    }
+
+    #[test]
+    fn responses_identical_for_any_shard_count() {
+        let script = demo_script();
+        let run = |shards: usize| {
+            let reg = Registry::new(ServeConfig {
+                shards,
+                ..ServeConfig::default()
+            });
+            let out = render(&dispatch_script(&reg, &script));
+            reg.shutdown();
+            out
+        };
+        let one = run(1);
+        assert_eq!(one, run(4), "shards 1 vs 4");
+        assert_eq!(one, run(7), "shards 1 vs 7");
+        assert!(one.contains("OK SNAPSHOT"));
+        // 10 requests routed before STATS (STATS itself is answered by
+        // the registry and not counted; CLOSE lands after).
+        assert!(one.contains("serve.requests 10"), "STATS body:\n{one}");
+        assert!(one.contains("serve.snapshots 1"), "STATS body:\n{one}");
+    }
+
+    #[test]
+    fn session_quota_rejects_across_shards() {
+        let reg = Registry::new(ServeConfig {
+            shards: 4,
+            quotas: Quotas {
+                max_sessions: 2,
+                ..Quotas::unlimited()
+            },
+            ..ServeConfig::default()
+        });
+        let script = vec![
+            ("OPEN acme a 2", ""),
+            ("OPEN acme b 2", ""),
+            ("OPEN acme c 2", ""),
+            ("OPEN other a 2", ""),
+            ("CLOSE acme a", ""),
+            ("OPEN acme c 2", ""),
+        ];
+        let replies = dispatch_script(&reg, &script);
+        assert!(matches!(replies[0].response, Response::OpenOk { .. }));
+        assert!(matches!(replies[1].response, Response::OpenOk { .. }));
+        assert_eq!(
+            replies[2].response,
+            Response::error(3, ErrCode::Quota, "tenant acme exceeds max sessions (2)"),
+            "third session rejected wherever it hashes"
+        );
+        assert!(
+            matches!(replies[3].response, Response::OpenOk { .. }),
+            "other tenants unaffected"
+        );
+        assert!(matches!(replies[4].response, Response::CloseOk { .. }));
+        assert!(
+            matches!(replies[5].response, Response::OpenOk { .. }),
+            "close frees the budget"
+        );
+        reg.shutdown();
+    }
+
+    #[test]
+    fn solve_goes_through_the_shared_cache() {
+        use mtsp_model::generate::{random_instance, CurveFamily, DagFamily};
+        use mtsp_model::textio::write_instance;
+        let reg = Registry::new(ServeConfig::default());
+        let ins = random_instance(DagFamily::Layered, CurveFamily::PowerLaw, 8, 4, 7);
+        let body = write_instance(&ins);
+        let line = format!("SOLVE acme {}", body.lines().count());
+        // Two tenants solve the same instance: second hit comes from the
+        // shared cache with the identical reply.
+        let r1 = reg.dispatch(1, req(&line, 1), body.clone());
+        let line2 = format!("SOLVE zork {}", body.lines().count());
+        let r2 = reg.dispatch(2, req(&line2, 2), body.clone());
+        assert_eq!(r1.response, r2.response);
+        let stats = reg.cache_stats();
+        assert!(
+            stats.hits >= 1,
+            "second solve hits the shared cache: {stats:?}"
+        );
+        // Unknown-session and bad-body errors are structured.
+        let r = reg.dispatch(3, req("REPLAN acme nope 0.0", 3), String::new());
+        assert_eq!(
+            r.response,
+            Response::error(3, ErrCode::NoSession, "no session acme/nope")
+        );
+        let r = reg.dispatch(4, req("SOLVE acme 1", 4), "garbage\n".to_string());
+        assert!(matches!(
+            r.response,
+            Response::Err {
+                code: ErrCode::Solve,
+                ..
+            }
+        ));
+        reg.shutdown();
+    }
+}

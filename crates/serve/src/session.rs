@@ -1,0 +1,360 @@
+//! One served session: a [`ScheduleSession`] plus its event log, replan
+//! quota bucket, and the snapshot/restore machinery.
+//!
+//! The event log is the session's *whole* state: plans are pure
+//! functions of the event history, so serializing the log
+//! (`mtsp-session v1`) and replaying it through a fresh session
+//! reproduces every planned allotment bit-exactly — including frozen
+//! allotments, because `replan`/`start` events are part of the log.
+
+use mtsp_engine::{ScheduleSession, SessionConfig, TaskState};
+use mtsp_lp::SolveContext;
+use mtsp_model::wire::{write_session_log, ErrCode, Response, SessionEvent, SessionLog};
+use mtsp_model::Profile;
+
+use crate::quota::{Quotas, ReplanBucket};
+
+/// A live session owned by one shard worker.
+#[derive(Debug)]
+pub struct ServedSession {
+    inner: ScheduleSession,
+    log: Vec<SessionEvent>,
+    bucket: ReplanBucket,
+    /// Profile-domain machine count the session was opened with.
+    m: usize,
+}
+
+/// Outcome of applying one request to a session: the wire reply, built
+/// with the input line number `line` on the error path.
+type Applied = Result<Response, (ErrCode, String)>;
+
+fn finish(line: usize, applied: Applied) -> Response {
+    match applied {
+        Ok(resp) => resp,
+        Err((code, msg)) => Response::error(line, code, msg),
+    }
+}
+
+impl ServedSession {
+    /// Opens a fresh session on `m` machines.
+    pub fn open(m: usize, cfg: SessionConfig, quotas: &Quotas) -> Result<Self, String> {
+        let inner = ScheduleSession::new(m, cfg).map_err(|e| e.to_string())?;
+        Ok(ServedSession {
+            inner,
+            log: Vec::new(),
+            bucket: ReplanBucket::new(quotas.max_replans_per_sec),
+            m,
+        })
+    }
+
+    /// Rebuilds a session from a snapshot log by replaying every event
+    /// through a fresh [`ScheduleSession`] (replans run on `ctx`). The
+    /// log is trusted state, so quota limits are *not* re-enforced on
+    /// replay — but the quota bucket is driven through the same
+    /// trajectory, so post-restore quota decisions match a session that
+    /// never crashed. Fails with a message naming the offending event if
+    /// the log is not a valid history.
+    pub fn restore(
+        log: SessionLog,
+        cfg: SessionConfig,
+        quotas: &Quotas,
+        ctx: &mut SolveContext,
+    ) -> Result<Self, String> {
+        let mut inner = ScheduleSession::new(log.m, cfg).map_err(|e| e.to_string())?;
+        let mut bucket = ReplanBucket::new(quotas.max_replans_per_sec);
+        for (i, ev) in log.events.iter().enumerate() {
+            let res = match ev {
+                SessionEvent::Arrive { t, times } => Profile::from_times(times.clone())
+                    .map_err(|e| e.to_string())
+                    .and_then(|p| inner.arrive(p, *t).map(|_| ()).map_err(|e| e.to_string())),
+                SessionEvent::Edge { t, pred, succ } => inner
+                    .add_dependency(*pred, *succ, *t)
+                    .map_err(|e| e.to_string()),
+                SessionEvent::Machines { t, m } => {
+                    inner.set_machines(*m, *t).map_err(|e| e.to_string())
+                }
+                SessionEvent::Start { t, task } => inner
+                    .mark_started(*task, *t)
+                    .map(|_| ())
+                    .map_err(|e| e.to_string()),
+                SessionEvent::Finish { t, task } => {
+                    inner.mark_finished(*task, *t).map_err(|e| e.to_string())
+                }
+                SessionEvent::Replan { t } => {
+                    let _ = bucket.admit(*t);
+                    inner
+                        .replan_in(ctx, *t)
+                        .map(|_| ())
+                        .map_err(|e| e.to_string())
+                }
+            };
+            res.map_err(|e| format!("snapshot replay failed at event {}: {e}", i + 1))?;
+        }
+        let m = log.m;
+        Ok(ServedSession {
+            inner,
+            log: log.events,
+            bucket,
+            m,
+        })
+    }
+
+    /// Number of events the session has absorbed.
+    pub fn events(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Renders the `mtsp-session v1` snapshot body.
+    pub fn snapshot(&self) -> String {
+        write_session_log(&SessionLog {
+            m: self.m,
+            events: self.log.clone(),
+        })
+    }
+
+    /// Applies `ARRIVE`: quota-checks the task budget, admits the
+    /// profile, logs the event.
+    pub fn arrive(&mut self, t: f64, times: &[f64], line: usize, quotas: &Quotas) -> Response {
+        finish(line, self.try_arrive(t, times, quotas))
+    }
+
+    fn try_arrive(&mut self, t: f64, times: &[f64], quotas: &Quotas) -> Applied {
+        if quotas.max_tasks > 0 && self.inner.n() >= quotas.max_tasks {
+            return Err((
+                ErrCode::Quota,
+                format!("session exceeds max tasks ({})", quotas.max_tasks),
+            ));
+        }
+        let profile =
+            Profile::from_times(times.to_vec()).map_err(|e| (ErrCode::Session, e.to_string()))?;
+        let task = self
+            .inner
+            .arrive(profile, t)
+            .map_err(|e| (ErrCode::Session, e.to_string()))?;
+        self.log.push(SessionEvent::Arrive {
+            t,
+            times: times.to_vec(),
+        });
+        Ok(Response::ArriveOk { task })
+    }
+
+    /// Applies `EDGE`.
+    pub fn edge(&mut self, t: f64, pred: usize, succ: usize, line: usize) -> Response {
+        finish(
+            line,
+            self.inner
+                .add_dependency(pred, succ, t)
+                .map_err(|e| (ErrCode::Session, e.to_string()))
+                .map(|()| {
+                    self.log.push(SessionEvent::Edge { t, pred, succ });
+                    Response::EdgeOk
+                }),
+        )
+    }
+
+    /// Applies `MACHINES`.
+    pub fn machines(&mut self, t: f64, m: usize, line: usize) -> Response {
+        finish(
+            line,
+            self.inner
+                .set_machines(m, t)
+                .map_err(|e| (ErrCode::Session, e.to_string()))
+                .map(|()| {
+                    self.log.push(SessionEvent::Machines { t, m });
+                    Response::MachinesOk { m }
+                }),
+        )
+    }
+
+    /// Applies `START`.
+    pub fn start(&mut self, t: f64, task: usize, line: usize) -> Response {
+        finish(
+            line,
+            self.inner
+                .mark_started(task, t)
+                .map_err(|e| (ErrCode::Session, e.to_string()))
+                .map(|alloc| {
+                    self.log.push(SessionEvent::Start { t, task });
+                    Response::StartOk { task, alloc }
+                }),
+        )
+    }
+
+    /// Applies `FINISH`.
+    pub fn mark_finished(&mut self, t: f64, task: usize, line: usize) -> Response {
+        finish(
+            line,
+            self.inner
+                .mark_finished(task, t)
+                .map_err(|e| (ErrCode::Session, e.to_string()))
+                .map(|()| {
+                    self.log.push(SessionEvent::Finish { t, task });
+                    Response::FinishOk { task }
+                }),
+        )
+    }
+
+    /// Applies `REPLAN`: quota-checks the replan rate, re-plans the
+    /// pending suffix on `ctx`, returns the epoch summary.
+    pub fn replan(&mut self, t: f64, line: usize, ctx: &mut SolveContext) -> Response {
+        finish(line, self.try_replan(t, ctx))
+    }
+
+    fn try_replan(&mut self, t: f64, ctx: &mut SolveContext) -> Applied {
+        if !self.bucket.admit(t) {
+            return Err((
+                ErrCode::Quota,
+                format!("session exceeds max replans/sec at t={t:?}"),
+            ));
+        }
+        let epoch = self
+            .inner
+            .replan_in(ctx, t)
+            .map_err(|e| (ErrCode::Session, e.to_string()))?;
+        let (pending, cstar) = (epoch.pending, epoch.cstar);
+        self.log.push(SessionEvent::Replan { t });
+        let alloc: Vec<(usize, usize)> = (0..self.inner.n())
+            .filter(|&j| matches!(self.inner.task_state(j), Ok(TaskState::Pending)))
+            .filter_map(|j| self.inner.planned_alloc(j).map(|a| (j, a)))
+            .collect();
+        Ok(Response::ReplanOk {
+            pending,
+            cstar,
+            alloc,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtsp_model::wire::parse_session_log;
+
+    fn unlimited() -> Quotas {
+        Quotas::unlimited()
+    }
+
+    fn scripted_session(q: &Quotas) -> (ServedSession, SolveContext) {
+        let mut ctx = SolveContext::new();
+        let mut s = ServedSession::open(4, SessionConfig::new(), q).unwrap();
+        let p0 = [8.0, 4.0, 8.0 / 3.0, 2.0];
+        let p1 = [6.0, 3.25, 2.5, 2.25];
+        assert_eq!(s.arrive(0.0, &p0, 1, q), Response::ArriveOk { task: 0 });
+        assert_eq!(s.arrive(0.0, &p1, 2, q), Response::ArriveOk { task: 1 });
+        assert_eq!(s.edge(0.0, 0, 1, 3), Response::EdgeOk);
+        let r = s.replan(0.0, 4, &mut ctx);
+        assert!(matches!(r, Response::ReplanOk { pending: 2, .. }), "{r:?}");
+        (s, ctx)
+    }
+
+    #[test]
+    fn snapshot_restore_reproduces_the_plan_bit_exactly() {
+        let q = unlimited();
+        let (mut s, mut ctx) = scripted_session(&q);
+        let Response::StartOk { alloc, .. } = s.start(0.5, 0, 5) else {
+            panic!("start failed");
+        };
+        let snap = s.snapshot();
+        // Continue the original: finish 0, replan at 2.0.
+        let resp_orig = {
+            let r0 = s.mark_finished(2.0, 0, 6);
+            assert_eq!(r0, Response::FinishOk { task: 0 });
+            s.replan(2.0, 7, &mut ctx)
+        };
+        // Restore from the snapshot in a "new process" (fresh context),
+        // apply the same tail.
+        let mut ctx2 = SolveContext::new();
+        let log = parse_session_log(&snap).unwrap();
+        let mut s2 = ServedSession::restore(log, SessionConfig::new(), &q, &mut ctx2).unwrap();
+        let r0 = s2.mark_finished(2.0, 0, 6);
+        assert_eq!(r0, Response::FinishOk { task: 0 });
+        let resp_restored = s2.replan(2.0, 7, &mut ctx2);
+        assert_eq!(resp_orig, resp_restored, "restored replan must match");
+        assert!(alloc >= 1);
+        // Re-snapshotting the restored session after the same tail gives
+        // the same bytes as snapshotting the original after its tail.
+        assert_eq!(s2.snapshot(), s.snapshot());
+    }
+
+    #[test]
+    fn replan_quota_rejects_deterministically() {
+        let q = Quotas {
+            max_replans_per_sec: 1.0,
+            ..Quotas::unlimited()
+        };
+        let mut ctx = SolveContext::new();
+        let mut s = ServedSession::open(2, SessionConfig::new(), &q).unwrap();
+        s.arrive(0.0, &[2.0, 1.0], 1, &q);
+        assert!(matches!(
+            s.replan(0.0, 2, &mut ctx),
+            Response::ReplanOk { .. }
+        ));
+        let rejected = s.replan(0.0, 3, &mut ctx);
+        assert_eq!(
+            rejected,
+            Response::error(
+                3,
+                ErrCode::Quota,
+                "session exceeds max replans/sec at t=0.0"
+            )
+        );
+        assert!(
+            matches!(s.replan(1.0, 4, &mut ctx), Response::ReplanOk { .. }),
+            "token refilled by t=1"
+        );
+        // The rejected replan is NOT in the log.
+        assert_eq!(
+            s.events(),
+            3,
+            "arrive + two admitted replans, rejection unlogged"
+        );
+    }
+
+    #[test]
+    fn task_quota_rejects_arrivals() {
+        let q = Quotas {
+            max_tasks: 2,
+            ..Quotas::unlimited()
+        };
+        let mut s = ServedSession::open(2, SessionConfig::new(), &q).unwrap();
+        s.arrive(0.0, &[1.0, 0.5], 1, &q);
+        s.arrive(0.0, &[1.0, 0.5], 2, &q);
+        let r = s.arrive(0.0, &[1.0, 0.5], 3, &q);
+        assert_eq!(
+            r,
+            Response::error(3, ErrCode::Quota, "session exceeds max tasks (2)")
+        );
+    }
+
+    #[test]
+    fn session_errors_map_to_session_code() {
+        let q = unlimited();
+        let (mut s, _ctx) = scripted_session(&q);
+        // Time regression.
+        let r = s.arrive(-1.0, &[1.0, 1.0, 1.0, 1.0], 9, &q);
+        assert!(
+            matches!(
+                r,
+                Response::Err {
+                    line: 9,
+                    code: ErrCode::Session,
+                    ..
+                }
+            ),
+            "{r:?}"
+        );
+        // Unknown task.
+        let r = s.start(0.0, 99, 10);
+        assert!(
+            matches!(
+                r,
+                Response::Err {
+                    line: 10,
+                    code: ErrCode::Session,
+                    ..
+                }
+            ),
+            "{r:?}"
+        );
+    }
+}

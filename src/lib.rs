@@ -55,6 +55,8 @@ pub use mtsp_model as model;
 /// Solve telemetry — deterministic counters and the span profiler
 /// (re-export of `mtsp-obs`).
 pub use mtsp_obs as obs;
+/// Multi-tenant scheduling daemon (re-export of `mtsp-serve`).
+pub use mtsp_serve as serve;
 /// Machine simulator (re-export of `mtsp-sim`).
 pub use mtsp_sim as sim;
 

@@ -11,8 +11,12 @@
 //! mtsp audit [--smoke] [--jobs N] [--out FILE] [--baseline FILE] [--write-baseline] ...
 //! mtsp replay (<spec>|--smoke) [--jobs N] [--out FILE] [--noise MODEL] [--seed S]
 //!            [--trace FILE]
+//! mtsp serve [--stdio|--socket PATH|--tcp ADDR] [--shards N] [--queue-cap N]
+//!           [--max-sessions N] [--max-tasks N] [--max-replans-per-sec R]
+//! mtsp client (--socket PATH|--tcp ADDR) [script|-] [--snapshot-out FILE]
 //! mtsp bounds <m>
 //! mtsp tables [2|3|4|all]
+//! mtsp --version
 //! ```
 //!
 //! Instances use the plain-text format of `mtsp::model::textio` (see
@@ -100,13 +104,48 @@ enum Command {
         seed: u64,
         trace: Option<String>,
     },
+    Serve {
+        transport: ServeTransport,
+        shards: usize,
+        queue_cap: usize,
+        max_sessions: usize,
+        max_tasks: usize,
+        max_replans_per_sec: f64,
+    },
+    Client {
+        target: ClientTarget,
+        /// Script file path; `None` = read the script from stdin.
+        script: Option<String>,
+        snapshot_out: Option<String>,
+    },
     Bounds {
         m: usize,
     },
     Tables {
         which: String,
     },
+    Version,
     Help,
+}
+
+/// Where `mtsp serve` listens.
+#[derive(Debug, Clone, PartialEq)]
+enum ServeTransport {
+    /// One connection over stdin/stdout (the default).
+    Stdio,
+    /// Unix domain socket at the given path.
+    Unix(String),
+    /// TCP listener at the given `host:port` address.
+    Tcp(String),
+}
+
+/// Where `mtsp client` connects.
+#[derive(Debug, Clone, PartialEq)]
+enum ClientTarget {
+    /// Unix domain socket at the given path.
+    Unix(String),
+    /// TCP `host:port` address.
+    Tcp(String),
 }
 
 const USAGE: &str = "\
@@ -128,8 +167,12 @@ USAGE:
              [--no-gate]
   mtsp replay (<spec>|--smoke) [--jobs N] [--out FILE] [--noise MODEL]
              [--seed S] [--trace FILE]
+  mtsp serve [--stdio|--socket PATH|--tcp ADDR] [--shards N] [--queue-cap N]
+            [--max-sessions N] [--max-tasks N] [--max-replans-per-sec R]
+  mtsp client (--socket PATH|--tcp ADDR) [script|-] [--snapshot-out FILE]
   mtsp bounds <m>
   mtsp tables [2|3|4|all]
+  mtsp --version
 
 profile solves one instance with telemetry on: stdout carries the
 deterministic counter table (simplex iterations, FTRAN/BTRAN passes,
@@ -159,8 +202,10 @@ baseline's committed floor fail the run. --write-baseline records the
 current report (plus --perf-floor, default 0.5 jobs/s) as the new
 baseline instead of gating. The audit also replays the built-in arrival
 scenario grid through the online session and embeds the section under
-\"scenarios\" (gated like the rest). Wall-clock metrics always go to
-stderr.
+\"scenarios\", and runs the daemon wire-protocol audit (a fixed
+multi-tenant script at 1 and 4 shards, compared byte-for-byte) embedded
+under \"serve\" (both gated like the rest). Wall-clock metrics always
+go to stderr.
 
 replay drives the online ScheduleSession: tasks arrive over time, each
 arrival batch or machine-count change re-plans the not-yet-started
@@ -173,9 +218,33 @@ built-in 8-cell grid. Reports are byte-identical for any --jobs;
 re-plan latency goes to stderr, --trace writes a Chrome trace of the
 run's spans.
 
+serve runs the multi-tenant scheduling daemon: sessions hash to
+--shards worker shards (responses are byte-identical for any shard
+count), every tenant shares one content-addressed solve cache, and each
+connection speaks the line-oriented mtsp-wire v1 protocol (OPEN ARRIVE
+EDGE MACHINES START FINISH REPLAN SNAPSHOT RESTORE CLOSE SOLVE STATS;
+errors come back as 'ERR <line> <code> <msg>'). --stdio (default)
+serves one connection on stdin/stdout; --socket / --tcp accept many.
+Quota flags bound each tenant: --max-sessions per tenant,
+--max-tasks per session, --max-replans-per-sec enforced by a
+deterministic token bucket over the session's logical clock (0 = off).
+Shard queues hold at most --queue-cap requests; full queues block the
+sender (backpressure, never unbounded buffering). SNAPSHOT serializes a
+session as an mtsp-session v1 event log; RESTORE replays it
+bit-exactly, including across daemon restarts.
+
+client connects to a serve daemon, streams a request script (a file,
+or '-'/nothing for stdin), prints the reply transcript on stdout, and
+with --snapshot-out writes the body of the last OK SNAPSHOT reply to a
+file (ready to feed back through RESTORE).
+
 Wall-clock output always goes to stderr as '# metric key=value' lines
 (one stable scrapeable format across batch, corpus, audit, and replay),
 never to stdout or the JSON reports.
+
+Exit status: 0 on success, 1 on runtime failure (bad instance file,
+solver error, gate regression, I/O), 2 on a usage error (unknown
+command or malformed flags).
 
 DAG families:     independent chain layered series-parallel fork-join cholesky
                   wavefront random-tree
@@ -230,6 +299,12 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
     };
     match cmd {
         "help" | "--help" | "-h" => Ok(Command::Help),
+        "version" | "--version" | "-V" => {
+            if !rest.is_empty() {
+                return Err(format!("unexpected arguments: {rest:?}"));
+            }
+            Ok(Command::Version)
+        }
         "solve" => {
             let rho = take_value(&mut rest, "--rho")?
                 .map(|v| v.parse::<f64>().map_err(|e| format!("bad --rho: {e}")))
@@ -474,6 +549,87 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 noise,
                 seed,
                 trace,
+            })
+        }
+        "serve" => {
+            let stdio = take_flag(&mut rest, "--stdio");
+            let socket = take_value(&mut rest, "--socket")?;
+            let tcp = take_value(&mut rest, "--tcp")?;
+            let transport = match (stdio, socket, tcp) {
+                (_, None, None) => ServeTransport::Stdio,
+                (false, Some(p), None) => ServeTransport::Unix(p),
+                (false, None, Some(a)) => ServeTransport::Tcp(a),
+                _ => return Err("serve takes at most one of --stdio, --socket, --tcp".into()),
+            };
+            let shards = take_value(&mut rest, "--shards")?
+                .map(|v| v.parse::<usize>().map_err(|e| format!("bad --shards: {e}")))
+                .transpose()?
+                .unwrap_or(4);
+            let queue_cap = take_value(&mut rest, "--queue-cap")?
+                .map(|v| {
+                    v.parse::<usize>()
+                        .map_err(|e| format!("bad --queue-cap: {e}"))
+                })
+                .transpose()?
+                .unwrap_or(128);
+            let defaults = mtsp::serve::Quotas::default();
+            let max_sessions = take_value(&mut rest, "--max-sessions")?
+                .map(|v| {
+                    v.parse::<usize>()
+                        .map_err(|e| format!("bad --max-sessions: {e}"))
+                })
+                .transpose()?
+                .unwrap_or(defaults.max_sessions);
+            let max_tasks = take_value(&mut rest, "--max-tasks")?
+                .map(|v| {
+                    v.parse::<usize>()
+                        .map_err(|e| format!("bad --max-tasks: {e}"))
+                })
+                .transpose()?
+                .unwrap_or(defaults.max_tasks);
+            let max_replans_per_sec = take_value(&mut rest, "--max-replans-per-sec")?
+                .map(|v| {
+                    v.parse::<f64>()
+                        .map_err(|e| format!("bad --max-replans-per-sec: {e}"))
+                })
+                .transpose()?
+                .unwrap_or(defaults.max_replans_per_sec);
+            if !rest.is_empty() {
+                return Err(format!("unexpected arguments: {rest:?}"));
+            }
+            if shards == 0 || queue_cap == 0 {
+                return Err("--shards and --queue-cap must be positive".into());
+            }
+            if !max_replans_per_sec.is_finite() || max_replans_per_sec < 0.0 {
+                return Err("--max-replans-per-sec must be finite and non-negative".into());
+            }
+            Ok(Command::Serve {
+                transport,
+                shards,
+                queue_cap,
+                max_sessions,
+                max_tasks,
+                max_replans_per_sec,
+            })
+        }
+        "client" => {
+            let socket = take_value(&mut rest, "--socket")?;
+            let tcp = take_value(&mut rest, "--tcp")?;
+            let target = match (socket, tcp) {
+                (Some(p), None) => ClientTarget::Unix(p),
+                (None, Some(a)) => ClientTarget::Tcp(a),
+                _ => return Err("client needs exactly one of --socket PATH or --tcp ADDR".into()),
+            };
+            let snapshot_out = take_value(&mut rest, "--snapshot-out")?;
+            let script = match rest.as_slice() {
+                [] | ["-"] => None,
+                [path] => Some(path.to_string()),
+                _ => return Err("client takes at most one script file (or '-' for stdin)".into()),
+            };
+            Ok(Command::Client {
+                target,
+                script,
+                snapshot_out,
             })
         }
         "bounds" => {
@@ -881,7 +1037,12 @@ fn run(cmd: Command) -> Result<String, String> {
             };
             let scen = mtsp::harness::run_scenario_grid(&scen_grid, jobs);
             emit_scenario_metrics("audit.scenarios", &scen.metrics);
+            // The daemon audit rides along too: the fixed multi-tenant
+            // wire script replayed at 1 and 4 shards, compared
+            // byte-for-byte and embedded under "serve".
+            let serve = mtsp::harness::run_serve_audit();
             let report = mtsp::harness::attach_scenarios(outcome.report, scen.section);
+            let report = mtsp::harness::attach_section(report, "serve", serve.section);
             std::fs::write(&out_file, report.to_pretty())
                 .map_err(|e| format!("{out_file}: {e}"))?;
             let summary = report.get("summary").expect("report has summary");
@@ -940,6 +1101,19 @@ fn run(cmd: Command) -> Result<String, String> {
                     .get("failures")
                     .and_then(|v| v.as_i64())
                     .unwrap_or(-1),
+            );
+            let serve_sec = report.get("serve").expect("report has serve section");
+            let serve_int = |k: &str| serve_sec.get(k).and_then(|v| v.as_i64()).unwrap_or(-1);
+            let _ = writeln!(
+                out,
+                "  serve: {} requests  {} rejections  {} snapshots  shard_consistent {}",
+                serve_int("requests"),
+                serve_int("rejections"),
+                serve_int("snapshots"),
+                serve_sec
+                    .get("shard_consistent")
+                    .and_then(|v| v.as_bool())
+                    .unwrap_or(false),
             );
             let baseline_path = baseline.unwrap_or_else(|| {
                 if smoke {
@@ -1064,6 +1238,97 @@ fn run(cmd: Command) -> Result<String, String> {
                 None => out.push_str(&json),
             }
         }
+        Command::Version => {
+            let _ = writeln!(out, "mtsp {}", env!("CARGO_PKG_VERSION"));
+        }
+        Command::Serve {
+            transport,
+            shards,
+            queue_cap,
+            max_sessions,
+            max_tasks,
+            max_replans_per_sec,
+        } => {
+            use mtsp::serve::{daemon, Quotas, Registry, ServeConfig};
+            let reg = Registry::new(ServeConfig {
+                shards,
+                queue_cap,
+                quotas: Quotas {
+                    max_sessions,
+                    max_tasks,
+                    max_replans_per_sec,
+                },
+                ..ServeConfig::default()
+            });
+            // Operational chatter goes to stderr: on --stdio, stdout *is*
+            // the protocol stream.
+            eprintln!("# mtsp serve: {shards} shard(s), queue cap {queue_cap}");
+            match transport {
+                ServeTransport::Stdio => {
+                    daemon::serve_stdio(&reg).map_err(|e| format!("serve: {e}"))?;
+                    let c = reg.counters();
+                    emit_metrics(
+                        "serve",
+                        &[
+                            (
+                                "requests",
+                                c.get(mtsp::obs::Counter::ServeRequests).to_string(),
+                            ),
+                            (
+                                "rejections",
+                                c.get(mtsp::obs::Counter::ServeRejections).to_string(),
+                            ),
+                            (
+                                "snapshots",
+                                c.get(mtsp::obs::Counter::ServeSnapshots).to_string(),
+                            ),
+                        ],
+                    );
+                    eprint!("{}", reg.render_gauges());
+                }
+                ServeTransport::Unix(path) => {
+                    eprintln!("# mtsp serve: listening on unix socket {path}");
+                    daemon::serve_unix(std::sync::Arc::new(reg), std::path::Path::new(&path))
+                        .map_err(|e| format!("serve {path}: {e}"))?;
+                }
+                ServeTransport::Tcp(addr) => {
+                    eprintln!("# mtsp serve: listening on tcp {addr}");
+                    daemon::serve_tcp(std::sync::Arc::new(reg), &addr)
+                        .map_err(|e| format!("serve {addr}: {e}"))?;
+                }
+            }
+        }
+        Command::Client {
+            target,
+            script,
+            snapshot_out,
+        } => {
+            let script_text = match &script {
+                Some(path) => std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?,
+                None => {
+                    use std::io::Read as _;
+                    let mut s = String::new();
+                    std::io::stdin()
+                        .read_to_string(&mut s)
+                        .map_err(|e| format!("stdin: {e}"))?;
+                    s
+                }
+            };
+            let outcome = match &target {
+                ClientTarget::Unix(p) => {
+                    mtsp::serve::client::run_script_unix(std::path::Path::new(p), &script_text)
+                }
+                ClientTarget::Tcp(a) => mtsp::serve::client::run_script_tcp(a, &script_text),
+            }
+            .map_err(|e| format!("client: {e}"))?;
+            out.push_str(&outcome.transcript);
+            if let Some(f) = snapshot_out {
+                let body = outcome
+                    .last_snapshot
+                    .ok_or("--snapshot-out set but the transcript has no OK SNAPSHOT reply")?;
+                std::fs::write(&f, body).map_err(|e| format!("{f}: {e}"))?;
+            }
+        }
         Command::Bounds { m } => {
             let p = our_params(m);
             let _ = writeln!(out, "machine size m = {m}:");
@@ -1171,11 +1436,21 @@ fn run(cmd: Command) -> Result<String, String> {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match parse_args(&args).and_then(run) {
-        Ok(text) => print!("{text}"),
+    // Usage errors (unknown command, malformed flags) exit 2; runtime
+    // failures (bad files, solver errors, gate regressions) exit 1 — so
+    // scripts can tell "you called it wrong" from "the run failed".
+    let cmd = match parse_args(&args) {
+        Ok(cmd) => cmd,
         Err(msg) => {
             eprintln!("error: {msg}");
             std::process::exit(2);
+        }
+    };
+    match run(cmd) {
+        Ok(text) => print!("{text}"),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(1);
         }
     }
 }
@@ -1505,6 +1780,86 @@ mod tests {
         assert!(err.contains("regressed"), "{err}");
 
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parses_serve_and_client() {
+        assert_eq!(
+            parse_args(&argv("serve")).unwrap(),
+            Command::Serve {
+                transport: ServeTransport::Stdio,
+                shards: 4,
+                queue_cap: 128,
+                max_sessions: mtsp::serve::Quotas::default().max_sessions,
+                max_tasks: mtsp::serve::Quotas::default().max_tasks,
+                max_replans_per_sec: mtsp::serve::Quotas::default().max_replans_per_sec,
+            }
+        );
+        let cmd = parse_args(&argv(
+            "serve --socket /tmp/s.sock --shards 2 --queue-cap 16 --max-sessions 3 \
+             --max-tasks 50 --max-replans-per-sec 1.5",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                transport: ServeTransport::Unix("/tmp/s.sock".into()),
+                shards: 2,
+                queue_cap: 16,
+                max_sessions: 3,
+                max_tasks: 50,
+                max_replans_per_sec: 1.5,
+            }
+        );
+        let cmd = parse_args(&argv("serve --tcp 127.0.0.1:9000")).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Serve {
+                transport: ServeTransport::Tcp(_),
+                ..
+            }
+        ));
+        assert!(parse_args(&argv("serve --stdio --tcp 127.0.0.1:9000")).is_err());
+        assert!(parse_args(&argv("serve --socket a --tcp b")).is_err());
+        assert!(parse_args(&argv("serve --shards 0")).is_err());
+        assert!(parse_args(&argv("serve --queue-cap 0")).is_err());
+        assert!(parse_args(&argv("serve --max-replans-per-sec -1")).is_err());
+        assert!(parse_args(&argv("serve extra")).is_err());
+
+        let cmd = parse_args(&argv(
+            "client --socket /tmp/s.sock sc.txt --snapshot-out snap.txt",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Client {
+                target: ClientTarget::Unix("/tmp/s.sock".into()),
+                script: Some("sc.txt".into()),
+                snapshot_out: Some("snap.txt".into()),
+            }
+        );
+        let cmd = parse_args(&argv("client --tcp 127.0.0.1:9000 -")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Client {
+                target: ClientTarget::Tcp("127.0.0.1:9000".into()),
+                script: None,
+                snapshot_out: None,
+            }
+        );
+        assert!(parse_args(&argv("client sc.txt")).is_err());
+        assert!(parse_args(&argv("client --socket a --tcp b sc.txt")).is_err());
+        assert!(parse_args(&argv("client --socket a x y")).is_err());
+    }
+
+    #[test]
+    fn version_flag_prints_the_crate_version() {
+        assert_eq!(parse_args(&argv("--version")).unwrap(), Command::Version);
+        assert_eq!(parse_args(&argv("-V")).unwrap(), Command::Version);
+        assert_eq!(parse_args(&argv("version")).unwrap(), Command::Version);
+        assert!(parse_args(&argv("--version extra")).is_err());
+        let text = run(Command::Version).unwrap();
+        assert_eq!(text, format!("mtsp {}\n", env!("CARGO_PKG_VERSION")));
     }
 
     #[test]

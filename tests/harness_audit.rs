@@ -46,7 +46,7 @@ fn smoke_schedules_cross_validate_in_sim() {
 /// is the same check CI runs, kept in-tree so a quality regression fails
 /// `cargo test` before it ever reaches CI. The audit report is the
 /// *merged* document: the corpus quality report plus the online scenario
-/// audit under `"scenarios"`.
+/// audit under `"scenarios"` and the daemon wire audit under `"serve"`.
 #[test]
 fn committed_smoke_baseline_gates_green() {
     let text = std::fs::read_to_string("BENCH_baseline_smoke.json")
@@ -54,7 +54,9 @@ fn committed_smoke_baseline_gates_green() {
     let baseline = json::parse(&text).unwrap();
     let outcome = run_corpus(&Corpus::builtin_smoke(), &RunConfig::default());
     let scen = mtsp::harness::run_scenario_grid(&mtsp::harness::ScenarioGrid::builtin_smoke(), 0);
+    let serve = mtsp::harness::run_serve_audit();
     let report = mtsp::harness::attach_scenarios(outcome.report, scen.section);
+    let report = mtsp::harness::attach_section(report, "serve", serve.section);
     // No measured throughput here: the perf floor is CI's concern; this
     // test pins quality only.
     let problems =

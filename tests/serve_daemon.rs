@@ -1,0 +1,237 @@
+//! Integration tests of the `mtsp serve` / `mtsp client` verbs through
+//! the real binary: exit-code contract, byte-identical transcripts
+//! across shard counts, snapshot → kill → restore → replan bit-exactness
+//! across daemon processes, and quota errors that reply instead of
+//! hanging.
+
+use std::io::Write as _;
+use std::process::{Child, Command, Stdio};
+
+fn mtsp() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mtsp"))
+}
+
+/// Runs `mtsp serve --stdio` with the given extra flags, feeding `script`
+/// on stdin, and returns the stdout transcript.
+fn serve_stdio(extra: &[&str], script: &str) -> String {
+    let mut child = mtsp()
+        .arg("serve")
+        .arg("--stdio")
+        .args(extra)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn mtsp serve");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(script.as_bytes())
+        .expect("write script");
+    let out = child.wait_with_output().expect("wait for daemon");
+    assert!(out.status.success(), "serve --stdio exited nonzero");
+    String::from_utf8(out.stdout).expect("utf-8 transcript")
+}
+
+const DEMO_SCRIPT: &str = "\
+OPEN acme s1 4
+ARRIVE acme s1 0.0 6.0 3.25 2.5 2.25
+ARRIVE acme s1 0.0 5.0 2.75 2.0 1.75
+EDGE acme s1 0.0 0 1
+REPLAN acme s1 0.0
+SNAPSHOT acme s1
+REPLAN acme s1 1.0
+STATS
+";
+
+#[test]
+fn exit_codes_split_usage_from_runtime_failures() {
+    // Usage errors (unknown command, malformed flags) exit 2.
+    for args in [
+        vec!["frobnicate"],
+        vec!["serve", "--shards", "0"],
+        vec!["serve", "--stdio", "--tcp", "127.0.0.1:0"],
+        vec!["client", "no-target.txt"],
+        vec!["--version", "extra"],
+    ] {
+        let out = mtsp().args(&args).output().unwrap();
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{args:?} should be a usage error"
+        );
+    }
+    // Runtime failures (missing files, failed connections) exit 1.
+    for args in [
+        vec!["solve", "/nonexistent/nope.txt"],
+        vec!["check", "/nonexistent/nope.txt"],
+        vec!["corpus", "run", "/nonexistent/spec.txt"],
+    ] {
+        let out = mtsp().args(&args).output().unwrap();
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "{args:?} should be a runtime failure"
+        );
+    }
+    let out = mtsp()
+        .args(["client", "--socket", "/nonexistent/daemon.sock"])
+        .stdin(Stdio::null())
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "failed connect is a runtime error"
+    );
+    // And success is success.
+    let out = mtsp().arg("--version").output().unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(text, format!("mtsp {}\n", env!("CARGO_PKG_VERSION")));
+}
+
+#[test]
+fn stdio_transcripts_are_byte_identical_across_shard_counts() {
+    let one = serve_stdio(&["--shards", "1"], DEMO_SCRIPT);
+    let four = serve_stdio(&["--shards", "4"], DEMO_SCRIPT);
+    assert_eq!(one, four, "responses must not depend on the shard count");
+    assert!(one.contains("OK OPEN s1"), "{one}");
+    assert!(one.contains("OK SNAPSHOT"), "{one}");
+    assert!(one.contains("OK STATS"), "{one}");
+    assert!(!one.contains("ERR "), "demo script is all-green: {one}");
+}
+
+#[test]
+fn quota_errors_reply_instead_of_hanging() {
+    let script = "\
+OPEN acme s1 4
+OPEN acme s2 4
+ARRIVE acme s1 0.0 6.0 3.25 2.5 2.25
+ARRIVE acme s1 0.0 5.0 2.75 2.0 1.75
+REPLAN acme s1 0.0
+REPLAN acme s1 0.0
+";
+    let out = serve_stdio(
+        &[
+            "--max-sessions",
+            "1",
+            "--max-tasks",
+            "1",
+            "--max-replans-per-sec",
+            "1.0",
+        ],
+        script,
+    );
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(lines.len(), 6, "one reply per request: {out}");
+    assert!(lines[1].starts_with("ERR 2 quota"), "{out}");
+    assert!(lines[3].starts_with("ERR 4 quota"), "{out}");
+    assert!(lines[5].starts_with("ERR 6 quota"), "{out}");
+}
+
+/// Extracts the last `OK REPLAN …` line of a transcript.
+fn last_replan(transcript: &str) -> &str {
+    transcript
+        .lines()
+        .rfind(|l| l.starts_with("OK REPLAN"))
+        .expect("transcript has an OK REPLAN reply")
+}
+
+struct SocketDaemon {
+    child: Child,
+    path: std::path::PathBuf,
+}
+
+impl SocketDaemon {
+    fn spawn(dir: &std::path::Path, name: &str) -> SocketDaemon {
+        let path = dir.join(name);
+        let child = mtsp()
+            .args(["serve", "--socket"])
+            .arg(&path)
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn socket daemon");
+        // Wait for the listener to come up.
+        for _ in 0..200 {
+            if path.exists() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert!(path.exists(), "daemon never created {}", path.display());
+        SocketDaemon { child, path }
+    }
+}
+
+impl Drop for SocketDaemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+#[test]
+fn snapshot_survives_a_daemon_restart_bit_exactly() {
+    let dir = std::env::temp_dir().join(format!("mtsp-serve-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let script_path = dir.join("script.txt");
+    let snap_path = dir.join("snapshot.txt");
+    std::fs::write(&script_path, DEMO_SCRIPT).unwrap();
+
+    // Daemon A: run the demo session, capture the snapshot and the reply
+    // to the post-snapshot REPLAN at t=1.0.
+    let replan_a;
+    {
+        let daemon = SocketDaemon::spawn(&dir, "a.sock");
+        let out = mtsp()
+            .args(["client", "--socket"])
+            .arg(&daemon.path)
+            .arg(&script_path)
+            .args(["--snapshot-out"])
+            .arg(&snap_path)
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "client failed");
+        let transcript = String::from_utf8(out.stdout).unwrap();
+        replan_a = last_replan(&transcript).to_string();
+    } // daemon A killed here
+
+    // Daemon B (fresh process): restore the snapshot, replay the same
+    // REPLAN. The snapshot was taken *before* the t=1.0 replan, and
+    // restore replays the logged event history, so the reply must match
+    // daemon A's bit for bit.
+    let snapshot = std::fs::read_to_string(&snap_path).unwrap();
+    assert!(
+        snapshot.starts_with("mtsp-session v1"),
+        "snapshot must strict-parse as mtsp-session v1: {snapshot}"
+    );
+    mtsp::model::wire::parse_session_log(&snapshot).expect("snapshot strict-parses");
+    let restore_script = format!(
+        "RESTORE acme s1 {}\n{snapshot}REPLAN acme s1 1.0\nCLOSE acme s1\n",
+        snapshot.lines().count()
+    );
+    let daemon = SocketDaemon::spawn(&dir, "b.sock");
+    let script2 = dir.join("script2.txt");
+    std::fs::write(&script2, &restore_script).unwrap();
+    let out = mtsp()
+        .args(["client", "--socket"])
+        .arg(&daemon.path)
+        .arg(&script2)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "restore client failed");
+    let transcript = String::from_utf8(out.stdout).unwrap();
+    assert!(transcript.contains("OK RESTORE"), "{transcript}");
+    assert_eq!(
+        last_replan(&transcript),
+        replan_a,
+        "replan after restore must be bit-identical to the original daemon's"
+    );
+    drop(daemon);
+    let _ = std::fs::remove_dir_all(&dir);
+}
