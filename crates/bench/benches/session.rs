@@ -45,6 +45,7 @@ fn cfg(phase1: Phase1, warm: bool) -> ReplayConfig {
                 ..JzConfig::default()
             },
             reuse_context: warm,
+            reuse_epoch_lp: warm,
         },
         noise: NoiseModel::Uniform { epsilon: 0.1 },
         seed: 7,
@@ -111,5 +112,55 @@ fn bench_replan_only(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_epoch_replans, bench_replan_only);
+/// Large-n noise-only re-plans: all tasks arrive (with edges) at time
+/// zero, the session plans once and starts the first task, then absorbs
+/// repeated pure-noise re-plans at advancing clocks — the serving-loop
+/// shape where cross-epoch LP reuse pays. Warm keeps the suffix LP
+/// loaded between epochs (rhs re-aim + warm continuation); cold rebuilds
+/// context and LP every epoch. These entries are for manual perf passes
+/// (CI compiles them via `cargo bench --no-run`); the `mtsp audit` gate
+/// enforces the same comparison continuously as a deterministic
+/// pivot-work floor (`perf_floor_epoch_reuse_speedup`).
+fn bench_replan_large(c: &mut Criterion) {
+    let mut g = c.benchmark_group("session_replan_large");
+    g.sample_size(10);
+    for (n, m) in [(96usize, 16usize), (256, 16)] {
+        let sc = scenario(n, m);
+        let label = format!("n{}_m{m}", sc.ins.n());
+        for (warm, tag) in [(true, "warm"), (false, "cold")] {
+            g.bench_with_input(BenchmarkId::new(tag, &label), &sc, |b, sc| {
+                b.iter(|| {
+                    let mut s = mtsp_engine::ScheduleSession::new(
+                        sc.ins.m(),
+                        cfg(Phase1::Bisection, warm).session,
+                    )
+                    .unwrap();
+                    for j in 0..sc.ins.n() {
+                        s.arrive(sc.ins.profile(j).clone(), 0.0).unwrap();
+                    }
+                    for j in 0..sc.ins.n() {
+                        for &i in sc.ins.dag().preds(j) {
+                            s.add_dependency(i, j, 0.0).unwrap();
+                        }
+                    }
+                    s.replan(0.0).unwrap();
+                    let first = sc.ins.dag().topological_order()[0];
+                    s.mark_started(first, 0.0).unwrap();
+                    for k in 1..=3usize {
+                        s.replan(k as f64 * 0.1).unwrap();
+                    }
+                    s.epochs().len()
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_epoch_replans,
+    bench_replan_only,
+    bench_replan_large
+);
 criterion_main!(benches);

@@ -135,16 +135,31 @@ fn validate_releases(ins: &Instance, releases: &[f64]) -> Result<(), CoreError> 
     Ok(())
 }
 
-fn solve_allotment_impl(
-    ctx: &mut SolveContext,
+/// The variable/row layout of one crashing-form build — everything needed
+/// to read a solution back out of the solver and to re-aim the release
+/// rows in place across epochs (see [`SuffixLpReuse`]).
+#[derive(Debug, Clone)]
+struct CrashingLayout {
+    l: mtsp_lp::VarId,
+    completion: Vec<mtsp_lp::VarId>,
+    /// Per task: `(crash var, work slope)` per work-function segment.
+    crash: Vec<Vec<(mtsp_lp::VarId, f64)>>,
+    /// Per task: `Some((row index, p_j(1)))` when the task owns a
+    /// release/source row, so its rhs `-(p_j(1) + r_j)` can be moved
+    /// without rebuilding. Row indices follow the exact build order.
+    release_rows: Vec<Option<(usize, f64)>>,
+}
+
+/// Builds the crashing-form allotment LP (see the module docs) and its
+/// layout. Shared by the one-shot solve path and the cross-epoch reuse
+/// path — both must agree byte-for-byte on the model they produce.
+fn build_crashing_lp(
     ins: &Instance,
+    wfs: &[WorkFunction],
     releases: Option<&[f64]>,
-    opts: &SolverOptions,
-) -> Result<AllotmentResult, CoreError> {
+) -> (Lp, CrashingLayout) {
     let n = ins.n();
     let m = ins.m();
-    let wfs = work_functions(ins)?;
-
     let mut lp = Lp::minimize();
     let c = lp.add_var(0.0, f64::INFINITY, 1.0);
     let l = lp.add_var(0.0, f64::INFINITY, 0.0);
@@ -155,7 +170,7 @@ fn solve_allotment_impl(
     // Crash variables and per-task bookkeeping.
     let mut crash: Vec<Vec<(mtsp_lp::VarId, f64)>> = Vec::with_capacity(n); // (var, slope)
     let mut base_work = 0.0f64;
-    for wf in &wfs {
+    for wf in wfs {
         let bps: Vec<(f64, f64, usize)> = wf.breakpoints().collect();
         base_work += bps[0].1;
         let mut vars = Vec::with_capacity(bps.len().saturating_sub(1));
@@ -171,6 +186,8 @@ fn solve_allotment_impl(
 
     // Precedence rows: C_i + x_j <= C_j, with x_j = p_j(1) - sum_k y_{j,k}:
     //   C_i - C_j - sum_k y_{j,k} <= -p_j(1).
+    let mut release_rows: Vec<Option<(usize, f64)>> = Vec::with_capacity(n);
+    let mut nrows = 0usize;
     let mut row: Vec<(mtsp_lp::VarId, f64)> = Vec::new();
     for j in 0..n {
         let pj1 = wfs[j].max_time();
@@ -182,6 +199,7 @@ fn solve_allotment_impl(
                 row.push((y, -1.0));
             }
             lp.add_row(&row, Relation::Le, -pj1);
+            nrows += 1;
         }
         // Release / source row: r_j + x_j <= C_j (r_j = 0 without
         // releases; sources always get it, inner tasks only when their
@@ -194,9 +212,14 @@ fn solve_allotment_impl(
                 row.push((y, -1.0));
             }
             lp.add_row(&row, Relation::Le, -(pj1 + rj));
+            release_rows.push(Some((nrows, pj1)));
+            nrows += 1;
+        } else {
+            release_rows.push(None);
         }
         // C_j <= L.
         lp.add_row(&[(completion[j], 1.0), (l, -1.0)], Relation::Le, 0.0);
+        nrows += 1;
     }
     // L <= C.
     lp.add_row(&[(l, 1.0), (c, -1.0)], Relation::Le, 0.0);
@@ -209,28 +232,54 @@ fn solve_allotment_impl(
         }
     }
     lp.add_row(&row, Relation::Le, -base_work);
+    (
+        lp,
+        CrashingLayout {
+            l,
+            completion,
+            crash,
+            release_rows,
+        },
+    )
+}
 
+/// Reads an [`AllotmentResult`] out of an optimal crashing-form solution.
+fn extract_crashing(
+    sol: &mtsp_lp::Solution,
+    wfs: &[WorkFunction],
+    layout: &CrashingLayout,
+) -> AllotmentResult {
+    let x: Vec<f64> = (0..wfs.len())
+        .map(|j| {
+            let crashed: f64 = layout.crash[j].iter().map(|&(y, _)| sol.x[y.index()]).sum();
+            (wfs[j].max_time() - crashed).clamp(wfs[j].min_time(), wfs[j].max_time())
+        })
+        .collect();
+    let completion: Vec<f64> = layout.completion.iter().map(|v| sol.x[v.index()]).collect();
+    let wstar: f64 = x.iter().zip(wfs).map(|(&xj, wf)| wf.eval(xj)).sum();
+    AllotmentResult {
+        x,
+        cstar: sol.objective,
+        lstar: sol.x[layout.l.index()],
+        wstar,
+        completion,
+        iterations: sol.iterations,
+    }
+}
+
+fn solve_allotment_impl(
+    ctx: &mut SolveContext,
+    ins: &Instance,
+    releases: Option<&[f64]>,
+    opts: &SolverOptions,
+) -> Result<AllotmentResult, CoreError> {
+    let wfs = work_functions(ins)?;
+    let (lp, layout) = build_crashing_lp(ins, &wfs, releases);
     let sol = ctx.solve(&lp, opts)?;
     if sol.status != Status::Optimal {
         return Err(CoreError::BadLpStatus(sol.status));
     }
-
-    let x: Vec<f64> = (0..n)
-        .map(|j| {
-            let crashed: f64 = crash[j].iter().map(|&(y, _)| sol.x[y.index()]).sum();
-            (wfs[j].max_time() - crashed).clamp(wfs[j].min_time(), wfs[j].max_time())
-        })
-        .collect();
-    let completion: Vec<f64> = completion.iter().map(|v| sol.x[v.index()]).collect();
-    let wstar: f64 = x.iter().zip(&wfs).map(|(&xj, wf)| wf.eval(xj)).sum();
-    Ok(AllotmentResult {
-        x,
-        cstar: sol.objective,
-        lstar: sol.x[l.index()],
-        wstar,
-        completion,
-        iterations: sol.iterations,
-    })
+    Ok(extract_crashing(&sol, &wfs, &layout))
 }
 
 /// Solves the literal LP (9): explicit `x_j`, `w̄_j` and one row per
@@ -313,12 +362,17 @@ pub fn solve_allotment_direct(
 /// the [`SolveContext`] — warm-started dual simplex from the previous
 /// basis when [`SolverOptions::warm_start`] is set, a full cold solve of
 /// the identical model otherwise.
+#[derive(Debug)]
 struct DeadlineSweep {
     lp: Lp,
     completion: Vec<mtsp_lp::VarId>,
     crash: Vec<Vec<mtsp_lp::VarId>>,
     base_work: f64,
     solved_once: bool,
+    /// Per task: `Some((row index, p_j(1)))` when the task owns a
+    /// release/source row — the cross-epoch mutation points (the probe
+    /// deadline itself lives in the completion-variable bounds).
+    release_rows: Vec<Option<(usize, f64)>>,
 }
 
 impl DeadlineSweep {
@@ -345,6 +399,8 @@ impl DeadlineSweep {
             }
             crash.push(vars);
         }
+        let mut release_rows: Vec<Option<(usize, f64)>> = Vec::with_capacity(n);
+        let mut nrows = 0usize;
         let mut row: Vec<(mtsp_lp::VarId, f64)> = Vec::new();
         for j in 0..n {
             let pj1 = wfs[j].max_time();
@@ -356,6 +412,7 @@ impl DeadlineSweep {
                     row.push((y, -1.0));
                 }
                 lp.add_row(&row, Relation::Le, -pj1);
+                nrows += 1;
             }
             let rj = releases.map_or(0.0, |r| r[j]);
             if ins.dag().preds(j).is_empty() || rj > 0.0 {
@@ -365,6 +422,10 @@ impl DeadlineSweep {
                     row.push((y, -1.0));
                 }
                 lp.add_row(&row, Relation::Le, -(pj1 + rj));
+                release_rows.push(Some((nrows, pj1)));
+                nrows += 1;
+            } else {
+                release_rows.push(None);
             }
         }
         DeadlineSweep {
@@ -373,6 +434,7 @@ impl DeadlineSweep {
             crash,
             base_work,
             solved_once: false,
+            release_rows,
         }
     }
 
@@ -462,6 +524,210 @@ pub fn solve_allotment_bisection_with_releases_in(
     solve_allotment_bisection_impl(ctx, ins, Some(releases), opts, tol)
 }
 
+/// Cross-epoch reuse handle for the release-aware phase-1 entry points.
+///
+/// An online session that re-plans the same pending suffix repeatedly —
+/// no arrival, no new edge, `m` unchanged, only the release times moved —
+/// solves a sequence of LPs that differ **only in the right-hand sides of
+/// their release rows**. This handle remembers the layout of the last
+/// build together with (a) a fingerprint of every structural input of
+/// that build and (b) the [`SolveContext::load_stamp`] of the load that
+/// still holds it. When a later call presents the same fingerprint to the
+/// same still-loaded context, the release rows are re-aimed in place
+/// ([`SolveContext::set_rhs`]) and the model re-optimizes without being
+/// rebuilt — counted under [`Counter::LpReuses`] and **bitwise identical**
+/// to a rebuild. What "re-optimizes" means differs by form: the bisection
+/// continues warm from the previous epoch's final basis (its search feeds
+/// only on vertex-insensitive quantities and its extraction is a cold
+/// solve at the winning deadline, so warm continuation cannot change a
+/// byte), while the direct crashing form re-solves cold — its answer *is*
+/// the solution vertex, and at a degenerate optimum a warm resolve may
+/// stop at a different equally-optimal vertex than a rebuild would.
+/// Any mismatch (different structure, a context that was re-loaded by
+/// other work, a solver error) falls back to the full rebuild path, so
+/// results are a pure function of the inputs, never of the handle.
+#[derive(Debug, Default)]
+pub struct SuffixLpReuse {
+    state: Option<ReuseState>,
+}
+
+impl SuffixLpReuse {
+    /// An empty handle; the first solve through it builds from scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops the remembered build, forcing the next solve to rebuild.
+    pub fn clear(&mut self) {
+        self.state = None;
+    }
+}
+
+#[derive(Debug)]
+struct ReuseState {
+    fingerprint: u64,
+    stamp: u64,
+    payload: ReusePayload,
+}
+
+#[derive(Debug)]
+enum ReusePayload {
+    Crashing(CrashingLayout),
+    Sweep(DeadlineSweep),
+}
+
+/// One FNV-1a 64 step over the little-endian bytes of `v`.
+fn fnv1a(mut h: u64, v: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Hashes every input that shapes the LP **matrix** (as opposed to its
+/// release right-hand sides): the encoding kind, `n`, `m`, the edge set,
+/// the work-function breakpoints (they fix `p_j(1)`, the crash-variable
+/// bounds and slopes, and the base work), and the per-task release-row
+/// *pattern* — `r_j > 0` decides whether task `j` owns a release row, so
+/// a release collapsing to zero is a structural event even though the
+/// release *value* is not.
+fn structure_fingerprint(kind: u8, ins: &Instance, wfs: &[WorkFunction], releases: &[f64]) -> u64 {
+    let mut h = fnv1a(0xcbf2_9ce4_8422_2325, kind as u64);
+    h = fnv1a(h, ins.n() as u64);
+    h = fnv1a(h, ins.m() as u64);
+    for j in 0..ins.n() {
+        let preds = ins.dag().preds(j);
+        h = fnv1a(h, preds.len() as u64);
+        for &i in preds {
+            h = fnv1a(h, i as u64);
+        }
+        for (t, w, l) in wfs[j].breakpoints() {
+            h = fnv1a(h, t.to_bits());
+            h = fnv1a(h, w.to_bits());
+            h = fnv1a(h, l as u64);
+        }
+        h = fnv1a(h, (preds.is_empty() || releases[j] > 0.0) as u64);
+    }
+    h
+}
+
+/// [`solve_allotment_with_releases_in`] with cross-epoch LP reuse: when
+/// `reuse` proves the context still holds a build of the same structure,
+/// only the release rows move and the model warm-resolves in place. See
+/// [`SuffixLpReuse`] for the validity and determinism contract.
+pub fn solve_allotment_with_releases_reusing(
+    ctx: &mut SolveContext,
+    reuse: &mut SuffixLpReuse,
+    ins: &Instance,
+    releases: &[f64],
+    opts: &SolverOptions,
+) -> Result<AllotmentResult, CoreError> {
+    validate_releases(ins, releases)?;
+    let wfs = work_functions(ins)?;
+    let fp = structure_fingerprint(0, ins, &wfs, releases);
+    // Taking the state clears the handle up front: any early return below
+    // (solver error, unexpected status) leaves it empty, and only a clean
+    // finish on either path re-arms it.
+    if let Some(state) = reuse.state.take() {
+        if state.fingerprint == fp && state.stamp == ctx.load_stamp() {
+            if let ReusePayload::Crashing(layout) = state.payload {
+                ctx.counters_mut().inc(Counter::LpReuses);
+                for (j, slot) in layout.release_rows.iter().enumerate() {
+                    if let Some((row, pj1)) = *slot {
+                        ctx.set_rhs(row, -(pj1 + releases[j]))?;
+                    }
+                }
+                // Cold re-optimization, deliberately: the crashing form
+                // reads the solution *vector* back out, and at a
+                // degenerate optimum a warm resolve may stop at a
+                // different (equally optimal) vertex than the rebuild
+                // path's cold solve — same objective bits, different
+                // allotments after rounding. Reuse here skips the model
+                // construction and load, not the pivots; the bisection
+                // variant below gets the full warm continuation because
+                // its search is vertex-insensitive.
+                let cold = SolverOptions {
+                    warm_start: false,
+                    ..opts.clone()
+                };
+                let sol = ctx.resolve(&cold)?;
+                if sol.status != Status::Optimal {
+                    return Err(CoreError::BadLpStatus(sol.status));
+                }
+                let out = extract_crashing(&sol, &wfs, &layout);
+                reuse.state = Some(ReuseState {
+                    fingerprint: fp,
+                    stamp: ctx.load_stamp(),
+                    payload: ReusePayload::Crashing(layout),
+                });
+                return Ok(out);
+            }
+        }
+    }
+    let (lp, layout) = build_crashing_lp(ins, &wfs, Some(releases));
+    let sol = ctx.solve(&lp, opts)?;
+    if sol.status != Status::Optimal {
+        return Err(CoreError::BadLpStatus(sol.status));
+    }
+    let out = extract_crashing(&sol, &wfs, &layout);
+    reuse.state = Some(ReuseState {
+        fingerprint: fp,
+        stamp: ctx.load_stamp(),
+        payload: ReusePayload::Crashing(layout),
+    });
+    Ok(out)
+}
+
+/// The bisection counterpart of [`solve_allotment_with_releases_reusing`]:
+/// a carried-over [`DeadlineSweep`] keeps its loaded model and final
+/// basis, so the whole next binary search runs on warm resolves with not
+/// a single LP rebuild.
+pub fn solve_allotment_bisection_with_releases_reusing(
+    ctx: &mut SolveContext,
+    reuse: &mut SuffixLpReuse,
+    ins: &Instance,
+    releases: &[f64],
+    opts: &SolverOptions,
+    tol: f64,
+) -> Result<AllotmentResult, CoreError> {
+    validate_releases(ins, releases)?;
+    let wfs = work_functions(ins)?;
+    let fp = structure_fingerprint(1, ins, &wfs, releases);
+    if let Some(state) = reuse.state.take() {
+        if state.fingerprint == fp && state.stamp == ctx.load_stamp() {
+            if let ReusePayload::Sweep(mut sweep) = state.payload {
+                ctx.counters_mut().inc(Counter::LpReuses);
+                for (j, &rj) in releases.iter().enumerate() {
+                    if let Some((row, pj1)) = sweep.release_rows[j] {
+                        let rhs = -(pj1 + rj);
+                        // Keep the stored model and the loaded one in
+                        // lockstep, so a future fallback reload of
+                        // `sweep.lp` would still be the right model.
+                        sweep.lp.set_row_rhs(row, rhs);
+                        ctx.set_rhs(row, rhs)?;
+                    }
+                }
+                let out = run_bisection(ctx, ins, &wfs, Some(releases), &mut sweep, opts, tol)?;
+                reuse.state = Some(ReuseState {
+                    fingerprint: fp,
+                    stamp: ctx.load_stamp(),
+                    payload: ReusePayload::Sweep(sweep),
+                });
+                return Ok(out);
+            }
+        }
+    }
+    let mut sweep = DeadlineSweep::build(ins, &wfs, Some(releases));
+    let out = run_bisection(ctx, ins, &wfs, Some(releases), &mut sweep, opts, tol)?;
+    reuse.state = Some(ReuseState {
+        fingerprint: fp,
+        stamp: ctx.load_stamp(),
+        payload: ReusePayload::Sweep(sweep),
+    });
+    Ok(out)
+}
+
 fn solve_allotment_bisection_impl(
     ctx: &mut SolveContext,
     ins: &Instance,
@@ -469,8 +735,25 @@ fn solve_allotment_bisection_impl(
     opts: &SolverOptions,
     tol: f64,
 ) -> Result<AllotmentResult, CoreError> {
-    let m = ins.m() as f64;
     let wfs = work_functions(ins)?;
+    let mut sweep = DeadlineSweep::build(ins, &wfs, releases);
+    run_bisection(ctx, ins, &wfs, releases, &mut sweep, opts, tol)
+}
+
+/// The deadline binary search over an already-built [`DeadlineSweep`]. A
+/// fresh sweep loads its model into `ctx` at the first probe; a sweep
+/// carried over from a previous epoch (see [`SuffixLpReuse`]) starts with
+/// a warm resolve of the model already loaded there.
+fn run_bisection(
+    ctx: &mut SolveContext,
+    ins: &Instance,
+    wfs: &[WorkFunction],
+    releases: Option<&[f64]>,
+    sweep: &mut DeadlineSweep,
+    opts: &SolverOptions,
+    tol: f64,
+) -> Result<AllotmentResult, CoreError> {
+    let m = ins.m() as f64;
     let mut iterations = 0usize;
 
     // Bracket: B_lo = all-m critical path (fastest possible), B_hi = the
@@ -490,13 +773,12 @@ fn solve_allotment_bisection_impl(
         .max(release_floor);
     let mut hi = (max_release + ins.serial_upper_bound()).max(lo);
     let hi0 = hi; // always-feasible ceiling, kept for the extraction ladder
-    let mut sweep = DeadlineSweep::build(ins, &wfs, releases);
-    // Evaluate at the bracket ends once for the final selection.
+                  // Evaluate at the bracket ends once for the final selection.
     #[allow(clippy::type_complexity)]
     let mut eval =
         |b: f64, iters: &mut usize| -> Result<Option<(f64, Vec<f64>, Vec<f64>)>, CoreError> {
             *iters += 1;
-            sweep.solve_at(ctx, &wfs, b, opts)
+            sweep.solve_at(ctx, wfs, b, opts)
         };
     // The search only tracks (objective, deadline) of the incumbent; the
     // solution vectors are re-derived at the end by one deterministic cold
@@ -557,7 +839,7 @@ fn solve_allotment_bisection_impl(
         hi0.max(bstar),
     ] {
         iterations += 1;
-        if let Some(found) = sweep.solve_at(ctx, &wfs, b, &cold)? {
+        if let Some(found) = sweep.solve_at(ctx, wfs, b, &cold)? {
             extracted = Some((b, found));
             break;
         }
@@ -565,7 +847,7 @@ fn solve_allotment_bisection_impl(
     let (bused, (w, x, completion)) =
         extracted.ok_or(CoreError::BadLpStatus(Status::Infeasible))?;
     let cstar = bused.max(w / m);
-    let wstar: f64 = x.iter().zip(&wfs).map(|(&xj, wf)| wf.eval(xj)).sum();
+    let wstar: f64 = x.iter().zip(wfs).map(|(&xj, wf)| wf.eval(xj)).sum();
     let lstar = completion.iter().copied().fold(0.0, f64::max);
     Ok(AllotmentResult {
         x,
@@ -874,6 +1156,154 @@ mod tests {
             Err(CoreError::InadmissibleInstance { task: 0 }) => {}
             other => panic!("expected inadmissible, got {other:?}"),
         }
+    }
+
+    /// The acceptance criterion of cross-epoch reuse: a sequence of pure
+    /// release shifts solved through one handle (mutate-and-resolve) is
+    /// **bitwise identical** to solving each epoch from scratch in a fresh
+    /// context — for both the direct crashing form and the bisection —
+    /// and the reuses are visible in the counters.
+    #[test]
+    fn release_reuse_is_bitwise_identical_to_rebuild() {
+        use mtsp_obs::Counter;
+        for (n, m, seed) in [(10usize, 4usize, 9u64), (16, 6, 10)] {
+            let ins = igen::random_instance(
+                igen::DagFamily::Layered,
+                igen::CurveFamily::Mixed,
+                n,
+                m,
+                seed,
+            );
+            let mut ctx = SolveContext::new();
+            let mut reuse = SuffixLpReuse::new();
+            let mut ctx_b = SolveContext::new();
+            let mut reuse_b = SuffixLpReuse::new();
+            for step in 0..4 {
+                // Strictly positive releases keep the release-row pattern
+                // stable, so every epoch after the first may reuse.
+                let releases: Vec<f64> = (0..ins.n())
+                    .map(|j| 0.4 + 0.2 * j as f64 + 0.3 * step as f64)
+                    .collect();
+                let reused = solve_allotment_with_releases_reusing(
+                    &mut ctx,
+                    &mut reuse,
+                    &ins,
+                    &releases,
+                    &opts(),
+                )
+                .unwrap();
+                let fresh = solve_allotment_with_releases_in(
+                    &mut SolveContext::new(),
+                    &ins,
+                    &releases,
+                    &opts(),
+                )
+                .unwrap();
+                assert_eq!(reused, fresh, "crashing step {step} n={n}");
+                assert_eq!(reused.cstar.to_bits(), fresh.cstar.to_bits());
+                for (a, b) in reused.x.iter().zip(&fresh.x) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+                let reused_b = solve_allotment_bisection_with_releases_reusing(
+                    &mut ctx_b,
+                    &mut reuse_b,
+                    &ins,
+                    &releases,
+                    &opts(),
+                    1e-7,
+                )
+                .unwrap();
+                let fresh_b = solve_allotment_bisection_with_releases_in(
+                    &mut SolveContext::new(),
+                    &ins,
+                    &releases,
+                    &opts(),
+                    1e-7,
+                )
+                .unwrap();
+                assert_eq!(reused_b, fresh_b, "bisection step {step} n={n}");
+                assert_eq!(reused_b.cstar.to_bits(), fresh_b.cstar.to_bits());
+            }
+            assert_eq!(ctx.counters().get(Counter::LpReuses), 3);
+            assert_eq!(ctx.counters().get(Counter::LpBuilds), 1);
+            assert_eq!(ctx_b.counters().get(Counter::LpReuses), 3);
+        }
+    }
+
+    /// Every structural event must defeat the fingerprint and force a
+    /// rebuild; in particular a release collapsing to zero on a task with
+    /// predecessors removes its release row even though `n`, `m` and the
+    /// edge set are unchanged.
+    #[test]
+    fn release_reuse_rebuilds_on_structural_change() {
+        use mtsp_obs::Counter;
+        let ins = simple_instance(4);
+        let releases = vec![0.5; 4];
+        let mut ctx = SolveContext::new();
+        let mut reuse = SuffixLpReuse::new();
+        let r0 =
+            solve_allotment_with_releases_reusing(&mut ctx, &mut reuse, &ins, &releases, &opts())
+                .unwrap();
+        assert_eq!(ctx.counters().get(Counter::LpBuilds), 1);
+        // Task 3 has predecessors; its release dropping to zero flips the
+        // release-row pattern — a rebuild, not a reuse.
+        let flipped = vec![0.5, 0.5, 0.5, 0.0];
+        let r1 =
+            solve_allotment_with_releases_reusing(&mut ctx, &mut reuse, &ins, &flipped, &opts())
+                .unwrap();
+        assert_eq!(ctx.counters().get(Counter::LpReuses), 0);
+        assert_eq!(ctx.counters().get(Counter::LpBuilds), 2);
+        assert_eq!(
+            r1,
+            solve_allotment_with_releases_in(&mut SolveContext::new(), &ins, &flipped, &opts())
+                .unwrap()
+        );
+        // A different instance (extra edge) through the same handle also
+        // rebuilds and matches scratch.
+        let dag2 = Dag::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3), (0, 3)]).unwrap();
+        let ins2 = Instance::new(dag2, ins.profiles().to_vec()).unwrap();
+        let r2 =
+            solve_allotment_with_releases_reusing(&mut ctx, &mut reuse, &ins2, &releases, &opts())
+                .unwrap();
+        assert_eq!(ctx.counters().get(Counter::LpReuses), 0);
+        assert_eq!(ctx.counters().get(Counter::LpBuilds), 3);
+        assert_eq!(
+            r2,
+            solve_allotment_with_releases_in(&mut SolveContext::new(), &ins2, &releases, &opts())
+                .unwrap()
+        );
+        assert_ne!(r0, r2);
+    }
+
+    /// A context hijacked between epochs (another model loaded into it)
+    /// invalidates the load stamp: the handle must rebuild rather than
+    /// mutate someone else's LP.
+    #[test]
+    fn release_reuse_detects_foreign_loads() {
+        use mtsp_obs::Counter;
+        let ins = simple_instance(4);
+        let releases = vec![0.5; 4];
+        let mut ctx = SolveContext::new();
+        let mut reuse = SuffixLpReuse::new();
+        solve_allotment_with_releases_reusing(&mut ctx, &mut reuse, &ins, &releases, &opts())
+            .unwrap();
+        // Interleave unrelated work through the same context.
+        let other =
+            igen::random_instance(igen::DagFamily::Chain, igen::CurveFamily::PowerLaw, 5, 2, 1);
+        solve_allotment_in(&mut ctx, &other, &opts()).unwrap();
+        let r =
+            solve_allotment_with_releases_reusing(&mut ctx, &mut reuse, &ins, &releases, &opts())
+                .unwrap();
+        assert_eq!(
+            ctx.counters().get(Counter::LpReuses),
+            0,
+            "stamp must veto reuse"
+        );
+        assert_eq!(
+            r,
+            solve_allotment_with_releases_in(&mut SolveContext::new(), &ins, &releases, &opts())
+                .unwrap()
+        );
     }
 
     #[test]

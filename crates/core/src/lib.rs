@@ -55,8 +55,9 @@ pub mod util;
 
 pub use allotment::{
     solve_allotment, solve_allotment_bisection, solve_allotment_bisection_in,
-    solve_allotment_bisection_with_releases_in, solve_allotment_direct, solve_allotment_in,
-    solve_allotment_with_releases_in, AllotmentResult,
+    solve_allotment_bisection_with_releases_in, solve_allotment_bisection_with_releases_reusing,
+    solve_allotment_direct, solve_allotment_in, solve_allotment_with_releases_in,
+    solve_allotment_with_releases_reusing, AllotmentResult, SuffixLpReuse,
 };
 pub use error::CoreError;
 pub use improve::{improve_allotment, ImproveOptions, Improved};

@@ -23,9 +23,14 @@
 //! [`SessionConfig::reuse_context`]): every epoch re-solve runs through
 //! the same buffers, and with [`Phase1::Bisection`] each epoch's deadline
 //! sweep warm-starts probe-to-probe from the previous basis — the
-//! re-plan-latency lever measured in `benches/session.rs`. Outputs are
-//! byte-identical whether the context is reused or rebuilt cold
-//! (asserted in tests), so warm epochs are purely a latency optimization.
+//! re-plan-latency lever measured in `benches/session.rs`. On top of
+//! that, consecutive epochs that share LP *structure* (no arrival, no new
+//! edge, same machine count — only release times moved) skip the rebuild
+//! entirely and mutate the previous epoch's still-loaded LP in place
+//! ([`SessionConfig::reuse_epoch_lp`], `engine.lp_reuses`). Outputs are
+//! byte-identical whether contexts and epoch LPs are reused or rebuilt
+//! cold (asserted in tests), so warm epochs are purely a latency
+//! optimization.
 //!
 //! Dispatching (deciding *when* each pending task starts under the
 //! current allotments) is the executor's job — see the event-driven
@@ -34,7 +39,9 @@
 
 use mtsp_analysis::ratio::our_params;
 use mtsp_core::allotment::{
-    round_allotment, solve_allotment_bisection_with_releases_in, solve_allotment_with_releases_in,
+    round_allotment, solve_allotment_bisection_with_releases_in,
+    solve_allotment_bisection_with_releases_reusing, solve_allotment_with_releases_in,
+    solve_allotment_with_releases_reusing, SuffixLpReuse,
 };
 use mtsp_core::two_phase::{validate_params, JzConfig, Phase1};
 use mtsp_core::CoreError;
@@ -187,14 +194,28 @@ pub struct SessionConfig {
     /// rebuilds a cold context every epoch — byte-identical plans, only
     /// slower (the warm-vs-cold axis of `benches/session.rs`).
     pub reuse_context: bool,
+    /// Reuse the epoch suffix **LP itself** across consecutive re-plans
+    /// (`true`, the default). When two epochs share structure — same
+    /// pending set, same edges, same machine count, only release times
+    /// moved — the release rows of the previous epoch's still-loaded LP
+    /// are re-aimed in place and the model warm-resolves from its final
+    /// basis instead of being rebuilt ([`mtsp_core::SuffixLpReuse`]; the
+    /// reuses surface as `engine.lp_reuses`). The work runs through a
+    /// session-owned dedicated context, so the reuse decision — and the
+    /// per-epoch counter delta — is a pure function of the event history,
+    /// never of which external context [`ScheduleSession::replan_in`] was
+    /// handed. Plans are byte-identical either way (asserted in tests);
+    /// only pivot counts (`lp_iterations`) reflect the warm start.
+    pub reuse_epoch_lp: bool,
 }
 
 impl SessionConfig {
-    /// The default configuration with context reuse on.
+    /// The default configuration with context and epoch-LP reuse on.
     pub fn new() -> Self {
         SessionConfig {
             jz: JzConfig::default(),
             reuse_context: true,
+            reuse_epoch_lp: true,
         }
     }
 }
@@ -260,6 +281,12 @@ pub struct ScheduleSession {
     alloc: Vec<Option<usize>>,
     now: f64,
     ctx: SolveContext,
+    /// Dedicated phase-1 context for [`SessionConfig::reuse_epoch_lp`]:
+    /// only epoch re-solves of *this* session touch it, so its load stamp
+    /// proves whether the previous epoch's LP is still loaded — immune to
+    /// whatever interleaves on the caller's shared context.
+    epoch_ctx: SolveContext,
+    epoch_reuse: SuffixLpReuse,
     epochs: Vec<EpochStats>,
 }
 
@@ -285,6 +312,8 @@ impl ScheduleSession {
             alloc: Vec::new(),
             now: 0.0,
             ctx: SolveContext::new(),
+            epoch_ctx: SolveContext::new(),
+            epoch_reuse: SuffixLpReuse::new(),
             epochs: Vec::new(),
         })
     }
@@ -602,16 +631,52 @@ impl ScheduleSession {
         validate_params(&params, self.m).map_err(SessionError::Core)?;
 
         let counters_at_entry = *ctx.counters();
-        ctx.counters_mut().inc(Counter::SessionEpochs);
-        ctx.counters_mut().add(Counter::FrozenTasks, frozen);
         let solver = &self.cfg.jz.solver;
-        let lp = match self.cfg.jz.phase1 {
-            Phase1::Lp => solve_allotment_with_releases_in(ctx, &sub, &releases, solver)?,
-            Phase1::Bisection => {
-                solve_allotment_bisection_with_releases_in(ctx, &sub, &releases, solver, 1e-7)?
-            }
+        let lp = if self.cfg.reuse_epoch_lp {
+            // Cross-epoch LP reuse runs through the session-owned
+            // dedicated context: whether this epoch reuses or rebuilds
+            // depends only on the event history, never on what else the
+            // caller's context solved in between. The epoch's counter
+            // delta is then merged into the caller's context so shard- or
+            // session-level telemetry still accounts for the work.
+            let epoch_entry = *self.epoch_ctx.counters();
+            self.epoch_ctx.counters_mut().inc(Counter::SessionEpochs);
+            self.epoch_ctx
+                .counters_mut()
+                .add(Counter::FrozenTasks, frozen);
+            let lp = match self.cfg.jz.phase1 {
+                Phase1::Lp => solve_allotment_with_releases_reusing(
+                    &mut self.epoch_ctx,
+                    &mut self.epoch_reuse,
+                    &sub,
+                    &releases,
+                    solver,
+                )?,
+                Phase1::Bisection => solve_allotment_bisection_with_releases_reusing(
+                    &mut self.epoch_ctx,
+                    &mut self.epoch_reuse,
+                    &sub,
+                    &releases,
+                    solver,
+                    1e-7,
+                )?,
+            };
+            self.epoch_ctx.counters_mut().inc(Counter::RoundingPasses);
+            let delta = self.epoch_ctx.counters().diff(&epoch_entry);
+            ctx.counters_mut().merge(&delta);
+            lp
+        } else {
+            ctx.counters_mut().inc(Counter::SessionEpochs);
+            ctx.counters_mut().add(Counter::FrozenTasks, frozen);
+            let lp = match self.cfg.jz.phase1 {
+                Phase1::Lp => solve_allotment_with_releases_in(ctx, &sub, &releases, solver)?,
+                Phase1::Bisection => {
+                    solve_allotment_bisection_with_releases_in(ctx, &sub, &releases, solver, 1e-7)?
+                }
+            };
+            ctx.counters_mut().inc(Counter::RoundingPasses);
+            lp
         };
-        ctx.counters_mut().inc(Counter::RoundingPasses);
         let (alloc_prime, _) = round_allotment(&sub, &lp.x, params.rho)?;
         for (k, &j) in pending.iter().enumerate() {
             self.alloc[j] = Some(alloc_prime[k].min(params.mu));
@@ -676,6 +741,7 @@ mod tests {
                         ..JzConfig::default()
                     },
                     reuse_context,
+                    ..SessionConfig::new()
                 };
                 let mut s = ScheduleSession::new(ins.m(), cfg).unwrap();
                 let mut out = Vec::new();
@@ -699,6 +765,118 @@ mod tests {
                 out
             };
             assert_eq!(run(true), run(false), "{phase1:?}");
+        }
+    }
+
+    /// Cross-epoch LP reuse on vs off: the planned allotments and epoch
+    /// optima are byte-identical — reuse is purely a latency optimization
+    /// (only pivot counts may differ).
+    #[test]
+    fn epoch_lp_reuse_plans_identically() {
+        for phase1 in [Phase1::Lp, Phase1::Bisection] {
+            let ins = random_instance(DagFamily::Layered, CurveFamily::Mixed, 14, 4, 11);
+            let src = ins.dag().topological_order()[0];
+            let run = |reuse_epoch_lp: bool| -> Vec<(Vec<Option<usize>>, u64)> {
+                let cfg = SessionConfig {
+                    jz: JzConfig {
+                        phase1,
+                        ..JzConfig::default()
+                    },
+                    reuse_epoch_lp,
+                    ..SessionConfig::new()
+                };
+                let mut s = batch_session(&ins, cfg);
+                let mut out = Vec::new();
+                let snap = |s: &ScheduleSession, e: &EpochStats| {
+                    (
+                        (0..ins.n()).map(|j| s.planned_alloc(j)).collect(),
+                        e.cstar.to_bits(),
+                    )
+                };
+                let e = *s.replan(0.0).unwrap();
+                out.push(snap(&s, &e));
+                // One long task starts; every later re-plan sees it as a
+                // shifting release — the reuse sweet spot.
+                s.mark_started(src, 0.0).unwrap();
+                for t in [0.2, 0.4, 0.6, 0.8] {
+                    let e = *s.replan(t).unwrap();
+                    out.push(snap(&s, &e));
+                }
+                out
+            };
+            assert_eq!(run(true), run(false), "{phase1:?}");
+        }
+    }
+
+    /// The reuse/rebuild taxonomy, observed through per-epoch counter
+    /// deltas: a structure-preserving re-plan warm-reuses the previous
+    /// epoch's LP (`engine.lp_reuses`), while **every** structural event
+    /// kind — arrival, new edge, machine change, start freezing, and a
+    /// finish that flips a successor's release-row pattern — forces a
+    /// rebuild (`core.lp_builds`).
+    #[test]
+    fn epoch_lp_reuse_falls_back_on_every_structural_event() {
+        for phase1 in [Phase1::Lp, Phase1::Bisection] {
+            let mut s = ScheduleSession::new(
+                4,
+                SessionConfig {
+                    jz: JzConfig {
+                        phase1,
+                        ..JzConfig::default()
+                    },
+                    ..SessionConfig::new()
+                },
+            )
+            .unwrap();
+            let kind = |e: &EpochStats| -> (u64, u64) {
+                (
+                    e.counters.get(Counter::LpBuilds),
+                    e.counters.get(Counter::LpReuses),
+                )
+            };
+            let built = (1, 0);
+            let reused = (0, 1);
+            // x and y are sources; z waits on both.
+            let x = s.arrive(Profile::constant(4.0, 4).unwrap(), 0.0).unwrap();
+            let y = s
+                .arrive(Profile::power_law(6.0, 1.0, 4).unwrap(), 0.0)
+                .unwrap();
+            let z = s
+                .arrive(Profile::power_law(5.0, 0.8, 4).unwrap(), 0.0)
+                .unwrap();
+            s.add_dependency(x, z, 0.0).unwrap();
+            s.add_dependency(y, z, 0.0).unwrap();
+            let first = *s.replan(0.0).unwrap();
+            assert_eq!(kind(&first), built, "{phase1:?}: first epoch builds");
+            // No event in between: pure re-plan reuses.
+            assert_eq!(kind(s.replan(0.1).unwrap()), reused, "{phase1:?}: idle");
+            // Arrival changes n.
+            s.arrive(Profile::constant(1.0, 4).unwrap(), 0.2).unwrap();
+            assert_eq!(kind(s.replan(0.2).unwrap()), built, "{phase1:?}: arrival");
+            assert_eq!(kind(s.replan(0.3).unwrap()), reused);
+            // A new edge changes the DAG.
+            s.add_dependency(x, 3, 0.4).unwrap();
+            assert_eq!(kind(s.replan(0.4).unwrap()), built, "{phase1:?}: edge");
+            assert_eq!(kind(s.replan(0.5).unwrap()), reused);
+            // A machine change rescales every profile.
+            s.set_machines(3, 0.6).unwrap();
+            assert_eq!(kind(s.replan(0.6).unwrap()), built, "{phase1:?}: machines");
+            assert_eq!(kind(s.replan(0.7).unwrap()), reused);
+            // Starting x shrinks the pending set; while x runs, z's
+            // release row tracks its planned completion.
+            s.mark_started(x, 0.8).unwrap();
+            assert_eq!(kind(s.replan(0.8).unwrap()), built, "{phase1:?}: start");
+            assert_eq!(kind(s.replan(0.9).unwrap()), reused);
+            // x finishing drops z's release to zero while z still has the
+            // pending predecessor y: the release row vanishes — a
+            // structural flip with n, m and the edge set all unchanged.
+            s.mark_finished(x, 5.0).unwrap();
+            assert_eq!(
+                kind(s.replan(5.0).unwrap()),
+                built,
+                "{phase1:?}: release-pattern flip after finish"
+            );
+            assert_eq!(kind(s.replan(5.1).unwrap()), reused);
         }
     }
 
@@ -832,7 +1010,7 @@ mod tests {
                     skip_admissibility_check: true,
                     ..JzConfig::default()
                 },
-                reuse_context: true,
+                ..SessionConfig::new()
             },
         )
         .unwrap();

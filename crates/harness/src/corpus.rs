@@ -61,6 +61,27 @@ impl Corpus {
         }
     }
 
+    /// The large-n tier of `mtsp audit` (excluded from `--smoke`): four
+    /// cells at n = 512 and n = 2048 that exercise the eta-file resolve
+    /// path on LPs three orders of magnitude past the audit grid. The
+    /// tier is independent-family only: at this scale the dense-LU
+    /// refactorization is the cost ceiling, and the precedence families
+    /// (chain at n = 2048 runs minutes per cell) stay out until a sparse
+    /// factorization lands — the scenario large grid covers
+    /// precedence-heavy replays at moderate n instead.
+    pub fn builtin_large() -> Corpus {
+        Corpus {
+            spec: CorpusSpec {
+                name: "builtin-large".into(),
+                dags: vec![DagFamily::Independent],
+                curves: vec![CurveFamily::PowerLaw, CurveFamily::Mixed],
+                sizes: vec![512, 2048],
+                machines: vec![16],
+                seeds: vec![1],
+            },
+        }
+    }
+
     /// The underlying spec.
     pub fn spec(&self) -> &CorpusSpec {
         &self.spec
@@ -104,11 +125,20 @@ mod tests {
         // The audit corpus covers the full family cross.
         assert_eq!(audit.spec().dags.len(), 8);
         assert_eq!(audit.spec().curves.len(), 6);
+        let large = Corpus::builtin_large();
+        assert_eq!(large.len(), 4);
+        assert!(large.spec().validate().is_ok());
+        // The large tier reaches n ~ 2·10^3 — the point of the tier.
+        assert_eq!(large.spec().sizes.iter().max(), Some(&2048));
     }
 
     #[test]
     fn builtins_round_trip_through_the_text_format() {
-        for corpus in [Corpus::builtin_smoke(), Corpus::builtin_audit()] {
+        for corpus in [
+            Corpus::builtin_smoke(),
+            Corpus::builtin_audit(),
+            Corpus::builtin_large(),
+        ] {
             let text = corpus.to_text();
             let back = Corpus::parse(&text).unwrap();
             assert_eq!(back, corpus);

@@ -19,6 +19,40 @@ pub const DEFAULT_RATIO_TOL: f64 = 1e-9;
 /// Key under which a baseline stores its conservative throughput floor.
 pub const PERF_FLOOR_KEY: &str = "perf_floor_jobs_per_sec";
 
+/// Key under which a baseline stores the throughput floor for the
+/// large-n corpus tier (jobs/s over the `"large"` section's run).
+pub const PERF_FLOOR_LARGE_KEY: &str = "perf_floor_large_jobs_per_sec";
+
+/// Key under which a baseline stores the minimum warm-vs-cold eta-file
+/// resolve speedup — the deterministic pivot-work ratio measured by
+/// [`crate::perf::measure_ft_resolve_speedup`].
+pub const PERF_FLOOR_FT_KEY: &str = "perf_floor_ft_resolve_speedup";
+
+/// Key under which a baseline stores the minimum cross-epoch LP reuse
+/// speedup — the deterministic pivot-work ratio measured by
+/// [`crate::perf::measure_epoch_reuse_speedup`].
+pub const PERF_FLOOR_REUSE_KEY: &str = "perf_floor_epoch_reuse_speedup";
+
+/// The wall-clock measurements of one audit run, handed to
+/// [`check_regression_perf`] for comparison against the floors committed
+/// in the baseline. Every field is optional: `None` skips that floor
+/// (e.g. re-gating a report loaded from disk, or a smoke audit that
+/// never ran the large tier), and a floor key absent from the baseline
+/// likewise skips the check.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MeasuredPerf {
+    /// Jobs/s of the main corpus run, gated by [`PERF_FLOOR_KEY`].
+    pub throughput: Option<f64>,
+    /// Jobs/s of the large-tier corpus run, gated by
+    /// [`PERF_FLOOR_LARGE_KEY`].
+    pub large_throughput: Option<f64>,
+    /// Warm-vs-cold eta-file resolve speedup, gated by
+    /// [`PERF_FLOOR_FT_KEY`].
+    pub ft_resolve_speedup: Option<f64>,
+    /// Cross-epoch LP reuse speedup, gated by [`PERF_FLOOR_REUSE_KEY`].
+    pub epoch_reuse_speedup: Option<f64>,
+}
+
 /// Embeds a scenario-audit section (from
 /// [`run_scenario_grid`](crate::run_scenario_grid)) into a corpus report
 /// under the `"scenarios"` key — the merged document `mtsp audit` writes
@@ -76,11 +110,33 @@ fn path_i64(v: &Value, path: &[&str]) -> Option<i64> {
 ///
 /// `measured_throughput` is the current run's jobs/s (from the runner's
 /// metrics); pass `None` to skip the perf check (e.g. when re-gating a
-/// report loaded from disk).
+/// report loaded from disk). This is the single-floor convenience form of
+/// [`check_regression_perf`].
 pub fn check_regression(
     current: &Value,
     baseline: &Value,
     measured_throughput: Option<f64>,
+    ratio_tol: f64,
+) -> Vec<String> {
+    check_regression_perf(
+        current,
+        baseline,
+        &MeasuredPerf {
+            throughput: measured_throughput,
+            ..MeasuredPerf::default()
+        },
+        ratio_tol,
+    )
+}
+
+/// The full regression gate: every quality check of [`check_regression`]
+/// on the main report, the same checks replayed on the `"large"` tier
+/// section when present, and every wall-clock measurement in `perf`
+/// compared against its committed baseline floor.
+pub fn check_regression_perf(
+    current: &Value,
+    baseline: &Value,
+    perf: &MeasuredPerf,
     ratio_tol: f64,
 ) -> Vec<String> {
     let mut problems: Vec<String> = Vec::new();
@@ -94,6 +150,80 @@ pub fn check_regression(
         return problems;
     }
 
+    check_quality(current, baseline, "", ratio_tol, &mut problems);
+
+    // The serve (daemon wire-protocol audit) section, when present. Every
+    // field is deterministic, so the comparison is exact equality — any
+    // drift in the request/rejection/snapshot tallies or the transcript
+    // fingerprint means the wire grammar, quota arithmetic, or planner
+    // changed. Presence must match between report and baseline.
+    match (current.get("serve"), baseline.get("serve")) {
+        (None, None) => {}
+        (Some(_), None) => problems.push("serve section is new; regenerate the baseline".into()),
+        (None, Some(_)) => problems.push("serve section disappeared from the report".into()),
+        (Some(cur), Some(base)) => check_serve(cur, base, &mut problems),
+    }
+
+    // The large-n tier, when present: a complete corpus report (with its
+    // own embedded scenarios) nested under `"large"`, held to the same
+    // quality bar as the main report. Presence must match between report
+    // and baseline so the tier can't silently stop running.
+    match (current.get("large"), baseline.get("large")) {
+        (None, None) => {}
+        (Some(_), None) => problems.push("large section is new; regenerate the baseline".into()),
+        (None, Some(_)) => problems.push("large section disappeared from the report".into()),
+        (Some(cur), Some(base)) => check_quality(cur, base, "large.", ratio_tol, &mut problems),
+    }
+
+    // Wall-clock floors (explicit committed numbers, not measurements):
+    // a measurement without a committed floor — or vice versa — skips
+    // that check.
+    let floors = [
+        (perf.throughput, PERF_FLOOR_KEY, "throughput", "jobs/s"),
+        (
+            perf.large_throughput,
+            PERF_FLOOR_LARGE_KEY,
+            "large-tier throughput",
+            "jobs/s",
+        ),
+        (
+            perf.ft_resolve_speedup,
+            PERF_FLOOR_FT_KEY,
+            "eta-file resolve speedup",
+            "x",
+        ),
+        (
+            perf.epoch_reuse_speedup,
+            PERF_FLOOR_REUSE_KEY,
+            "epoch LP reuse speedup",
+            "x",
+        ),
+    ];
+    for (measured, key, what, unit) in floors {
+        if let (Some(value), Some(floor)) = (measured, baseline.get(key).and_then(Value::as_f64)) {
+            if value < floor {
+                problems.push(format!(
+                    "{what} {value:.3} {unit} below the baseline floor {floor:.3} {unit}"
+                ));
+            }
+        }
+    }
+
+    problems
+}
+
+/// The deterministic-quality half of the gate, applied to the top-level
+/// report (`prefix = ""`) and again to the `"large"` tier section
+/// (`prefix = "large."`): corpus-grid identity, summary hard invariants,
+/// per-group ratio regressions, counter growth, and the embedded
+/// scenarios section.
+fn check_quality(
+    current: &Value,
+    baseline: &Value,
+    prefix: &str,
+    ratio_tol: f64,
+    problems: &mut Vec<String>,
+) {
     // The gate only makes sense over the same corpus. Compare the whole
     // embedded corpus object — name, cell count, and every grid list —
     // so a regenerated grid under an old name can't gate against
@@ -108,23 +238,25 @@ pub fn check_regression(
                 .to_string()
         };
         problems.push(format!(
-            "corpus grid changed ('{}' -> '{}', or its dag/curve/size/machine/seed lists differ); regenerate the baseline",
+            "{prefix}corpus grid changed ('{}' -> '{}', or its dag/curve/size/machine/seed lists differ); regenerate the baseline",
             describe(base_corpus),
             describe(cur_corpus)
         ));
-        return problems;
+        return;
     }
 
     // Hard invariants of the current run.
     for key in ["failures", "violations", "guarantee_breaches"] {
         match path_i64(current, &["summary", key]) {
             Some(0) => {}
-            Some(k) => problems.push(format!("summary.{key} = {k}, expected 0")),
-            None => problems.push(format!("summary.{key} missing")),
+            Some(k) => problems.push(format!("{prefix}summary.{key} = {k}, expected 0")),
+            None => problems.push(format!("{prefix}summary.{key} missing")),
         }
     }
     if path_f64(current, &["summary", "ratio_vs_cstar_max"]).is_none() {
-        problems.push("summary.ratio_vs_cstar_max missing (no successful solves?)".into());
+        problems.push(format!(
+            "{prefix}summary.ratio_vs_cstar_max missing (no successful solves?)"
+        ));
     }
 
     // Per-group quality: no ratio may regress beyond tolerance, and the
@@ -133,17 +265,21 @@ pub fn check_regression(
         current.get("groups").and_then(Value::as_object),
         baseline.get("groups").and_then(Value::as_object),
     ) else {
-        problems.push("missing 'groups' object".into());
-        return problems;
+        problems.push(format!("{prefix}missing 'groups' object"));
+        return;
     };
     for name in base_groups.keys() {
         if !cur_groups.contains_key(name) {
-            problems.push(format!("group '{name}' disappeared from the report"));
+            problems.push(format!(
+                "{prefix}group '{name}' disappeared from the report"
+            ));
         }
     }
     for name in cur_groups.keys() {
         if !base_groups.contains_key(name) {
-            problems.push(format!("group '{name}' is new; regenerate the baseline"));
+            problems.push(format!(
+                "{prefix}group '{name}' is new; regenerate the baseline"
+            ));
         }
     }
     for (name, base_group) in base_groups {
@@ -154,7 +290,7 @@ pub fn check_regression(
         let base_n = path_i64(base_group, &["instances"]);
         if cur_n != base_n {
             problems.push(format!(
-                "group '{name}': instance count changed ({base_n:?} -> {cur_n:?})"
+                "{prefix}group '{name}': instance count changed ({base_n:?} -> {cur_n:?})"
             ));
             continue;
         }
@@ -163,11 +299,11 @@ pub fn check_regression(
             let base = path_f64(base_group, &["ratio_vs_cstar", stat]);
             match (cur, base) {
                 (Some(c), Some(b)) if c > b + ratio_tol => problems.push(format!(
-                    "group '{name}': ratio_vs_cstar.{stat} regressed {b:?} -> {c:?} (tol {ratio_tol:e})"
+                    "{prefix}group '{name}': ratio_vs_cstar.{stat} regressed {b:?} -> {c:?} (tol {ratio_tol:e})"
                 )),
-                (None, Some(_)) => {
-                    problems.push(format!("group '{name}': ratio_vs_cstar.{stat} missing"))
-                }
+                (None, Some(_)) => problems.push(format!(
+                    "{prefix}group '{name}': ratio_vs_cstar.{stat} missing"
+                )),
                 _ => {}
             }
         }
@@ -181,9 +317,13 @@ pub fn check_regression(
     // baseline; counters new in the current report are additive and pass.
     match (current.get("counters"), baseline.get("counters")) {
         (None, None) => {}
-        (Some(_), None) => problems.push("counters section is new; regenerate the baseline".into()),
-        (None, Some(_)) => problems.push("counters section disappeared from the report".into()),
-        (Some(cur), Some(base)) => check_counters(cur, base, ratio_tol, &mut problems),
+        (Some(_), None) => problems.push(format!(
+            "{prefix}counters section is new; regenerate the baseline"
+        )),
+        (None, Some(_)) => problems.push(format!(
+            "{prefix}counters section disappeared from the report"
+        )),
+        (Some(cur), Some(base)) => check_counters(cur, base, prefix, ratio_tol, problems),
     }
 
     // The scenario (online replay) section, when present: same shape of
@@ -191,38 +331,14 @@ pub fn check_regression(
     // regressions. Presence must match between report and baseline.
     match (current.get("scenarios"), baseline.get("scenarios")) {
         (None, None) => {}
-        (Some(_), None) => {
-            problems.push("scenarios section is new; regenerate the baseline".into())
-        }
-        (None, Some(_)) => problems.push("scenarios section disappeared from the report".into()),
-        (Some(cur), Some(base)) => check_scenarios(cur, base, ratio_tol, &mut problems),
+        (Some(_), None) => problems.push(format!(
+            "{prefix}scenarios section is new; regenerate the baseline"
+        )),
+        (None, Some(_)) => problems.push(format!(
+            "{prefix}scenarios section disappeared from the report"
+        )),
+        (Some(cur), Some(base)) => check_scenarios(cur, base, prefix, ratio_tol, problems),
     }
-
-    // The serve (daemon wire-protocol audit) section, when present. Every
-    // field is deterministic, so the comparison is exact equality — any
-    // drift in the request/rejection/snapshot tallies or the transcript
-    // fingerprint means the wire grammar, quota arithmetic, or planner
-    // changed. Presence must match between report and baseline.
-    match (current.get("serve"), baseline.get("serve")) {
-        (None, None) => {}
-        (Some(_), None) => problems.push("serve section is new; regenerate the baseline".into()),
-        (None, Some(_)) => problems.push("serve section disappeared from the report".into()),
-        (Some(cur), Some(base)) => check_serve(cur, base, &mut problems),
-    }
-
-    // Throughput floor (an explicit committed number, not a measurement).
-    if let (Some(throughput), Some(floor)) = (
-        measured_throughput,
-        baseline.get(PERF_FLOOR_KEY).and_then(Value::as_f64),
-    ) {
-        if throughput < floor {
-            problems.push(format!(
-                "throughput {throughput:.1} jobs/s below the baseline floor {floor:.1} jobs/s"
-            ));
-        }
-    }
-
-    problems
 }
 
 /// Counters half of [`check_regression`]: every baseline counter must
@@ -230,25 +346,33 @@ pub fn check_regression(
 /// always fine (the gate is one-sided, like the ratio checks); a counter
 /// present only in the current report is a new instrument, not a
 /// regression.
-fn check_counters(current: &Value, baseline: &Value, tol: f64, problems: &mut Vec<String>) {
+fn check_counters(
+    current: &Value,
+    baseline: &Value,
+    prefix: &str,
+    tol: f64,
+    problems: &mut Vec<String>,
+) {
     let (Some(cur), Some(base)) = (current.as_object(), baseline.as_object()) else {
-        problems.push("counters: not a JSON object".into());
+        problems.push(format!("{prefix}counters: not a JSON object"));
         return;
     };
     for (name, bval) in base {
         let Some(b) = bval.as_i64() else {
-            problems.push(format!("baseline counter '{name}' is not an integer"));
+            problems.push(format!(
+                "{prefix}baseline counter '{name}' is not an integer"
+            ));
             continue;
         };
         match cur.get(name).and_then(Value::as_i64) {
             Some(c) => {
                 if c as f64 > b as f64 * (1.0 + tol) {
                     problems.push(format!(
-                        "counter '{name}' regressed {b} -> {c} (tol {tol:e})"
+                        "{prefix}counter '{name}' regressed {b} -> {c} (tol {tol:e})"
                     ));
                 }
             }
-            None => problems.push(format!("counter '{name}' missing from the report")),
+            None => problems.push(format!("{prefix}counter '{name}' missing from the report")),
         }
     }
 }
@@ -283,40 +407,45 @@ fn check_serve(current: &Value, baseline: &Value, problems: &mut Vec<String>) {
 }
 
 /// Scenario-section half of [`check_regression`].
-fn check_scenarios(current: &Value, baseline: &Value, ratio_tol: f64, problems: &mut Vec<String>) {
+fn check_scenarios(
+    current: &Value,
+    baseline: &Value,
+    prefix: &str,
+    ratio_tol: f64,
+    problems: &mut Vec<String>,
+) {
     if current.get("grid") != baseline.get("grid") {
-        problems.push(
-            "scenario grid changed (name or its dag/curve/size/machine/seed/pattern/gap/noise \
+        problems.push(format!(
+            "{prefix}scenario grid changed (name or its dag/curve/size/machine/seed/pattern/gap/noise \
              lists differ); regenerate the baseline"
-                .into(),
-        );
+        ));
         return;
     }
     for key in ["failures", "violations"] {
         match path_i64(current, &["summary", key]) {
             Some(0) => {}
-            Some(k) => problems.push(format!("scenarios.summary.{key} = {k}, expected 0")),
-            None => problems.push(format!("scenarios.summary.{key} missing")),
+            Some(k) => problems.push(format!("{prefix}scenarios.summary.{key} = {k}, expected 0")),
+            None => problems.push(format!("{prefix}scenarios.summary.{key} missing")),
         }
     }
     let (Some(cur_groups), Some(base_groups)) = (
         current.get("groups").and_then(Value::as_object),
         baseline.get("groups").and_then(Value::as_object),
     ) else {
-        problems.push("scenarios: missing 'groups' object".into());
+        problems.push(format!("{prefix}scenarios: missing 'groups' object"));
         return;
     };
     for name in base_groups.keys() {
         if !cur_groups.contains_key(name) {
             problems.push(format!(
-                "scenario group '{name}' disappeared from the report"
+                "{prefix}scenario group '{name}' disappeared from the report"
             ));
         }
     }
     for name in cur_groups.keys() {
         if !base_groups.contains_key(name) {
             problems.push(format!(
-                "scenario group '{name}' is new; regenerate the baseline"
+                "{prefix}scenario group '{name}' is new; regenerate the baseline"
             ));
         }
     }
@@ -328,7 +457,7 @@ fn check_scenarios(current: &Value, baseline: &Value, ratio_tol: f64, problems: 
         let base_n = path_i64(base_group, &["cells"]);
         if cur_n != base_n {
             problems.push(format!(
-                "scenario group '{name}': cell count changed ({base_n:?} -> {cur_n:?})"
+                "{prefix}scenario group '{name}': cell count changed ({base_n:?} -> {cur_n:?})"
             ));
             continue;
         }
@@ -337,11 +466,11 @@ fn check_scenarios(current: &Value, baseline: &Value, ratio_tol: f64, problems: 
             let base = path_f64(base_group, &["ratio_vs_batch", stat]);
             match (cur, base) {
                 (Some(c), Some(b)) if c > b + ratio_tol => problems.push(format!(
-                    "scenario group '{name}': ratio_vs_batch.{stat} regressed {b:?} -> {c:?} (tol {ratio_tol:e})"
+                    "{prefix}scenario group '{name}': ratio_vs_batch.{stat} regressed {b:?} -> {c:?} (tol {ratio_tol:e})"
                 )),
-                (None, Some(_)) => {
-                    problems.push(format!("scenario group '{name}': ratio_vs_batch.{stat} missing"))
-                }
+                (None, Some(_)) => problems.push(format!(
+                    "{prefix}scenario group '{name}': ratio_vs_batch.{stat} missing"
+                )),
                 _ => {}
             }
         }
@@ -606,6 +735,128 @@ mod tests {
                 .any(|p| p.contains("below the baseline floor")),
             "{problems:?}"
         );
+    }
+
+    #[test]
+    fn large_section_gets_the_full_quality_checks() {
+        let report = smoke_report();
+        // Nest a complete report under "large", as the full audit does.
+        let with_large = attach_section(report.clone(), "large", report.clone());
+        let baseline = make_baseline(&with_large, 0.5);
+        let perf = MeasuredPerf {
+            throughput: Some(100.0),
+            large_throughput: Some(100.0),
+            ft_resolve_speedup: Some(10.0),
+            epoch_reuse_speedup: Some(10.0),
+        };
+        let problems = check_regression_perf(&with_large, &baseline, &perf, DEFAULT_RATIO_TOL);
+        assert!(problems.is_empty(), "{problems:?}");
+
+        // Presence must match in both directions.
+        let problems = check_regression_perf(&report, &baseline, &perf, DEFAULT_RATIO_TOL);
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("large section disappeared")),
+            "{problems:?}"
+        );
+        let problems = check_regression_perf(
+            &with_large,
+            &make_baseline(&report, 0.5),
+            &perf,
+            DEFAULT_RATIO_TOL,
+        );
+        assert!(
+            problems.iter().any(|p| p.contains("large section is new")),
+            "{problems:?}"
+        );
+
+        // A ratio regression inside the large tier is caught with the
+        // section-qualified prefix.
+        let mut drifted = baseline.clone();
+        let Value::Object(map) = &mut drifted else {
+            unreachable!()
+        };
+        let Some(Value::Object(large)) = map.get_mut("large") else {
+            unreachable!()
+        };
+        let Some(Value::Object(groups)) = large.get_mut("groups") else {
+            unreachable!()
+        };
+        let Some(Value::Object(g)) = groups.values_mut().next() else {
+            unreachable!()
+        };
+        let Some(Value::Object(ratio)) = g.get_mut("ratio_vs_cstar") else {
+            unreachable!()
+        };
+        ratio.insert("max".into(), Value::Float(1.0000001));
+        ratio.insert("mean".into(), Value::Float(1.0));
+        let problems = check_regression_perf(&with_large, &drifted, &perf, DEFAULT_RATIO_TOL);
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.starts_with("large.group") && p.contains("regressed")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn speedup_floors_are_enforced() {
+        let report = smoke_report();
+        let mut baseline = make_baseline(&report, 0.5);
+        baseline = attach_section(baseline, PERF_FLOOR_FT_KEY, Value::Float(2.0));
+        baseline = attach_section(baseline, PERF_FLOOR_REUSE_KEY, Value::Float(1.5));
+        baseline = attach_section(baseline, PERF_FLOOR_LARGE_KEY, Value::Float(0.02));
+
+        // Above every floor: pass.
+        let good = MeasuredPerf {
+            throughput: Some(100.0),
+            large_throughput: Some(1.0),
+            ft_resolve_speedup: Some(8.0),
+            epoch_reuse_speedup: Some(3.0),
+        };
+        let problems = check_regression_perf(&report, &baseline, &good, DEFAULT_RATIO_TOL);
+        assert!(problems.is_empty(), "{problems:?}");
+
+        // Each floor trips independently, and None skips it.
+        let cases: [(MeasuredPerf, &str); 3] = [
+            (
+                MeasuredPerf {
+                    ft_resolve_speedup: Some(1.2),
+                    ..MeasuredPerf::default()
+                },
+                "eta-file resolve speedup",
+            ),
+            (
+                MeasuredPerf {
+                    epoch_reuse_speedup: Some(1.0),
+                    ..MeasuredPerf::default()
+                },
+                "epoch LP reuse speedup",
+            ),
+            (
+                MeasuredPerf {
+                    large_throughput: Some(0.001),
+                    ..MeasuredPerf::default()
+                },
+                "large-tier throughput",
+            ),
+        ];
+        for (perf, what) in cases {
+            let problems = check_regression_perf(&report, &baseline, &perf, DEFAULT_RATIO_TOL);
+            assert_eq!(problems.len(), 1, "{what}: {problems:?}");
+            assert!(
+                problems[0].contains(what) && problems[0].contains("below the baseline floor"),
+                "{problems:?}"
+            );
+        }
+        let problems = check_regression_perf(
+            &report,
+            &baseline,
+            &MeasuredPerf::default(),
+            DEFAULT_RATIO_TOL,
+        );
+        assert!(problems.is_empty(), "{problems:?}");
     }
 
     #[test]

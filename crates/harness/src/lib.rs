@@ -58,6 +58,7 @@
 pub mod audit;
 pub mod corpus;
 pub mod gate;
+pub mod perf;
 pub mod runner;
 pub mod scenario;
 pub mod serve;
@@ -65,13 +66,18 @@ pub mod serve;
 pub use audit::{AuditAccumulator, GUARANTEE_SLACK, REPORT_FORMAT};
 pub use corpus::Corpus;
 pub use gate::{
-    attach_scenarios, attach_section, check_regression, make_baseline, DEFAULT_RATIO_TOL,
-    PERF_FLOOR_KEY,
+    attach_scenarios, attach_section, check_regression, check_regression_perf, make_baseline,
+    MeasuredPerf, DEFAULT_RATIO_TOL, PERF_FLOOR_FT_KEY, PERF_FLOOR_KEY, PERF_FLOOR_LARGE_KEY,
+    PERF_FLOOR_REUSE_KEY,
+};
+pub use perf::{
+    measure_epoch_reuse_speedup, measure_ft_resolve_speedup, ProbeOutcome, EPOCH_REUSE_FLOOR,
+    FT_RESOLVE_FLOOR,
 };
 pub use runner::{run_corpus, RunConfig, RunOutcome};
 pub use scenario::{
-    replay_scenario_report, run_scenario_grid, standalone_scenario_report, ScenarioCell,
-    ScenarioGrid, ScenarioMetrics, ScenarioOutcome, REPLAY_HEADER, SCENARIO_REPORT_FORMAT,
-    SINGLE_REPLAY_FORMAT,
+    replay_scenario_report, run_scenario_grid, run_scenario_grid_windowed,
+    standalone_scenario_report, ScenarioCell, ScenarioGrid, ScenarioMetrics, ScenarioOutcome,
+    REPLAY_HEADER, SCENARIO_REPORT_FORMAT, SINGLE_REPLAY_FORMAT,
 };
 pub use serve::{run_serve_audit, ServeOutcome, SERVE_SECTION_VERSION};

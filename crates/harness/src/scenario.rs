@@ -9,10 +9,13 @@
 //! session ([`mtsp_sim::replay`]), cross-checks the realized schedule's
 //! structural feasibility, and compares the realized makespan against the
 //! clairvoyant batch plan (`schedule_jz` on the closed instance) — the
-//! price of scheduling online. Grid cells fan out over a deterministic
-//! worker pool; the fold runs in cell order, so the section is
-//! byte-identical for any worker count. Wall-clock re-plan latency stays
-//! out of the report, in [`ScenarioMetrics`].
+//! price of scheduling online. Grid cells stream through a worker pool
+//! with a bounded in-flight window (mirroring the corpus runner): cells
+//! are minted at submit time and folded and dropped in submission order,
+//! so peak residency is `O(window)` however large the grid. The fold runs
+//! in cell order, so the section is byte-identical for any worker count
+//! and any window size. Wall-clock re-plan latency stays out of the
+//! report, in [`ScenarioMetrics`].
 //!
 //! [`ScheduleSession`]: mtsp_engine::ScheduleSession
 
@@ -24,10 +27,9 @@ use mtsp_model::ModelError;
 use mtsp_sim::{
     arrival_scenario, replay, replay_feasible, ArrivalPattern, NoiseModel, ReplayConfig,
 };
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Magic first line of the replay-grid spec format.
@@ -154,6 +156,27 @@ impl ScenarioGrid {
         }
     }
 
+    /// The large-n replay tier of `mtsp audit` (excluded from `--smoke`):
+    /// four precedence-heavy cells at n = 64 and n = 128 whose dozens of
+    /// arrival epochs re-plan through the warm suffix-LP path — the
+    /// online counterpart of [`Corpus::builtin_large`], which covers raw
+    /// LP scale (n up to 2048) on independent tasks.
+    ///
+    /// [`Corpus::builtin_large`]: crate::Corpus::builtin_large
+    pub fn builtin_large() -> Self {
+        ScenarioGrid {
+            name: "replay-large".into(),
+            dags: vec![DagFamily::Layered],
+            curves: vec![CurveFamily::Mixed],
+            sizes: vec![64, 128],
+            machines: vec![8],
+            seeds: vec![1],
+            patterns: vec![ArrivalPattern::Poisson, ArrivalPattern::Bursty],
+            gaps: vec![0.25],
+            noises: vec![NoiseModel::Uniform { epsilon: 0.1 }],
+        }
+    }
+
     /// Structural invariants (mirrors [`CorpusSpec::validate`]):
     /// one-token name, all lists non-empty and duplicate-free, positive
     /// sizes/machines, finite non-negative gaps.
@@ -217,37 +240,50 @@ impl ScenarioGrid {
         self.len() == 0
     }
 
-    /// Every cell in canonical nesting order (dag outermost, noise
-    /// innermost).
-    pub fn cells(&self) -> Vec<ScenarioCell> {
-        let mut out = Vec::with_capacity(self.len());
-        for &dag in &self.dags {
-            for &curve in &self.curves {
-                for &n in &self.sizes {
-                    for &m in &self.machines {
-                        for &seed in &self.seeds {
-                            for &pattern in &self.patterns {
-                                for &gap in &self.gaps {
-                                    for &noise in &self.noises {
-                                        out.push(ScenarioCell {
-                                            dag,
-                                            curve,
-                                            n,
-                                            m,
-                                            seed,
-                                            pattern,
-                                            gap,
-                                            noise,
-                                        });
-                                    }
-                                }
-                            }
-                        }
-                    }
-                }
-            }
+    /// The cell at `idx` (`< len()`) in canonical nesting order — mixed-
+    /// radix decomposition with noise as the least-significant digit, so
+    /// the sequence `cell_at(0..len())` equals the nested-loop product.
+    fn cell_at(&self, idx: usize) -> ScenarioCell {
+        debug_assert!(idx < self.len());
+        let mut i = idx;
+        let noise = self.noises[i % self.noises.len()];
+        i /= self.noises.len();
+        let gap = self.gaps[i % self.gaps.len()];
+        i /= self.gaps.len();
+        let pattern = self.patterns[i % self.patterns.len()];
+        i /= self.patterns.len();
+        let seed = self.seeds[i % self.seeds.len()];
+        i /= self.seeds.len();
+        let m = self.machines[i % self.machines.len()];
+        i /= self.machines.len();
+        let n = self.sizes[i % self.sizes.len()];
+        i /= self.sizes.len();
+        let curve = self.curves[i % self.curves.len()];
+        i /= self.curves.len();
+        let dag = self.dags[i];
+        ScenarioCell {
+            dag,
+            curve,
+            n,
+            m,
+            seed,
+            pattern,
+            gap,
+            noise,
         }
-        out
+    }
+
+    /// Streams every cell in canonical nesting order (dag outermost,
+    /// noise innermost) without materializing the grid — the memory bound
+    /// of [`run_scenario_grid_windowed`] starts here.
+    pub fn cells_iter(&self) -> impl Iterator<Item = ScenarioCell> + '_ {
+        (0..self.len()).map(|i| self.cell_at(i))
+    }
+
+    /// Every cell in canonical nesting order (dag outermost, noise
+    /// innermost), materialized.
+    pub fn cells(&self) -> Vec<ScenarioCell> {
+        self.cells_iter().collect()
     }
 
     /// The grid's identity object embedded in reports (the gate compares
@@ -567,67 +603,38 @@ fn run_cell(cell: &ScenarioCell) -> (CellRecord, Duration) {
     }
 }
 
-/// Runs every cell of `grid` on `workers` threads (`0` = one per core)
-/// and folds the records — in cell order, so the section is
-/// byte-identical for any worker count.
-pub fn run_scenario_grid(grid: &ScenarioGrid, workers: usize) -> ScenarioOutcome {
-    let t0 = Instant::now();
-    let cells = grid.cells();
-    let n = cells.len();
-    let workers = if workers == 0 {
-        std::thread::available_parallelism()
-            .map(|w| w.get())
-            .unwrap_or(1)
-    } else {
-        workers
-    }
-    .clamp(1, n.max(1));
+/// Streaming fold state of one grid run: groups, failure samples and
+/// totals, advanced one cell at a time in submission (= cell) order so
+/// float accumulation order never depends on workers or window.
+struct GridFold {
+    groups: BTreeMap<String, ScenGroup>,
+    failure_samples: Vec<String>,
+    replan_wall: Duration,
+    total_epochs: usize,
+}
 
-    let mut records: Vec<Option<(CellRecord, Duration)>> = (0..n).map(|_| None).collect();
-    if workers == 1 {
-        for (i, cell) in cells.iter().enumerate() {
-            records[i] = Some(run_cell(cell));
+impl GridFold {
+    fn new() -> Self {
+        GridFold {
+            groups: BTreeMap::new(),
+            failure_samples: Vec::new(),
+            replan_wall: Duration::ZERO,
+            total_epochs: 0,
         }
-    } else {
-        let cursor = AtomicUsize::new(0);
-        let (tx, rx) = mpsc::channel::<(usize, (CellRecord, Duration))>();
-        std::thread::scope(|s| {
-            for _ in 0..workers {
-                let tx = tx.clone();
-                let cursor = &cursor;
-                let cells = &cells;
-                s.spawn(move || loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    if tx.send((i, run_cell(&cells[i]))).is_err() {
-                        break;
-                    }
-                });
-            }
-            drop(tx);
-            for (i, rec) in rx {
-                records[i] = Some(rec);
-            }
-        });
     }
 
-    // Ordered fold: cell order fixes float accumulation order.
-    let mut groups: BTreeMap<String, ScenGroup> = BTreeMap::new();
-    let mut failure_samples: Vec<String> = Vec::new();
-    let mut replan_wall = Duration::ZERO;
-    let mut total_epochs = 0usize;
-    for (cell, rec) in cells.iter().zip(records) {
-        let (rec, wall) = rec.expect("every cell reported");
-        replan_wall += wall;
-        total_epochs += rec.epochs;
-        let g = groups.entry(cell.label()).or_insert_with(ScenGroup::new);
+    fn record(&mut self, cell: &ScenarioCell, rec: CellRecord, wall: Duration) {
+        self.replan_wall += wall;
+        self.total_epochs += rec.epochs;
+        let g = self
+            .groups
+            .entry(cell.label())
+            .or_insert_with(ScenGroup::new);
         g.cells += 1;
         if let Some(msg) = &rec.error {
             g.failures += 1;
-            if failure_samples.len() < 8 {
-                failure_samples.push(format!(
+            if self.failure_samples.len() < 8 {
+                self.failure_samples.push(format!(
                     "{} {}/{} n={} m={} seed={}: {msg}",
                     cell.label(),
                     cell.dag.name(),
@@ -637,7 +644,7 @@ pub fn run_scenario_grid(grid: &ScenarioGrid, workers: usize) -> ScenarioOutcome
                     cell.seed
                 ));
             }
-            continue;
+            return;
         }
         if !rec.feasible {
             g.violations += 1;
@@ -651,59 +658,171 @@ pub fn run_scenario_grid(grid: &ScenarioGrid, workers: usize) -> ScenarioOutcome
         }
     }
 
-    let mut cells_total = 0usize;
-    let mut failures = 0usize;
-    let mut violations = 0usize;
-    let mut ratio_max = f64::NEG_INFINITY;
-    let mut any_ratio = false;
-    for g in groups.values() {
-        cells_total += g.cells;
-        failures += g.failures;
-        violations += g.violations;
-        if g.ratio_vs_batch.count > 0 {
-            any_ratio = true;
-            ratio_max = ratio_max.max(g.ratio_vs_batch.max);
+    fn into_section(self, grid: &ScenarioGrid) -> Value {
+        let mut cells_total = 0usize;
+        let mut failures = 0usize;
+        let mut violations = 0usize;
+        let mut ratio_max = f64::NEG_INFINITY;
+        let mut any_ratio = false;
+        for g in self.groups.values() {
+            cells_total += g.cells;
+            failures += g.failures;
+            violations += g.violations;
+            if g.ratio_vs_batch.count > 0 {
+                any_ratio = true;
+                ratio_max = ratio_max.max(g.ratio_vs_batch.max);
+            }
         }
-    }
-    let summary = Value::object([
-        ("cells", Value::from(cells_total)),
-        ("epochs", Value::from(total_epochs)),
-        ("failures", Value::from(failures)),
-        (
-            "failure_samples",
-            Value::Array(failure_samples.iter().map(|s| s.as_str().into()).collect()),
-        ),
-        (
-            "ratio_vs_batch_max",
-            if any_ratio {
-                Value::from(ratio_max)
-            } else {
-                Value::Null
-            },
-        ),
-        ("violations", Value::from(violations)),
-    ]);
-    let section = Value::object([
-        ("grid", grid.to_json()),
-        (
-            "groups",
-            Value::Object(
-                groups
-                    .iter()
-                    .map(|(k, g)| (k.clone(), g.to_json()))
-                    .collect(),
+        let summary = Value::object([
+            ("cells", Value::from(cells_total)),
+            ("epochs", Value::from(self.total_epochs)),
+            ("failures", Value::from(failures)),
+            (
+                "failure_samples",
+                Value::Array(
+                    self.failure_samples
+                        .iter()
+                        .map(|s| s.as_str().into())
+                        .collect(),
+                ),
             ),
-        ),
-        ("summary", summary),
-    ]);
+            (
+                "ratio_vs_batch_max",
+                if any_ratio {
+                    Value::from(ratio_max)
+                } else {
+                    Value::Null
+                },
+            ),
+            ("violations", Value::from(violations)),
+        ]);
+        Value::object([
+            ("grid", grid.to_json()),
+            (
+                "groups",
+                Value::Object(
+                    self.groups
+                        .iter()
+                        .map(|(k, g)| (k.clone(), g.to_json()))
+                        .collect(),
+                ),
+            ),
+            ("summary", summary),
+        ])
+    }
+}
+
+/// Runs every cell of `grid` on `workers` threads (`0` = one per core)
+/// with the default in-flight window. See [`run_scenario_grid_windowed`].
+pub fn run_scenario_grid(grid: &ScenarioGrid, workers: usize) -> ScenarioOutcome {
+    run_scenario_grid_windowed(grid, workers, 0)
+}
+
+/// Streams every cell of `grid` through a pool of `workers` threads
+/// (`0` = one per core) with at most `window` cells in flight (`0` =
+/// auto: 4 per worker, clamped to `[4, 512]`) and folds the records in
+/// cell order.
+///
+/// Memory is bounded, mirroring the corpus runner: the grid is never
+/// materialized — cells are minted from the streaming iterator at submit
+/// time, and each record is folded and dropped as soon as every earlier
+/// cell has been folded, so peak residency is `O(window)` records however
+/// large the grid. The section is a pure function of the grid: worker
+/// count and window size never change a byte, only memory and wall time.
+pub fn run_scenario_grid_windowed(
+    grid: &ScenarioGrid,
+    workers: usize,
+    window: usize,
+) -> ScenarioOutcome {
+    let t0 = Instant::now();
+    let n = grid.len();
+    let workers = if workers == 0 {
+        std::thread::available_parallelism()
+            .map(|w| w.get())
+            .unwrap_or(1)
+    } else {
+        workers
+    }
+    .clamp(1, n.max(1));
+    let window = if window == 0 {
+        (workers * 4).clamp(4, 512)
+    } else {
+        window.max(1)
+    };
+
+    let mut fold = GridFold::new();
+    if workers == 1 {
+        for cell in grid.cells_iter() {
+            let (rec, wall) = run_cell(&cell);
+            fold.record(&cell, rec, wall);
+        }
+    } else {
+        let (job_tx, job_rx) = mpsc::channel::<(usize, ScenarioCell)>();
+        let job_rx = Mutex::new(job_rx);
+        let (done_tx, done_rx) = mpsc::channel::<(usize, (CellRecord, Duration))>();
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                let job_rx = &job_rx;
+                let done_tx = done_tx.clone();
+                s.spawn(move || loop {
+                    // Hold the queue lock only to dequeue, never while
+                    // replaying the cell.
+                    let job = job_rx.lock().expect("job queue lock").recv();
+                    let Ok((i, cell)) = job else { break };
+                    if done_tx.send((i, run_cell(&cell))).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(done_tx);
+
+            // Results may finish out of order; `stash` reorders them so
+            // the fold advances strictly in submission order. Both the
+            // stash and the in-flight queue are bounded by `window`.
+            let mut in_flight: VecDeque<ScenarioCell> = VecDeque::with_capacity(window);
+            let mut stash: BTreeMap<usize, (CellRecord, Duration)> = BTreeMap::new();
+            let mut next = 0usize;
+
+            fn collect_one(
+                done_rx: &mpsc::Receiver<(usize, (CellRecord, Duration))>,
+                in_flight: &mut VecDeque<ScenarioCell>,
+                stash: &mut BTreeMap<usize, (CellRecord, Duration)>,
+                next: &mut usize,
+                fold: &mut GridFold,
+            ) {
+                while !stash.contains_key(next) {
+                    let (i, rec) = done_rx.recv().expect("a cell is in flight");
+                    stash.insert(i, rec);
+                }
+                let (rec, wall) = stash.remove(next).expect("stashed above");
+                let cell = in_flight.pop_front().expect("one cell per in-flight job");
+                fold.record(&cell, rec, wall);
+                *next += 1;
+            }
+
+            for (i, cell) in grid.cells_iter().enumerate() {
+                job_tx.send((i, cell)).expect("a worker is draining jobs");
+                in_flight.push_back(cell);
+                if in_flight.len() >= window {
+                    collect_one(&done_rx, &mut in_flight, &mut stash, &mut next, &mut fold);
+                }
+            }
+            drop(job_tx);
+            while !in_flight.is_empty() {
+                collect_one(&done_rx, &mut in_flight, &mut stash, &mut next, &mut fold);
+            }
+        });
+    }
+
+    let metrics = ScenarioMetrics {
+        cells: n,
+        epochs: fold.total_epochs,
+        wall: t0.elapsed(),
+        replan_wall: fold.replan_wall,
+    };
     ScenarioOutcome {
-        section,
-        metrics: ScenarioMetrics {
-            cells: n,
-            epochs: total_epochs,
-            wall: t0.elapsed(),
-            replan_wall,
-        },
+        section: fold.into_section(grid),
+        metrics,
     }
 }
 
@@ -778,7 +897,11 @@ mod tests {
 
     #[test]
     fn grid_spec_round_trips_and_validates() {
-        for grid in [ScenarioGrid::builtin_smoke(), ScenarioGrid::builtin_audit()] {
+        for grid in [
+            ScenarioGrid::builtin_smoke(),
+            ScenarioGrid::builtin_audit(),
+            ScenarioGrid::builtin_large(),
+        ] {
             grid.validate().unwrap();
             let text = grid.write();
             let back = ScenarioGrid::parse(&text).unwrap();
@@ -787,6 +910,7 @@ mod tests {
         }
         assert_eq!(ScenarioGrid::builtin_smoke().len(), 8);
         assert_eq!(ScenarioGrid::builtin_audit().len(), 108);
+        assert_eq!(ScenarioGrid::builtin_large().len(), 4);
     }
 
     #[test]
@@ -826,6 +950,41 @@ mod tests {
     }
 
     #[test]
+    fn cells_iter_streams_the_nested_product_in_order() {
+        let grid = ScenarioGrid::builtin_audit();
+        let mut expected = Vec::with_capacity(grid.len());
+        for &dag in &grid.dags {
+            for &curve in &grid.curves {
+                for &n in &grid.sizes {
+                    for &m in &grid.machines {
+                        for &seed in &grid.seeds {
+                            for &pattern in &grid.patterns {
+                                for &gap in &grid.gaps {
+                                    for &noise in &grid.noises {
+                                        expected.push(ScenarioCell {
+                                            dag,
+                                            curve,
+                                            n,
+                                            m,
+                                            seed,
+                                            pattern,
+                                            gap,
+                                            noise,
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(expected.len(), 108);
+        assert_eq!(grid.cells(), expected);
+        assert!(grid.cells_iter().eq(expected.iter().copied()));
+    }
+
+    #[test]
     fn smoke_grid_runs_clean_and_is_deterministic_across_workers() {
         let grid = ScenarioGrid::builtin_smoke();
         let base = run_scenario_grid(&grid, 1);
@@ -842,12 +1001,12 @@ mod tests {
             base.metrics.epochs > 8,
             "staggered arrivals imply >1 epoch/cell"
         );
-        for workers in [2usize, 4] {
-            let got = run_scenario_grid(&grid, workers);
+        for (workers, window) in [(2usize, 0usize), (4, 0), (2, 1), (3, 2), (4, 64)] {
+            let got = run_scenario_grid_windowed(&grid, workers, window);
             assert_eq!(
                 base.section.to_pretty(),
                 got.section.to_pretty(),
-                "section changed under workers={workers}"
+                "section changed under workers={workers} window={window}"
             );
         }
         let doc = standalone_scenario_report(&base.section);

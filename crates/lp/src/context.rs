@@ -96,6 +96,24 @@ impl SolveContext {
         self.loaded
     }
 
+    /// Process-unique stamp of the model currently loaded (0 when
+    /// nothing is loaded). Every [`SolveContext::solve`] — on *any*
+    /// context — mints a fresh stamp; in-place mutations and
+    /// [`SolveContext::resolve`] keep it. A caller that recorded the
+    /// stamp after loading a model can therefore check, arbitrarily much
+    /// later, that the context still holds exactly that load (and not a
+    /// rebuild, or another caller's model) before mutating and
+    /// re-optimizing it — the validation behind `mtsp-core`'s cross-epoch
+    /// suffix-LP reuse.
+    #[inline]
+    pub fn load_stamp(&self) -> u64 {
+        if self.loaded {
+            self.core.load_stamp()
+        } else {
+            0
+        }
+    }
+
     /// Deterministic event counters accumulated by this context: every
     /// solve and resolve adds its simplex iterations, FTRAN/BTRAN
     /// applications, refactorizations and solve-kind tallies here, and
@@ -121,6 +139,7 @@ impl SolveContext {
     /// [`SolveContext::resolve`].
     pub fn solve(&mut self, lp: &Lp, opts: &SolverOptions) -> Result<Solution, LpError> {
         let _span = mtsp_obs::span!("lp.solve");
+        opts.validate()?;
         lp.validate()?;
         self.core.load(lp, opts.tol);
         self.core.counters_mut().inc(Counter::LpBuilds);
@@ -188,6 +207,7 @@ impl SolveContext {
     /// Either way the model stays loaded for further mutations.
     pub fn resolve(&mut self, opts: &SolverOptions) -> Result<Solution, LpError> {
         let _span = mtsp_obs::span!("lp.resolve");
+        opts.validate()?;
         self.require_loaded()?;
         self.core.set_tol(opts.tol);
         if opts.warm_start {

@@ -183,6 +183,50 @@ impl Matrix {
         true
     }
 
+    /// Dot product of row `r` with `v`, accumulated left to right — the
+    /// FTRAN inner kernel (`x_B[k] = B⁻¹ row · resid`).
+    ///
+    /// # Panics
+    /// Panics if `v.len() != cols`.
+    #[inline]
+    pub fn row_dot(&self, r: usize, v: &[f64]) -> f64 {
+        assert_eq!(v.len(), self.cols, "dimension mismatch");
+        self.row(r).iter().zip(v).map(|(a, b)| a * b).sum()
+    }
+
+    /// `out += scale · row(r)`, accumulated left to right — the BTRAN
+    /// inner kernel (`y += y_B[k] · B⁻¹ row`). A no-op when `scale == 0`.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != cols`.
+    #[inline]
+    pub fn axpy_row(&self, r: usize, scale: f64, out: &mut [f64]) {
+        assert_eq!(out.len(), self.cols, "dimension mismatch");
+        if scale == 0.0 {
+            return;
+        }
+        for (o, &a) in out.iter_mut().zip(self.row(r)) {
+            *o += scale * a;
+        }
+    }
+
+    /// `out += scale · column(c)`, walking rows top to bottom — the FTRAN
+    /// column-scatter kernel (`w += a_ij · B⁻¹ col`). A no-op when
+    /// `scale == 0`.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != rows`.
+    #[inline]
+    pub fn axpy_col(&self, c: usize, scale: f64, out: &mut [f64]) {
+        assert_eq!(out.len(), self.rows, "dimension mismatch");
+        if scale == 0.0 {
+            return;
+        }
+        for (k, o) in out.iter_mut().enumerate() {
+            *o += self.data[k * self.cols + c] * scale;
+        }
+    }
+
     /// Swaps two rows in place.
     pub fn swap_rows(&mut self, i: usize, j: usize) {
         if i == j {
@@ -302,6 +346,20 @@ mod tests {
         // Singular input reports false through the same path.
         let s = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
         assert!(!s.inverse_into(1e-12, &mut scratch, &mut out));
+    }
+
+    #[test]
+    fn axpy_kernels_match_naive_loops() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert_eq!(a.row_dot(1, &[1.0, 0.5, 2.0]), 4.0 + 2.5 + 12.0);
+        let mut out = vec![1.0, 1.0, 1.0];
+        a.axpy_row(0, 2.0, &mut out);
+        assert_eq!(out, vec![3.0, 5.0, 7.0]);
+        a.axpy_row(0, 0.0, &mut out); // scale 0 is a no-op
+        assert_eq!(out, vec![3.0, 5.0, 7.0]);
+        let mut col = vec![0.0, 10.0];
+        a.axpy_col(2, -1.0, &mut col);
+        assert_eq!(col, vec![-3.0, 4.0]);
     }
 
     #[test]

@@ -29,6 +29,10 @@ pub enum LpError {
     /// A [`crate::SolveContext`] mutation or resolve was attempted before
     /// any model was loaded with a successful solve.
     NoModel,
+    /// A [`crate::SolverOptions`] field failed validation (for example a
+    /// `refactor_interval` of 0, which would demand a refactorization
+    /// before every pivot could record its eta update).
+    InvalidOptions(&'static str),
 }
 
 impl fmt::Display for LpError {
@@ -43,6 +47,7 @@ impl fmt::Display for LpError {
             LpError::IterationLimit(n) => write!(f, "simplex iteration limit {n} exhausted"),
             LpError::SingularBasis => write!(f, "basis matrix became singular"),
             LpError::NoModel => write!(f, "no model loaded in the solve context"),
+            LpError::InvalidOptions(what) => write!(f, "invalid solver options: {what}"),
         }
     }
 }
@@ -67,5 +72,10 @@ mod tests {
         assert!(LpError::IterationLimit(99).to_string().contains("99"));
         assert!(LpError::SingularBasis.to_string().contains("singular"));
         assert!(LpError::NoModel.to_string().contains("no model"));
+        assert!(
+            LpError::InvalidOptions("refactor_interval must be positive")
+                .to_string()
+                .contains("refactor_interval")
+        );
     }
 }

@@ -67,6 +67,7 @@ pub mod certify;
 pub mod context;
 pub mod dense;
 pub mod error;
+mod eta;
 pub mod presolve;
 pub mod problem;
 pub mod simplex;

@@ -116,6 +116,15 @@ impl Lp {
         self.upper[var.0] = upper;
     }
 
+    /// Replaces the objective coefficient of variable `var` (the
+    /// rebuild-side companion of [`crate::SolveContext::set_objective`]).
+    ///
+    /// # Panics
+    /// Panics if `var` is out of range.
+    pub fn set_var_cost(&mut self, var: VarId, cost: f64) {
+        self.obj[var.0] = cost;
+    }
+
     /// Validates variable references, bounds and data finiteness.
     pub fn validate(&self) -> Result<(), LpError> {
         let n = self.num_vars();

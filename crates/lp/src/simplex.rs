@@ -12,9 +12,16 @@
 //! The implementation follows the classical two-phase bounded-variable
 //! method:
 //!
-//! * the basis inverse `B⁻¹` is kept explicitly (dense) and updated by
-//!   elementary row operations per pivot, with full Gauss–Jordan
-//!   refactorization every [`SolverOptions::refactor_interval`] pivots;
+//! * the basis factorization is a dense base inverse `B₀⁻¹` from the last
+//!   Gauss–Jordan refactorization plus a product-form **eta file**
+//!   ([`crate::eta::EtaFile`]): each pivot appends one O(m) eta update
+//!   (Forrest–Tomlin style) instead of an O(m²) eager inverse update, and
+//!   FTRAN/BTRAN thread through base inverse + etas; a full
+//!   refactorization runs every [`SolverOptions::refactor_interval`]
+//!   pivots as the stability fallback, and the factorization persists
+//!   *across* [`crate::SolveContext::resolve`] calls (bound/rhs/objective
+//!   mutations leave the basis matrix untouched), so a warm resolve pays
+//!   no refactorization at all on the hot path;
 //! * pricing is Dantzig (most violating reduced cost) with an automatic
 //!   switch to Bland's rule after a run of degenerate pivots, restoring
 //!   the termination guarantee;
@@ -31,6 +38,7 @@
 
 use crate::dense::Matrix;
 use crate::error::LpError;
+use crate::eta::EtaFile;
 use crate::problem::{Lp, Relation};
 use crate::sparse::CscMatrix;
 use mtsp_obs::{Counter, Counters};
@@ -71,7 +79,10 @@ pub struct SolverOptions {
     pub max_iterations: usize,
     /// Optimality / feasibility tolerance.
     pub tol: f64,
-    /// Pivots between full refactorizations of `B⁻¹`.
+    /// Pivots between full refactorizations of `B⁻¹` — equivalently, the
+    /// maximum eta-file length before the factorization is rebuilt. Must
+    /// be positive; entry points reject `0` with
+    /// [`LpError::InvalidOptions`].
     pub refactor_interval: usize,
     /// Consecutive degenerate pivots before switching to Bland's rule.
     pub bland_trigger: usize,
@@ -93,6 +104,26 @@ impl Default for SolverOptions {
             bland_trigger: 40,
             warm_start: true,
         }
+    }
+}
+
+impl SolverOptions {
+    /// Validates option values; every solve/resolve entry point calls
+    /// this before touching the model. `refactor_interval = 0` would ask
+    /// for a refactorization before every pivot *and* an eta file that may
+    /// never grow — a degenerate configuration that is rejected outright.
+    pub fn validate(&self) -> Result<(), LpError> {
+        if self.refactor_interval == 0 {
+            return Err(LpError::InvalidOptions(
+                "refactor_interval must be positive",
+            ));
+        }
+        if self.tol.is_nan() || self.tol < 0.0 {
+            return Err(LpError::InvalidOptions(
+                "tol must be non-negative and not NaN",
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -125,7 +156,17 @@ pub(crate) struct Core {
     first_artificial: usize,
     state: Vec<VarState>,
     basis: Vec<usize>,
+    /// Base inverse `B₀⁻¹` from the last refactorization; the live
+    /// factorization is `eta` applied on top of it.
     binv: Matrix,
+    /// Product-form updates recorded since the last refactorization.
+    eta: EtaFile,
+    /// Whether `binv` + `eta` factorize the *current* basis. True from
+    /// the first successful refactorization until [`Core::load`] replaces
+    /// the model (every pivot appends an eta, keeping the pair in sync);
+    /// false only on a fresh/reloaded core or after a failed
+    /// refactorization.
+    factorized: bool,
     xb: Vec<f64>,
     tol: f64,
     // --- reusable scratch (contents meaningless between uses) ----------
@@ -133,6 +174,10 @@ pub(crate) struct Core {
     y: Vec<f64>,
     /// FTRAN result `w = B⁻¹ A_j`.
     w: Vec<f64>,
+    /// BTRAN seed/workspace in basis-position space (eta applications).
+    ybasis: Vec<f64>,
+    /// Extracted row `r` of `B⁻¹` for the dual ratio test.
+    rowr: Vec<f64>,
     /// Residual `b − N x_N` used by refactorization and the start basis.
     resid: Vec<f64>,
     /// Phase-1 objective swap space.
@@ -144,7 +189,15 @@ pub(crate) struct Core {
     /// Deterministic event counters, accumulated across every solve this
     /// core runs (never reset by [`Core::load`] — callers snapshot/diff).
     counters: Counters,
+    /// Process-unique id of the last [`Core::load`] (0 = never loaded).
+    /// In-place mutations and resolves keep it; only loading a model —
+    /// into this core or any other — mints a new value, so an equal stamp
+    /// proves "this context still holds exactly that load".
+    stamp: u64,
 }
+
+/// Mints process-unique load stamps (see [`Core::load_stamp`]).
+static LOAD_STAMPS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
 impl Core {
     /// An empty core; [`Core::load`] gives it a model.
@@ -162,16 +215,27 @@ impl Core {
             state: Vec::new(),
             basis: Vec::new(),
             binv: Matrix::zeros(0, 0),
+            eta: EtaFile::new(),
+            factorized: false,
             xb: Vec::new(),
             tol: 1e-9,
             y: Vec::new(),
             w: Vec::new(),
+            ybasis: Vec::new(),
+            rowr: Vec::new(),
             resid: Vec::new(),
             saved_cost: Vec::new(),
             bmat: Matrix::zeros(0, 0),
             inv_scratch: Matrix::zeros(0, 0),
             counters: Counters::new(),
+            stamp: 0,
         }
+    }
+
+    /// The stamp of the last load (0 until a model is loaded).
+    #[inline]
+    pub(crate) fn load_stamp(&self) -> u64 {
+        self.stamp
     }
 
     /// Deterministic event counters accumulated by this core.
@@ -205,6 +269,8 @@ impl Core {
         let n = lp.num_vars();
         let m = lp.num_rows();
         self.rows = m;
+        self.factorized = false;
+        self.stamp = 1 + LOAD_STAMPS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         self.n_struct = n;
         self.first_slack = n;
         self.tol = tol;
@@ -298,10 +364,12 @@ impl Core {
         }
     }
 
-    /// Recomputes `B⁻¹` and `x_B` from scratch (no allocations; the dense
-    /// factorization scratch lives in the core).
+    /// Rebuilds the factorization from scratch: fresh base inverse
+    /// `B₀⁻¹`, empty eta file, recomputed `x_B` (no allocations; the
+    /// dense factorization scratch lives in the core).
     fn refactor(&mut self) -> Result<(), LpError> {
         self.counters.inc(Counter::Refactorizations);
+        self.factorized = false;
         let m = self.rows;
         self.bmat.resize_zeroed(m, m);
         for (k, &j) in self.basis.iter().enumerate() {
@@ -315,6 +383,20 @@ impl Core {
         {
             return Err(LpError::SingularBasis);
         }
+        self.eta.clear(m);
+        self.factorized = true;
+        self.refresh_basics();
+        Ok(())
+    }
+
+    /// Recomputes the basic values under the *current* factorization:
+    /// `x_B = B⁻¹ (b − N x_N)` via base inverse plus eta file. With an
+    /// empty eta file this is bit-for-bit the historical refactorization
+    /// tail; a warm resolve calls it directly after bound/rhs mutations —
+    /// those leave the basis matrix untouched, so the factorization still
+    /// applies and no O(m³) rebuild is needed.
+    fn refresh_basics(&mut self) {
+        let m = self.rows;
         // r = b - N x_N
         self.resid.clear();
         self.resid.extend_from_slice(&self.b);
@@ -323,39 +405,32 @@ impl Core {
                 continue;
             }
             let v = self.nonbasic_value(j);
-            if v != 0.0 {
-                for (i, a) in self.a.col(j).iter() {
-                    self.resid[i] -= a * v;
-                }
-            }
+            self.a.col(j).axpy_into(-v, &mut self.resid);
         }
         self.xb.clear();
         self.xb.resize(m, 0.0);
         for k in 0..m {
-            self.xb[k] = self
-                .binv
-                .row(k)
-                .iter()
-                .zip(&self.resid)
-                .map(|(c, rv)| c * rv)
-                .sum();
+            self.xb[k] = self.binv.row_dot(k, &self.resid);
         }
-        Ok(())
+        self.eta.apply_ftran(&mut self.xb);
     }
 
-    /// Simplex multipliers `y = c_B B⁻¹`, written into the `y` scratch.
+    /// Simplex multipliers `y = c_B B⁻¹`, written into the `y` scratch:
+    /// BTRAN of the basic costs through the eta file, then the base
+    /// inverse (bit-for-bit the historical loop when the file is empty).
     fn compute_duals(&mut self) {
         self.counters.inc(Counter::Btran);
         let m = self.rows;
+        self.ybasis.clear();
+        self.ybasis.resize(m, 0.0);
+        for (k, &j) in self.basis.iter().enumerate() {
+            self.ybasis[k] = self.cost[j];
+        }
+        self.eta.apply_btran(&mut self.ybasis);
         self.y.clear();
         self.y.resize(m, 0.0);
-        for (k, &j) in self.basis.iter().enumerate() {
-            let cb = self.cost[j];
-            if cb != 0.0 {
-                for (yi, &bi) in self.y.iter_mut().zip(self.binv.row(k)) {
-                    *yi += cb * bi;
-                }
-            }
+        for (k, &v) in self.ybasis.iter().enumerate() {
+            self.binv.axpy_row(k, v, &mut self.y);
         }
     }
 
@@ -365,42 +440,47 @@ impl Core {
         self.cost[j] - self.a.col_dot(j, &self.y)
     }
 
-    /// `w = B⁻¹ A_j`, written into the `w` scratch.
+    /// `w = B⁻¹ A_j`, written into the `w` scratch: base inverse applied
+    /// to the sparse column, then the eta file.
     fn ftran(&mut self, j: usize) {
         self.counters.inc(Counter::Ftran);
         let m = self.rows;
         self.w.clear();
         self.w.resize(m, 0.0);
         for (i, a) in self.a.col(j).iter() {
-            if a != 0.0 {
-                for k in 0..m {
-                    self.w[k] += self.binv[(k, i)] * a;
-                }
-            }
+            self.binv.axpy_col(i, a, &mut self.w);
+        }
+        self.eta.apply_ftran(&mut self.w);
+    }
+
+    /// Row `r` of `B⁻¹` (the pivot row of the dual ratio test), written
+    /// into the `rowr` scratch: BTRAN of the unit vector `e_r`. With an
+    /// empty eta file this is a straight copy of the base-inverse row.
+    fn extract_row(&mut self, r: usize) {
+        let m = self.rows;
+        if self.eta.is_empty() {
+            self.rowr.clear();
+            self.rowr.extend_from_slice(self.binv.row(r));
+            return;
+        }
+        self.ybasis.clear();
+        self.ybasis.resize(m, 0.0);
+        self.ybasis[r] = 1.0;
+        self.eta.apply_btran(&mut self.ybasis);
+        self.rowr.clear();
+        self.rowr.resize(m, 0.0);
+        for (k, &v) in self.ybasis.iter().enumerate() {
+            self.binv.axpy_row(k, v, &mut self.rowr);
         }
     }
 
-    /// Elementary update of `B⁻¹` after pivoting column `j` into row `r`
-    /// (the `w` scratch holds `B⁻¹ A_j`).
-    fn update_binv(&mut self, r: usize) {
-        let m = self.rows;
-        let wr = self.w[r];
-        for i in 0..m {
-            self.binv[(r, i)] /= wr;
-        }
-        for k in 0..m {
-            if k == r {
-                continue;
-            }
-            let wk = self.w[k];
-            if wk == 0.0 {
-                continue;
-            }
-            for i in 0..m {
-                let delta = wk * self.binv[(r, i)];
-                self.binv[(k, i)] -= delta;
-            }
-        }
+    /// Records the pivot of column `j` into row `r` as a product-form
+    /// update (the `w` scratch holds `B⁻¹ A_j` under the pre-pivot
+    /// factorization) — O(m) bookkeeping in place of the historical
+    /// O(m²) eager inverse update.
+    fn push_eta(&mut self, r: usize) {
+        self.counters.inc(Counter::EtaUpdates);
+        self.eta.push(r, &self.w);
     }
 
     /// Truncates any artificial tail, rebuilds the initial nonbasic states
@@ -433,11 +513,7 @@ impl Core {
                 VarState::AtUpper => self.upper[j],
                 _ => 0.0,
             };
-            if v != 0.0 {
-                for (i, a) in self.a.col(j).iter() {
-                    self.resid[i] -= a * v;
-                }
-            }
+            self.a.col(j).axpy_into(-v, &mut self.resid);
         }
         self.basis.clear();
         let mut any_artificial = false;
@@ -474,16 +550,16 @@ impl Core {
         let tol = self.tol;
         let m = self.rows;
         let mut degenerate_run = 0usize;
-        let mut since_refactor = 0usize;
         loop {
             if *iterations >= max_iterations {
                 return Err(LpError::IterationLimit(max_iterations));
             }
             *iterations += 1;
             self.counters.inc(Counter::SimplexIterations);
-            if since_refactor >= opts.refactor_interval {
+            // The eta file carries across calls (and resolves); its
+            // length *is* the pivots-since-refactorization count.
+            if self.eta.len() >= opts.refactor_interval {
                 self.refactor()?;
-                since_refactor = 0;
             }
 
             self.compute_duals();
@@ -629,9 +705,8 @@ impl Core {
                     };
                     self.basis[r] = j;
                     self.state[j] = VarState::Basic;
+                    self.push_eta(r);
                     self.xb[r] = enter_value;
-                    self.update_binv(r);
-                    since_refactor += 1;
                 }
             }
         }
@@ -684,16 +759,16 @@ impl Core {
         let tol = self.tol;
         let m = self.rows;
         let mut degenerate_run = 0usize;
-        let mut since_refactor = 0usize;
         loop {
             if *iterations >= max_iterations {
                 return Err(LpError::IterationLimit(max_iterations));
             }
             *iterations += 1;
             self.counters.inc(Counter::SimplexIterations);
-            if since_refactor >= opts.refactor_interval {
+            // Eta-file length = pivots since the last refactorization,
+            // carried across resolve calls.
+            if self.eta.len() >= opts.refactor_interval {
                 self.refactor()?;
-                since_refactor = 0;
             }
             let use_bland = degenerate_run >= opts.bland_trigger;
 
@@ -726,6 +801,7 @@ impl Core {
 
             // --- Entering: minimal dual ratio ------------------------------
             self.compute_duals();
+            self.extract_row(r);
             let mut entering: Option<(usize, f64, f64)> = None; // (col, ratio, |alpha|)
             for j in 0..self.a.ncols() {
                 let st = self.state[j];
@@ -737,7 +813,7 @@ impl Core {
                 }
                 let mut alpha = 0.0f64;
                 for (i, a) in self.a.col(j).iter() {
-                    alpha += self.binv[(r, i)] * a;
+                    alpha += self.rowr[i] * a;
                 }
                 if alpha.abs() <= 1e-11 {
                     continue;
@@ -822,9 +898,8 @@ impl Core {
             };
             self.basis[r] = j;
             self.state[j] = VarState::Basic;
+            self.push_eta(r);
             self.xb[r] = enter_value;
-            self.update_binv(r);
-            since_refactor += 1;
         }
     }
 
@@ -953,6 +1028,7 @@ impl Core {
                 if self.basis[r] < self.first_artificial {
                     continue;
                 }
+                self.extract_row(r);
                 let mut pivot_col = None;
                 for j in 0..self.first_artificial {
                     if self.state[j] == VarState::Basic {
@@ -960,7 +1036,7 @@ impl Core {
                     }
                     let mut wr = 0.0f64;
                     for (i, a) in self.a.col(j).iter() {
-                        wr += self.binv[(r, i)] * a;
+                        wr += self.rowr[i] * a;
                     }
                     if wr.abs() > 1e-7 {
                         pivot_col = Some(j);
@@ -968,12 +1044,13 @@ impl Core {
                     }
                 }
                 if let Some(j) = pivot_col {
-                    self.ftran(j);
                     let old = self.basis[r];
                     self.state[old] = VarState::AtLower;
                     self.basis[r] = j;
                     self.state[j] = VarState::Basic;
-                    self.update_binv(r);
+                    // The immediate refactorization re-derives the
+                    // factorization from the basis columns, so no eta is
+                    // recorded for this swap.
                     self.refactor()?;
                 }
             }
@@ -1002,7 +1079,16 @@ impl Core {
             50 * (self.rows + self.a.ncols()) + 10_000
         };
         let mut iterations = 0usize;
-        if self.refactor().is_err() {
+        // Reuse the factorization left by the previous solve when it is
+        // still valid — the extraction refactor of the previous optimum
+        // left an empty eta file, so this skips the leading O(m³) rebuild
+        // that used to dominate every warm resolve while producing the
+        // exact same bits. Bound/rhs/objective mutations do not touch the
+        // basis matrix; only a fresh `load` (or a failed refactor)
+        // invalidates it.
+        if self.factorized {
+            self.refresh_basics();
+        } else if self.refactor().is_err() {
             return self.solve_cold(opts);
         }
         if !self.is_dual_feasible() {
@@ -1042,6 +1128,7 @@ impl Core {
 
 /// Solves `lp` (already validated by the caller) with a throwaway core.
 pub(crate) fn solve(lp: &Lp, opts: &SolverOptions) -> Result<Solution, LpError> {
+    opts.validate()?;
     let mut core = Core::new();
     core.load(lp, opts.tol);
     core.solve_cold(opts)

@@ -46,6 +46,19 @@ impl<'a> ColView<'a> {
     pub fn nnz(&self) -> usize {
         self.rows.len()
     }
+
+    /// `out[row] += value · scale` for every stored entry, in storage
+    /// order — the residual-update kernel (`r −= a_j · x_j` with
+    /// `scale = −x_j`). A no-op when `scale == 0`.
+    #[inline]
+    pub fn axpy_into(&self, scale: f64, out: &mut [f64]) {
+        if scale == 0.0 {
+            return;
+        }
+        for (i, a) in self.iter() {
+            out[i] += a * scale;
+        }
+    }
 }
 
 /// A compressed-sparse-column matrix with a fixed row count and an
@@ -223,6 +236,17 @@ mod tests {
         let x = [1.0, 2.0, 3.0, 4.0];
         assert_eq!(a.col_dot(0, &x), 2.0 + 4.0);
         assert_eq!(a.col_dot(1, &x), -2.0 + 15.0);
+    }
+
+    #[test]
+    fn axpy_into_scatters_in_storage_order() {
+        let mut a = CscMatrix::with_rows(3);
+        a.push_col([(0, 2.0), (2, -1.0)]);
+        let mut out = vec![1.0, 1.0, 1.0];
+        a.col(0).axpy_into(-3.0, &mut out);
+        assert_eq!(out, vec![-5.0, 1.0, 4.0]);
+        a.col(0).axpy_into(0.0, &mut out); // scale 0 is a no-op
+        assert_eq!(out, vec![-5.0, 1.0, 4.0]);
     }
 
     #[test]

@@ -1,0 +1,220 @@
+//! Property-based validation of the product-form (eta-file) update path:
+//! a warm [`mtsp_lp::SolveContext::resolve`] that reuses the previous
+//! factorization and records eta updates must stay **bitwise identical**
+//! to a cold solve of the mutated model across whole mutation
+//! *sequences* — including configurations that force refactorization
+//! fallbacks in the middle of every pivot run (`refactor_interval = 1`)
+//! and configurations that let one eta chain span many resolves
+//! (`refactor_interval` larger than any pivot count reached here).
+//!
+//! The instances are generated with continuous (generic) data, so optima
+//! are unique and every solver configuration must terminate at the same
+//! final basis; the extraction contract then pins the exact bits.
+
+use mtsp_lp::{Lp, Relation, SolveContext, SolverOptions, Status, VarId};
+use proptest::prelude::*;
+
+/// A feasible-by-construction LP with generic (continuous) data: positive
+/// costs, `x ≥ l ≥ 0`, and `≤` rows with nonnegative coefficients.
+#[derive(Debug, Clone)]
+struct SweepLp {
+    bounds: Vec<(f64, f64)>,
+    costs: Vec<f64>,
+    rows: Vec<(Vec<(usize, f64)>, f64)>,
+}
+
+/// One step of the mutation sequence: a per-variable upper-bound rescale
+/// plus a per-row rhs shift.
+#[derive(Debug, Clone)]
+struct Step {
+    scales: Vec<f64>,
+    shifts: Vec<f64>,
+}
+
+fn sweep_lp() -> impl Strategy<Value = (SweepLp, Vec<Step>)> {
+    (2usize..6, 1usize..4).prop_flat_map(|(nvars, nrows)| {
+        let bounds = proptest::collection::vec(
+            (0.0f64..1.0, 0.5f64..4.0).prop_map(|(l, w)| (l, l + w)),
+            nvars,
+        );
+        let costs = proptest::collection::vec(0.1f64..5.0, nvars);
+        let row = (
+            proptest::collection::vec((0usize..nvars, 0.2f64..2.0), 1..=nvars),
+            1.0f64..8.0,
+        );
+        let rows = proptest::collection::vec(row, nrows..=nrows);
+        let step = (
+            proptest::collection::vec(0.4f64..1.6, nvars),
+            proptest::collection::vec(-1.0f64..1.0, nrows),
+        )
+            .prop_map(|(scales, shifts)| Step { scales, shifts });
+        let steps = proptest::collection::vec(step, 1..6);
+        (bounds, costs, rows, steps).prop_map(|(bounds, costs, rows, steps)| {
+            (
+                SweepLp {
+                    bounds,
+                    costs,
+                    rows,
+                },
+                steps,
+            )
+        })
+    })
+}
+
+fn build(r: &SweepLp) -> (Lp, Vec<VarId>) {
+    let mut lp = Lp::minimize();
+    let vars: Vec<_> = (0..r.bounds.len())
+        .map(|i| lp.add_var(r.bounds[i].0, r.bounds[i].1, r.costs[i]))
+        .collect();
+    for (coeffs, rhs) in &r.rows {
+        let cs: Vec<_> = coeffs.iter().map(|&(v, a)| (vars[v], a)).collect();
+        lp.add_row(&cs, Relation::Le, *rhs);
+    }
+    (lp, vars)
+}
+
+fn warm_opts(refactor_interval: usize) -> SolverOptions {
+    SolverOptions {
+        refactor_interval,
+        ..SolverOptions::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Three warm contexts with wildly different refactorization cadences
+    /// (every pivot / every other pivot / effectively never) track a
+    /// fresh cold solve bit-for-bit through a whole mutation sequence.
+    #[test]
+    fn ft_warm_resolves_are_bitwise_cold_across_sequences(
+        (r, steps) in sweep_lp(),
+    ) {
+        let (lp, vars) = build(&r);
+        let intervals = [1usize, 2, 1_000_000];
+        let mut ctxs: Vec<SolveContext> = Vec::new();
+        for &iv in &intervals {
+            let mut ctx = SolveContext::new();
+            ctx.solve(&lp, &warm_opts(iv)).expect("initial solve failed");
+            ctxs.push(ctx);
+        }
+        let mut mutated = lp.clone();
+        for (s, step) in steps.iter().enumerate() {
+            for (j, &id) in vars.iter().enumerate() {
+                let (l, u0) = r.bounds[j];
+                let u = (l + (u0 - l) * step.scales[j]).max(l + 1e-6);
+                mutated.set_var_bounds(id, l, u);
+                for ctx in ctxs.iter_mut() {
+                    ctx.set_var_bounds(id, l, u).expect("bound mutation");
+                }
+            }
+            for (i, row) in r.rows.iter().enumerate() {
+                let rhs = row.1 + step.shifts[i] * (s as f64 + 1.0);
+                mutated.set_row_rhs(i, rhs);
+                for ctx in ctxs.iter_mut() {
+                    ctx.set_rhs(i, rhs).expect("rhs mutation");
+                }
+            }
+            let cold = mutated.solve().expect("cold solve failed");
+            for (&iv, ctx) in intervals.iter().zip(ctxs.iter_mut()) {
+                let warm = ctx.resolve(&warm_opts(iv)).expect("warm resolve failed");
+                prop_assert_eq!(
+                    warm.status, cold.status,
+                    "status mismatch at step {} (interval {})", s, iv
+                );
+                if cold.status != Status::Optimal {
+                    continue;
+                }
+                prop_assert_eq!(
+                    &warm.x, &cold.x,
+                    "x mismatch at step {} (interval {})", s, iv
+                );
+                prop_assert_eq!(
+                    &warm.duals, &cold.duals,
+                    "dual mismatch at step {} (interval {})", s, iv
+                );
+                prop_assert_eq!(
+                    warm.objective.to_bits(), cold.objective.to_bits(),
+                    "objective bits mismatch at step {} (interval {})", s, iv
+                );
+            }
+        }
+    }
+
+    /// An objective mutation mid-sequence voids dual feasibility and
+    /// forces the warm path's transparent fallback to a cold solve; the
+    /// eta machinery must come out of that fallback consistent, so later
+    /// bound/rhs resolves are still bitwise cold.
+    #[test]
+    fn fallback_to_cold_mid_sequence_keeps_later_resolves_bitwise(
+        (r, steps) in sweep_lp(),
+        flip in 1.0f64..10.0,
+    ) {
+        let (lp, vars) = build(&r);
+        let mut ctx = SolveContext::new();
+        let opts = warm_opts(2);
+        ctx.solve(&lp, &opts).expect("initial solve failed");
+        let mut mutated = lp.clone();
+        // Flip the objective so the loaded basis is dual infeasible: the
+        // cheapest variable becomes the most expensive.
+        let (jmin, _) = r
+            .costs
+            .iter()
+            .enumerate()
+            .fold((0, f64::INFINITY), |acc, (j, &c)| {
+                if c < acc.1 { (j, c) } else { acc }
+            });
+        let new_cost = r.costs[jmin] + flip;
+        ctx.set_objective(vars[jmin], new_cost).expect("objective mutation");
+        mutated.set_var_cost(vars[jmin], new_cost);
+        let warm = ctx.resolve(&opts).expect("post-flip resolve failed");
+        let cold = mutated.solve().expect("cold solve failed");
+        prop_assert_eq!(warm.status, cold.status);
+        if warm.status == Status::Optimal {
+            prop_assert_eq!(&warm.x, &cold.x);
+        }
+        // Continue the bound/rhs sequence after the fallback.
+        for (s, step) in steps.iter().enumerate() {
+            for (j, &id) in vars.iter().enumerate() {
+                let (l, u0) = r.bounds[j];
+                let u = (l + (u0 - l) * step.scales[j]).max(l + 1e-6);
+                mutated.set_var_bounds(id, l, u);
+                ctx.set_var_bounds(id, l, u).expect("bound mutation");
+            }
+            let w = ctx.resolve(&opts).expect("warm resolve failed");
+            let c = mutated.solve().expect("cold solve failed");
+            prop_assert_eq!(w.status, c.status, "status mismatch at step {}", s);
+            if c.status == Status::Optimal {
+                prop_assert_eq!(&w.x, &c.x, "x mismatch at step {}", s);
+                prop_assert_eq!(
+                    w.objective.to_bits(), c.objective.to_bits(),
+                    "objective bits mismatch at step {}", s
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn refactor_interval_zero_is_rejected_everywhere() {
+    let mut lp = Lp::minimize();
+    let x = lp.add_var(0.0, 1.0, 1.0);
+    lp.add_row(&[(x, 1.0)], Relation::Le, 1.0);
+    let bad = SolverOptions {
+        refactor_interval: 0,
+        ..SolverOptions::default()
+    };
+    let expect = |r: Result<mtsp_lp::Solution, mtsp_lp::LpError>| {
+        assert!(
+            matches!(r, Err(mtsp_lp::LpError::InvalidOptions(_))),
+            "refactor_interval = 0 must be a structured error"
+        );
+    };
+    expect(lp.solve_with(&bad));
+    let mut ctx = SolveContext::new();
+    expect(ctx.solve(&lp, &bad));
+    // A context with a model loaded still rejects the options on resolve.
+    ctx.solve(&lp, &SolverOptions::default()).unwrap();
+    expect(ctx.resolve(&bad));
+}

@@ -56,11 +56,17 @@ pub enum Counter {
     ServeRejections,
     /// Session snapshots rendered by the daemon (`mtsp-serve`).
     ServeSnapshots,
+    /// Product-form (eta-file) basis-factorization updates appended by
+    /// simplex pivots in place of eager inverse updates (`mtsp-lp`).
+    EtaUpdates,
+    /// Epoch re-plans served by mutating the already-loaded suffix LP
+    /// instead of rebuilding it (`mtsp-engine`).
+    LpReuses,
 }
 
 impl Counter {
     /// Every counter, in array-layout (= serialization) order.
-    pub const ALL: [Counter; 15] = [
+    pub const ALL: [Counter; 17] = [
         Counter::SimplexIterations,
         Counter::Ftran,
         Counter::Btran,
@@ -76,6 +82,8 @@ impl Counter {
         Counter::ServeRequests,
         Counter::ServeRejections,
         Counter::ServeSnapshots,
+        Counter::EtaUpdates,
+        Counter::LpReuses,
     ];
 
     /// Stable dotted name (`layer.event`), used as the JSON key in report
@@ -97,6 +105,8 @@ impl Counter {
             Counter::ServeRequests => "serve.requests",
             Counter::ServeRejections => "serve.rejections",
             Counter::ServeSnapshots => "serve.snapshots",
+            Counter::EtaUpdates => "lp.eta_updates",
+            Counter::LpReuses => "engine.lp_reuses",
         }
     }
 

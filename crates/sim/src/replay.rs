@@ -100,10 +100,16 @@ pub fn replay(scenario: &Scenario, cfg: &ReplayConfig) -> Result<ReplayOutcome, 
     let mut session = ScheduleSession::new(m_profile, cfg.session.clone()).map_err(fail)?;
     let priority = session.config().jz.priority;
 
-    // Arrival order: a stable sort of a topological order by arrival time
-    // — ties keep predecessors first, so every task's edges reference
-    // already-arrived tasks.
-    let mut order = ins.dag().topological_order();
+    // Arrival order: task ids stably sorted by arrival time. Ties keep id
+    // order, so a batch of simultaneous arrivals is numbered by the
+    // session exactly like the scenario numbers it — `Scenario::batch`
+    // replays then hand the planner the *identical* LP the batch pipeline
+    // solves (not a permutation of it, whose degenerate optima a solver
+    // may break differently), which is what makes the batch-equivalence
+    // contract bit-exact by construction. Edges are attached after the
+    // whole tie-batch has arrived (arrivals respect precedence, a
+    // `Scenario::new` invariant, so a pred is never in a *later* batch).
+    let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| {
         scenario.arrival[a]
             .partial_cmp(&scenario.arrival[b])
@@ -246,12 +252,21 @@ pub fn replay(scenario: &Scenario, cfg: &ReplayConfig) -> Result<ReplayOutcome, 
             next_mev += 1;
         }
 
-        // Arrivals at `now` (their edges arrive with them).
-        let mut arrivals = 0usize;
+        // Arrivals at `now`: the whole tie-batch arrives in id order
+        // first, then its edges — a pred arriving simultaneously may
+        // carry a larger id than its successor.
+        let batch_start = next_arr;
         while next_arr < order.len() && scenario.arrival[order[next_arr]] <= now + tol(now) {
             let j = order[next_arr];
             let t = scenario.arrival[j];
             sess_of[j] = session.arrive(ins.profile(j).clone(), t).map_err(fail)?;
+            arrived[j] = true;
+            ready_time[j] = ready_time[j].max(t);
+            next_arr += 1;
+        }
+        let arrivals = next_arr - batch_start;
+        for &j in &order[batch_start..next_arr] {
+            let t = scenario.arrival[j];
             for &i in ins.dag().preds(j) {
                 if !finished[i] {
                     unfinished_preds[j] += 1;
@@ -260,13 +275,9 @@ pub fn replay(scenario: &Scenario, cfg: &ReplayConfig) -> Result<ReplayOutcome, 
                     .add_dependency(sess_of[i], sess_of[j], t)
                     .map_err(fail)?;
             }
-            arrived[j] = true;
-            ready_time[j] = ready_time[j].max(t);
             if unfinished_preds[j] == 0 {
                 newly_ready.push(j);
             }
-            arrivals += 1;
-            next_arr += 1;
         }
 
         // Epoch: any structural event re-plans the pending suffix.
@@ -401,7 +412,7 @@ mod tests {
                             priority: prio,
                             ..JzConfig::default()
                         },
-                        reuse_context: true,
+                        ..SessionConfig::new()
                     },
                     noise: NoiseModel::None,
                     seed,
@@ -438,6 +449,7 @@ mod tests {
                         ..JzConfig::default()
                     },
                     reuse_context,
+                    ..SessionConfig::new()
                 },
                 noise: NoiseModel::Uniform { epsilon: 0.2 },
                 seed: 5,

@@ -204,8 +204,15 @@ baseline instead of gating. The audit also replays the built-in arrival
 scenario grid through the online session and embeds the section under
 \"scenarios\", and runs the daemon wire-protocol audit (a fixed
 multi-tenant script at 1 and 4 shards, compared byte-for-byte) embedded
-under \"serve\" (both gated like the rest). Wall-clock metrics always
-go to stderr.
+under \"serve\" (both gated like the rest). Full (non---smoke) audits
+additionally run the large-n tier (independent instances up to n=2048
+plus a large replay grid) embedded under \"large\" and held to the same
+quality checks. Every audit probes the warm-vs-cold eta-file resolve
+speedup and the cross-epoch LP reuse speedup as deterministic
+pivot-work ratios (bitwise reproducible, so the gate never flakes on a
+busy machine) and gates them against the floors committed in the
+baseline (2x and 1.5x); the wall-clock ratios ride along on stderr.
+Wall-clock metrics always go to stderr.
 
 replay drives the online ScheduleSession: tasks arrive over time, each
 arrival batch or machine-count change re-plans the not-yet-started
@@ -1042,7 +1049,61 @@ fn run(cmd: Command) -> Result<String, String> {
             // byte-for-byte and embedded under "serve".
             let serve = mtsp::harness::run_serve_audit();
             let report = mtsp::harness::attach_scenarios(outcome.report, scen.section);
-            let report = mtsp::harness::attach_section(report, "serve", serve.section);
+            let mut report = mtsp::harness::attach_section(report, "serve", serve.section);
+            // The large-n tier (n up to 2048) rides along on full audits
+            // only — it exercises the eta-file resolve path on LPs far
+            // past the audit grid, and its own report (with an embedded
+            // large scenario grid) nests under "large".
+            let mut large_throughput = None;
+            if !smoke {
+                let large_corpus = Corpus::builtin_large();
+                let large_outcome = run_corpus(
+                    &large_corpus,
+                    &RunConfig {
+                        workers: jobs,
+                        reuse_context: !fresh_contexts,
+                        ..RunConfig::default()
+                    },
+                );
+                emit_batch_metrics("audit.large.corpus", &large_outcome.metrics);
+                let large_scen = mtsp::harness::run_scenario_grid(
+                    &mtsp::harness::ScenarioGrid::builtin_large(),
+                    jobs,
+                );
+                emit_scenario_metrics("audit.large.scenarios", &large_scen.metrics);
+                large_throughput = Some(large_outcome.metrics.throughput);
+                let large_section =
+                    mtsp::harness::attach_scenarios(large_outcome.report, large_scen.section);
+                report = mtsp::harness::attach_section(report, "large", large_section);
+            }
+            // Speed probes of the two raw-speed pillars, gated against
+            // the floors committed in the baseline. The gated value is
+            // the deterministic pivot-work ratio (bitwise reproducible);
+            // the wall ratio rides along on stderr. The report bytes
+            // never carry either.
+            let ft_probe = mtsp::harness::measure_ft_resolve_speedup(32, 8);
+            let reuse_probe = mtsp::harness::measure_epoch_reuse_speedup(48, 8, 4);
+            emit_metrics(
+                "audit.perf",
+                &[
+                    (
+                        "ft_resolve_speedup",
+                        format!("{:.3}", ft_probe.work_speedup),
+                    ),
+                    (
+                        "ft_resolve_wall_speedup",
+                        format!("{:.3}", ft_probe.wall_speedup),
+                    ),
+                    (
+                        "epoch_reuse_speedup",
+                        format!("{:.3}", reuse_probe.work_speedup),
+                    ),
+                    (
+                        "epoch_reuse_wall_speedup",
+                        format!("{:.3}", reuse_probe.wall_speedup),
+                    ),
+                ],
+            );
             std::fs::write(&out_file, report.to_pretty())
                 .map_err(|e| format!("{out_file}: {e}"))?;
             let summary = report.get("summary").expect("report has summary");
@@ -1115,6 +1176,34 @@ fn run(cmd: Command) -> Result<String, String> {
                     .and_then(|v| v.as_bool())
                     .unwrap_or(false),
             );
+            if let Some(large_summary) = report.get("large").and_then(|l| l.get("summary")) {
+                let _ = writeln!(
+                    out,
+                    "  large: {} instances  ratio_vs_cstar max {}  failures {}  violations {}",
+                    large_summary
+                        .get("instances")
+                        .and_then(|v| v.as_i64())
+                        .unwrap_or(-1),
+                    large_summary
+                        .get("ratio_vs_cstar_max")
+                        .and_then(|v| v.as_f64())
+                        .map(|r| format!("{r:.6}"))
+                        .unwrap_or_else(|| "n/a".into()),
+                    large_summary
+                        .get("failures")
+                        .and_then(|v| v.as_i64())
+                        .unwrap_or(-1),
+                    large_summary
+                        .get("violations")
+                        .and_then(|v| v.as_i64())
+                        .unwrap_or(-1),
+                );
+            }
+            let _ = writeln!(
+                out,
+                "  perf: ft_resolve_speedup {:.2}x  epoch_reuse_speedup {:.2}x  (pivot-work ratios)",
+                ft_probe.work_speedup, reuse_probe.work_speedup,
+            );
             let baseline_path = baseline.unwrap_or_else(|| {
                 if smoke {
                     "BENCH_baseline_smoke.json".into()
@@ -1123,12 +1212,28 @@ fn run(cmd: Command) -> Result<String, String> {
                 }
             });
             if write_baseline {
-                let doc = make_baseline(&report, perf_floor);
+                use mtsp::bench::json::Value;
+                use mtsp::harness::{
+                    attach_section, EPOCH_REUSE_FLOOR, FT_RESOLVE_FLOOR, PERF_FLOOR_FT_KEY,
+                    PERF_FLOOR_LARGE_KEY, PERF_FLOOR_REUSE_KEY,
+                };
+                let mut doc = make_baseline(&report, perf_floor);
+                // The speedup floors are fixed committed contracts, not
+                // measurements: warm eta-file resolves must stay >= 2x
+                // cold, cross-epoch LP reuse >= 1.5x rebuild.
+                doc = attach_section(doc, PERF_FLOOR_FT_KEY, Value::Float(FT_RESOLVE_FLOOR));
+                doc = attach_section(doc, PERF_FLOOR_REUSE_KEY, Value::Float(EPOCH_REUSE_FLOOR));
+                if report.get("large").is_some() {
+                    // The large tier solves multi-thousand-task LPs; its
+                    // floor is correspondingly conservative (jobs/s).
+                    doc = attach_section(doc, PERF_FLOOR_LARGE_KEY, Value::Float(0.02));
+                }
                 std::fs::write(&baseline_path, doc.to_pretty())
                     .map_err(|e| format!("{baseline_path}: {e}"))?;
                 let _ = writeln!(
                     out,
-                    "baseline written to {baseline_path} (perf floor {perf_floor} jobs/s)"
+                    "baseline written to {baseline_path} (perf floor {perf_floor} jobs/s, \
+                     ft floor {FT_RESOLVE_FLOOR}x, reuse floor {EPOCH_REUSE_FLOOR}x)"
                 );
             } else if no_gate {
                 let _ = writeln!(out, "gate: skipped (--no-gate)");
@@ -1142,8 +1247,17 @@ fn run(cmd: Command) -> Result<String, String> {
                     .map_err(|e| format!("{baseline_path}: {e}"))?;
                 let base =
                     mtsp::bench::json::parse(&text).map_err(|e| format!("{baseline_path}: {e}"))?;
-                let problems =
-                    check_regression(&report, &base, Some(outcome.metrics.throughput), tol);
+                let problems = mtsp::harness::check_regression_perf(
+                    &report,
+                    &base,
+                    &mtsp::harness::MeasuredPerf {
+                        throughput: Some(outcome.metrics.throughput),
+                        large_throughput,
+                        ft_resolve_speedup: Some(ft_probe.work_speedup),
+                        epoch_reuse_speedup: Some(reuse_probe.work_speedup),
+                    },
+                    tol,
+                );
                 if problems.is_empty() {
                     let _ = writeln!(out, "gate: ok vs {baseline_path}");
                 } else {
