@@ -1,0 +1,229 @@
+//! The `durability` audit section: crash-recovery of the daemon's
+//! write-ahead journals, folded into the gated quality report.
+//!
+//! The audit runs a fixed mutating script against a journaling
+//! [`Registry`](mtsp_serve::Registry) (at `--shards 1` and `--shards 4`),
+//! captures a `SNAPSHOT`, then *abandons* the registry without closing
+//! anything and corrupts the journal with a torn partial record — an
+//! in-process stand-in for `kill -9` mid-append. A fresh registry over
+//! the same directory must replay the journals back into live sessions
+//! whose `SNAPSHOT` is byte-identical to the pre-crash capture, with the
+//! torn tail truncated rather than poisoning recovery.
+//!
+//! Dropping a registry joins its shard threads instead of killing them,
+//! so the abandonment here is gentler than a real `SIGKILL`; the real
+//! thing — `kill -9` on the `mtsp serve` binary and a byte-diff across
+//! the restart — is covered by `tests/serve_daemon.rs` and the CI
+//! crash-recovery smoke job. What this section pins deterministically is
+//! the recovery arithmetic: the journal bytes, the replay, the torn-tail
+//! truncation, and the `serve.wal_appends` / `serve.recoveries`
+//! counters, all identical for any shard count.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use mtsp_bench::json::Value;
+use mtsp_obs::{Counter, Counters};
+use mtsp_serve::daemon::serve_script;
+use mtsp_serve::{FsyncPolicy, Quotas, Registry, ServeConfig};
+
+/// Version tag of the durability section (bumped with the script).
+pub const DURABILITY_SECTION_VERSION: &str = "mtsp-durability-audit v1";
+
+/// Everything the durability audit produced.
+#[derive(Debug, Clone)]
+pub struct DurabilityOutcome {
+    /// The JSON section embedded under `"durability"` in the audit report.
+    pub section: Value,
+    /// Pre-crash + post-recovery transcript (shards = 1 run), for
+    /// debugging.
+    pub transcript: String,
+}
+
+/// 64-bit FNV-1a fingerprint, rendered as fixed-width hex.
+fn fnv1a64_hex(bytes: &[u8]) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+/// A fresh journal directory per run (pid + monotonic counter), so
+/// concurrent audits and reruns never share state.
+fn fresh_wal_dir() -> PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("mtsp-durability-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Pre-crash script: two tenants mutate, one snapshot, nothing closed.
+fn pre_crash_script() -> &'static str {
+    "\
+OPEN acme s1 4
+OPEN zork s1 4
+ARRIVE acme s1 0.0 8.0 5.0 4.0 3.5
+ARRIVE acme s1 0.0 6.0 3.25 2.5 2.25
+EDGE acme s1 0.0 0 1
+ARRIVE zork s1 0.0 7.0 3.75 2.75 2.25
+REPLAN acme s1 0.0
+REPLAN zork s1 0.0
+START acme s1 0.5 0
+SNAPSHOT acme s1
+"
+}
+
+/// Extracts the body of the last `OK SNAPSHOT <k>` reply in a transcript.
+fn last_snapshot_body(transcript: &str) -> Option<String> {
+    let lines: Vec<&str> = transcript.lines().collect();
+    for (i, line) in lines.iter().enumerate().rev() {
+        if let Some(k) = line
+            .strip_prefix("OK SNAPSHOT ")
+            .and_then(|k| k.parse::<usize>().ok())
+        {
+            return Some(
+                lines[i + 1..i + 1 + k]
+                    .iter()
+                    .map(|l| format!("{l}\n"))
+                    .collect(),
+            );
+        }
+    }
+    None
+}
+
+struct CrashRun {
+    transcript: String,
+    recovered_match: bool,
+    /// Life-1 counters (journal writes happen pre-crash).
+    pre: Counters,
+    /// Life-2 counters (recoveries happen post-restart).
+    post: Counters,
+}
+
+fn run_one(shards: usize) -> CrashRun {
+    let dir = fresh_wal_dir();
+    let cfg = |dir: &PathBuf| ServeConfig {
+        shards,
+        quotas: Quotas::unlimited(),
+        wal_dir: Some(dir.clone()),
+        fsync: FsyncPolicy::Always,
+        ..ServeConfig::default()
+    };
+
+    // Life 1: mutate, snapshot, then abandon without closing — the
+    // journals stay behind exactly as after a crash.
+    let reg = Registry::new(cfg(&dir));
+    let mut transcript = serve_script(&reg, pre_crash_script());
+    let pre_snapshot = last_snapshot_body(&transcript).expect("pre-crash script snapshots acme/s1");
+    let pre = reg.counters();
+    reg.shutdown();
+
+    // Tear the final record: append half a line with no trailing
+    // newline, as a crash mid-`write` would leave it.
+    let journal = dir.join("acme").join("s1.log");
+    {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&journal)
+            .expect("stage-1 journal exists");
+        f.write_all(b"arrive 0.5 9.0 5.")
+            .expect("append torn record");
+    }
+
+    // Life 2: recovery must truncate the torn tail and resume the
+    // sessions bit-exactly. The first reply is acme/s1's snapshot —
+    // compare its body against the pre-crash capture.
+    let reg = Registry::new(cfg(&dir));
+    let post_transcript = serve_script(&reg, "SNAPSHOT acme s1\nSNAPSHOT zork s1\nSTATS\n");
+    let recovered_match = post_transcript
+        .lines()
+        .next()
+        .and_then(|l| l.strip_prefix("OK SNAPSHOT "))
+        .and_then(|k| k.parse::<usize>().ok())
+        .is_some_and(|k| {
+            let body: String = post_transcript
+                .lines()
+                .skip(1)
+                .take(k)
+                .map(|l| format!("{l}\n"))
+                .collect();
+            body == pre_snapshot
+        });
+    let post = reg.counters();
+    reg.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    transcript.push_str(&post_transcript);
+    CrashRun {
+        transcript,
+        recovered_match,
+        pre,
+        post,
+    }
+}
+
+/// Runs the durability audit (shards 1 vs 4) and folds it into a section.
+pub fn run_durability_audit() -> DurabilityOutcome {
+    let one = run_one(1);
+    let four = run_one(4);
+    let shard_consistent =
+        one.transcript == four.transcript && one.pre == four.pre && one.post == four.post;
+    let section = Value::object([
+        (
+            "recovered_match",
+            Value::from(one.recovered_match && four.recovered_match),
+        ),
+        ("recoveries", Value::from(one.post.get(Counter::Recoveries))),
+        ("shard_consistent", Value::from(shard_consistent)),
+        (
+            "transcript_fnv",
+            Value::from(fnv1a64_hex(one.transcript.as_bytes())),
+        ),
+        ("version", Value::from(DURABILITY_SECTION_VERSION)),
+        ("wal_appends", Value::from(one.pre.get(Counter::WalAppends))),
+    ]);
+    DurabilityOutcome {
+        section,
+        transcript: one.transcript,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durability_audit_recovers_bit_exactly() {
+        let a = run_durability_audit();
+        let b = run_durability_audit();
+        assert_eq!(a.section, b.section, "section must be byte-stable");
+        assert_eq!(
+            a.section.get("recovered_match").and_then(Value::as_bool),
+            Some(true),
+            "transcript:\n{}",
+            a.transcript
+        );
+        assert_eq!(
+            a.section.get("shard_consistent").and_then(Value::as_bool),
+            Some(true)
+        );
+        // Both sessions come back after the synthetic crash.
+        assert_eq!(a.section.get("recoveries").and_then(Value::as_i64), Some(2));
+        // 2 creations + 7 accepted events in life 1; life 2 appends
+        // nothing (snapshots only compact).
+        assert_eq!(
+            a.section.get("wal_appends").and_then(Value::as_i64),
+            Some(9)
+        );
+        assert!(
+            a.transcript.contains("serve.recoveries 2"),
+            "{}",
+            a.transcript
+        );
+    }
+}

@@ -164,6 +164,19 @@ pub fn check_regression_perf(
         (Some(cur), Some(base)) => check_serve(cur, base, &mut problems),
     }
 
+    // The durability (crash-recovery audit) section, when present: same
+    // exact-equality discipline as `serve`, plus two hard invariants —
+    // recovery must reproduce the pre-crash snapshot bit-exactly and be
+    // identical across shard counts.
+    match (current.get("durability"), baseline.get("durability")) {
+        (None, None) => {}
+        (Some(_), None) => {
+            problems.push("durability section is new; regenerate the baseline".into())
+        }
+        (None, Some(_)) => problems.push("durability section disappeared from the report".into()),
+        (Some(cur), Some(base)) => check_durability(cur, base, &mut problems),
+    }
+
     // The large-n tier, when present: a complete corpus report (with its
     // own embedded scenarios) nested under `"large"`, held to the same
     // quality bar as the main report. Presence must match between report
@@ -402,6 +415,42 @@ fn check_serve(current: &Value, baseline: &Value, problems: &mut Vec<String>) {
     for name in cur.keys() {
         if !base.contains_key(name) {
             problems.push(format!("serve.{name} is new; regenerate the baseline"));
+        }
+    }
+}
+
+/// Durability-section half of [`check_regression`]: exact equality plus
+/// the two invariants that hold regardless of the committed numbers.
+fn check_durability(current: &Value, baseline: &Value, problems: &mut Vec<String>) {
+    if current.get("recovered_match").and_then(Value::as_bool) != Some(true) {
+        problems.push(
+            "durability: post-recovery snapshot differs from the pre-crash capture \
+             (recovered_match != true)"
+                .into(),
+        );
+    }
+    if current.get("shard_consistent").and_then(Value::as_bool) != Some(true) {
+        problems.push(
+            "durability: recovery differs across shard counts (shard_consistent != true)".into(),
+        );
+    }
+    let (Some(cur), Some(base)) = (current.as_object(), baseline.as_object()) else {
+        problems.push("durability: not a JSON object".into());
+        return;
+    };
+    for (name, bval) in base {
+        match cur.get(name) {
+            Some(cval) if cval == bval => {}
+            Some(cval) => problems.push(format!(
+                "durability.{name} changed {bval:?} -> {cval:?}; the crash-recovery audit is \
+                 exact — regenerate the baseline if the change is intended"
+            )),
+            None => problems.push(format!("durability.{name} missing from the report")),
+        }
+    }
+    for name in cur.keys() {
+        if !base.contains_key(name) {
+            problems.push(format!("durability.{name} is new; regenerate the baseline"));
         }
     }
 }
@@ -720,6 +769,73 @@ mod tests {
             problems
                 .iter()
                 .any(|p| p.contains("serve section disappeared")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn durability_section_drift_is_caught() {
+        let report = smoke_report();
+        let durability = Value::object([
+            ("recovered_match", Value::Bool(true)),
+            ("recoveries", Value::Int(2)),
+            ("shard_consistent", Value::Bool(true)),
+            ("wal_appends", Value::Int(9)),
+        ]);
+        let with_dur = attach_section(report.clone(), "durability", durability.clone());
+        let baseline = make_baseline(&with_dur, 0.5);
+
+        // Identical sections pass.
+        let problems = check_regression(&with_dur, &baseline, None, DEFAULT_RATIO_TOL);
+        assert!(problems.is_empty(), "{problems:?}");
+
+        // Any field drift fails exactly.
+        let drifted = attach_section(
+            with_dur.clone(),
+            "durability",
+            attach_section(durability.clone(), "wal_appends", Value::Int(10)),
+        );
+        let problems = check_regression(&drifted, &baseline, None, DEFAULT_RATIO_TOL);
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("durability.wal_appends changed")),
+            "{problems:?}"
+        );
+
+        // A failed recovery diff fails even against a matching baseline.
+        let broken = attach_section(
+            with_dur.clone(),
+            "durability",
+            attach_section(durability.clone(), "recovered_match", Value::Bool(false)),
+        );
+        let bad_base = make_baseline(&broken, 0.5);
+        let problems = check_regression(&broken, &bad_base, None, DEFAULT_RATIO_TOL);
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("recovered_match != true")),
+            "{problems:?}"
+        );
+
+        // Presence must match in both directions.
+        let problems = check_regression(
+            &with_dur,
+            &make_baseline(&report, 0.5),
+            None,
+            DEFAULT_RATIO_TOL,
+        );
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("durability section is new")),
+            "{problems:?}"
+        );
+        let problems = check_regression(&report, &baseline, None, DEFAULT_RATIO_TOL);
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("durability section disappeared")),
             "{problems:?}"
         );
     }

@@ -41,6 +41,12 @@
 //!   solves, snapshot → restore) replayed in-process against the
 //!   [`mtsp_serve::Registry`] at shard counts 1 and 4, folded into a
 //!   `"serve"` section the gate compares by exact equality.
+//! * [`durability`](crate::durability) — the crash-recovery audit: a
+//!   journaling registry is mutated, abandoned mid-flight with a torn
+//!   final journal record, and rebuilt from its write-ahead logs; the
+//!   post-recovery snapshot must match the pre-crash capture
+//!   byte-for-byte at shard counts 1 and 4, folded into a
+//!   `"durability"` section under the same exact-equality gate.
 //!
 //! ```
 //! use mtsp_harness::{run_corpus, check_regression, make_baseline, Corpus, RunConfig};
@@ -57,6 +63,7 @@
 
 pub mod audit;
 pub mod corpus;
+pub mod durability;
 pub mod gate;
 pub mod perf;
 pub mod runner;
@@ -65,6 +72,7 @@ pub mod serve;
 
 pub use audit::{AuditAccumulator, GUARANTEE_SLACK, REPORT_FORMAT};
 pub use corpus::Corpus;
+pub use durability::{run_durability_audit, DurabilityOutcome, DURABILITY_SECTION_VERSION};
 pub use gate::{
     attach_scenarios, attach_section, check_regression, check_regression_perf, make_baseline,
     MeasuredPerf, DEFAULT_RATIO_TOL, PERF_FLOOR_FT_KEY, PERF_FLOOR_KEY, PERF_FLOOR_LARGE_KEY,

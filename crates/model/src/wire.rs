@@ -857,6 +857,37 @@ pub struct SessionLog {
     pub events: Vec<SessionEvent>,
 }
 
+/// Renders one event as its `mtsp-session v1` line (no trailing
+/// newline) — the record format shared by snapshot bodies and the
+/// daemon's per-session write-ahead journals.
+pub fn write_session_event(e: &SessionEvent) -> String {
+    let mut s = String::new();
+    match e {
+        SessionEvent::Arrive { t, times } => {
+            let _ = write!(s, "arrive {t:?}");
+            for p in times {
+                let _ = write!(s, " {p:?}");
+            }
+        }
+        SessionEvent::Edge { t, pred, succ } => {
+            let _ = write!(s, "edge {t:?} {pred} {succ}");
+        }
+        SessionEvent::Machines { t, m } => {
+            let _ = write!(s, "machines {t:?} {m}");
+        }
+        SessionEvent::Start { t, task } => {
+            let _ = write!(s, "start {t:?} {task}");
+        }
+        SessionEvent::Finish { t, task } => {
+            let _ = write!(s, "finish {t:?} {task}");
+        }
+        SessionEvent::Replan { t } => {
+            let _ = write!(s, "replan {t:?}");
+        }
+    }
+    s
+}
+
 /// Serializes a session log to the `mtsp-session v1` text format.
 pub fn write_session_log(log: &SessionLog) -> String {
     let mut s = String::new();
@@ -864,32 +895,82 @@ pub fn write_session_log(log: &SessionLog) -> String {
     let _ = writeln!(s, "m {}", log.m);
     let _ = writeln!(s, "events {}", log.events.len());
     for e in &log.events {
-        match e {
-            SessionEvent::Arrive { t, times } => {
-                let _ = write!(s, "arrive {t:?}");
-                for p in times {
-                    let _ = write!(s, " {p:?}");
-                }
-                s.push('\n');
-            }
-            SessionEvent::Edge { t, pred, succ } => {
-                let _ = writeln!(s, "edge {t:?} {pred} {succ}");
-            }
-            SessionEvent::Machines { t, m } => {
-                let _ = writeln!(s, "machines {t:?} {m}");
-            }
-            SessionEvent::Start { t, task } => {
-                let _ = writeln!(s, "start {t:?} {task}");
-            }
-            SessionEvent::Finish { t, task } => {
-                let _ = writeln!(s, "finish {t:?} {task}");
-            }
-            SessionEvent::Replan { t } => {
-                let _ = writeln!(s, "replan {t:?}");
-            }
-        }
+        s.push_str(&write_session_event(e));
+        s.push('\n');
     }
     s
+}
+
+/// Parses one `mtsp-session v1` event line against the session's
+/// profile-domain machine count `m` (needed to validate `arrive`
+/// arity). `ln` is the 1-based line number echoed in errors. Used by
+/// [`parse_session_log`] and by the daemon's journal reader, which
+/// consumes records one line at a time.
+pub fn parse_session_event(line: &str, ln: usize, m: usize) -> Result<SessionEvent, ModelError> {
+    let mut parts = line.split_whitespace();
+    let kind = parts.next().ok_or_else(|| err(ln, "empty event line"))?;
+    let toks: Vec<&str> = parts.collect();
+    let t = parse_finite(
+        toks.first().ok_or_else(|| err(ln, "event missing time"))?,
+        ln,
+        "event time",
+    )?;
+    let need = |n: usize, shape: &str| -> Result<(), ModelError> {
+        if toks.len() == n {
+            Ok(())
+        } else {
+            Err(err(ln, format!("{kind} expects '{kind} {shape}'")))
+        }
+    };
+    match kind {
+        "arrive" => {
+            let times = toks[1..]
+                .iter()
+                .map(|tok| parse_finite(tok, ln, "processing time"))
+                .collect::<Result<Vec<_>, _>>()?;
+            if times.len() != m {
+                return Err(err(
+                    ln,
+                    format!("arrive has {} times, expected m = {m}", times.len()),
+                ));
+            }
+            Ok(SessionEvent::Arrive { t, times })
+        }
+        "edge" => {
+            need(3, "<t> <pred> <succ>")?;
+            Ok(SessionEvent::Edge {
+                t,
+                pred: parse_usize(toks[1], ln, "pred task")?,
+                succ: parse_usize(toks[2], ln, "succ task")?,
+            })
+        }
+        "machines" => {
+            need(2, "<t> <m>")?;
+            Ok(SessionEvent::Machines {
+                t,
+                m: parse_usize(toks[1], ln, "machine count")?,
+            })
+        }
+        "start" => {
+            need(2, "<t> <task>")?;
+            Ok(SessionEvent::Start {
+                t,
+                task: parse_usize(toks[1], ln, "task id")?,
+            })
+        }
+        "finish" => {
+            need(2, "<t> <task>")?;
+            Ok(SessionEvent::Finish {
+                t,
+                task: parse_usize(toks[1], ln, "task id")?,
+            })
+        }
+        "replan" => {
+            need(1, "<t>")?;
+            Ok(SessionEvent::Replan { t })
+        }
+        _ => Err(err(ln, format!("unknown event kind '{kind}'"))),
+    }
 }
 
 /// Parses the `mtsp-session v1` text format. Errors carry the 1-based
@@ -938,14 +1019,8 @@ pub fn parse_session_log(text: &str) -> Result<SessionLog, ModelError> {
         let (ln, line) = lines
             .next()
             .ok_or_else(|| err(0, "unexpected end of input in event list"))?;
-        let mut parts = line.split_whitespace();
-        let kind = parts.next().expect("non-empty line has a first token");
-        let toks: Vec<&str> = parts.collect();
-        let t = parse_finite(
-            toks.first().ok_or_else(|| err(ln, "event missing time"))?,
-            ln,
-            "event time",
-        )?;
+        let ev = parse_session_event(line, ln, m)?;
+        let t = ev.time();
         if t < last_t {
             return Err(err(
                 ln,
@@ -953,62 +1028,6 @@ pub fn parse_session_log(text: &str) -> Result<SessionLog, ModelError> {
             ));
         }
         last_t = t;
-        let need = |n: usize, shape: &str| -> Result<(), ModelError> {
-            if toks.len() == n {
-                Ok(())
-            } else {
-                Err(err(ln, format!("{kind} expects '{kind} {shape}'")))
-            }
-        };
-        let ev = match kind {
-            "arrive" => {
-                let times = toks[1..]
-                    .iter()
-                    .map(|tok| parse_finite(tok, ln, "processing time"))
-                    .collect::<Result<Vec<_>, _>>()?;
-                if times.len() != m {
-                    return Err(err(
-                        ln,
-                        format!("arrive has {} times, expected m = {m}", times.len()),
-                    ));
-                }
-                SessionEvent::Arrive { t, times }
-            }
-            "edge" => {
-                need(3, "<t> <pred> <succ>")?;
-                SessionEvent::Edge {
-                    t,
-                    pred: parse_usize(toks[1], ln, "pred task")?,
-                    succ: parse_usize(toks[2], ln, "succ task")?,
-                }
-            }
-            "machines" => {
-                need(2, "<t> <m>")?;
-                SessionEvent::Machines {
-                    t,
-                    m: parse_usize(toks[1], ln, "machine count")?,
-                }
-            }
-            "start" => {
-                need(2, "<t> <task>")?;
-                SessionEvent::Start {
-                    t,
-                    task: parse_usize(toks[1], ln, "task id")?,
-                }
-            }
-            "finish" => {
-                need(2, "<t> <task>")?;
-                SessionEvent::Finish {
-                    t,
-                    task: parse_usize(toks[1], ln, "task id")?,
-                }
-            }
-            "replan" => {
-                need(1, "<t>")?;
-                SessionEvent::Replan { t }
-            }
-            _ => return Err(err(ln, format!("unknown event kind '{kind}'"))),
-        };
         events.push(ev);
     }
     if let Some((ln, line)) = lines.next() {

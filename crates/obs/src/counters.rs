@@ -62,11 +62,19 @@ pub enum Counter {
     /// Epoch re-plans served by mutating the already-loaded suffix LP
     /// instead of rebuilding it (`mtsp-engine`).
     LpReuses,
+    /// Records appended to per-session write-ahead journals: one per
+    /// journal creation (`OPEN`/`RESTORE`) and one per accepted mutating
+    /// event (`mtsp-serve`). Zero when the daemon runs without
+    /// `--wal-dir`.
+    WalAppends,
+    /// Sessions rebuilt from their on-disk journal at daemon startup
+    /// (`mtsp-serve`).
+    Recoveries,
 }
 
 impl Counter {
     /// Every counter, in array-layout (= serialization) order.
-    pub const ALL: [Counter; 17] = [
+    pub const ALL: [Counter; 19] = [
         Counter::SimplexIterations,
         Counter::Ftran,
         Counter::Btran,
@@ -84,6 +92,8 @@ impl Counter {
         Counter::ServeSnapshots,
         Counter::EtaUpdates,
         Counter::LpReuses,
+        Counter::WalAppends,
+        Counter::Recoveries,
     ];
 
     /// Stable dotted name (`layer.event`), used as the JSON key in report
@@ -107,6 +117,8 @@ impl Counter {
             Counter::ServeSnapshots => "serve.snapshots",
             Counter::EtaUpdates => "lp.eta_updates",
             Counter::LpReuses => "engine.lp_reuses",
+            Counter::WalAppends => "serve.wal_appends",
+            Counter::Recoveries => "serve.recoveries",
         }
     }
 
@@ -207,6 +219,8 @@ mod tests {
         assert_eq!(Counter::SessionEpochs.name(), "engine.session_epochs");
         assert_eq!(Counter::ServeRequests.name(), "serve.requests");
         assert_eq!(Counter::ServeSnapshots.name(), "serve.snapshots");
+        assert_eq!(Counter::WalAppends.name(), "serve.wal_appends");
+        assert_eq!(Counter::Recoveries.name(), "serve.recoveries");
     }
 
     #[test]

@@ -100,10 +100,51 @@ pub fn serve_stdio(reg: &Registry) -> io::Result<()> {
     serve_connection(reg, stdin.lock(), stdout.lock())
 }
 
-/// Binds a Unix socket (replacing any stale file at `path`) and serves
-/// every connection on its own thread, forever.
+/// Reclaims `path` for a fresh Unix listener, or explains why it can't.
+///
+/// The old behaviour — unconditional `remove_file` — would happily
+/// delete a regular file the operator pointed at by mistake, or yank a
+/// *live* daemon's socket out from under it (both daemons then appear
+/// healthy while clients of the first hang forever). Now:
+///
+/// * nothing at `path` → fine, bind will create it;
+/// * a non-socket at `path` → refuse with `AddrInUse`, never unlink;
+/// * a socket at `path` → probe-connect: a live listener is an error,
+///   only a dead (stale, e.g. left by `kill -9`) socket is unlinked.
+fn reclaim_unix_socket(path: &Path) -> io::Result<()> {
+    use std::os::unix::fs::FileTypeExt;
+    let meta = match std::fs::symlink_metadata(path) {
+        Ok(meta) => meta,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(e),
+    };
+    if !meta.file_type().is_socket() {
+        return Err(io::Error::new(
+            io::ErrorKind::AddrInUse,
+            format!(
+                "{} exists and is not a socket; refusing to replace it",
+                path.display()
+            ),
+        ));
+    }
+    match std::os::unix::net::UnixStream::connect(path) {
+        Ok(_) => Err(io::Error::new(
+            io::ErrorKind::AddrInUse,
+            format!(
+                "{} is a live socket (another daemon is serving it)",
+                path.display()
+            ),
+        )),
+        Err(_) => std::fs::remove_file(path),
+    }
+}
+
+/// Binds a Unix socket and serves every connection on its own thread,
+/// forever. A stale socket file left by a crashed daemon is reclaimed;
+/// a live socket or a non-socket file at `path` is a bind error (see
+/// [`reclaim_unix_socket`]).
 pub fn serve_unix(reg: Arc<Registry>, path: &Path) -> io::Result<()> {
-    let _ = std::fs::remove_file(path);
+    reclaim_unix_socket(path)?;
     let listener = std::os::unix::net::UnixListener::bind(path)?;
     for stream in listener.incoming() {
         let stream = stream?;
@@ -176,5 +217,39 @@ SNAPSHOT acme s1
         let out = serve_script(&reg, "RESTORE acme s1 5\nmtsp-session v1\n");
         assert!(out.starts_with("ERR 2 proto unexpected EOF"), "{out}");
         reg.shutdown();
+    }
+
+    #[test]
+    fn socket_reclaim_is_safe() {
+        let dir = std::env::temp_dir().join(format!("mtsp-reclaim-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Nothing at the path: fine.
+        let fresh = dir.join("fresh.sock");
+        assert!(reclaim_unix_socket(&fresh).is_ok());
+        assert!(!fresh.exists(), "reclaim must not create anything");
+
+        // A regular file is never unlinked.
+        let file = dir.join("data.txt");
+        std::fs::write(&file, b"precious").unwrap();
+        let err = reclaim_unix_socket(&file).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::AddrInUse);
+        assert_eq!(std::fs::read(&file).unwrap(), b"precious");
+
+        // A live socket is refused; the listener keeps working.
+        let live = dir.join("live.sock");
+        let listener = std::os::unix::net::UnixListener::bind(&live).unwrap();
+        let err = reclaim_unix_socket(&live).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::AddrInUse);
+        assert!(err.to_string().contains("live socket"), "{err}");
+        drop(listener);
+
+        // After the listener is gone the same file is stale: reclaimed.
+        assert!(live.exists(), "socket file survives its listener");
+        assert!(reclaim_unix_socket(&live).is_ok());
+        assert!(!live.exists(), "stale socket unlinked");
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

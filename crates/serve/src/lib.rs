@@ -25,10 +25,23 @@
 //!   its full event log; replaying the log through a fresh session
 //!   reproduces every planned allotment bit-exactly, so the daemon can
 //!   crash-recover and tenants can migrate across shards or processes.
+//! * **Durability** ([`wal`], [`ServeConfig::wal_dir`]): with a journal
+//!   directory configured, every accepted mutating request is appended
+//!   to a per-session write-ahead journal *before* its OK reply is sent
+//!   (fsync policy [`FsyncPolicy`]), and a restarted daemon replays the
+//!   journals back into live sessions — `kill -9` recovery is
+//!   bit-exact, `SNAPSHOT` doubles as atomic journal compaction, and a
+//!   torn final record is truncated rather than poisoning recovery.
+//! * **Failure isolation**: a panic inside a request handler is caught
+//!   on its shard thread; the affected session is fenced with structured
+//!   `ERR … session` replies (its journal kept for restart healing)
+//!   while every other session and shard keeps serving, and a dead shard
+//!   degrades [`Registry::dispatch`] to structured errors instead of
+//!   aborting the daemon.
 //! * **Telemetry**: deterministic `serve.requests` / `serve.rejections` /
-//!   `serve.snapshots` counters merged across shards (`STATS`, audit
-//!   reports), plus non-deterministic per-shard queue-depth gauges
-//!   (stderr only).
+//!   `serve.snapshots` / `serve.wal_appends` / `serve.recoveries`
+//!   counters merged across shards (`STATS`, audit reports), plus
+//!   non-deterministic per-shard queue-depth gauges (stderr only).
 //!
 //! Transports: stdin/stdout pipes ([`daemon::serve_stdio`]), Unix
 //! sockets ([`daemon::serve_unix`]), TCP ([`daemon::serve_tcp`]), and an
@@ -41,8 +54,10 @@ pub mod daemon;
 pub mod quota;
 pub mod registry;
 pub mod session;
+pub mod wal;
 
 pub use client::ClientOutcome;
 pub use quota::Quotas;
 pub use registry::{Registry, Reply, ServeConfig};
 pub use session::ServedSession;
+pub use wal::FsyncPolicy;

@@ -104,12 +104,24 @@ impl ServedSession {
         self.log.len()
     }
 
-    /// Renders the `mtsp-session v1` snapshot body.
-    pub fn snapshot(&self) -> String {
-        write_session_log(&SessionLog {
+    /// The most recently logged event — the record the shard worker
+    /// journals after a successful mutation.
+    pub fn last_event(&self) -> Option<&SessionEvent> {
+        self.log.last()
+    }
+
+    /// The session's state as a [`SessionLog`] value (snapshot bodies
+    /// and journal compaction both render exactly this).
+    pub fn to_log(&self) -> SessionLog {
+        SessionLog {
             m: self.m,
             events: self.log.clone(),
-        })
+        }
+    }
+
+    /// Renders the `mtsp-session v1` snapshot body.
+    pub fn snapshot(&self) -> String {
+        write_session_log(&self.to_log())
     }
 
     /// Applies `ARRIVE`: quota-checks the task budget, admits the

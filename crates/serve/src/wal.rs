@@ -1,0 +1,498 @@
+//! Per-session write-ahead journals: the daemon's durability layer.
+//!
+//! Every session journals to `<root>/<tenant>/<session>.log` in the
+//! existing `mtsp-session v1` text format — the same bytes `SNAPSHOT`
+//! emits, because the event log *is* the session state. The shard
+//! worker appends each accepted mutating record **before** the OK reply
+//! is written, so a reply the client has seen is a record the journal
+//! holds (modulo the configured [`FsyncPolicy`] window). On startup the
+//! registry [`scan`]s the root and replays every journal through
+//! `ServedSession::restore`, resuming each session bit-exactly.
+//!
+//! Two format liberties make the snapshot grammar append-friendly:
+//!
+//! * The `events <k>` header count is written at journal creation (and
+//!   refreshed by compaction) but **ignored by the journal reader**,
+//!   which consumes records to end-of-file — appends never rewrite the
+//!   header.
+//! * A torn final record (a partial `write` persisted by a crash) is
+//!   detected — missing trailing newline, or an unparsable last line —
+//!   and truncated instead of poisoning recovery. Mid-file damage is
+//!   real corruption and fails the journal.
+//!
+//! `SNAPSHOT` doubles as compaction: the journal is atomically
+//! rewritten (temp file in the same directory + rename) to the exact
+//! snapshot bytes, resynchronizing the header count and discarding any
+//! previously truncated tail bytes.
+
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use mtsp_model::wire::{
+    parse_session_event, write_session_event, write_session_log, SessionLog, SESSION_HEADER,
+};
+
+/// When journal appends are pushed to stable storage.
+///
+/// The policy bounds the *crash window* — how many acknowledged records
+/// a power loss can lose. Process crashes (`kill -9`, panics) lose
+/// nothing under any policy: the kernel still holds the written bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fsync` after every append: an acknowledged record survives even
+    /// power loss. The default, and the slowest.
+    Always,
+    /// `fsync` every [`FsyncPolicy::INTERVAL_APPENDS`] appends per
+    /// journal (and always on compaction): bounded-loss middle ground.
+    Interval,
+    /// Never `fsync`: the OS flushes on its own schedule. Survives
+    /// process crashes, not power loss.
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Appends between syncs under [`FsyncPolicy::Interval`].
+    pub const INTERVAL_APPENDS: usize = 32;
+
+    /// Parses the CLI spelling (`always` / `interval` / `never`).
+    pub fn parse(s: &str) -> Option<FsyncPolicy> {
+        match s {
+            "always" => Some(FsyncPolicy::Always),
+            "interval" => Some(FsyncPolicy::Interval),
+            "never" => Some(FsyncPolicy::Never),
+            _ => None,
+        }
+    }
+
+    /// The stable CLI spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            FsyncPolicy::Always => "always",
+            FsyncPolicy::Interval => "interval",
+            FsyncPolicy::Never => "never",
+        }
+    }
+}
+
+/// One journal found by [`scan`]: its owner key, the recovered log, and
+/// whether a torn final record was truncated to produce it.
+#[derive(Debug, Clone)]
+pub struct RecoveredSession {
+    /// Tenant name (journal directory).
+    pub tenant: String,
+    /// Session name (journal file stem).
+    pub session: String,
+    /// The replayable event log, torn tail already dropped.
+    pub log: SessionLog,
+    /// `true` if a partial final record was truncated during recovery.
+    pub torn: bool,
+}
+
+struct WalFile {
+    file: File,
+    /// Appends since the last `fsync` (drives [`FsyncPolicy::Interval`]).
+    unsynced: usize,
+}
+
+/// One shard's journal writer: open append handles for the sessions it
+/// owns, rooted at the shared journal directory. Shards never share a
+/// session, so per-shard writers need no cross-shard coordination.
+pub struct Wal {
+    root: PathBuf,
+    fsync: FsyncPolicy,
+    files: HashMap<(String, String), WalFile>,
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal")
+            .field("root", &self.root)
+            .field("fsync", &self.fsync)
+            .field("open_files", &self.files.len())
+            .finish()
+    }
+}
+
+impl Wal {
+    /// A writer rooted at `root` (created if missing).
+    pub fn new(root: &Path, fsync: FsyncPolicy) -> io::Result<Wal> {
+        fs::create_dir_all(root)?;
+        Ok(Wal {
+            root: root.to_path_buf(),
+            fsync,
+            files: HashMap::new(),
+        })
+    }
+
+    /// `<root>/<tenant>/<session>.log`. Names are validated wire tokens
+    /// (`[A-Za-z0-9._-]`, no separators), so the key cannot escape the
+    /// root.
+    pub fn path_of(&self, tenant: &str, session: &str) -> PathBuf {
+        self.root.join(tenant).join(format!("{session}.log"))
+    }
+
+    fn sync_after_append(&mut self, key: &(String, String)) -> io::Result<()> {
+        let wf = self.files.get_mut(key).expect("journal handle exists");
+        wf.unsynced += 1;
+        let due = match self.fsync {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::Interval => wf.unsynced >= FsyncPolicy::INTERVAL_APPENDS,
+            FsyncPolicy::Never => false,
+        };
+        if due {
+            wf.file.sync_data()?;
+            wf.unsynced = 0;
+        }
+        Ok(())
+    }
+
+    /// Creates (truncating any stale leftover) the journal for a fresh
+    /// session and writes its header block.
+    pub fn create(&mut self, tenant: &str, session: &str, m: usize) -> io::Result<()> {
+        let log = SessionLog { m, events: vec![] };
+        self.write_full(tenant, session, &log)
+    }
+
+    /// Appends one event record. The record is a single `write` of one
+    /// `\n`-terminated line, so a crash can tear at most the final
+    /// record — exactly what [`recover_session_log`] truncates.
+    pub fn append(
+        &mut self,
+        tenant: &str,
+        session: &str,
+        event: &mtsp_model::wire::SessionEvent,
+    ) -> io::Result<()> {
+        let key = (tenant.to_string(), session.to_string());
+        if !self.files.contains_key(&key) {
+            let path = self.path_of(tenant, session);
+            let file = OpenOptions::new().append(true).open(&path)?;
+            self.files
+                .insert(key.clone(), WalFile { file, unsynced: 0 });
+        }
+        let mut line = write_session_event(event);
+        line.push('\n');
+        let wf = self.files.get_mut(&key).expect("just inserted");
+        wf.file.write_all(line.as_bytes())?;
+        self.sync_after_append(&key)
+    }
+
+    /// Atomically rewrites the journal to the full `mtsp-session v1`
+    /// rendering of `log` (temp file + rename in the journal's own
+    /// directory) and re-opens the append handle on the new file. Used
+    /// for `SNAPSHOT` compaction, `RESTORE` journal creation, and
+    /// post-recovery tail cleanup.
+    pub fn write_full(&mut self, tenant: &str, session: &str, log: &SessionLog) -> io::Result<()> {
+        let path = self.path_of(tenant, session);
+        let dir = path.parent().expect("journal path has a tenant directory");
+        fs::create_dir_all(dir)?;
+        let tmp = dir.join(format!("{session}.log.tmp"));
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(write_session_log(log).as_bytes())?;
+            if self.fsync != FsyncPolicy::Never {
+                f.sync_data()?;
+            }
+        }
+        fs::rename(&tmp, &path)?;
+        if self.fsync != FsyncPolicy::Never {
+            // Persist the rename itself; failure here only widens the
+            // power-loss window, so a filesystem that refuses directory
+            // fsync (some CI sandboxes) is tolerated.
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        let key = (tenant.to_string(), session.to_string());
+        let file = OpenOptions::new().append(true).open(&path)?;
+        self.files.insert(key, WalFile { file, unsynced: 0 });
+        Ok(())
+    }
+
+    /// Drops the journal of a closed session.
+    pub fn remove(&mut self, tenant: &str, session: &str) -> io::Result<()> {
+        self.files
+            .remove(&(tenant.to_string(), session.to_string()));
+        match fs::remove_file(self.path_of(tenant, session)) {
+            Err(e) if e.kind() != io::ErrorKind::NotFound => Err(e),
+            _ => Ok(()),
+        }
+    }
+
+    /// Closes the append handle without touching the file (failure
+    /// isolation: a failed session stops journaling but its journal
+    /// stays on disk for the next recovery).
+    pub fn detach(&mut self, tenant: &str, session: &str) {
+        self.files
+            .remove(&(tenant.to_string(), session.to_string()));
+    }
+}
+
+/// Reads a journal leniently: the `events <k>` header count is ignored
+/// (appends leave it stale) and a torn final record — missing trailing
+/// newline, or an unparsable last line — is truncated. Damage anywhere
+/// else is corruption and fails. Returns the replayable log and whether
+/// a tail was truncated.
+pub fn recover_session_log(text: &str) -> Result<(SessionLog, bool), String> {
+    let mut torn = false;
+    let mut body = text;
+    if !body.is_empty() && !body.ends_with('\n') {
+        // The final line never made it to disk whole; it may even be a
+        // parsable prefix of the real record, so drop it unconditionally.
+        torn = true;
+        body = match body.rfind('\n') {
+            Some(i) => &body[..i + 1],
+            None => "",
+        };
+    }
+    let lines: Vec<&str> = body.lines().collect();
+    if lines.len() < 3 {
+        return Err("journal truncated inside its header".into());
+    }
+    if lines[0] != SESSION_HEADER {
+        return Err(format!(
+            "expected header '{SESSION_HEADER}', got '{}'",
+            lines[0]
+        ));
+    }
+    let m = match lines[1].strip_prefix("m ") {
+        Some(v) => v
+            .trim()
+            .parse::<usize>()
+            .map_err(|e| format!("bad m value: {e}"))?,
+        None => return Err(format!("expected 'm <count>', got '{}'", lines[1])),
+    };
+    if m == 0 {
+        return Err("m must be at least 1".into());
+    }
+    if lines[2]
+        .strip_prefix("events ")
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .is_none()
+    {
+        return Err(format!("expected 'events <count>', got '{}'", lines[2]));
+    }
+    let mut events = Vec::with_capacity(lines.len().saturating_sub(3));
+    let last = lines.len() - 1;
+    for (i, line) in lines.iter().enumerate().skip(3) {
+        match parse_session_event(line, i + 1, m) {
+            Ok(ev) => events.push(ev),
+            Err(_) if i == last => {
+                // A torn record that still ended in '\n' (short write of
+                // a buffered line): truncate, same as the newline case.
+                torn = true;
+                break;
+            }
+            Err(e) => return Err(format!("corrupt journal record: {e}")),
+        }
+    }
+    Ok((SessionLog { m, events }, torn))
+}
+
+/// Scans a journal root for `<tenant>/<session>.log` files and recovers
+/// each, sorted by `(tenant, session)` so replay order (and therefore
+/// every recovery-side counter) is deterministic. Unreadable or
+/// mid-file-corrupt journals are skipped with a stderr warning — one
+/// bad journal must not block the rest of the fleet from recovering.
+pub fn scan(root: &Path) -> Vec<RecoveredSession> {
+    let mut out = Vec::new();
+    let Ok(tenants) = fs::read_dir(root) else {
+        return out;
+    };
+    for tdir in tenants.flatten() {
+        if !tdir.file_type().map(|t| t.is_dir()).unwrap_or(false) {
+            continue;
+        }
+        let tenant = tdir.file_name().to_string_lossy().into_owned();
+        let Ok(sessions) = fs::read_dir(tdir.path()) else {
+            continue;
+        };
+        for entry in sessions.flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            // `.log` files only: leftover `.log.tmp` compaction files
+            // from a crash mid-rename are stale by construction.
+            let Some(session) = name.strip_suffix(".log") else {
+                continue;
+            };
+            let path = entry.path();
+            match fs::read_to_string(&path) {
+                Ok(text) => match recover_session_log(&text) {
+                    Ok((log, torn)) => out.push(RecoveredSession {
+                        tenant: tenant.clone(),
+                        session: session.to_string(),
+                        log,
+                        torn,
+                    }),
+                    Err(e) => {
+                        eprintln!("# mtsp serve: skipping journal {}: {e}", path.display());
+                    }
+                },
+                Err(e) => {
+                    eprintln!("# mtsp serve: unreadable journal {}: {e}", path.display());
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| {
+        (a.tenant.as_str(), a.session.as_str()).cmp(&(b.tenant.as_str(), b.session.as_str()))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtsp_model::wire::SessionEvent;
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mtsp-wal-test-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn demo_events() -> Vec<SessionEvent> {
+        vec![
+            SessionEvent::Arrive {
+                t: 0.0,
+                times: vec![4.0, 2.5],
+            },
+            SessionEvent::Arrive {
+                t: 0.0,
+                times: vec![3.0, 1.75],
+            },
+            SessionEvent::Edge {
+                t: 0.0,
+                pred: 0,
+                succ: 1,
+            },
+            SessionEvent::Replan { t: 0.0 },
+            SessionEvent::Start { t: 0.5, task: 0 },
+            SessionEvent::Finish { t: 2.0, task: 0 },
+        ]
+    }
+
+    #[test]
+    fn create_append_scan_roundtrip() {
+        let root = tmp_root("roundtrip");
+        let mut wal = Wal::new(&root, FsyncPolicy::Never).unwrap();
+        wal.create("acme", "s1", 2).unwrap();
+        for ev in demo_events() {
+            wal.append("acme", "s1", &ev).unwrap();
+        }
+        wal.create("zork", "s9", 3).unwrap();
+
+        let found = scan(&root);
+        assert_eq!(found.len(), 2);
+        // Sorted by (tenant, session).
+        assert_eq!(found[0].tenant, "acme");
+        assert_eq!(found[1].tenant, "zork");
+        assert_eq!(found[0].log.m, 2);
+        assert_eq!(found[0].log.events, demo_events());
+        assert!(!found[0].torn);
+        assert_eq!(found[1].log.events.len(), 0);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_fatal() {
+        let root = tmp_root("torn");
+        let mut wal = Wal::new(&root, FsyncPolicy::Always).unwrap();
+        wal.create("acme", "s1", 2).unwrap();
+        for ev in demo_events() {
+            wal.append("acme", "s1", &ev).unwrap();
+        }
+        // Simulate a crash mid-write: a partial record with no newline.
+        // "edge 3.0 1" is a parsable-looking prefix of a longer record,
+        // the nastiest torn shape.
+        let path = wal.path_of("acme", "s1");
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"edge 3.0 1").unwrap();
+        drop(f);
+
+        let found = scan(&root);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].torn, "partial tail must be flagged");
+        assert_eq!(found[0].log.events, demo_events(), "tail dropped exactly");
+
+        // A torn record that did keep its newline but not its shape.
+        fs::write(
+            &path,
+            "mtsp-session v1\nm 2\nevents 0\nreplan 0.0\narrive 1.0 2.0\n",
+        )
+        .unwrap();
+        let found = scan(&root);
+        assert!(found[0].torn);
+        assert_eq!(found[0].log.events, vec![SessionEvent::Replan { t: 0.0 }]);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn mid_file_corruption_is_fatal_for_that_journal_only() {
+        let root = tmp_root("corrupt");
+        let mut wal = Wal::new(&root, FsyncPolicy::Never).unwrap();
+        wal.create("acme", "bad", 2).unwrap();
+        wal.create("acme", "good", 2).unwrap();
+        wal.append("acme", "good", &SessionEvent::Replan { t: 0.0 })
+            .unwrap();
+        let path = wal.path_of("acme", "bad");
+        fs::write(
+            &path,
+            "mtsp-session v1\nm 2\nevents 0\nwobble 0.0\nreplan 1.0\n",
+        )
+        .unwrap();
+        let found = scan(&root);
+        assert_eq!(found.len(), 1, "corrupt journal skipped, good one kept");
+        assert_eq!(found[0].session, "good");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn compaction_rewrites_atomically_and_appends_continue() {
+        let root = tmp_root("compact");
+        let mut wal = Wal::new(&root, FsyncPolicy::Interval).unwrap();
+        wal.create("acme", "s1", 2).unwrap();
+        let evs = demo_events();
+        for ev in &evs {
+            wal.append("acme", "s1", ev).unwrap();
+        }
+        let log = SessionLog {
+            m: 2,
+            events: evs.clone(),
+        };
+        wal.write_full("acme", "s1", &log).unwrap();
+        let text = fs::read_to_string(wal.path_of("acme", "s1")).unwrap();
+        assert_eq!(
+            text,
+            write_session_log(&log),
+            "compacted journal is byte-identical to the snapshot"
+        );
+        assert!(!root.join("acme").join("s1.log.tmp").exists());
+        // Appends keep working on the renamed file.
+        wal.append("acme", "s1", &SessionEvent::Replan { t: 3.0 })
+            .unwrap();
+        let (rec, torn) =
+            recover_session_log(&fs::read_to_string(wal.path_of("acme", "s1")).unwrap()).unwrap();
+        assert!(!torn);
+        assert_eq!(rec.events.len(), evs.len() + 1);
+
+        wal.remove("acme", "s1").unwrap();
+        assert!(scan(&root).is_empty());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn fsync_policy_parses_stable_spellings() {
+        assert_eq!(FsyncPolicy::parse("always"), Some(FsyncPolicy::Always));
+        assert_eq!(FsyncPolicy::parse("interval"), Some(FsyncPolicy::Interval));
+        assert_eq!(FsyncPolicy::parse("never"), Some(FsyncPolicy::Never));
+        assert_eq!(FsyncPolicy::parse("sometimes"), None);
+        for p in [
+            FsyncPolicy::Always,
+            FsyncPolicy::Interval,
+            FsyncPolicy::Never,
+        ] {
+            assert_eq!(FsyncPolicy::parse(p.name()), Some(p));
+        }
+    }
+}

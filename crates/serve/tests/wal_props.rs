@@ -1,0 +1,145 @@
+//! Property tests for the write-ahead journal's recovery semantics.
+//!
+//! The WAL reuses the `mtsp-session v1` event-log format with two
+//! liberties: the `events <k>` header count goes stale under appends
+//! (the reader ignores it), and a torn final record — the signature of a
+//! crash mid-`write` — is truncated instead of failing recovery. These
+//! properties pin both over random event logs:
+//!
+//! * **Prefix + suffix = whole**: compacting a journal at *any* event
+//!   boundary and appending the remaining records recovers the same log
+//!   as writing it in one piece — so compaction can race a crash at any
+//!   point without changing what recovery sees.
+//! * **Torn tail is invisible**: chopping the journal anywhere inside
+//!   its final record recovers exactly the log without that record,
+//!   flagged torn — even when the chopped bytes parse as a valid,
+//!   shorter record.
+//! * **Writer/reader round-trip**: a journal produced by the real
+//!   [`Wal`] writer (create + appends, any fsync policy) scans back as
+//!   the event sequence that was appended.
+
+use mtsp_model::wire::{write_session_event, write_session_log, SessionEvent, SessionLog};
+use mtsp_serve::wal::{self, recover_session_log, Wal};
+use proptest::prelude::*;
+
+/// Deterministically decodes one event from a `(kind, a, b, raw)` pick.
+/// Times are made strictly increasing by the caller via the event index.
+fn decode_event(kind: usize, t: f64, a: usize, b: usize, m: usize) -> SessionEvent {
+    match kind % 6 {
+        0 => SessionEvent::Arrive {
+            t,
+            // Any positive, finite profile round-trips through the
+            // journal; admissibility (A1/A2) is a session concern, not a
+            // journal one.
+            times: (1..=m).map(|l| 1.0 + (a + l) as f64 / 4.0).collect(),
+        },
+        1 => SessionEvent::Edge {
+            t,
+            pred: a % 8,
+            succ: 8 + b % 8,
+        },
+        2 => SessionEvent::Machines { t, m },
+        3 => SessionEvent::Start { t, task: a % 16 },
+        4 => SessionEvent::Finish { t, task: b % 16 },
+        _ => SessionEvent::Replan { t },
+    }
+}
+
+fn random_log(m: usize, picks: &[(usize, usize, usize)]) -> SessionLog {
+    let events = picks
+        .iter()
+        .enumerate()
+        .map(|(i, &(kind, a, b))| decode_event(kind, i as f64 * 0.5, a, b, m))
+        .collect();
+    SessionLog { m, events }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prefix_plus_suffix_recovers_the_whole_log(
+        m in 1usize..=6,
+        picks in proptest::collection::vec((0usize..6, 0usize..32, 0usize..32), 12),
+        split in 0usize..=12,
+    ) {
+        let log = random_log(m, &picks);
+        let split = split.min(log.events.len());
+        let whole = recover_session_log(&write_session_log(&log)).unwrap();
+        prop_assert!(!whole.1, "clean journal must not read as torn");
+        prop_assert_eq!(&whole.0.events, &log.events);
+
+        // Compact at `split`, then append the rest as the shard would:
+        // the header's event count goes stale and must be ignored.
+        let prefix = SessionLog {
+            m,
+            events: log.events[..split].to_vec(),
+        };
+        let mut text = write_session_log(&prefix);
+        for ev in &log.events[split..] {
+            text.push_str(&write_session_event(ev));
+            text.push('\n');
+        }
+        let (recovered, torn) = recover_session_log(&text).unwrap();
+        prop_assert!(!torn);
+        prop_assert_eq!(recovered.events, log.events);
+        prop_assert_eq!(recovered.m, m);
+    }
+
+    #[test]
+    fn torn_tail_recovers_the_log_without_its_last_record(
+        m in 1usize..=6,
+        picks in proptest::collection::vec((0usize..6, 0usize..32, 0usize..32), 1..=10),
+        chop in 0usize..200,
+    ) {
+        let log = random_log(m, &picks);
+        let all_but_last = SessionLog {
+            m,
+            events: log.events[..log.events.len() - 1].to_vec(),
+        };
+        let mut text = write_session_log(&all_but_last);
+        let last_line = write_session_event(log.events.last().unwrap());
+        // Tear anywhere strictly inside the final record (keeping at
+        // least one byte, losing at least the newline).
+        let keep = 1 + chop % last_line.len();
+        text.push_str(&last_line[..keep]);
+
+        let (recovered, torn) = recover_session_log(&text).unwrap();
+        prop_assert!(torn, "a missing trailing newline must read as torn");
+        prop_assert_eq!(recovered.events, all_but_last.events);
+    }
+
+    #[test]
+    fn wal_writer_scans_back_exactly(
+        m in 1usize..=4,
+        picks in proptest::collection::vec((0usize..6, 0usize..32, 0usize..32), 0..=8),
+        fsync_pick in 0usize..3,
+    ) {
+        use mtsp_serve::FsyncPolicy;
+        let fsync = [FsyncPolicy::Always, FsyncPolicy::Interval, FsyncPolicy::Never]
+            [fsync_pick % 3];
+        let dir = std::env::temp_dir().join(format!(
+            "mtsp-wal-props-{}-{m}-{}-{fsync_pick}",
+            std::process::id(),
+            picks.len(),
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let log = random_log(m, &picks);
+        let mut w = Wal::new(&dir, fsync).unwrap();
+        w.create("acme", "s1", m).unwrap();
+        for ev in &log.events {
+            w.append("acme", "s1", ev).unwrap();
+        }
+        drop(w);
+
+        let scanned = wal::scan(&dir);
+        prop_assert_eq!(scanned.len(), 1);
+        prop_assert_eq!(&scanned[0].tenant, "acme");
+        prop_assert_eq!(&scanned[0].session, "s1");
+        prop_assert!(!scanned[0].torn);
+        prop_assert_eq!(&scanned[0].log.events, &log.events);
+        prop_assert_eq!(scanned[0].log.m, m);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

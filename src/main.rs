@@ -111,6 +111,8 @@ enum Command {
         max_sessions: usize,
         max_tasks: usize,
         max_replans_per_sec: f64,
+        wal_dir: Option<String>,
+        fsync: mtsp::serve::FsyncPolicy,
     },
     Client {
         target: ClientTarget,
@@ -169,6 +171,7 @@ USAGE:
              [--seed S] [--trace FILE]
   mtsp serve [--stdio|--socket PATH|--tcp ADDR] [--shards N] [--queue-cap N]
             [--max-sessions N] [--max-tasks N] [--max-replans-per-sec R]
+            [--wal-dir DIR] [--fsync always|interval|never]
   mtsp client (--socket PATH|--tcp ADDR) [script|-] [--snapshot-out FILE]
   mtsp bounds <m>
   mtsp tables [2|3|4|all]
@@ -601,6 +604,13 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 })
                 .transpose()?
                 .unwrap_or(defaults.max_replans_per_sec);
+            let wal_dir = take_value(&mut rest, "--wal-dir")?;
+            let fsync_arg = take_value(&mut rest, "--fsync")?;
+            let fsync = match &fsync_arg {
+                None => mtsp::serve::FsyncPolicy::Always,
+                Some(v) => mtsp::serve::FsyncPolicy::parse(v)
+                    .ok_or_else(|| format!("bad --fsync: {v} (want always, interval, or never)"))?,
+            };
             if !rest.is_empty() {
                 return Err(format!("unexpected arguments: {rest:?}"));
             }
@@ -610,6 +620,9 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             if !max_replans_per_sec.is_finite() || max_replans_per_sec < 0.0 {
                 return Err("--max-replans-per-sec must be finite and non-negative".into());
             }
+            if fsync_arg.is_some() && wal_dir.is_none() {
+                return Err("--fsync requires --wal-dir".into());
+            }
             Ok(Command::Serve {
                 transport,
                 shards,
@@ -617,6 +630,8 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 max_sessions,
                 max_tasks,
                 max_replans_per_sec,
+                wal_dir,
+                fsync,
             })
         }
         "client" => {
@@ -1048,8 +1063,13 @@ fn run(cmd: Command) -> Result<String, String> {
             // wire script replayed at 1 and 4 shards, compared
             // byte-for-byte and embedded under "serve".
             let serve = mtsp::harness::run_serve_audit();
+            // And the crash-recovery audit: journal, abandon with a torn
+            // tail, recover, byte-diff the snapshots — under "durability".
+            let durability = mtsp::harness::run_durability_audit();
             let report = mtsp::harness::attach_scenarios(outcome.report, scen.section);
-            let mut report = mtsp::harness::attach_section(report, "serve", serve.section);
+            let report = mtsp::harness::attach_section(report, "serve", serve.section);
+            let mut report =
+                mtsp::harness::attach_section(report, "durability", durability.section);
             // The large-n tier (n up to 2048) rides along on full audits
             // only — it exercises the eta-file resolve path on LPs far
             // past the audit grid, and its own report (with an embedded
@@ -1175,6 +1195,20 @@ fn run(cmd: Command) -> Result<String, String> {
                     .get("shard_consistent")
                     .and_then(|v| v.as_bool())
                     .unwrap_or(false),
+            );
+            let dur_sec = report
+                .get("durability")
+                .expect("report has durability section");
+            let dur_int = |k: &str| dur_sec.get(k).and_then(|v| v.as_i64()).unwrap_or(-1);
+            let dur_bool = |k: &str| dur_sec.get(k).and_then(|v| v.as_bool()).unwrap_or(false);
+            let _ = writeln!(
+                out,
+                "  durability: {} wal_appends  {} recoveries  recovered_match {}  \
+                 shard_consistent {}",
+                dur_int("wal_appends"),
+                dur_int("recoveries"),
+                dur_bool("recovered_match"),
+                dur_bool("shard_consistent"),
             );
             if let Some(large_summary) = report.get("large").and_then(|l| l.get("summary")) {
                 let _ = writeln!(
@@ -1362,8 +1396,17 @@ fn run(cmd: Command) -> Result<String, String> {
             max_sessions,
             max_tasks,
             max_replans_per_sec,
+            wal_dir,
+            fsync,
         } => {
             use mtsp::serve::{daemon, Quotas, Registry, ServeConfig};
+            // Validate the journal root up front: a missing or unwritable
+            // directory should fail the launch, not the shard threads.
+            let wal_path = wal_dir.map(std::path::PathBuf::from);
+            if let Some(dir) = &wal_path {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| format!("serve --wal-dir {}: {e}", dir.display()))?;
+            }
             let reg = Registry::new(ServeConfig {
                 shards,
                 queue_cap,
@@ -1372,11 +1415,21 @@ fn run(cmd: Command) -> Result<String, String> {
                     max_tasks,
                     max_replans_per_sec,
                 },
+                wal_dir: wal_path.clone(),
+                fsync,
                 ..ServeConfig::default()
             });
             // Operational chatter goes to stderr: on --stdio, stdout *is*
             // the protocol stream.
             eprintln!("# mtsp serve: {shards} shard(s), queue cap {queue_cap}");
+            if let Some(dir) = &wal_path {
+                let recovered = reg.counters().get(mtsp::obs::Counter::Recoveries);
+                eprintln!(
+                    "# mtsp serve: journaling to {} (fsync {}), {recovered} session(s) recovered",
+                    dir.display(),
+                    fsync.name()
+                );
+            }
             match transport {
                 ServeTransport::Stdio => {
                     daemon::serve_stdio(&reg).map_err(|e| format!("serve: {e}"))?;
@@ -1395,6 +1448,14 @@ fn run(cmd: Command) -> Result<String, String> {
                             (
                                 "snapshots",
                                 c.get(mtsp::obs::Counter::ServeSnapshots).to_string(),
+                            ),
+                            (
+                                "wal_appends",
+                                c.get(mtsp::obs::Counter::WalAppends).to_string(),
+                            ),
+                            (
+                                "recoveries",
+                                c.get(mtsp::obs::Counter::Recoveries).to_string(),
                             ),
                         ],
                     );
@@ -1907,11 +1968,13 @@ mod tests {
                 max_sessions: mtsp::serve::Quotas::default().max_sessions,
                 max_tasks: mtsp::serve::Quotas::default().max_tasks,
                 max_replans_per_sec: mtsp::serve::Quotas::default().max_replans_per_sec,
+                wal_dir: None,
+                fsync: mtsp::serve::FsyncPolicy::Always,
             }
         );
         let cmd = parse_args(&argv(
             "serve --socket /tmp/s.sock --shards 2 --queue-cap 16 --max-sessions 3 \
-             --max-tasks 50 --max-replans-per-sec 1.5",
+             --max-tasks 50 --max-replans-per-sec 1.5 --wal-dir /tmp/wal --fsync interval",
         ))
         .unwrap();
         assert_eq!(
@@ -1923,6 +1986,8 @@ mod tests {
                 max_sessions: 3,
                 max_tasks: 50,
                 max_replans_per_sec: 1.5,
+                wal_dir: Some("/tmp/wal".into()),
+                fsync: mtsp::serve::FsyncPolicy::Interval,
             }
         );
         let cmd = parse_args(&argv("serve --tcp 127.0.0.1:9000")).unwrap();
@@ -1939,6 +2004,11 @@ mod tests {
         assert!(parse_args(&argv("serve --queue-cap 0")).is_err());
         assert!(parse_args(&argv("serve --max-replans-per-sec -1")).is_err());
         assert!(parse_args(&argv("serve extra")).is_err());
+        assert!(
+            parse_args(&argv("serve --fsync always")).is_err(),
+            "--fsync without --wal-dir is a config error"
+        );
+        assert!(parse_args(&argv("serve --wal-dir /tmp/w --fsync sometimes")).is_err());
 
         let cmd = parse_args(&argv(
             "client --socket /tmp/s.sock sc.txt --snapshot-out snap.txt",

@@ -46,7 +46,8 @@ fn smoke_schedules_cross_validate_in_sim() {
 /// is the same check CI runs, kept in-tree so a quality regression fails
 /// `cargo test` before it ever reaches CI. The audit report is the
 /// *merged* document: the corpus quality report plus the online scenario
-/// audit under `"scenarios"` and the daemon wire audit under `"serve"`.
+/// audit under `"scenarios"`, the daemon wire audit under `"serve"`, and
+/// the crash-recovery audit under `"durability"`.
 #[test]
 fn committed_smoke_baseline_gates_green() {
     let text = std::fs::read_to_string("BENCH_baseline_smoke.json")
@@ -55,8 +56,10 @@ fn committed_smoke_baseline_gates_green() {
     let outcome = run_corpus(&Corpus::builtin_smoke(), &RunConfig::default());
     let scen = mtsp::harness::run_scenario_grid(&mtsp::harness::ScenarioGrid::builtin_smoke(), 0);
     let serve = mtsp::harness::run_serve_audit();
+    let durability = mtsp::harness::run_durability_audit();
     let report = mtsp::harness::attach_scenarios(outcome.report, scen.section);
     let report = mtsp::harness::attach_section(report, "serve", serve.section);
+    let report = mtsp::harness::attach_section(report, "durability", durability.section);
     // No measured throughput here: the perf floor is CI's concern; this
     // test pins quality only.
     let problems =

@@ -146,10 +146,15 @@ struct SocketDaemon {
 
 impl SocketDaemon {
     fn spawn(dir: &std::path::Path, name: &str) -> SocketDaemon {
+        SocketDaemon::spawn_with(dir, name, &[])
+    }
+
+    fn spawn_with(dir: &std::path::Path, name: &str, extra: &[&str]) -> SocketDaemon {
         let path = dir.join(name);
         let child = mtsp()
             .args(["serve", "--socket"])
             .arg(&path)
+            .args(extra)
             .stdin(Stdio::null())
             .stdout(Stdio::null())
             .stderr(Stdio::null())
@@ -172,6 +177,110 @@ impl Drop for SocketDaemon {
         let _ = self.child.kill();
         let _ = self.child.wait();
     }
+}
+
+/// Waits until a connect on the daemon's socket actually succeeds — the
+/// bare `path.exists()` check in `spawn` is not enough when a stale
+/// socket file from a killed daemon is still sitting at the path.
+fn wait_live(path: &std::path::Path) {
+    for _ in 0..200 {
+        if std::os::unix::net::UnixStream::connect(path).is_ok() {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    panic!("daemon never started listening on {}", path.display());
+}
+
+#[test]
+fn wal_recovery_after_kill_nine_is_bit_exact() {
+    let dir = std::env::temp_dir().join(format!("mtsp-serve-wal-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    // Mutating script ending in a snapshot; nothing is closed, so the
+    // journals are the only thing carrying the state across the kill.
+    let script1 = "\
+OPEN acme s1 4
+ARRIVE acme s1 0.0 6.0 3.25 2.5 2.25
+ARRIVE acme s1 0.0 5.0 2.75 2.0 1.75
+EDGE acme s1 0.0 0 1
+REPLAN acme s1 0.0
+START acme s1 0.5 0
+SNAPSHOT acme s1
+";
+    let script1_path = dir.join("script1.txt");
+    std::fs::write(&script1_path, script1).unwrap();
+    let script2_path = dir.join("script2.txt");
+    std::fs::write(&script2_path, "SNAPSHOT acme s1\n").unwrap();
+
+    let mut recovered = Vec::new();
+    for shards in ["1", "4"] {
+        let wal = dir.join(format!("wal{shards}"));
+        let wal_flags = ["--wal-dir", wal.to_str().unwrap(), "--fsync", "always"];
+
+        // Life A: mutate and snapshot, then SIGKILL mid-flight (`kill`
+        // is SIGKILL on Unix) — no shutdown path runs.
+        let sock = format!("crash{shards}.sock");
+        let pre;
+        {
+            let mut daemon = SocketDaemon::spawn_with(
+                &dir,
+                &sock,
+                &[&["--shards", shards], &wal_flags[..]].concat(),
+            );
+            let pre_path = dir.join(format!("pre{shards}.txt"));
+            let out = mtsp()
+                .args(["client", "--socket"])
+                .arg(&daemon.path)
+                .arg(&script1_path)
+                .args(["--snapshot-out"])
+                .arg(&pre_path)
+                .output()
+                .unwrap();
+            assert!(out.status.success(), "stage-1 client failed");
+            let transcript = String::from_utf8(out.stdout).unwrap();
+            assert!(
+                !transcript.contains("ERR "),
+                "all-green script: {transcript}"
+            );
+            pre = std::fs::read_to_string(&pre_path).unwrap();
+            assert!(pre.starts_with("mtsp-session v1"), "{pre}");
+            daemon.child.kill().expect("SIGKILL daemon");
+            let _ = daemon.child.wait();
+        }
+
+        // Life B: same socket path (exercising stale-socket reclaim) and
+        // same journal dir. The recovered session's snapshot must be
+        // byte-identical to the pre-kill capture.
+        let daemon = SocketDaemon::spawn_with(
+            &dir,
+            &sock,
+            &[&["--shards", shards], &wal_flags[..]].concat(),
+        );
+        wait_live(&daemon.path);
+        let post_path = dir.join(format!("post{shards}.txt"));
+        let out = mtsp()
+            .args(["client", "--socket"])
+            .arg(&daemon.path)
+            .arg(&script2_path)
+            .args(["--snapshot-out"])
+            .arg(&post_path)
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "post-recovery client failed");
+        let post = std::fs::read_to_string(&post_path).unwrap();
+        assert_eq!(
+            post, pre,
+            "snapshot after kill -9 + restart diverged (shards {shards})"
+        );
+        recovered.push(post);
+        drop(daemon);
+    }
+    assert_eq!(
+        recovered[0], recovered[1],
+        "recovery must be identical across shard counts"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
