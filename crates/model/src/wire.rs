@@ -87,20 +87,26 @@ fn parse_usize(tok: &str, ln: usize, what: &str) -> Result<usize, ModelError> {
 }
 
 /// Checks that `name` is a valid tenant/session token: non-empty, at most
-/// [`MAX_NAME_LEN`] bytes, over `[A-Za-z0-9._-]`.
+/// [`MAX_NAME_LEN`] bytes, over `[A-Za-z0-9._-]`, and not all dots —
+/// names become journal path components, so `.` and `..` must never be
+/// accepted.
 pub fn valid_name(name: &str) -> bool {
     !name.is_empty()
         && name.len() <= MAX_NAME_LEN
         && name
             .bytes()
             .all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-')
+        && name.bytes().any(|b| b != b'.')
 }
 
 fn parse_name(tok: &str, ln: usize, what: &str) -> Result<String, ModelError> {
     if !valid_name(tok) {
         return Err(err(
             ln,
-            format!("bad {what} '{tok}': names are 1-{MAX_NAME_LEN} chars of [A-Za-z0-9._-]"),
+            format!(
+                "bad {what} '{tok}': names are 1-{MAX_NAME_LEN} chars of [A-Za-z0-9._-], \
+                 not all dots"
+            ),
         ));
     }
     Ok(tok.to_string())
@@ -1308,6 +1314,16 @@ ERR 12 quota tenant acme exceeds max sessions (2)";
         assert!(!valid_name("weird!"));
         assert!(!valid_name(&"x".repeat(MAX_NAME_LEN + 1)));
         assert!(valid_name(&"x".repeat(MAX_NAME_LEN)));
+        // All-dot names would be path components '.'/'..' in the journal
+        // layout — never valid, at any length.
+        assert!(!valid_name("."));
+        assert!(!valid_name(".."));
+        assert!(!valid_name("..."));
+        assert!(valid_name(".a."));
+        assert!(valid_name("..hidden"));
+        // Requests carrying them are rejected at parse time.
+        assert!(parse_request("OPEN .. s1 4", 1).is_err());
+        assert!(parse_request("OPEN acme . 4", 1).is_err());
     }
 
     #[test]

@@ -424,17 +424,26 @@ impl ShardState {
             let key = (r.tenant.clone(), r.session.clone());
             match ServedSession::restore(r.log, self.session_cfg.clone(), &self.quotas, ctx) {
                 Ok(s) => {
-                    self.admit_tenant_unchecked(&r.tenant);
                     // Compact immediately: resync the header count and
-                    // shed any torn tail bytes the reader truncated.
+                    // shed any torn tail bytes the reader truncated. A
+                    // failed rewrite fences the session instead of
+                    // serving it — otherwise the next append would land
+                    // right after the stale torn tail on disk, fusing
+                    // into a mid-file-corrupt record that a later
+                    // restart refuses to recover at all.
                     if let Some(w) = self.wal.as_mut() {
                         if let Err(e) = w.write_full(&r.tenant, &r.session, &s.to_log()) {
                             eprintln!(
-                                "# mtsp serve: journal compaction failed for {}/{}: {e}",
+                                "# mtsp serve: journal compaction failed for {}/{}: {e}; \
+                                 fencing the session",
                                 r.tenant, r.session
                             );
+                            w.detach(&r.tenant, &r.session);
+                            self.failed.insert(key);
+                            continue;
                         }
                     }
+                    self.admit_tenant_unchecked(&r.tenant);
                     self.sessions.insert(key, s);
                     ctx.counters_mut().inc(Counter::Recoveries);
                 }
@@ -1166,6 +1175,52 @@ mod tests {
             Response::error(1, ErrCode::NoSession, "no session zork/s1"),
             "CLOSE removed the journal"
         );
+        reg.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_post_recovery_compaction_fences_the_session() {
+        let dir = tmp_wal_dir("fence-compaction");
+        {
+            let mut w = Wal::new(&dir, FsyncPolicy::Never).unwrap();
+            w.create("acme", "s1", 2).unwrap();
+        }
+        // The review scenario: a torn tail the reader truncates, whose
+        // partial bytes stay on disk unless compaction rewrites them.
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(dir.join("acme").join("s1.log"))
+            .unwrap();
+        f.write_all(b"arrive 0.0 1.0").unwrap();
+        drop(f);
+        // A directory squatting on the compaction temp path makes
+        // write_full fail during recovery.
+        std::fs::create_dir_all(dir.join("acme").join("s1.log.tmp")).unwrap();
+
+        let reg = Registry::new(ServeConfig {
+            shards: 2,
+            wal_dir: Some(dir.clone()),
+            fsync: FsyncPolicy::Never,
+            ..ServeConfig::default()
+        });
+        // The session must be fenced, not served: an append landing
+        // after the stale torn tail would fuse into a mid-file-corrupt
+        // record and lose the journal entirely on the next restart.
+        assert_eq!(reg.counters().get(Counter::Recoveries), 0);
+        assert_eq!(reg.tracked_tenants(), 0, "fenced sessions hold no quota");
+        let r = reg.dispatch(1, req("ARRIVE acme s1 0.0 2.0 1.0", 1), String::new());
+        assert_eq!(
+            r.response,
+            Response::error(
+                1,
+                ErrCode::Session,
+                "session acme/s1 failed; reopen, restore, or restart to recover"
+            )
+        );
+        // The journal survives on disk for the next recovery attempt.
+        assert!(dir.join("acme").join("s1.log").exists());
         reg.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -31,7 +31,8 @@ use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 
 use mtsp_model::wire::{
-    parse_session_event, write_session_event, write_session_log, SessionLog, SESSION_HEADER,
+    parse_session_event, valid_name, write_session_event, write_session_log, SessionLog,
+    SESSION_HEADER,
 };
 
 /// When journal appends are pushed to stable storage.
@@ -127,9 +128,14 @@ impl Wal {
     }
 
     /// `<root>/<tenant>/<session>.log`. Names are validated wire tokens
-    /// (`[A-Za-z0-9._-]`, no separators), so the key cannot escape the
-    /// root.
+    /// (`[A-Za-z0-9._-]`, no separators, not all dots), so the key
+    /// cannot escape the root; the assertion is a backstop against any
+    /// future path that skips [`valid_name`].
     pub fn path_of(&self, tenant: &str, session: &str) -> PathBuf {
+        assert!(
+            valid_name(tenant) && valid_name(session),
+            "journal key {tenant:?}/{session:?} is not a validated wire token"
+        );
         self.root.join(tenant).join(format!("{session}.log"))
     }
 
@@ -305,6 +311,16 @@ pub fn scan(root: &Path) -> Vec<RecoveredSession> {
             continue;
         }
         let tenant = tdir.file_name().to_string_lossy().into_owned();
+        // Only directories that are valid wire tokens can hold journals
+        // the daemon wrote; anything else is a stray no request could
+        // ever address (it would pin tenant quota forever, unclosable).
+        if !valid_name(&tenant) {
+            eprintln!(
+                "# mtsp serve: skipping journal directory {}: not a valid tenant name",
+                tdir.path().display()
+            );
+            continue;
+        }
         let Ok(sessions) = fs::read_dir(tdir.path()) else {
             continue;
         };
@@ -315,6 +331,13 @@ pub fn scan(root: &Path) -> Vec<RecoveredSession> {
             let Some(session) = name.strip_suffix(".log") else {
                 continue;
             };
+            if !valid_name(session) {
+                eprintln!(
+                    "# mtsp serve: skipping journal {}: not a valid session name",
+                    entry.path().display()
+                );
+                continue;
+            }
             let path = entry.path();
             match fs::read_to_string(&path) {
                 Ok(text) => match recover_session_log(&text) {
@@ -424,6 +447,39 @@ mod tests {
         let found = scan(&root);
         assert!(found[0].torn);
         assert_eq!(found[0].log.events, vec![SessionEvent::Replan { t: 0.0 }]);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a validated wire token")]
+    fn path_of_rejects_traversal_names() {
+        let root = tmp_root("traversal");
+        let wal = Wal::new(&root, FsyncPolicy::Never).unwrap();
+        // '..' would resolve to a .log path outside the journal root.
+        let _ = wal.path_of("..", "s1");
+    }
+
+    #[test]
+    fn scan_skips_entries_with_invalid_names() {
+        let root = tmp_root("invalid-names");
+        let mut wal = Wal::new(&root, FsyncPolicy::Never).unwrap();
+        wal.create("acme", "good", 2).unwrap();
+        // Stray journals under names no wire request can ever address:
+        // an all-dot tenant directory, a session stem with a space, and
+        // an over-long stem. Recovering them would pin tenant quota on
+        // sessions that can never be CLOSEd.
+        let log = write_session_log(&SessionLog { m: 2, events: vec![] });
+        fs::create_dir_all(root.join("...")).unwrap();
+        fs::write(root.join("...").join("s1.log"), &log).unwrap();
+        fs::write(root.join("acme").join("has space.log"), &log).unwrap();
+        fs::write(
+            root.join("acme").join(format!("{}.log", "x".repeat(65))),
+            &log,
+        )
+        .unwrap();
+        let found = scan(&root);
+        assert_eq!(found.len(), 1, "only the addressable journal recovers");
+        assert_eq!(found[0].session, "good");
         let _ = fs::remove_dir_all(&root);
     }
 
