@@ -74,7 +74,7 @@ fn bench_script_dispatch(c: &mut Criterion) {
             &shards,
             |b, &shards| {
                 b.iter(|| {
-                    let reg = Registry::new(config(shards, false));
+                    let reg = Registry::new(config(shards, false)).unwrap();
                     let out = serve_script(&reg, &script);
                     reg.shutdown();
                     out
@@ -95,7 +95,7 @@ fn bench_solve_cache(c: &mut Criterion) {
             &cache,
             |b, &cache| {
                 b.iter(|| {
-                    let reg = Registry::new(config(2, cache));
+                    let reg = Registry::new(config(2, cache)).unwrap();
                     let out = serve_script(&reg, &script);
                     reg.shutdown();
                     out

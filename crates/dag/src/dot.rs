@@ -39,7 +39,7 @@ pub fn to_dot_highlight(g: &Dag, name: &str, highlight: &[usize]) -> String {
     };
     let next_on_path = {
         // arc (u,v) highlighted iff u,v adjacent in `highlight`
-        let mut set = std::collections::HashSet::new();
+        let mut set = std::collections::BTreeSet::new();
         for w in highlight.windows(2) {
             set.insert((w[0], w[1]));
         }

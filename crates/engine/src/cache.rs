@@ -12,7 +12,7 @@
 
 use crate::canon::InstanceKey;
 use mtsp_core::two_phase::JzReport;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, VecDeque}; // lint:allow(R1): content-addressed memo; iteration order never observable
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -52,7 +52,7 @@ impl CacheStats {
 /// One shard: the map plus an insertion-order queue for FIFO eviction.
 #[derive(Debug, Default)]
 struct Shard {
-    map: HashMap<CacheKey, Arc<JzReport>>,
+    map: HashMap<CacheKey, Arc<JzReport>>, // lint:allow(R1): content-addressed memo; iteration order never observable
     order: VecDeque<CacheKey>,
 }
 

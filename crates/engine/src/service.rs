@@ -235,7 +235,7 @@ impl Engine {
     pub fn solve_batch(&self, jobs: &[Instance]) -> BatchReport {
         let cache = self.config.cache.then(|| &*self.cache);
         let workers = self.config.resolved_workers();
-        let t0 = Instant::now();
+        let t0 = Instant::now(); // lint:allow(R2): latency metrics only, never in gated output
         let run = run_batch(
             jobs,
             &self.config.jz,

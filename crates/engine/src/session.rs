@@ -568,7 +568,7 @@ impl ScheduleSession {
 
     fn replan_inner(&mut self, ctx: &mut SolveContext, t: f64) -> Result<(), SessionError> {
         let _span = mtsp_obs::span!("engine.replan");
-        let t0 = Instant::now();
+        let t0 = Instant::now(); // lint:allow(R2): latency metrics only, never in gated output
         self.advance(t)?;
         let pending = self.pending();
         let frozen = (self.n() - pending.len()) as u64;

@@ -116,7 +116,7 @@ fn run_one(shards: usize) -> CrashRun {
 
     // Life 1: mutate, snapshot, then abandon without closing — the
     // journals stay behind exactly as after a crash.
-    let reg = Registry::new(cfg(&dir));
+    let reg = Registry::new(cfg(&dir)).expect("spawn shard registry");
     let mut transcript = serve_script(&reg, pre_crash_script());
     let pre_snapshot = last_snapshot_body(&transcript).expect("pre-crash script snapshots acme/s1");
     let pre = reg.counters();
@@ -138,7 +138,7 @@ fn run_one(shards: usize) -> CrashRun {
     // Life 2: recovery must truncate the torn tail and resume the
     // sessions bit-exactly. The first reply is acme/s1's snapshot —
     // compare its body against the pre-crash capture.
-    let reg = Registry::new(cfg(&dir));
+    let reg = Registry::new(cfg(&dir)).expect("spawn shard registry");
     let post_transcript = serve_script(&reg, "SNAPSHOT acme s1\nSNAPSHOT zork s1\nSTATS\n");
     let recovered_match = post_transcript
         .lines()

@@ -216,7 +216,7 @@ pub fn check_regression_perf(
         if let (Some(value), Some(floor)) = (measured, baseline.get(key).and_then(Value::as_f64)) {
             if value < floor {
                 problems.push(format!(
-                    "{what} {value:.3} {unit} below the baseline floor {floor:.3} {unit}"
+                    "{what} {value:?} {unit} below the baseline floor {floor:?} {unit}"
                 ));
             }
         }
@@ -312,7 +312,7 @@ fn check_quality(
             let base = path_f64(base_group, &["ratio_vs_cstar", stat]);
             match (cur, base) {
                 (Some(c), Some(b)) if c > b + ratio_tol => problems.push(format!(
-                    "{prefix}group '{name}': ratio_vs_cstar.{stat} regressed {b:?} -> {c:?} (tol {ratio_tol:e})"
+                    "{prefix}group '{name}': ratio_vs_cstar.{stat} regressed {b:?} -> {c:?} (tol {ratio_tol:?})"
                 )),
                 (None, Some(_)) => problems.push(format!(
                     "{prefix}group '{name}': ratio_vs_cstar.{stat} missing"
@@ -381,7 +381,7 @@ fn check_counters(
             Some(c) => {
                 if c as f64 > b as f64 * (1.0 + tol) {
                     problems.push(format!(
-                        "{prefix}counter '{name}' regressed {b} -> {c} (tol {tol:e})"
+                        "{prefix}counter '{name}' regressed {b} -> {c} (tol {tol:?})"
                     ));
                 }
             }
@@ -515,7 +515,7 @@ fn check_scenarios(
             let base = path_f64(base_group, &["ratio_vs_batch", stat]);
             match (cur, base) {
                 (Some(c), Some(b)) if c > b + ratio_tol => problems.push(format!(
-                    "{prefix}scenario group '{name}': ratio_vs_batch.{stat} regressed {b:?} -> {c:?} (tol {ratio_tol:e})"
+                    "{prefix}scenario group '{name}': ratio_vs_batch.{stat} regressed {b:?} -> {c:?} (tol {ratio_tol:?})"
                 )),
                 (None, Some(_)) => problems.push(format!(
                     "{prefix}scenario group '{name}': ratio_vs_batch.{stat} missing"

@@ -484,6 +484,8 @@ impl ScenarioMetrics {
             self.replan_wall / self.epochs as u32
         };
         format!(
+            // lint:allow(R4): stderr-only wall-clock summary, never part
+            // of the gated report; rounded digits are the point here.
             "scenario replay: {} cells, {} epochs in {:.3} s (replan total {:.3} s, mean {:.1} us)\n",
             self.cells,
             self.epochs,
@@ -734,7 +736,7 @@ pub fn run_scenario_grid_windowed(
     workers: usize,
     window: usize,
 ) -> ScenarioOutcome {
-    let t0 = Instant::now();
+    let t0 = Instant::now(); // lint:allow(R2): wall metrics for the stderr summary only
     let n = grid.len();
     let workers = if workers == 0 {
         std::thread::available_parallelism()

@@ -115,7 +115,8 @@ fn run_one(shards: usize) -> (String, Counters) {
         shards,
         quotas: builtin_quotas(),
         ..ServeConfig::default()
-    });
+    })
+    .expect("spawn shard registry");
     let mut transcript = serve_script(&reg, &stage1_script());
     let snapshot = last_snapshot_body(&transcript).expect("stage-1 script snapshots acme/s1");
     transcript.push_str(&serve_script(&reg, &stage2_script(&snapshot)));

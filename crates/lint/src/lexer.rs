@@ -1,0 +1,444 @@
+//! A hand-rolled Rust source lexer, just deep enough for static
+//! analysis: it separates identifiers, punctuation, string/char/number
+//! literals, and comments, tracking the 1-based line and column of every
+//! token so diagnostics can point at the offending source position.
+//!
+//! It is deliberately *not* a full Rust lexer — no keyword table, no
+//! float-vs-range disambiguation beyond what token boundaries need — but
+//! it is exact about the things that matter for lint soundness:
+//!
+//! * string likes (`"…"`, `r#"…"#`, `b"…"`, `'c'`) are single tokens, so
+//!   rule patterns can never match text inside a literal;
+//! * comments (line and nested block) are skipped as tokens but line
+//!   comments are *recorded*, because `// lint:allow(...)` suppressions
+//!   live there;
+//! * lifetimes (`'a`) are distinguished from char literals.
+
+/// What kind of token this is. Rules match on `Ident` text and `Punct`
+/// text; `Str` tokens carry their raw source text for format-string
+/// scanning (rule R4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `as`, `unwrap`, …).
+    Ident,
+    /// Punctuation. Single characters, except `::` which is joined
+    /// because path patterns (`Instant::now`) need it.
+    Punct,
+    /// String literal of any flavor: `"…"`, `r"…"`, `r#"…"#`, `b"…"`,
+    /// `br#"…"#`. Text includes the delimiters exactly as written.
+    Str,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// Numeric literal (integer or float, any base, with suffix).
+    Num,
+    /// Lifetime or loop label (`'a`, `'static`).
+    Lifetime,
+}
+
+/// One token with its exact source position (1-based line and column;
+/// columns count bytes, matching how editors display ASCII source).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// One `//` comment, recorded for suppression parsing.
+#[derive(Debug, Clone)]
+pub struct LineComment {
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+    /// Whether any token precedes the comment on its own line — decides
+    /// whether a `lint:allow` targets this line or the next.
+    pub code_before: bool,
+}
+
+/// The full lex of one file.
+pub struct Lexed {
+    pub tokens: Vec<Tok>,
+    pub comments: Vec<LineComment>,
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one byte, maintaining line/col. Multi-byte UTF-8
+    /// continuation bytes do not advance the column, so columns stay
+    /// meaningful for the ASCII-dominated source this repo contains.
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else if b & 0xc0 != 0x80 {
+            self.col += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src`. Never fails: malformed input (unterminated strings or
+/// comments) is consumed to end of file — the analyzer's job is to keep
+/// going, not to validate; `rustc` owns rejection.
+pub fn lex(src: &str) -> Lexed {
+    let mut c = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut tokens: Vec<Tok> = Vec::new();
+    let mut comments: Vec<LineComment> = Vec::new();
+    // Line number of the most recent token, to compute `code_before`.
+    let mut last_tok_line = 0u32;
+
+    while let Some(b) = c.peek() {
+        let (line, col, start) = (c.line, c.col, c.pos);
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                c.bump();
+            }
+            b'/' if c.peek_at(1) == Some(b'/') => {
+                // Line comment (incl. doc comments). Consume to newline.
+                while let Some(b) = c.peek() {
+                    if b == b'\n' {
+                        break;
+                    }
+                    c.bump();
+                }
+                comments.push(LineComment {
+                    text: src[start..c.pos].to_string(),
+                    line,
+                    col,
+                    code_before: last_tok_line == line,
+                });
+            }
+            b'/' if c.peek_at(1) == Some(b'*') => {
+                // Block comment; Rust block comments nest.
+                c.bump();
+                c.bump();
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (c.peek(), c.peek_at(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            c.bump();
+                            c.bump();
+                            depth += 1;
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            c.bump();
+                            c.bump();
+                            depth -= 1;
+                        }
+                        (Some(_), _) => {
+                            c.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+            }
+            b'r' | b'b' if starts_string_like(c.src, c.pos) => {
+                lex_string_like(&mut c);
+                tokens.push(tok(src, TokKind::Str, start, c.pos, line, col));
+                last_tok_line = line;
+            }
+            b'"' => {
+                lex_quoted(&mut c, b'"');
+                tokens.push(tok(src, TokKind::Str, start, c.pos, line, col));
+                last_tok_line = line;
+            }
+            b'\'' => {
+                // Lifetime (`'a`, `'static`) vs char literal (`'x'`).
+                // A lifetime is `'` + ident not followed by a closing `'`.
+                let is_lifetime = match (c.peek_at(1), c.peek_at(2)) {
+                    (Some(n1), Some(n2)) => is_ident_start(n1) && n1 != b'\\' && n2 != b'\'',
+                    (Some(n1), None) => is_ident_start(n1),
+                    _ => false,
+                };
+                if is_lifetime {
+                    c.bump();
+                    while c.peek().is_some_and(is_ident_continue) {
+                        c.bump();
+                    }
+                    tokens.push(tok(src, TokKind::Lifetime, start, c.pos, line, col));
+                } else {
+                    lex_quoted(&mut c, b'\'');
+                    tokens.push(tok(src, TokKind::Char, start, c.pos, line, col));
+                }
+                last_tok_line = line;
+            }
+            b if is_ident_start(b) => {
+                while c.peek().is_some_and(is_ident_continue) {
+                    c.bump();
+                }
+                tokens.push(tok(src, TokKind::Ident, start, c.pos, line, col));
+                last_tok_line = line;
+            }
+            b if b.is_ascii_digit() => {
+                lex_number(&mut c);
+                tokens.push(tok(src, TokKind::Num, start, c.pos, line, col));
+                last_tok_line = line;
+            }
+            b':' if c.peek_at(1) == Some(b':') => {
+                c.bump();
+                c.bump();
+                tokens.push(tok(src, TokKind::Punct, start, c.pos, line, col));
+                last_tok_line = line;
+            }
+            _ => {
+                c.bump();
+                tokens.push(tok(src, TokKind::Punct, start, c.pos, line, col));
+                last_tok_line = line;
+            }
+        }
+    }
+    Lexed { tokens, comments }
+}
+
+fn tok(src: &str, kind: TokKind, start: usize, end: usize, line: u32, col: u32) -> Tok {
+    Tok {
+        kind,
+        text: src[start..end].to_string(),
+        line,
+        col,
+    }
+}
+
+/// Does the source at `pos` (which holds `r` or `b`) start a raw/byte
+/// string or byte-char literal rather than an identifier?
+fn starts_string_like(src: &[u8], pos: usize) -> bool {
+    let rest = &src[pos..];
+    let after = |prefix: usize| rest.get(prefix).copied();
+    match rest[0] {
+        b'r' => matches!(after(1), Some(b'"') | Some(b'#')) && raw_hashes_then_quote(rest, 1),
+        b'b' => match after(1) {
+            Some(b'"') | Some(b'\'') => true,
+            Some(b'r') => raw_hashes_then_quote(rest, 2),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// After the `r` (at `rest[from..]`): zero or more `#` then a `"`.
+fn raw_hashes_then_quote(rest: &[u8], from: usize) -> bool {
+    let mut i = from;
+    while rest.get(i) == Some(&b'#') {
+        i += 1;
+    }
+    rest.get(i) == Some(&b'"')
+}
+
+/// Consumes a raw/byte string (`r"…"`, `r#"…"#`, `b"…"`, `br##"…"##`) or
+/// byte-char (`b'x'`). Cursor sits on the leading `r`/`b`.
+fn lex_string_like(c: &mut Cursor) {
+    let mut raw = false;
+    // Consume the prefix letters (`r`, `b`, `br`, `rb` is not valid Rust
+    // but consuming it is harmless).
+    while matches!(c.peek(), Some(b'r') | Some(b'b')) {
+        if c.peek() == Some(b'r') {
+            raw = true;
+        }
+        c.bump();
+    }
+    if raw {
+        let mut hashes = 0usize;
+        while c.peek() == Some(b'#') {
+            hashes += 1;
+            c.bump();
+        }
+        if c.peek() == Some(b'"') {
+            c.bump();
+            // Scan for `"` followed by `hashes` hashes; no escapes in
+            // raw strings.
+            'scan: while let Some(b) = c.bump() {
+                if b == b'"' {
+                    for k in 0..hashes {
+                        if c.peek_at(k) != Some(b'#') {
+                            continue 'scan;
+                        }
+                    }
+                    for _ in 0..hashes {
+                        c.bump();
+                    }
+                    break;
+                }
+            }
+        }
+    } else {
+        match c.peek() {
+            Some(q @ b'"') | Some(q @ b'\'') => lex_quoted(c, q),
+            _ => {}
+        }
+    }
+}
+
+/// Consumes a quoted literal starting at the opening quote, honoring
+/// backslash escapes.
+fn lex_quoted(c: &mut Cursor, quote: u8) {
+    c.bump(); // opening quote
+    while let Some(b) = c.bump() {
+        if b == b'\\' {
+            c.bump();
+        } else if b == quote {
+            break;
+        }
+    }
+}
+
+/// Consumes a numeric literal: digits, `_`, base prefixes, a fractional
+/// part when the dot is followed by a digit (so `0..n` ranges stay two
+/// tokens), exponents, and alphanumeric suffixes (`f64`, `usize`).
+fn lex_number(c: &mut Cursor) {
+    c.bump();
+    while let Some(b) = c.peek() {
+        if b.is_ascii_alphanumeric() || b == b'_' {
+            // Exponent sign: `1e-9` / `1E+9`.
+            if (b == b'e' || b == b'E')
+                && matches!(c.peek_at(1), Some(b'+') | Some(b'-'))
+                && c.peek_at(2).is_some_and(|d| d.is_ascii_digit())
+            {
+                c.bump();
+                c.bump();
+                continue;
+            }
+            c.bump();
+        } else if b == b'.' && c.peek_at(1).is_some_and(|d| d.is_ascii_digit()) {
+            c.bump();
+        } else {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents_from_rules() {
+        let l = lex(r#"let s = "HashMap.unwrap()"; s"#);
+        assert!(idents(r#"let s = "HashMap.unwrap()"; s"#) == ["let", "s", "s"]);
+        let strs: Vec<_> = l.tokens.iter().filter(|t| t.kind == TokKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert_eq!(strs[0].text, "\"HashMap.unwrap()\"");
+    }
+
+    #[test]
+    fn raw_and_byte_strings_are_single_tokens() {
+        for src in [
+            r##"r#"a "quoted" HashMap"# x"##,
+            "r\"plain\" x",
+            "b\"bytes\" x",
+            "br#\"raw bytes\"# x",
+        ] {
+            let l = lex(src);
+            let strs: Vec<_> = l.tokens.iter().filter(|t| t.kind == TokKind::Str).collect();
+            assert_eq!(strs.len(), 1, "{src}");
+            assert_eq!(l.tokens.last().map(|t| t.text.as_str()), Some("x"), "{src}");
+        }
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) { 'l: loop { break 'l; } let c = 'x'; }");
+        let lifetimes: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["'a", "'a", "'l", "'l"]);
+        let chars: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(chars, ["'x'"]);
+    }
+
+    #[test]
+    fn comments_are_recorded_with_position_and_context() {
+        let src = "let x = 1; // trailing\n// standalone\nlet y = 2;\n";
+        let l = lex(src);
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.comments[0].line, 1);
+        assert!(l.comments[0].code_before);
+        assert_eq!(l.comments[1].line, 2);
+        assert!(!l.comments[1].code_before);
+    }
+
+    #[test]
+    fn block_comments_nest_and_vanish() {
+        let l = lex("a /* outer /* inner */ still out */ b");
+        assert_eq!(idents("a /* outer /* inner */ still out */ b"), ["a", "b"]);
+        assert!(l.comments.is_empty());
+    }
+
+    #[test]
+    fn ranges_are_not_floats_and_positions_are_exact() {
+        let l = lex("for i in 0..10 {\n    x.unwrap();\n}");
+        let nums: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, ["0", "10"]);
+        let unwrap = l.tokens.iter().find(|t| t.text == "unwrap").unwrap();
+        assert_eq!((unwrap.line, unwrap.col), (2, 7));
+    }
+
+    #[test]
+    fn double_colon_is_one_token() {
+        let l = lex("Instant::now()");
+        let texts: Vec<_> = l.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["Instant", "::", "now", "(", ")"]);
+    }
+
+    #[test]
+    fn floats_with_exponents_lex_whole() {
+        let nums: Vec<String> = lex("1e-9 2.5f64 0xFF 1_000")
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(nums, ["1e-9", "2.5f64", "0xFF", "1_000"]);
+    }
+}

@@ -1,0 +1,74 @@
+//! `mtsp-lint` — workspace-wide determinism & panic-safety static
+//! analysis.
+//!
+//! The repo's two load-bearing contracts — bitwise-deterministic output
+//! for any `--jobs`/shard count, and no-panic fenced error handling in
+//! the serving path — are enforced here as machine-checked invariants
+//! over the source itself, not just as after-the-fact tests. The
+//! analyzer is dependency-free: a hand-rolled lexer
+//! ([`lexer`]), a rule engine with per-site suppressions ([`rules`]), a
+//! deterministic workspace walker ([`walk`]), and byte-stable text/JSON
+//! reports ([`report`]).
+//!
+//! Rule catalogue (full rationale in `docs/ANALYSIS.md`):
+//!
+//! | code | contract |
+//! |------|----------|
+//! | `R0` | suppressions carry a justification and stay fresh |
+//! | `R1` | no `HashMap`/`HashSet` — `BTree*` or explicit sorts |
+//! | `R2` | no wall-clock reads outside the metrics/bench allowlist |
+//! | `R3` | no `unwrap`/`expect`/`panic!` in the `mtsp-serve` path |
+//! | `R4` | floats serialize via the `{:?}` round-trip contract |
+//! | `R5` | no `as` narrowing casts in the wire/text parsers |
+//!
+//! The workspace must lint clean: a self-check test runs
+//! [`lint_workspace`] over the repository inside `cargo test`, and CI
+//! runs `mtsp lint` as its own job — a PR that introduces a violation
+//! cannot merge.
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod walk;
+
+pub use report::{Report, REPORT_FORMAT};
+pub use rules::{check_file, Diagnostic, FileOutcome, RULE_CODES};
+
+use std::io;
+use std::path::Path;
+
+/// Lints every production source file under the workspace `root` and
+/// returns the aggregated, canonically sorted report.
+pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    let files = walk::workspace_files(root)?;
+    let mut report = Report {
+        files_scanned: files.len(),
+        ..Report::default()
+    };
+    for (rel, abs) in &files {
+        let src = std::fs::read_to_string(abs)?;
+        let outcome = rules::check_file(rel, &src);
+        report.diagnostics.extend(outcome.diagnostics);
+        report.suppressed += outcome.suppressed;
+    }
+    report.finish();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_lint_runs_end_to_end() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let a = lint_workspace(&root).unwrap();
+        let b = lint_workspace(&root).unwrap();
+        assert!(
+            a.files_scanned > 40,
+            "walker found {} files",
+            a.files_scanned
+        );
+        assert_eq!(a.to_json(), b.to_json(), "reports are byte-deterministic");
+    }
+}

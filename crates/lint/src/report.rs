@@ -1,0 +1,184 @@
+//! The lint report: aggregation across files and the two byte-
+//! deterministic renderings (human text and `mtsp-lint v1` JSON).
+//!
+//! Determinism contract: diagnostics are sorted by `(path, line, col,
+//! rule)`, JSON object keys are emitted in sorted order, and nothing in
+//! the report depends on wall-clock time, environment, or iteration
+//! order — two runs over the same tree produce identical bytes.
+
+use crate::rules::{Diagnostic, RULE_CODES};
+use std::fmt::Write as _;
+
+/// Identifies the report format; bumped only on breaking shape changes.
+pub const REPORT_FORMAT: &str = "mtsp-lint v1";
+
+/// The aggregated result of linting a file set.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, sorted by `(path, line, col, rule)`.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Diagnostics silenced by justified per-site suppressions.
+    pub suppressed: usize,
+}
+
+impl Report {
+    /// Exit code under the CLI's 0/1/2 contract: 0 clean, 1 findings.
+    /// (2 — usage/I-O errors — is decided by the CLI, not the report.)
+    pub fn exit_code(&self) -> i32 {
+        i32::from(!self.diagnostics.is_empty())
+    }
+
+    /// Canonical sort; call after the last diagnostic is appended.
+    pub fn finish(&mut self) {
+        self.diagnostics.sort_by(|a, b| {
+            (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule))
+        });
+    }
+
+    /// `path:line:col: CODE message` per finding plus a summary line —
+    /// the format compilers trained everyone's editors on.
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        for d in &self.diagnostics {
+            let _ = writeln!(
+                s,
+                "{}:{}:{}: {} {}",
+                d.path, d.line, d.col, d.rule, d.message
+            );
+        }
+        let _ = writeln!(
+            s,
+            "mtsp-lint: {} diagnostic{} ({} suppressed) in {} files",
+            self.diagnostics.len(),
+            if self.diagnostics.len() == 1 { "" } else { "s" },
+            self.suppressed,
+            self.files_scanned,
+        );
+        s
+    }
+
+    /// The `mtsp-lint v1` JSON document, keys sorted, `\n`-terminated.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        let _ = writeln!(s, "  \"diagnostics\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            let comma = if i + 1 == self.diagnostics.len() {
+                ""
+            } else {
+                ","
+            };
+            let _ = writeln!(
+                s,
+                "    {{\"code\": {}, \"col\": {}, \"line\": {}, \"message\": {}, \"path\": {}}}{comma}",
+                json_str(d.rule),
+                d.col,
+                d.line,
+                json_str(&d.message),
+                json_str(&d.path),
+            );
+        }
+        let _ = writeln!(s, "  ],");
+        let _ = writeln!(s, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(s, "  \"format\": {},", json_str(REPORT_FORMAT));
+        let rules: Vec<String> = RULE_CODES.iter().map(|c| json_str(c)).collect();
+        let _ = writeln!(s, "  \"rules\": [{}],", rules.join(", "));
+        let _ = writeln!(
+            s,
+            "  \"summary\": {{\"diagnostics\": {}, \"suppressed\": {}}}",
+            self.diagnostics.len(),
+            self.suppressed
+        );
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control bytes) —
+/// enough for rule messages and repo-relative paths.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report {
+            diagnostics: vec![
+                Diagnostic {
+                    path: "crates/b/src/x.rs".into(),
+                    line: 2,
+                    col: 1,
+                    rule: "R3",
+                    message: "second".into(),
+                },
+                Diagnostic {
+                    path: "crates/a/src/x.rs".into(),
+                    line: 9,
+                    col: 4,
+                    rule: "R1",
+                    message: "first \"quoted\"".into(),
+                },
+            ],
+            files_scanned: 2,
+            suppressed: 1,
+        };
+        r.finish();
+        r
+    }
+
+    #[test]
+    fn text_is_sorted_and_summarized() {
+        let t = sample().to_text();
+        let lines: Vec<&str> = t.lines().collect();
+        assert!(lines[0].starts_with("crates/a/src/x.rs:9:4: R1"));
+        assert!(lines[1].starts_with("crates/b/src/x.rs:2:1: R3"));
+        assert_eq!(
+            lines[2],
+            "mtsp-lint: 2 diagnostics (1 suppressed) in 2 files"
+        );
+    }
+
+    #[test]
+    fn json_is_stable_and_escaped() {
+        let a = sample().to_json();
+        let b = sample().to_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\"first \\\"quoted\\\"\""));
+        assert!(a.contains("\"format\": \"mtsp-lint v1\""));
+        // Keys in sorted order within each diagnostic object.
+        let obj = a.lines().find(|l| l.contains("\"code\"")).unwrap();
+        let order = ["\"code\"", "\"col\"", "\"line\"", "\"message\"", "\"path\""];
+        let mut at = 0;
+        for k in order {
+            let p = obj.find(k).unwrap();
+            assert!(p >= at);
+            at = p;
+        }
+    }
+
+    #[test]
+    fn exit_code_contract() {
+        assert_eq!(sample().exit_code(), 1);
+        assert_eq!(Report::default().exit_code(), 0);
+    }
+}

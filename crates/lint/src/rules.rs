@@ -1,0 +1,643 @@
+//! The rule engine: which contracts are enforced where, and the
+//! per-site suppression machinery.
+//!
+//! Every rule has a stable code (`R1`…`R5`, plus `R0` for suppression
+//! hygiene) and a path scope derived from the project's written
+//! contracts (see `docs/ANALYSIS.md` for the catalogue):
+//!
+//! * **R1** — no `HashMap`/`HashSet` in production sources. Iteration
+//!   order is nondeterministic per process, and the workspace's
+//!   load-bearing contract is byte-identical output for any `--jobs`/
+//!   shard count; `BTreeMap`/`BTreeSet` or an explicit sort is required.
+//! * **R2** — no wall-clock reads (`Instant::now`/`SystemTime::now`)
+//!   outside the metrics/bench allowlist. Deterministic counters and
+//!   gated reports must be time-free.
+//! * **R3** — no `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/
+//!   `unimplemented!` in `mtsp-serve`: the serving path's contract
+//!   (PR 9) is structured `ErrCode` replies and fenced sessions, never
+//!   an aborted shard.
+//! * **R4** — no lossy float formatting (`{:.3}`, `{:e}`) in paths that
+//!   feed serialized output; floats serialize via `mtsp-bench::json`'s
+//!   `{:?}` shortest-round-trip contract.
+//! * **R5** — no `as` narrowing casts in the wire/text parsers; checked
+//!   `try_from`/`try_into` conversions only.
+//!
+//! Suppressions are per-site comments:
+//! `// lint:allow(R2): <justification>`. A trailing comment targets its
+//! own line; a standalone comment targets the next line with code. A
+//! bare allow (no justification), an unknown rule code, or an allow
+//! matching no diagnostic is itself a diagnostic (**R0**) — and an
+//! unjustified allow does *not* suppress. R0 cannot be suppressed.
+//!
+//! `#[cfg(test)]` modules and `#[test]` functions are exempt from every
+//! rule: test code may panic and iterate hash maps freely.
+
+use crate::lexer::{lex, LineComment, Tok, TokKind};
+
+/// One finding, anchored to an exact source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    pub line: u32,
+    pub col: u32,
+    /// Stable rule code (`R0`…`R5`).
+    pub rule: &'static str,
+    pub message: String,
+}
+
+/// The outcome of linting one file.
+#[derive(Debug, Default)]
+pub struct FileOutcome {
+    pub diagnostics: Vec<Diagnostic>,
+    /// Diagnostics silenced by a justified suppression.
+    pub suppressed: usize,
+}
+
+/// Stable rule codes in report order.
+pub const RULE_CODES: [&str; 6] = ["R0", "R1", "R2", "R3", "R4", "R5"];
+
+/// Files exempt from R2: the subsystems whose *job* is reading the wall
+/// clock (the span profiler, perf probes, latency metrics, and the
+/// paper-table bench binaries). Everything else must be time-free.
+const R2_ALLOWLIST: [&str; 4] = [
+    "crates/bench/src/",
+    "crates/engine/src/metrics.rs",
+    "crates/harness/src/perf.rs",
+    "crates/obs/src/span.rs",
+];
+
+/// Paths whose output is serialized or hashed: reports, wire replies,
+/// text formats, canonical hashing. R4 (float Display) applies here.
+const R4_SCOPE: [&str; 6] = [
+    "crates/bench/src/json.rs",
+    "crates/engine/src/canon.rs",
+    "crates/harness/src/",
+    "crates/model/src/textio.rs",
+    "crates/model/src/wire.rs",
+    "crates/serve/src/",
+];
+
+/// The wire/text parsers where every narrowing `as` cast is a lurking
+/// truncation bug (R5).
+const R5_SCOPE: [&str; 2] = ["crates/model/src/textio.rs", "crates/model/src/wire.rs"];
+
+fn any_prefix(path: &str, prefixes: &[&str]) -> bool {
+    prefixes.iter().any(|p| path.starts_with(p))
+}
+
+fn r1_applies(_path: &str) -> bool {
+    true
+}
+
+fn r2_applies(path: &str) -> bool {
+    !any_prefix(path, &R2_ALLOWLIST)
+}
+
+fn r3_applies(path: &str) -> bool {
+    path.starts_with("crates/serve/src/")
+}
+
+fn r4_applies(path: &str) -> bool {
+    any_prefix(path, &R4_SCOPE)
+}
+
+fn r5_applies(path: &str) -> bool {
+    any_prefix(path, &R5_SCOPE)
+}
+
+/// Integer/float targets a cast can narrow *into*. `as f64` is exempt:
+/// every parser-relevant source type (u32 and smaller, and all f64
+/// arithmetic) widens losslessly.
+const NARROW_CAST_TARGETS: [&str; 14] = [
+    "f32", "i128", "i16", "i32", "i64", "i8", "isize", "u128", "u16", "u32", "u64", "u8", "usize",
+    "char",
+];
+
+/// Lints one file's source. `rel_path` decides which rules apply; it
+/// must be workspace-relative with forward slashes (fixtures pass
+/// pseudo-paths to pin a scope).
+pub fn check_file(rel_path: &str, src: &str) -> FileOutcome {
+    let lexed = lex(src);
+    let mask = test_skip_mask(&lexed.tokens);
+    let mut diags = Vec::new();
+
+    scan_tokens(rel_path, &lexed.tokens, &mask, &mut diags);
+
+    let allows = parse_allows(rel_path, &lexed.comments, &lexed.tokens);
+    let outcome = apply_allows(rel_path, allows, diags);
+    let mut out = outcome;
+    out.diagnostics
+        .sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    out
+}
+
+fn diag(path: &str, t: &Tok, rule: &'static str, message: String) -> Diagnostic {
+    Diagnostic {
+        path: path.to_string(),
+        line: t.line,
+        col: t.col,
+        rule,
+        message,
+    }
+}
+
+fn scan_tokens(path: &str, toks: &[Tok], mask: &[bool], diags: &mut Vec<Diagnostic>) {
+    let ident = |i: usize, s: &str| {
+        toks.get(i)
+            .is_some_and(|t| t.kind == TokKind::Ident && t.text == s)
+    };
+    let punct = |i: usize, s: &str| {
+        toks.get(i)
+            .is_some_and(|t| t.kind == TokKind::Punct && t.text == s)
+    };
+
+    for (i, t) in toks.iter().enumerate() {
+        if mask[i] {
+            continue;
+        }
+        match t.kind {
+            TokKind::Ident => {
+                // R1: hash collections anywhere in production sources.
+                if r1_applies(path) && (t.text == "HashMap" || t.text == "HashSet") {
+                    let fix = if t.text == "HashMap" {
+                        "BTreeMap"
+                    } else {
+                        "BTreeSet"
+                    };
+                    diags.push(diag(
+                        path,
+                        t,
+                        "R1",
+                        format!(
+                            "`{}` iteration order is nondeterministic; use `{fix}` or an \
+                             explicit sort before output is serialized or hashed",
+                            t.text
+                        ),
+                    ));
+                }
+                // R2: wall-clock reads.
+                if r2_applies(path)
+                    && (t.text == "Instant" || t.text == "SystemTime")
+                    && punct(i + 1, "::")
+                    && ident(i + 2, "now")
+                {
+                    diags.push(diag(
+                        path,
+                        t,
+                        "R2",
+                        format!(
+                            "wall-clock read `{}::now` outside the metrics/bench allowlist; \
+                             deterministic paths must be time-free",
+                            t.text
+                        ),
+                    ));
+                }
+                // R3: panicking macros in the serving path.
+                if r3_applies(path)
+                    && punct(i + 1, "!")
+                    && matches!(
+                        t.text.as_str(),
+                        "panic" | "unreachable" | "todo" | "unimplemented"
+                    )
+                {
+                    diags.push(diag(
+                        path,
+                        t,
+                        "R3",
+                        format!(
+                            "`{}!` in a serving path; reply with a structured `ErrCode` \
+                             error instead of aborting the shard",
+                            t.text
+                        ),
+                    ));
+                }
+                // R5: narrowing casts in parsers.
+                if r5_applies(path)
+                    && t.text == "as"
+                    && toks.get(i + 1).is_some_and(|n| {
+                        n.kind == TokKind::Ident && NARROW_CAST_TARGETS.contains(&n.text.as_str())
+                    })
+                {
+                    diags.push(diag(
+                        path,
+                        t,
+                        "R5",
+                        format!(
+                            "lossy `as {}` cast in a parser; use a checked \
+                             `try_from`/`try_into` conversion",
+                            toks[i + 1].text
+                        ),
+                    ));
+                }
+            }
+            // R3: `.unwrap()` / `.expect(…)` in the serving path.
+            TokKind::Punct if r3_applies(path) && t.text == "." => {
+                let is_call = punct(i + 2, "(");
+                if is_call && (ident(i + 1, "unwrap") || ident(i + 1, "expect")) {
+                    let m = &toks[i + 1];
+                    diags.push(diag(
+                        path,
+                        m,
+                        "R3",
+                        format!(
+                            "`.{}()` in a serving path; return a structured `ErrCode` \
+                             error instead of panicking",
+                            m.text
+                        ),
+                    ));
+                }
+            }
+            TokKind::Str if r4_applies(path) => {
+                scan_format_string(path, t, diags);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// R4: scans one string literal's raw source text for format
+/// placeholders whose spec loses float precision — `{:.3}` (precision)
+/// or `{:e}`/`{:E}` (scientific). `{:?}` and plain `{}` pass; the `{:?}`
+/// contract is what `mtsp-bench::json` serializes floats with.
+fn scan_format_string(path: &str, t: &Tok, diags: &mut Vec<Diagnostic>) {
+    let bytes = t.text.as_bytes();
+    // Track line/col while walking the raw literal (it may span lines).
+    let (mut line, mut col) = (t.line, t.col);
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'{' && bytes.get(i + 1) == Some(&b'{') {
+            i += 2;
+            col += 2;
+            continue;
+        }
+        if b == b'{' {
+            let (pl, pc) = (line, col);
+            // Collect the placeholder body up to `}`.
+            let mut j = i + 1;
+            while j < bytes.len() && bytes[j] != b'}' && bytes[j] != b'\n' {
+                j += 1;
+            }
+            if j < bytes.len() && bytes[j] == b'}' {
+                let body = &t.text[i + 1..j];
+                if let Some(spec) = body.split_once(':').map(|(_, s)| s) {
+                    let precision = spec.as_bytes().windows(2).any(|w| {
+                        w[0] == b'.' && (w[1].is_ascii_digit() || w[1] == b'*' || w[1] == b'$')
+                    });
+                    let scientific = matches!(spec.as_bytes().last(), Some(b'e') | Some(b'E'));
+                    if precision || scientific {
+                        diags.push(Diagnostic {
+                            path: path.to_string(),
+                            line: pl,
+                            col: pc,
+                            rule: "R4",
+                            message: format!(
+                                "lossy float format `{{{body}}}` in a serialization path; \
+                                 floats must round-trip via the `{{:?}}` contract \
+                                 (mtsp-bench::json)"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        if b == b'\n' {
+            line += 1;
+            col = 1;
+        } else if b & 0xc0 != 0x80 {
+            col += 1;
+        }
+        i += 1;
+    }
+}
+
+/// Marks every token inside a `#[test]` function or `#[cfg(test)]` item
+/// (module, function, impl) so rules skip test code. Conservative about
+/// `not`: `#[cfg(not(test))]` guards *production* code and is not
+/// skipped.
+fn test_skip_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].text == "#" && toks.get(i + 1).is_some_and(|t| t.text == "[") {
+            let attr_start = i;
+            let (idents, after) = collect_attr(toks, i + 1);
+            let is_test = match idents.first().map(String::as_str) {
+                Some("test") => true,
+                Some("cfg") => {
+                    idents.iter().any(|s| s == "test") && !idents.iter().any(|s| s == "not")
+                }
+                _ => false,
+            };
+            if is_test {
+                let end = item_end(toks, after);
+                for m in mask.iter_mut().take(end).skip(attr_start) {
+                    *m = true;
+                }
+                i = end;
+                continue;
+            }
+            i = after;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// From the `[` at `open`, collects the attribute's identifiers and
+/// returns them with the index just past the matching `]`.
+fn collect_attr(toks: &[Tok], open: usize) -> (Vec<String>, usize) {
+    let mut idents = Vec::new();
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < toks.len() {
+        match toks[i].text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return (idents, i + 1);
+                }
+            }
+            _ => {
+                if toks[i].kind == TokKind::Ident {
+                    idents.push(toks[i].text.clone());
+                }
+            }
+        }
+        i += 1;
+    }
+    (idents, i)
+}
+
+/// Finds the end (exclusive token index) of the item starting at `from`:
+/// consumes any further attributes, then runs to the first `;` or
+/// through the matching brace of the first `{`.
+fn item_end(toks: &[Tok], mut from: usize) -> usize {
+    // Further attributes on the same item.
+    while from < toks.len()
+        && toks[from].text == "#"
+        && toks.get(from + 1).is_some_and(|t| t.text == "[")
+    {
+        let (_, after) = collect_attr(toks, from + 1);
+        from = after;
+    }
+    let mut i = from;
+    while i < toks.len() {
+        match toks[i].text.as_str() {
+            ";" => return i + 1,
+            "{" => {
+                let mut depth = 0usize;
+                while i < toks.len() {
+                    match toks[i].text.as_str() {
+                        "{" => depth += 1,
+                        "}" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                return i + 1;
+                            }
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                return i;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// A parsed `lint:allow` comment.
+struct Allow {
+    /// Rule code as written (may be unknown).
+    rule: String,
+    justified: bool,
+    /// Syntactically well-formed (`lint:allow(<code>)…`)?
+    well_formed: bool,
+    line: u32,
+    col: u32,
+    /// The source line whose diagnostics this allow silences.
+    target_line: Option<u32>,
+}
+
+fn parse_allows(_path: &str, comments: &[LineComment], toks: &[Tok]) -> Vec<Allow> {
+    let mut out = Vec::new();
+    for c in comments {
+        // A suppression comment *begins* with `lint:allow` (after the
+        // `//`/`///`/`//!` marker) — prose that merely mentions the
+        // syntax, like this comment, is not a suppression.
+        let body = c.text.trim_start_matches('/');
+        let body = body.strip_prefix('!').unwrap_or(body).trim_start();
+        if !body.starts_with("lint:allow") {
+            continue;
+        }
+        let rest = &body["lint:allow".len()..];
+        let mut allow = Allow {
+            rule: String::new(),
+            justified: false,
+            well_formed: false,
+            line: c.line,
+            col: c.col,
+            target_line: None,
+        };
+        if let Some(stripped) = rest.strip_prefix('(') {
+            if let Some(close) = stripped.find(')') {
+                allow.rule = stripped[..close].trim().to_string();
+                allow.well_formed = !allow.rule.is_empty();
+                let tail = &stripped[close + 1..];
+                allow.justified = tail.strip_prefix(':').is_some_and(|j| !j.trim().is_empty());
+            }
+        }
+        allow.target_line = if c.code_before {
+            Some(c.line)
+        } else {
+            toks.iter().find(|t| t.line > c.line).map(|t| t.line)
+        };
+        out.push(allow);
+    }
+    out
+}
+
+fn apply_allows(path: &str, allows: Vec<Allow>, mut diags: Vec<Diagnostic>) -> FileOutcome {
+    let mut suppressed = 0usize;
+    let mut hygiene: Vec<Diagnostic> = Vec::new();
+    for a in &allows {
+        let at = |msg: String| Diagnostic {
+            path: path.to_string(),
+            line: a.line,
+            col: a.col,
+            rule: "R0",
+            message: msg,
+        };
+        if !a.well_formed {
+            hygiene.push(at(
+                "malformed suppression; write `// lint:allow(<rule>): <justification>`".to_string(),
+            ));
+            continue;
+        }
+        if !RULE_CODES.contains(&a.rule.as_str()) || a.rule == "R0" {
+            hygiene.push(at(format!(
+                "unknown rule `{}` in suppression (R0 itself cannot be suppressed)",
+                a.rule
+            )));
+            continue;
+        }
+        if !a.justified {
+            hygiene.push(at(format!(
+                "suppression `lint:allow({})` lacks a justification; write \
+                 `// lint:allow({}): <why this site is exempt>`",
+                a.rule, a.rule
+            )));
+            continue;
+        }
+        let Some(target) = a.target_line else {
+            hygiene.push(at(format!(
+                "suppression `lint:allow({})` precedes no code; nothing to suppress",
+                a.rule
+            )));
+            continue;
+        };
+        let before = diags.len();
+        diags.retain(|d| !(d.rule == a.rule && d.line == target));
+        let removed = before - diags.len();
+        if removed == 0 {
+            hygiene.push(at(format!(
+                "suppression `lint:allow({})` matches no diagnostic on line {target}; \
+                 remove the stale allow",
+                a.rule
+            )));
+        }
+        suppressed += removed;
+    }
+    diags.extend(hygiene);
+    FileOutcome {
+        diagnostics: diags,
+        suppressed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(path: &str, src: &str) -> Vec<(&'static str, u32, u32)> {
+        check_file(path, src)
+            .diagnostics
+            .iter()
+            .map(|d| (d.rule, d.line, d.col))
+            .collect()
+    }
+
+    #[test]
+    fn r1_fires_anywhere_and_names_the_fix() {
+        let out = check_file(
+            "crates/core/src/x.rs",
+            "use std::collections::HashMap;\nfn f(s: HashSet<u32>) {}\n",
+        );
+        assert_eq!(out.diagnostics.len(), 2);
+        assert!(out.diagnostics[0].message.contains("BTreeMap"));
+        assert!(out.diagnostics[1].message.contains("BTreeSet"));
+    }
+
+    #[test]
+    fn r2_respects_the_allowlist() {
+        let src = "fn f() { let t = Instant::now(); }\n";
+        assert_eq!(codes("crates/lp/src/simplex.rs", src), [("R2", 1, 18)]);
+        assert!(codes("crates/obs/src/span.rs", src).is_empty());
+        assert!(codes("crates/bench/src/bin/fig1.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r3_only_in_serve_and_skips_unwrap_or() {
+        let src = "fn f() { x.unwrap(); y.unwrap_or(0); z.expect(\"m\"); panic!(\"n\"); }\n";
+        let got = codes("crates/serve/src/wal.rs", src);
+        assert_eq!(got, [("R3", 1, 12), ("R3", 1, 40), ("R3", 1, 53)]);
+        assert!(codes("crates/core/src/list.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r3_path_panic_is_not_the_macro() {
+        let src = "use std::panic::catch_unwind;\nfn f() { let _ = catch_unwind(|| 1); }\n";
+        assert!(codes("crates/serve/src/registry.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r4_flags_precision_and_scientific_only() {
+        let src = "fn f(x: f64) { let _ = format!(\"{x:.3} {x:e} {x:?} {x} {:016x}\", 7); }\n";
+        let got = codes("crates/harness/src/audit.rs", src);
+        assert_eq!(got.iter().filter(|d| d.0 == "R4").count(), 2);
+        assert!(codes("crates/core/src/list.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r5_narrowing_only_in_parsers_and_as_f64_is_exempt() {
+        let src = "fn f(x: u64) -> u32 { let _ = x as f64; x as u32 }\n";
+        assert_eq!(codes("crates/model/src/wire.rs", src), [("R5", 1, 43)]);
+        assert!(codes("crates/model/src/profile.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_modules_and_test_fns_are_exempt() {
+        let src = "\
+fn prod() { let m: HashMap<u32, u32> = HashMap::new(); }
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    #[test]
+    fn t() { let _ = HashMap::<u32, u32>::new(); x.unwrap(); }
+}
+";
+        let got = codes("crates/serve/src/x.rs", src);
+        assert_eq!(got, [("R1", 1, 20), ("R1", 1, 40)]);
+    }
+
+    #[test]
+    fn cfg_not_test_stays_linted() {
+        let src = "#[cfg(not(test))]\nfn prod() { let m = HashMap::new(); }\n";
+        assert_eq!(codes("crates/core/src/x.rs", src), [("R1", 2, 21)]);
+    }
+
+    #[test]
+    fn justified_suppression_silences_and_counts() {
+        let src = "fn f() { let t = Instant::now(); } // lint:allow(R2): stderr-only latency\n";
+        let out = check_file("crates/engine/src/pool.rs", src);
+        assert!(out.diagnostics.is_empty(), "{:?}", out.diagnostics);
+        assert_eq!(out.suppressed, 1);
+    }
+
+    #[test]
+    fn standalone_suppression_targets_next_code_line() {
+        let src = "\
+// lint:allow(R1): bounded probe set, never iterated into output
+use std::collections::HashSet;
+";
+        let out = check_file("crates/core/src/x.rs", src);
+        assert!(out.diagnostics.is_empty(), "{:?}", out.diagnostics);
+        assert_eq!(out.suppressed, 1);
+    }
+
+    #[test]
+    fn bare_suppression_is_a_diagnostic_and_does_not_suppress() {
+        let src = "fn f() { let t = Instant::now(); } // lint:allow(R2)\n";
+        let got = codes("crates/engine/src/pool.rs", src);
+        assert_eq!(got, [("R2", 1, 18), ("R0", 1, 36)]);
+    }
+
+    #[test]
+    fn unknown_rule_and_stale_allow_are_diagnostics() {
+        let src = "let x = 1; // lint:allow(R9): nope\nlet y = 2; // lint:allow(R2): stale\n";
+        let got = codes("crates/core/src/x.rs", src);
+        assert_eq!(got, [("R0", 1, 12), ("R0", 2, 12)]);
+    }
+
+    #[test]
+    fn strings_and_comments_never_trip_rules() {
+        let src =
+            "// HashMap Instant::now .unwrap() panic!\nfn f() { let s = \"HashMap {:.3}\"; }\n";
+        assert!(codes("crates/core/src/x.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,111 @@
+//! Workspace file discovery: every production `.rs` module of every
+//! workspace crate, in a deterministic order.
+//!
+//! The walk is module-aware in the sense that matters for the rules: it
+//! visits exactly the crate source trees (`src/` of the facade and of
+//! every `crates/*` member) — the code that ships — and skips
+//! `vendor/` (offline dependency stubs), `target/`, and per-crate
+//! `tests/`/`benches/`/`examples/` trees, whose panics and hash maps
+//! are rustc/clippy territory, not contract violations. Fixture sources
+//! under `crates/lint/tests/fixtures/` contain *intentional* violations
+//! and are excluded with the rest of the test trees.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: [&str; 7] = [
+    ".git", "benches", "examples", "fixtures", "target", "tests", "vendor",
+];
+
+/// Returns `(workspace-relative path with forward slashes, absolute
+/// path)` for every production source file under `root`, sorted by
+/// relative path so every downstream report is byte-deterministic.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<(String, PathBuf)>> {
+    let mut out = Vec::new();
+    descend(root, Path::new(""), &mut out)?;
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(out)
+}
+
+fn descend(abs: &Path, rel: &Path, out: &mut Vec<(String, PathBuf)>) -> io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(abs)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue; // non-UTF-8 names cannot be workspace sources
+        };
+        let rel_child = rel.join(name);
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name) || name.starts_with('.') {
+                continue;
+            }
+            descend(&path, &rel_child, out)?;
+        } else if name.ends_with(".rs") {
+            let rel_str = rel_child
+                .to_string_lossy()
+                .replace(std::path::MAIN_SEPARATOR, "/");
+            // Only crate source trees: `src/...` or `crates/<name>/src/...`.
+            let in_src = rel_str.starts_with("src/")
+                || (rel_str.starts_with("crates/") && rel_str.contains("/src/"));
+            if in_src {
+                out.push((rel_str, path));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Walks upward from `start` to the directory whose `Cargo.toml`
+/// declares `[workspace]` — how the CLI finds the root when invoked
+/// from a subdirectory.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn repo_root() -> PathBuf {
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .unwrap()
+    }
+
+    #[test]
+    fn walk_covers_the_crates_and_skips_vendor_and_tests() {
+        let files = workspace_files(&repo_root()).unwrap();
+        let rels: Vec<&str> = files.iter().map(|(r, _)| r.as_str()).collect();
+        assert!(rels.contains(&"src/main.rs"));
+        assert!(rels.contains(&"crates/serve/src/registry.rs"));
+        assert!(rels.contains(&"crates/lint/src/walk.rs"));
+        assert!(!rels.iter().any(|r| r.starts_with("vendor/")), "{rels:?}");
+        assert!(!rels.iter().any(|r| r.contains("/tests/")), "{rels:?}");
+        assert!(!rels.iter().any(|r| r.contains("/fixtures/")), "{rels:?}");
+        let mut sorted = rels.clone();
+        sorted.sort();
+        assert_eq!(rels, sorted, "walk order is sorted");
+    }
+
+    #[test]
+    fn root_discovery_from_a_nested_dir() {
+        let nested = repo_root().join("crates/lint/src");
+        assert_eq!(find_workspace_root(&nested), Some(repo_root()));
+    }
+}

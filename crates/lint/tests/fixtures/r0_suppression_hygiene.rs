@@ -1,0 +1,7 @@
+// lint-fixture: crates/core/src/fixture.rs
+pub fn hygiene() -> u32 {
+    let a = 1; // lint:allow(R9): unknown rule code
+    let b = 2; // lint:allow(R2)
+    let c = 3; // lint:allow
+    a + b + c // lint:allow(R2): justified but stale — matches nothing
+}

@@ -1,0 +1,8 @@
+// lint-fixture: crates/core/src/fixture.rs
+use std::collections::{HashMap, HashSet};
+
+pub fn build_index() -> HashMap<String, u32> {
+    let mut seen = HashSet::new();
+    seen.insert(1u32);
+    HashMap::new()
+}

@@ -1,0 +1,6 @@
+// lint-fixture: crates/lp/src/fixture.rs
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> (Instant, SystemTime) {
+    (Instant::now(), SystemTime::now())
+}

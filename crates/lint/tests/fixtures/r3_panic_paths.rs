@@ -1,0 +1,9 @@
+// lint-fixture: crates/serve/src/fixture.rs
+pub fn reply(x: Option<u32>, y: Option<u32>) -> u32 {
+    let v = x.unwrap();
+    let w = y.expect("present");
+    if v > w {
+        panic!("impossible");
+    }
+    unreachable!("end of fixture")
+}

@@ -1,0 +1,4 @@
+// lint-fixture: crates/harness/src/fixture.rs
+pub fn render(ratio: f64) -> String {
+    format!("ratio {ratio:.4} (tol {:e}) ok {ratio:?} hex {:08x}", 1e-9, 255)
+}

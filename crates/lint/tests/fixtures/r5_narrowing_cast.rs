@@ -1,0 +1,4 @@
+// lint-fixture: crates/model/src/wire.rs
+pub fn parse(n: u64) -> (u32, f64) {
+    (n as u32, n as f64)
+}

@@ -1,0 +1,7 @@
+// lint-fixture: crates/serve/src/fixture.rs
+pub fn shard_tick(x: Option<u32>) -> u32 {
+    // lint:allow(R3): fixture demonstrating a justified standalone allow
+    let v = x.unwrap();
+    let w = x.unwrap(); // lint:allow(R3): and a justified trailing allow
+    v + w
+}

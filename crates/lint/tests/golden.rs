@@ -1,0 +1,98 @@
+//! Golden fixtures: one per rule, asserting the exact diagnostic text,
+//! line, and column the engine produces, plus a suppression fixture.
+//!
+//! Each `fixtures/<name>.rs` file starts with a
+//! `// lint-fixture: <pseudo-path>` directive that pins which rule
+//! scope the content is linted under (the walker itself never descends
+//! into `tests/`); the sibling `<name>.expected` holds the rendered
+//! diagnostics. Regenerate with `BLESS=1 cargo test -p mtsp-lint`.
+
+use mtsp_lint::check_file;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+}
+
+/// Renders one fixture's outcome exactly like `Report::to_text` renders
+/// findings, plus the suppression counter golden files also pin.
+fn render(fixture: &Path) -> String {
+    let src = fs::read_to_string(fixture).unwrap();
+    let first = src.lines().next().unwrap_or_default();
+    let pseudo = first
+        .strip_prefix("// lint-fixture: ")
+        .unwrap_or_else(|| panic!("{} lacks a lint-fixture directive", fixture.display()));
+    let out = check_file(pseudo.trim(), &src);
+    let mut s = String::new();
+    for d in &out.diagnostics {
+        s.push_str(&format!(
+            "{}:{}:{}: {} {}\n",
+            d.path, d.line, d.col, d.rule, d.message
+        ));
+    }
+    s.push_str(&format!("suppressed {}\n", out.suppressed));
+    s
+}
+
+#[test]
+fn fixtures_match_their_expected_diagnostics() {
+    let dir = fixtures_dir();
+    let mut names: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+        .collect();
+    names.sort();
+    assert!(
+        names.len() >= 7,
+        "expected one fixture per rule plus suppression coverage, found {}",
+        names.len()
+    );
+    let bless = std::env::var_os("BLESS").is_some();
+    for fixture in names {
+        let got = render(&fixture);
+        let expected_path = fixture.with_extension("expected");
+        if bless {
+            fs::write(&expected_path, &got).unwrap();
+            continue;
+        }
+        let expected = fs::read_to_string(&expected_path).unwrap_or_else(|_| {
+            panic!(
+                "{} missing; run BLESS=1 cargo test -p mtsp-lint to create it",
+                expected_path.display()
+            )
+        });
+        assert_eq!(
+            got,
+            expected,
+            "fixture {} diverged from its golden output",
+            fixture.display()
+        );
+    }
+}
+
+#[test]
+fn every_rule_code_is_exercised_by_a_fixture() {
+    let dir = fixtures_dir();
+    let mut seen: Vec<&str> = Vec::new();
+    for code in mtsp_lint::RULE_CODES {
+        let hit = fs::read_dir(&dir).unwrap().flatten().any(|e| {
+            e.path().extension().is_some_and(|x| x == "expected")
+                && fs::read_to_string(e.path())
+                    .unwrap_or_default()
+                    .contains(&format!(" {code} "))
+        });
+        if hit {
+            seen.push(code);
+        }
+    }
+    assert_eq!(
+        seen,
+        mtsp_lint::RULE_CODES.to_vec(),
+        "each rule code must appear in at least one golden .expected file"
+    );
+}

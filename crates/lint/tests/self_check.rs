@@ -1,0 +1,31 @@
+//! The workspace self-check: the repository must lint clean under its
+//! own analyzer, inside `cargo test` — CI's `mtsp lint` job is the same
+//! gate run from the CLI.
+
+use mtsp_lint::lint_workspace;
+use std::path::Path;
+
+#[test]
+fn workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = lint_workspace(&root).unwrap();
+    assert!(
+        report.files_scanned > 40,
+        "walker found only {} files — wrong root?",
+        report.files_scanned
+    );
+    assert!(
+        report.diagnostics.is_empty(),
+        "workspace must lint clean; findings:\n{}",
+        report.to_text()
+    );
+}
+
+#[test]
+fn workspace_report_is_byte_deterministic() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let a = lint_workspace(&root).unwrap();
+    let b = lint_workspace(&root).unwrap();
+    assert_eq!(a.to_json(), b.to_json());
+    assert_eq!(a.to_text(), b.to_text());
+}

@@ -108,10 +108,13 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("mtsp-serve-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let sock = dir.join("daemon.sock");
-        let reg = Arc::new(Registry::new(ServeConfig {
-            shards: 2,
-            ..ServeConfig::default()
-        }));
+        let reg = Arc::new(
+            Registry::new(ServeConfig {
+                shards: 2,
+                ..ServeConfig::default()
+            })
+            .unwrap(),
+        );
         {
             let reg = Arc::clone(&reg);
             let sock = sock.clone();

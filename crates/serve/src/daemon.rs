@@ -88,9 +88,10 @@ pub fn serve_connection<R: BufRead, W: Write>(
 /// harness and the determinism tests compare byte-for-byte).
 pub fn serve_script(reg: &Registry, script: &str) -> String {
     let mut out = Vec::new();
-    serve_connection(reg, io::Cursor::new(script.as_bytes()), &mut out)
-        .expect("in-memory I/O cannot fail");
-    String::from_utf8(out).expect("wire replies are UTF-8")
+    // In-memory I/O cannot fail; should it ever, the transcript simply
+    // ends at the failure point instead of aborting the caller.
+    let _ = serve_connection(reg, io::Cursor::new(script.as_bytes()), &mut out);
+    String::from_utf8_lossy(&out).into_owned()
 }
 
 /// Serves stdin/stdout until EOF — the `mtsp serve --stdio` transport.
@@ -150,8 +151,12 @@ pub fn serve_unix(reg: Arc<Registry>, path: &Path) -> io::Result<()> {
         let stream = stream?;
         let reg = Arc::clone(&reg);
         std::thread::spawn(move || {
-            let reader = BufReader::new(stream.try_clone().expect("clone unix stream"));
-            let _ = serve_connection(&reg, reader, stream);
+            // A clone failure (fd exhaustion) drops this one connection;
+            // the accept loop and every other connection keep serving.
+            let Ok(read_half) = stream.try_clone() else {
+                return;
+            };
+            let _ = serve_connection(&reg, BufReader::new(read_half), stream);
         });
     }
     Ok(())
@@ -165,8 +170,12 @@ pub fn serve_tcp(reg: Arc<Registry>, addr: &str) -> io::Result<()> {
         let stream = stream?;
         let reg = Arc::clone(&reg);
         std::thread::spawn(move || {
-            let reader = BufReader::new(stream.try_clone().expect("clone tcp stream"));
-            let _ = serve_connection(&reg, reader, stream);
+            // Same degradation as the Unix transport: a clone failure
+            // costs one connection, never the daemon.
+            let Ok(read_half) = stream.try_clone() else {
+                return;
+            };
+            let _ = serve_connection(&reg, BufReader::new(read_half), stream);
         });
     }
     Ok(())
@@ -182,7 +191,8 @@ mod tests {
         let reg = Registry::new(ServeConfig {
             shards: 2,
             ..ServeConfig::default()
-        });
+        })
+        .unwrap();
         let script = "\
 # a comment, still counted in line numbers
 
@@ -213,7 +223,7 @@ SNAPSHOT acme s1
 
     #[test]
     fn truncated_body_yields_structured_err() {
-        let reg = Registry::new(ServeConfig::default());
+        let reg = Registry::new(ServeConfig::default()).unwrap();
         let out = serve_script(&reg, "RESTORE acme s1 5\nmtsp-session v1\n");
         assert!(out.starts_with("ERR 2 proto unexpected EOF"), "{out}");
         reg.shutdown();

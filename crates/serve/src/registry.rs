@@ -29,10 +29,10 @@
 //! [`Registry::counters`] degrade to structured errors instead of
 //! panicking the whole daemon.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::panic::AssertUnwindSafe;
 use std::sync::mpsc::{self, Receiver, SyncSender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
 use mtsp_engine::{Engine, EngineConfig, SessionConfig, SolveCache};
@@ -121,7 +121,15 @@ pub struct Registry {
     depth: Vec<Gauge>,
     gauges: GaugeSet,
     cache: Arc<SolveCache>,
-    tenants: Arc<Mutex<HashMap<String, usize>>>,
+    tenants: Arc<Mutex<BTreeMap<String, usize>>>,
+}
+
+/// Locks the shared tenant-quota map, recovering from poisoning: the map
+/// is a plain counter table that is valid between any two operations, and
+/// the shard panic-isolation contract must keep the other tenants served
+/// even after a panic unwound through a lock holder.
+fn lock_tenants(map: &Mutex<BTreeMap<String, usize>>) -> MutexGuard<'_, BTreeMap<String, usize>> {
+    map.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 /// 64-bit FNV-1a over the routing key; stable across runs and platforms.
@@ -152,14 +160,18 @@ impl Registry {
     /// (the directory must be creatable/readable — a broken journal
     /// *root* is a startup failure, while individual broken journals are
     /// skipped with a warning).
-    pub fn new(cfg: ServeConfig) -> Registry {
+    ///
+    /// Returns `Err` when the journal root cannot be opened or a shard
+    /// worker thread cannot be spawned — both are startup failures the
+    /// caller reports, never panics.
+    pub fn new(cfg: ServeConfig) -> std::io::Result<Registry> {
         let shards = cfg.shards.max(1);
         let queue_cap = cfg.queue_cap.max(1);
         let cache = Arc::new(SolveCache::with_capacity(
             cfg.engine.cache_shards,
             cfg.engine.cache_capacity,
         ));
-        let tenants: Arc<Mutex<HashMap<String, usize>>> = Arc::new(Mutex::new(HashMap::new()));
+        let tenants: Arc<Mutex<BTreeMap<String, usize>>> = Arc::new(Mutex::new(BTreeMap::new()));
         let mut recovered: Vec<Vec<RecoveredSession>> = (0..shards).map(|_| Vec::new()).collect();
         if let Some(dir) = &cfg.wal_dir {
             for r in wal::scan(dir) {
@@ -173,40 +185,40 @@ impl Registry {
         for (i, to_recover) in recovered.into_iter().enumerate() {
             let (tx, rx) = mpsc::sync_channel::<ShardMsg>(queue_cap);
             let gauge = gauges.register(&format!("serve.queue_depth.shard{i}"));
+            let wal = match &cfg.wal_dir {
+                Some(d) => Some(Wal::new(d, cfg.fsync)?),
+                None => None,
+            };
             let worker = ShardWorker {
                 rx,
                 gauge: gauge.clone(),
                 state: ShardState {
-                    sessions: HashMap::new(),
-                    failed: HashSet::new(),
+                    sessions: BTreeMap::new(),
+                    failed: BTreeSet::new(),
                     tenants: Arc::clone(&tenants),
                     quotas: cfg.quotas,
                     session_cfg: cfg.session.clone(),
                     engine: Engine::with_cache(cfg.engine.clone(), Arc::clone(&cache)),
-                    wal: cfg
-                        .wal_dir
-                        .as_ref()
-                        .map(|d| Wal::new(d, cfg.fsync).expect("open write-ahead journal root")),
+                    wal,
                 },
                 to_recover,
             };
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("mtsp-serve-shard{i}"))
-                    .spawn(move || worker.run())
-                    .expect("spawn shard worker"),
+                    .spawn(move || worker.run())?,
             );
             txs.push(tx);
             depth.push(gauge);
         }
-        Registry {
+        Ok(Registry {
             txs,
             handles,
             depth,
             gauges,
             cache,
             tenants,
-        }
+        })
     }
 
     /// Routes one request to its shard and blocks for the reply. `line`
@@ -286,7 +298,7 @@ impl Registry {
     /// the shared quota map's size, bounded by *live* tenants rather
     /// than historical churn.
     pub fn tracked_tenants(&self) -> usize {
-        self.tenants.lock().expect("tenant map lock").len()
+        lock_tenants(&self.tenants).len()
     }
 
     /// Renders the per-shard queue-depth gauges (non-deterministic;
@@ -362,12 +374,12 @@ impl ShardWorker {
 /// the shared tenant-quota map, and (when durability is on) its journal
 /// writer.
 struct ShardState {
-    sessions: HashMap<(String, String), ServedSession>,
+    sessions: BTreeMap<(String, String), ServedSession>,
     /// Sessions fenced after a handler panic or journal write error:
     /// every request is answered with `ERR … session` until the key is
     /// re-opened, restored, closed, or recovered by a daemon restart.
-    failed: HashSet<(String, String)>,
-    tenants: Arc<Mutex<HashMap<String, usize>>>,
+    failed: BTreeSet<(String, String)>,
+    tenants: Arc<Mutex<BTreeMap<String, usize>>>,
     quotas: Quotas,
     session_cfg: SessionConfig,
     engine: Engine,
@@ -378,7 +390,7 @@ impl ShardState {
     /// Session-count quota: check-and-increment under the shared lock so
     /// concurrent opens across shards cannot oversubscribe a tenant.
     fn admit_tenant(&self, tenant: &str, line: usize) -> Result<(), Reply> {
-        let mut map = self.tenants.lock().expect("tenant map lock");
+        let mut map = lock_tenants(&self.tenants);
         let count = map.entry(tenant.to_string()).or_insert(0);
         if self.quotas.max_sessions > 0 && *count >= self.quotas.max_sessions {
             if *count == 0 {
@@ -400,12 +412,12 @@ impl ShardState {
     /// Recovered sessions were admitted under quota before the crash;
     /// re-admitting them is unconditional (and deterministic).
     fn admit_tenant_unchecked(&self, tenant: &str) {
-        let mut map = self.tenants.lock().expect("tenant map lock");
+        let mut map = lock_tenants(&self.tenants);
         *map.entry(tenant.to_string()).or_insert(0) += 1;
     }
 
     fn release_tenant(&self, tenant: &str) {
-        let mut map = self.tenants.lock().expect("tenant map lock");
+        let mut map = lock_tenants(&self.tenants);
         if let Some(count) = map.get_mut(tenant) {
             *count = count.saturating_sub(1);
             // Drop zero entries so tenant churn cannot grow the shared
@@ -550,7 +562,7 @@ impl ShardState {
         line: usize,
         reply: Reply,
     ) -> Reply {
-        if self.wal.is_none() || matches!(reply.response, Response::Err { .. }) {
+        if matches!(reply.response, Response::Err { .. }) {
             return reply;
         }
         let key = (tenant.to_string(), session.to_string());
@@ -562,12 +574,10 @@ impl ShardState {
         else {
             return reply;
         };
-        match self
-            .wal
-            .as_mut()
-            .expect("checked above")
-            .append(tenant, session, &ev)
-        {
+        let Some(w) = self.wal.as_mut() else {
+            return reply;
+        };
+        match w.append(tenant, session, &ev) {
             Ok(()) => {
                 ctx.counters_mut().inc(Counter::WalAppends);
                 reply
@@ -587,12 +597,21 @@ impl ShardState {
     fn handle(&mut self, ctx: &mut SolveContext, line: usize, req: &Request, body: &str) -> Reply {
         #[cfg(test)]
         if matches!(req, Request::Open { .. }) && req.tenant() == Some("__panic__") {
+            // lint:allow(R3): deliberate test-only panic exercising the
+            // shard-isolation containment path; compiled out of release.
             panic!("injected panic for shard-isolation tests");
         }
         let key = |tenant: &String, session: &String| (tenant.clone(), session.clone());
 
         match req {
-            Request::Stats => unreachable!("STATS is answered by the registry, not a shard"),
+            // `dispatch` answers STATS from the registry itself; a shard
+            // receiving one is a routing bug, reported as a structured
+            // error instead of aborting the shard thread.
+            Request::Stats => Reply::bare(Response::error(
+                line,
+                ErrCode::Proto,
+                "STATS is answered by the registry, not a shard",
+            )),
             Request::Open { tenant, session, m } => {
                 if self.sessions.contains_key(&key(tenant, session)) {
                     return Reply::bare(Response::error(
@@ -818,7 +837,7 @@ fn unknown_session(line: usize, tenant: &str, session: &str) -> Response {
 }
 
 fn with_session(
-    sessions: &mut HashMap<(String, String), ServedSession>,
+    sessions: &mut BTreeMap<(String, String), ServedSession>,
     tenant: &str,
     session: &str,
     line: usize,
@@ -889,7 +908,8 @@ mod tests {
             let reg = Registry::new(ServeConfig {
                 shards,
                 ..ServeConfig::default()
-            });
+            })
+            .unwrap();
             let out = render(&dispatch_script(&reg, &script));
             reg.shutdown();
             out
@@ -916,7 +936,8 @@ mod tests {
                 ..Quotas::unlimited()
             },
             ..ServeConfig::default()
-        });
+        })
+        .unwrap();
         let script = vec![
             ("OPEN acme a 2", ""),
             ("OPEN acme b 2", ""),
@@ -949,7 +970,7 @@ mod tests {
     fn solve_goes_through_the_shared_cache() {
         use mtsp_model::generate::{random_instance, CurveFamily, DagFamily};
         use mtsp_model::textio::write_instance;
-        let reg = Registry::new(ServeConfig::default());
+        let reg = Registry::new(ServeConfig::default()).unwrap();
         let ins = random_instance(DagFamily::Layered, CurveFamily::PowerLaw, 8, 4, 7);
         let body = write_instance(&ins);
         let line = format!("SOLVE acme {}", body.lines().count());
@@ -986,7 +1007,8 @@ mod tests {
         let reg = Registry::new(ServeConfig {
             shards: 4,
             ..ServeConfig::default()
-        });
+        })
+        .unwrap();
         for i in 0..64 {
             let open = format!("OPEN churn{i} s 2");
             let close = format!("CLOSE churn{i} s");
@@ -1015,7 +1037,8 @@ mod tests {
         let reg = Registry::new(ServeConfig {
             shards: 4,
             ..ServeConfig::default()
-        });
+        })
+        .unwrap();
         // The injected panic (tenant "__panic__", see `handle`) must not
         // take down the shard thread or the daemon.
         let r = reg.dispatch(1, req("OPEN __panic__ s1 2", 1), String::new());
@@ -1070,7 +1093,8 @@ mod tests {
         let mut reg = Registry::new(ServeConfig {
             shards: 4,
             ..ServeConfig::default()
-        });
+        })
+        .unwrap();
         // Open one session per shard so every shard holds state.
         let names = ["a", "b", "c", "d", "e", "f", "g", "h"];
         for n in names {
@@ -1119,7 +1143,7 @@ mod tests {
             ..ServeConfig::default()
         };
         // First life: mutate two sessions, snapshot one, never close.
-        let reg = Registry::new(cfg());
+        let reg = Registry::new(cfg()).unwrap();
         let script = vec![
             ("OPEN acme s1 4", ""),
             ("OPEN zork s1 4", ""),
@@ -1154,7 +1178,7 @@ mod tests {
         reg.shutdown();
 
         // Second life: sessions come back bit-exactly and keep going.
-        let reg = Registry::new(cfg());
+        let reg = Registry::new(cfg()).unwrap();
         let r = reg.dispatch(1, req("SNAPSHOT acme s1", 1), String::new());
         assert_eq!(r.body, pre_snapshot, "recovered snapshot diverged");
         assert_eq!(reg.counters().get(Counter::Recoveries), 2);
@@ -1167,7 +1191,7 @@ mod tests {
         reg.shutdown();
 
         // Third life: the closed session is gone, the open one persists.
-        let reg = Registry::new(cfg());
+        let reg = Registry::new(cfg()).unwrap();
         assert_eq!(reg.counters().get(Counter::Recoveries), 1);
         let r = reg.dispatch(1, req("SNAPSHOT zork s1", 1), String::new());
         assert_eq!(
@@ -1204,7 +1228,8 @@ mod tests {
             wal_dir: Some(dir.clone()),
             fsync: FsyncPolicy::Never,
             ..ServeConfig::default()
-        });
+        })
+        .unwrap();
         // The session must be fenced, not served: an append landing
         // after the stale torn tail would fuse into a mid-file-corrupt
         // record and lose the journal entirely on the next restart.
@@ -1235,7 +1260,8 @@ mod tests {
                 wal_dir: Some(dir.clone()),
                 fsync: FsyncPolicy::Interval,
                 ..ServeConfig::default()
-            });
+            })
+            .unwrap();
             let out = render(&dispatch_script(&reg, &script));
             reg.shutdown();
             let _ = std::fs::remove_dir_all(&dir);

@@ -25,7 +25,8 @@
 //! snapshot bytes, resynchronizing the header count and discarding any
 //! previously truncated tail bytes.
 
-use std::collections::HashMap;
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
@@ -97,13 +98,28 @@ struct WalFile {
     unsynced: usize,
 }
 
+/// Post-append sync bookkeeping for one journal handle.
+fn sync_after_append(fsync: FsyncPolicy, wf: &mut WalFile) -> io::Result<()> {
+    wf.unsynced += 1;
+    let due = match fsync {
+        FsyncPolicy::Always => true,
+        FsyncPolicy::Interval => wf.unsynced >= FsyncPolicy::INTERVAL_APPENDS,
+        FsyncPolicy::Never => false,
+    };
+    if due {
+        wf.file.sync_data()?;
+        wf.unsynced = 0;
+    }
+    Ok(())
+}
+
 /// One shard's journal writer: open append handles for the sessions it
 /// owns, rooted at the shared journal directory. Shards never share a
 /// session, so per-shard writers need no cross-shard coordination.
 pub struct Wal {
     root: PathBuf,
     fsync: FsyncPolicy,
-    files: HashMap<(String, String), WalFile>,
+    files: BTreeMap<(String, String), WalFile>,
 }
 
 impl std::fmt::Debug for Wal {
@@ -123,7 +139,7 @@ impl Wal {
         Ok(Wal {
             root: root.to_path_buf(),
             fsync,
-            files: HashMap::new(),
+            files: BTreeMap::new(),
         })
     }
 
@@ -137,21 +153,6 @@ impl Wal {
             "journal key {tenant:?}/{session:?} is not a validated wire token"
         );
         self.root.join(tenant).join(format!("{session}.log"))
-    }
-
-    fn sync_after_append(&mut self, key: &(String, String)) -> io::Result<()> {
-        let wf = self.files.get_mut(key).expect("journal handle exists");
-        wf.unsynced += 1;
-        let due = match self.fsync {
-            FsyncPolicy::Always => true,
-            FsyncPolicy::Interval => wf.unsynced >= FsyncPolicy::INTERVAL_APPENDS,
-            FsyncPolicy::Never => false,
-        };
-        if due {
-            wf.file.sync_data()?;
-            wf.unsynced = 0;
-        }
-        Ok(())
     }
 
     /// Creates (truncating any stale leftover) the journal for a fresh
@@ -170,18 +171,19 @@ impl Wal {
         session: &str,
         event: &mtsp_model::wire::SessionEvent,
     ) -> io::Result<()> {
-        let key = (tenant.to_string(), session.to_string());
-        if !self.files.contains_key(&key) {
-            let path = self.path_of(tenant, session);
-            let file = OpenOptions::new().append(true).open(&path)?;
-            self.files
-                .insert(key.clone(), WalFile { file, unsynced: 0 });
-        }
+        let path = self.path_of(tenant, session);
+        let fsync = self.fsync;
+        let wf = match self.files.entry((tenant.to_string(), session.to_string())) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(v) => {
+                let file = OpenOptions::new().append(true).open(&path)?;
+                v.insert(WalFile { file, unsynced: 0 })
+            }
+        };
         let mut line = write_session_event(event);
         line.push('\n');
-        let wf = self.files.get_mut(&key).expect("just inserted");
         wf.file.write_all(line.as_bytes())?;
-        self.sync_after_append(&key)
+        sync_after_append(fsync, wf)
     }
 
     /// Atomically rewrites the journal to the full `mtsp-session v1`
@@ -191,8 +193,11 @@ impl Wal {
     /// post-recovery tail cleanup.
     pub fn write_full(&mut self, tenant: &str, session: &str, log: &SessionLog) -> io::Result<()> {
         let path = self.path_of(tenant, session);
-        let dir = path.parent().expect("journal path has a tenant directory");
-        fs::create_dir_all(dir)?;
+        // `path_of` validated both names, so the parent directory is
+        // exactly `<root>/<tenant>` — recompute it rather than unwrap
+        // `path.parent()`.
+        let dir = self.root.join(tenant);
+        fs::create_dir_all(&dir)?;
         let tmp = dir.join(format!("{session}.log.tmp"));
         {
             let mut f = File::create(&tmp)?;
@@ -468,7 +473,10 @@ mod tests {
         // an all-dot tenant directory, a session stem with a space, and
         // an over-long stem. Recovering them would pin tenant quota on
         // sessions that can never be CLOSEd.
-        let log = write_session_log(&SessionLog { m: 2, events: vec![] });
+        let log = write_session_log(&SessionLog {
+            m: 2,
+            events: vec![],
+        });
         fs::create_dir_all(root.join("...")).unwrap();
         fs::write(root.join("...").join("s1.log"), &log).unwrap();
         fs::write(root.join("acme").join("has space.log"), &log).unwrap();

@@ -71,8 +71,8 @@ impl Trace {
     pub fn is_consistent(&self, m: usize) -> bool {
         let mut owner: Vec<Option<usize>> = vec![None; m];
         let mut last_t = f64::NEG_INFINITY;
-        let mut open: std::collections::HashMap<usize, Vec<usize>> =
-            std::collections::HashMap::new();
+        let mut open: std::collections::BTreeMap<usize, Vec<usize>> =
+            std::collections::BTreeMap::new();
         for e in &self.events {
             if e.time < last_t - 1e-9 {
                 return false;

@@ -48,6 +48,9 @@ pub use mtsp_dag as dag;
 pub use mtsp_engine as engine;
 /// Corpus ratio-audit pipeline (re-export of `mtsp-harness`).
 pub use mtsp_harness as harness;
+/// Determinism & panic-safety static analysis (re-export of
+/// `mtsp-lint`).
+pub use mtsp_lint as lint;
 /// LP substrate (re-export of `mtsp-lp`).
 pub use mtsp_lp as lp;
 /// Malleable-task model (re-export of `mtsp-model`).

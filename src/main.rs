@@ -126,6 +126,15 @@ enum Command {
     Tables {
         which: String,
     },
+    Lint {
+        /// `--format json` switches from compiler-style text lines.
+        json: bool,
+        /// `--out FILE` writes the report there instead of stdout.
+        out: Option<String>,
+        /// `--root DIR` pins the workspace root (default: search upward
+        /// from the current directory).
+        root: Option<String>,
+    },
     Version,
     Help,
 }
@@ -175,6 +184,7 @@ USAGE:
   mtsp client (--socket PATH|--tcp ADDR) [script|-] [--snapshot-out FILE]
   mtsp bounds <m>
   mtsp tables [2|3|4|all]
+  mtsp lint [--format json] [--out FILE] [--root DIR]
   mtsp --version
 
 profile solves one instance with telemetry on: stdout carries the
@@ -247,6 +257,17 @@ client connects to a serve daemon, streams a request script (a file,
 or '-'/nothing for stdin), prints the reply transcript on stdout, and
 with --snapshot-out writes the body of the last OK SNAPSHOT reply to a
 file (ready to feed back through RESTORE).
+
+lint runs the workspace's determinism & panic-safety static analysis
+(rules R1-R5, see docs/ANALYSIS.md): no HashMap/HashSet in production
+sources, no wall-clock reads outside the metrics allowlist, no
+unwrap/expect/panic! in the serving path, floats serialized via the
+{:?} contract, no narrowing casts in the wire/text parsers. The report
+(compiler-style text, or mtsp-lint v1 JSON with --format json) is
+byte-deterministic; suppressions are per-site
+'// lint:allow(<rule>): <justification>' comments and an unjustified
+or stale suppression is itself a diagnostic (R0). Exits 0 when clean,
+1 when any diagnostic fires.
 
 Wall-clock output always goes to stderr as '# metric key=value' lines
 (one stable scrapeable format across batch, corpus, audit, and replay),
@@ -669,6 +690,19 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             }
             Ok(Command::Tables { which })
         }
+        "lint" => {
+            let json = match take_value(&mut rest, "--format")?.as_deref() {
+                None | Some("text") => false,
+                Some("json") => true,
+                Some(other) => return Err(format!("unknown lint format '{other}' (text|json)")),
+            };
+            let out = take_value(&mut rest, "--out")?;
+            let root = take_value(&mut rest, "--root")?;
+            if !rest.is_empty() {
+                return Err(format!("unexpected arguments: {rest:?}"));
+            }
+            Ok(Command::Lint { json, out, root })
+        }
         other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
     }
 }
@@ -765,6 +799,50 @@ fn write_trace(path: &str) -> Result<String, String> {
         "trace written to {path} ({} span(s))\n",
         events.len()
     ))
+}
+
+/// Runs the `lint` verb: lints the workspace, renders the report
+/// (honoring `--out`), and returns the stdout text plus the process
+/// exit code — 0 clean, 1 when any diagnostic fired. The report bytes
+/// are deterministic; only the exit code carries the verdict.
+fn run_lint(
+    json: bool,
+    dest: Option<String>,
+    root: Option<String>,
+) -> Result<(String, i32), String> {
+    let root_dir = match root {
+        Some(r) => std::path::PathBuf::from(r),
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| format!("current dir: {e}"))?;
+            mtsp::lint::walk::find_workspace_root(&cwd).ok_or_else(|| {
+                "no workspace root (a Cargo.toml with [workspace]) at or above the \
+                 current directory; pass --root DIR"
+                    .to_string()
+            })?
+        }
+    };
+    let report = mtsp::lint::lint_workspace(&root_dir)
+        .map_err(|e| format!("lint walk under {}: {e}", root_dir.display()))?;
+    let rendered = if json {
+        report.to_json()
+    } else {
+        report.to_text()
+    };
+    let stdout_text = match dest {
+        Some(path) => {
+            std::fs::write(&path, &rendered).map_err(|e| format!("{path}: {e}"))?;
+            // The summary still lands on stdout so a CI log shows the
+            // verdict without opening the artifact.
+            format!(
+                "lint report written to {path}: {} diagnostic(s), {} suppressed, {} files\n",
+                report.diagnostics.len(),
+                report.suppressed,
+                report.files_scanned
+            )
+        }
+        None => rendered,
+    };
+    Ok((stdout_text, report.exit_code()))
 }
 
 /// Executes a command, returning the text to print.
@@ -1418,7 +1496,8 @@ fn run(cmd: Command) -> Result<String, String> {
                 wal_dir: wal_path.clone(),
                 fsync,
                 ..ServeConfig::default()
-            });
+            })
+            .map_err(|e| format!("serve: registry startup failed: {e}"))?;
             // Operational chatter goes to stderr: on --stdio, stdout *is*
             // the protocol stream.
             eprintln!("# mtsp serve: {shards} shard(s), queue cap {queue_cap}");
@@ -1530,6 +1609,20 @@ fn run(cmd: Command) -> Result<String, String> {
                 "  LTW [18] bound (Table 3) = {ltw_r:.6} at mu = {ltw_mu}"
             );
         }
+        Command::Lint {
+            json,
+            out: dest,
+            root,
+        } => {
+            // The binary intercepts `lint` in `main` for its exit code;
+            // this arm serves direct `run` callers (unit tests), where a
+            // dirty tree surfaces as an error.
+            let (text, code) = run_lint(json, dest, root)?;
+            if code != 0 {
+                return Err(format!("lint found diagnostics:\n{text}"));
+            }
+            out.push_str(&text);
+        }
         Command::Tables { which } => {
             if which == "2" || which == "all" {
                 out.push_str("Table 2 (m mu rho r):\n");
@@ -1621,6 +1714,20 @@ fn main() {
             std::process::exit(2);
         }
     };
+    // `lint` owns its exit code (0 clean / 1 diagnostics) and must print
+    // the report either way, so it bypasses the Ok/Err split of `run`.
+    if let Command::Lint { json, out, root } = cmd {
+        match run_lint(json, out, root) {
+            Ok((text, code)) => {
+                print!("{text}");
+                std::process::exit(code);
+            }
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
     match run(cmd) {
         Ok(text) => print!("{text}"),
         Err(msg) => {

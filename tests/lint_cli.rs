@@ -1,0 +1,54 @@
+//! CLI-level contract tests for `mtsp lint`: the 0/1/2 exit contract
+//! and byte-deterministic reports across repeated runs.
+
+use std::process::Command;
+
+fn lint_cmd(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_mtsp"))
+        .arg("lint")
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("run mtsp lint")
+}
+
+#[test]
+fn lint_json_runs_are_byte_identical_and_clean() {
+    let a = lint_cmd(&["--format", "json"]);
+    let b = lint_cmd(&["--format", "json"]);
+    assert_eq!(
+        a.status.code(),
+        Some(0),
+        "workspace must lint clean; stdout:\n{}",
+        String::from_utf8_lossy(&a.stdout)
+    );
+    assert_eq!(a.stdout, b.stdout, "JSON report must be byte-deterministic");
+    let text = String::from_utf8(a.stdout).unwrap();
+    assert!(text.contains("\"format\": \"mtsp-lint v1\""));
+    assert!(text.contains("\"summary\": {\"diagnostics\": 0,"));
+}
+
+#[test]
+fn lint_text_report_is_deterministic_too() {
+    let a = lint_cmd(&[]);
+    let b = lint_cmd(&[]);
+    assert_eq!(a.status.code(), Some(0));
+    assert_eq!(a.stdout, b.stdout);
+    let text = String::from_utf8(a.stdout).unwrap();
+    assert!(
+        text.starts_with("mtsp-lint: 0 diagnostics"),
+        "clean run is just the summary line: {text}"
+    );
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let out = lint_cmd(&["--format", "yaml"]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "unknown format is a usage error"
+    );
+    let out = lint_cmd(&["--wobble"]);
+    assert_eq!(out.status.code(), Some(2), "unknown flag is a usage error");
+}
